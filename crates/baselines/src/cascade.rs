@@ -1,0 +1,140 @@
+//! Independent Cascade and Linear Threshold diffusion, with Monte-Carlo
+//! expected-spread estimation (Kempe et al.).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use vom_graph::{Node, SocialGraph};
+use vom_walks::mix_seed;
+
+/// The classic one-shot activation models used by the IC/LT baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CascadeModel {
+    /// Each newly activated `u` gets one chance to activate each
+    /// out-neighbor `v`, succeeding with probability `w_uv`.
+    IndependentCascade,
+    /// Each node draws a threshold `θ_v ~ U[0,1]`; `v` activates once the
+    /// weight of its active in-neighbors reaches `θ_v` (in-weights sum to
+    /// 1, matching the LT requirement).
+    LinearThreshold,
+}
+
+/// One cascade simulation; returns the number of activated nodes.
+fn simulate(g: &SocialGraph, model: CascadeModel, seeds: &[Node], rng: &mut SmallRng) -> usize {
+    let n = g.num_nodes();
+    let mut active = vec![false; n];
+    let mut frontier: Vec<Node> = Vec::new();
+    let mut activated = 0usize;
+    for &s in seeds {
+        if !active[s as usize] {
+            active[s as usize] = true;
+            activated += 1;
+            frontier.push(s);
+        }
+    }
+    match model {
+        CascadeModel::IndependentCascade => {
+            while let Some(u) = frontier.pop() {
+                for (v, w) in g.out_entries(u) {
+                    if !active[v as usize] && rng.gen::<f64>() < w {
+                        active[v as usize] = true;
+                        activated += 1;
+                        frontier.push(v);
+                    }
+                }
+            }
+        }
+        CascadeModel::LinearThreshold => {
+            let thresholds: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            let mut incoming = vec![0.0f64; n];
+            while let Some(u) = frontier.pop() {
+                for (v, w) in g.out_entries(u) {
+                    if active[v as usize] {
+                        continue;
+                    }
+                    incoming[v as usize] += w;
+                    if incoming[v as usize] >= thresholds[v as usize] {
+                        active[v as usize] = true;
+                        activated += 1;
+                        frontier.push(v);
+                    }
+                }
+            }
+        }
+    }
+    activated
+}
+
+/// Monte-Carlo expected influence spread of `seeds` under `model`
+/// (Figure 11's metric), averaged over `simulations` runs. Deterministic
+/// for a given `seed`; simulations run in parallel with independent RNG
+/// streams.
+pub fn expected_spread(
+    g: &SocialGraph,
+    model: CascadeModel,
+    seeds: &[Node],
+    simulations: usize,
+    seed: u64,
+) -> f64 {
+    assert!(simulations > 0, "need at least one simulation");
+    let total: usize = (0..simulations as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(seed, i));
+            simulate(g, model, seeds, &mut rng)
+        })
+        .sum();
+    total as f64 / simulations as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+    use vom_graph::generators;
+
+    #[test]
+    fn spread_includes_seeds_and_is_monotone() {
+        let g = graph_from_edges(4, &generators::path(4)).unwrap();
+        for model in [CascadeModel::IndependentCascade, CascadeModel::LinearThreshold] {
+            let one = expected_spread(&g, model, &[0], 200, 7);
+            let two = expected_spread(&g, model, &[0, 2], 200, 7);
+            assert!(one >= 1.0, "{model:?}: seeds count themselves");
+            assert!(two >= one, "{model:?}: spread is monotone in seeds");
+            assert!(two <= 4.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_edges_cascade_fully_under_ic() {
+        // Path with weight-1 edges: IC activates everything downstream.
+        let g = graph_from_edges(3, &generators::path(3)).unwrap();
+        let s = expected_spread(&g, CascadeModel::IndependentCascade, &[0], 50, 3);
+        assert_eq!(s, 3.0);
+    }
+
+    #[test]
+    fn lt_with_full_weight_always_activates() {
+        // Single in-neighbor with weight 1 >= any threshold in [0,1).
+        let g = graph_from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let s = expected_spread(&g, CascadeModel::LinearThreshold, &[0], 100, 5);
+        assert_eq!(s, 2.0);
+    }
+
+    #[test]
+    fn ic_matches_analytic_probability_on_split_edge() {
+        // Edge probabilities 0.75 / 0.25 into node 2 from nodes 0 / 1:
+        // seeding {0} activates 2 with p = 0.75: E[spread] = 1.75.
+        let g = graph_from_edges(3, &[(0, 2, 3.0), (1, 2, 1.0)]).unwrap();
+        let s = expected_spread(&g, CascadeModel::IndependentCascade, &[0], 40_000, 11);
+        assert!((s - 1.75).abs() < 0.02, "spread {s}");
+    }
+
+    #[test]
+    fn spread_is_deterministic_given_seed() {
+        let g = graph_from_edges(5, &generators::star(5)).unwrap();
+        let a = expected_spread(&g, CascadeModel::IndependentCascade, &[0], 500, 13);
+        let b = expected_spread(&g, CascadeModel::IndependentCascade, &[0], 500, 13);
+        assert_eq!(a, b);
+    }
+}

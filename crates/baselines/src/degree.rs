@@ -1,0 +1,52 @@
+//! Degree-centrality baseline (DC).
+
+use crate::top_k_by_score;
+use vom_graph::{Node, SocialGraph};
+
+/// The DC baseline: top-`k` nodes by **weighted out-degree** (total
+/// outgoing influence weight) — the natural "many strong followers"
+/// heuristic.
+pub fn degree_centrality_seeds(g: &SocialGraph, k: usize) -> Vec<Node> {
+    let scores: Vec<f64> = (0..g.num_nodes() as Node)
+        .map(|u| g.out_entries(u).map(|(_, w)| w).sum())
+        .collect();
+    top_k_by_score(&scores, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+    use vom_graph::generators;
+
+    #[test]
+    fn hub_wins_on_star() {
+        let g = graph_from_edges(10, &generators::star(10)).unwrap();
+        assert_eq!(degree_centrality_seeds(&g, 1), vec![0]);
+    }
+
+    #[test]
+    fn weighted_degree_beats_raw_count() {
+        // Node 0 has two weak edges (each normalized to small weight via
+        // heavy competition); node 1 has one strong edge it fully owns.
+        let g = graph_from_edges(
+            5,
+            &[
+                (0, 2, 1.0),
+                (3, 2, 9.0), // node 0's edge into 2 normalizes to 0.1
+                (0, 4, 1.0),
+                (3, 4, 9.0), // node 0's edge into 4 normalizes to 0.1
+                (1, 3, 1.0), // node 1 fully owns node 3: weight 1.0
+            ],
+        )
+        .unwrap();
+        // weighted out-degree: node 0: 0.2, node 1: 1.0, node 3: 1.8.
+        assert_eq!(degree_centrality_seeds(&g, 2), vec![3, 1]);
+    }
+
+    #[test]
+    fn returns_k_nodes() {
+        let g = graph_from_edges(4, &generators::cycle(4)).unwrap();
+        assert_eq!(degree_centrality_seeds(&g, 3).len(), 3);
+    }
+}

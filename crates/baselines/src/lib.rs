@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+//! # vom-baselines
+//!
+//! Every baseline the paper compares against (§VIII-A "Methods
+//! Compared"):
+//!
+//! * **IC / LT** ([`cascade`]) — the classic influence-diffusion models,
+//!   with Monte-Carlo expected-spread estimation (also the metric of the
+//!   Figure 11 experiment);
+//! * **IMM** ([`imm`]) — Tang et al.'s near-linear-time influence
+//!   maximization via reverse-reachable sets ([`rrset`]), used to select
+//!   seeds under IC and LT;
+//! * **GED-T** ([`gedt`]) — the greedy opinion-maximization algorithm of
+//!   Gionis et al., adapted to a finite time horizon (equivalent to DM's
+//!   cumulative greedy, which the paper confirms);
+//! * **PR / RWR / DC** ([`pagerank`], [`rwr`], [`degree`]) — centrality
+//!   heuristics.
+//!
+//! All baselines only choose seed sets; they are evaluated afterwards in
+//! the same multi-campaign FJ setting and voting scores as our methods.
+//!
+//! # Example
+//!
+//! ```
+//! use vom_baselines::{degree_centrality_seeds, pagerank_seeds};
+//! use vom_graph::builder::graph_from_edges;
+//! use vom_graph::generators;
+//!
+//! // DC ranks by outgoing influence: the out-star hub wins.
+//! let out_star = graph_from_edges(6, &generators::star(6))?;
+//! assert_eq!(degree_centrality_seeds(&out_star, 1), vec![0]);
+//!
+//! // PageRank mass flows along edges: with every leaf pointing at the
+//! // center, the center collects it.
+//! let edges: Vec<(u32, u32, f64)> = (1..6).map(|v| (v, 0, 1.0)).collect();
+//! let in_star = graph_from_edges(6, &edges)?;
+//! assert_eq!(pagerank_seeds(&in_star, 1), vec![0]);
+//! # Ok::<(), vom_graph::GraphError>(())
+//! ```
+
+pub mod cascade;
+pub mod degree;
+pub mod gedt;
+pub mod imm;
+pub mod pagerank;
+pub mod rrset;
+pub mod rwr;
+
+pub use cascade::{expected_spread, CascadeModel};
+pub use degree::degree_centrality_seeds;
+pub use gedt::gedt_seeds;
+pub use imm::{imm_seeds, ImmConfig};
+pub use pagerank::pagerank_seeds;
+pub use rwr::rwr_seeds;
+
+/// Selects the `k` nodes with the largest scores (ties toward smaller
+/// ids), used by all centrality-style baselines.
+pub(crate) fn top_k_by_score(scores: &[f64], k: usize) -> Vec<vom_graph::Node> {
+    let mut idx: Vec<vom_graph::Node> = (0..scores.len() as vom_graph::Node).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores are finite")
+            .then_with(|| a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_sorts_desc_and_breaks_ties_by_id() {
+        let scores = [0.5, 0.9, 0.9, 0.1];
+        assert_eq!(top_k_by_score(&scores, 3), vec![1, 2, 0]);
+        assert_eq!(top_k_by_score(&scores, 0), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,96 @@
+//! PageRank centrality baseline (PR).
+
+use crate::top_k_by_score;
+use vom_graph::{Node, SocialGraph};
+
+/// Power-iteration PageRank over the directed graph. The surfer follows
+/// out-edges proportionally to their influence weights (renormalized per
+/// source, since the stored weights are column- not row-stochastic);
+/// dangling mass and the `1 − damping` restart are spread uniformly.
+pub fn pagerank_scores(g: &SocialGraph, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert!(n > 0);
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    // Per-source total outgoing weight for row normalization.
+    let out_total: Vec<f64> = (0..n as Node)
+        .map(|u| g.out_entries(u).map(|(_, w)| w).sum())
+        .collect();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let mut dangling = 0.0f64;
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n as Node {
+            let r = rank[u as usize];
+            let total = out_total[u as usize];
+            if total <= 0.0 {
+                dangling += r;
+                continue;
+            }
+            for (v, w) in g.out_entries(u) {
+                next[v as usize] += r * w / total;
+            }
+        }
+        let uniform = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        for x in next.iter_mut() {
+            *x = damping * *x + uniform;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// The PR baseline: top-`k` nodes by PageRank score (damping 0.85,
+/// 50 iterations — ample for the graph sizes in play).
+pub fn pagerank_seeds(g: &SocialGraph, k: usize) -> Vec<Node> {
+    top_k_by_score(&pagerank_scores(g, 0.85, 50), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+    use vom_graph::generators;
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = graph_from_edges(6, &generators::cycle(6)).unwrap();
+        let scores = pagerank_scores(&g, 0.85, 30);
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = graph_from_edges(5, &generators::cycle(5)).unwrap();
+        let scores = pagerank_scores(&g, 0.85, 60);
+        for s in &scores {
+            assert!((s - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn star_leaves_outrank_nothing_hub_absorbs() {
+        // Star hub points at leaves: leaves receive rank from the hub.
+        let g = graph_from_edges(5, &generators::star(5)).unwrap();
+        let scores = pagerank_scores(&g, 0.85, 60);
+        for leaf in 1..5 {
+            assert!(
+                scores[leaf] > scores[0],
+                "leaf {leaf} should outrank the hub"
+            );
+        }
+        let seeds = pagerank_seeds(&g, 2);
+        assert!(!seeds.contains(&0));
+    }
+
+    #[test]
+    fn dangling_mass_is_redistributed() {
+        // 0 -> 1, node 1 dangling: ranks must still sum to 1.
+        let g = graph_from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        let scores = pagerank_scores(&g, 0.85, 60);
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(scores[1] > scores[0]);
+    }
+}

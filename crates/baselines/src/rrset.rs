@@ -1,0 +1,126 @@
+//! Reverse-reachable (RR) set generation for IC and LT (Borgs et al.;
+//! Tang et al.).
+
+use crate::cascade::CascadeModel;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use vom_graph::{Node, SocialGraph};
+
+/// Generates one RR set rooted at a uniformly random node.
+///
+/// * IC: randomized reverse BFS — each incoming edge `(u, v)` is crossed
+///   with probability `w_uv`.
+/// * LT: reverse live-edge walk — each visited node picks exactly one
+///   in-neighbor (weights sum to 1), stopping on a revisit or a node
+///   without in-edges.
+pub fn generate_rr_set(g: &SocialGraph, model: CascadeModel, rng: &mut SmallRng) -> Vec<Node> {
+    let root = rng.gen_range(0..g.num_nodes()) as Node;
+    rr_set_from(g, model, root, rng)
+}
+
+/// Generates one RR set rooted at `root`.
+pub fn rr_set_from(
+    g: &SocialGraph,
+    model: CascadeModel,
+    root: Node,
+    rng: &mut SmallRng,
+) -> Vec<Node> {
+    match model {
+        CascadeModel::IndependentCascade => {
+            let mut visited = vec![root];
+            let mut in_set = std::collections::HashSet::new();
+            in_set.insert(root);
+            let mut frontier = vec![root];
+            while let Some(v) = frontier.pop() {
+                for (u, w) in g.in_entries(v) {
+                    if !in_set.contains(&u) && rng.gen::<f64>() < w {
+                        in_set.insert(u);
+                        visited.push(u);
+                        frontier.push(u);
+                    }
+                }
+            }
+            visited
+        }
+        CascadeModel::LinearThreshold => {
+            let mut visited = vec![root];
+            let mut in_set = std::collections::HashSet::new();
+            in_set.insert(root);
+            let mut cur = root;
+            loop {
+                if !g.has_in_edges(cur) {
+                    break;
+                }
+                let neighbors = g.in_neighbors(cur);
+                let weights = g.in_weights(cur);
+                let x: f64 = rng.gen();
+                let mut acc = 0.0;
+                let mut next = *neighbors.last().expect("has in-edges");
+                for (i, &w) in weights.iter().enumerate() {
+                    acc += w;
+                    if x < acc {
+                        next = neighbors[i];
+                        break;
+                    }
+                }
+                if !in_set.insert(next) {
+                    break; // revisit: the live-edge path loops
+                }
+                visited.push(next);
+                cur = next;
+            }
+            visited
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vom_graph::builder::graph_from_edges;
+    use vom_graph::generators;
+
+    #[test]
+    fn ic_rr_sets_follow_reverse_edges() {
+        // Path 0 -> 1 -> 2 with weight 1: RR set of node 2 is {2, 1, 0}.
+        let g = graph_from_edges(3, &generators::path(3)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let rr = rr_set_from(&g, CascadeModel::IndependentCascade, 2, &mut rng);
+        assert_eq!(rr, vec![2, 1, 0]);
+        // Node 0 has no in-edges: singleton.
+        let rr0 = rr_set_from(&g, CascadeModel::IndependentCascade, 0, &mut rng);
+        assert_eq!(rr0, vec![0]);
+    }
+
+    #[test]
+    fn lt_rr_sets_are_paths_without_repeats() {
+        let g = graph_from_edges(4, &generators::cycle(4)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let rr = generate_rr_set(&g, CascadeModel::LinearThreshold, &mut rng);
+            let mut sorted = rr.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), rr.len(), "no repeats in {rr:?}");
+            assert!(rr.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn ic_rr_membership_probability_matches_edge_weight() {
+        // Edge (0 -> 1) with probability 0.25 after normalization.
+        let g = graph_from_edges(2, &[(0, 1, 1.0), (1, 1, 3.0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut hits = 0;
+        let trials = 40_000;
+        for _ in 0..trials {
+            let rr = rr_set_from(&g, CascadeModel::IndependentCascade, 1, &mut rng);
+            if rr.contains(&0) {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.25).abs() < 0.02, "membership probability {p}");
+    }
+}

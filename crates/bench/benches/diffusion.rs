@@ -1,0 +1,45 @@
+//! Microbenchmarks for the exact FJ engine (the DM building block).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vom_datasets::{twitter_mask_like, ReplicaParams};
+use vom_diffusion::DiffusionBuffer;
+
+fn fj_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fj_opinions_at");
+    group.sample_size(20);
+    for scale in [0.0005, 0.001, 0.002] {
+        let ds = twitter_mask_like(&ReplicaParams::at_scale(scale, 3));
+        let cand = ds.instance.candidate(0);
+        let engine = cand.engine();
+        let n = ds.instance.num_nodes();
+        let mut buf = DiffusionBuffer::new(n);
+        group.bench_with_input(BenchmarkId::new("t20", n), &n, |b, _| {
+            b.iter(|| {
+                let row = engine.opinions_at_with(20, &[0, 1, 2], &mut buf);
+                std::hint::black_box(row[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn horizon_scaling(c: &mut Criterion) {
+    let ds = twitter_mask_like(&ReplicaParams::at_scale(0.001, 3));
+    let cand = ds.instance.candidate(0);
+    let engine = cand.engine();
+    let mut buf = DiffusionBuffer::new(ds.instance.num_nodes());
+    let mut group = c.benchmark_group("fj_horizon_scaling");
+    group.sample_size(20);
+    for t in [5usize, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let row = engine.opinions_at_with(t, &[7], &mut buf);
+                std::hint::black_box(row[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fj_iteration, horizon_scaling);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks for the alternative opinion-dynamics models: cost of
+//! one full realization to the horizon, per model, on the same graph —
+//! the per-evaluation cost inside `DynamicsSeeder::greedy`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use vom_datasets::{dblp_like, ReplicaParams};
+use vom_diffusion::OpinionMatrix;
+use vom_dynamics::{
+    DeffuantModel, DynamicsModel, FjDynamics, HkModel, MajorityRule, SznajdModel, VoterModel,
+};
+
+fn models_for(
+    scale: f64,
+) -> (usize, Vec<Box<dyn DynamicsModel>>) {
+    let ds = dblp_like(&ReplicaParams::at_scale(scale, 3));
+    let inst = Arc::new(ds.instance);
+    let n = inst.num_nodes();
+    let graph = inst.graph_of(0).clone();
+    let rows: Vec<Vec<f64>> = (0..inst.num_candidates())
+        .map(|c| inst.candidate(c).initial.clone())
+        .collect();
+    let initial = OpinionMatrix::from_rows(rows).expect("valid replica opinions");
+    let models: Vec<Box<dyn DynamicsModel>> = vec![
+        Box::new(FjDynamics::new(inst)),
+        Box::new(VoterModel::new(graph.clone(), initial.clone()).expect("valid")),
+        Box::new(MajorityRule::new(graph.clone(), initial.clone()).expect("valid")),
+        Box::new(SznajdModel::new(graph.clone(), initial.clone()).expect("valid")),
+        Box::new(DeffuantModel::new(graph.clone(), initial.clone(), 0.4, 0.3).expect("valid")),
+        Box::new(HkModel::new(graph, initial, 0.3).expect("valid")),
+    ];
+    (n, models)
+}
+
+fn one_realization(c: &mut Criterion) {
+    let (n, models) = models_for(0.004);
+    let mut group = c.benchmark_group(format!("dynamics_realization_n{n}_t20"));
+    group.sample_size(20);
+    for model in &models {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            model,
+            |bench, model| {
+                bench.iter(|| {
+                    let b = model.opinions_at(20, 0, &[0, 1], 7);
+                    std::hint::black_box(b.get(0, 0))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn horizon_scaling(c: &mut Criterion) {
+    let (_, models) = models_for(0.002);
+    let voter = &models[1];
+    let mut group = c.benchmark_group("dynamics_voter_horizon");
+    group.sample_size(30);
+    for t in [5usize, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+            bench.iter(|| {
+                let b = voter.opinions_at(t, 0, &[0], 7);
+                std::hint::black_box(b.get(0, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, one_realization, horizon_scaling);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR]
+//! ```
+//!
+//! Experiments: table1 table2 table3 table6 fig2 case-study fig6 fig7
+//! fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19.
+
+use vom_bench::experiments::{self, ALL_IDS};
+use vom_bench::ExpConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR]\n\
+         experiments: {}",
+        ALL_IDS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut cfg = ExpConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                cfg.out_dir = args.get(i).map(Into::into).unwrap_or_else(|| usage());
+            }
+            "--quick" => cfg.quick = true,
+            flag if flag.starts_with("--") => usage(),
+            id => targets.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    let ids: Vec<String> = if targets.iter().any(|t| t == "all") {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        targets
+    };
+    println!(
+        "# vom repro — scale {}, seed {}, quick: {}\n",
+        cfg.scale, cfg.seed, cfg.quick
+    );
+    for id in ids {
+        let (ok, elapsed) = vom_bench::timed(|| experiments::run(&id, &cfg));
+        if !ok {
+            eprintln!("unknown experiment '{id}'");
+            usage();
+        }
+        println!("[{id} done in {:.1}s]\n", elapsed.as_secs_f64());
+    }
+}

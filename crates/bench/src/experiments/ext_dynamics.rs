@@ -1,0 +1,113 @@
+//! Extension experiment `ext-dynamics`: the same seeding problem under
+//! alternative opinion-dynamics models — the paper's §IX "more opinion
+//! diffusion models" future-work direction.
+//!
+//! Two questions, on a DBLP-like replica:
+//!
+//! 1. *Per-model seeding*: for each model (FJ, voter, majority rule,
+//!    Sznajd, Deffuant, Hegselmann–Krause), greedily pick `k` seeds for
+//!    the target by simulating that model, and report the expected
+//!    cumulative/plurality lift.
+//! 2. *Seed portability*: evaluate the FJ-selected seeds under every
+//!    other model. If FJ seeds transfer well, the cheap FJ machinery
+//!    (RW/RS) remains useful even when the true dynamics differ.
+
+use crate::{secs, ExpConfig, Table};
+use std::sync::Arc;
+use vom_datasets::{dblp_like, ReplicaParams};
+use vom_diffusion::OpinionMatrix;
+use vom_dynamics::{
+    expected_opinions, DeffuantModel, DynamicsModel, DynamicsSeeder, FjDynamics, HkModel,
+    MajorityRule, QVoterModel, SznajdModel, VoterModel,
+};
+use vom_voting::ScoringFunction;
+
+/// Runs the dynamics-model comparison.
+pub fn run(cfg: &ExpConfig) {
+    // Greedy-by-simulation costs O(k·n·runs) realizations per model;
+    // keep the replica small so the comparison finishes in minutes even
+    // single-core (the Sznajd sweep is the expensive one).
+    let params = ReplicaParams {
+        scale: cfg.scale.min(if cfg.quick { 0.001 } else { 0.002 }),
+        seed: cfg.seed,
+        mu: 10.0,
+    };
+    let ds = dblp_like(&params);
+    let inst = Arc::new(ds.instance);
+    let q = ds.default_target;
+    let n = inst.num_nodes();
+    let t = if cfg.quick { 5 } else { 10 };
+    let k = if cfg.quick { 3 } else { 4 };
+    let runs = if cfg.quick { 12 } else { 24 };
+
+    // Rebuild the shared graph + initial opinion matrix the models need.
+    let graph = inst.graph_of(q).clone();
+    let rows: Vec<Vec<f64>> = (0..inst.num_candidates())
+        .map(|c| inst.candidate(c).initial.clone())
+        .collect();
+    let initial = OpinionMatrix::from_rows(rows).expect("replica opinions are valid");
+
+    let models: Vec<Box<dyn DynamicsModel>> = vec![
+        Box::new(FjDynamics::new(inst.clone())),
+        Box::new(VoterModel::new(graph.clone(), initial.clone()).expect("valid")),
+        Box::new(QVoterModel::new(graph.clone(), initial.clone(), 2).expect("valid")),
+        Box::new(MajorityRule::new(graph.clone(), initial.clone()).expect("valid")),
+        Box::new(SznajdModel::new(graph.clone(), initial.clone()).expect("valid")),
+        Box::new(DeffuantModel::new(graph.clone(), initial.clone(), 0.4, 0.3).expect("valid")),
+        Box::new(HkModel::new(graph, initial, 0.3).expect("valid")),
+    ];
+
+    let score = ScoringFunction::Plurality;
+    let mut table = Table::new(
+        "ext-dynamics",
+        &format!(
+            "plurality under alternative dynamics, n={n}, k={k}, t={t} (extension of paper SIX)"
+        ),
+        &[
+            "model",
+            "plurality(no seeds)",
+            "plurality(own seeds)",
+            "plurality(FJ seeds)",
+            "portability %",
+            "time_s",
+        ],
+    );
+
+    // FJ reference seeds, reused for the portability column.
+    let fj = FjDynamics::new(inst.clone());
+    let fj_seeder = DynamicsSeeder::new(&fj, t, q, 1, cfg.seed);
+    let fj_seeds = fj_seeder.greedy(k, &score);
+
+    for model in &models {
+        let seeder = DynamicsSeeder::new(model.as_ref(), t, q, runs, cfg.seed);
+        let (own_seeds, elapsed) = crate::timed(|| seeder.greedy(k, &score));
+        let before = score.score(
+            &expected_opinions(model.as_ref(), t, q, &[], runs, cfg.seed),
+            q,
+        );
+        let own = score.score(
+            &expected_opinions(model.as_ref(), t, q, &own_seeds, runs, cfg.seed),
+            q,
+        );
+        let ported = score.score(
+            &expected_opinions(model.as_ref(), t, q, &fj_seeds, runs, cfg.seed),
+            q,
+        );
+        let lift_own = own - before;
+        let lift_ported = ported - before;
+        let portability = if lift_own > 0.0 {
+            100.0 * lift_ported / lift_own
+        } else {
+            100.0
+        };
+        table.row(vec![
+            model.name().to_string(),
+            format!("{before:.1}"),
+            format!("{own:.1}"),
+            format!("{ported:.1}"),
+            format!("{portability:.0}"),
+            secs(elapsed),
+        ]);
+    }
+    table.emit(&cfg.out_dir);
+}

@@ -1,0 +1,91 @@
+//! Extension experiment `ext-rules`: seed selection under the extended
+//! voting rules (Borda, veto, maximin, Bucklin, Copeland⁰·⁵) — the
+//! paper's §IX "more voting scores" future-work direction.
+//!
+//! For each rule the exact generic greedy (`vom_core::generic_greedy`)
+//! picks `k` seeds on the Yelp-like replica (10 candidates, where rank
+//! positions beyond the top matter) and we report the target's score and
+//! winner before/after seeding, plus the seed overlap with the paper's
+//! plurality selection — showing how much the *choice of rule* changes
+//! who you should seed.
+
+use crate::{secs, ExpConfig, Table};
+use vom_core::{evaluate_rule, generic_greedy};
+use vom_datasets::{yelp_like, ReplicaParams};
+use vom_voting::{ext_winner, ExtendedRule, OpinionScore, ScoringFunction};
+
+/// Runs the extended-rules comparison.
+pub fn run(cfg: &ExpConfig) {
+    // The generic greedy is exact (O(k·n·t·m) per rule), so run it on a
+    // reduced replica; the rule comparison is about *who gets seeded*,
+    // not scale.
+    let params = ReplicaParams {
+        scale: cfg.scale.min(if cfg.quick { 0.0003 } else { 0.0008 }),
+        seed: cfg.seed,
+        mu: 10.0,
+    };
+    let ds = yelp_like(&params);
+    let inst = &ds.instance;
+    let q = ds.default_target;
+    let t = cfg.default_t();
+    let k = if cfg.quick { 3 } else { 8 };
+
+    let mut table = Table::new(
+        "ext-rules",
+        "extended voting rules: greedy seeds, score before/after, winner (extension of paper SIX)",
+        &[
+            "rule",
+            "score(no seeds)",
+            "score(greedy k)",
+            "target wins?",
+            "overlap w/ plurality seeds",
+            "time_s",
+        ],
+    );
+
+    // Reference: the paper's plurality greedy on the same exact path.
+    let (plu_seeds, _) = crate::timed(|| {
+        generic_greedy(inst, q, k, t, &ScoringFunction::Plurality).expect("valid problem")
+    });
+
+    let mut rules: Vec<(String, Box<dyn OpinionScore>)> = vec![(
+        "plurality (paper)".to_string(),
+        Box::new(ScoringFunction::Plurality),
+    )];
+    for rule in ExtendedRule::ALL {
+        rules.push((rule.name().to_string(), Box::new(rule)));
+    }
+
+    for (name, rule) in &rules {
+        let (seeds, elapsed) = crate::timed(|| {
+            generic_greedy(inst, q, k, t, rule.as_ref()).expect("valid problem")
+        });
+        let before = evaluate_rule(inst, q, t, &[], rule.as_ref());
+        let after = evaluate_rule(inst, q, t, &seeds, rule.as_ref());
+        let b_after = inst.opinions_at(t, q, &seeds);
+        // Winner under the same rule family after seeding.
+        let winner = match name.as_str() {
+            "plurality (paper)" => {
+                vom_voting::tally(&b_after, &ScoringFunction::Plurality).winner
+            }
+            _ => {
+                let ext = ExtendedRule::ALL
+                    .iter()
+                    .find(|r| r.name() == name)
+                    .copied()
+                    .expect("known rule");
+                ext_winner(&b_after, ext)
+            }
+        };
+        let overlap = seeds.iter().filter(|s| plu_seeds.contains(s)).count();
+        table.row(vec![
+            name.clone(),
+            format!("{before:.1}"),
+            format!("{after:.1}"),
+            if winner == q { "yes".into() } else { format!("no (c{winner})") },
+            format!("{overlap}/{k}"),
+            secs(elapsed),
+        ]);
+    }
+    table.emit(&cfg.out_dir);
+}

@@ -1,0 +1,81 @@
+//! One module per paper artifact. See DESIGN.md §3 for the experiment
+//! index (artifact → workload → module → command).
+
+pub mod case_study;
+pub mod ext_confidence;
+pub mod ext_dynamics;
+pub mod ext_rules;
+pub mod fig11;
+pub mod fig12;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig2;
+pub mod params;
+pub mod sweep_k;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table6;
+pub mod theta;
+pub mod variants;
+
+use crate::ExpConfig;
+
+/// Every experiment id, in presentation order.
+pub const ALL_IDS: [&str; 23] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "case-study",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "table6",
+    "ext-rules",
+    "ext-dynamics",
+    "ext-confidence",
+];
+
+/// Dispatches an experiment id. Returns false for unknown ids.
+pub fn run(id: &str, cfg: &ExpConfig) -> bool {
+    match id {
+        "table1" => table1::run(cfg),
+        "table2" => table2::run(cfg),
+        "table3" => table3::run(cfg),
+        "fig2" => fig2::run(cfg),
+        "case-study" | "table4" | "fig4" => case_study::run(cfg),
+        "table6" => table6::run(cfg),
+        "fig6" => sweep_k::run_plurality(cfg),
+        "fig7" => sweep_k::run_copeland(cfg),
+        "fig8" => sweep_k::run_cumulative(cfg),
+        "fig9" => variants::run_overlap(cfg),
+        "fig10" => variants::run_positions(cfg),
+        "fig11" => fig11::run(cfg),
+        "fig12" => fig12::run(cfg),
+        "fig13" => theta::run_plurality(cfg),
+        "fig14" => theta::run_copeland(cfg),
+        "fig15" => params::run_epsilon(cfg),
+        "fig16" => params::run_rho(cfg),
+        "fig17" => fig17::run(cfg),
+        "fig18" => fig18::run(cfg),
+        "fig19" => fig19::run(cfg),
+        "ext-rules" => ext_rules::run(cfg),
+        "ext-dynamics" => ext_dynamics::run(cfg),
+        "ext-confidence" => ext_confidence::run(cfg),
+        _ => return false,
+    }
+    true
+}

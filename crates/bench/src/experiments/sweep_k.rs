@@ -1,0 +1,83 @@
+//! Figures 6–8: voting score and seed-finding time vs seed budget `k`,
+//! for all nine methods on three dataset replicas.
+
+use crate::{secs, AnyMethod, ExpConfig, Table};
+use vom_core::Problem;
+use vom_datasets::{twitter_election_like, twitter_mask_like, yelp_like, Dataset, ReplicaParams};
+use vom_voting::ScoringFunction;
+
+fn datasets(cfg: &ExpConfig) -> Vec<Dataset> {
+    let params = ReplicaParams {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        mu: 10.0,
+    };
+    vec![
+        yelp_like(&params),
+        twitter_election_like(&params),
+        twitter_mask_like(&params),
+    ]
+}
+
+/// Methods for the sweep: exact DM joins only when the graph is small
+/// enough for its `O(k·t·m·n)` rank-score greedy (the paper ran DM on a
+/// 512 GB server for days; the shape comparison survives without it on
+/// the larger replicas).
+fn sweep_methods(n: usize, score: &ScoringFunction) -> Vec<AnyMethod> {
+    let dm_ok = match score {
+        ScoringFunction::Cumulative => n <= 5_000,
+        _ => n <= 1_500,
+    };
+    if dm_ok {
+        AnyMethod::all().to_vec()
+    } else {
+        AnyMethod::without_exact().to_vec()
+    }
+}
+
+fn run_sweep(cfg: &ExpConfig, id: &str, score: ScoringFunction) {
+    let t = cfg.default_t();
+    let mut table = Table::new(
+        id,
+        &format!("{score} score and seed-finding time vs k (paper Figures 6-8)"),
+        &["dataset", "k", "method", "score", "time_s", "memory_mb"],
+    );
+    for ds in datasets(cfg) {
+        let n = ds.instance.num_nodes();
+        let methods = sweep_methods(n, &score);
+        for &k in &cfg.k_sweep() {
+            let k = k.min(n / 2);
+            let Ok(problem) = Problem::new(&ds.instance, ds.default_target, k, t, score.clone())
+            else {
+                continue;
+            };
+            for &m in &methods {
+                let out = crate::evaluate_baseline(&problem, m, cfg.seed);
+                table.row(vec![
+                    ds.name.to_string(),
+                    k.to_string(),
+                    m.name().to_string(),
+                    format!("{:.2}", out.score),
+                    secs(out.elapsed),
+                    format!("{:.1}", out.memory as f64 / 1e6),
+                ]);
+            }
+        }
+    }
+    table.emit(&cfg.out_dir);
+}
+
+/// Figure 6: plurality score vs k.
+pub fn run_plurality(cfg: &ExpConfig) {
+    run_sweep(cfg, "fig6", ScoringFunction::Plurality);
+}
+
+/// Figure 7: Copeland score vs k.
+pub fn run_copeland(cfg: &ExpConfig) {
+    run_sweep(cfg, "fig7", ScoringFunction::Copeland);
+}
+
+/// Figure 8: cumulative score vs k.
+pub fn run_cumulative(cfg: &ExpConfig) {
+    run_sweep(cfg, "fig8", ScoringFunction::Cumulative);
+}

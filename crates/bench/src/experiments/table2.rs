@@ -1,0 +1,101 @@
+//! Table II: empirical validation of the score properties
+//! (non-negativity, monotonicity, (non-)submodularity).
+
+use crate::{ExpConfig, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use vom_diffusion::{Instance, OpinionMatrix};
+use vom_graph::builder::graph_from_edges;
+use vom_graph::{generators, Node};
+use vom_voting::ScoringFunction;
+
+fn random_instance(n: usize, r: usize, rng: &mut StdRng) -> Instance {
+    let m = n * 3;
+    let edges = generators::erdos_renyi(n, m, rng);
+    let g = Arc::new(graph_from_edges(n, &edges).unwrap());
+    let rows: Vec<Vec<f64>> = (0..r)
+        .map(|_| (0..n).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let b = OpinionMatrix::from_rows(rows).unwrap();
+    let d: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    Instance::shared(g, b, d).unwrap()
+}
+
+fn score_of(inst: &Instance, score: &ScoringFunction, t: usize, seeds: &[Node]) -> f64 {
+    let b = inst.opinions_at(t, 0, seeds);
+    score.score(&b, 0)
+}
+
+/// Checks each property over random instances and random seed-set chains
+/// `X ⊂ X∪{s}` / submodularity quadruples, reporting violation counts.
+pub fn run(cfg: &ExpConfig) {
+    let trials = if cfg.quick { 100 } else { 500 };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let scores: Vec<(ScoringFunction, bool)> = vec![
+        (ScoringFunction::Cumulative, true),
+        (ScoringFunction::Plurality, false),
+        (ScoringFunction::PApproval { p: 2 }, false),
+        (
+            ScoringFunction::PositionalPApproval {
+                p: 2,
+                weights: vec![1.0, 0.5, 0.25],
+            },
+            false,
+        ),
+        (ScoringFunction::Copeland, false),
+    ];
+    let mut table = Table::new(
+        "table2",
+        "empirical score properties over random instances (paper Table II)",
+        &[
+            "score",
+            "negative values",
+            "monotonicity violations",
+            "submodularity violations",
+            "submodular (expected)",
+        ],
+    );
+    for (score, expect_submodular) in &scores {
+        let mut negatives = 0usize;
+        let mut mono_violations = 0usize;
+        let mut submod_violations = 0usize;
+        for trial in 0..trials {
+            let n = 12;
+            let mut inst_rng = StdRng::seed_from_u64(cfg.seed ^ (trial as u64) << 8);
+            let inst = random_instance(n, 3, &mut inst_rng);
+            let t = 1 + (trial % 4);
+            // Random chain X ⊂ Y = X∪{extra}, s ∉ Y.
+            let mut nodes: Vec<Node> = (0..n as Node).collect();
+            for i in (1..nodes.len()).rev() {
+                nodes.swap(i, rng.gen_range(0..=i));
+            }
+            let x = &nodes[0..2];
+            let y = &nodes[0..4];
+            let s = nodes[5];
+            let xs: Vec<Node> = x.iter().copied().chain([s]).collect();
+            let ys: Vec<Node> = y.iter().copied().chain([s]).collect();
+            let f_x = score_of(&inst, score, t, x);
+            let f_y = score_of(&inst, score, t, y);
+            let f_xs = score_of(&inst, score, t, &xs);
+            let f_ys = score_of(&inst, score, t, &ys);
+            if f_x < 0.0 || f_y < 0.0 {
+                negatives += 1;
+            }
+            if f_xs < f_x - 1e-9 || f_ys < f_y - 1e-9 {
+                mono_violations += 1;
+            }
+            if (f_xs - f_x) < (f_ys - f_y) - 1e-9 {
+                submod_violations += 1;
+            }
+        }
+        table.row(vec![
+            score.to_string(),
+            negatives.to_string(),
+            mono_violations.to_string(),
+            submod_violations.to_string(),
+            if *expect_submodular { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    table.emit(&cfg.out_dir);
+}

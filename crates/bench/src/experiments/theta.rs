@@ -1,0 +1,79 @@
+//! Figures 13–14: score vs the sketch count θ, varying `k` and `t` —
+//! the §VI-E heuristic calibration.
+
+use crate::{ExpConfig, Table};
+use vom_core::rs::RsConfig;
+use vom_core::{select_seeds_plain, Method, Problem};
+use vom_datasets::{twitter_mask_like, yelp_like, Dataset, ReplicaParams};
+use vom_voting::ScoringFunction;
+
+fn theta_sweep(n: usize, quick: bool) -> Vec<usize> {
+    let mut thetas = Vec::new();
+    let mut theta = 256usize;
+    let cap = if quick { n } else { 4 * n };
+    while theta <= cap {
+        thetas.push(theta);
+        theta *= 4;
+    }
+    thetas.push(cap.max(256));
+    thetas.dedup();
+    thetas
+}
+
+fn run_theta(cfg: &ExpConfig, id: &str, ds: Dataset, score: ScoringFunction) {
+    let n = ds.instance.num_nodes();
+    let mut table = Table::new(
+        id,
+        &format!("{score} score vs sketch count θ (paper Figures 13-14)"),
+        &["variant", "theta", "score"],
+    );
+    let base_k = cfg.default_k().min(n / 10);
+    let variants: Vec<(String, usize, usize)> = vec![
+        (format!("k={base_k},t=20"), base_k, 20),
+        (format!("k={},t=20", base_k / 2), base_k / 2, 20),
+        (format!("k={base_k},t=10"), base_k, 10),
+    ];
+    for (label, k, t) in variants {
+        let problem = Problem::new(&ds.instance, ds.default_target, k.max(1), t, score.clone())
+            .expect("valid problem");
+        for &theta in &theta_sweep(n, cfg.quick) {
+            let method = Method::Rs(RsConfig {
+                theta_override: Some(theta),
+                seed: cfg.seed,
+                ..RsConfig::default()
+            });
+            let res = select_seeds_plain(&problem, &method).expect("selection succeeds");
+            table.row(vec![
+                label.clone(),
+                theta.to_string(),
+                format!("{:.2}", res.exact_score),
+            ]);
+        }
+    }
+    table.emit(&cfg.out_dir);
+}
+
+/// Figure 13: plurality score vs θ on Twitter-Mask.
+pub fn run_plurality(cfg: &ExpConfig) {
+    let params = ReplicaParams {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        mu: 10.0,
+    };
+    run_theta(
+        cfg,
+        "fig13",
+        twitter_mask_like(&params),
+        ScoringFunction::Plurality,
+    );
+}
+
+/// Figure 14: Copeland score vs θ on Yelp.
+pub fn run_copeland(cfg: &ExpConfig) {
+    let params = ReplicaParams {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        mu: 10.0,
+    };
+    run_theta(cfg, "fig14", yelp_like(&params), ScoringFunction::Copeland);
+}

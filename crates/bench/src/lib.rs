@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+//! # vom-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§VIII + appendices), regenerating the same rows/series on
+//! the synthetic dataset replicas. Entry point: the `repro` binary
+//! (`cargo run -p vom-bench --release --bin repro -- <experiment|all>`).
+//!
+//! Absolute numbers differ from the paper (different hardware, synthetic
+//! data at reduced scale); the *shape* — which method wins, monotonicity
+//! in `k`/`t`, parameter sensitivities — is asserted by the workspace
+//! integration tests in `tests/experiments_shape.rs`.
+
+pub mod experiments;
+pub mod methods;
+pub mod table;
+
+pub use methods::{evaluate_baseline, AnyMethod};
+pub use table::Table;
+
+use std::time::{Duration, Instant};
+
+/// Global experiment configuration (set from `repro` CLI flags).
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Dataset scale: fraction of the paper's node counts.
+    pub scale: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Quick mode: smaller sweeps for smoke testing.
+    pub quick: bool,
+    /// Directory for JSON result rows (`results/` by default).
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 0.003,
+            seed: 2023,
+            quick: false,
+            out_dir: std::path::PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The seed budgets swept in Figures 6–8, scaled down from the
+    /// paper's 100..2000.
+    pub fn k_sweep(&self) -> Vec<usize> {
+        if self.quick {
+            vec![5, 10, 20]
+        } else {
+            vec![10, 20, 50, 100]
+        }
+    }
+
+    /// The default seed budget (paper: 100).
+    pub fn default_k(&self) -> usize {
+        if self.quick {
+            10
+        } else {
+            100
+        }
+    }
+
+    /// The default time horizon (paper: 20).
+    pub fn default_t(&self) -> usize {
+        20
+    }
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_sweeps_shrink_in_quick_mode() {
+        let full = ExpConfig::default();
+        let quick = ExpConfig {
+            quick: true,
+            ..ExpConfig::default()
+        };
+        assert!(quick.k_sweep().len() < full.k_sweep().len());
+        assert!(quick.default_k() < full.default_k());
+    }
+
+    #[test]
+    fn timed_reports_elapsed() {
+        let (v, d) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

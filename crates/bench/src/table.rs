@@ -1,0 +1,103 @@
+//! Minimal table rendering + JSON row output for the experiments.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// A printable result table that can also be persisted as JSON rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table/figure id, e.g. "fig6".
+    pub id: String,
+    /// Human caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// String-rendered rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `<out_dir>/<id>.json`.
+    pub fn emit(&self, out_dir: &Path) {
+        println!("{}", self.render());
+        if std::fs::create_dir_all(out_dir).is_ok() {
+            let path = out_dir.join(format!("{}.json", self.id));
+            if let Ok(json) = serde_json::to_string_pretty(self) {
+                let _ = std::fs::write(path, json);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("t", "demo", &["method", "score"]);
+        t.row(vec!["RS".into(), "123.4".into()]);
+        t.row(vec!["GED-T".into(), "7".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("GED-T"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn emit_writes_json() {
+        let dir = std::env::temp_dir().join("vom_bench_table_test");
+        let mut t = Table::new("test_table", "demo", &["a"]);
+        t.row(vec!["1".into()]);
+        t.emit(&dir);
+        let json = std::fs::read_to_string(dir.join("test_table.json")).unwrap();
+        assert!(json.contains("demo"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,234 @@
+//! **DM** — exact greedy seed selection by direct matrix–vector
+//! iteration (Algorithm 1 with exact opinions, §III-C).
+
+use crate::celf::celf_greedy;
+use crate::greedy::score_with_target_row;
+use crate::problem::Problem;
+use rayon::prelude::*;
+use vom_diffusion::DiffusionBuffer;
+use vom_graph::Node;
+use vom_voting::ScoringFunction;
+
+/// Exact greedy selection.
+///
+/// * Cumulative score: CELF lazy greedy (valid by Theorem 3's
+///   submodularity), each evaluation one `O(t·m)` FJ run.
+/// * Plurality variants / Copeland: plain greedy — every iteration
+///   evaluates all candidate seeds exactly (`O(k·t·m·n)` total, the
+///   paper's stated DM complexity), parallelized over candidates.
+///
+/// Returns exactly `min(k, n - |fixed|)` seeds, in selection order.
+pub fn dm_greedy(problem: &Problem<'_>) -> Vec<Node> {
+    let q = problem.target;
+    let cand = problem.instance.candidate(q);
+    let engine = cand.engine();
+    let n = problem.num_nodes();
+    let t = problem.horizon;
+
+    // The target's pre-committed seeds participate in every evaluation.
+    let fixed = cand.fixed_seeds.clone();
+    let mut seeds = fixed.clone();
+    let mut is_seed = vec![false; n];
+    for &s in &seeds {
+        is_seed[s as usize] = true;
+    }
+
+    let selected = match &problem.score {
+        ScoringFunction::Cumulative => {
+            // CELF closures share the growing seed list, the iteration
+            // buffer, and the cached current score.
+            let seeds_cell = std::cell::RefCell::new({
+                let mut buf = DiffusionBuffer::new(n);
+                let current: f64 =
+                    engine.opinions_at_with(t, &seeds, &mut buf).iter().sum();
+                (seeds, buf, current)
+            });
+            celf_greedy(
+                n,
+                problem.k,
+                |v| {
+                    if is_seed[v as usize] {
+                        return f64::NEG_INFINITY;
+                    }
+                    let (ref mut s, ref mut b, cur) = *seeds_cell.borrow_mut();
+                    s.push(v);
+                    let total: f64 = engine.opinions_at_with(t, s, b).iter().sum();
+                    s.pop();
+                    total - cur
+                },
+                |v| {
+                    let (ref mut s, ref mut b, ref mut cur) = *seeds_cell.borrow_mut();
+                    s.push(v);
+                    *cur = engine.opinions_at_with(t, s, b).iter().sum();
+                },
+            )
+        }
+        score => {
+            let others = problem.non_target_opinions();
+            let mut picked = Vec::with_capacity(problem.k);
+            for _ in 0..problem.k {
+                let evals: Vec<(Node, f64, f64)> = (0..n as Node)
+                    .into_par_iter()
+                    .filter(|&v| !is_seed[v as usize])
+                    .map_init(
+                        || (DiffusionBuffer::new(n), seeds.clone()),
+                        |(buf, trial), v| {
+                            trial.push(v);
+                            let row = engine.opinions_at_with(t, trial, buf);
+                            let s = score_with_target_row(score, &others, q, row);
+                            // Secondary tie-break criterion: the discrete
+                            // rank scores are flat almost everywhere.
+                            let cum: f64 = row.iter().sum();
+                            trial.pop();
+                            (v, s, cum)
+                        },
+                    )
+                    .collect();
+                let Some(&(best, _, _)) = evals.iter().max_by(|a, b| {
+                    (a.1, a.2)
+                        .partial_cmp(&(b.1, b.2))
+                        .expect("scores are finite")
+                        .then_with(|| b.0.cmp(&a.0))
+                }) else {
+                    break;
+                };
+                is_seed[best as usize] = true;
+                seeds.push(best);
+                picked.push(best);
+            }
+            picked
+        }
+    };
+    selected
+}
+
+/// Exact CELF greedy maximization of the restricted cumulative sum
+/// `Σ_{v ∈ mask} b_qv^{(t)}[S]` — DM's engine for the sandwich lower
+/// bound `LB(S)` (Definition 3). Submodular by Theorem 3 (a sum of
+/// submodular per-user opinions), so CELF applies.
+pub fn dm_greedy_masked_cumulative(problem: &Problem<'_>, mask: &[bool]) -> Vec<Node> {
+    let cand = problem.instance.candidate(problem.target);
+    let engine = cand.engine();
+    let n = problem.num_nodes();
+    let t = problem.horizon;
+    let masked_sum = |row: &[f64]| -> f64 {
+        row.iter()
+            .zip(mask)
+            .filter(|(_, &m)| m)
+            .map(|(b, _)| b)
+            .sum()
+    };
+    let mut is_seed = vec![false; n];
+    for &s in &cand.fixed_seeds {
+        is_seed[s as usize] = true;
+    }
+    let state = std::cell::RefCell::new({
+        let mut buf = DiffusionBuffer::new(n);
+        let seeds = cand.fixed_seeds.clone();
+        let cur = masked_sum(engine.opinions_at_with(t, &seeds, &mut buf));
+        (seeds, buf, cur)
+    });
+    celf_greedy(
+        n,
+        problem.k,
+        |v| {
+            if is_seed[v as usize] {
+                return f64::NEG_INFINITY;
+            }
+            let (ref mut s, ref mut b, cur) = *state.borrow_mut();
+            s.push(v);
+            let total = masked_sum(engine.opinions_at_with(t, s, b));
+            s.pop();
+            total - cur
+        },
+        |v| {
+            let (ref mut s, ref mut b, ref mut cur) = *state.borrow_mut();
+            s.push(v);
+            *cur = masked_sum(engine.opinions_at_with(t, s, b));
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vom_diffusion::{Instance, OpinionMatrix};
+    use vom_graph::builder::graph_from_edges;
+
+    fn instance() -> Instance {
+        let g = Arc::new(
+            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
+        );
+        // The paper's stated competitor opinions at t=1
+        // (0.35/0.75/0.78/0.90) are not exactly reachable from any valid
+        // B₂⁰; the row below yields 0.35/0.75/0.775/0.90, preserving
+        // every Table I comparison.
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.90],
+            vec![0.35, 0.75, 1.00, 0.80],
+        ])
+        .unwrap();
+        Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn dm_cumulative_matches_table1_best() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Cumulative).unwrap();
+        let seeds = dm_greedy(&p);
+        assert_eq!(seeds, vec![0], "node 0 gives cumulative 3.30");
+        // Second seed: node 2 (paper user 3) has marginal gain 0.45
+        // (score 3.75), beating node 1's 0.25 ({1,2} in Table I: 3.55 —
+        // the table does not enumerate all pairs).
+        let p2 = Problem::new(&inst, 0, 2, 1, ScoringFunction::Cumulative).unwrap();
+        let seeds2 = dm_greedy(&p2);
+        assert_eq!(seeds2, vec![0, 2]);
+        assert!((p2.exact_score(&seeds2) - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dm_plurality_matches_table1_best() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Plurality).unwrap();
+        let seeds = dm_greedy(&p);
+        assert_eq!(seeds, vec![2], "node 2 lifts plurality to 4");
+        assert_eq!(p.exact_score(&seeds), 4.0);
+    }
+
+    #[test]
+    fn dm_copeland_finds_condorcet_seed() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Copeland).unwrap();
+        let seeds = dm_greedy(&p);
+        assert_eq!(p.exact_score(&seeds), 1.0);
+    }
+
+    #[test]
+    fn dm_respects_fixed_seeds() {
+        let mut inst = instance();
+        inst.candidate_mut(0).fixed_seeds = vec![0];
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Cumulative).unwrap();
+        let seeds = dm_greedy(&p);
+        assert_eq!(seeds.len(), 1);
+        assert_ne!(seeds[0], 0, "fixed seeds are not re-selected");
+    }
+
+    #[test]
+    fn dm_greedy_is_optimal_for_single_seed_by_exhaustion() {
+        let inst = instance();
+        for score in [
+            ScoringFunction::Cumulative,
+            ScoringFunction::Plurality,
+            ScoringFunction::PApproval { p: 2 },
+            ScoringFunction::Copeland,
+        ] {
+            let p = Problem::new(&inst, 0, 1, 1, score.clone()).unwrap();
+            let greedy_score = p.exact_score(&dm_greedy(&p));
+            let best = (0..4)
+                .map(|v| p.exact_score(&[v]))
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(greedy_score, best, "{score}");
+        }
+    }
+}

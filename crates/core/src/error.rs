@@ -1,0 +1,75 @@
+//! Error type for seed selection.
+
+use std::fmt;
+
+/// Errors produced while configuring or running seed selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The seed budget `k` exceeds the number of nodes.
+    BudgetTooLarge {
+        /// Requested budget.
+        k: usize,
+        /// Number of nodes.
+        n: usize,
+    },
+    /// The target candidate index is out of range.
+    BadTarget {
+        /// Requested target.
+        target: usize,
+        /// Number of candidates.
+        r: usize,
+    },
+    /// A score configuration error (propagated from `vom-voting`).
+    Score(String),
+    /// A diffusion input error (propagated from `vom-diffusion`).
+    Diffusion(String),
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BudgetTooLarge { k, n } => {
+                write!(f, "seed budget {k} exceeds node count {n}")
+            }
+            CoreError::BadTarget { target, r } => {
+                write!(f, "target candidate {target} out of range for {r} candidates")
+            }
+            CoreError::Score(msg) => write!(f, "score error: {msg}"),
+            CoreError::Diffusion(msg) => write!(f, "diffusion error: {msg}"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<vom_voting::ScoreError> for CoreError {
+    fn from(e: vom_voting::ScoreError) -> Self {
+        CoreError::Score(e.to_string())
+    }
+}
+
+impl From<vom_diffusion::DiffusionError> for CoreError {
+    fn from(e: vom_diffusion::DiffusionError) -> Self {
+        CoreError::Diffusion(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CoreError::BudgetTooLarge { k: 10, n: 5 }
+            .to_string()
+            .contains("10"));
+        assert!(CoreError::BadTarget { target: 3, r: 2 }
+            .to_string()
+            .contains("3"));
+        let from_score: CoreError = vom_voting::ScoreError::InvalidP { p: 0, r: 2 }.into();
+        assert!(from_score.to_string().contains("score error"));
+    }
+}

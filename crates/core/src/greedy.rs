@@ -1,0 +1,412 @@
+//! The estimate-driven greedy loop (Algorithms 4 and 5, lines 4–8),
+//! shared by the RW and RS selectors, plus exact scoring helpers shared
+//! with DM.
+
+use crate::estimate::OpinionEstimate;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node};
+use vom_voting::rank::beta_with_target;
+use vom_voting::ScoringFunction;
+
+/// Evaluates `F(B, c_q)` where the target's opinion row is `target_row`
+/// and the other candidates' rows come from `others` (whose own target
+/// row is ignored). Used by DM's greedy (which recomputes the target row
+/// per candidate seed) and by the sandwich evaluation.
+pub fn score_with_target_row(
+    score: &ScoringFunction,
+    others: &OpinionMatrix,
+    q: Candidate,
+    target_row: &[f64],
+) -> f64 {
+    match score {
+        ScoringFunction::Cumulative => target_row.iter().sum(),
+        ScoringFunction::Plurality
+        | ScoringFunction::PApproval { .. }
+        | ScoringFunction::PositionalPApproval { .. } => {
+            let p = score.approval_depth().expect("plurality variant");
+            let mut total = 0.0;
+            for (v, &b) in target_row.iter().enumerate() {
+                let rank = beta_with_target(others, q, v as Node, b);
+                if rank <= p {
+                    total += score.position_weight(rank);
+                }
+            }
+            total
+        }
+        ScoringFunction::Copeland => {
+            let r = others.num_candidates();
+            let mut wins = 0usize;
+            for x in 0..r {
+                if x == q {
+                    continue;
+                }
+                let mut net = 0i64;
+                for (v, &b) in target_row.iter().enumerate() {
+                    let bx = others.get(x, v as Node);
+                    if b > bx {
+                        net += 1;
+                    } else if b < bx {
+                        net -= 1;
+                    }
+                }
+                if net > 0 {
+                    wins += 1;
+                }
+            }
+            wins as f64
+        }
+    }
+}
+
+/// One user's positional contribution `ω[β]·1[β ≤ p]` given a target
+/// opinion value.
+#[inline]
+fn positional_contribution(
+    score: &ScoringFunction,
+    others: &OpinionMatrix,
+    q: Candidate,
+    v: Node,
+    value: f64,
+    p: usize,
+) -> f64 {
+    let rank = beta_with_target(others, q, v, value);
+    if rank <= p {
+        score.position_weight(rank)
+    } else {
+        0.0
+    }
+}
+
+/// Greedy seed selection on an incremental opinion estimate, for any of
+/// the five scores. `others` (exact non-target opinions at the horizon)
+/// is required for the competitive scores and ignored for cumulative.
+///
+/// Selects until `k` seeds are committed (estimated marginal gains can be
+/// zero — the paper's Problem 1 asks for exactly `k` seeds, and real
+/// gains may still be positive when estimates saturate; ties and zero
+/// gains resolve toward the smallest node id for determinism).
+pub fn greedy_on_estimate<E: OpinionEstimate>(
+    est: &mut E,
+    k: usize,
+    score: &ScoringFunction,
+    others: Option<&OpinionMatrix>,
+    q: Candidate,
+) -> Vec<Node> {
+    let mut selected = Vec::with_capacity(k);
+    for _ in 0..k {
+        let best = match score {
+            ScoringFunction::Cumulative => argmax_non_seed(est, &est.cumulative_gains(), None),
+            ScoringFunction::Plurality
+            | ScoringFunction::PApproval { .. }
+            | ScoringFunction::PositionalPApproval { .. } => {
+                let gains =
+                    rank_gains(est, score, others.expect("competitive score needs others"), q);
+                // The discrete score is flat almost everywhere; ties are
+                // broken by the cumulative gain (still moving opinions
+                // toward the target helps later iterations and the true
+                // objective).
+                argmax_non_seed(est, &gains, Some(&est.cumulative_gains()))
+            }
+            ScoringFunction::Copeland => {
+                let (gains, margins) =
+                    copeland_gains(est, others.expect("competitive score needs others"), q);
+                // Secondary criterion: total net-margin gained across the
+                // one-on-one duels — near a majority tie the discrete win
+                // count is a coin flip on estimates, but the margin still
+                // points at the seed that moves the most users past their
+                // duel thresholds.
+                argmax_non_seed(est, &gains, Some(&margins))
+            }
+        };
+        let Some(best) = best else { break };
+        est.add_seed(best);
+        selected.push(best);
+    }
+    selected
+}
+
+/// Greedy maximization of the **restricted cumulative** estimate
+/// `Σ_{v ∈ mask} b̂_qv[S]` — the sandwich lower bound `LB(S)` of
+/// Definition 3 (the constant `ω[p]` factor does not change the argmax).
+pub fn greedy_masked_cumulative<E: OpinionEstimate>(
+    est: &mut E,
+    k: usize,
+    mask: &[bool],
+) -> Vec<Node> {
+    let mut selected = Vec::with_capacity(k);
+    for _ in 0..k {
+        let gains = est.cumulative_gains_masked(mask);
+        let Some(best) = argmax_non_seed(est, &gains, None) else {
+            break;
+        };
+        est.add_seed(best);
+        selected.push(best);
+    }
+    selected
+}
+
+/// Argmax over non-seed nodes, with an optional secondary criterion for
+/// ties; remaining ties go to the smaller id. Returns `None` only when
+/// every node is already a seed.
+fn argmax_non_seed<E: OpinionEstimate>(
+    est: &E,
+    gains: &[f64],
+    secondary: Option<&[f64]>,
+) -> Option<Node> {
+    let mut best: Option<(Node, f64, f64)> = None;
+    for (v, &g) in gains.iter().enumerate() {
+        let v = v as Node;
+        if est.is_seed(v) {
+            continue;
+        }
+        let s = secondary.map_or(0.0, |sec| sec[v as usize]);
+        let better = match best {
+            None => true,
+            Some((_, bg, bs)) => g > bg || (g == bg && s > bs),
+        };
+        if better {
+            best = Some((v, g, s));
+        }
+    }
+    best.map(|(v, _, _)| v)
+}
+
+/// Marginal gains for the plurality variants: for each candidate seed,
+/// how much the estimated positional score would change, computed exactly
+/// on the estimates from the per-(seed, user) deltas.
+fn rank_gains<E: OpinionEstimate>(
+    est: &E,
+    score: &ScoringFunction,
+    others: &OpinionMatrix,
+    q: Candidate,
+) -> Vec<f64> {
+    let p = score.approval_depth().expect("plurality variant");
+    let n = est.num_nodes();
+    // Cache the current estimate and contribution of every user.
+    let mut cur_est = vec![0.0f64; n];
+    let mut cur_contrib = vec![0.0f64; n];
+    for v in 0..n as Node {
+        if let Some(e) = est.estimate(v) {
+            let w = est.user_weight(v);
+            if w > 0.0 {
+                cur_est[v as usize] = e;
+                cur_contrib[v as usize] =
+                    w * positional_contribution(score, others, q, v, e, p);
+            }
+        }
+    }
+    let deltas = est.pair_deltas();
+    let mut gains = vec![0.0f64; n];
+    for d in deltas {
+        let v = d.user as usize;
+        let w = est.user_weight(d.user);
+        if w <= 0.0 {
+            continue;
+        }
+        let new_contrib = w
+            * positional_contribution(score, others, q, d.user, cur_est[v] + d.delta, p);
+        gains[d.seed as usize] += new_contrib - cur_contrib[v];
+    }
+    gains
+}
+
+/// Marginal gains for the Copeland score: per candidate seed, recompute
+/// the per-opponent weighted majorities with the affected users' new
+/// estimates and count the change in one-on-one wins. Also returns, per
+/// candidate seed, the total net-margin change across all duels (the
+/// tie-break criterion).
+fn copeland_gains<E: OpinionEstimate>(
+    est: &E,
+    others: &OpinionMatrix,
+    q: Candidate,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = est.num_nodes();
+    let r = others.num_candidates();
+    let opponents: Vec<Candidate> = (0..r).filter(|&x| x != q).collect();
+    // Current weighted nets and estimates.
+    let mut cur_est = vec![0.0f64; n];
+    let mut sampled = vec![false; n];
+    let mut net = vec![0.0f64; opponents.len()];
+    for v in 0..n as Node {
+        if let Some(e) = est.estimate(v) {
+            let w = est.user_weight(v);
+            if w > 0.0 {
+                cur_est[v as usize] = e;
+                sampled[v as usize] = true;
+                for (xi, &x) in opponents.iter().enumerate() {
+                    let bx = others.get(x, v);
+                    if e > bx {
+                        net[xi] += w;
+                    } else if e < bx {
+                        net[xi] -= w;
+                    }
+                }
+            }
+        }
+    }
+    let current_wins = net.iter().filter(|&&s| s > 0.0).count() as f64;
+
+    let deltas = est.pair_deltas();
+    let mut gains = vec![0.0f64; n];
+    let mut margins = vec![0.0f64; n];
+    let mut i = 0;
+    let mut net_change = vec![0.0f64; opponents.len()];
+    while i < deltas.len() {
+        let seed = deltas[i].seed;
+        net_change.iter_mut().for_each(|c| *c = 0.0);
+        let mut j = i;
+        while j < deltas.len() && deltas[j].seed == seed {
+            let d = deltas[j];
+            let v = d.user as usize;
+            if sampled[v] {
+                let w = est.user_weight(d.user);
+                let old = cur_est[v];
+                let new = old + d.delta;
+                for (xi, &x) in opponents.iter().enumerate() {
+                    let bx = others.get(x, d.user);
+                    let old_sign = sign_contribution(old, bx);
+                    let new_sign = sign_contribution(new, bx);
+                    net_change[xi] += w * (new_sign - old_sign);
+                }
+            }
+            j += 1;
+        }
+        let new_wins = net
+            .iter()
+            .zip(&net_change)
+            .filter(|(&s, &c)| s + c > 0.0)
+            .count() as f64;
+        gains[seed as usize] = new_wins - current_wins;
+        margins[seed as usize] = net_change.iter().sum();
+        i = j;
+    }
+    (gains, margins)
+}
+
+#[inline]
+fn sign_contribution(b: f64, bx: f64) -> f64 {
+    if b > bx {
+        1.0
+    } else if b < bx {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+    use vom_walks::{Lambda, OpinionEstimator, WalkGenerator};
+
+    fn running_example() -> (
+        vom_graph::SocialGraph,
+        Vec<f64>,
+        Vec<f64>,
+        OpinionMatrix,
+    ) {
+        let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let b0 = vec![0.40, 0.80, 0.60, 0.90];
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        let others = OpinionMatrix::from_rows(vec![
+            vec![0.0; 4],
+            vec![0.35, 0.75, 0.78, 0.90],
+        ])
+        .unwrap();
+        (g, b0, d, others)
+    }
+
+    #[test]
+    fn score_with_target_row_matches_full_matrix_scoring() {
+        let (_, _, _, others) = running_example();
+        let target_row = [0.40, 0.80, 0.60, 0.75];
+        let mut full = others.clone();
+        full.set_row(0, &target_row);
+        for score in [
+            ScoringFunction::Cumulative,
+            ScoringFunction::Plurality,
+            ScoringFunction::PApproval { p: 2 },
+            ScoringFunction::Copeland,
+        ] {
+            assert_eq!(
+                score_with_target_row(&score, &others, 0, &target_row),
+                score.score(&full, 0),
+                "{score}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_cumulative_picks_paper_best_single_seed() {
+        // Table I: seed {1} (our node 0) maximizes the cumulative score.
+        let (g, b0, d, _) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 1);
+        let arena = gen.generate_per_node(&Lambda::Uniform(20_000), 7);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        let seeds = greedy_on_estimate(&mut est, 1, &ScoringFunction::Cumulative, None, 0);
+        assert_eq!(seeds, vec![0]);
+    }
+
+    #[test]
+    fn greedy_plurality_picks_paper_best_single_seed() {
+        // Table I: seed {3} (our node 2) maximizes the plurality score (4).
+        let (g, b0, d, others) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 1);
+        let arena = gen.generate_per_node(&Lambda::Uniform(20_000), 11);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        let seeds = greedy_on_estimate(
+            &mut est,
+            1,
+            &ScoringFunction::Plurality,
+            Some(&others),
+            0,
+        );
+        assert_eq!(seeds, vec![2]);
+    }
+
+    #[test]
+    fn greedy_copeland_picks_a_winning_seed() {
+        // Table I: Copeland becomes 1 with seed node 2 or 3.
+        let (g, b0, d, others) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 1);
+        let arena = gen.generate_per_node(&Lambda::Uniform(20_000), 13);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        let seeds =
+            greedy_on_estimate(&mut est, 1, &ScoringFunction::Copeland, Some(&others), 0);
+        assert_eq!(seeds.len(), 1);
+        assert!(seeds[0] == 2 || seeds[0] == 3, "got {seeds:?}");
+    }
+
+    #[test]
+    fn greedy_fills_the_budget_even_with_zero_gains() {
+        let (g, _, d, _) = running_example();
+        let b0 = vec![1.0; 4]; // nothing can improve
+        let gen = WalkGenerator::new(&g, &d, 1);
+        let arena = gen.generate_per_node(&Lambda::Uniform(100), 17);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        let seeds = greedy_on_estimate(&mut est, 2, &ScoringFunction::Cumulative, None, 0);
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds, vec![0, 1], "deterministic smallest-id fill");
+    }
+
+    #[test]
+    fn non_submodularity_example_3_reproduced_on_estimates() {
+        // §IV-D: F({2}) - F({}) = 0 but F({1,2}) - F({1}) = 1 for
+        // plurality (paper's 1-indexed users; ours are 1 and 0).
+        let (g, b0, d, others) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 1);
+        let arena = gen.generate_per_node(&Lambda::Uniform(30_000), 19);
+
+        // Gain of node 1 on the empty set: 0.
+        let est0 = OpinionEstimator::new(&arena, &b0);
+        let g0 = rank_gains(&est0, &ScoringFunction::Plurality, &others, 0);
+        assert_eq!(g0[1], 0.0);
+
+        // Gain of node 1 once node 0 is seeded: 1 (user 2 flips).
+        let mut est1 = OpinionEstimator::new(&arena, &b0);
+        est1.add_seed(0);
+        let g1 = rank_gains(&est1, &ScoringFunction::Plurality, &others, 0);
+        assert!((g1[1] - 1.0).abs() < 0.1, "gain {}", g1[1]);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # vom-core
+//!
+//! Seed selection for voting-based opinion maximization — the paper's
+//! primary contribution (Problems 1 and 2, Algorithms 1–5).
+//!
+//! Three interchangeable selection engines:
+//!
+//! * **DM** ([`dm`]) — exact greedy by direct sparse matrix–vector
+//!   iteration, with CELF for the submodular cumulative score (§III-C);
+//! * **RW** ([`rw`]) — greedy on reverse random-walk estimates with
+//!   post-generation truncation (Algorithm 4, §V);
+//! * **RS** ([`rs`]) — greedy on sketch estimates from θ sampled starts
+//!   (Algorithm 5, §VI), the paper's ultimately recommended method.
+//!
+//! For the non-submodular plurality variants and Copeland, every engine
+//! can be wrapped in **sandwich approximation** (Algorithm 3, §IV):
+//! greedily maximize the submodular lower/upper bound functions of
+//! Definitions 3/4/6 and keep the best of the three solutions under the
+//! real objective.
+//!
+//! [`win::min_seeds_to_win`] implements Problem 2 (FJ-Vote-Win) by binary
+//! search over the budget (Algorithm 2).
+//!
+//! Entry point: [`selector::select_seeds`] with a [`selector::Method`].
+
+pub mod bounds;
+pub mod celf;
+pub mod dm;
+pub mod dm_ext;
+pub mod error;
+pub mod estimate;
+pub mod greedy;
+pub mod problem;
+pub mod rs;
+pub mod rw;
+pub mod sandwich;
+pub mod selector;
+pub mod win;
+pub mod win_ext;
+
+pub use dm_ext::{evaluate_rule, generic_greedy};
+pub use error::CoreError;
+pub use problem::Problem;
+pub use selector::{select_seeds, select_seeds_plain, Method, SelectionResult};
+pub use win_ext::{min_seeds_to_win_rule, wins_rule};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, CoreError>;

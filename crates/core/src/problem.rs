@@ -1,0 +1,144 @@
+//! The FJ-Vote problem specification (Problem 1).
+
+use crate::{CoreError, Result};
+use vom_diffusion::{Instance, OpinionMatrix};
+use vom_graph::{Candidate, Node};
+use vom_voting::ScoringFunction;
+
+/// One FJ-Vote instance: pick `k` seeds for `target` so that `score` of
+/// `target` at horizon `t` is maximized (Eq. 8).
+#[derive(Debug, Clone)]
+pub struct Problem<'a> {
+    /// The multi-candidate diffusion instance.
+    pub instance: &'a Instance,
+    /// The target candidate `c_q`.
+    pub target: Candidate,
+    /// Seed budget `k`.
+    pub k: usize,
+    /// Time horizon `t`.
+    pub horizon: usize,
+    /// The voting-based objective.
+    pub score: ScoringFunction,
+}
+
+impl<'a> Problem<'a> {
+    /// Builds and validates a problem.
+    pub fn new(
+        instance: &'a Instance,
+        target: Candidate,
+        k: usize,
+        horizon: usize,
+        score: ScoringFunction,
+    ) -> Result<Self> {
+        if target >= instance.num_candidates() {
+            return Err(CoreError::BadTarget {
+                target,
+                r: instance.num_candidates(),
+            });
+        }
+        if k > instance.num_nodes() {
+            return Err(CoreError::BudgetTooLarge {
+                k,
+                n: instance.num_nodes(),
+            });
+        }
+        score.validate(instance.num_candidates())?;
+        Ok(Problem {
+            instance,
+            target,
+            k,
+            horizon,
+            score,
+        })
+    }
+
+    /// Number of users.
+    pub fn num_nodes(&self) -> usize {
+        self.instance.num_nodes()
+    }
+
+    /// Exact objective value `F(B^{(t)}[S], c_q)` of a seed set —
+    /// the ground truth every method is evaluated on in §VIII.
+    pub fn exact_score(&self, seeds: &[Node]) -> f64 {
+        let b = self
+            .instance
+            .opinions_at(self.horizon, self.target, seeds);
+        self.score.score(&b, self.target)
+    }
+
+    /// Exact opinion matrix under a seed set.
+    pub fn opinions(&self, seeds: &[Node]) -> OpinionMatrix {
+        self.instance.opinions_at(self.horizon, self.target, seeds)
+    }
+
+    /// Whether the objective needs the competitors' opinions (everything
+    /// except the cumulative score, §II-C Remark 1).
+    pub fn is_competitive(&self) -> bool {
+        !matches!(self.score, ScoringFunction::Cumulative)
+    }
+
+    /// Exact horizon-`t` opinions of the non-target candidates (computed
+    /// once per selection; the target row is left zero and unused).
+    pub fn non_target_opinions(&self) -> OpinionMatrix {
+        self.instance.non_target_opinions(self.horizon, self.target)
+    }
+
+    /// A smaller copy of this problem with a different budget (used by
+    /// the FJ-Vote-Win binary search).
+    pub fn with_budget(&self, k: usize) -> Problem<'a> {
+        Problem { k, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vom_graph::builder::graph_from_edges;
+
+    fn instance() -> Instance {
+        let g = Arc::new(
+            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
+        );
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.90],
+            vec![0.35, 0.75, 0.90, 0.90],
+        ])
+        .unwrap();
+        Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let inst = instance();
+        assert!(Problem::new(&inst, 0, 2, 1, ScoringFunction::Plurality).is_ok());
+        assert!(matches!(
+            Problem::new(&inst, 5, 2, 1, ScoringFunction::Plurality),
+            Err(CoreError::BadTarget { .. })
+        ));
+        assert!(matches!(
+            Problem::new(&inst, 0, 99, 1, ScoringFunction::Plurality),
+            Err(CoreError::BudgetTooLarge { .. })
+        ));
+        assert!(Problem::new(&inst, 0, 2, 1, ScoringFunction::PApproval { p: 7 }).is_err());
+    }
+
+    #[test]
+    fn exact_score_matches_table1() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Cumulative).unwrap();
+        assert!((p.exact_score(&[]) - 2.55).abs() < 1e-12);
+        assert!((p.exact_score(&[0]) - 3.30).abs() < 1e-12);
+        assert!((p.exact_score(&[2]) - 3.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_budget_changes_only_k() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 5, ScoringFunction::Copeland).unwrap();
+        let p2 = p.with_budget(3);
+        assert_eq!(p2.k, 3);
+        assert_eq!(p2.horizon, 5);
+        assert!(p.is_competitive());
+    }
+}

@@ -1,0 +1,176 @@
+//! **RW** — random-walk-based greedy seed selection (Algorithm 4).
+
+use crate::greedy::greedy_on_estimate;
+use crate::problem::Problem;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::Node;
+use vom_voting::ScoringFunction;
+use vom_walks::lambda::{estimate_gamma_star, lambda_cumulative, lambda_from_gammas, GammaConfig};
+use vom_walks::{Lambda, OpinionEstimator, WalkArena, WalkGenerator};
+
+/// Parameters of the RW method (paper defaults: `ρ = 0.9`, `δ = 0.1`).
+#[derive(Debug, Clone)]
+pub struct RwConfig {
+    /// Per-estimate success probability ρ (Theorems 10–12).
+    pub rho: f64,
+    /// Accuracy δ of each opinion estimate (Theorem 10).
+    pub delta: f64,
+    /// Lower clamp for the γ* heuristic (§V-C).
+    pub gamma_floor: f64,
+    /// Cap on per-node walk counts for the γ-based bounds (memory guard).
+    pub max_lambda: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RwConfig {
+    fn default() -> Self {
+        RwConfig {
+            rho: 0.9,
+            delta: 0.1,
+            gamma_floor: 0.05,
+            max_lambda: 2_000,
+            seed: 0x5EED_5EED,
+        }
+    }
+}
+
+/// The pre-generated walk arena plus the exact competitor opinions — the
+/// reusable artifacts of an RW run (the sandwich wrapper builds several
+/// estimators over the same arena).
+pub struct RwArtifacts {
+    /// Seedless walks, grouped per start node.
+    pub arena: WalkArena,
+    /// Exact non-target opinions at the horizon (`None` for cumulative).
+    pub others: Option<OpinionMatrix>,
+}
+
+/// Generates the walk arena for `problem`: Theorem 10's uniform λ for the
+/// cumulative score; the γ*-based per-node λ (Theorems 11–12 + Eq. 33)
+/// for the competitive scores.
+pub fn build_rw(problem: &Problem<'_>, cfg: &RwConfig) -> RwArtifacts {
+    let cand = problem.instance.candidate(problem.target);
+    let gen = WalkGenerator::new(&cand.graph, &cand.stubbornness, problem.horizon);
+    match &problem.score {
+        ScoringFunction::Cumulative => {
+            let lambda = Lambda::Uniform(lambda_cumulative(cfg.delta, cfg.rho));
+            RwArtifacts {
+                arena: gen.generate_per_node(&lambda, cfg.seed),
+                others: None,
+            }
+        }
+        score => {
+            let others = problem.non_target_opinions();
+            let rows: Vec<&[f64]> = (0..others.num_candidates())
+                .filter(|&x| x != problem.target)
+                .map(|x| others.row(x))
+                .collect();
+            let gcfg = GammaConfig {
+                alpha: lambda_cumulative(cfg.delta, cfg.rho),
+                k: problem.k.min(32), // γ* stabilizes quickly; cap the pilot
+                floor: cfg.gamma_floor,
+                seed: cfg.seed ^ 0xA5A5,
+            };
+            let gammas = estimate_gamma_star(
+                &cand.graph,
+                &cand.stubbornness,
+                &cand.initial,
+                &rows,
+                problem.horizon,
+                &gcfg,
+            );
+            let copeland = matches!(score, ScoringFunction::Copeland);
+            let lambda = lambda_from_gammas(&gammas, cfg.rho, copeland, cfg.max_lambda);
+            RwArtifacts {
+                arena: gen.generate_per_node(&lambda, cfg.seed),
+                others: Some(others),
+            }
+        }
+    }
+}
+
+/// Full RW selection: generate walks, seed the estimator with the
+/// target's pre-committed seeds, and run the greedy loop. Returns the
+/// selected seeds and the arena's heap footprint (for the Figure 17
+/// memory series).
+pub fn rw_select(problem: &Problem<'_>, cfg: &RwConfig) -> (Vec<Node>, usize) {
+    let artifacts = build_rw(problem, cfg);
+    let cand = problem.instance.candidate(problem.target);
+    let mut est = OpinionEstimator::new(&artifacts.arena, &cand.initial);
+    for &s in &cand.fixed_seeds {
+        est.add_seed(s);
+    }
+    let seeds = greedy_on_estimate(
+        &mut est,
+        problem.k,
+        &problem.score,
+        artifacts.others.as_ref(),
+        problem.target,
+    );
+    (seeds, artifacts.arena.heap_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vom_diffusion::Instance;
+    use vom_graph::builder::graph_from_edges;
+
+    fn instance() -> Instance {
+        let g = Arc::new(
+            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
+        );
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.90],
+            vec![0.35, 0.75, 1.00, 0.80],
+        ])
+        .unwrap();
+        Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn rw_cumulative_matches_dm_choice() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Cumulative).unwrap();
+        // Paper defaults give λ = 150 which is plenty on 4 nodes (the
+        // gaps between candidate gains are >= 0.25).
+        let cfg = RwConfig {
+            seed: 99,
+            ..RwConfig::default()
+        };
+        let (seeds, bytes) = rw_select(&p, &cfg);
+        assert_eq!(seeds, vec![0]);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn rw_plurality_matches_dm_choice() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Plurality).unwrap();
+        let (seeds, _) = rw_select(&p, &RwConfig::default());
+        assert_eq!(seeds, vec![2]);
+    }
+
+    #[test]
+    fn rw_copeland_reaches_condorcet() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Copeland).unwrap();
+        let (seeds, _) = rw_select(&p, &RwConfig::default());
+        assert_eq!(p.exact_score(&seeds), 1.0, "seeds {seeds:?}");
+    }
+
+    #[test]
+    fn rw_build_uses_per_node_lambda_for_rank_scores() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Plurality).unwrap();
+        let art = build_rw(&p, &RwConfig::default());
+        assert!(art.others.is_some());
+        assert!(art.arena.has_groups());
+        // γ-based counts differ across nodes (gaps differ).
+        let lens: Vec<usize> = (0..4)
+            .map(|v| art.arena.group_range(v).unwrap().len())
+            .collect();
+        assert!(lens.iter().any(|&l| l != lens[0]), "{lens:?}");
+    }
+}

@@ -1,0 +1,150 @@
+//! FJ-Vote-Win (Problem 2, Algorithm 2): the minimum seed budget for the
+//! target to win.
+
+use crate::problem::Problem;
+use vom_graph::Node;
+use vom_voting::tally;
+
+/// Result of the winning-budget search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinResult {
+    /// Minimum budget found (an upper bound on the true `k*`, since the
+    /// inner selection is approximate — §III-C Remark 2).
+    pub k: usize,
+    /// A winning seed set of that size.
+    pub seeds: Vec<Node>,
+}
+
+/// Whether `seeds` for the target make it the **strict** winner under
+/// the problem's score at the horizon.
+pub fn wins(problem: &Problem<'_>, seeds: &[Node]) -> bool {
+    let b = problem.opinions(seeds);
+    tally(&b, &problem.score).wins_strictly(problem.target)
+}
+
+/// Algorithm 2: budget search calling `select(problem)` (any of
+/// DM/RW/RS) per trial `k`. Returns `None` if the target cannot win even
+/// with every node seeded.
+///
+/// Implementation note: the paper's binary search starts from `u = n`,
+/// which forces probes with enormous budgets even when `k*` is tiny (the
+/// common case — Table VI reports double-digit `k*` on million-node
+/// graphs). We first grow the upper bound by doubling from `k = 1`, so
+/// the probe budgets stay within a constant factor of `k*`, then binary
+/// search the final interval exactly as Algorithm 2 does.
+pub fn min_seeds_to_win<F>(problem: &Problem<'_>, mut select: F) -> Option<WinResult>
+where
+    F: FnMut(&Problem<'_>) -> Vec<Node>,
+{
+    if wins(problem, &[]) {
+        return Some(WinResult {
+            k: 0,
+            seeds: Vec::new(),
+        });
+    }
+    let n = problem.num_nodes();
+    // Exponential phase: find a winning upper bound.
+    let mut lo = 0usize;
+    let mut k = 1usize;
+    let mut best = loop {
+        let k_probe = k.min(n);
+        let seeds = select(&problem.with_budget(k_probe));
+        if wins(problem, &seeds) {
+            break WinResult {
+                k: k_probe,
+                seeds,
+            };
+        }
+        lo = k_probe;
+        if k_probe == n {
+            return None;
+        }
+        k *= 2;
+    };
+    // Binary phase between the last losing and first winning budgets.
+    let mut hi = best.k;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let seeds = select(&problem.with_budget(mid));
+        if wins(problem, &seeds) {
+            hi = mid;
+            best = WinResult { k: mid, seeds };
+        } else {
+            lo = mid;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dm::dm_greedy;
+    use std::sync::Arc;
+    use vom_diffusion::{Instance, OpinionMatrix};
+    use vom_graph::builder::graph_from_edges;
+    use vom_voting::ScoringFunction;
+
+    fn instance() -> Instance {
+        let g = Arc::new(
+            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
+        );
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.90],
+            vec![0.35, 0.75, 1.00, 0.80],
+        ])
+        .unwrap();
+        Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn one_seed_suffices_for_plurality_win() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Plurality).unwrap();
+        // Seedless: c1 has 2 voters, c2 has 2 -> no strict win.
+        assert!(!wins(&p, &[]));
+        let res = min_seeds_to_win(&p, dm_greedy).unwrap();
+        assert_eq!(res.k, 1);
+        assert!(wins(&p, &res.seeds));
+    }
+
+    #[test]
+    fn zero_seeds_when_already_winning() {
+        let inst = instance();
+        // Target c2 (index 1) already wins the cumulative score:
+        // 0.35+0.75+0.775+0.90 = 2.775 > 2.55.
+        let p = Problem::new(&inst, 1, 1, 1, ScoringFunction::Cumulative).unwrap();
+        let res = min_seeds_to_win(&p, dm_greedy).unwrap();
+        assert_eq!(res.k, 0);
+        assert!(res.seeds.is_empty());
+    }
+
+    #[test]
+    fn unwinnable_returns_none() {
+        // Single isolated node, competitor permanently at 1.0 with the
+        // target capped by... actually with a seed the target ties at
+        // 1.0, and ties are not strict wins.
+        let g = Arc::new(graph_from_edges(1, &[]).unwrap());
+        let b = OpinionMatrix::from_rows(vec![vec![0.2], vec![1.0]]).unwrap();
+        let inst = Instance::shared(g, b, vec![1.0]).unwrap();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Cumulative).unwrap();
+        assert!(min_seeds_to_win(&p, dm_greedy).is_none());
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 1, 1, ScoringFunction::Copeland).unwrap();
+        let res = min_seeds_to_win(&p, dm_greedy).unwrap();
+        // Linear reference: smallest k whose greedy seed set wins.
+        let mut linear = None;
+        for k in 0..=4 {
+            let seeds = dm_greedy(&p.with_budget(k));
+            if wins(&p, &seeds) {
+                linear = Some(k);
+                break;
+            }
+        }
+        assert_eq!(Some(res.k), linear);
+    }
+}

@@ -1,0 +1,87 @@
+//! Small samplers used by the dataset generators (kept local to avoid a
+//! `rand_distr` dependency for three functions).
+
+use rand::Rng;
+
+/// Gamma(shape, 1) via Marsaglia–Tsang squeeze (shape >= 1), with the
+/// `U^{1/a}` boost for shape < 1.
+pub fn gamma<R: Rng>(shape: f64, rng: &mut R) -> f64 {
+    assert!(shape > 0.0, "shape must be positive");
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Beta(alpha, beta) in `(0, 1)` via two gammas.
+pub fn beta<R: Rng>(alpha: f64, b: f64, rng: &mut R) -> f64 {
+    let x = gamma(alpha, rng);
+    let y = gamma(b, rng);
+    (x / (x + y)).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON)
+}
+
+/// Geometric number of interactions: `1 + Geom(p)` failures, i.e. at
+/// least one interaction per observed edge, heavier tails for smaller `p`.
+pub fn interaction_count<R: Rng>(p: f64, rng: &mut R) -> f64 {
+    assert!((0.0..1.0).contains(&(1.0 - p)) && p > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    1.0 + (u.ln() / (1.0 - p).ln()).floor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(mut f: impl FnMut(&mut StdRng) -> f64, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(12345);
+        (0..n).map(|_| f(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let m = mean_of(|r| gamma(3.0, r), 50_000);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        let m = mean_of(|r| gamma(0.5, r), 50_000);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn beta_mean_and_range() {
+        let m = mean_of(|r| beta(2.0, 6.0, r), 50_000);
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = beta(0.5, 0.5, &mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn interaction_counts_are_positive_with_geometric_mean() {
+        // 1 + Geom(p = 0.5): mean = 1 + (1-p)/p = 2.
+        let m = mean_of(|r| interaction_count(0.5, r), 50_000);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(interaction_count(0.3, &mut rng) >= 1.0);
+        }
+    }
+}

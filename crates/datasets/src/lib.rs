@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # vom-datasets
+//!
+//! Deterministic synthetic replicas of the paper's five evaluation
+//! datasets (Table III) and the ACM-general-election case study
+//! (§VIII-B), plus plain-text IO for real data.
+//!
+//! The paper's raw corpora (DBLP crawl, Yelp reviews, three Twitter
+//! crawls with VADER sentiment) are not redistributable; each replica
+//! reproduces the properties the algorithms actually consume — graph
+//! scale and degree skew, candidate count, the `1 − e^{−a/µ}`
+//! interaction-count weight pipeline, opinion polarization regime, and
+//! the stubbornness protocol (uniform-random for Twitter, engagement-
+//! derived otherwise). See DESIGN.md §"Data substitutions" for the
+//! per-dataset mapping and rationale.
+//!
+//! Every generator takes an explicit scale (fraction of the paper's node
+//! count) and RNG seed, and is bit-for-bit reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use vom_datasets::{dblp_like, ReplicaParams};
+//!
+//! let params = ReplicaParams { scale: 0.001, seed: 7, mu: 10.0 };
+//! let ds = dblp_like(&params);
+//! assert_eq!(ds.instance.num_candidates(), 2); // Table III: DBLP has r = 2
+//! assert!(ds.instance.num_nodes() >= 50);
+//! // Bit-for-bit reproducible from (scale, seed, mu).
+//! let again = dblp_like(&params);
+//! assert_eq!(
+//!     ds.instance.candidate(0).initial,
+//!     again.instance.candidate(0).initial,
+//! );
+//! ```
+
+pub mod case_study;
+pub mod dist;
+pub mod io;
+pub mod replicas;
+
+pub use case_study::{acm_case_study, CaseStudy};
+pub use replicas::{
+    all_replicas, dblp_like, twitter_distancing_like, twitter_election_like,
+    twitter_mask_like, yelp_like, Dataset, ReplicaParams,
+};

@@ -1,0 +1,183 @@
+//! Convergence analysis and per-step opinion-change tracking.
+//!
+//! The paper motivates the *finite time horizon* (Appendix B) by showing
+//! that a significant fraction of users still change opinions before
+//! `t = 30` (Figure 18) and that optimal seed sets differ across horizons.
+//! These routines reproduce that analysis and detect FJ convergence.
+
+use crate::fj::FjEngine;
+use vom_graph::Node;
+
+/// Result of running FJ until the opinions stop moving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceReport {
+    /// Number of steps actually taken.
+    pub steps: usize,
+    /// Whether `max_v |b_v^(t) − b_v^(t−1)| < eps` was reached within the
+    /// step budget.
+    pub converged: bool,
+    /// Opinions at the final step.
+    pub opinions: Vec<f64>,
+}
+
+/// Iterates FJ with seed set `seeds` until the maximum per-node change
+/// drops below `eps`, or `max_steps` is exhausted.
+pub fn run_until_convergence(
+    engine: &FjEngine<'_>,
+    seeds: &[Node],
+    eps: f64,
+    max_steps: usize,
+) -> ConvergenceReport {
+    let mut prev = engine.opinions_at(0, seeds);
+    for t in 1..=max_steps {
+        let cur = engine.opinions_at(t, seeds);
+        let max_delta = prev
+            .iter()
+            .zip(&cur)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        if max_delta < eps {
+            return ConvergenceReport {
+                steps: t,
+                converged: true,
+                opinions: cur,
+            };
+        }
+        prev = cur;
+    }
+    ConvergenceReport {
+        steps: max_steps,
+        converged: false,
+        opinions: prev,
+    }
+}
+
+/// For each `t ∈ 1..=t_max`, the fraction of nodes whose opinion changed
+/// by more than `tolerance_percent`% of its previous value — exactly the
+/// quantity plotted in Figure 18:
+/// `|b^(t) − b^(t−1)| > (∆/100) · b^(t−1)`.
+pub fn change_fraction_series(
+    engine: &FjEngine<'_>,
+    seeds: &[Node],
+    t_max: usize,
+    tolerance_percent: f64,
+) -> Vec<f64> {
+    let traj = engine.trajectory(t_max, seeds);
+    let n = engine.graph().num_nodes() as f64;
+    let thr = tolerance_percent / 100.0;
+    traj.windows(2)
+        .map(|w| {
+            let changed = w[0]
+                .iter()
+                .zip(&w[1])
+                .filter(|(prev, cur)| (*cur - *prev).abs() > thr * **prev)
+                .count();
+            changed as f64 / n
+        })
+        .collect()
+}
+
+/// Oblivious nodes per the paper's §II-A: non-stubborn nodes not reachable
+/// from any (partially or fully) stubborn node. FJ convergence is
+/// guaranteed iff the subgraph induced by oblivious nodes is regular or
+/// empty; detecting them lets callers check the precondition.
+pub fn oblivious_nodes(engine: &FjEngine<'_>) -> Vec<Node> {
+    let g = engine.graph();
+    let d = engine.stubbornness();
+    let n = g.num_nodes();
+    // Nodes without in-edges hold their initial opinion forever; they act
+    // as stubborn sources for this analysis.
+    let stubborn: Vec<Node> = (0..n as Node)
+        .filter(|&v| d[v as usize] > 0.0 || !g.has_in_edges(v))
+        .collect();
+    let mut reachable = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in &stubborn {
+        reachable[s as usize] = true;
+        queue.push_back(s);
+    }
+    while let Some(v) = queue.pop_front() {
+        for &w in g.out_neighbors(v) {
+            if !reachable[w as usize] {
+                reachable[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    (0..n as Node)
+        .filter(|&v| d[v as usize] == 0.0 && g.has_in_edges(v) && !reachable[v as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    #[test]
+    fn converges_on_running_example() {
+        let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let b0 = vec![0.40, 0.80, 0.60, 0.90];
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        let rep = run_until_convergence(&eng, &[], 1e-9, 500);
+        assert!(rep.converged);
+        // Fixed point of node 2: b = 0.5*0.6 + 0.5*0.6 = 0.6.
+        assert!((rep.opinions[2] - 0.6).abs() < 1e-6);
+        // Fixed point of node 3: b = 0.5*b2 + 0.5*0.9 -> 0.75.
+        assert!((rep.opinions[3] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_convergent_cycle_hits_step_budget() {
+        // Pure 2-cycle oscillates forever under DeGroot.
+        let g = graph_from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let eng = FjEngine::new(&g, &[1.0, 0.0], &[0.0, 0.0]).unwrap();
+        let rep = run_until_convergence(&eng, &[], 1e-9, 50);
+        assert!(!rep.converged);
+        assert_eq!(rep.steps, 50);
+    }
+
+    #[test]
+    fn change_fraction_decays_to_zero() {
+        let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let b0 = vec![0.40, 0.80, 0.60, 0.90];
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        let series = change_fraction_series(&eng, &[], 40, 1.0);
+        assert_eq!(series.len(), 40);
+        assert!(series[0] > 0.0, "something changes at t=1");
+        assert_eq!(*series.last().unwrap(), 0.0, "settled by t=40");
+        // Larger tolerance can only reduce the changing fraction.
+        let loose = change_fraction_series(&eng, &[], 40, 20.0);
+        for (tight, loose) in series.iter().zip(&loose) {
+            assert!(loose <= tight);
+        }
+    }
+
+    #[test]
+    fn oblivious_cycle_is_detected() {
+        // 2-cycle of non-stubborn nodes, unreachable from anything
+        // stubborn; node 2 is fed only by the cycle, so all three are
+        // oblivious (nothing stubborn exists in this graph).
+        let g = graph_from_edges(3, &[(0, 1, 1.0), (1, 0, 1.0), (0, 2, 1.0)]).unwrap();
+        let eng = FjEngine::new(&g, &[0.1, 0.2, 0.3], &[0.0, 0.0, 0.0]).unwrap();
+        let obl = oblivious_nodes(&eng);
+        assert_eq!(obl, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stubbornness_removes_obliviousness() {
+        let g = graph_from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let eng = FjEngine::new(&g, &[0.1, 0.2], &[0.5, 0.0]).unwrap();
+        assert!(oblivious_nodes(&eng).is_empty());
+    }
+
+    #[test]
+    fn source_fed_nodes_are_not_oblivious() {
+        // 0 (no in-edges) -> 1: node 1 is anchored by the source.
+        let g = graph_from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let eng = FjEngine::new(&g, &[0.1, 0.2], &[0.0, 0.0]).unwrap();
+        assert!(oblivious_nodes(&eng).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! The DeGroot model as the stubbornness-free special case of FJ.
+
+use crate::fj::{DiffusionBuffer, FjEngine};
+use crate::Result;
+use vom_graph::{Node, SocialGraph};
+
+/// DeGroot evaluator: `B^(t+1) = B^(t) · W` (Eq. 1). Everything is
+/// delegated to [`FjEngine`] with an all-zero stubbornness diagonal, so
+/// every result proven for FJ holds here too, as the paper notes.
+///
+/// Seeding still pins seeds at opinion 1 (seeding sets `d_s = 1` even when
+/// the underlying model is DeGroot — Problem 1 modifies `D_q`).
+#[derive(Debug, Clone)]
+pub struct DeGrootEngine<'a> {
+    graph: &'a SocialGraph,
+    b0: &'a [f64],
+    zeros: Vec<f64>,
+}
+
+impl<'a> DeGrootEngine<'a> {
+    /// Builds a DeGroot engine over `graph` with initial opinions `b0`.
+    pub fn new(graph: &'a SocialGraph, b0: &'a [f64]) -> Result<Self> {
+        let zeros = vec![0.0; graph.num_nodes()];
+        // Validate eagerly via a throw-away FjEngine.
+        FjEngine::new(graph, b0, &zeros)?;
+        Ok(DeGrootEngine { graph, b0, zeros })
+    }
+
+    /// The equivalent FJ engine (zero stubbornness).
+    pub fn as_fj(&self) -> FjEngine<'_> {
+        FjEngine::new(self.graph, self.b0, &self.zeros).expect("validated at construction")
+    }
+
+    /// Computes `B^(t)[S]`.
+    pub fn opinions_at(&self, t: usize, seeds: &[Node]) -> Vec<f64> {
+        self.as_fj().opinions_at(t, seeds)
+    }
+
+    /// Computes `B^(t)[S]` into caller scratch space.
+    pub fn opinions_at_with<'b>(
+        &self,
+        t: usize,
+        seeds: &[Node],
+        buf: &'b mut DiffusionBuffer,
+    ) -> &'b [f64] {
+        // Lifetime gymnastics: build the FJ view inline so the returned
+        // slice only borrows `buf`.
+        FjEngine::new(self.graph, self.b0, &self.zeros)
+            .expect("validated at construction")
+            .opinions_at_with(t, seeds, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    #[test]
+    fn degroot_averages_in_neighbors() {
+        // 0 -> 2, 1 -> 2 with equal weights: node 2 adopts the mean.
+        let g = graph_from_edges(3, &[(0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        let b0 = vec![0.2, 0.8, 0.0];
+        let eng = DeGrootEngine::new(&g, &b0).unwrap();
+        let b1 = eng.opinions_at(1, &[]);
+        assert!((b1[2] - 0.5).abs() < 1e-12);
+        // Sources never move.
+        assert_eq!(b1[0], 0.2);
+        assert_eq!(b1[1], 0.8);
+    }
+
+    #[test]
+    fn consensus_on_strongly_connected_cycle() {
+        // A 2-cycle swaps opinions each step under pure DeGroot.
+        let g = graph_from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let eng = DeGrootEngine::new(&g, &[1.0, 0.0]).unwrap();
+        assert_eq!(eng.opinions_at(1, &[]), vec![0.0, 1.0]);
+        assert_eq!(eng.opinions_at(2, &[]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn seeded_degroot_pins_the_seed() {
+        let g = graph_from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let eng = DeGrootEngine::new(&g, &[0.0, 0.0]).unwrap();
+        let b = eng.opinions_at(5, &[0]);
+        assert_eq!(b, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn matches_fj_with_zero_stubbornness() {
+        let g = graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let b0 = vec![0.3, 0.6, 0.9];
+        let zeros = vec![0.0; 3];
+        let de = DeGrootEngine::new(&g, &b0).unwrap();
+        let fj = FjEngine::new(&g, &b0, &zeros).unwrap();
+        for t in 0..8 {
+            assert_eq!(de.opinions_at(t, &[1]), fj.opinions_at(t, &[1]));
+        }
+    }
+
+    #[test]
+    fn buffer_variant_matches() {
+        let g = graph_from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let eng = DeGrootEngine::new(&g, &[0.7, 0.1]).unwrap();
+        let mut buf = DiffusionBuffer::new(2);
+        assert_eq!(
+            eng.opinions_at_with(4, &[], &mut buf).to_vec(),
+            eng.opinions_at(4, &[])
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for diffusion inputs.
+
+use std::fmt;
+
+/// Errors produced while constructing diffusion inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffusionError {
+    /// A per-node vector's length did not match the graph's node count.
+    LengthMismatch {
+        /// What the vector holds ("initial opinions", "stubbornness", …).
+        what: &'static str,
+        /// Supplied length.
+        got: usize,
+        /// Expected length (`n`).
+        expected: usize,
+    },
+    /// An opinion or stubbornness value was outside `[0, 1]` (or NaN).
+    ValueOutOfRange {
+        /// What the value is.
+        what: &'static str,
+        /// Node index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An instance needs at least one candidate (the paper assumes `r > 1`
+    /// for the competitive scores, but cumulative works with one).
+    NoCandidates,
+    /// A candidate index was `>= r`.
+    CandidateOutOfBounds {
+        /// The offending candidate index.
+        candidate: usize,
+        /// Number of candidates `r`.
+        r: usize,
+    },
+}
+
+impl fmt::Display for DiffusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffusionError::LengthMismatch {
+                what,
+                got,
+                expected,
+            } => write!(f, "{what} has length {got}, expected {expected}"),
+            DiffusionError::ValueOutOfRange { what, index, value } => {
+                write!(f, "{what}[{index}] = {value} is outside [0, 1]")
+            }
+            DiffusionError::NoCandidates => write!(f, "instance must have at least one candidate"),
+            DiffusionError::CandidateOutOfBounds { candidate, r } => {
+                write!(f, "candidate {candidate} out of bounds for {r} candidates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffusionError {}
+
+/// Validates that every entry of `values` lies in `[0, 1]`.
+pub(crate) fn validate_unit_range(what: &'static str, values: &[f64]) -> super::Result<()> {
+    for (i, &v) in values.iter().enumerate() {
+        if !(0.0..=1.0).contains(&v) {
+            return Err(DiffusionError::ValueOutOfRange {
+                what,
+                index: i,
+                value: v,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_range_accepts_bounds() {
+        validate_unit_range("x", &[0.0, 1.0, 0.5]).unwrap();
+    }
+
+    #[test]
+    fn unit_range_rejects_nan_and_out_of_range() {
+        assert!(validate_unit_range("x", &[f64::NAN]).is_err());
+        assert!(validate_unit_range("x", &[-0.1]).is_err());
+        assert!(validate_unit_range("x", &[1.1]).is_err());
+    }
+
+    #[test]
+    fn messages_name_the_field() {
+        let e = DiffusionError::LengthMismatch {
+            what: "stubbornness",
+            got: 3,
+            expected: 4,
+        };
+        assert!(e.to_string().contains("stubbornness"));
+    }
+}

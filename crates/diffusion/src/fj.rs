@@ -1,0 +1,296 @@
+//! Exact Friedkin–Johnsen iteration (the paper's **DM** building block).
+
+use crate::error::{validate_unit_range, DiffusionError};
+use crate::Result;
+use vom_graph::{Node, SocialGraph};
+
+/// Scratch space for repeated FJ evaluations.
+///
+/// Greedy seed selection evaluates `O(k · n)` seed sets; reusing the two
+/// iteration vectors and the seed bitmap avoids per-evaluation allocation.
+#[derive(Debug, Clone)]
+pub struct DiffusionBuffer {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+    is_seed: Vec<bool>,
+    marked: Vec<Node>,
+}
+
+impl DiffusionBuffer {
+    /// Creates scratch space for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DiffusionBuffer {
+            cur: vec![0.0; n],
+            next: vec![0.0; n],
+            is_seed: vec![false; n],
+            marked: Vec::new(),
+        }
+    }
+
+    fn mark_seeds(&mut self, seeds: &[Node]) {
+        for &s in seeds {
+            if !self.is_seed[s as usize] {
+                self.is_seed[s as usize] = true;
+                self.marked.push(s);
+            }
+        }
+    }
+
+    fn clear_seeds(&mut self) {
+        for s in self.marked.drain(..) {
+            self.is_seed[s as usize] = false;
+        }
+    }
+}
+
+/// Exact FJ evaluator for one candidate: given `W_q` (inside the graph),
+/// `B_q^(0)` and `D_q`, computes `B_q^(t)[S]` for arbitrary seed sets `S`
+/// by `t` sparse matrix–vector products (`O(t · m)` per evaluation,
+/// matching the paper's §III-C analysis).
+///
+/// Seeds are *pinned* during iteration (opinion 1, fully stubborn) instead
+/// of copying modified `B⁰`/`D` vectors, which is what makes greedy
+/// marginal-gain evaluation cheap.
+#[derive(Debug, Clone, Copy)]
+pub struct FjEngine<'a> {
+    graph: &'a SocialGraph,
+    b0: &'a [f64],
+    d: &'a [f64],
+}
+
+impl<'a> FjEngine<'a> {
+    /// Validates lengths and ranges and builds an engine.
+    pub fn new(graph: &'a SocialGraph, b0: &'a [f64], d: &'a [f64]) -> Result<Self> {
+        let n = graph.num_nodes();
+        if b0.len() != n {
+            return Err(DiffusionError::LengthMismatch {
+                what: "initial opinions",
+                got: b0.len(),
+                expected: n,
+            });
+        }
+        if d.len() != n {
+            return Err(DiffusionError::LengthMismatch {
+                what: "stubbornness",
+                got: d.len(),
+                expected: n,
+            });
+        }
+        validate_unit_range("initial opinion", b0)?;
+        validate_unit_range("stubbornness", d)?;
+        Ok(FjEngine { graph, b0, d })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &SocialGraph {
+        self.graph
+    }
+
+    /// Initial opinions `B_q^(0)` (without seeds applied).
+    pub fn initial(&self) -> &[f64] {
+        self.b0
+    }
+
+    /// Stubbornness diagonal `D_q` (without seeds applied).
+    pub fn stubbornness(&self) -> &[f64] {
+        self.d
+    }
+
+    /// Computes `B_q^(t)[S]`, allocating a fresh buffer.
+    pub fn opinions_at(&self, t: usize, seeds: &[Node]) -> Vec<f64> {
+        let mut buf = DiffusionBuffer::new(self.graph.num_nodes());
+        self.opinions_at_with(t, seeds, &mut buf).to_vec()
+    }
+
+    /// Computes `B_q^(t)[S]` into `buf`; the returned slice borrows `buf`.
+    pub fn opinions_at_with<'b>(
+        &self,
+        t: usize,
+        seeds: &[Node],
+        buf: &'b mut DiffusionBuffer,
+    ) -> &'b [f64] {
+        buf.mark_seeds(seeds);
+        buf.cur.copy_from_slice(self.b0);
+        for &s in seeds {
+            buf.cur[s as usize] = 1.0;
+        }
+        for _ in 0..t {
+            self.step(&buf.is_seed, &buf.cur, &mut buf.next);
+            std::mem::swap(&mut buf.cur, &mut buf.next);
+        }
+        buf.clear_seeds();
+        &buf.cur
+    }
+
+    /// Full trajectory `[B^(0)[S], B^(1)[S], …, B^(t)[S]]` (t + 1 rows).
+    pub fn trajectory(&self, t: usize, seeds: &[Node]) -> Vec<Vec<f64>> {
+        let mut buf = DiffusionBuffer::new(self.graph.num_nodes());
+        buf.mark_seeds(seeds);
+        buf.cur.copy_from_slice(self.b0);
+        for &s in seeds {
+            buf.cur[s as usize] = 1.0;
+        }
+        let mut out = Vec::with_capacity(t + 1);
+        out.push(buf.cur.clone());
+        for _ in 0..t {
+            self.step(&buf.is_seed, &buf.cur, &mut buf.next);
+            std::mem::swap(&mut buf.cur, &mut buf.next);
+            out.push(buf.cur.clone());
+        }
+        buf.clear_seeds();
+        out
+    }
+
+    /// One FJ step: `next = cur · W · (I − D[S]) + B⁰[S] · D[S]`.
+    ///
+    /// Nodes without in-edges retain their current (= initial) opinion,
+    /// matching the paper's convention; seeds are pinned at 1.
+    fn step(&self, is_seed: &[bool], cur: &[f64], next: &mut [f64]) {
+        let g = self.graph;
+        for v in 0..g.num_nodes() {
+            let vu = v as Node;
+            next[v] = if is_seed[v] {
+                1.0
+            } else if !g.has_in_edges(vu) {
+                cur[v]
+            } else {
+                let mut acc = 0.0;
+                for (j, w) in g.in_entries(vu) {
+                    acc += w * cur[j as usize];
+                }
+                let dv = self.d[v];
+                (1.0 - dv) * acc + dv * self.b0[v]
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    /// The paper's Figure 1 running example (0-indexed).
+    fn running_example() -> (SocialGraph, Vec<f64>, Vec<f64>) {
+        let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let b0 = vec![0.40, 0.80, 0.60, 0.90];
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        (g, b0, d)
+    }
+
+    #[test]
+    fn table1_no_seeds() {
+        let (g, b0, d) = running_example();
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        let b1 = eng.opinions_at(1, &[]);
+        // Table I, row {}: 0.40, 0.80, 0.60, 0.75.
+        let expected = [0.40, 0.80, 0.60, 0.75];
+        for (got, want) in b1.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn table1_seed_rows() {
+        let (g, b0, d) = running_example();
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        let cases: [(&[Node], [f64; 4]); 5] = [
+            (&[0], [1.00, 0.80, 0.75, 0.75]),
+            (&[1], [0.40, 1.00, 0.65, 0.75]),
+            (&[2], [0.40, 0.80, 1.00, 0.95]),
+            (&[3], [0.40, 0.80, 0.60, 1.00]),
+            (&[0, 1], [1.00, 1.00, 0.80, 0.75]),
+        ];
+        for (seeds, expected) in cases {
+            let b1 = eng.opinions_at(1, seeds);
+            for (v, (got, want)) in b1.iter().zip(expected).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "seeds {seeds:?} node {v}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_zero_returns_seeded_initial() {
+        let (g, b0, d) = running_example();
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        let b = eng.opinions_at(0, &[2]);
+        assert_eq!(b, vec![0.40, 0.80, 1.00, 0.90]);
+    }
+
+    #[test]
+    fn seeds_stay_pinned_across_steps() {
+        let (g, b0, d) = running_example();
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        for t in 0..10 {
+            let b = eng.opinions_at(t, &[2]);
+            assert_eq!(b[2], 1.0, "seed must stay at 1 at t={t}");
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_matches_fresh_runs_and_clears_seeds() {
+        let (g, b0, d) = running_example();
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        let mut buf = DiffusionBuffer::new(4);
+        let with_seed = eng.opinions_at_with(3, &[0], &mut buf).to_vec();
+        assert_eq!(with_seed, eng.opinions_at(3, &[0]));
+        // Seed marks must not leak into the next evaluation.
+        let without = eng.opinions_at_with(3, &[], &mut buf).to_vec();
+        assert_eq!(without, eng.opinions_at(3, &[]));
+        assert!(without[0] < 1.0);
+    }
+
+    #[test]
+    fn trajectory_is_consistent_with_point_queries() {
+        let (g, b0, d) = running_example();
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        let traj = eng.trajectory(5, &[1]);
+        assert_eq!(traj.len(), 6);
+        for (t, row) in traj.iter().enumerate() {
+            assert_eq!(row, &eng.opinions_at(t, &[1]), "mismatch at t={t}");
+        }
+    }
+
+    #[test]
+    fn opinions_remain_in_unit_interval() {
+        let (g, b0, d) = running_example();
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        for t in 0..50 {
+            for b in eng.opinions_at(t, &[3]) {
+                assert!((0.0..=1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn fully_stubborn_node_never_moves() {
+        let g = graph_from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let b0 = vec![1.0, 0.2];
+        let d = vec![0.0, 1.0];
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        let b = eng.opinions_at(20, &[]);
+        assert_eq!(b[1], 0.2);
+    }
+
+    #[test]
+    fn degroot_limit_on_path_converges_to_source() {
+        // 0 -> 1 with d = 0: node 1 adopts node 0's opinion after 1 step.
+        let g = graph_from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let b0 = vec![0.9, 0.1];
+        let d = vec![0.0, 0.0];
+        let eng = FjEngine::new(&g, &b0, &d).unwrap();
+        assert_eq!(eng.opinions_at(1, &[]), vec![0.9, 0.9]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (g, b0, _) = running_example();
+        assert!(FjEngine::new(&g, &b0, &[0.0; 3]).is_err());
+        assert!(FjEngine::new(&g, &[0.0; 3], &[0.0; 4]).is_err());
+        assert!(FjEngine::new(&g, &[2.0, 0.0, 0.0, 0.0], &[0.0; 4]).is_err());
+        assert!(FjEngine::new(&g, &b0, &[0.0, 0.0, 0.0, -0.5]).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The `r × n` opinion matrix `B`.
+
+use crate::error::{validate_unit_range, DiffusionError};
+use crate::Result;
+use vom_graph::Candidate;
+
+/// All users' opinions about all candidates: `b_qv ∈ [0, 1]` is user `v`'s
+/// opinion about candidate `c_q`. Stored row-major (one contiguous row per
+/// candidate) so score computations stream each candidate's opinions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpinionMatrix {
+    r: usize,
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl OpinionMatrix {
+    /// An all-zeros matrix for `r` candidates and `n` users.
+    pub fn zeros(r: usize, n: usize) -> Self {
+        OpinionMatrix {
+            r,
+            n,
+            data: vec![0.0; r * n],
+        }
+    }
+
+    /// Builds from per-candidate rows, validating lengths and the `[0, 1]`
+    /// range.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(DiffusionError::NoCandidates);
+        }
+        let n = rows[0].len();
+        for row in &rows {
+            if row.len() != n {
+                return Err(DiffusionError::LengthMismatch {
+                    what: "opinion row",
+                    got: row.len(),
+                    expected: n,
+                });
+            }
+            validate_unit_range("opinion", row)?;
+        }
+        let r = rows.len();
+        let mut data = Vec::with_capacity(r * n);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        Ok(OpinionMatrix { r, n, data })
+    }
+
+    /// Number of candidates `r`.
+    #[inline]
+    pub fn num_candidates(&self) -> usize {
+        self.r
+    }
+
+    /// Number of users `n`.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.n
+    }
+
+    /// Candidate `q`'s opinion row `B_q` (length `n`).
+    #[inline]
+    pub fn row(&self, q: Candidate) -> &[f64] {
+        debug_assert!(q < self.r);
+        &self.data[q * self.n..(q + 1) * self.n]
+    }
+
+    /// Mutable access to candidate `q`'s row.
+    #[inline]
+    pub fn row_mut(&mut self, q: Candidate) -> &mut [f64] {
+        debug_assert!(q < self.r);
+        &mut self.data[q * self.n..(q + 1) * self.n]
+    }
+
+    /// `b_qv`: user `v`'s opinion about candidate `q`.
+    #[inline]
+    pub fn get(&self, q: Candidate, v: u32) -> f64 {
+        self.data[q * self.n + v as usize]
+    }
+
+    /// Sets `b_qv`.
+    #[inline]
+    pub fn set(&mut self, q: Candidate, v: u32, value: f64) {
+        self.data[q * self.n + v as usize] = value;
+    }
+
+    /// Replaces candidate `q`'s row.
+    pub fn set_row(&mut self, q: Candidate, row: &[f64]) {
+        self.row_mut(q).copy_from_slice(row);
+    }
+
+    /// Validates every entry is in `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        validate_unit_range("opinion", &self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = OpinionMatrix::from_rows(vec![vec![0.4, 0.8], vec![0.35, 0.75]]).unwrap();
+        assert_eq!(m.num_candidates(), 2);
+        assert_eq!(m.num_users(), 2);
+        assert_eq!(m.row(0), &[0.4, 0.8]);
+        assert_eq!(m.get(1, 1), 0.75);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let e = OpinionMatrix::from_rows(vec![vec![0.4], vec![0.3, 0.2]]).unwrap_err();
+        assert!(matches!(e, DiffusionError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_and_out_of_range() {
+        assert_eq!(
+            OpinionMatrix::from_rows(vec![]).unwrap_err(),
+            DiffusionError::NoCandidates
+        );
+        assert!(OpinionMatrix::from_rows(vec![vec![1.5]]).is_err());
+    }
+
+    #[test]
+    fn set_and_mutate() {
+        let mut m = OpinionMatrix::zeros(2, 3);
+        m.set(1, 2, 0.9);
+        assert_eq!(m.get(1, 2), 0.9);
+        m.set_row(0, &[0.1, 0.2, 0.3]);
+        assert_eq!(m.row(0), &[0.1, 0.2, 0.3]);
+        m.row_mut(0)[0] = 0.5;
+        assert_eq!(m.get(0, 0), 0.5);
+        m.validate().unwrap();
+    }
+}

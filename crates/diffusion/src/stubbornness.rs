@@ -1,0 +1,88 @@
+//! Per-user stubbornness (the diagonal of `D_q`).
+
+use crate::error::validate_unit_range;
+use crate::Result;
+
+/// The diagonal of the FJ stubbornness matrix `D_q`: `d_v ∈ [0, 1]` is how
+/// strongly user `v` clings to her initial opinion about the candidate.
+///
+/// * `d_v = 0` — non-stubborn: pure DeGroot averaging;
+/// * `0 < d_v < 1` — partially stubborn;
+/// * `d_v = 1` — fully stubborn: the opinion never moves (this is what
+///   seeding forces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stubbornness(Vec<f64>);
+
+impl Stubbornness {
+    /// Validates and wraps per-node stubbornness values.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        validate_unit_range("stubbornness", &values)?;
+        Ok(Stubbornness(values))
+    }
+
+    /// All users share the same stubbornness `d`.
+    pub fn uniform(n: usize, d: f64) -> Result<Self> {
+        Self::new(vec![d; n])
+    }
+
+    /// The DeGroot special case: nobody is stubborn.
+    pub fn non_stubborn(n: usize) -> Self {
+        Stubbornness(vec![0.0; n])
+    }
+
+    /// The underlying per-node values.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Stubbornness of user `v`.
+    #[inline]
+    pub fn get(&self, v: u32) -> f64 {
+        self.0[v as usize]
+    }
+
+    /// Consumes into the raw vector.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_non_stubborn() {
+        let s = Stubbornness::uniform(3, 0.5).unwrap();
+        assert_eq!(s.as_slice(), &[0.5, 0.5, 0.5]);
+        let z = Stubbornness::non_stubborn(2);
+        assert_eq!(z.as_slice(), &[0.0, 0.0]);
+        assert_eq!(z.len(), 2);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Stubbornness::new(vec![0.5, 1.2]).is_err());
+        assert!(Stubbornness::uniform(2, -0.1).is_err());
+    }
+
+    #[test]
+    fn get_and_into_inner() {
+        let s = Stubbornness::new(vec![0.1, 0.9]).unwrap();
+        assert_eq!(s.get(1), 0.9);
+        assert_eq!(s.into_inner(), vec![0.1, 0.9]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Analysis utilities for dynamics runs: consensus detection, opinion
+//! clusters (the bounded-confidence literature's headline observable),
+//! polarization, and expected-support trajectories.
+
+use crate::model::DynamicsModel;
+use crate::montecarlo::expected_opinions;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node};
+
+/// Whether a snapshot is a (discrete) consensus: every user gives
+/// opinion 1 to the same single candidate and 0 to all others.
+pub fn is_unanimous(b: &OpinionMatrix) -> Option<Candidate> {
+    let n = b.num_users();
+    if n == 0 {
+        return None;
+    }
+    let winner = (0..b.num_candidates()).find(|&q| b.get(q, 0) == 1.0)?;
+    for v in 0..n as Node {
+        for q in 0..b.num_candidates() {
+            let expect = if q == winner { 1.0 } else { 0.0 };
+            if b.get(q, v) != expect {
+                return None;
+            }
+        }
+    }
+    Some(winner)
+}
+
+/// The first timestamp `t ≤ max_t` at which one realization of the model
+/// reaches unanimity, together with the consensus candidate; `None` if
+/// it never does within the window. Intended for the discrete models
+/// (voter/majority/Sznajd), whose snapshots are one-hot.
+pub fn consensus_time<M: DynamicsModel + ?Sized>(
+    model: &M,
+    max_t: usize,
+    target: Candidate,
+    seeds: &[Node],
+    rng_seed: u64,
+) -> Option<(usize, Candidate)> {
+    for t in 0..=max_t {
+        if let Some(winner) = is_unanimous(&model.opinions_at(t, target, seeds, rng_seed)) {
+            return Some((t, winner));
+        }
+    }
+    None
+}
+
+/// One opinion cluster: mean value and member count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Mean opinion of the cluster's members.
+    pub centroid: f64,
+    /// Number of users in the cluster.
+    pub size: usize,
+}
+
+/// Groups a continuous opinion row into clusters separated by gaps
+/// larger than `gap`: sort the values and cut wherever two consecutive
+/// opinions differ by more than `gap`. For Deffuant/HK runs with
+/// confidence bound ε, `gap = ε` recovers the model's own notion of
+/// mutually unreachable camps (the classic `⌊1/(2ε)⌋` cluster-count
+/// observable).
+pub fn opinion_clusters(row: &[f64], gap: f64) -> Vec<Cluster> {
+    assert!(gap >= 0.0, "gap must be non-negative");
+    if row.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = row.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mut clusters = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=sorted.len() {
+        if i == sorted.len() || sorted[i] - sorted[i - 1] > gap {
+            let members = &sorted[start..i];
+            clusters.push(Cluster {
+                centroid: members.iter().sum::<f64>() / members.len() as f64,
+                size: members.len(),
+            });
+            start = i;
+        }
+    }
+    clusters
+}
+
+/// A variance-based polarization index in `[0, 1]`: the opinion variance
+/// normalized by its maximum (1/4, attained by a half-at-0 / half-at-1
+/// split). 0 means full agreement.
+pub fn polarization_index(row: &[f64]) -> f64 {
+    let n = row.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = row.iter().sum::<f64>() / n as f64;
+    let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    (var / 0.25).min(1.0)
+}
+
+/// Expected cumulative support for `target` at every timestamp in
+/// `0..=horizon` — the dynamics counterpart of the paper's Figure 12
+/// score-vs-t series. Stochastic models are averaged over `runs`
+/// realizations per timestamp.
+pub fn support_trajectory<M: DynamicsModel + ?Sized>(
+    model: &M,
+    horizon: usize,
+    target: Candidate,
+    seeds: &[Node],
+    runs: usize,
+    base_seed: u64,
+) -> Vec<f64> {
+    (0..=horizon)
+        .map(|t| {
+            expected_opinions(model, t, target, seeds, runs, base_seed)
+                .row(target)
+                .iter()
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HkModel, MajorityRule, VoterModel};
+    use std::sync::Arc;
+    use vom_graph::builder::graph_from_edges;
+
+    #[test]
+    fn unanimity_detection() {
+        let yes = OpinionMatrix::from_rows(vec![vec![1.0, 1.0], vec![0.0, 0.0]]).unwrap();
+        assert_eq!(is_unanimous(&yes), Some(0));
+        let split = OpinionMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert_eq!(is_unanimous(&split), None);
+        let continuous =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
+        assert_eq!(is_unanimous(&continuous), None, "not one-hot");
+        let empty = OpinionMatrix::from_rows(vec![vec![], vec![]]).unwrap();
+        assert_eq!(is_unanimous(&empty), None);
+    }
+
+    #[test]
+    fn seeded_star_reaches_consensus_quickly_under_majority_rule() {
+        // Hub points at every leaf; seeding the hub converts all leaves
+        // in one step.
+        let edges: Vec<(u32, u32, f64)> = (1..6).map(|v| (0u32, v, 1.0)).collect();
+        let g = Arc::new(graph_from_edges(6, &edges).unwrap());
+        let initial = OpinionMatrix::from_rows(vec![vec![0.1; 6], vec![0.9; 6]]).unwrap();
+        let m = MajorityRule::new(g, initial).unwrap();
+        let (t, winner) = consensus_time(&m, 5, 0, &[0], 0).expect("consensus expected");
+        assert_eq!(winner, 0);
+        assert_eq!(t, 1);
+    }
+
+    #[test]
+    fn voter_consensus_time_is_none_when_sources_disagree() {
+        // Two sources with fixed opposite preferences feeding one node:
+        // unanimity is impossible.
+        let g = Arc::new(graph_from_edges(3, &[(0, 2, 0.5), (1, 2, 0.5)]).unwrap());
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.5],
+            vec![0.1, 0.9, 0.4],
+        ])
+        .unwrap();
+        let m = VoterModel::new(g, initial).unwrap();
+        assert_eq!(consensus_time(&m, 30, 0, &[], 3), None);
+    }
+
+    #[test]
+    fn cluster_extraction_splits_on_gaps() {
+        let row = [0.02, 0.05, 0.1, 0.85, 0.9, 0.95];
+        let clusters = opinion_clusters(&row, 0.2);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].size, 3);
+        assert_eq!(clusters[1].size, 3);
+        assert!((clusters[0].centroid - 0.17 / 3.0).abs() < 1e-12);
+        assert!((clusters[1].centroid - 0.9).abs() < 1e-12);
+        // A huge gap threshold merges everything.
+        assert_eq!(opinion_clusters(&row, 1.0).len(), 1);
+        assert!(opinion_clusters(&[], 0.1).is_empty());
+    }
+
+    #[test]
+    fn hk_cluster_count_tracks_the_confidence_bound() {
+        // Fully connected 6-node graph, opinions spread over [0, 1]:
+        // ε = 1 collapses to one cluster; ε = 0.15 preserves the two
+        // extreme camps.
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                if u != v {
+                    edges.push((u, v, 0.2));
+                }
+            }
+        }
+        let g = Arc::new(graph_from_edges(6, &edges).unwrap());
+        let initial = OpinionMatrix::from_rows(vec![vec![0.0, 0.05, 0.1, 0.9, 0.95, 1.0]])
+            .unwrap();
+        let wide = HkModel::new(g.clone(), initial.clone(), 1.0).unwrap();
+        let snap = crate::model::DynamicsModel::opinions_at(&wide, 20, 0, &[], 0);
+        assert_eq!(opinion_clusters(snap.row(0), 0.05).len(), 1);
+
+        let tight = HkModel::new(g, initial, 0.15).unwrap();
+        let snap = crate::model::DynamicsModel::opinions_at(&tight, 20, 0, &[], 0);
+        let clusters = opinion_clusters(snap.row(0), 0.15);
+        assert_eq!(clusters.len(), 2, "clusters: {clusters:?}");
+        assert_eq!(clusters[0].size, 3);
+        assert_eq!(clusters[1].size, 3);
+    }
+
+    #[test]
+    fn polarization_index_extremes() {
+        assert_eq!(polarization_index(&[0.5; 8]), 0.0);
+        assert!((polarization_index(&[0.0, 0.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(polarization_index(&[]), 0.0);
+        let mild = polarization_index(&[0.4, 0.5, 0.6]);
+        assert!(mild > 0.0 && mild < 0.2);
+    }
+
+    #[test]
+    fn trajectory_starts_at_initial_support_and_is_finite() {
+        let g = Arc::new(graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap());
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.1],
+            vec![0.1, 0.9, 0.9],
+        ])
+        .unwrap();
+        let m = VoterModel::new(g, initial).unwrap();
+        let traj = support_trajectory(&m, 6, 0, &[0], 32, 9);
+        assert_eq!(traj.len(), 7);
+        // t = 0: exactly the (pinned-adjusted) initial one-hot support.
+        assert_eq!(traj[0], 1.0);
+        for (t, s) in traj.iter().enumerate() {
+            assert!((0.0..=3.0).contains(s), "t = {t}: {s}");
+        }
+    }
+}

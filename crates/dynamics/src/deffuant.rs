@@ -1,0 +1,279 @@
+//! The **Deffuant–Weisbuch** bounded-confidence model (Deffuant et al.
+//! 2000; §VII of the paper), run per candidate over the social graph.
+//!
+//! Opinions stay real-valued in `[0, 1]` and, as in the paper's FJ
+//! setting, each candidate's opinions diffuse independently. One
+//! timestamp performs `m` pairwise encounters (one per edge in
+//! expectation): sample an edge `(u, v)` uniformly; if the two users'
+//! opinions about a candidate differ by at most the confidence bound
+//! `ε`, both move toward each other by a fraction `µ` of the gap.
+//! Users outside each other's confidence interval ignore each other —
+//! the mechanism that lets Deffuant dynamics sustain opinion clusters
+//! where DeGroot-style averaging would force consensus.
+//!
+//! Seeds are pinned at opinion 1 for the target candidate and never
+//! move, but still pull confidence-compatible neighbors upward.
+
+use crate::discrete::validate_config;
+use crate::error::DynamicsError;
+use crate::model::{seed_mask, DynamicsModel};
+use crate::{mix_seed, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node, SocialGraph};
+
+/// Deffuant-model configuration.
+#[derive(Debug, Clone)]
+pub struct DeffuantModel {
+    graph: Arc<SocialGraph>,
+    initial: OpinionMatrix,
+    epsilon: f64,
+    mu: f64,
+    edges: Vec<(Node, Node)>,
+}
+
+impl DeffuantModel {
+    /// Builds a Deffuant model with confidence bound `epsilon ∈ [0, 1]`
+    /// and convergence rate `mu ∈ (0, 0.5]` (µ = 0.5 means both meet in
+    /// the middle; larger values would overshoot).
+    pub fn new(
+        graph: Arc<SocialGraph>,
+        initial: OpinionMatrix,
+        epsilon: f64,
+        mu: f64,
+    ) -> Result<Self> {
+        validate_config(graph.num_nodes(), &initial)?;
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(DynamicsError::BadParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "0 <= epsilon <= 1",
+            });
+        }
+        if !(mu > 0.0 && mu <= 0.5) {
+            return Err(DynamicsError::BadParameter {
+                name: "mu",
+                value: mu,
+                constraint: "0 < mu <= 0.5",
+            });
+        }
+        let mut edges = Vec::with_capacity(graph.num_edges());
+        for u in 0..graph.num_nodes() as Node {
+            for v in graph.out_neighbors(u) {
+                edges.push((u, *v));
+            }
+        }
+        Ok(DeffuantModel {
+            graph,
+            initial,
+            epsilon,
+            mu,
+            edges,
+        })
+    }
+
+    /// The confidence bound ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The convergence rate µ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Evolves one candidate's opinion row for `horizon` timestamps.
+    /// `pinned` users never move (used for the target's seeds; empty for
+    /// other candidates).
+    fn evolve_row(
+        &self,
+        row: &mut [f64],
+        pinned: &[bool],
+        horizon: usize,
+        stream: u64,
+    ) {
+        if self.edges.is_empty() {
+            return;
+        }
+        for step in 0..horizon {
+            let mut rng =
+                SmallRng::seed_from_u64(mix_seed(stream, step as u64));
+            for _ in 0..self.edges.len() {
+                let (u, v) = self.edges[rng.gen_range(0..self.edges.len())];
+                let (u, v) = (u as usize, v as usize);
+                let xu = row[u];
+                let xv = row[v];
+                if (xu - xv).abs() > self.epsilon {
+                    continue;
+                }
+                if !pinned[u] {
+                    row[u] = xu + self.mu * (xv - xu);
+                }
+                if !pinned[v] {
+                    row[v] = xv + self.mu * (xu - xv);
+                }
+            }
+        }
+    }
+}
+
+impl DynamicsModel for DeffuantModel {
+    fn name(&self) -> &'static str {
+        "deffuant"
+    }
+
+    fn is_stochastic(&self) -> bool {
+        true
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.initial.num_candidates()
+    }
+
+    fn opinions_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        rng_seed: u64,
+    ) -> OpinionMatrix {
+        let n = self.graph.num_nodes();
+        let r = self.initial.num_candidates();
+        let mut b = self.initial.clone();
+        let pinned = seed_mask(n, seeds);
+        let no_pins = vec![false; n];
+        for q in 0..r {
+            let row = b.row_mut(q);
+            let pins = if q == target {
+                for (v, &p) in pinned.iter().enumerate() {
+                    if p {
+                        row[v] = 1.0;
+                    }
+                }
+                &pinned
+            } else {
+                &no_pins
+            };
+            self.evolve_row(row, pins, horizon, mix_seed(rng_seed, q as u64));
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    fn pair() -> Arc<SocialGraph> {
+        Arc::new(graph_from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap())
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.5, 0.5]]).unwrap();
+        assert!(matches!(
+            DeffuantModel::new(pair(), initial.clone(), 1.5, 0.3),
+            Err(DynamicsError::BadParameter { name: "epsilon", .. })
+        ));
+        assert!(matches!(
+            DeffuantModel::new(pair(), initial.clone(), 0.5, 0.0),
+            Err(DynamicsError::BadParameter { name: "mu", .. })
+        ));
+        assert!(matches!(
+            DeffuantModel::new(pair(), initial, 0.5, 0.7),
+            Err(DynamicsError::BadParameter { name: "mu", .. })
+        ));
+    }
+
+    #[test]
+    fn compatible_pair_converges_to_the_midpoint() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.2, 0.6]]).unwrap();
+        let m = DeffuantModel::new(pair(), initial, 1.0, 0.5).unwrap();
+        let b = m.opinions_at(1, 0, &[], 1);
+        // µ = 0.5: the very first encounter lands both on 0.4, where
+        // they stay for the rest of the sweep.
+        assert!((b.get(0, 0) - 0.4).abs() < 1e-12);
+        assert!((b.get(0, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incompatible_pair_never_interacts() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.1, 0.9]]).unwrap();
+        let m = DeffuantModel::new(pair(), initial, 0.3, 0.5).unwrap();
+        let b = m.opinions_at(20, 0, &[], 5);
+        assert_eq!(b.get(0, 0), 0.1);
+        assert_eq!(b.get(0, 1), 0.9);
+    }
+
+    #[test]
+    fn opinions_stay_in_unit_interval() {
+        let g = Arc::new(
+            graph_from_edges(
+                3,
+                &[(0, 1, 0.5), (2, 1, 0.5), (1, 0, 1.0), (1, 2, 1.0)],
+            )
+            .unwrap(),
+        );
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.0, 0.5, 1.0],
+            vec![1.0, 0.0, 0.3],
+        ])
+        .unwrap();
+        let m = DeffuantModel::new(g, initial, 1.0, 0.5).unwrap();
+        for seed in 0..10 {
+            let b = m.opinions_at(15, 0, &[], seed);
+            for q in 0..2 {
+                for v in 0..3u32 {
+                    let x = b.get(q, v);
+                    assert!((0.0..=1.0).contains(&x), "b[{q}][{v}] = {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_stay_at_one_and_pull_neighbors_up() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.5, 0.5]]).unwrap();
+        let m = DeffuantModel::new(pair(), initial, 1.0, 0.5).unwrap();
+        let b = m.opinions_at(10, 0, &[0], 2);
+        assert_eq!(b.get(0, 0), 1.0, "seed pinned");
+        assert!(b.get(0, 1) > 0.9, "neighbor dragged toward the seed");
+    }
+
+    #[test]
+    fn non_target_candidates_ignore_the_seeds() {
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.5, 0.5],
+            vec![0.4, 0.4],
+        ])
+        .unwrap();
+        let m = DeffuantModel::new(pair(), initial, 1.0, 0.5).unwrap();
+        let b = m.opinions_at(5, 0, &[0], 3);
+        // Candidate 1's row evolves without pins; both users already
+        // agree at 0.4, so nothing moves.
+        assert_eq!(b.get(1, 0), 0.4);
+        assert_eq!(b.get(1, 1), 0.4);
+    }
+
+    #[test]
+    fn deterministic_given_the_same_seed() {
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.1, 0.8],
+            vec![0.6, 0.2],
+        ])
+        .unwrap();
+        let m = DeffuantModel::new(pair(), initial, 0.8, 0.25).unwrap();
+        assert_eq!(m.opinions_at(7, 0, &[], 11), m.opinions_at(7, 0, &[], 11));
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared machinery for the discrete-state models (voter, majority rule,
+//! Sznajd): users hold exactly one preferred candidate at a time.
+//!
+//! The bridge to the paper's voting scores is the 0/1 opinion snapshot:
+//! `b_qv = 1` iff user `v` currently prefers candidate `q`. Under
+//! Monte-Carlo averaging ([`crate::montecarlo`]) the snapshot entries
+//! become *preference probabilities*, so e.g. the cumulative score of a
+//! candidate is her expected number of supporters and the plurality
+//! score counts users preferring her in the majority of realizations.
+
+use crate::error::DynamicsError;
+use crate::Result;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::Candidate;
+
+/// A discrete preference state: one candidate index per user.
+pub type State = u32;
+
+/// Derives the initial discrete states from a real-valued opinion
+/// matrix: every user starts preferring her argmax candidate (ties break
+/// toward the smaller candidate index, matching the tally convention).
+pub fn initial_states(b0: &OpinionMatrix) -> Vec<State> {
+    let n = b0.num_users();
+    let r = b0.num_candidates();
+    let mut states = vec![0 as State; n];
+    for (v, state) in states.iter_mut().enumerate() {
+        let mut best = 0usize;
+        let mut best_val = f64::NEG_INFINITY;
+        for q in 0..r {
+            let val = b0.row(q)[v];
+            if val > best_val {
+                best = q;
+                best_val = val;
+            }
+        }
+        *state = best as State;
+    }
+    states
+}
+
+/// Converts discrete states to the 0/1 opinion snapshot described in the
+/// module docs.
+pub fn states_to_matrix(states: &[State], r: usize) -> OpinionMatrix {
+    let n = states.len();
+    let mut b = OpinionMatrix::zeros(r, n);
+    for (v, &s) in states.iter().enumerate() {
+        b.set(s as Candidate, v as u32, 1.0);
+    }
+    b
+}
+
+/// Whether every user holds the same preference (consensus).
+pub fn is_consensus(states: &[State]) -> bool {
+    states.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Per-candidate supporter counts.
+pub fn support_counts(states: &[State], r: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; r];
+    for &s in states {
+        counts[s as usize] += 1;
+    }
+    counts
+}
+
+/// Validates a shared (graph, initial opinions) configuration.
+pub(crate) fn validate_config(
+    n: usize,
+    initial: &OpinionMatrix,
+) -> Result<()> {
+    if initial.num_candidates() == 0 {
+        return Err(DynamicsError::NoCandidates);
+    }
+    if initial.num_users() != n {
+        return Err(DynamicsError::LengthMismatch {
+            what: "initial opinions",
+            got: initial.num_users(),
+            expected: n,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> OpinionMatrix {
+        OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.2, 0.5],
+            vec![0.5, 0.2, 0.5],
+            vec![0.1, 0.8, 0.4],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_states_take_argmax_with_low_index_ties() {
+        assert_eq!(initial_states(&snapshot()), vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn states_round_trip_to_unit_rows() {
+        let states = vec![0, 2, 1, 1];
+        let b = states_to_matrix(&states, 3);
+        for v in 0..4u32 {
+            let col_sum: f64 = (0..3).map(|q| b.get(q, v)).sum();
+            assert_eq!(col_sum, 1.0, "user {v}");
+        }
+        assert_eq!(initial_states(&b), states);
+    }
+
+    #[test]
+    fn consensus_detection() {
+        assert!(is_consensus(&[1, 1, 1]));
+        assert!(!is_consensus(&[1, 0, 1]));
+        assert!(is_consensus(&[]));
+    }
+
+    #[test]
+    fn support_counts_sum_to_n() {
+        let counts = support_counts(&[0, 2, 2, 1, 2], 3);
+        assert_eq!(counts, vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn validate_rejects_mismatch_and_empty() {
+        let b = snapshot();
+        assert!(validate_config(3, &b).is_ok());
+        assert!(matches!(
+            validate_config(4, &b),
+            Err(DynamicsError::LengthMismatch { .. })
+        ));
+    }
+}

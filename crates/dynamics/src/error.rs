@@ -1,0 +1,84 @@
+//! Error type for dynamics-model configuration.
+
+use std::fmt;
+
+/// Errors raised when constructing or running a dynamics model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicsError {
+    /// A vector input has the wrong length for the graph.
+    LengthMismatch {
+        /// What was being validated.
+        what: &'static str,
+        /// Supplied length.
+        got: usize,
+        /// Required length.
+        expected: usize,
+    },
+    /// A model parameter is outside its valid range.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// The model needs at least one candidate.
+    NoCandidates,
+    /// The target candidate index is out of range.
+    BadTarget {
+        /// Supplied target.
+        target: usize,
+        /// Number of candidates.
+        r: usize,
+    },
+    /// Underlying opinion-matrix validation failed.
+    Diffusion(String),
+}
+
+impl fmt::Display for DynamicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicsError::LengthMismatch {
+                what,
+                got,
+                expected,
+            } => write!(f, "{what}: length {got}, expected {expected}"),
+            DynamicsError::BadParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} violates {constraint}"),
+            DynamicsError::NoCandidates => write!(f, "at least one candidate is required"),
+            DynamicsError::BadTarget { target, r } => {
+                write!(f, "target candidate {target} out of range (r = {r})")
+            }
+            DynamicsError::Diffusion(msg) => write!(f, "diffusion error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicsError {}
+
+impl From<vom_diffusion::DiffusionError> for DynamicsError {
+    fn from(e: vom_diffusion::DiffusionError) -> Self {
+        DynamicsError::Diffusion(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DynamicsError::BadParameter {
+            name: "epsilon",
+            value: -0.5,
+            constraint: "0 <= epsilon <= 1",
+        };
+        let s = e.to_string();
+        assert!(s.contains("epsilon") && s.contains("-0.5"));
+        assert!(DynamicsError::NoCandidates.to_string().contains("candidate"));
+    }
+}

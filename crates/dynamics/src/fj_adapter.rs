@@ -1,0 +1,98 @@
+//! Adapter exposing the paper's Friedkin–Johnsen [`Instance`] through
+//! the [`DynamicsModel`] trait, so FJ can be swept side-by-side with the
+//! alternative models (and so [`crate::seeding::DynamicsSeeder`] can be
+//! sanity-checked against the exact `vom-core` selectors).
+
+use crate::model::DynamicsModel;
+use std::sync::Arc;
+use vom_diffusion::{Instance, OpinionMatrix};
+use vom_graph::{Candidate, Node};
+
+/// A [`DynamicsModel`] view of an FJ instance. Deterministic; the RNG
+/// seed is ignored.
+#[derive(Debug, Clone)]
+pub struct FjDynamics {
+    instance: Arc<Instance>,
+}
+
+impl FjDynamics {
+    /// Wraps a multi-candidate FJ instance.
+    pub fn new(instance: Arc<Instance>) -> Self {
+        FjDynamics { instance }
+    }
+
+    /// The wrapped instance.
+    pub fn instance(&self) -> &Arc<Instance> {
+        &self.instance
+    }
+}
+
+impl DynamicsModel for FjDynamics {
+    fn name(&self) -> &'static str {
+        "friedkin-johnsen"
+    }
+
+    fn is_stochastic(&self) -> bool {
+        false
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.instance.num_nodes()
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.instance.num_candidates()
+    }
+
+    fn opinions_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        _rng_seed: u64,
+    ) -> OpinionMatrix {
+        self.instance.opinions_at(horizon, target, seeds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_diffusion::CandidateData;
+    use vom_graph::builder::graph_from_edges;
+
+    fn instance() -> Arc<Instance> {
+        let g = Arc::new(
+            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
+        );
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        let c1 =
+            CandidateData::new(g.clone(), vec![0.40, 0.80, 0.60, 0.90], d.clone()).unwrap();
+        let c2 = CandidateData::new(g, vec![0.35, 0.75, 1.00, 0.80], d).unwrap();
+        Arc::new(Instance::from_candidates(vec![c1, c2]).unwrap())
+    }
+
+    #[test]
+    fn adapter_matches_the_instance_exactly() {
+        let inst = instance();
+        let dyn_model = FjDynamics::new(inst.clone());
+        for t in [0, 1, 5] {
+            for seeds in [vec![], vec![2u32], vec![0, 1]] {
+                assert_eq!(
+                    dyn_model.opinions_at(t, 0, &seeds, 42),
+                    inst.opinions_at(t, 0, &seeds),
+                    "t = {t}, seeds = {seeds:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_is_forwarded() {
+        let dyn_model = FjDynamics::new(instance());
+        assert_eq!(dyn_model.num_nodes(), 4);
+        assert_eq!(dyn_model.num_candidates(), 2);
+        assert!(!dyn_model.is_stochastic());
+        assert_eq!(dyn_model.name(), "friedkin-johnsen");
+    }
+}

@@ -1,0 +1,256 @@
+//! The **Hegselmann–Krause (HK)** bounded-confidence model (2002; §VII
+//! of the paper), run per candidate over the social graph.
+//!
+//! Synchronous and deterministic: at every timestamp each non-seed user
+//! replaces her opinion about a candidate with the *unweighted average*
+//! over her confidence set — herself plus every in-neighbor whose
+//! opinion lies within `ε` of her own. With `ε = 1` on a strongly
+//! connected graph this degenerates to neighborhood averaging (DeGroot
+//! with uniform weights plus a self-loop); with small `ε` users only
+//! average with like-minded peers, producing the model's signature
+//! opinion clusters.
+//!
+//! Seeds are pinned at opinion 1 for the target candidate; they still
+//! appear in neighbors' confidence sets and pull them toward 1.
+
+use crate::discrete::validate_config;
+use crate::error::DynamicsError;
+use crate::model::{seed_mask, DynamicsModel};
+use crate::Result;
+use std::sync::Arc;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node, SocialGraph};
+
+/// HK-model configuration.
+#[derive(Debug, Clone)]
+pub struct HkModel {
+    graph: Arc<SocialGraph>,
+    initial: OpinionMatrix,
+    epsilon: f64,
+}
+
+impl HkModel {
+    /// Builds an HK model with confidence bound `epsilon ∈ [0, 1]`.
+    pub fn new(
+        graph: Arc<SocialGraph>,
+        initial: OpinionMatrix,
+        epsilon: f64,
+    ) -> Result<Self> {
+        validate_config(graph.num_nodes(), &initial)?;
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(DynamicsError::BadParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "0 <= epsilon <= 1",
+            });
+        }
+        Ok(HkModel {
+            graph,
+            initial,
+            epsilon,
+        })
+    }
+
+    /// The confidence bound ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Evolves one candidate's opinion row for `horizon` synchronous
+    /// steps; `pinned` users never move.
+    fn evolve_row(&self, row: &mut Vec<f64>, pinned: &[bool], horizon: usize) {
+        let n = self.graph.num_nodes();
+        let mut next = row.clone();
+        for _ in 0..horizon {
+            for v in 0..n as Node {
+                let vi = v as usize;
+                if pinned[vi] {
+                    continue;
+                }
+                let xv = row[vi];
+                let mut sum = xv;
+                let mut count = 1usize;
+                for &u in self.graph.in_neighbors(v) {
+                    let xu = row[u as usize];
+                    if (xu - xv).abs() <= self.epsilon {
+                        sum += xu;
+                        count += 1;
+                    }
+                }
+                next[vi] = sum / count as f64;
+            }
+            std::mem::swap(row, &mut next);
+            next.copy_from_slice(row);
+        }
+    }
+}
+
+impl DynamicsModel for HkModel {
+    fn name(&self) -> &'static str {
+        "hegselmann-krause"
+    }
+
+    fn is_stochastic(&self) -> bool {
+        false
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.initial.num_candidates()
+    }
+
+    fn opinions_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        _rng_seed: u64,
+    ) -> OpinionMatrix {
+        let n = self.graph.num_nodes();
+        let r = self.initial.num_candidates();
+        let mut b = self.initial.clone();
+        let pinned = seed_mask(n, seeds);
+        let no_pins = vec![false; n];
+        for q in 0..r {
+            let mut row = b.row(q).to_vec();
+            let pins = if q == target {
+                for (v, &p) in pinned.iter().enumerate() {
+                    if p {
+                        row[v] = 1.0;
+                    }
+                }
+                &pinned
+            } else {
+                &no_pins
+            };
+            self.evolve_row(&mut row, pins, horizon);
+            b.set_row(q, &row);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    /// Complete directed graph on 3 nodes (uniform in-weights).
+    fn triangle() -> Arc<SocialGraph> {
+        Arc::new(
+            graph_from_edges(
+                3,
+                &[
+                    (0, 1, 0.5),
+                    (2, 1, 0.5),
+                    (1, 0, 0.5),
+                    (2, 0, 0.5),
+                    (0, 2, 0.5),
+                    (1, 2, 0.5),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        let initial = OpinionMatrix::from_rows(vec![vec![0.5; 3]]).unwrap();
+        assert!(matches!(
+            HkModel::new(triangle(), initial, -0.1),
+            Err(DynamicsError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn full_confidence_reaches_the_global_mean_in_one_step() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.0, 0.5, 1.0]]).unwrap();
+        let m = HkModel::new(triangle(), initial, 1.0).unwrap();
+        let b = m.opinions_at(1, 0, &[], 0);
+        for v in 0..3u32 {
+            assert!((b.get(0, v) - 0.5).abs() < 1e-12, "user {v}");
+        }
+    }
+
+    #[test]
+    fn zero_confidence_freezes_distinct_opinions() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.1, 0.5, 0.9]]).unwrap();
+        let m = HkModel::new(triangle(), initial, 0.0).unwrap();
+        let b = m.opinions_at(10, 0, &[], 0);
+        assert_eq!(b.row(0), &[0.1, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn clusters_form_under_a_tight_bound() {
+        // Users at 0.0/0.1 and 0.9/1.0 with ε = 0.2: the two camps
+        // average internally but never bridge the 0.8 gap.
+        let g = Arc::new(
+            graph_from_edges(
+                4,
+                &[
+                    (1, 0, 1.0),
+                    (0, 1, 1.0),
+                    (3, 2, 1.0),
+                    (2, 3, 1.0),
+                ],
+            )
+            .unwrap(),
+        );
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.0, 0.1, 0.9, 1.0]]).unwrap();
+        let m = HkModel::new(g, initial, 0.2).unwrap();
+        let b = m.opinions_at(30, 0, &[], 0);
+        assert!((b.get(0, 0) - 0.05).abs() < 1e-9);
+        assert!((b.get(0, 1) - 0.05).abs() < 1e-9);
+        assert!((b.get(0, 2) - 0.95).abs() < 1e-9);
+        assert!((b.get(0, 3) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeds_pull_confident_neighbors_toward_one() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.6, 0.6, 0.6]]).unwrap();
+        let m = HkModel::new(triangle(), initial, 1.0).unwrap();
+        let b = m.opinions_at(20, 0, &[0], 0);
+        assert_eq!(b.get(0, 0), 1.0);
+        assert!(b.get(0, 1) > 0.95);
+        assert!(b.get(0, 2) > 0.95);
+    }
+
+    #[test]
+    fn out_of_confidence_seed_is_ignored() {
+        // Neighbors at 0.1 with ε = 0.3 cannot hear a seed at 1.0.
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.6, 0.1, 0.1]]).unwrap();
+        let m = HkModel::new(triangle(), initial, 0.3).unwrap();
+        let b = m.opinions_at(10, 0, &[0], 0);
+        assert_eq!(b.get(0, 0), 1.0);
+        assert!(b.get(0, 1) < 0.2, "got {}", b.get(0, 1));
+        assert!(b.get(0, 2) < 0.2);
+    }
+
+    #[test]
+    fn rng_seed_is_irrelevant() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.3, 0.4, 0.8]]).unwrap();
+        let m = HkModel::new(triangle(), initial, 0.5).unwrap();
+        assert_eq!(m.opinions_at(6, 0, &[], 1), m.opinions_at(6, 0, &[], 2));
+    }
+
+    #[test]
+    fn opinions_stay_bounded_by_initial_extremes() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.2, 0.5, 0.7]]).unwrap();
+        let m = HkModel::new(triangle(), initial, 1.0).unwrap();
+        let b = m.opinions_at(9, 0, &[], 0);
+        for v in 0..3u32 {
+            let x = b.get(0, v);
+            assert!((0.2..=0.7).contains(&x), "user {v}: {x}");
+        }
+    }
+}

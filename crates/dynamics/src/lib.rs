@@ -1,0 +1,129 @@
+#![warn(missing_docs)]
+//! # vom-dynamics
+//!
+//! Alternative opinion-diffusion models for voting-based opinion
+//! maximization — the paper's §IX future-work direction ("consider more
+//! opinion diffusion models") realized over the same substrate as the
+//! Friedkin–Johnsen engine.
+//!
+//! The paper's related work (§VII) surveys two families:
+//!
+//! * **Discrete models**, where every user holds one preferred candidate
+//!   at a time: the **voter model** ([`VoterModel`], Holley–Liggett 1975),
+//!   its conformity-threshold generalization the **q-voter model**
+//!   ([`QVoterModel`], Castellano et al. 2009), **majority rule**
+//!   ([`MajorityRule`], Krapivsky–Redner 2003), and the **Sznajd model**
+//!   ([`SznajdModel`], Sznajd-Weron & Sznajd 2000).
+//! * **Continuous bounded-confidence models**, where opinions are reals
+//!   in `[0, 1]` but users only listen to peers whose opinions are within
+//!   a confidence bound ε: **Deffuant** ([`DeffuantModel`], Deffuant et
+//!   al. 2000) and **Hegselmann–Krause** ([`HkModel`], 2002).
+//!
+//! All models implement the [`DynamicsModel`] trait: given a target
+//! candidate, a seed set and a horizon `t`, produce the opinion snapshot
+//! `B^(t)[S]` (one realization for stochastic models). Seeding follows
+//! the paper's §II-C semantics: a seed node's opinion about the *target*
+//! is pinned at 1 for the whole diffusion (in discrete models the seed's
+//! preferred candidate is pinned to the target); other candidates are
+//! unaffected.
+//!
+//! On top of the trait the crate provides:
+//!
+//! * [`montecarlo::expected_opinions`] — Monte-Carlo expectation of
+//!   `B^(t)[S]` over independent realizations (deterministic per run
+//!   seed, parallel over runs);
+//! * [`seeding::DynamicsSeeder`] — greedy seed selection under *any*
+//!   dynamics model and *any* voting rule (`vom_voting::OpinionScore`),
+//!   by exact/Monte-Carlo simulation of each candidate seed;
+//! * [`fj_adapter::FjDynamics`] — an adapter exposing the paper's FJ
+//!   instance through the same trait, so FJ seeds can be compared
+//!   head-to-head against the alternative models.
+//!
+//! # Example
+//!
+//! Seed a voter-model campaign on a star network and measure the
+//! expected plurality lift:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vom_diffusion::OpinionMatrix;
+//! use vom_dynamics::{expected_opinions, DynamicsSeeder, VoterModel};
+//! use vom_graph::builder::graph_from_edges;
+//! use vom_voting::ScoringFunction;
+//!
+//! // Hub 0 influences four leaves; everyone initially prefers
+//! // candidate 1 over candidate 0.
+//! let graph = Arc::new(graph_from_edges(
+//!     5,
+//!     &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)],
+//! )?);
+//! let initial = OpinionMatrix::from_rows(vec![vec![0.2; 5], vec![0.8; 5]])?;
+//! let model = VoterModel::new(graph, initial)?;
+//!
+//! // Greedily pick one seed for candidate 0 at horizon 3 (64 Monte-Carlo
+//! // runs per evaluation); the hub is the obvious choice.
+//! let seeder = DynamicsSeeder::new(&model, 3, 0, 64, 7);
+//! let seeds = seeder.greedy(1, &ScoringFunction::Plurality);
+//! assert_eq!(seeds, vec![0]);
+//!
+//! // The pinned hub converts every leaf.
+//! let after = expected_opinions(&model, 3, 0, &seeds, 64, 7);
+//! assert_eq!(ScoringFunction::Plurality.score(&after, 0), 5.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod analysis;
+pub mod deffuant;
+pub mod discrete;
+pub mod error;
+pub mod fj_adapter;
+pub mod hk;
+pub mod majority;
+pub mod model;
+pub mod montecarlo;
+pub mod qvoter;
+pub mod seeding;
+pub mod sznajd;
+pub mod voter;
+
+pub use analysis::{
+    consensus_time, is_unanimous, opinion_clusters, polarization_index, support_trajectory,
+    Cluster,
+};
+pub use deffuant::DeffuantModel;
+pub use error::DynamicsError;
+pub use fj_adapter::FjDynamics;
+pub use hk::HkModel;
+pub use majority::MajorityRule;
+pub use model::DynamicsModel;
+pub use montecarlo::expected_opinions;
+pub use qvoter::QVoterModel;
+pub use seeding::DynamicsSeeder;
+pub use sznajd::SznajdModel;
+pub use voter::VoterModel;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, DynamicsError>;
+
+/// SplitMix64-style seed mixing (same scheme as `vom-walks`): derives an
+/// independent RNG stream per (base seed, stream id) pair so parallel
+/// realizations are deterministic regardless of scheduling.
+#[inline]
+pub(crate) fn mix_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_is_deterministic_and_spreads() {
+        assert_eq!(mix_seed(7, 3), mix_seed(7, 3));
+        assert_ne!(mix_seed(7, 3), mix_seed(7, 4));
+        assert_ne!(mix_seed(7, 3), mix_seed(8, 3));
+    }
+}

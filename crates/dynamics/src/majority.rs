@@ -1,0 +1,219 @@
+//! Synchronous (weighted) **majority rule** (Krapivsky–Redner 2003;
+//! §VII of the paper).
+//!
+//! At every timestamp each non-seed user adopts the candidate with the
+//! largest total incoming influence weight among her in-neighbors'
+//! previous preferences. Ties keep the user's current preference when it
+//! is among the tied leaders, otherwise the smallest candidate index
+//! wins. Users without in-neighbors keep their preference. The update is
+//! deterministic — `rng_seed` is ignored.
+
+use crate::discrete::{initial_states, states_to_matrix, validate_config, State};
+use crate::model::{seed_mask, DynamicsModel};
+use crate::Result;
+use std::sync::Arc;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node, SocialGraph};
+
+/// Majority-rule configuration over a fixed graph and initial opinions.
+#[derive(Debug, Clone)]
+pub struct MajorityRule {
+    graph: Arc<SocialGraph>,
+    initial: OpinionMatrix,
+}
+
+impl MajorityRule {
+    /// Builds a majority-rule model; initial preferences are the
+    /// per-user argmax of `initial`.
+    pub fn new(graph: Arc<SocialGraph>, initial: OpinionMatrix) -> Result<Self> {
+        validate_config(graph.num_nodes(), &initial)?;
+        Ok(MajorityRule { graph, initial })
+    }
+
+    /// Runs the deterministic chain and returns the final states.
+    pub fn states_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+    ) -> Vec<State> {
+        let n = self.graph.num_nodes();
+        let r = self.initial.num_candidates();
+        let mut states = initial_states(&self.initial);
+        let pinned = seed_mask(n, seeds);
+        for (v, &is_pinned) in pinned.iter().enumerate() {
+            if is_pinned {
+                states[v] = target as State;
+            }
+        }
+        let mut next = states.clone();
+        let mut weight_of = vec![0.0f64; r];
+        for _ in 0..horizon {
+            for v in 0..n as Node {
+                if pinned[v as usize] {
+                    continue;
+                }
+                let neighbors = self.graph.in_neighbors(v);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                weight_of.iter_mut().for_each(|w| *w = 0.0);
+                for (&nb, &w) in neighbors.iter().zip(self.graph.in_weights(v)) {
+                    weight_of[states[nb as usize] as usize] += w;
+                }
+                let max = weight_of
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let current = states[v as usize] as usize;
+                // Keep the current preference on ties; otherwise the
+                // smallest tied index.
+                let winner = if weight_of[current] == max {
+                    current
+                } else {
+                    weight_of
+                        .iter()
+                        .position(|&w| w == max)
+                        .expect("max is attained")
+                };
+                next[v as usize] = winner as State;
+            }
+            std::mem::swap(&mut states, &mut next);
+            next.copy_from_slice(&states);
+        }
+        states
+    }
+}
+
+impl DynamicsModel for MajorityRule {
+    fn name(&self) -> &'static str {
+        "majority-rule"
+    }
+
+    fn is_stochastic(&self) -> bool {
+        false
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.initial.num_candidates()
+    }
+
+    fn opinions_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        _rng_seed: u64,
+    ) -> OpinionMatrix {
+        let states = self.states_at(horizon, target, seeds);
+        states_to_matrix(&states, self.initial.num_candidates())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    /// Star: leaves 1..=3 all point into center 0; center points back at
+    /// every leaf (so leaves are also influenced).
+    fn star() -> Arc<SocialGraph> {
+        Arc::new(
+            graph_from_edges(
+                4,
+                &[
+                    (1, 0, 1.0 / 3.0),
+                    (2, 0, 1.0 / 3.0),
+                    (3, 0, 1.0 / 3.0),
+                    (0, 1, 1.0),
+                    (0, 2, 1.0),
+                    (0, 3, 1.0),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn center_adopts_leaf_majority() {
+        // Leaves prefer candidate 1 (two of three); the center starts at
+        // candidate 0 and must flip after one step.
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.2, 0.8],
+            vec![0.1, 0.9, 0.8, 0.2],
+        ])
+        .unwrap();
+        let m = MajorityRule::new(star(), initial).unwrap();
+        let states = m.states_at(1, 0, &[]);
+        assert_eq!(states[0], 1, "center follows the 2-vs-1 leaf majority");
+    }
+
+    #[test]
+    fn seeding_the_center_flips_all_leaves() {
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.1, 0.1, 0.2, 0.2],
+            vec![0.9, 0.9, 0.8, 0.8],
+        ])
+        .unwrap();
+        let m = MajorityRule::new(star(), initial).unwrap();
+        let states = m.states_at(1, 0, &[0]);
+        assert_eq!(states, vec![0, 0, 0, 0], "leaves copy the seeded center");
+    }
+
+    #[test]
+    fn ties_keep_the_current_preference() {
+        // Node 2 hears one vote for each candidate with equal weight.
+        let g = Arc::new(
+            graph_from_edges(3, &[(0, 2, 0.5), (1, 2, 0.5)]).unwrap(),
+        );
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.6],
+            vec![0.1, 0.9, 0.4],
+        ])
+        .unwrap();
+        let m = MajorityRule::new(g, initial).unwrap();
+        let states = m.states_at(5, 0, &[]);
+        assert_eq!(states[2], 0, "tie resolves to the held preference");
+    }
+
+    #[test]
+    fn deterministic_and_rng_independent() {
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.2, 0.8],
+            vec![0.1, 0.9, 0.8, 0.2],
+        ])
+        .unwrap();
+        let m = MajorityRule::new(star(), initial).unwrap();
+        let a = m.opinions_at(4, 0, &[], 1);
+        let b = m.opinions_at(4, 0, &[], 999);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn horizon_zero_is_the_initial_profile() {
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.2, 0.8],
+            vec![0.1, 0.9, 0.8, 0.2],
+        ])
+        .unwrap();
+        let m = MajorityRule::new(star(), initial).unwrap();
+        assert_eq!(m.states_at(0, 0, &[]), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn oscillation_is_possible_without_damping() {
+        // Two nodes copying each other with opposite preferences swap
+        // every step — the classic synchronous-majority 2-cycle. This
+        // documents (rather than hides) the model's known behaviour.
+        let g = Arc::new(graph_from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap());
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let m = MajorityRule::new(g, initial).unwrap();
+        assert_eq!(m.states_at(1, 0, &[]), vec![1, 0]);
+        assert_eq!(m.states_at(2, 0, &[]), vec![0, 1]);
+    }
+}

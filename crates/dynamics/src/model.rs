@@ -1,0 +1,61 @@
+//! The [`DynamicsModel`] trait unifying all opinion-diffusion models.
+
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node};
+
+/// An opinion-diffusion model over a fixed multi-candidate configuration
+/// (graph, initial opinions, model parameters).
+///
+/// `opinions_at` produces the opinion snapshot `B^(t)[S]` after `t`
+/// steps with the seed set `S` installed for `target` — a *single
+/// realization* for stochastic models (`is_stochastic() == true`); use
+/// [`crate::montecarlo::expected_opinions`] for expectations. Seeding
+/// semantics follow the paper's §II-C: seeds are pinned at maximal
+/// support for the target for the entire diffusion and are immune to
+/// influence; non-target candidates are untouched.
+///
+/// Implementations must be deterministic given `(horizon, target, seeds,
+/// rng_seed)` so that experiments are reproducible bit-for-bit.
+pub trait DynamicsModel: Send + Sync {
+    /// Model name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Whether realizations vary with `rng_seed`.
+    fn is_stochastic(&self) -> bool;
+
+    /// Number of users `n`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of candidates `r`.
+    fn num_candidates(&self) -> usize;
+
+    /// One realization of `B^(t)[S]`.
+    fn opinions_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        rng_seed: u64,
+    ) -> OpinionMatrix;
+}
+
+/// Marks the seed nodes in a dense boolean mask.
+pub(crate) fn seed_mask(n: usize, seeds: &[Node]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &s in seeds {
+        mask[s as usize] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_mask_marks_exactly_the_seeds() {
+        let mask = seed_mask(5, &[1, 3]);
+        assert_eq!(mask, vec![false, true, false, true, false]);
+        assert_eq!(seed_mask(3, &[]), vec![false; 3]);
+    }
+}

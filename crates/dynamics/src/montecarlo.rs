@@ -1,0 +1,126 @@
+//! Monte-Carlo expectation of `B^(t)[S]` for stochastic dynamics.
+
+use crate::mix_seed;
+use crate::model::DynamicsModel;
+use rayon::prelude::*;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node};
+
+/// Averages `runs` independent realizations of the model's opinion
+/// snapshot. For deterministic models a single realization is computed
+/// regardless of `runs`.
+///
+/// Runs are parallel but deterministic: realization `j` uses the RNG
+/// stream `mix(base_seed, j)`, so the result is identical however rayon
+/// schedules the work. For discrete models the averaged entries are
+/// per-user preference probabilities (each user's column still sums
+/// to 1).
+pub fn expected_opinions<M: DynamicsModel + ?Sized>(
+    model: &M,
+    horizon: usize,
+    target: Candidate,
+    seeds: &[Node],
+    runs: usize,
+    base_seed: u64,
+) -> OpinionMatrix {
+    let r = model.num_candidates();
+    let n = model.num_nodes();
+    if !model.is_stochastic() || runs <= 1 {
+        return model.opinions_at(horizon, target, seeds, base_seed);
+    }
+    let sum: Vec<f64> = (0..runs)
+        .into_par_iter()
+        .map(|j| {
+            let b = model.opinions_at(horizon, target, seeds, mix_seed(base_seed, j as u64));
+            let mut flat = Vec::with_capacity(r * n);
+            for q in 0..r {
+                flat.extend_from_slice(b.row(q));
+            }
+            flat
+        })
+        .reduce(
+            || vec![0.0; r * n],
+            |mut acc, flat| {
+                for (a, x) in acc.iter_mut().zip(&flat) {
+                    *a += x;
+                }
+                acc
+            },
+        );
+    let mut b = OpinionMatrix::zeros(r, n);
+    let scale = 1.0 / runs as f64;
+    for q in 0..r {
+        let row: Vec<f64> = sum[q * n..(q + 1) * n].iter().map(|x| x * scale).collect();
+        b.set_row(q, &row);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HkModel, VoterModel};
+    use std::sync::Arc;
+    use vom_graph::builder::graph_from_edges;
+
+    fn graph() -> Arc<vom_graph::SocialGraph> {
+        Arc::new(
+            graph_from_edges(
+                3,
+                &[(0, 1, 0.5), (2, 1, 0.5), (1, 0, 1.0), (1, 2, 1.0)],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn initial() -> OpinionMatrix {
+        OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.4, 0.2],
+            vec![0.1, 0.6, 0.8],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_model_short_circuits_to_one_run() {
+        let m = HkModel::new(graph(), initial(), 1.0).unwrap();
+        let single = m.opinions_at(5, 0, &[], 7);
+        let avg = expected_opinions(&m, 5, 0, &[], 100, 7);
+        assert_eq!(single, avg);
+    }
+
+    #[test]
+    fn discrete_expectations_are_probabilities() {
+        let m = VoterModel::new(graph(), initial()).unwrap();
+        let avg = expected_opinions(&m, 6, 0, &[], 200, 3);
+        for v in 0..3u32 {
+            let col: f64 = (0..2).map(|q| avg.get(q, v)).sum();
+            assert!((col - 1.0).abs() < 1e-12, "user {v}: {col}");
+            for q in 0..2 {
+                let x = avg.get(q, v);
+                assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_is_deterministic_in_the_base_seed() {
+        let m = VoterModel::new(graph(), initial()).unwrap();
+        let a = expected_opinions(&m, 6, 0, &[], 64, 5);
+        let b = expected_opinions(&m, 6, 0, &[], 64, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeding_raises_target_support_in_expectation() {
+        let m = VoterModel::new(graph(), initial()).unwrap();
+        let before = expected_opinions(&m, 6, 0, &[], 300, 1);
+        let after = expected_opinions(&m, 6, 0, &[1], 300, 1);
+        let sum_before: f64 = before.row(0).iter().sum();
+        let sum_after: f64 = after.row(0).iter().sum();
+        assert!(
+            sum_after > sum_before,
+            "seeding the hub must raise expected support: {sum_after} vs {sum_before}"
+        );
+    }
+}

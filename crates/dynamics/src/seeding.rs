@@ -1,0 +1,312 @@
+//! Greedy seed selection under *any* dynamics model and *any* voting
+//! rule — the extension counterpart of the paper's Algorithm 1.
+//!
+//! Every greedy iteration evaluates each remaining candidate seed by
+//! simulating the model to the horizon (Monte-Carlo averaged for
+//! stochastic models) and scoring the expected snapshot with the chosen
+//! [`OpinionScore`]. Cost per iteration is `O(n · runs · cost(model))`,
+//! so this is intended for the moderate instance sizes of the dynamics
+//! comparison experiments, not the paper-scale sweeps (which use the
+//! RW/RS estimators specialized to FJ).
+
+use crate::model::DynamicsModel;
+use crate::montecarlo::expected_opinions;
+use rayon::prelude::*;
+use vom_graph::{Candidate, Node};
+use vom_voting::OpinionScore;
+
+/// Greedy seed selection harness over a dynamics model.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicsSeeder<'a, M: DynamicsModel + ?Sized> {
+    model: &'a M,
+    /// Time horizon `t`.
+    pub horizon: usize,
+    /// Target candidate `c_q`.
+    pub target: Candidate,
+    /// Monte-Carlo realizations per evaluation (ignored for
+    /// deterministic models).
+    pub runs: usize,
+    /// Base RNG seed for reproducibility.
+    pub base_seed: u64,
+}
+
+impl<'a, M: DynamicsModel + ?Sized> DynamicsSeeder<'a, M> {
+    /// Creates a seeder; `runs` is clamped to at least 1.
+    pub fn new(
+        model: &'a M,
+        horizon: usize,
+        target: Candidate,
+        runs: usize,
+        base_seed: u64,
+    ) -> Self {
+        DynamicsSeeder {
+            model,
+            horizon,
+            target,
+            runs: runs.max(1),
+            base_seed,
+        }
+    }
+
+    /// Expected objective value of a seed set.
+    pub fn evaluate<S: OpinionScore + ?Sized>(&self, seeds: &[Node], rule: &S) -> f64 {
+        let b = expected_opinions(
+            self.model,
+            self.horizon,
+            self.target,
+            seeds,
+            self.runs,
+            self.base_seed,
+        );
+        rule.evaluate(&b, self.target)
+    }
+
+    /// Whether `seeds` make the target the **strict** expected winner
+    /// under `rule` at the horizon.
+    pub fn wins<S: OpinionScore + ?Sized>(&self, seeds: &[Node], rule: &S) -> bool {
+        let b = expected_opinions(
+            self.model,
+            self.horizon,
+            self.target,
+            seeds,
+            self.runs,
+            self.base_seed,
+        );
+        let mine = rule.evaluate(&b, self.target);
+        (0..self.model.num_candidates())
+            .filter(|&x| x != self.target)
+            .all(|x| rule.evaluate(&b, x) < mine)
+    }
+
+    /// The minimum budget whose greedy seed set makes the target the
+    /// strict expected winner (FJ-Vote-Win, Problem 2, under arbitrary
+    /// dynamics): doubling to find a winning budget, then binary search.
+    /// Returns the budget and its seed set, or `None` if seeding every
+    /// node still does not win.
+    pub fn min_seeds_to_win<S: OpinionScore + ?Sized>(
+        &self,
+        rule: &S,
+    ) -> Option<(usize, Vec<Node>)> {
+        if self.wins(&[], rule) {
+            return Some((0, Vec::new()));
+        }
+        let n = self.model.num_nodes();
+        let mut lo = 0usize;
+        let mut k = 1usize;
+        let mut best = loop {
+            let probe = k.min(n);
+            let seeds = self.greedy(probe, rule);
+            if self.wins(&seeds, rule) {
+                break (probe, seeds);
+            }
+            lo = probe;
+            if probe == n {
+                return None;
+            }
+            k *= 2;
+        };
+        let mut hi = best.0;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let seeds = self.greedy(mid, rule);
+            if self.wins(&seeds, rule) {
+                hi = mid;
+                best = (mid, seeds);
+            } else {
+                lo = mid;
+            }
+        }
+        Some(best)
+    }
+
+    /// Greedy selection of `k` seeds maximizing the expected rule value
+    /// (ties: larger expected cumulative target support, then smaller
+    /// node id). Returns `min(k, n)` distinct seeds in selection order.
+    pub fn greedy<S: OpinionScore + ?Sized>(&self, k: usize, rule: &S) -> Vec<Node> {
+        let n = self.model.num_nodes();
+        let mut is_seed = vec![false; n];
+        let mut seeds: Vec<Node> = Vec::with_capacity(k);
+        for _ in 0..k.min(n) {
+            let evals: Vec<(Node, f64, f64)> = (0..n as Node)
+                .into_par_iter()
+                .filter(|&v| !is_seed[v as usize])
+                .map(|v| {
+                    let mut trial = seeds.clone();
+                    trial.push(v);
+                    let b = expected_opinions(
+                        self.model,
+                        self.horizon,
+                        self.target,
+                        &trial,
+                        self.runs,
+                        self.base_seed,
+                    );
+                    let score = rule.evaluate(&b, self.target);
+                    let cum: f64 = b.row(self.target).iter().sum();
+                    (v, score, cum)
+                })
+                .collect();
+            let Some(&(best, _, _)) = evals.iter().max_by(|a, b| {
+                (a.1, a.2)
+                    .partial_cmp(&(b.1, b.2))
+                    .expect("scores are finite")
+                    .then_with(|| b.0.cmp(&a.0))
+            }) else {
+                break;
+            };
+            is_seed[best as usize] = true;
+            seeds.push(best);
+        }
+        seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FjDynamics, MajorityRule, VoterModel};
+    use std::sync::Arc;
+    use vom_diffusion::{CandidateData, Instance, OpinionMatrix};
+    use vom_graph::builder::graph_from_edges;
+    use vom_voting::{ExtendedRule, ScoringFunction};
+
+    fn running_example_instance() -> Arc<Instance> {
+        let g = Arc::new(
+            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
+        );
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        let c1 =
+            CandidateData::new(g.clone(), vec![0.40, 0.80, 0.60, 0.90], d.clone()).unwrap();
+        let c2 = CandidateData::new(g, vec![0.35, 0.75, 1.00, 0.80], d).unwrap();
+        Arc::new(Instance::from_candidates(vec![c1, c2]).unwrap())
+    }
+
+    #[test]
+    fn fj_adapter_greedy_reproduces_table_1_plurality_seed() {
+        // Table I: user 3 (our node 2) is the best single plurality
+        // seed; the seeder on the exact FJ adapter must find it.
+        let model = FjDynamics::new(running_example_instance());
+        let seeder = DynamicsSeeder::new(&model, 1, 0, 1, 0);
+        let seeds = seeder.greedy(1, &ScoringFunction::Plurality);
+        assert_eq!(seeds, vec![2]);
+    }
+
+    #[test]
+    fn fj_adapter_greedy_reproduces_table_1_cumulative_seed() {
+        let model = FjDynamics::new(running_example_instance());
+        let seeder = DynamicsSeeder::new(&model, 1, 0, 1, 0);
+        let seeds = seeder.greedy(1, &ScoringFunction::Cumulative);
+        assert_eq!(seeds, vec![0], "Table I: node 1 (our 0) wins cumulative");
+    }
+
+    #[test]
+    fn voter_greedy_prefers_the_influential_hub() {
+        // Star: node 0 influences everyone; the best voter-model seed
+        // for expected support must be the hub.
+        let g = Arc::new(
+            graph_from_edges(
+                5,
+                &[
+                    (0, 1, 1.0),
+                    (0, 2, 1.0),
+                    (0, 3, 1.0),
+                    (0, 4, 1.0),
+                ],
+            )
+            .unwrap(),
+        );
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.2; 5],
+            vec![0.8; 5],
+        ])
+        .unwrap();
+        let model = VoterModel::new(g, initial).unwrap();
+        let seeder = DynamicsSeeder::new(&model, 3, 0, 200, 9);
+        let seeds = seeder.greedy(1, &ScoringFunction::Cumulative);
+        assert_eq!(seeds, vec![0]);
+    }
+
+    #[test]
+    fn greedy_objective_is_non_decreasing_along_the_selection() {
+        let g = Arc::new(
+            graph_from_edges(
+                4,
+                &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+            )
+            .unwrap(),
+        );
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.3, 0.4, 0.2, 0.1],
+            vec![0.7, 0.6, 0.8, 0.9],
+        ])
+        .unwrap();
+        let model = MajorityRule::new(g, initial).unwrap();
+        let seeder = DynamicsSeeder::new(&model, 2, 0, 1, 0);
+        let rule = ExtendedRule::Borda;
+        let seeds = seeder.greedy(3, &rule);
+        let mut prev = seeder.evaluate(&[], &rule);
+        for i in 1..=seeds.len() {
+            let cur = seeder.evaluate(&seeds[..i], &rule);
+            assert!(cur >= prev, "step {i}: {cur} < {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn min_seeds_to_win_on_the_running_example() {
+        // Plurality on the running example: seedless is a 2–2 tie, one
+        // seed (node 2) flips all four users — matches the exact
+        // win-search in vom-core.
+        let model = FjDynamics::new(running_example_instance());
+        let seeder = DynamicsSeeder::new(&model, 1, 0, 1, 0);
+        let rule = ScoringFunction::Plurality;
+        assert!(!seeder.wins(&[], &rule));
+        let (k, seeds) = seeder.min_seeds_to_win(&rule).expect("winnable");
+        assert_eq!(k, 1);
+        assert!(seeder.wins(&seeds, &rule));
+    }
+
+    #[test]
+    fn min_seeds_to_win_zero_when_already_winning() {
+        // Candidate 1 already wins the cumulative score seedlessly.
+        let model = FjDynamics::new(running_example_instance());
+        let seeder = DynamicsSeeder::new(&model, 1, 1, 1, 0);
+        let (k, seeds) = seeder
+            .min_seeds_to_win(&ScoringFunction::Cumulative)
+            .expect("already winning");
+        assert_eq!((k, seeds.len()), (0, 0));
+    }
+
+    #[test]
+    fn min_seeds_to_win_under_the_voter_model() {
+        // Star hub: the target trails 0-vs-5 but one pinned hub converts
+        // every leaf within two steps.
+        let g = Arc::new(
+            graph_from_edges(
+                5,
+                &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)],
+            )
+            .unwrap(),
+        );
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.2; 5], vec![0.8; 5]]).unwrap();
+        let model = VoterModel::new(g, initial).unwrap();
+        let seeder = DynamicsSeeder::new(&model, 3, 0, 64, 5);
+        let (k, seeds) = seeder
+            .min_seeds_to_win(&ScoringFunction::Plurality)
+            .expect("winnable via the hub");
+        assert_eq!(k, 1);
+        assert_eq!(seeds, vec![0]);
+    }
+
+    #[test]
+    fn budget_is_capped_at_n() {
+        let model = FjDynamics::new(running_example_instance());
+        let seeder = DynamicsSeeder::new(&model, 1, 0, 1, 0);
+        let seeds = seeder.greedy(10, &ScoringFunction::Cumulative);
+        assert_eq!(seeds.len(), 4);
+        let mut sorted = seeds;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+}

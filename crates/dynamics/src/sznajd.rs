@@ -1,0 +1,209 @@
+//! The **Sznajd model** generalized to directed graphs (Sznajd-Weron &
+//! Sznajd 2000; §VII of the paper).
+//!
+//! "United we stand, divided we fall": a *pair* of agreeing users is
+//! socially convincing. Each timestamp performs `m` micro-updates (one
+//! per edge, so a timestamp is one expected full sweep): sample an edge
+//! `(u, v)` uniformly; if `u` and `v` currently prefer the same
+//! candidate, every out-neighbor of `u` and of `v` (except seeds) adopts
+//! that candidate. Disagreeing pairs do nothing — the original model's
+//! antiferromagnetic variant is deliberately omitted, since opinion
+//! *adoption* is what the maximization problem manipulates.
+
+use crate::discrete::{initial_states, states_to_matrix, validate_config, State};
+use crate::model::{seed_mask, DynamicsModel};
+use crate::{mix_seed, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node, SocialGraph};
+
+/// Sznajd-model configuration over a fixed graph and initial opinions.
+#[derive(Debug, Clone)]
+pub struct SznajdModel {
+    graph: Arc<SocialGraph>,
+    initial: OpinionMatrix,
+    /// Flattened edge list `(u, v)` for uniform edge sampling.
+    edges: Vec<(Node, Node)>,
+}
+
+impl SznajdModel {
+    /// Builds a Sznajd model; initial preferences are the per-user
+    /// argmax of `initial`.
+    pub fn new(graph: Arc<SocialGraph>, initial: OpinionMatrix) -> Result<Self> {
+        validate_config(graph.num_nodes(), &initial)?;
+        let mut edges = Vec::with_capacity(graph.num_edges());
+        for u in 0..graph.num_nodes() as Node {
+            for v in graph.out_neighbors(u) {
+                edges.push((u, *v));
+            }
+        }
+        Ok(SznajdModel {
+            graph,
+            initial,
+            edges,
+        })
+    }
+
+    /// Runs the chain and returns the final discrete states.
+    pub fn states_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        rng_seed: u64,
+    ) -> Vec<State> {
+        let n = self.graph.num_nodes();
+        let mut states = initial_states(&self.initial);
+        let pinned = seed_mask(n, seeds);
+        for (v, &is_pinned) in pinned.iter().enumerate() {
+            if is_pinned {
+                states[v] = target as State;
+            }
+        }
+        if self.edges.is_empty() {
+            return states;
+        }
+        for step in 0..horizon {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(rng_seed, step as u64));
+            for _ in 0..self.edges.len() {
+                let (u, v) = self.edges[rng.gen_range(0..self.edges.len())];
+                let su = states[u as usize];
+                if su != states[v as usize] {
+                    continue;
+                }
+                for &w in self.graph.out_neighbors(u) {
+                    if !pinned[w as usize] {
+                        states[w as usize] = su;
+                    }
+                }
+                for &w in self.graph.out_neighbors(v) {
+                    if !pinned[w as usize] {
+                        states[w as usize] = su;
+                    }
+                }
+            }
+        }
+        states
+    }
+}
+
+impl DynamicsModel for SznajdModel {
+    fn name(&self) -> &'static str {
+        "sznajd"
+    }
+
+    fn is_stochastic(&self) -> bool {
+        true
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.initial.num_candidates()
+    }
+
+    fn opinions_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        rng_seed: u64,
+    ) -> OpinionMatrix {
+        let states = self.states_at(horizon, target, seeds, rng_seed);
+        states_to_matrix(&states, self.initial.num_candidates())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    /// Chain 0 → 1 → 2 → 3 (each node also feeding back so pairs exist).
+    fn chain() -> Arc<SocialGraph> {
+        Arc::new(
+            graph_from_edges(
+                4,
+                &[
+                    (0, 1, 0.5),
+                    (2, 1, 0.5),
+                    (1, 2, 0.5),
+                    (3, 2, 0.5),
+                    (2, 3, 1.0),
+                    (1, 0, 1.0),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn polarized_initial() -> OpinionMatrix {
+        OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.8, 0.2, 0.1],
+            vec![0.1, 0.2, 0.8, 0.9],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn unanimity_is_absorbing() {
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.2; 4], vec![0.8; 4]]).unwrap();
+        let m = SznajdModel::new(chain(), initial).unwrap();
+        for seed in 0..20 {
+            assert_eq!(m.states_at(10, 0, &[], seed), vec![1, 1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn seeds_resist_conversion() {
+        let m = SznajdModel::new(chain(), polarized_initial()).unwrap();
+        for seed in 0..30 {
+            let states = m.states_at(10, 1, &[0], seed);
+            assert_eq!(states[0], 1, "the seed is pinned to the target");
+        }
+    }
+
+    #[test]
+    fn agreeing_pair_converts_out_neighbors() {
+        // Nodes 0 and 1 agree on candidate 0; their out-neighbors are
+        // {1, 0, 2}. After enough sweeps the agreement front reaches
+        // node 3 through the 1–2 and 2–3 pairs with high probability;
+        // at minimum, no realization may invent a third candidate.
+        let m = SznajdModel::new(chain(), polarized_initial()).unwrap();
+        let mut converted = 0;
+        for seed in 0..50 {
+            let states = m.states_at(20, 0, &[], seed);
+            assert!(states.iter().all(|&s| s < 2));
+            if states == vec![0, 0, 0, 0] {
+                converted += 1;
+            }
+        }
+        assert!(converted > 0, "consensus on candidate 0 is reachable");
+    }
+
+    #[test]
+    fn empty_graph_keeps_initial_states() {
+        let g = Arc::new(graph_from_edges(3, &[]).unwrap());
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.5],
+            vec![0.1, 0.9, 0.4],
+        ])
+        .unwrap();
+        let m = SznajdModel::new(g, initial).unwrap();
+        assert_eq!(m.states_at(10, 0, &[], 3), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn deterministic_given_the_same_seed() {
+        let m = SznajdModel::new(chain(), polarized_initial()).unwrap();
+        assert_eq!(
+            m.states_at(10, 0, &[], 42),
+            m.states_at(10, 0, &[], 42)
+        );
+    }
+}

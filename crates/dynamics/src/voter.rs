@@ -1,0 +1,280 @@
+//! The (weighted, synchronous) **voter model** (Holley–Liggett 1975;
+//! §VII of the paper).
+//!
+//! At every timestamp each non-seed user samples one in-neighbor with
+//! probability proportional to the influence weight on the incoming edge
+//! (the column-stochastic `W` makes the in-weights of every node a
+//! probability distribution already) and adopts that neighbor's
+//! *previous* preferred candidate. Users without in-neighbors keep their
+//! preference, mirroring the FJ convention for source nodes.
+//!
+//! This is the natural multi-candidate, influence-weighted voter model
+//! on the paper's substrate: in the classic unweighted statement a node
+//! copies a uniformly random neighbor; here the copy distribution is the
+//! same `W` column the FJ model averages over.
+
+use crate::discrete::{initial_states, states_to_matrix, validate_config, State};
+use crate::model::DynamicsModel;
+use crate::{mix_seed, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node, SocialGraph};
+
+/// Voter-model configuration over a fixed graph and initial opinions.
+#[derive(Debug, Clone)]
+pub struct VoterModel {
+    graph: Arc<SocialGraph>,
+    initial: OpinionMatrix,
+    /// Zealots: users permanently committed to a candidate (Moreno et
+    /// al. 2020, the paper's reference [55]), independent of the
+    /// target's seed set.
+    zealots: Vec<(Candidate, Node)>,
+}
+
+impl VoterModel {
+    /// Builds a voter model; the initial discrete preferences are the
+    /// per-user argmax of `initial`.
+    pub fn new(graph: Arc<SocialGraph>, initial: OpinionMatrix) -> Result<Self> {
+        validate_config(graph.num_nodes(), &initial)?;
+        Ok(VoterModel {
+            graph,
+            initial,
+            zealots: Vec::new(),
+        })
+    }
+
+    /// Commits `nodes` as zealots for `candidate`: they hold that
+    /// preference at `t = 0` and never change, whatever their neighbors
+    /// do. Zealots model entrenched opposition (or support) the seeding
+    /// campaign has to work around; a later seed on the same node takes
+    /// precedence (the campaign *bought* the zealot).
+    pub fn with_zealots(mut self, candidate: Candidate, nodes: &[Node]) -> Self {
+        self.zealots.extend(nodes.iter().map(|&v| (candidate, v)));
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Arc<SocialGraph> {
+        &self.graph
+    }
+
+    /// Runs the chain and returns the final discrete states (exposed for
+    /// tests and the consensus experiments).
+    pub fn states_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        rng_seed: u64,
+    ) -> Vec<State> {
+        let n = self.graph.num_nodes();
+        let mut states = initial_states(&self.initial);
+        // Zealots first, seeds second: a seed on a zealot node wins.
+        let mut pinned = vec![false; n];
+        for &(c, v) in &self.zealots {
+            states[v as usize] = c as State;
+            pinned[v as usize] = true;
+        }
+        for &s in seeds {
+            states[s as usize] = target as State;
+            pinned[s as usize] = true;
+        }
+        let mut next = states.clone();
+        for step in 0..horizon {
+            let mut rng = SmallRng::seed_from_u64(mix_seed(rng_seed, step as u64));
+            for v in 0..n as Node {
+                let neighbors = self.graph.in_neighbors(v);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                // Inverse-CDF sample over the (already normalized)
+                // incoming weights. The draw happens even for pinned
+                // nodes so that seeded and seedless realizations of the
+                // same rng_seed are *coupled*: every non-seed node copies
+                // the same neighbor in both runs, which makes the set of
+                // target supporters monotone in the seed set per
+                // realization (not just in expectation) and reduces the
+                // variance of seeding-gain estimates.
+                let weights = self.graph.in_weights(v);
+                let mut u: f64 = rng.gen();
+                let mut chosen = *neighbors.last().expect("non-empty");
+                for (&w, &nb) in weights.iter().zip(neighbors) {
+                    if u < w {
+                        chosen = nb;
+                        break;
+                    }
+                    u -= w;
+                }
+                if !pinned[v as usize] {
+                    next[v as usize] = states[chosen as usize];
+                }
+            }
+            std::mem::swap(&mut states, &mut next);
+            next.copy_from_slice(&states);
+        }
+        states
+    }
+}
+
+impl DynamicsModel for VoterModel {
+    fn name(&self) -> &'static str {
+        "voter"
+    }
+
+    fn is_stochastic(&self) -> bool {
+        true
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.initial.num_candidates()
+    }
+
+    fn opinions_at(
+        &self,
+        horizon: usize,
+        target: Candidate,
+        seeds: &[Node],
+        rng_seed: u64,
+    ) -> OpinionMatrix {
+        let states = self.states_at(horizon, target, seeds, rng_seed);
+        states_to_matrix(&states, self.initial.num_candidates())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    /// Path 0 → 1 → 2 with an extra source 3 → 1.
+    fn model() -> VoterModel {
+        let g = Arc::new(
+            graph_from_edges(
+                4,
+                &[(0, 1, 0.5), (3, 1, 0.5), (1, 2, 1.0)],
+            )
+            .unwrap(),
+        );
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.2, 0.3],
+            vec![0.1, 0.8, 0.7, 0.6],
+        ])
+        .unwrap();
+        VoterModel::new(g, initial).unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let g = Arc::new(graph_from_edges(2, &[(0, 1, 1.0)]).unwrap());
+        let bad = OpinionMatrix::from_rows(vec![vec![0.5; 3]]).unwrap();
+        assert!(VoterModel::new(g, bad).is_err());
+    }
+
+    #[test]
+    fn horizon_zero_returns_initial_preferences() {
+        let m = model();
+        let states = m.states_at(0, 0, &[], 1);
+        assert_eq!(states, vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn seeds_are_pinned_to_the_target() {
+        let m = model();
+        for seed in 0..50 {
+            let states = m.states_at(10, 0, &[1, 2], seed);
+            assert_eq!(states[1], 0, "seed users never leave the target");
+            assert_eq!(states[2], 0);
+        }
+    }
+
+    #[test]
+    fn unanimous_initial_state_is_absorbing() {
+        let g = Arc::new(graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap());
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.1; 3], vec![0.9; 3]]).unwrap();
+        let m = VoterModel::new(g, initial).unwrap();
+        for seed in 0..20 {
+            assert_eq!(m.states_at(15, 0, &[], seed), vec![1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn source_nodes_keep_their_preference() {
+        let m = model();
+        for seed in 0..20 {
+            let states = m.states_at(8, 0, &[], seed);
+            assert_eq!(states[0], 0, "node 0 has no in-edges");
+            assert_eq!(states[3], 1, "node 3 has no in-edges");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_the_same_seed() {
+        let m = model();
+        assert_eq!(m.states_at(12, 0, &[], 99), m.states_at(12, 0, &[], 99));
+    }
+
+    #[test]
+    fn influence_propagates_along_the_path() {
+        // Node 2 copies node 1's previous state; node 1 copies node 0 or
+        // node 3. Seeding node 3 for candidate 0 makes both of node 1's
+        // influencers prefer candidate 0, so after a couple of steps
+        // node 1 (and then node 2) must hold candidate 0.
+        let m = model();
+        let states = m.states_at(10, 0, &[3], 7);
+        assert_eq!(states, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn zealots_never_change_and_block_consensus() {
+        // Path 0 → 1 → 2: node 0 prefers the target; a zealot for
+        // candidate 1 sits at node 1, cutting the target's influence
+        // chain to node 2 permanently.
+        let g = Arc::new(graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap());
+        let initial = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.9, 0.9],
+            vec![0.1, 0.1, 0.1],
+        ])
+        .unwrap();
+        let m = VoterModel::new(g, initial)
+            .unwrap()
+            .with_zealots(1, &[1]);
+        for seed in 0..20 {
+            let states = m.states_at(10, 0, &[0], seed);
+            assert_eq!(states[0], 0, "seed pinned");
+            assert_eq!(states[1], 1, "zealot pinned to candidate 1");
+            // Node 2 copies the zealot eventually (its only influencer).
+            assert_eq!(states[2], 1, "the zealot firewall holds");
+        }
+    }
+
+    #[test]
+    fn a_seed_on_a_zealot_node_takes_precedence() {
+        let g = Arc::new(graph_from_edges(2, &[(0, 1, 1.0)]).unwrap());
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.2, 0.2], vec![0.8, 0.8]]).unwrap();
+        let m = VoterModel::new(g, initial)
+            .unwrap()
+            .with_zealots(1, &[0]);
+        // Without a seed, the zealot spreads candidate 1.
+        assert_eq!(m.states_at(3, 0, &[], 1), vec![1, 1]);
+        // Buying the zealot converts the chain.
+        assert_eq!(m.states_at(3, 0, &[0], 1), vec![0, 0]);
+    }
+
+    #[test]
+    fn opinions_matrix_is_one_hot() {
+        let m = model();
+        let b = m.opinions_at(5, 0, &[], 3);
+        for v in 0..4u32 {
+            let sum: f64 = (0..2).map(|q| b.get(q, v)).sum();
+            assert_eq!(sum, 1.0);
+        }
+    }
+}

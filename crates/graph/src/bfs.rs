@@ -1,0 +1,239 @@
+//! Bounded-hop breadth-first search.
+//!
+//! Under the FJ model, influence from a seed travels one hop per timestamp,
+//! so a seed set `S` can only affect nodes within `t` outgoing hops: the
+//! *reachable users set* `N_S^{(t)}` (Definition 2). These routines
+//! compute it and support the coverage-style greedy maximization of the
+//! sandwich upper bounds (Definitions 4 and 6).
+
+use crate::graph::SocialGraph;
+use crate::Node;
+use std::collections::VecDeque;
+
+/// Reusable scratch space for repeated bounded BFS runs.
+///
+/// Uses an epoch-stamped visited array so clearing between runs is O(1).
+#[derive(Debug, Clone)]
+pub struct BfsBuffer {
+    stamp: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<(Node, u32)>,
+}
+
+impl BfsBuffer {
+    /// Creates scratch space for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BfsBuffer {
+            stamp: vec![0; n],
+            epoch: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: reset stamps so stale marks cannot alias.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn mark(&mut self, v: Node) -> bool {
+        let s = &mut self.stamp[v as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+}
+
+/// Collects every node at most `t` outgoing hops from any node in
+/// `sources` (sources themselves included — `h = 0`).
+pub fn bounded_out_bfs(g: &SocialGraph, sources: &[Node], t: usize) -> Vec<Node> {
+    let mut buf = BfsBuffer::new(g.num_nodes());
+    bounded_out_bfs_with(g, sources, t, &mut buf)
+}
+
+/// [`bounded_out_bfs`] with caller-provided scratch space.
+pub fn bounded_out_bfs_with(
+    g: &SocialGraph,
+    sources: &[Node],
+    t: usize,
+    buf: &mut BfsBuffer,
+) -> Vec<Node> {
+    buf.begin();
+    let mut out = Vec::new();
+    for &s in sources {
+        if buf.mark(s) {
+            out.push(s);
+            buf.queue.push_back((s, 0));
+        }
+    }
+    while let Some((v, h)) = buf.queue.pop_front() {
+        if h as usize >= t {
+            continue;
+        }
+        for &w in g.out_neighbors(v) {
+            if buf.mark(w) {
+                out.push(w);
+                buf.queue.push_back((w, h + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Incremental coverage state for greedily maximizing
+/// `|N_S^{(t)} ∪ base|`-style submodular coverage functions.
+///
+/// `marginal(s)` counts nodes within `t` hops of `s` not yet covered;
+/// `commit(s)` adds them. Both are exact (full bounded BFS per call), as
+/// in the paper's sandwich upper-bound greedy, which is cheap relative to
+/// opinion computation because no diffusion is involved (§IV-D).
+#[derive(Debug, Clone)]
+pub struct HopCoverage {
+    covered: Vec<bool>,
+    covered_count: usize,
+    t: usize,
+    buf: BfsBuffer,
+}
+
+impl HopCoverage {
+    /// Starts coverage over `n` nodes with hop budget `t`, pre-covering
+    /// `base` (e.g. the favorable users set `V_q^{(t)}`).
+    pub fn new(n: usize, t: usize, base: &[Node]) -> Self {
+        let mut covered = vec![false; n];
+        let mut covered_count = 0;
+        for &v in base {
+            if !covered[v as usize] {
+                covered[v as usize] = true;
+                covered_count += 1;
+            }
+        }
+        HopCoverage {
+            covered,
+            covered_count,
+            t,
+            buf: BfsBuffer::new(n),
+        }
+    }
+
+    /// Number of covered nodes so far (`|N_S^{(t)} ∪ base|`).
+    pub fn covered_count(&self) -> usize {
+        self.covered_count
+    }
+
+    /// Marginal coverage gain of adding `s` to the seed set.
+    pub fn marginal(&mut self, g: &SocialGraph, s: Node) -> usize {
+        let reach = bounded_out_bfs_with(g, &[s], self.t, &mut self.buf);
+        reach.iter().filter(|&&v| !self.covered[v as usize]).count()
+    }
+
+    /// Commits `s`: marks everything within `t` hops covered and returns
+    /// the realized gain.
+    pub fn commit(&mut self, g: &SocialGraph, s: Node) -> usize {
+        let reach = bounded_out_bfs_with(g, &[s], self.t, &mut self.buf);
+        let mut gain = 0;
+        for v in reach {
+            let c = &mut self.covered[v as usize];
+            if !*c {
+                *c = true;
+                gain += 1;
+            }
+        }
+        self.covered_count += gain;
+        gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn path4() -> SocialGraph {
+        // 0 -> 1 -> 2 -> 3
+        graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn zero_hops_is_sources_only() {
+        let g = path4();
+        let mut r = bounded_out_bfs(&g, &[1], 0);
+        r.sort_unstable();
+        assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn hop_limit_respected() {
+        let g = path4();
+        let mut r = bounded_out_bfs(&g, &[0], 2);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2]);
+        let mut r = bounded_out_bfs(&g, &[0], 10);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn multiple_sources_union() {
+        let g = path4();
+        let mut r = bounded_out_bfs(&g, &[0, 3], 1);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicate_sources_deduplicated() {
+        let g = path4();
+        let r = bounded_out_bfs(&g, &[2, 2], 0);
+        assert_eq!(r, vec![2]);
+    }
+
+    #[test]
+    fn buffer_reuse_across_runs() {
+        let g = path4();
+        let mut buf = BfsBuffer::new(4);
+        for _ in 0..100 {
+            let r = bounded_out_bfs_with(&g, &[0], 1, &mut buf);
+            assert_eq!(r.len(), 2);
+        }
+    }
+
+    #[test]
+    fn coverage_marginal_then_commit() {
+        let g = path4();
+        let mut cov = HopCoverage::new(4, 1, &[]);
+        assert_eq!(cov.marginal(&g, 0), 2); // {0, 1}
+        assert_eq!(cov.commit(&g, 0), 2);
+        assert_eq!(cov.covered_count(), 2);
+        assert_eq!(cov.marginal(&g, 1), 1); // {1, 2} minus covered {1}
+        assert_eq!(cov.commit(&g, 1), 1);
+        assert_eq!(cov.covered_count(), 3);
+    }
+
+    #[test]
+    fn coverage_respects_base_set() {
+        let g = path4();
+        let mut cov = HopCoverage::new(4, 1, &[1, 1, 2]);
+        assert_eq!(cov.covered_count(), 2);
+        assert_eq!(cov.marginal(&g, 0), 1); // only node 0 is new
+    }
+
+    #[test]
+    fn coverage_is_submodular_on_paths() {
+        // marginal(s | X) >= marginal(s | Y) for X ⊆ Y.
+        let g = path4();
+        let mut small = HopCoverage::new(4, 2, &[]);
+        small.commit(&g, 0);
+        let mut large = HopCoverage::new(4, 2, &[]);
+        large.commit(&g, 0);
+        large.commit(&g, 1);
+        assert!(small.marginal(&g, 2) >= large.marginal(&g, 2));
+    }
+}

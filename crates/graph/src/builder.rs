@@ -1,0 +1,246 @@
+//! Edge-list ingestion and column normalization.
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use crate::graph::SocialGraph;
+use crate::weights::WeightTransform;
+use crate::{Node, Result};
+
+/// Builds a [`SocialGraph`] from raw weighted edges.
+///
+/// The pipeline mirrors the paper's §VIII-A setup:
+///
+/// 1. raw interaction counts are accumulated per directed pair (parallel
+///    edges are merged by summing),
+/// 2. a [`WeightTransform`] maps counts to pre-normalization weights,
+/// 3. each node's incoming weights are normalized to sum to 1
+///    (column-stochastic `W`).
+///
+/// Edges whose transformed weight is `<= 0` are dropped. Self-loops are
+/// allowed (a node may weigh its own previous opinion, as user 4 in the
+/// paper's running example effectively does via stubbornness).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Node, Node, f64)>,
+    error: Option<GraphError>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_edge_capacity(mut self, m: usize) -> Self {
+        self.edges.reserve(m);
+        self
+    }
+
+    /// Adds a directed edge `src -> dst` carrying raw interaction weight
+    /// `raw` (chainable; errors are deferred to [`GraphBuilder::build`]).
+    pub fn edge(mut self, src: Node, dst: Node, raw: f64) -> Self {
+        self.push_edge(src, dst, raw);
+        self
+    }
+
+    /// Adds a directed edge through a mutable reference (for loops).
+    pub fn add_edge(&mut self, src: Node, dst: Node, raw: f64) {
+        self.push_edge(src, dst, raw);
+    }
+
+    fn push_edge(&mut self, src: Node, dst: Node, raw: f64) {
+        if self.error.is_some() {
+            return;
+        }
+        if src as usize >= self.n {
+            self.error = Some(GraphError::NodeOutOfBounds {
+                node: src,
+                n: self.n as u32,
+            });
+            return;
+        }
+        if dst as usize >= self.n {
+            self.error = Some(GraphError::NodeOutOfBounds {
+                node: dst,
+                n: self.n as u32,
+            });
+            return;
+        }
+        if !raw.is_finite() || raw < 0.0 {
+            self.error = Some(GraphError::InvalidWeight {
+                src,
+                dst,
+                weight: raw,
+            });
+            return;
+        }
+        self.edges.push((src, dst, raw));
+    }
+
+    /// Number of edges added so far (before merging).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds with raw weights (no transform).
+    pub fn build(self) -> Result<SocialGraph> {
+        self.build_with(WeightTransform::Raw)
+    }
+
+    /// Builds the graph, applying `transform` to merged interaction counts
+    /// and normalizing every node's incoming weights to sum to 1.
+    pub fn build_with(mut self, transform: WeightTransform) -> Result<SocialGraph> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        // Merge parallel edges: sort by (dst, src) and sum raw counts.
+        self.edges
+            .sort_unstable_by_key(|a| (a.1, a.0));
+        let mut merged: Vec<(Node, Node, f64)> = Vec::with_capacity(self.edges.len());
+        for &(src, dst, raw) in &self.edges {
+            match merged.last_mut() {
+                Some(&mut (ps, pd, ref mut pw)) if ps == src && pd == dst => *pw += raw,
+                _ => merged.push((src, dst, raw)),
+            }
+        }
+        // Transform and drop non-positive weights.
+        merged.retain_mut(|e| {
+            e.2 = transform.apply(e.2);
+            e.2 > 0.0
+        });
+        // Normalize per destination column.
+        let mut col_sum = vec![0.0f64; self.n];
+        for &(_, dst, w) in &merged {
+            col_sum[dst as usize] += w;
+        }
+        for e in &mut merged {
+            e.2 /= col_sum[e.1 as usize];
+        }
+        let mut has_in = vec![false; self.n];
+        for &(_, dst, _) in &merged {
+            has_in[dst as usize] = true;
+        }
+        // in-CSR keyed by destination, out-CSR keyed by source.
+        let in_edges: Vec<(Node, Node, f64)> =
+            merged.iter().map(|&(s, d, w)| (d, s, w)).collect();
+        let in_csr = Csr::from_grouped_edges(self.n, &in_edges);
+        let out_csr = Csr::from_grouped_edges(self.n, &merged);
+        let g = SocialGraph::from_parts(in_csr, out_csr, has_in);
+        debug_assert!(g.validate_column_stochastic(1e-9).is_ok());
+        Ok(g)
+    }
+}
+
+/// Convenience: builds a graph directly from `(src, dst, raw_weight)`
+/// triples with raw weights.
+pub fn graph_from_edges(n: usize, edges: &[(Node, Node, f64)]) -> Result<SocialGraph> {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(edges.len());
+    for &(s, d, w) in edges {
+        b.add_edge(s, d, w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let err = GraphBuilder::new(2).edge(0, 5, 1.0).build().unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfBounds { node: 5, n: 2 });
+    }
+
+    #[test]
+    fn rejects_negative_and_nan_weights() {
+        assert!(matches!(
+            GraphBuilder::new(2).edge(0, 1, -1.0).build(),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            GraphBuilder::new(2).edge(0, 1, f64::NAN).build(),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(GraphBuilder::new(0).build().unwrap_err(), GraphError::EmptyGraph);
+    }
+
+    #[test]
+    fn first_error_wins_and_is_sticky() {
+        let err = GraphBuilder::new(2)
+            .edge(0, 9, 1.0)
+            .edge(0, 1, f64::NAN)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfBounds { node: 9, n: 2 });
+    }
+
+    #[test]
+    fn merges_parallel_edges_before_transform() {
+        // Two interactions on the same pair must merge to a = 2 first,
+        // then transform: w = 1 - e^{-2/10}; a single in-edge normalizes to 1.
+        let g = GraphBuilder::new(2)
+            .edge(0, 1, 1.0)
+            .edge(0, 1, 1.0)
+            .build_with(WeightTransform::ExpSaturation { mu: 10.0 })
+            .unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.in_weights(1), &[1.0]);
+    }
+
+    #[test]
+    fn normalizes_columns_proportionally() {
+        let g = graph_from_edges(3, &[(0, 2, 1.0), (1, 2, 3.0)]).unwrap();
+        let w = g.in_weights(2);
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_zero_weight_edges() {
+        let g = graph_from_edges(3, &[(0, 2, 0.0), (1, 2, 2.0)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.in_neighbors(2), &[1]);
+        assert_eq!(g.in_weights(2), &[1.0]);
+    }
+
+    #[test]
+    fn node_with_only_zero_edges_has_no_in_edges() {
+        let g = graph_from_edges(3, &[(0, 2, 0.0)]).unwrap();
+        assert!(!g.has_in_edges(2));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn self_loops_are_kept_and_normalized() {
+        let g = graph_from_edges(2, &[(1, 1, 1.0), (0, 1, 1.0)]).unwrap();
+        assert_eq!(g.in_degree(1), 2);
+        let sum: f64 = g.in_weights(1).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_transform_changes_relative_weights() {
+        // Raw counts 1 and 100 into the same node: under Raw the ratio is
+        // 1:100; under ExpSaturation both saturate so the ratio compresses.
+        let raw = graph_from_edges(3, &[(0, 2, 1.0), (1, 2, 100.0)]).unwrap();
+        let sat = GraphBuilder::new(3)
+            .edge(0, 2, 1.0)
+            .edge(1, 2, 100.0)
+            .build_with(WeightTransform::ExpSaturation { mu: 10.0 })
+            .unwrap();
+        assert!(raw.in_weights(2)[0] < sat.in_weights(2)[0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for graph construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::SocialGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A graph must contain at least one node.
+    EmptyGraph,
+    /// An edge endpoint was `>= n`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        n: u32,
+    },
+    /// An edge weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// Source of the offending edge.
+        src: u32,
+        /// Destination of the offending edge.
+        dst: u32,
+        /// The weight as supplied.
+        weight: f64,
+    },
+    /// After normalization a column did not sum to one (within tolerance).
+    NotColumnStochastic {
+        /// The node (column) whose incoming weights are off.
+        node: u32,
+        /// The actual column sum.
+        sum: f64,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => write!(f, "graph must have at least one node"),
+            GraphError::NodeOutOfBounds { node, n } => {
+                write!(f, "node {node} out of bounds for graph with {n} nodes")
+            }
+            GraphError::InvalidWeight { src, dst, weight } => {
+                write!(f, "edge ({src} -> {dst}) has invalid weight {weight}")
+            }
+            GraphError::NotColumnStochastic { node, sum } => {
+                write!(
+                    f,
+                    "incoming weights of node {node} sum to {sum}, expected 1.0"
+                )
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds { node: 7, n: 4 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+        let e = GraphError::InvalidWeight {
+            src: 1,
+            dst: 2,
+            weight: f64::NAN,
+        };
+        assert!(e.to_string().contains("1 -> 2"));
+        let e = GraphError::NotColumnStochastic { node: 3, sum: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+        assert!(GraphError::EmptyGraph.to_string().contains("at least one"));
+        let e = GraphError::InvalidParameter("p must be in [0,1]".into());
+        assert!(e.to_string().contains("p must be"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GraphError::EmptyGraph);
+    }
+}

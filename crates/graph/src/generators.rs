@@ -1,0 +1,247 @@
+//! Deterministic random-graph generators.
+//!
+//! These produce raw edge lists `(src, dst, interaction_count)` that are fed
+//! through [`crate::GraphBuilder`]. They are used by the synthetic dataset
+//! replicas (`vom-datasets`) and throughout the test-suite. All generators
+//! take an explicit RNG so results are reproducible from a seed.
+
+use crate::Node;
+use rand::Rng;
+
+/// Directed Erdős–Rényi graph: `m` distinct directed edges chosen uniformly
+/// (self-loops excluded), each with interaction count 1.
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> Vec<(Node, Node, f64)> {
+    assert!(n >= 2, "erdos_renyi needs at least 2 nodes");
+    let max_edges = n * (n - 1);
+    let m = m.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n) as Node;
+        let v = rng.gen_range(0..n) as Node;
+        if u != v && seen.insert((u, v)) {
+            edges.push((u, v, 1.0));
+        }
+    }
+    edges
+}
+
+/// Directed Chung–Lu (expected-degree) graph with a power-law weight
+/// sequence `w_i ∝ (i + i0)^{-1/(γ−1)}`.
+///
+/// Samples `m` directed edges with both endpoints drawn from the weight
+/// distribution; parallel picks are merged later by the builder (they then
+/// act as higher interaction counts, which is realistic). `gamma` is the
+/// target degree-distribution exponent — the paper's social networks are
+/// heavy-tailed, typically `γ ∈ [2, 3]`.
+pub fn chung_lu<R: Rng>(n: usize, m: usize, gamma: f64, rng: &mut R) -> Vec<(Node, Node, f64)> {
+    assert!(n >= 2, "chung_lu needs at least 2 nodes");
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    let alpha = 1.0 / (gamma - 1.0);
+    // Cumulative weights for inverse-CDF sampling.
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += ((i + 10) as f64).powf(-alpha);
+        cum.push(total);
+    }
+    let sample = |rng: &mut R, cum: &[f64]| -> Node {
+        let x = rng.gen_range(0.0..total);
+        cum.partition_point(|&c| c <= x) as Node
+    };
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < m * 20 {
+        attempts += 1;
+        let u = sample(rng, &cum);
+        let v = sample(rng, &cum);
+        if u != v {
+            edges.push((u, v, 1.0));
+        }
+    }
+    edges
+}
+
+/// Directed preferential attachment: nodes arrive in order, each adding
+/// `m_per` out-edges to earlier nodes chosen proportional to in-degree + 1.
+pub fn preferential_attachment<R: Rng>(
+    n: usize,
+    m_per: usize,
+    rng: &mut R,
+) -> Vec<(Node, Node, f64)> {
+    assert!(n >= 2, "preferential_attachment needs at least 2 nodes");
+    let mut edges = Vec::with_capacity(n.saturating_sub(1) * m_per);
+    // Repeated-target list realizes degree-proportional sampling.
+    let mut pool: Vec<Node> = vec![0];
+    for u in 1..n as Node {
+        for _ in 0..m_per {
+            let v = pool[rng.gen_range(0..pool.len())];
+            if v != u {
+                edges.push((u, v, 1.0));
+                pool.push(v);
+            }
+        }
+        pool.push(u);
+    }
+    edges
+}
+
+/// Directed stochastic block model: `blocks` communities of (near-)equal
+/// size; each ordered pair gets an edge with probability `p_in` inside a
+/// community and `p_out` across communities. Community structure is what
+/// bounded-confidence dynamics (Deffuant/HK in `vom-dynamics`) cluster
+/// along, and what makes competitive seeding geographically "targeted".
+///
+/// Node `v` belongs to block `v % blocks`, so callers can assign
+/// block-correlated opinions without a membership table.
+pub fn stochastic_block<R: Rng>(
+    n: usize,
+    blocks: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Vec<(Node, Node, f64)> {
+    assert!(n >= 2, "stochastic_block needs at least 2 nodes");
+    assert!(blocks >= 1 && blocks <= n, "1 <= blocks <= n");
+    assert!((0.0..=1.0).contains(&p_in), "p_in must be a probability");
+    assert!((0.0..=1.0).contains(&p_out), "p_out must be a probability");
+    let mut edges = Vec::new();
+    for u in 0..n as Node {
+        for v in 0..n as Node {
+            if u == v {
+                continue;
+            }
+            let p = if u as usize % blocks == v as usize % blocks {
+                p_in
+            } else {
+                p_out
+            };
+            if rng.gen::<f64>() < p {
+                edges.push((u, v, 1.0));
+            }
+        }
+    }
+    edges
+}
+
+/// Simple directed path `0 -> 1 -> … -> n-1`.
+pub fn path(n: usize) -> Vec<(Node, Node, f64)> {
+    (0..n.saturating_sub(1))
+        .map(|i| (i as Node, i as Node + 1, 1.0))
+        .collect()
+}
+
+/// Star with node 0 at the hub pointing at every other node.
+pub fn star(n: usize) -> Vec<(Node, Node, f64)> {
+    (1..n).map(|i| (0, i as Node, 1.0)).collect()
+}
+
+/// Directed cycle `0 -> 1 -> … -> n-1 -> 0`.
+pub fn cycle(n: usize) -> Vec<(Node, Node, f64)> {
+    (0..n)
+        .map(|i| (i as Node, ((i + 1) % n) as Node, 1.0))
+        .collect()
+}
+
+/// Complete directed graph (both directions on every pair).
+pub fn complete(n: usize) -> Vec<(Node, Node, f64)> {
+    let mut edges = Vec::with_capacity(n * (n - 1));
+    for u in 0..n as Node {
+        for v in 0..n as Node {
+            if u != v {
+                edges.push((u, v, 1.0));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_deterministic_given_seed() {
+        let a = erdos_renyi(50, 200, &mut StdRng::seed_from_u64(7));
+        let b = erdos_renyi(50, 200, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert!(a.iter().all(|&(u, v, _)| u != v));
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_max_edges() {
+        let e = erdos_renyi(3, 100, &mut StdRng::seed_from_u64(1));
+        assert_eq!(e.len(), 6);
+    }
+
+    #[test]
+    fn chung_lu_is_heavy_tailed() {
+        let edges = chung_lu(2000, 10_000, 2.2, &mut StdRng::seed_from_u64(3));
+        let g = graph_from_edges(2000, &edges).unwrap();
+        let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
+        let mean_in = g.num_edges() as f64 / 2000.0;
+        assert!(
+            max_in as f64 > 8.0 * mean_in,
+            "expected a hub: max {max_in} vs mean {mean_in}"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_builds_hubs() {
+        let edges = preferential_attachment(500, 3, &mut StdRng::seed_from_u64(5));
+        let g = graph_from_edges(500, &edges).unwrap();
+        let d0 = g.in_degree(0);
+        let mean = g.num_edges() as f64 / 500.0;
+        assert!(d0 as f64 > 3.0 * mean, "node 0 should be a hub: {d0}");
+    }
+
+    #[test]
+    fn stochastic_block_is_community_dense() {
+        let n = 200;
+        let blocks = 4;
+        let edges = stochastic_block(n, blocks, 0.2, 0.01, &mut StdRng::seed_from_u64(11));
+        let (mut within, mut across) = (0usize, 0usize);
+        for &(u, v, _) in &edges {
+            if u as usize % blocks == v as usize % blocks {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        // Within-pairs are 1/4 of all pairs but 20x more likely: the
+        // within count must clearly dominate per-pair.
+        let within_rate = within as f64 / (n * (n / blocks - 1)) as f64;
+        let across_rate = across as f64 / (n * (n - n / blocks)) as f64;
+        assert!(
+            within_rate > 5.0 * across_rate,
+            "within {within_rate} vs across {across_rate}"
+        );
+        let g = graph_from_edges(n, &edges).unwrap();
+        g.validate_column_stochastic(1e-9).unwrap();
+    }
+
+    #[test]
+    fn stochastic_block_extremes() {
+        let none = stochastic_block(10, 2, 0.0, 0.0, &mut StdRng::seed_from_u64(2));
+        assert!(none.is_empty());
+        let full = stochastic_block(10, 2, 1.0, 1.0, &mut StdRng::seed_from_u64(2));
+        assert_eq!(full.len(), 90);
+    }
+
+    #[test]
+    fn structured_generators_have_expected_shapes() {
+        assert_eq!(path(4).len(), 3);
+        assert_eq!(star(5).len(), 4);
+        assert_eq!(cycle(4).len(), 4);
+        assert_eq!(complete(4).len(), 12);
+        let g = graph_from_edges(4, &cycle(4)).unwrap();
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 1);
+            assert_eq!(g.out_degree(v), 1);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Graph summary statistics (Table III style).
+
+use crate::graph::SocialGraph;
+use std::fmt;
+
+/// Degree and size statistics of a [`SocialGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges (positive normalized weight).
+    pub edges: usize,
+    /// Mean in-degree (= mean out-degree).
+    pub mean_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Number of nodes with no incoming edges (opinion sources).
+    pub source_nodes: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &SocialGraph) -> Self {
+        let n = g.num_nodes();
+        let mut max_in = 0;
+        let mut max_out = 0;
+        let mut sources = 0;
+        for v in g.nodes() {
+            max_in = max_in.max(g.in_degree(v));
+            max_out = max_out.max(g.out_degree(v));
+            if !g.has_in_edges(v) {
+                sources += 1;
+            }
+        }
+        GraphStats {
+            nodes: n,
+            edges: g.num_edges(),
+            mean_degree: g.num_edges() as f64 / n as f64,
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            source_nodes: sources,
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} m={} mean_deg={:.2} max_in={} max_out={} sources={}",
+            self.nodes,
+            self.edges,
+            self.mean_degree,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.source_nodes
+        )
+    }
+}
+
+/// Histogram of in-degrees, bucketed by powers of two (`[0]`, `[1]`,
+/// `[2,3]`, `[4,7]`, …). Useful for eyeballing heavy tails.
+pub fn in_degree_histogram(g: &SocialGraph) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in g.nodes() {
+        let d = g.in_degree(v);
+        let b = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(b, c)| (if b == 0 { 0 } else { 1 << (b - 1) }, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::generators;
+
+    #[test]
+    fn stats_on_running_example() {
+        let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.source_nodes, 2);
+        assert!((s.mean_degree - 0.75).abs() < 1e-12);
+        let shown = s.to_string();
+        assert!(shown.contains("n=4"));
+        assert!(shown.contains("m=3"));
+    }
+
+    #[test]
+    fn histogram_buckets_counts_sum_to_n() {
+        let g = graph_from_edges(5, &generators::star(5)).unwrap();
+        let h = in_degree_histogram(&g);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 5);
+        // Hub has in-degree 0, leaves have 1.
+        assert_eq!(h[0], (0, 1));
+        assert_eq!(h[1], (1, 4));
+    }
+}

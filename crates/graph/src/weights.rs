@@ -1,0 +1,73 @@
+//! Edge-weight transforms applied to raw interaction counts.
+
+/// How raw interaction counts (co-authorships, common restaurant visits,
+/// retweets, …) are turned into pre-normalization edge weights.
+///
+/// The paper (§VIII-A, Appendix D) uses the saturating transform
+/// `w = 1 − e^{−a/µ}` from Potamias et al., with `µ = 10` by default; the
+/// sensitivity of the final scores to `µ` is Figure 19.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightTransform {
+    /// Use the raw count as the weight.
+    Raw,
+    /// `w = 1 − e^{−a/µ}`: more interactions → higher influence, saturating
+    /// at 1.
+    ExpSaturation {
+        /// Saturation scale; the paper's default is `10.0`.
+        mu: f64,
+    },
+}
+
+impl WeightTransform {
+    /// The paper's default transform (`µ = 10`).
+    pub fn paper_default() -> Self {
+        WeightTransform::ExpSaturation { mu: 10.0 }
+    }
+
+    /// Applies the transform to a raw interaction count `a`.
+    #[inline]
+    pub fn apply(self, a: f64) -> f64 {
+        match self {
+            WeightTransform::Raw => a,
+            WeightTransform::ExpSaturation { mu } => 1.0 - (-a / mu).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_is_identity() {
+        assert_eq!(WeightTransform::Raw.apply(3.5), 3.5);
+    }
+
+    #[test]
+    fn exp_saturation_monotone_and_bounded() {
+        let t = WeightTransform::ExpSaturation { mu: 10.0 };
+        let mut prev = t.apply(0.0);
+        assert_eq!(prev, 0.0);
+        for a in 1..100 {
+            let w = t.apply(a as f64);
+            assert!(w > prev, "must be strictly increasing");
+            assert!(w < 1.0, "must saturate below 1");
+            prev = w;
+        }
+        assert!(t.apply(1e6) > 0.999_999);
+    }
+
+    #[test]
+    fn paper_default_matches_mu_10() {
+        let t = WeightTransform::paper_default();
+        let expected = 1.0 - (-1.0f64 / 10.0).exp();
+        assert!((t.apply(1.0) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn smaller_mu_saturates_faster() {
+        let fast = WeightTransform::ExpSaturation { mu: 1.0 };
+        let slow = WeightTransform::ExpSaturation { mu: 20.0 };
+        assert!(fast.apply(2.0) > slow.apply(2.0));
+    }
+}

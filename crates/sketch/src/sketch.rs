@@ -1,0 +1,474 @@
+//! The sketch set: θ walks from uniformly sampled start nodes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node, SocialGraph};
+use vom_voting::rank::beta_with_target;
+use vom_voting::ScoringFunction;
+use vom_walks::estimator::PairDelta;
+use vom_walks::{Truncation, WalkArena, WalkGenerator};
+
+/// θ reverse random walks from uniformly sampled starts, with incremental
+/// seed truncation (Algorithm 5 state).
+///
+/// Because start nodes are sampled with replacement, a node can head
+/// several sketches; per the paper's §VI-B (footnote 6) all walks sharing
+/// a start are **pooled** into one estimate `b̂_qv[S]`, and each of the θ
+/// samples contributes through its start's pooled estimate. Pooling is
+/// what makes the rank-based estimates (Eqs. 42/47) consistent — a
+/// single-walk estimate of a rank indicator is biased.
+#[derive(Debug, Clone)]
+pub struct SketchSet {
+    arena: WalkArena,
+    trunc: Truncation,
+    b0: Vec<f64>,
+    n: usize,
+    /// Per start node: sum of current end values over its sketches.
+    start_sum: Vec<f64>,
+    /// Per start node: number of sketches started there.
+    start_count: Vec<u32>,
+}
+
+impl SketchSet {
+    /// Samples `theta` start nodes uniformly at random (with replacement,
+    /// as in Algorithm 5) and generates one seedless `t`-step reverse walk
+    /// from each.
+    pub fn generate(
+        graph: &SocialGraph,
+        stubbornness: &[f64],
+        b0_target: &[f64],
+        t: usize,
+        theta: usize,
+        seed: u64,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let starts: Vec<Node> = (0..theta).map(|_| rng.gen_range(0..n) as Node).collect();
+        let gen = WalkGenerator::new(graph, stubbornness, t);
+        let arena = gen.generate_for_starts(&starts, seed.wrapping_add(1));
+        let trunc = Truncation::new(&arena, n);
+        let mut start_sum = vec![0.0f64; n];
+        let mut start_count = vec![0u32; n];
+        for j in 0..arena.num_walks() {
+            let v = arena.start(j) as usize;
+            start_sum[v] += trunc.end_value(&arena, b0_target, j);
+            start_count[v] += 1;
+        }
+        SketchSet {
+            arena,
+            trunc,
+            b0: b0_target.to_vec(),
+            n,
+            start_sum,
+            start_count,
+        }
+    }
+
+    /// Number of sketches `θ`.
+    pub fn theta(&self) -> usize {
+        self.arena.num_walks()
+    }
+
+    /// Number of users `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Seeds applied so far.
+    pub fn seeds(&self) -> &[Node] {
+        self.trunc.seeds()
+    }
+
+    /// Whether `v` is a seed.
+    pub fn is_seed(&self, v: Node) -> bool {
+        self.trunc.is_seed(v)
+    }
+
+    /// Start node of sketch `j`.
+    pub fn walk_start(&self, j: usize) -> Node {
+        self.arena.start(j)
+    }
+
+    /// Current end value of sketch `j` alone (before pooling).
+    pub fn walk_value(&self, j: usize) -> f64 {
+        self.trunc.end_value(&self.arena, &self.b0, j)
+    }
+
+    /// How many sketches start at `v`.
+    pub fn start_count(&self, v: Node) -> u32 {
+        self.start_count[v as usize]
+    }
+
+    /// Pooled opinion estimate `b̂_qv^{(t)}[S]` across all sketches
+    /// starting at `v` (1 for seeds; `None` if `v` was never sampled).
+    pub fn pooled_estimate(&self, v: Node) -> Option<f64> {
+        if self.trunc.is_seed(v) {
+            return Some(1.0);
+        }
+        let c = self.start_count[v as usize];
+        if c == 0 {
+            None
+        } else {
+            Some(self.start_sum[v as usize] / c as f64)
+        }
+    }
+
+    /// The weight a sampled user carries in score estimates: `v` was drawn
+    /// `count_v` times out of θ, each draw standing for `n/θ` users.
+    pub fn user_weight(&self, v: Node) -> f64 {
+        self.start_count[v as usize] as f64 * self.n as f64 / self.theta() as f64
+    }
+
+    /// Adds `u` to the seed set, truncating affected sketches and
+    /// updating the pooled sums. Returns the start nodes whose pooled
+    /// estimates changed (deduplicated).
+    pub fn add_seed(&mut self, u: Node) -> Vec<Node> {
+        let mut touched = Vec::new();
+        let arena = &self.arena;
+        let b0 = &self.b0;
+        let start_sum = &mut self.start_sum;
+        self.trunc.add_seed(arena, u, |walk, old_end| {
+            let start = arena.start(walk);
+            start_sum[start as usize] += 1.0 - b0[old_end as usize];
+            touched.push(start);
+        });
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Estimated cumulative score `(n/θ) Σ_j b̂_{qv_j}[S]` (Eq. 35).
+    pub fn estimated_cumulative(&self) -> f64 {
+        // Σ_j over samples of the pooled estimate equals Σ_v sum_v, so the
+        // per-walk sum is identical and cheaper.
+        let sum: f64 = self.start_sum.iter().sum();
+        sum * self.n as f64 / self.theta() as f64
+    }
+
+    /// Estimated positional-p-approval score (Eq. 42): each sample
+    /// contributes `ω[β(b̂_{qv_j})]·1[β ≤ p]`, where `β` ranks the pooled
+    /// target estimate against the *exact* opinions of the other
+    /// candidates for the start user. `score` must be a plurality
+    /// variant; `non_target` holds exact horizon-`t` opinions of all
+    /// candidates (the target row is ignored).
+    pub fn estimated_positional(
+        &self,
+        score: &ScoringFunction,
+        non_target: &OpinionMatrix,
+        q: Candidate,
+    ) -> f64 {
+        let p = score
+            .approval_depth()
+            .expect("estimated_positional requires a plurality-variant score");
+        let mut total = 0.0;
+        for v in 0..self.n as Node {
+            let Some(est) = self.pooled_estimate(v) else {
+                continue;
+            };
+            let c = self.start_count[v as usize];
+            if c == 0 {
+                continue;
+            }
+            total +=
+                c as f64 * positional_contribution(score, non_target, q, v, est, p);
+        }
+        total * self.n as f64 / self.theta() as f64
+    }
+
+    /// Estimated Copeland score (Eq. 47): `c_q ≻_M̂ c_x` iff among the θ
+    /// samples more hold `b̂_qv > b_xv` than the opposite (samples vote
+    /// with their multiplicity).
+    pub fn estimated_copeland(&self, non_target: &OpinionMatrix, q: Candidate) -> f64 {
+        let r = non_target.num_candidates();
+        let mut wins = 0usize;
+        for x in 0..r {
+            if x == q {
+                continue;
+            }
+            let mut above = 0i64;
+            for v in 0..self.n as Node {
+                let c = self.start_count[v as usize] as i64;
+                if c == 0 {
+                    continue;
+                }
+                let est = self.pooled_estimate(v).expect("count > 0");
+                let bx = non_target.get(x, v);
+                if est > bx {
+                    above += c;
+                } else if est < bx {
+                    above -= c;
+                }
+            }
+            if above > 0 {
+                wins += 1;
+            }
+        }
+        wins as f64
+    }
+
+    /// For the greedy selectors: the marginal gain in the estimated
+    /// cumulative score for every candidate seed, from one scan over the
+    /// live prefixes.
+    pub fn cumulative_gains(&self) -> Vec<f64> {
+        let scale = self.n as f64 / self.theta() as f64;
+        let mut gains = vec![0.0f64; self.n];
+        self.scan_prefixes(|w, _, gain| gains[w as usize] += gain * scale);
+        gains
+    }
+
+    /// Restricted cumulative estimate over the users in `mask`
+    /// (`(n/θ) Σ_{j: mask[v_j]} b̂`), for the sandwich lower bound.
+    pub fn estimated_cumulative_masked(&self, mask: &[bool]) -> f64 {
+        let sum: f64 = (0..self.n)
+            .filter(|&v| mask[v])
+            .map(|v| self.start_sum[v])
+            .sum();
+        sum * self.n as f64 / self.theta() as f64
+    }
+
+    /// [`SketchSet::cumulative_gains`] restricted to sketches whose start
+    /// node is in `mask`.
+    pub fn cumulative_gains_masked(&self, mask: &[bool]) -> Vec<f64> {
+        let scale = self.n as f64 / self.theta() as f64;
+        let mut gains = vec![0.0f64; self.n];
+        self.scan_prefixes(|w, start, gain| {
+            if mask[start as usize] {
+                gains[w as usize] += gain * scale;
+            }
+        });
+        gains
+    }
+
+    /// Per-(seed, user) **pooled estimate** deltas, sorted by seed: adding
+    /// `seed` raises user `user`'s pooled estimate by `delta`. Mirrors
+    /// [`vom_walks::OpinionEstimator::pair_deltas`] so the rank-based
+    /// greedy can treat RW and RS estimates uniformly.
+    pub fn pair_deltas(&self) -> Vec<PairDelta> {
+        let mut deltas = Vec::new();
+        self.scan_prefixes(|w, start, gain| {
+            deltas.push(PairDelta {
+                seed: w,
+                user: start,
+                delta: gain / self.start_count[start as usize] as f64,
+            });
+        });
+        deltas.sort_unstable_by_key(|d| (d.seed, d.user));
+        deltas.dedup_by(|b, a| {
+            if a.seed == b.seed && a.user == b.user {
+                a.delta += b.delta;
+                true
+            } else {
+                false
+            }
+        });
+        deltas
+    }
+
+    /// Visits `(candidate seed w, walk start, 1 − end_value)` for the
+    /// first occurrence of every non-seed node in every live prefix.
+    fn scan_prefixes<F: FnMut(Node, Node, f64)>(&self, mut visit: F) {
+        for j in 0..self.theta() {
+            let gain = 1.0 - self.walk_value(j);
+            if gain <= 0.0 {
+                continue;
+            }
+            let prefix = self.trunc.prefix(&self.arena, j);
+            let start = self.arena.start(j);
+            for (pos, &w) in prefix.iter().enumerate() {
+                if prefix[..pos].contains(&w) || self.trunc.is_seed(w) {
+                    continue;
+                }
+                visit(w, start, gain);
+            }
+        }
+    }
+
+    /// Approximate heap footprint (Figure 17's memory comparison).
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes()
+            + self.b0.len() * std::mem::size_of::<f64>()
+            + self.start_sum.len() * std::mem::size_of::<f64>()
+            + self.start_count.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// One user's contribution to the positional estimate (Eq. 42 summand).
+pub(crate) fn positional_contribution(
+    score: &ScoringFunction,
+    non_target: &OpinionMatrix,
+    q: Candidate,
+    user: Node,
+    target_value: f64,
+    p: usize,
+) -> f64 {
+    let rank = beta_with_target(non_target, q, user, target_value);
+    if rank <= p {
+        score.position_weight(rank)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    fn running_example() -> (SocialGraph, Vec<f64>, Vec<f64>, OpinionMatrix) {
+        let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let b0 = vec![0.40, 0.80, 0.60, 0.90];
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        // Exact opinions at t = 1; competitor row from Table I.
+        let exact = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.75],
+            vec![0.35, 0.75, 0.78, 0.90],
+        ])
+        .unwrap();
+        (g, b0, d, exact)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (g, b0, d, _) = running_example();
+        let a = SketchSet::generate(&g, &d, &b0, 2, 500, 7);
+        let b = SketchSet::generate(&g, &d, &b0, 2, 500, 7);
+        assert_eq!(a.theta(), 500);
+        for j in 0..500 {
+            assert_eq!(a.walk_start(j), b.walk_start(j));
+            assert_eq!(a.walk_value(j), b.walk_value(j));
+        }
+    }
+
+    #[test]
+    fn start_counts_sum_to_theta() {
+        let (g, b0, d, _) = running_example();
+        let s = SketchSet::generate(&g, &d, &b0, 2, 1000, 41);
+        let total: u32 = (0..4).map(|v| s.start_count(v)).sum();
+        assert_eq!(total as usize, s.theta());
+        let weight_total: f64 = (0..4).map(|v| s.user_weight(v)).sum();
+        assert!((weight_total - 4.0).abs() < 1e-9, "weights sum to n");
+    }
+
+    #[test]
+    fn cumulative_estimate_converges() {
+        let (g, b0, d, _) = running_example();
+        let s = SketchSet::generate(&g, &d, &b0, 1, 200_000, 11);
+        // Exact cumulative at t=1, no seeds: 2.55.
+        let est = s.estimated_cumulative();
+        assert!((est - 2.55).abs() < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn seeded_cumulative_estimate_converges() {
+        let (g, b0, d, _) = running_example();
+        let mut s = SketchSet::generate(&g, &d, &b0, 1, 200_000, 13);
+        s.add_seed(2);
+        // Table I row {3}: cumulative 3.15.
+        let est = s.estimated_cumulative();
+        assert!((est - 3.15).abs() < 0.05, "estimate {est}");
+        assert_eq!(s.seeds(), &[2]);
+        assert!(s.is_seed(2));
+    }
+
+    #[test]
+    fn pooled_estimates_converge_to_exact_opinions() {
+        let (g, b0, d, exact) = running_example();
+        let s = SketchSet::generate(&g, &d, &b0, 1, 100_000, 43);
+        for v in 0..4 {
+            let est = s.pooled_estimate(v).unwrap();
+            let want = exact.get(0, v);
+            assert!((est - want).abs() < 0.02, "node {v}: {est} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cumulative_gains_match_realized_gains() {
+        let (g, b0, d, _) = running_example();
+        let s = SketchSet::generate(&g, &d, &b0, 2, 5_000, 17);
+        let gains = s.cumulative_gains();
+        let base = s.estimated_cumulative();
+        for w in 0..4u32 {
+            let mut clone = s.clone();
+            clone.add_seed(w);
+            let realized = clone.estimated_cumulative() - base;
+            assert!(
+                (gains[w as usize] - realized).abs() < 1e-9,
+                "seed {w}: {} vs {realized}",
+                gains[w as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn plurality_estimate_converges() {
+        let (g, b0, d, exact) = running_example();
+        let s = SketchSet::generate(&g, &d, &b0, 1, 200_000, 19);
+        // Exact plurality at t=1, no seeds: 2 (users 0 and 1).
+        let est = s.estimated_positional(&ScoringFunction::Plurality, &exact, 0);
+        assert!((est - 2.0).abs() < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn seeded_plurality_estimate_converges() {
+        let (g, b0, d, exact) = running_example();
+        let mut s = SketchSet::generate(&g, &d, &b0, 1, 200_000, 23);
+        s.add_seed(2);
+        // Table I row {3}: plurality 4.
+        let est = s.estimated_positional(&ScoringFunction::Plurality, &exact, 0);
+        assert!((est - 4.0).abs() < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn copeland_estimate_matches_exact_on_clear_majorities() {
+        // Note: the *seedless* running example is a 2-vs-2 knife-edge tie
+        // (µ[S] = 0), which the paper's Theorem 12 explicitly assumes
+        // away — sampling cannot resolve it. We test the clear cases.
+        let (g, b0, d, exact) = running_example();
+        let mut s = SketchSet::generate(&g, &d, &b0, 1, 50_000, 29);
+        s.add_seed(2);
+        // Seed {3}: all 4 users above -> 1.
+        assert_eq!(s.estimated_copeland(&exact, 0), 1.0);
+
+        // A clearly losing target: everyone far below the competitor.
+        let low_b0 = vec![0.05; 4];
+        let s2 = SketchSet::generate(&g, &d, &low_b0, 1, 20_000, 59);
+        assert_eq!(s2.estimated_copeland(&exact, 0), 0.0);
+    }
+
+    #[test]
+    fn pair_deltas_predict_pooled_estimate_changes() {
+        let (g, b0, d, _) = running_example();
+        let s = SketchSet::generate(&g, &d, &b0, 2, 2_000, 31);
+        let deltas = s.pair_deltas();
+        for pair in deltas.windows(2) {
+            assert!((pair[0].seed, pair[0].user) < (pair[1].seed, pair[1].user));
+        }
+        // Realized check for seed 2.
+        let before: Vec<_> = (0..4).map(|v| s.pooled_estimate(v)).collect();
+        let mut clone = s.clone();
+        clone.add_seed(2);
+        let mut predicted: Vec<f64> = before.iter().map(|e| e.unwrap_or(0.0)).collect();
+        for pd in deltas.iter().filter(|d| d.seed == 2) {
+            predicted[pd.user as usize] += pd.delta;
+        }
+        for v in 0..4u32 {
+            if v == 2 || before[v as usize].is_none() {
+                continue; // the seed itself pins to 1
+            }
+            let realized = clone.pooled_estimate(v).unwrap();
+            assert!(
+                (predicted[v as usize] - realized).abs() < 1e-9,
+                "node {v}: predicted {} vs {realized}",
+                predicted[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        let (g, b0, d, _) = running_example();
+        let s = SketchSet::generate(&g, &d, &b0, 2, 100, 37);
+        assert!(s.heap_bytes() > 0);
+    }
+}

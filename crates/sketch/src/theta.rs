@@ -1,0 +1,144 @@
+//! Sketch-count (θ) selection.
+
+/// `ln C(n, k)` — log binomial coefficient, computed exactly as a sum of
+/// logs (`k` is a seed budget, so this is cheap).
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    assert!(k <= n, "k must not exceed n");
+    let k = k.min(n - k);
+    let mut acc = 0.0;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// Theorem 13's sketch count for the cumulative score:
+///
+/// ```text
+/// θ ≥ (2n / (OPT·ε²)) · [ (1−1/e)·√ln(2n^l)
+///                         + √((1−1/e)·(ln(2n^l) + ln C(n,k))) ]²
+/// ```
+///
+/// guaranteeing a `(1 − 1/e − ε)`-approximation with probability
+/// `≥ 1 − n^{−l}`. `opt_lower` is a lower bound on `OPT`
+/// (see [`crate::opt_bound`]); a smaller bound only makes θ larger,
+/// preserving the guarantee.
+pub fn theta_cumulative(n: usize, k: usize, epsilon: f64, l: f64, opt_lower: f64) -> usize {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(opt_lower > 0.0, "opt_lower must be positive");
+    let n_f = n as f64;
+    let one_minus_inv_e = 1.0 - std::f64::consts::E.powi(-1);
+    let ln_2nl = l * n_f.ln() + 2.0f64.ln();
+    let term = one_minus_inv_e * ln_2nl.sqrt()
+        + (one_minus_inv_e * (ln_2nl + ln_choose(n, k))).sqrt();
+    let theta = 2.0 * n_f / (opt_lower * epsilon * epsilon) * term * term;
+    theta.ceil() as usize
+}
+
+/// Heuristic θ for the plurality variants and Copeland (§VI-E): double θ
+/// until the estimated score stabilizes.
+///
+/// `eval(θ)` must return the estimated score obtained with `θ` sketches
+/// (typically: build a sketch set, run the greedy selection, return the
+/// score of the selected seeds). Doubling stops once the relative change
+/// stays below `rel_tol` for `patience` consecutive doublings, or
+/// `theta_max` is reached. Returns the smallest converged θ — the paper
+/// picks the smaller of the admissible values (Figure 3) and reuses it
+/// across `k` and `t`, which is exactly how the benches use this.
+pub fn converge_theta<F>(
+    mut eval: F,
+    theta0: usize,
+    theta_max: usize,
+    rel_tol: f64,
+    patience: usize,
+) -> usize
+where
+    F: FnMut(usize) -> f64,
+{
+    assert!(theta0 > 0, "theta0 must be positive");
+    assert!(patience > 0, "patience must be positive");
+    let mut theta = theta0;
+    let mut prev = eval(theta);
+    let mut stable = 0;
+    let mut converged_at = theta;
+    while theta < theta_max {
+        let next_theta = (theta * 2).min(theta_max);
+        let cur = eval(next_theta);
+        let denom = prev.abs().max(1.0);
+        if ((cur - prev) / denom).abs() < rel_tol {
+            if stable == 0 {
+                converged_at = theta;
+            }
+            stable += 1;
+            if stable >= patience {
+                return converged_at;
+            }
+        } else {
+            stable = 0;
+        }
+        prev = cur;
+        theta = next_theta;
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - 10.0f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 0) - 0.0).abs() < 1e-12);
+        assert!((ln_choose(10, 10) - 0.0).abs() < 1e-12);
+        // Symmetry.
+        assert!((ln_choose(100, 3) - ln_choose(100, 97)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_decreases_with_opt_and_epsilon() {
+        let a = theta_cumulative(1000, 10, 0.1, 1.0, 10.0);
+        let b = theta_cumulative(1000, 10, 0.1, 1.0, 100.0);
+        assert!(b < a, "larger OPT bound needs fewer sketches");
+        let c = theta_cumulative(1000, 10, 0.2, 1.0, 10.0);
+        assert!(c < a, "looser epsilon needs fewer sketches");
+    }
+
+    #[test]
+    fn theta_scales_with_n() {
+        let small = theta_cumulative(1000, 10, 0.1, 1.0, 100.0);
+        let large = theta_cumulative(10_000, 10, 0.1, 1.0, 100.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn converge_theta_stops_on_stable_scores() {
+        // Score saturates at theta >= 80.
+        let theta = converge_theta(
+            |t| if t >= 80 { 100.0 } else { t as f64 },
+            10,
+            10_000,
+            0.01,
+            2,
+        );
+        assert!(theta >= 80, "converged too early: {theta}");
+        assert!(theta < 10_000, "should not need the cap");
+    }
+
+    #[test]
+    fn converge_theta_respects_cap() {
+        // Never converges: hits theta_max.
+        let mut x = 0.0;
+        let theta = converge_theta(
+            |_| {
+                x += 100.0;
+                x
+            },
+            16,
+            256,
+            0.001,
+            2,
+        );
+        assert_eq!(theta, 256);
+    }
+}

@@ -1,0 +1,488 @@
+//! Extended voting rules beyond the paper's five scores (§IX lists
+//! "more voting scores" as future work).
+//!
+//! Each rule maps an opinion snapshot `B^(t)` to a single non-negative
+//! score for a candidate, exactly like [`ScoringFunction`]:
+//!
+//! * **Borda** — every user awards `r − β` points (their full ranking);
+//! * **Veto** (anti-plurality) — users *not* ranking the candidate last;
+//! * **Maximin** (Simpson) — the candidate's worst one-on-one support;
+//! * **Bucklin** — majority-round rule: candidates are compared first by
+//!   the earliest rank at which they accumulate a strict majority, then
+//!   by the number of approvals at that rank;
+//! * **Copeland⁰·⁵** — Copeland with half a point per pairwise tie.
+//!
+//! All rules are non-decreasing in the target's seed set (seeding only
+//! improves the target's opinion values, hence weakly improves every rank
+//! `β` and every pairwise count), so the greedy framework of `vom-core`
+//! applies unchanged; none of them is submodular in general.
+
+use crate::rank::beta;
+use crate::score::ScoringFunction;
+use std::fmt;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node};
+
+/// A voting rule from the extension set.
+///
+/// These supplement the paper's five scores. They are deliberately kept
+/// in a separate enum: the paper's estimators (RW/RS) carry per-score
+/// accuracy guarantees (Theorems 10–15) that have not been derived for
+/// these rules, so they are only driven by the *exact* (DM) evaluation
+/// path — see `vom-core`'s generic greedy. (Borda and veto do have
+/// estimator-compatible forms: see `ScoringFunction::borda` /
+/// `ScoringFunction::veto`.)
+///
+/// ```
+/// use vom_diffusion::OpinionMatrix;
+/// use vom_voting::{ext_winner, ExtendedRule};
+///
+/// // Three candidates, two users with opposite full rankings plus a
+/// // third user who splits them.
+/// let b = OpinionMatrix::from_rows(vec![
+///     vec![0.9, 0.1, 0.5],
+///     vec![0.6, 0.6, 0.9],
+///     vec![0.1, 0.9, 0.1],
+/// ])?;
+/// // Candidate 1 is everyone's first or second choice: strong Borda.
+/// assert_eq!(ExtendedRule::Borda.score(&b, 1), 4.0);
+/// assert_eq!(ext_winner(&b, ExtendedRule::Borda), 1);
+/// // ...but it wins no first places, so plurality-style rules differ.
+/// assert_eq!(ExtendedRule::Veto.score(&b, 1), 3.0);
+/// # Ok::<(), vom_diffusion::DiffusionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtendedRule {
+    /// Borda count: `Σ_v (r − β(b_qv))`. Range `[0, n·(r−1)]`.
+    Borda,
+    /// Anti-plurality: number of users who do **not** rank the candidate
+    /// strictly last, i.e. `Σ_v 1[β(b_qv) ≤ r − 1]`. With the paper's
+    /// tie-averse rank `β` this coincides with `(r−1)`-approval.
+    Veto,
+    /// Simpson's maximin: `min_{x ≠ q} |{v : b_qv > b_xv}|` — the
+    /// candidate's support in her *worst* one-on-one competition. A
+    /// Condorcet winner (over an odd electorate with no ties) is exactly
+    /// a candidate with maximin score `> n/2`.
+    Maximin,
+    /// Bucklin: let `ρ` be the smallest rank with
+    /// `|{v : β(b_qv) ≤ ρ}| > n/2` (always defined since every `β ≤ r`).
+    /// The score is `(r − ρ)·(n + 1) + |{v : β(b_qv) ≤ ρ}|`, which orders
+    /// candidates by earlier majority round first, approvals second.
+    Bucklin,
+    /// Copeland with ties worth half a win:
+    /// `Σ_{x≠q} (1[net > 0] + ½·1[net = 0])` over pairwise nets.
+    CopelandHalf,
+}
+
+impl ExtendedRule {
+    /// All extension rules, for sweeps and tests.
+    pub const ALL: [ExtendedRule; 5] = [
+        ExtendedRule::Borda,
+        ExtendedRule::Veto,
+        ExtendedRule::Maximin,
+        ExtendedRule::Bucklin,
+        ExtendedRule::CopelandHalf,
+    ];
+
+    /// Human-readable rule name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExtendedRule::Borda => "borda",
+            ExtendedRule::Veto => "veto",
+            ExtendedRule::Maximin => "maximin",
+            ExtendedRule::Bucklin => "bucklin",
+            ExtendedRule::CopelandHalf => "copeland-0.5",
+        }
+    }
+
+    /// The largest value the rule can take on `n` users and `r`
+    /// candidates (used by tests and normalized reporting).
+    pub fn upper_bound(&self, n: usize, r: usize) -> f64 {
+        match self {
+            ExtendedRule::Borda => (n * (r - 1)) as f64,
+            ExtendedRule::Veto => n as f64,
+            ExtendedRule::Maximin => n as f64,
+            // Best case: majority at rank 1 with unanimous support.
+            ExtendedRule::Bucklin => ((r - 1) * (n + 1) + n) as f64,
+            ExtendedRule::CopelandHalf => (r - 1) as f64,
+        }
+    }
+
+    /// Evaluates the rule for candidate `q` on the snapshot `b`.
+    pub fn score(&self, b: &OpinionMatrix, q: Candidate) -> f64 {
+        let n = b.num_users();
+        let r = b.num_candidates();
+        match self {
+            ExtendedRule::Borda => {
+                let mut total = 0usize;
+                for v in 0..n as Node {
+                    total += r - beta(b, q, v);
+                }
+                total as f64
+            }
+            ExtendedRule::Veto => {
+                let mut total = 0usize;
+                for v in 0..n as Node {
+                    if beta(b, q, v) < r {
+                        total += 1;
+                    }
+                }
+                total as f64
+            }
+            ExtendedRule::Maximin => {
+                let mut worst = usize::MAX;
+                let row_q = b.row(q);
+                for x in 0..r {
+                    if x == q {
+                        continue;
+                    }
+                    let row_x = b.row(x);
+                    let support = row_q
+                        .iter()
+                        .zip(row_x)
+                        .filter(|(bq, bx)| bq > bx)
+                        .count();
+                    worst = worst.min(support);
+                }
+                if worst == usize::MAX {
+                    // Single candidate: unopposed, full support.
+                    n as f64
+                } else {
+                    worst as f64
+                }
+            }
+            ExtendedRule::Bucklin => {
+                // Approval counts by rank, then scan for the majority
+                // round. `β ∈ [1, r]` so `counts` is complete.
+                let mut by_rank = vec![0usize; r];
+                for v in 0..n as Node {
+                    by_rank[beta(b, q, v) - 1] += 1;
+                }
+                let mut cumulative = 0usize;
+                for (i, &c) in by_rank.iter().enumerate() {
+                    cumulative += c;
+                    if 2 * cumulative > n {
+                        let rho = i + 1;
+                        return ((r - rho) * (n + 1) + cumulative) as f64;
+                    }
+                }
+                // n == 0: no majority exists; score 0 by convention.
+                0.0
+            }
+            ExtendedRule::CopelandHalf => {
+                let row_q = b.row(q);
+                let mut score = 0.0f64;
+                for x in 0..r {
+                    if x == q {
+                        continue;
+                    }
+                    let row_x = b.row(x);
+                    let mut net = 0i64;
+                    for (bq, bx) in row_q.iter().zip(row_x) {
+                        if bq > bx {
+                            net += 1;
+                        } else if bq < bx {
+                            net -= 1;
+                        }
+                    }
+                    if net > 0 {
+                        score += 1.0;
+                    } else if net == 0 {
+                        score += 0.5;
+                    }
+                }
+                score
+            }
+        }
+    }
+}
+
+impl fmt::Display for ExtendedRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A voting-based objective usable by the exact greedy framework: any
+/// function of the full opinion snapshot and a target candidate.
+///
+/// Implemented by both the paper's [`ScoringFunction`] and the
+/// [`ExtendedRule`] set, so `vom-core::dm_ext::generic_greedy` selects
+/// seeds for either family through one code path.
+pub trait OpinionScore: Send + Sync {
+    /// `F(B, c_q)`.
+    fn evaluate(&self, b: &OpinionMatrix, q: Candidate) -> f64;
+
+    /// Rule name for reporting.
+    fn rule_name(&self) -> &'static str;
+}
+
+impl OpinionScore for ScoringFunction {
+    fn evaluate(&self, b: &OpinionMatrix, q: Candidate) -> f64 {
+        self.score(b, q)
+    }
+
+    fn rule_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
+impl OpinionScore for ExtendedRule {
+    fn evaluate(&self, b: &OpinionMatrix, q: Candidate) -> f64 {
+        self.score(b, q)
+    }
+
+    fn rule_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
+/// The winner under an extended rule: the candidate with the maximum
+/// score (smallest index wins exact ties, mirroring `tally`).
+pub fn ext_winner(b: &OpinionMatrix, rule: ExtendedRule) -> Candidate {
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for q in 0..b.num_candidates() {
+        let s = rule.score(b, q);
+        if s > best_score {
+            best = q;
+            best_score = s;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an opinion snapshot from explicit strict preference orders:
+    /// `orders[v]` lists candidate indices from most to least preferred.
+    /// Opinion values are spaced so every comparison is strict.
+    fn from_orders(r: usize, orders: &[Vec<Candidate>]) -> OpinionMatrix {
+        let n = orders.len();
+        let mut rows = vec![vec![0.0; n]; r];
+        for (v, order) in orders.iter().enumerate() {
+            assert_eq!(order.len(), r);
+            for (pos, &c) in order.iter().enumerate() {
+                rows[c][v] = 1.0 - (pos as f64 + 1.0) / (r as f64 + 1.0);
+            }
+        }
+        OpinionMatrix::from_rows(rows).unwrap()
+    }
+
+    /// The classic profile where plurality and Borda disagree:
+    /// 3 voters A>B>C, 2 voters B>C>A, 2 voters C>B>A.
+    /// Plurality: A wins (3). Borda: B wins (3+2·2·2 = ...), computed below.
+    fn plurality_vs_borda() -> OpinionMatrix {
+        let a = 0;
+        let b = 1;
+        let c = 2;
+        let mut orders = Vec::new();
+        for _ in 0..3 {
+            orders.push(vec![a, b, c]);
+        }
+        for _ in 0..2 {
+            orders.push(vec![b, c, a]);
+        }
+        for _ in 0..2 {
+            orders.push(vec![c, b, a]);
+        }
+        from_orders(3, &orders)
+    }
+
+    #[test]
+    fn borda_disagrees_with_plurality_on_classic_profile() {
+        let snapshot = plurality_vs_borda();
+        // Plurality: A = 3, B = 2, C = 2.
+        assert_eq!(ScoringFunction::Plurality.score(&snapshot, 0), 3.0);
+        assert_eq!(ScoringFunction::Plurality.score(&snapshot, 1), 2.0);
+        // Borda: A = 3·2 = 6, B = 3·1 + 2·2 + 2·1 = 9, C = 2·2 + 2·1 + 3·0 = ...
+        assert_eq!(ExtendedRule::Borda.score(&snapshot, 0), 6.0);
+        assert_eq!(ExtendedRule::Borda.score(&snapshot, 1), 9.0);
+        assert_eq!(ExtendedRule::Borda.score(&snapshot, 2), 6.0);
+        assert_eq!(ext_winner(&snapshot, ExtendedRule::Borda), 1);
+    }
+
+    #[test]
+    fn borda_totals_are_conserved() {
+        // Σ_q Borda(q) = n · r(r−1)/2 for strict orders.
+        let snapshot = plurality_vs_borda();
+        let total: f64 = (0..3)
+            .map(|q| ExtendedRule::Borda.score(&snapshot, q))
+            .sum();
+        assert_eq!(total, 7.0 * 3.0);
+    }
+
+    #[test]
+    fn veto_counts_non_last_places() {
+        let snapshot = plurality_vs_borda();
+        // A is last for 4 voters → veto = 3; B never last → 7; C last for 3 → 4.
+        assert_eq!(ExtendedRule::Veto.score(&snapshot, 0), 3.0);
+        assert_eq!(ExtendedRule::Veto.score(&snapshot, 1), 7.0);
+        assert_eq!(ExtendedRule::Veto.score(&snapshot, 2), 4.0);
+    }
+
+    #[test]
+    fn veto_equals_r_minus_1_approval() {
+        let snapshot = plurality_vs_borda();
+        let approval = ScoringFunction::PApproval { p: 2 };
+        for q in 0..3 {
+            assert_eq!(
+                ExtendedRule::Veto.score(&snapshot, q),
+                approval.score(&snapshot, q),
+                "candidate {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn maximin_identifies_condorcet_winner() {
+        // B beats A 4–3 and beats C 5–2 → maximin(B) = 4 > 7/2; B is the
+        // Condorcet winner and the only candidate above half.
+        let snapshot = plurality_vs_borda();
+        assert_eq!(ExtendedRule::Maximin.score(&snapshot, 1), 4.0);
+        assert!(ExtendedRule::Maximin.score(&snapshot, 0) < 3.5);
+        assert!(ExtendedRule::Maximin.score(&snapshot, 2) < 3.5);
+        assert_eq!(
+            crate::tally::condorcet_winner(&snapshot),
+            Some(1),
+            "cross-check against the tally module"
+        );
+    }
+
+    #[test]
+    fn maximin_unopposed_candidate_gets_full_support() {
+        let b = OpinionMatrix::from_rows(vec![vec![0.3, 0.7]]).unwrap();
+        assert_eq!(ExtendedRule::Maximin.score(&b, 0), 2.0);
+    }
+
+    #[test]
+    #[allow(clippy::identity_op, clippy::erasing_op)] // keep (r−ρ)·(n+1)+approvals explicit
+    fn bucklin_prefers_earlier_majority_round() {
+        let snapshot = plurality_vs_borda();
+        // No candidate has a first-round majority (need > 3.5).
+        // Round 2: A has 3, B has 3+4 = 7, C has 2+2 = 4 → B and C reach
+        // majority at ρ = 2, A only at ρ = 3 (7 votes).
+        let n = 7;
+        let b_score = ExtendedRule::Bucklin.score(&snapshot, 1);
+        let c_score = ExtendedRule::Bucklin.score(&snapshot, 2);
+        let a_score = ExtendedRule::Bucklin.score(&snapshot, 0);
+        assert_eq!(b_score, ((3 - 2) * (n + 1) + 7) as f64);
+        assert_eq!(c_score, ((3 - 2) * (n + 1) + 4) as f64);
+        assert_eq!(a_score, ((3 - 3) * (n + 1) + 7) as f64);
+        assert!(b_score > c_score && c_score > a_score);
+        assert_eq!(ext_winner(&snapshot, ExtendedRule::Bucklin), 1);
+    }
+
+    #[test]
+    fn bucklin_empty_electorate_scores_zero() {
+        let b = OpinionMatrix::from_rows(vec![vec![], vec![]]).unwrap();
+        assert_eq!(ExtendedRule::Bucklin.score(&b, 0), 0.0);
+    }
+
+    #[test]
+    fn copeland_half_awards_half_per_tie() {
+        // Two candidates with identical rows: the duel is a tie.
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.4, 0.6],
+            vec![0.4, 0.6],
+            vec![0.1, 0.1],
+        ])
+        .unwrap();
+        assert_eq!(ExtendedRule::CopelandHalf.score(&b, 0), 1.5);
+        assert_eq!(ExtendedRule::CopelandHalf.score(&b, 1), 1.5);
+        assert_eq!(ExtendedRule::CopelandHalf.score(&b, 2), 0.0);
+    }
+
+    #[test]
+    fn copeland_half_matches_copeland_without_ties() {
+        let snapshot = plurality_vs_borda();
+        for q in 0..3 {
+            assert_eq!(
+                ExtendedRule::CopelandHalf.score(&snapshot, q),
+                ScoringFunction::Copeland.score(&snapshot, q),
+                "candidate {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_rules_respect_their_upper_bounds() {
+        let snapshot = plurality_vs_borda();
+        for rule in ExtendedRule::ALL {
+            for q in 0..3 {
+                let s = rule.score(&snapshot, q);
+                assert!(s >= 0.0, "{rule} candidate {q}");
+                assert!(
+                    s <= rule.upper_bound(7, 3),
+                    "{rule} candidate {q}: {s} > {}",
+                    rule.upper_bound(7, 3)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trait_objects_dispatch_both_families() {
+        let snapshot = plurality_vs_borda();
+        let rules: Vec<Box<dyn OpinionScore>> = vec![
+            Box::new(ScoringFunction::Plurality),
+            Box::new(ExtendedRule::Borda),
+        ];
+        assert_eq!(rules[0].evaluate(&snapshot, 0), 3.0);
+        assert_eq!(rules[1].evaluate(&snapshot, 1), 9.0);
+        assert_eq!(rules[0].rule_name(), "plurality");
+        assert_eq!(rules[1].rule_name(), "borda");
+    }
+
+    #[test]
+    fn borda_is_a_positional_p_approval_instance() {
+        // §IX bridge: ScoringFunction::borda(r) is positional-r-approval
+        // with ω[i] = (r−i)/(r−1) and equals ExtendedRule::Borda scaled
+        // by 1/(r−1) — so Borda inherits the paper's Theorem 11/14
+        // estimator guarantees. Verify exactly, including tie handling.
+        let snapshot = plurality_vs_borda();
+        let r = 3;
+        let paper_form = ScoringFunction::borda(r);
+        paper_form.validate(r).unwrap();
+        for q in 0..r {
+            let scaled = paper_form.score(&snapshot, q) * (r - 1) as f64;
+            assert!(
+                (scaled - ExtendedRule::Borda.score(&snapshot, q)).abs() < 1e-12,
+                "candidate {q}"
+            );
+        }
+        // Also under ties: duplicate opinion values.
+        let tied = OpinionMatrix::from_rows(vec![
+            vec![0.5, 0.2],
+            vec![0.5, 0.8],
+            vec![0.1, 0.8],
+        ])
+        .unwrap();
+        for q in 0..3 {
+            let scaled = paper_form.score(&tied, q) * 2.0;
+            assert_eq!(scaled, ExtendedRule::Borda.score(&tied, q), "candidate {q}");
+        }
+    }
+
+    #[test]
+    fn veto_constructor_matches_extended_rule() {
+        let snapshot = plurality_vs_borda();
+        let paper_form = ScoringFunction::veto(3);
+        paper_form.validate(3).unwrap();
+        for q in 0..3 {
+            assert_eq!(
+                paper_form.score(&snapshot, q),
+                ExtendedRule::Veto.score(&snapshot, q),
+                "candidate {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(ExtendedRule::Borda.to_string(), "borda");
+        assert_eq!(ExtendedRule::CopelandHalf.to_string(), "copeland-0.5");
+    }
+}

@@ -1,0 +1,114 @@
+//! The rank `β` of a candidate in a user's preference order.
+
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node};
+
+/// The rank of candidate `q` in user `v`'s preference order at the given
+/// opinion snapshot: `β(b_qv) = Σ_x 1[b_xv ≥ b_qv]` (ties count against
+/// `q`, including `q` itself, so the best possible rank is 1).
+#[inline]
+pub fn beta(b: &OpinionMatrix, q: Candidate, v: Node) -> usize {
+    let bqv = b.get(q, v);
+    let mut rank = 0;
+    for x in 0..b.num_candidates() {
+        if b.get(x, v) >= bqv {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// Rank of candidate `q` for user `v` when `q`'s opinion value is
+/// `bqv_override` instead of the stored one — used by the estimators,
+/// which combine an *estimated* target opinion with *exact* competitor
+/// opinions (Eqs. 32, 42).
+#[inline]
+pub fn beta_with_target(
+    b: &OpinionMatrix,
+    q: Candidate,
+    v: Node,
+    bqv_override: f64,
+) -> usize {
+    let mut rank = 1; // q itself always satisfies b_qv >= b_qv.
+    for x in 0..b.num_candidates() {
+        if x != q && b.get(x, v) >= bqv_override {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// For each position `p ∈ 1..=r`, the number of users whose rank of
+/// candidate `q` is exactly `p` — the distribution plotted in Figure 10.
+pub fn position_histogram(b: &OpinionMatrix, q: Candidate) -> Vec<usize> {
+    let r = b.num_candidates();
+    let mut hist = vec![0usize; r];
+    for v in 0..b.num_users() as Node {
+        let rank = beta(b, q, v);
+        // With ties the rank can reach r but never exceed it.
+        hist[rank.min(r) - 1] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> OpinionMatrix {
+        // 3 candidates, 2 users.
+        OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.2],
+            vec![0.5, 0.2],
+            vec![0.1, 0.8],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn beta_ranks_with_strict_dominance() {
+        let b = snapshot();
+        assert_eq!(beta(&b, 0, 0), 1);
+        assert_eq!(beta(&b, 1, 0), 2);
+        assert_eq!(beta(&b, 2, 0), 3);
+    }
+
+    #[test]
+    fn beta_ties_count_against_the_candidate() {
+        let b = snapshot();
+        // User 1: candidates 0 and 1 tie at 0.2 below candidate 2.
+        assert_eq!(beta(&b, 0, 1), 3);
+        assert_eq!(beta(&b, 1, 1), 3);
+        assert_eq!(beta(&b, 2, 1), 1);
+    }
+
+    #[test]
+    fn beta_with_target_matches_beta_on_stored_value() {
+        let b = snapshot();
+        for q in 0..3 {
+            for v in 0..2 {
+                assert_eq!(beta_with_target(&b, q, v, b.get(q, v)), beta(&b, q, v));
+            }
+        }
+    }
+
+    #[test]
+    fn beta_with_target_uses_override() {
+        let b = snapshot();
+        // Boosting candidate 2's value for user 0 to 1.0 makes it rank 1.
+        assert_eq!(beta_with_target(&b, 2, 0, 1.0), 1);
+        // Dropping candidate 0 to 0.0 for user 0 makes it rank 3.
+        assert_eq!(beta_with_target(&b, 0, 0, 0.0), 3);
+    }
+
+    #[test]
+    fn histogram_sums_to_user_count() {
+        let b = snapshot();
+        for q in 0..3 {
+            let h = position_histogram(&b, q);
+            assert_eq!(h.iter().sum::<usize>(), 2, "candidate {q}");
+        }
+        assert_eq!(position_histogram(&b, 0), vec![1, 0, 1]);
+        assert_eq!(position_histogram(&b, 2), vec![1, 0, 1]);
+    }
+}

@@ -1,0 +1,396 @@
+//! The five voting-based scoring functions (§II-B).
+
+use crate::rank::beta;
+use std::fmt;
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node};
+
+/// Errors for score configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreError {
+    /// `p` must satisfy `1 <= p <= r`.
+    InvalidP {
+        /// The supplied `p`.
+        p: usize,
+        /// Number of candidates.
+        r: usize,
+    },
+    /// Position weights must have length `r`, lie in `[0, 1]` and be
+    /// non-increasing.
+    InvalidPositionWeights(String),
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreError::InvalidP { p, r } => {
+                write!(f, "p = {p} must be in [1, {r}]")
+            }
+            ScoreError::InvalidPositionWeights(msg) => {
+                write!(f, "invalid position weights: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// A voting-based scoring function `F(B^(t), c_q)`.
+///
+/// All five are non-negative and non-decreasing in the target's seed set;
+/// only the cumulative score is submodular (Table II), which is why the
+/// others go through sandwich approximation in `vom-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoringFunction {
+    /// `Σ_v b_qv` (Eq. 3).
+    Cumulative,
+    /// Number of users ranking `c_q` strictly first (Eq. 4).
+    Plurality,
+    /// Number of users ranking `c_q` within the top `p` (Eq. 5).
+    PApproval {
+        /// Approval depth, `1 <= p <= r`.
+        p: usize,
+    },
+    /// Position-weighted approval (Eq. 6): user at rank `i <= p`
+    /// contributes `ω[i]`.
+    PositionalPApproval {
+        /// Approval depth, `1 <= p <= r`.
+        p: usize,
+        /// `ω[1..=r]` stored 0-indexed: `weights[i]` is `ω[i+1]`. Must be
+        /// in `[0, 1]` and non-increasing.
+        weights: Vec<f64>,
+    },
+    /// Number of one-on-one competitions won (Eq. 7).
+    Copeland,
+}
+
+impl ScoringFunction {
+    /// The **Borda count**, expressed in the paper's own score family:
+    /// positional-`r`-approval with weights `ω[i] = (r − i)/(r − 1)`.
+    /// Rank `i` earns `(r − i)/(r − 1)`, so the score equals the classic
+    /// Borda count scaled by `1/(r − 1)` (`vom_voting::ext::ExtendedRule::Borda`
+    /// holds the unscaled version) — the scaling keeps `ω ∈ [0, 1]` as
+    /// Eq. 6 requires and changes no argmax.
+    ///
+    /// Because this *is* a positional-p-approval instance, Borda seed
+    /// selection inherits the paper's full machinery: the sandwich
+    /// bounds of §IV-B and the RW/RS estimator guarantees
+    /// (Theorems 11 and 14) apply verbatim.
+    pub fn borda(r: usize) -> Self {
+        assert!(r >= 2, "Borda needs at least two candidates");
+        ScoringFunction::PositionalPApproval {
+            p: r,
+            weights: (1..=r).map(|i| (r - i) as f64 / (r - 1) as f64).collect(),
+        }
+    }
+
+    /// The **veto** (anti-plurality) rule, expressed in the paper's own
+    /// score family: `(r − 1)`-approval — one point per user who does
+    /// not rank the candidate strictly last. Same estimator guarantees
+    /// as any p-approval instance.
+    pub fn veto(r: usize) -> Self {
+        assert!(r >= 2, "veto needs at least two candidates");
+        ScoringFunction::PApproval { p: r - 1 }
+    }
+
+    /// Validates the configuration against `r` candidates.
+    pub fn validate(&self, r: usize) -> Result<(), ScoreError> {
+        match self {
+            ScoringFunction::Cumulative
+            | ScoringFunction::Plurality
+            | ScoringFunction::Copeland => Ok(()),
+            ScoringFunction::PApproval { p } => {
+                if *p >= 1 && *p <= r {
+                    Ok(())
+                } else {
+                    Err(ScoreError::InvalidP { p: *p, r })
+                }
+            }
+            ScoringFunction::PositionalPApproval { p, weights } => {
+                if !(*p >= 1 && *p <= r) {
+                    return Err(ScoreError::InvalidP { p: *p, r });
+                }
+                if weights.len() != r {
+                    return Err(ScoreError::InvalidPositionWeights(format!(
+                        "expected {r} weights, got {}",
+                        weights.len()
+                    )));
+                }
+                for w in weights {
+                    if !(0.0..=1.0).contains(w) {
+                        return Err(ScoreError::InvalidPositionWeights(format!(
+                            "weight {w} outside [0, 1]"
+                        )));
+                    }
+                }
+                if weights.windows(2).any(|w| w[1] > w[0]) {
+                    return Err(ScoreError::InvalidPositionWeights(
+                        "weights must be non-increasing".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Human-readable name (matches the paper's terminology).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScoringFunction::Cumulative => "cumulative",
+            ScoringFunction::Plurality => "plurality",
+            ScoringFunction::PApproval { .. } => "p-approval",
+            ScoringFunction::PositionalPApproval { .. } => "positional-p-approval",
+            ScoringFunction::Copeland => "copeland",
+        }
+    }
+
+    /// Whether the score is submodular in the seed set (Table II).
+    pub fn is_submodular(&self) -> bool {
+        matches!(self, ScoringFunction::Cumulative)
+    }
+
+    /// The approval depth `p`, if the score is rank-threshold based.
+    pub fn approval_depth(&self) -> Option<usize> {
+        match self {
+            ScoringFunction::Plurality => Some(1),
+            ScoringFunction::PApproval { p } => Some(*p),
+            ScoringFunction::PositionalPApproval { p, .. } => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The position weight `ω[rank]` (1-indexed rank). Plurality and
+    /// p-approval act as positional scores with all-ones weights.
+    pub fn position_weight(&self, rank: usize) -> f64 {
+        match self {
+            ScoringFunction::PositionalPApproval { weights, .. } => {
+                weights.get(rank - 1).copied().unwrap_or(0.0)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Evaluates `F(B, c_q)`.
+    pub fn score(&self, b: &OpinionMatrix, q: Candidate) -> f64 {
+        match self {
+            ScoringFunction::Cumulative => b.row(q).iter().sum(),
+            ScoringFunction::Plurality => self.rank_threshold_score(b, q, 1),
+            ScoringFunction::PApproval { p } => self.rank_threshold_score(b, q, *p),
+            ScoringFunction::PositionalPApproval { p, .. } => {
+                self.rank_threshold_score(b, q, *p)
+            }
+            ScoringFunction::Copeland => copeland_score(b, q) as f64,
+        }
+    }
+
+    fn rank_threshold_score(&self, b: &OpinionMatrix, q: Candidate, p: usize) -> f64 {
+        let mut total = 0.0;
+        for v in 0..b.num_users() as Node {
+            let rank = beta(b, q, v);
+            if rank <= p {
+                total += self.position_weight(rank);
+            }
+        }
+        total
+    }
+}
+
+impl fmt::Display for ScoringFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoringFunction::PApproval { p } => write!(f, "{p}-approval"),
+            ScoringFunction::PositionalPApproval { p, .. } => {
+                write!(f, "positional-{p}-approval")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// The Copeland score as an integer: `|{c_p : c_q ≻_M c_p}|` where
+/// `c_q ≻_M c_x` iff strictly more users hold `b_qv > b_xv` than
+/// `b_qv < b_xv` (Eq. 7).
+pub fn copeland_score(b: &OpinionMatrix, q: Candidate) -> usize {
+    let row_q = b.row(q);
+    let mut wins = 0;
+    for x in 0..b.num_candidates() {
+        if x == q {
+            continue;
+        }
+        let row_x = b.row(x);
+        let mut above = 0i64;
+        for (bq, bx) in row_q.iter().zip(row_x) {
+            if bq > bx {
+                above += 1;
+            } else if bq < bx {
+                above -= 1;
+            }
+        }
+        if above > 0 {
+            wins += 1;
+        }
+    }
+    wins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I at t = 1 with no seeds: c1 row {} and the stated c2 row.
+    fn table1_no_seed() -> OpinionMatrix {
+        OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.75],
+            vec![0.35, 0.75, 0.78, 0.90],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_scores_no_seed() {
+        let b = table1_no_seed();
+        assert!((ScoringFunction::Cumulative.score(&b, 0) - 2.55).abs() < 1e-12);
+        assert_eq!(ScoringFunction::Plurality.score(&b, 0), 2.0);
+        assert_eq!(ScoringFunction::Copeland.score(&b, 0), 0.0);
+    }
+
+    #[test]
+    fn table1_scores_seed3() {
+        // Seed {3} (paper's 1-indexed user 3 = our node 2).
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 1.00, 0.95],
+            vec![0.35, 0.75, 0.78, 0.90],
+        ])
+        .unwrap();
+        assert!((ScoringFunction::Cumulative.score(&b, 0) - 3.15).abs() < 1e-12);
+        assert_eq!(ScoringFunction::Plurality.score(&b, 0), 4.0);
+        assert_eq!(ScoringFunction::Copeland.score(&b, 0), 1.0);
+    }
+
+    #[test]
+    fn plurality_equals_one_approval() {
+        let b = table1_no_seed();
+        for q in 0..2 {
+            assert_eq!(
+                ScoringFunction::Plurality.score(&b, q),
+                ScoringFunction::PApproval { p: 1 }.score(&b, q)
+            );
+        }
+    }
+
+    #[test]
+    fn p_approval_equals_positional_with_unit_weights() {
+        let b = table1_no_seed();
+        let pos = ScoringFunction::PositionalPApproval {
+            p: 2,
+            weights: vec![1.0, 1.0],
+        };
+        for q in 0..2 {
+            assert_eq!(
+                ScoringFunction::PApproval { p: 2 }.score(&b, q),
+                pos.score(&b, q)
+            );
+        }
+    }
+
+    #[test]
+    fn r_approval_counts_everyone() {
+        let b = table1_no_seed();
+        assert_eq!(ScoringFunction::PApproval { p: 2 }.score(&b, 0), 4.0);
+    }
+
+    #[test]
+    fn positional_weights_scale_contributions() {
+        let b = table1_no_seed();
+        let s = ScoringFunction::PositionalPApproval {
+            p: 2,
+            weights: vec![1.0, 0.5],
+        }
+        .score(&b, 0);
+        // Users 0, 1 rank c1 first (weight 1); users 2, 3 rank it second
+        // (weight 0.5): total 2 + 1 = 3.
+        assert_eq!(s, 3.0);
+    }
+
+    #[test]
+    fn ties_give_no_plurality_credit() {
+        let b = OpinionMatrix::from_rows(vec![vec![0.5, 0.7], vec![0.5, 0.2]]).unwrap();
+        // User 0 ties: neither candidate is strictly first for them.
+        assert_eq!(ScoringFunction::Plurality.score(&b, 0), 1.0);
+        assert_eq!(ScoringFunction::Plurality.score(&b, 1), 0.0);
+    }
+
+    #[test]
+    fn copeland_with_three_candidates() {
+        // c0 beats c1 (2-1) and c2 (2-1): Condorcet winner, score 2.
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.9, 0.1],
+            vec![0.5, 0.1, 0.9],
+            vec![0.1, 0.5, 0.95],
+        ])
+        .unwrap();
+        assert_eq!(copeland_score(&b, 0), 2);
+        assert_eq!(copeland_score(&b, 1), 0);
+        assert_eq!(copeland_score(&b, 2), 1);
+    }
+
+    #[test]
+    fn copeland_tie_is_not_a_win() {
+        let b = OpinionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        assert_eq!(copeland_score(&b, 0), 0);
+        assert_eq!(copeland_score(&b, 1), 0);
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(ScoringFunction::PApproval { p: 0 }.validate(3).is_err());
+        assert!(ScoringFunction::PApproval { p: 4 }.validate(3).is_err());
+        assert!(ScoringFunction::PApproval { p: 3 }.validate(3).is_ok());
+        let bad_len = ScoringFunction::PositionalPApproval {
+            p: 1,
+            weights: vec![1.0],
+        };
+        assert!(bad_len.validate(2).is_err());
+        let increasing = ScoringFunction::PositionalPApproval {
+            p: 2,
+            weights: vec![0.5, 1.0],
+        };
+        assert!(increasing.validate(2).is_err());
+        let out_of_range = ScoringFunction::PositionalPApproval {
+            p: 2,
+            weights: vec![1.5, 0.5],
+        };
+        assert!(out_of_range.validate(2).is_err());
+        let ok = ScoringFunction::PositionalPApproval {
+            p: 2,
+            weights: vec![1.0, 0.5],
+        };
+        assert!(ok.validate(2).is_ok());
+        assert!(ScoringFunction::Copeland.validate(2).is_ok());
+    }
+
+    #[test]
+    fn names_and_submodularity_flags() {
+        assert!(ScoringFunction::Cumulative.is_submodular());
+        assert!(!ScoringFunction::Plurality.is_submodular());
+        assert!(!ScoringFunction::Copeland.is_submodular());
+        assert_eq!(ScoringFunction::PApproval { p: 2 }.to_string(), "2-approval");
+        assert_eq!(
+            ScoringFunction::PositionalPApproval {
+                p: 3,
+                weights: vec![1.0, 1.0, 0.5]
+            }
+            .to_string(),
+            "positional-3-approval"
+        );
+        assert_eq!(ScoringFunction::Cumulative.to_string(), "cumulative");
+    }
+
+    #[test]
+    fn approval_depths() {
+        assert_eq!(ScoringFunction::Plurality.approval_depth(), Some(1));
+        assert_eq!(ScoringFunction::PApproval { p: 3 }.approval_depth(), Some(3));
+        assert_eq!(ScoringFunction::Cumulative.approval_depth(), None);
+        assert_eq!(ScoringFunction::Copeland.approval_depth(), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Election tallies and winner determination.
+
+use crate::score::{copeland_score, ScoringFunction};
+use vom_diffusion::OpinionMatrix;
+use vom_graph::Candidate;
+
+/// The outcome of scoring every candidate under one scoring function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElectionResult {
+    /// Per-candidate scores.
+    pub scores: Vec<f64>,
+    /// Candidate with the maximum score (lowest index on ties).
+    pub winner: Candidate,
+    /// Whether the winner's score is *strictly* larger than every other
+    /// candidate's — the winning criterion of Problem 2 (FJ-Vote-Win).
+    pub strict: bool,
+}
+
+impl ElectionResult {
+    /// Whether `q` wins strictly (FJ-Vote-Win's criterion for `q`).
+    pub fn wins_strictly(&self, q: Candidate) -> bool {
+        self.scores
+            .iter()
+            .enumerate()
+            .all(|(x, &s)| x == q || self.scores[q] > s)
+    }
+}
+
+/// Scores every candidate on `b` and determines the winner.
+pub fn tally(b: &OpinionMatrix, score: &ScoringFunction) -> ElectionResult {
+    let scores: Vec<f64> = (0..b.num_candidates()).map(|q| score.score(b, q)).collect();
+    // First maximum wins ties (max_by would return the last one).
+    let mut winner = 0;
+    for (q, &s) in scores.iter().enumerate().skip(1) {
+        if s > scores[winner] {
+            winner = q;
+        }
+    }
+    let strict = scores
+        .iter()
+        .enumerate()
+        .all(|(x, &s)| x == winner || scores[winner] > s);
+    ElectionResult {
+        scores,
+        winner,
+        strict,
+    }
+}
+
+/// The Condorcet winner, if one exists: the candidate winning **all**
+/// `r − 1` one-on-one competitions (maximum possible Copeland score).
+pub fn condorcet_winner(b: &OpinionMatrix) -> Option<Candidate> {
+    let r = b.num_candidates();
+    (0..r).find(|&q| copeland_score(b, q) == r - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_way() -> OpinionMatrix {
+        OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.9, 0.1],
+            vec![0.5, 0.1, 0.9],
+            vec![0.1, 0.5, 0.95],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn tally_picks_maximum() {
+        let b = three_way();
+        let res = tally(&b, &ScoringFunction::Plurality);
+        assert_eq!(res.scores, vec![2.0, 0.0, 1.0]);
+        assert_eq!(res.winner, 0);
+        assert!(res.strict);
+        assert!(res.wins_strictly(0));
+        assert!(!res.wins_strictly(2));
+    }
+
+    #[test]
+    fn tally_marks_non_strict_winners() {
+        let b = OpinionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let res = tally(&b, &ScoringFunction::Plurality);
+        assert_eq!(res.scores, vec![1.0, 1.0]);
+        assert_eq!(res.winner, 0, "ties break to the lowest index");
+        assert!(!res.strict);
+        assert!(!res.wins_strictly(0));
+    }
+
+    #[test]
+    fn condorcet_winner_found() {
+        assert_eq!(condorcet_winner(&three_way()), Some(0));
+    }
+
+    #[test]
+    fn condorcet_winner_can_be_absent() {
+        // Rock-paper-scissors cycle: 0 beats 1, 1 beats 2, 2 beats 0.
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.5],
+            vec![0.5, 0.9, 0.1],
+            vec![0.1, 0.5, 0.9],
+        ])
+        .unwrap();
+        assert_eq!(condorcet_winner(&b), None);
+    }
+
+    #[test]
+    fn cumulative_tally_on_table1() {
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.75],
+            vec![0.35, 0.75, 0.78, 0.90],
+        ])
+        .unwrap();
+        let res = tally(&b, &ScoringFunction::Cumulative);
+        assert!((res.scores[0] - 2.55).abs() < 1e-12);
+        assert!((res.scores[1] - 2.78).abs() < 1e-12);
+        assert_eq!(res.winner, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Flat storage for reverse random walks.
+
+use vom_graph::Node;
+
+/// An arena of walks, each a short sequence of node ids.
+///
+/// Walks are stored back-to-back in one `Vec<Node>` with an offsets array —
+/// the paper's sketches "are walks, which are simpler and less memory
+/// consuming" than RR-set trees (§VI), and this layout keeps them that way
+/// (8 + 4·len bytes per walk amortized, no per-walk allocation).
+///
+/// When built by per-node generation ([`crate::WalkGenerator`]), the arena
+/// also records *start groups*: walk indices `group_range(v)` all start at
+/// node `v`.
+#[derive(Debug, Clone)]
+pub struct WalkArena {
+    nodes: Vec<Node>,
+    offsets: Vec<usize>,
+    groups: Option<Vec<usize>>,
+}
+
+impl WalkArena {
+    pub(crate) fn new(nodes: Vec<Node>, offsets: Vec<usize>, groups: Option<Vec<usize>>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), nodes.len());
+        WalkArena {
+            nodes,
+            offsets,
+            groups,
+        }
+    }
+
+    /// Number of walks stored.
+    #[inline]
+    pub fn num_walks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The node sequence of walk `i` (never empty; position 0 is the
+    /// start node).
+    #[inline]
+    pub fn walk(&self, i: usize) -> &[Node] {
+        &self.nodes[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Start node of walk `i`.
+    #[inline]
+    pub fn start(&self, i: usize) -> Node {
+        self.nodes[self.offsets[i]]
+    }
+
+    /// Iterates all walks.
+    pub fn walks(&self) -> impl Iterator<Item = &[Node]> {
+        (0..self.num_walks()).map(move |i| self.walk(i))
+    }
+
+    /// Total stored node occurrences (the `Σ_v λ_v · len` factor in the
+    /// paper's complexity analysis).
+    #[inline]
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// For per-node arenas: the contiguous range of walk indices starting
+    /// at node `v`. `None` when the arena was built from an explicit start
+    /// list (sketches).
+    pub fn group_range(&self, v: Node) -> Option<std::ops::Range<usize>> {
+        self.groups
+            .as_ref()
+            .map(|g| g[v as usize]..g[v as usize + 1])
+    }
+
+    /// Whether the arena records per-node start groups.
+    pub fn has_groups(&self) -> bool {
+        self.groups.is_some()
+    }
+
+    /// Number of start-group slots (`n` for per-node arenas).
+    pub fn num_groups(&self) -> Option<usize> {
+        self.groups.as_ref().map(|g| g.len() - 1)
+    }
+
+    /// Approximate heap footprint in bytes (reported by the Figure 17
+    /// memory experiment).
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self
+                .groups
+                .as_ref()
+                .map_or(0, |g| g.len() * std::mem::size_of::<usize>())
+    }
+}
+
+/// Incremental builder used by the generators.
+#[derive(Debug, Default)]
+pub struct WalkArenaBuilder {
+    nodes: Vec<Node>,
+    offsets: Vec<usize>,
+}
+
+impl WalkArenaBuilder {
+    /// Creates a builder, reserving for `walks_hint` walks of
+    /// `len_hint` average length.
+    pub fn with_capacity(walks_hint: usize, len_hint: usize) -> Self {
+        let mut offsets = Vec::with_capacity(walks_hint + 1);
+        offsets.push(0);
+        WalkArenaBuilder {
+            nodes: Vec::with_capacity(walks_hint * len_hint),
+            offsets,
+        }
+    }
+
+    /// Appends one node to the walk under construction.
+    #[inline]
+    pub fn push_node(&mut self, v: Node) {
+        self.nodes.push(v);
+    }
+
+    /// Finishes the walk under construction.
+    #[inline]
+    pub fn finish_walk(&mut self) {
+        debug_assert!(
+            self.nodes.len() > *self.offsets.last().unwrap(),
+            "a walk must contain at least its start node"
+        );
+        self.offsets.push(self.nodes.len());
+    }
+
+    /// Number of finished walks.
+    pub fn num_walks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Appends all walks from another builder (used to merge per-thread
+    /// shards in deterministic order).
+    pub fn append(&mut self, other: WalkArenaBuilder) {
+        let base = self.nodes.len();
+        self.nodes.extend_from_slice(&other.nodes);
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|o| o + base));
+    }
+
+    /// Finalizes into an arena with optional start groups.
+    pub fn build(self, groups: Option<Vec<usize>>) -> WalkArena {
+        WalkArena::new(self.nodes, self.offsets, groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WalkArena {
+        let mut b = WalkArenaBuilder::with_capacity(3, 2);
+        b.push_node(0);
+        b.push_node(2);
+        b.finish_walk();
+        b.push_node(1);
+        b.finish_walk();
+        b.push_node(2);
+        b.push_node(0);
+        b.push_node(1);
+        b.finish_walk();
+        b.build(None)
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let a = sample();
+        assert_eq!(a.num_walks(), 3);
+        assert_eq!(a.walk(0), &[0, 2]);
+        assert_eq!(a.walk(1), &[1]);
+        assert_eq!(a.walk(2), &[2, 0, 1]);
+        assert_eq!(a.start(2), 2);
+        assert_eq!(a.total_nodes(), 6);
+        assert!(!a.has_groups());
+        assert!(a.group_range(0).is_none());
+    }
+
+    #[test]
+    fn walks_iterator_matches_indexing() {
+        let a = sample();
+        let collected: Vec<_> = a.walks().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[2], a.walk(2));
+    }
+
+    #[test]
+    fn append_preserves_order_and_offsets() {
+        let mut left = WalkArenaBuilder::with_capacity(1, 1);
+        left.push_node(5);
+        left.finish_walk();
+        let mut right = WalkArenaBuilder::with_capacity(1, 2);
+        right.push_node(6);
+        right.push_node(7);
+        right.finish_walk();
+        left.append(right);
+        let a = left.build(None);
+        assert_eq!(a.num_walks(), 2);
+        assert_eq!(a.walk(0), &[5]);
+        assert_eq!(a.walk(1), &[6, 7]);
+    }
+
+    #[test]
+    fn groups_expose_ranges() {
+        let mut b = WalkArenaBuilder::with_capacity(3, 1);
+        for v in [0, 0, 1] {
+            b.push_node(v);
+            b.finish_walk();
+        }
+        // Node 0 owns walks 0..2, node 1 owns 2..3.
+        let a = b.build(Some(vec![0, 2, 3]));
+        assert!(a.has_groups());
+        assert_eq!(a.num_groups(), Some(2));
+        assert_eq!(a.group_range(0), Some(0..2));
+        assert_eq!(a.group_range(1), Some(2..3));
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        assert!(sample().heap_bytes() > 0);
+    }
+}

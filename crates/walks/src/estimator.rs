@@ -1,0 +1,374 @@
+//! Per-node opinion estimates and greedy marginal-gain scans.
+
+use crate::arena::WalkArena;
+use crate::truncation::Truncation;
+use vom_graph::Node;
+
+/// One `(candidate seed, affected user, opinion delta)` triple produced by
+/// [`OpinionEstimator::pair_deltas`]: adding `seed` would raise the
+/// estimated opinion of `user` by `delta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairDelta {
+    /// Candidate seed node `w`.
+    pub seed: Node,
+    /// Start node `v` whose estimate would rise.
+    pub user: Node,
+    /// Increase in `b̂_qv` if `w` were added to the seed set.
+    pub delta: f64,
+}
+
+/// Walk-based estimator of `b̂_qv^{(t)}[S]` for a per-node walk arena
+/// (Algorithm 4). The estimate for `v` is the mean end-node value of the
+/// `λ_v` truncated walks starting at `v` (Theorems 9–10), maintained
+/// incrementally as seeds are added.
+#[derive(Debug, Clone)]
+pub struct OpinionEstimator<'a> {
+    arena: &'a WalkArena,
+    trunc: Truncation,
+    b0: Vec<f64>,
+    /// Per start node: sum of current end values over its walks.
+    sums: Vec<f64>,
+    /// Per start node: λ_v.
+    lambda: Vec<u32>,
+    /// Walk index -> start node (walks are grouped, but O(1) lookup keeps
+    /// the truncation callback cheap).
+    walk_start: Vec<Node>,
+}
+
+impl<'a> OpinionEstimator<'a> {
+    /// Builds an estimator over a **grouped** arena (one produced by
+    /// [`crate::WalkGenerator::generate_per_node`]) and the target
+    /// candidate's seedless initial opinions `b0`.
+    ///
+    /// # Panics
+    /// If the arena has no start groups or `b0` length mismatches.
+    pub fn new(arena: &'a WalkArena, b0: &[f64]) -> Self {
+        let n = arena
+            .num_groups()
+            .expect("OpinionEstimator requires a per-node (grouped) arena");
+        assert_eq!(b0.len(), n, "b0 length must equal node count");
+        let trunc = Truncation::new(arena, n);
+        let mut sums = vec![0.0f64; n];
+        let mut lambda = vec![0u32; n];
+        let mut walk_start = vec![0 as Node; arena.num_walks()];
+        for v in 0..n as Node {
+            let range = arena.group_range(v).expect("grouped arena");
+            lambda[v as usize] = range.len() as u32;
+            for i in range {
+                walk_start[i] = v;
+                sums[v as usize] += trunc.end_value(arena, b0, i);
+            }
+        }
+        OpinionEstimator {
+            arena,
+            trunc,
+            b0: b0.to_vec(),
+            sums,
+            lambda,
+            walk_start,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_nodes(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Seeds added so far.
+    pub fn seeds(&self) -> &[Node] {
+        self.trunc.seeds()
+    }
+
+    /// Whether `v` is a seed.
+    pub fn is_seed(&self, v: Node) -> bool {
+        self.trunc.is_seed(v)
+    }
+
+    /// Walks per node `λ_v`.
+    pub fn lambda(&self, v: Node) -> u32 {
+        self.lambda[v as usize]
+    }
+
+    /// Estimated opinion `b̂_qv^{(t)}[S]` for the current seed set.
+    ///
+    /// Seeds estimate exactly 1 (their walks truncate at position 0).
+    /// Nodes with `λ_v = 0` fall back to the initial opinion — only
+    /// relevant for per-node λ schedules that skip nodes.
+    #[inline]
+    pub fn estimate(&self, v: Node) -> f64 {
+        if self.trunc.is_seed(v) {
+            return 1.0;
+        }
+        let l = self.lambda[v as usize];
+        if l == 0 {
+            self.b0[v as usize]
+        } else {
+            self.sums[v as usize] / l as f64
+        }
+    }
+
+    /// All per-node estimates.
+    pub fn estimates(&self) -> Vec<f64> {
+        (0..self.num_nodes() as Node).map(|v| self.estimate(v)).collect()
+    }
+
+    /// Estimated cumulative score `Σ_v b̂_qv^{(t)}[S]`.
+    pub fn estimated_cumulative(&self) -> f64 {
+        (0..self.num_nodes() as Node).map(|v| self.estimate(v)).sum()
+    }
+
+    /// Restricted cumulative estimate `Σ_{v: mask[v]} b̂_qv^{(t)}[S]` —
+    /// the sandwich lower bound aggregates only over the favorable users
+    /// set `V_q^{(t)}` (Definition 3).
+    pub fn estimated_cumulative_masked(&self, mask: &[bool]) -> f64 {
+        (0..self.num_nodes() as Node)
+            .filter(|&v| mask[v as usize])
+            .map(|v| self.estimate(v))
+            .sum()
+    }
+
+    /// [`OpinionEstimator::cumulative_gains`] restricted to walks whose
+    /// start node is in `mask` (used to greedily maximize the sandwich
+    /// lower bound).
+    pub fn cumulative_gains_masked(&self, mask: &[bool]) -> Vec<f64> {
+        let mut gains = vec![0.0f64; self.num_nodes()];
+        self.scan_prefixes(|w, start, per_walk_gain| {
+            if mask[start as usize] {
+                gains[w as usize] += per_walk_gain / self.lambda[start as usize] as f64;
+            }
+        });
+        gains
+    }
+
+    /// Adds `u` to the seed set, truncating walks and updating sums.
+    /// Returns the start nodes whose estimates changed (deduplicated),
+    /// which the γ* heuristic and rank-based gain scans consume.
+    pub fn add_seed(&mut self, u: Node) -> Vec<Node> {
+        let mut touched: Vec<Node> = Vec::new();
+        let arena = self.arena;
+        let b0 = &self.b0;
+        let sums = &mut self.sums;
+        let walk_start = &self.walk_start;
+        self.trunc.add_seed(arena, u, |walk, old_end| {
+            let start = walk_start[walk];
+            sums[start as usize] += 1.0 - b0[old_end as usize];
+            touched.push(start);
+        });
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// For every candidate seed `w`, the increase in the **estimated
+    /// cumulative score** if `w` were added: one scan over all live walk
+    /// prefixes (§V-B's "one scan over all walks"). Already-seeded nodes
+    /// report 0.
+    pub fn cumulative_gains(&self) -> Vec<f64> {
+        let mut gains = vec![0.0f64; self.num_nodes()];
+        self.scan_prefixes(|w, start, per_walk_gain| {
+            gains[w as usize] += per_walk_gain / self.lambda[start as usize] as f64;
+        });
+        gains
+    }
+
+    /// Per-(seed, user) opinion deltas, sorted by seed node: everything
+    /// the rank-based scores need to evaluate marginal gains exactly on
+    /// the estimates. Size is bounded by the total live prefix length.
+    pub fn pair_deltas(&self) -> Vec<PairDelta> {
+        let mut deltas = Vec::new();
+        self.scan_prefixes(|w, start, per_walk_gain| {
+            deltas.push(PairDelta {
+                seed: w,
+                user: start,
+                delta: per_walk_gain / self.lambda[start as usize] as f64,
+            });
+        });
+        // Group by seed, then merge duplicate (seed, user) pairs from
+        // different walks of the same start.
+        deltas.sort_unstable_by_key(|d| (d.seed, d.user));
+        deltas.dedup_by(|b, a| {
+            if a.seed == b.seed && a.user == b.user {
+                a.delta += b.delta;
+                true
+            } else {
+                false
+            }
+        });
+        deltas
+    }
+
+    /// Visits `(candidate seed w, walk start, walk-level gain)` for the
+    /// first occurrence of every non-seed node `w` in every live prefix,
+    /// where the walk-level gain is `1 − end_value` (what truncating that
+    /// walk at `w` would change its contribution by).
+    fn scan_prefixes<F: FnMut(Node, Node, f64)>(&self, mut visit: F) {
+        for i in 0..self.arena.num_walks() {
+            let end_value = self.trunc.end_value(self.arena, &self.b0, i);
+            let gain = 1.0 - end_value;
+            if gain <= 0.0 {
+                continue;
+            }
+            let prefix = self.trunc.prefix(self.arena, i);
+            let start = self.walk_start[i];
+            for (pos, &w) in prefix.iter().enumerate() {
+                // First occurrence only: truncation cuts at the earliest.
+                if prefix[..pos].contains(&w) || self.trunc.is_seed(w) {
+                    continue;
+                }
+                visit(w, start, gain);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Lambda, WalkGenerator};
+    use vom_graph::builder::graph_from_edges;
+    use vom_graph::SocialGraph;
+
+    fn running_example() -> (SocialGraph, Vec<f64>, Vec<f64>) {
+        let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let b0 = vec![0.40, 0.80, 0.60, 0.90];
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        (g, b0, d)
+    }
+
+    #[test]
+    fn estimates_converge_to_exact_opinions() {
+        let (g, b0, d) = running_example();
+        let t = 1;
+        let gen = WalkGenerator::new(&g, &d, t);
+        let arena = gen.generate_per_node(&Lambda::Uniform(60_000), 17);
+        let est = OpinionEstimator::new(&arena, &b0);
+        // Exact t=1 opinions: 0.40, 0.80, 0.60, 0.75.
+        let exact = [0.40, 0.80, 0.60, 0.75];
+        for v in 0..4 {
+            let e = est.estimate(v);
+            assert!(
+                (e - exact[v as usize]).abs() < 0.01,
+                "node {v}: {e} vs {}",
+                exact[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_estimates_converge_to_exact_seeded_opinions() {
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 1);
+        let arena = gen.generate_per_node(&Lambda::Uniform(60_000), 23);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        let touched = est.add_seed(2);
+        // Seeding node 2 influences node 3's estimate (walks 3 -> 2).
+        assert!(touched.contains(&3));
+        // Exact seeded opinions (Table I row {3}): 0.40, 0.80, 1.00, 0.95.
+        let exact = [0.40, 0.80, 1.00, 0.95];
+        for v in 0..4 {
+            let e = est.estimate(v);
+            assert!(
+                (e - exact[v as usize]).abs() < 0.01,
+                "node {v}: {e} vs {}",
+                exact[v as usize]
+            );
+        }
+        assert_eq!(est.estimate(2), 1.0, "seed estimates exactly 1");
+    }
+
+    #[test]
+    fn cumulative_gains_match_manual_recompute() {
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 2);
+        let arena = gen.generate_per_node(&Lambda::Uniform(500), 31);
+        let est = OpinionEstimator::new(&arena, &b0);
+        let gains = est.cumulative_gains();
+        let base = est.estimated_cumulative();
+        for w in 0..4 {
+            let mut clone = est.clone();
+            clone.add_seed(w);
+            let realized = clone.estimated_cumulative() - base;
+            assert!(
+                (gains[w as usize] - realized).abs() < 1e-9,
+                "node {w}: predicted {} vs realized {}",
+                gains[w as usize],
+                realized
+            );
+        }
+    }
+
+    #[test]
+    fn gains_of_existing_seeds_are_zero() {
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 2);
+        let arena = gen.generate_per_node(&Lambda::Uniform(200), 37);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        est.add_seed(2);
+        let gains = est.cumulative_gains();
+        assert_eq!(gains[2], 0.0);
+    }
+
+    #[test]
+    fn pair_deltas_aggregate_to_cumulative_gains() {
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 2);
+        let arena = gen.generate_per_node(&Lambda::Uniform(300), 41);
+        let est = OpinionEstimator::new(&arena, &b0);
+        let gains = est.cumulative_gains();
+        let mut agg = [0.0f64; 4];
+        for pd in est.pair_deltas() {
+            agg[pd.seed as usize] += pd.delta;
+        }
+        for v in 0..4 {
+            assert!((agg[v] - gains[v]).abs() < 1e-9, "node {v}");
+        }
+    }
+
+    #[test]
+    fn pair_deltas_are_sorted_and_deduplicated() {
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 3);
+        let arena = gen.generate_per_node(&Lambda::Uniform(100), 43);
+        let est = OpinionEstimator::new(&arena, &b0);
+        let deltas = est.pair_deltas();
+        for pair in deltas.windows(2) {
+            assert!(
+                (pair[0].seed, pair[0].user) < (pair[1].seed, pair[1].user),
+                "must be strictly sorted (deduplicated)"
+            );
+        }
+        assert!(deltas.iter().all(|d| d.delta > 0.0));
+    }
+
+    #[test]
+    fn truncation_equals_direct_generation_in_expectation() {
+        // Theorem 9: post-generation truncation and Direct Generation
+        // estimate the same quantity. Statistical check on node 3.
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 3);
+        let seeds = [2 as Node];
+        let lambda = Lambda::Uniform(40_000);
+
+        let arena_trunc = gen.generate_per_node(&lambda, 51);
+        let mut est = OpinionEstimator::new(&arena_trunc, &b0);
+        est.add_seed(2);
+        let trunc_estimate = est.estimate(3);
+
+        let arena_direct = gen.generate_direct(&lambda, &seeds, 53);
+        // Direct walks already stop at seeds; value of end node e is 1 if
+        // e is a seed else b0[e].
+        let range = arena_direct.group_range(3).unwrap();
+        let mut sum = 0.0;
+        let count = range.len();
+        for i in range {
+            let w = arena_direct.walk(i);
+            let e = w[w.len() - 1];
+            sum += if seeds.contains(&e) { 1.0 } else { b0[e as usize] };
+        }
+        let direct_estimate = sum / count as f64;
+        assert!(
+            (trunc_estimate - direct_estimate).abs() < 0.01,
+            "{trunc_estimate} vs {direct_estimate}"
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! Deterministic, parallel reverse-walk generation.
+
+use crate::arena::{WalkArena, WalkArenaBuilder};
+use crate::mix_seed;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use vom_graph::{Node, SocialGraph};
+
+/// How many walks to generate per start node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lambda {
+    /// The same `λ` for every node (e.g. the Theorem 10 bound).
+    Uniform(usize),
+    /// Per-node counts `λ_v` (e.g. γ-dependent bounds, Theorems 11–12).
+    PerNode(Vec<u32>),
+}
+
+impl Lambda {
+    fn count(&self, v: Node) -> usize {
+        match self {
+            Lambda::Uniform(l) => *l,
+            Lambda::PerNode(ls) => ls[v as usize] as usize,
+        }
+    }
+
+    fn total(&self, n: usize) -> usize {
+        match self {
+            Lambda::Uniform(l) => l * n,
+            Lambda::PerNode(ls) => ls.iter().map(|&l| l as usize).sum(),
+        }
+    }
+}
+
+/// Generates t-step reverse random walks over a candidate's influence
+/// graph with termination probabilities given by the stubbornness `d`
+/// (§V-A of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct WalkGenerator<'a> {
+    graph: &'a SocialGraph,
+    d: &'a [f64],
+    t: usize,
+}
+
+impl<'a> WalkGenerator<'a> {
+    /// A generator for time horizon `t` with per-node stubbornness `d`
+    /// (must have length `n`; validated by the diffusion layer upstream).
+    pub fn new(graph: &'a SocialGraph, d: &'a [f64], t: usize) -> Self {
+        assert_eq!(
+            d.len(),
+            graph.num_nodes(),
+            "stubbornness length must equal node count"
+        );
+        WalkGenerator { graph, d, t }
+    }
+
+    /// The time horizon walks are generated for.
+    pub fn horizon(&self) -> usize {
+        self.t
+    }
+
+    /// Generates `λ_v` *seedless* walks from every node `v`, grouped by
+    /// start node (Algorithm 4 line 1–3). Deterministic for a given
+    /// `seed`: node `v`'s walks use an independent RNG stream
+    /// `mix(seed, v)`, so the result is identical however rayon schedules
+    /// the chunks.
+    pub fn generate_per_node(&self, lambda: &Lambda, seed: u64) -> WalkArena {
+        self.generate_grouped(lambda, None, seed)
+    }
+
+    /// Generates one seedless walk per listed start node (sketch
+    /// generation, Algorithm 5 lines 1–3). Walk `j` uses RNG stream
+    /// `mix(seed, j)`.
+    pub fn generate_for_starts(&self, starts: &[Node], seed: u64) -> WalkArena {
+        const CHUNK: usize = 4096;
+        let shards: Vec<WalkArenaBuilder> = starts
+            .par_chunks(CHUNK)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                let mut builder = WalkArenaBuilder::with_capacity(chunk.len(), 2);
+                for (off, &v) in chunk.iter().enumerate() {
+                    let j = chunk_idx * CHUNK + off;
+                    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, j as u64));
+                    self.walk_from(v, None, &mut rng, &mut builder);
+                }
+                builder
+            })
+            .collect();
+        let mut all = WalkArenaBuilder::with_capacity(starts.len(), 2);
+        for shard in shards {
+            all.append(shard);
+        }
+        all.build(None)
+    }
+
+    /// *Direct Generation* (§V-A): walks that already know the seed set —
+    /// seeds are fully stubborn, so a walk terminates the moment it
+    /// reaches one. This regenerates from scratch for every seed set and
+    /// exists as the correctness reference / ablation baseline for
+    /// post-generation truncation.
+    pub fn generate_direct(&self, lambda: &Lambda, seeds: &[Node], seed: u64) -> WalkArena {
+        let mut is_seed = vec![false; self.graph.num_nodes()];
+        for &s in seeds {
+            is_seed[s as usize] = true;
+        }
+        self.generate_grouped(lambda, Some(&is_seed), seed)
+    }
+
+    /// Shared implementation for the per-node-grouped generators.
+    ///
+    /// Nodes are processed in fixed 4096-node chunks so shard boundaries —
+    /// and therefore the merged arena — are identical regardless of how
+    /// rayon schedules them; each node also has its own RNG stream.
+    fn generate_grouped(
+        &self,
+        lambda: &Lambda,
+        is_seed: Option<&[bool]>,
+        seed: u64,
+    ) -> WalkArena {
+        const CHUNK: usize = 4096;
+        let n = self.graph.num_nodes();
+        let node_ids: Vec<Node> = (0..n as Node).collect();
+        let shards: Vec<WalkArenaBuilder> = node_ids
+            .par_chunks(CHUNK)
+            .map(|chunk| {
+                let mut builder = WalkArenaBuilder::with_capacity(chunk.len(), 2);
+                for &v in chunk {
+                    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, v as u64));
+                    for _ in 0..lambda.count(v) {
+                        self.walk_from(v, is_seed, &mut rng, &mut builder);
+                    }
+                }
+                builder
+            })
+            .collect();
+        let mut all = WalkArenaBuilder::with_capacity(lambda.total(n), 2);
+        for shard in shards {
+            all.append(shard);
+        }
+        let mut groups = Vec::with_capacity(n + 1);
+        groups.push(0);
+        let mut acc = 0usize;
+        for v in 0..n as Node {
+            acc += lambda.count(v);
+            groups.push(acc);
+        }
+        all.build(Some(groups))
+    }
+
+    /// Generates one walk starting at `v` into `builder`.
+    ///
+    /// At each of up to `t` steps the walk at node `x`:
+    /// 1. terminates with probability `d_x` (`1` if `x` is a seed, when
+    ///    seeds are supplied — Direct Generation);
+    /// 2. otherwise moves to an in-neighbor sampled by the incoming
+    ///    weights (which sum to 1);
+    /// 3. a node without in-neighbors holds its initial opinion, so the
+    ///    walk can never move again and we stop early — the end node is
+    ///    already determined.
+    fn walk_from(
+        &self,
+        v: Node,
+        is_seed: Option<&[bool]>,
+        rng: &mut SmallRng,
+        builder: &mut WalkArenaBuilder,
+    ) {
+        let mut cur = v;
+        builder.push_node(cur);
+        for _ in 0..self.t {
+            let seeded = is_seed.is_some_and(|m| m[cur as usize]);
+            let d = if seeded { 1.0 } else { self.d[cur as usize] };
+            if d >= 1.0 || (d > 0.0 && rng.gen::<f64>() < d) {
+                break;
+            }
+            if !self.graph.has_in_edges(cur) {
+                break;
+            }
+            cur = sample_in_neighbor(self.graph, cur, rng);
+            builder.push_node(cur);
+        }
+        builder.finish_walk();
+    }
+}
+
+/// Samples an in-neighbor of `v` proportional to the incoming weights
+/// (linear CDF scan; in-degrees in social graphs are small on average, so
+/// this beats alias tables on memory and is competitive on speed).
+#[inline]
+fn sample_in_neighbor(g: &SocialGraph, v: Node, rng: &mut SmallRng) -> Node {
+    let neighbors = g.in_neighbors(v);
+    let weights = g.in_weights(v);
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return neighbors[i];
+        }
+    }
+    // Floating-point residue: fall back to the last neighbor.
+    *neighbors.last().expect("v has in-edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::builder::graph_from_edges;
+
+    fn running_example() -> (SocialGraph, Vec<f64>) {
+        let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let d = vec![0.0, 0.0, 0.5, 0.5];
+        (g, d)
+    }
+
+    #[test]
+    fn per_node_generation_is_deterministic() {
+        let (g, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 3);
+        let a = gen.generate_per_node(&Lambda::Uniform(10), 7);
+        let b = gen.generate_per_node(&Lambda::Uniform(10), 7);
+        assert_eq!(a.num_walks(), 40);
+        for i in 0..a.num_walks() {
+            assert_eq!(a.walk(i), b.walk(i));
+        }
+    }
+
+    #[test]
+    fn groups_map_walks_to_starts() {
+        let (g, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 3);
+        let a = gen.generate_per_node(&Lambda::Uniform(5), 1);
+        for v in 0..4 {
+            let range = a.group_range(v).unwrap();
+            assert_eq!(range.len(), 5);
+            for i in range {
+                assert_eq!(a.start(i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn per_node_lambda_controls_counts() {
+        let (g, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 2);
+        let a = gen.generate_per_node(&Lambda::PerNode(vec![1, 0, 3, 2]), 1);
+        assert_eq!(a.num_walks(), 6);
+        assert_eq!(a.group_range(1).unwrap().len(), 0);
+        assert_eq!(a.group_range(2).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn walks_respect_horizon_and_reverse_edges() {
+        let (g, d) = running_example();
+        let t = 2;
+        let gen = WalkGenerator::new(&g, &d, t);
+        let a = gen.generate_per_node(&Lambda::Uniform(50), 3);
+        for w in a.walks() {
+            assert!(!w.is_empty() && w.len() <= t + 1);
+            for pair in w.windows(2) {
+                // Each move goes to an in-neighbor of the current node.
+                assert!(
+                    g.in_neighbors(pair[0]).contains(&pair[1]),
+                    "{:?} not an in-step",
+                    pair
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sources_never_move() {
+        let (g, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 5);
+        let a = gen.generate_per_node(&Lambda::Uniform(20), 9);
+        for i in a.group_range(0).unwrap() {
+            assert_eq!(a.walk(i), &[0], "node 0 has no in-edges");
+        }
+    }
+
+    #[test]
+    fn horizon_zero_walks_are_single_nodes() {
+        let (g, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 0);
+        let a = gen.generate_per_node(&Lambda::Uniform(3), 9);
+        for w in a.walks() {
+            assert_eq!(w.len(), 1);
+        }
+    }
+
+    #[test]
+    fn fully_stubborn_node_terminates_immediately() {
+        let g = graph_from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let d = vec![0.0, 1.0];
+        let gen = WalkGenerator::new(&g, &d, 5);
+        let a = gen.generate_per_node(&Lambda::Uniform(10), 2);
+        for i in a.group_range(1).unwrap() {
+            assert_eq!(a.walk(i), &[1]);
+        }
+    }
+
+    #[test]
+    fn starts_generation_matches_order() {
+        let (g, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 3);
+        let starts = vec![3, 3, 0, 2];
+        let a = gen.generate_for_starts(&starts, 5);
+        assert_eq!(a.num_walks(), 4);
+        for (j, &s) in starts.iter().enumerate() {
+            assert_eq!(a.start(j), s);
+        }
+        assert!(!a.has_groups());
+    }
+
+    #[test]
+    fn direct_generation_stops_at_seeds() {
+        let (g, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 5);
+        let a = gen.generate_direct(&Lambda::Uniform(30), &[2], 11);
+        for w in a.walks() {
+            // Node 2 can only be an end node.
+            for (pos, &x) in w.iter().enumerate() {
+                if x == 2 {
+                    assert_eq!(pos, w.len() - 1, "walk continued past a seed: {w:?}");
+                }
+            }
+        }
+        // Walks starting at the seed are the seed alone.
+        for i in a.group_range(2).unwrap() {
+            assert_eq!(a.walk(i), &[2]);
+        }
+    }
+
+    #[test]
+    fn transition_distribution_matches_weights() {
+        // Node 2's in-weights are 0.75 / 0.25: walk endpoints from node 2
+        // at t = 1 with d = 0 should split roughly 3:1.
+        let g = graph_from_edges(3, &[(0, 2, 3.0), (1, 2, 1.0)]).unwrap();
+        let d = vec![0.0; 3];
+        let gen = WalkGenerator::new(&g, &d, 1);
+        let a = gen.generate_per_node(&Lambda::PerNode(vec![0, 0, 20_000]), 13);
+        let to0 = a.walks().filter(|w| w[w.len() - 1] == 0).count();
+        let frac = to0 as f64 / 20_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "empirical fraction {frac}");
+    }
+}

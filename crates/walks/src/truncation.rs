@@ -1,0 +1,263 @@
+//! Post-generation truncation (Theorem 9).
+
+use crate::arena::WalkArena;
+use vom_graph::Node;
+
+/// Incremental truncation state over a [`WalkArena`].
+///
+/// Walks are generated once without seeds; for a seed set `S`, each walk
+/// is (virtually) cut at the **first occurrence** of a node in `S`, and
+/// the cut node's opinion is 1. Theorem 9 shows the resulting end-node
+/// initial opinion is still an unbiased estimate of `b_qu^{(t)}[S]`.
+///
+/// Seeds arrive one at a time (greedy adds one seed per iteration —
+/// Algorithm 4 line 8 "truncate all walks containing u at u"), so the
+/// state keeps, per walk, the current end position, plus an index from
+/// node to its first occurrence in every walk. Ends only move leftwards;
+/// each `add_seed` costs `O(#occurrences of the seed)`.
+#[derive(Debug, Clone)]
+pub struct Truncation {
+    end_pos: Vec<u32>,
+    occ_off: Vec<usize>,
+    occ_walk: Vec<u32>,
+    occ_pos: Vec<u32>,
+    is_seed: Vec<bool>,
+    seeds: Vec<Node>,
+}
+
+impl Truncation {
+    /// Builds the truncation index for `arena` over `n` nodes.
+    pub fn new(arena: &WalkArena, n: usize) -> Self {
+        let mut end_pos = Vec::with_capacity(arena.num_walks());
+        // Count first occurrences per node.
+        let mut counts = vec![0usize; n + 1];
+        for i in 0..arena.num_walks() {
+            let w = arena.walk(i);
+            end_pos.push((w.len() - 1) as u32);
+            for (pos, &v) in w.iter().enumerate() {
+                if first_occurrence(w, pos, v) {
+                    counts[v as usize + 1] += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let occ_off = counts;
+        let total = *occ_off.last().unwrap();
+        let mut cursor = occ_off.clone();
+        let mut occ_walk = vec![0u32; total];
+        let mut occ_pos = vec![0u32; total];
+        for i in 0..arena.num_walks() {
+            let w = arena.walk(i);
+            for (pos, &v) in w.iter().enumerate() {
+                if first_occurrence(w, pos, v) {
+                    let slot = cursor[v as usize];
+                    occ_walk[slot] = i as u32;
+                    occ_pos[slot] = pos as u32;
+                    cursor[v as usize] += 1;
+                }
+            }
+        }
+        Truncation {
+            end_pos,
+            occ_off,
+            occ_walk,
+            occ_pos,
+            is_seed: vec![false; n],
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Seeds applied so far, in insertion order.
+    pub fn seeds(&self) -> &[Node] {
+        &self.seeds
+    }
+
+    /// Whether `v` is a seed.
+    #[inline]
+    pub fn is_seed(&self, v: Node) -> bool {
+        self.is_seed[v as usize]
+    }
+
+    /// Current end position (index within the walk) of walk `i`.
+    #[inline]
+    pub fn end_pos(&self, i: usize) -> usize {
+        self.end_pos[i] as usize
+    }
+
+    /// Current end node of walk `i`.
+    #[inline]
+    pub fn end_node(&self, arena: &WalkArena, i: usize) -> Node {
+        arena.walk(i)[self.end_pos(i)]
+    }
+
+    /// Estimated opinion contribution of walk `i`: the seeded initial
+    /// opinion of its current end node (`1` if the end node is a seed —
+    /// `b^{(0)}[S]` pins seeds at 1).
+    #[inline]
+    pub fn end_value(&self, arena: &WalkArena, b0: &[f64], i: usize) -> f64 {
+        let e = self.end_node(arena, i);
+        if self.is_seed(e) {
+            1.0
+        } else {
+            b0[e as usize]
+        }
+    }
+
+    /// The live prefix of walk `i` (everything up to and including the
+    /// current end node).
+    #[inline]
+    pub fn prefix<'a>(&self, arena: &'a WalkArena, i: usize) -> &'a [Node] {
+        &arena.walk(i)[..=self.end_pos(i)]
+    }
+
+    /// Adds `u` to the seed set, truncating every walk whose live prefix
+    /// contains `u`.
+    ///
+    /// A walk's contribution changes in two cases: `u` occurs strictly
+    /// before the current end (the end *moves* to `u`'s position), or `u`
+    /// *is* the current end node (the end stays but its value jumps from
+    /// `b⁰_u` to 1). In both, the new value is 1 and
+    /// `on_change(walk, old_end_node)` fires with the pre-update end node,
+    /// which is guaranteed not to have been a seed — walks already ending
+    /// at a seed keep value 1, so no callback is needed for them even when
+    /// their end moves left.
+    pub fn add_seed<F>(&mut self, arena: &WalkArena, u: Node, mut on_change: F)
+    where
+        F: FnMut(usize, Node),
+    {
+        if self.is_seed[u as usize] {
+            return;
+        }
+        let (s, e) = (self.occ_off[u as usize], self.occ_off[u as usize + 1]);
+        for idx in s..e {
+            let walk = self.occ_walk[idx] as usize;
+            let pos = self.occ_pos[idx];
+            let end = self.end_pos[walk];
+            if pos > end {
+                continue; // u lies beyond the live prefix
+            }
+            let old_node = arena.walk(walk)[end as usize];
+            // `u` is marked a seed only after this loop, so `is_seed`
+            // reflects the state before this call (the old end can be a
+            // later occurrence of `u` itself).
+            let old_was_seed = self.is_seed[old_node as usize];
+            if pos < end {
+                self.end_pos[walk] = pos;
+            }
+            if !old_was_seed {
+                on_change(walk, old_node);
+            }
+        }
+        self.is_seed[u as usize] = true;
+        self.seeds.push(u);
+    }
+}
+
+/// Whether position `pos` holds the first occurrence of `v` in `w`.
+#[inline]
+fn first_occurrence(w: &[Node], pos: usize, v: Node) -> bool {
+    !w[..pos].contains(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::WalkArenaBuilder;
+
+    /// Hand-built arena: three walks over 4 nodes.
+    fn arena() -> WalkArena {
+        let mut b = WalkArenaBuilder::with_capacity(3, 3);
+        // walk 0: 3 -> 2 -> 0
+        for v in [3, 2, 0] {
+            b.push_node(v);
+        }
+        b.finish_walk();
+        // walk 1: 2 -> 1
+        for v in [2, 1] {
+            b.push_node(v);
+        }
+        b.finish_walk();
+        // walk 2: 3 -> 2 -> 1 -> 2 (repeated node)
+        for v in [3, 2, 1, 2] {
+            b.push_node(v);
+        }
+        b.finish_walk();
+        b.build(None)
+    }
+
+    #[test]
+    fn initial_state_ends_at_walk_tails() {
+        let a = arena();
+        let t = Truncation::new(&a, 4);
+        assert_eq!(t.end_node(&a, 0), 0);
+        assert_eq!(t.end_node(&a, 1), 1);
+        assert_eq!(t.end_node(&a, 2), 2);
+        assert_eq!(t.prefix(&a, 1), &[2, 1]);
+        assert!(t.seeds().is_empty());
+    }
+
+    #[test]
+    fn add_seed_truncates_at_first_occurrence() {
+        let a = arena();
+        let mut t = Truncation::new(&a, 4);
+        let mut truncated = Vec::new();
+        t.add_seed(&a, 2, |w, _| truncated.push(w));
+        truncated.sort_unstable();
+        assert_eq!(truncated, vec![0, 1, 2]);
+        assert_eq!(t.end_pos(0), 1);
+        assert_eq!(t.end_pos(1), 0);
+        assert_eq!(t.end_pos(2), 1, "first occurrence of 2, not the later one");
+        assert_eq!(t.end_node(&a, 2), 2);
+        assert!(t.is_seed(2));
+    }
+
+    #[test]
+    fn end_values_use_seed_pinning() {
+        let a = arena();
+        let b0 = vec![0.1, 0.2, 0.3, 0.4];
+        let mut t = Truncation::new(&a, 4);
+        assert_eq!(t.end_value(&a, &b0, 0), 0.1);
+        t.add_seed(&a, 2, |_, _| {});
+        assert_eq!(t.end_value(&a, &b0, 0), 1.0);
+        assert_eq!(t.end_value(&a, &b0, 1), 1.0);
+    }
+
+    #[test]
+    fn later_seed_can_shorten_further() {
+        let a = arena();
+        let mut t = Truncation::new(&a, 4);
+        t.add_seed(&a, 1, |_, _| {});
+        assert_eq!(t.end_pos(2), 2);
+        t.add_seed(&a, 3, |_, _| {});
+        assert_eq!(t.end_pos(2), 0, "start node seed truncates to position 0");
+        assert_eq!(t.end_pos(0), 0);
+    }
+
+    #[test]
+    fn seed_beyond_current_end_is_a_noop() {
+        let a = arena();
+        let mut t = Truncation::new(&a, 4);
+        t.add_seed(&a, 2, |_, _| {});
+        let mut calls = 0;
+        // Node 1 only appears after the new ends in walks 1 and 2 — but in
+        // walk 1 node 1 is AT position 1 > end 0, walk 2 position 2 > end 1.
+        t.add_seed(&a, 1, |_, _| calls += 1);
+        assert_eq!(calls, 0);
+        assert_eq!(t.end_pos(1), 0);
+    }
+
+    #[test]
+    fn duplicate_seed_is_idempotent() {
+        let a = arena();
+        let mut t = Truncation::new(&a, 4);
+        t.add_seed(&a, 2, |_, _| {});
+        let ends: Vec<_> = (0..3).map(|i| t.end_pos(i)).collect();
+        let mut calls = 0;
+        t.add_seed(&a, 2, |_, _| calls += 1);
+        assert_eq!(calls, 0);
+        assert_eq!(ends, (0..3).map(|i| t.end_pos(i)).collect::<Vec<_>>());
+        assert_eq!(t.seeds(), &[2]);
+    }
+}

@@ -1,0 +1,69 @@
+//! A four-party election on a Twitter-like network: find how many seed
+//! users the trailing party needs to *win* the plurality vote
+//! (FJ-Vote-Win, Problem 2), and compare selection engines.
+//!
+//! ```sh
+//! cargo run --release --example election_campaign
+//! ```
+
+use vom::core::win::{min_seeds_to_win, wins};
+use vom::core::{select_seeds, select_seeds_plain, Method, Problem};
+use vom::datasets::{twitter_election_like, ReplicaParams};
+use vom::voting::{tally, ScoringFunction};
+
+fn main() {
+    // A scaled synthetic replica of the paper's Twitter-US-Election
+    // dataset: 4 parties, bimodal sentiment-style opinions.
+    let ds = twitter_election_like(&ReplicaParams::at_scale(0.001, 7));
+    let inst = &ds.instance;
+    let t = 20;
+    println!(
+        "dataset {} — {} users, {} candidates",
+        ds.name,
+        inst.num_nodes(),
+        inst.num_candidates()
+    );
+
+    // Current standings at the horizon.
+    let standings = tally(&inst.opinions_at(t, 0, &[]), &ScoringFunction::Plurality);
+    for (q, name) in ds.candidate_names.iter().enumerate() {
+        println!("  {name:<12} plurality {}", standings.scores[q]);
+    }
+    let target = ds.default_target;
+    println!(
+        "target: {} (currently {})",
+        ds.candidate_names[target],
+        if standings.wins_strictly(target) {
+            "winning"
+        } else {
+            "trailing"
+        }
+    );
+
+    // A fixed-budget campaign with the recommended RS engine (sandwich
+    // approximation kicks in automatically for the non-submodular
+    // plurality score).
+    let k = 25;
+    let problem =
+        Problem::new(inst, target, k, t, ScoringFunction::Plurality).expect("valid problem");
+    let res = select_seeds(&problem, &Method::rs_default()).expect("selection succeeds");
+    println!(
+        "\nwith {k} seeds: plurality {} -> {} ({} with the sandwich ratio {:.2})",
+        standings.scores[target],
+        res.exact_score,
+        if wins(&problem, &res.seeds) { "WIN" } else { "still behind" },
+        res.sandwich.as_ref().map_or(1.0, |s| s.ratio),
+    );
+
+    // Problem 2: the minimum budget that actually wins.
+    let win = min_seeds_to_win(&problem, |p| {
+        select_seeds_plain(p, &Method::rs_default())
+            .expect("selection succeeds")
+            .seeds
+    });
+    match win {
+        Some(w) => println!("minimum winning budget k* = {} (seeds: {:?}...)", w.k,
+            &w.seeds[..w.seeds.len().min(5)]),
+        None => println!("this election cannot be won even seeding everyone"),
+    }
+}

@@ -1,0 +1,97 @@
+//! Seeding a polarized two-community network under different opinion
+//! dynamics.
+//!
+//! Builds a stochastic-block-model network whose two communities start
+//! loyal to opposite candidates, then asks: if the challenger seeds the
+//! same budget, how does the outcome differ when the population follows
+//! Friedkin–Johnsen averaging, voter-style copying, bounded-confidence
+//! (Hegselmann–Krause), or Deffuant encounters?
+//!
+//! ```sh
+//! cargo run --release --example polarized_communities
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use vom::diffusion::{Instance, OpinionMatrix};
+use vom::dynamics::{
+    expected_opinions, DeffuantModel, DynamicsModel, DynamicsSeeder, FjDynamics, HkModel,
+    VoterModel,
+};
+use vom::graph::builder::graph_from_edges;
+use vom::graph::generators::stochastic_block;
+use vom::voting::ScoringFunction;
+
+fn main() {
+    let n = 120;
+    let blocks = 2;
+    let mut rng = StdRng::seed_from_u64(2023);
+    let edges = stochastic_block(n, blocks, 0.12, 0.01, &mut rng);
+    let graph = Arc::new(graph_from_edges(n, &edges).expect("valid SBM edges"));
+    println!(
+        "SBM network: {n} users in {blocks} communities, {} edges",
+        graph.num_edges()
+    );
+
+    // Community 0 (even nodes) leans to candidate 0, community 1 (odd
+    // nodes) to candidate 1; a little noise keeps users persuadable.
+    let mut row0 = vec![0.0; n];
+    let mut row1 = vec![0.0; n];
+    for v in 0..n {
+        let noise: f64 = rng.gen_range(-0.1..0.1);
+        if v % blocks == 0 {
+            row0[v] = (0.7 + noise).clamp(0.0, 1.0);
+            row1[v] = (0.3 - noise).clamp(0.0, 1.0);
+        } else {
+            row0[v] = (0.3 + noise).clamp(0.0, 1.0);
+            row1[v] = (0.7 - noise).clamp(0.0, 1.0);
+        }
+    }
+    let initial = OpinionMatrix::from_rows(vec![row0, row1]).expect("opinions in range");
+    let stubbornness: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..0.5)).collect();
+    let instance = Arc::new(
+        Instance::shared(graph.clone(), initial.clone(), stubbornness).expect("valid instance"),
+    );
+
+    // Candidate 0 is the target; it starts with exactly half the votes,
+    // so it needs converts from the *other* community.
+    let (t, k, runs) = (12, 4, 64);
+    let score = ScoringFunction::Plurality;
+    let models: Vec<Box<dyn DynamicsModel>> = vec![
+        Box::new(FjDynamics::new(instance)),
+        Box::new(VoterModel::new(graph.clone(), initial.clone()).expect("valid")),
+        Box::new(HkModel::new(graph.clone(), initial.clone(), 0.35).expect("valid")),
+        Box::new(DeffuantModel::new(graph, initial, 0.35, 0.4).expect("valid")),
+    ];
+
+    println!("\n-- expected plurality for candidate 0 (t = {t}, k = {k}) --");
+    println!(
+        "{:<18} {:>10} {:>12} {:>22}",
+        "model", "no seeds", "with seeds", "seeds in rival camp"
+    );
+    for model in &models {
+        let seeder = DynamicsSeeder::new(model.as_ref(), t, 0, runs, 7);
+        let seeds = seeder.greedy(k, &score);
+        let before = score.score(&expected_opinions(model.as_ref(), t, 0, &[], runs, 7), 0);
+        let after = score.score(&expected_opinions(model.as_ref(), t, 0, &seeds, runs, 7), 0);
+        // How many chosen seeds sit inside the opposing community? Under
+        // bounded confidence, seeding the rival camp directly is often
+        // useless (the seed is outside everyone's confidence interval),
+        // so the models genuinely disagree here.
+        let rival = seeds.iter().filter(|&&s| s as usize % blocks == 1).count();
+        println!(
+            "{:<18} {:>10.1} {:>12.1} {:>18}/{k}",
+            model.name(),
+            before,
+            after,
+            rival
+        );
+    }
+    println!(
+        "\nInterpretation: averaging dynamics (FJ) reward seeding bridge/rival\n\
+         users, while bounded-confidence dynamics only convert users whose\n\
+         opinions are already within epsilon — the optimal campaign depends\n\
+         on which dynamics you believe."
+    );
+}

@@ -1,0 +1,60 @@
+//! A two-stance referendum (mask-mandate style): analyse convergence,
+//! compare voting-score seeds against classic influence-maximization
+//! seeds (IMM), and measure both under each objective.
+//!
+//! ```sh
+//! cargo run --release --example referendum_analysis
+//! ```
+
+use vom::baselines::{expected_spread, imm_seeds, CascadeModel, ImmConfig};
+use vom::core::{select_seeds, Method, Problem};
+use vom::datasets::{twitter_mask_like, ReplicaParams};
+use vom::diffusion::convergence::{change_fraction_series, oblivious_nodes};
+use vom::voting::ScoringFunction;
+
+fn main() {
+    let ds = twitter_mask_like(&ReplicaParams::at_scale(0.001, 17));
+    let inst = &ds.instance;
+    let g = inst.graph_of(ds.default_target);
+    let (k, t) = (20, 20);
+    println!(
+        "dataset {} — {} users, stances: {:?}",
+        ds.name, inst.num_nodes(), ds.candidate_names
+    );
+
+    // How fast do opinions settle? (The reason a finite horizon matters.)
+    let cand = inst.candidate(ds.default_target);
+    let engine = cand.engine();
+    let changes = change_fraction_series(&engine, &[], 10, 1.0);
+    println!(
+        "fraction of users changing >1% per step: {:?}",
+        changes.iter().map(|c| format!("{:.2}", c)).collect::<Vec<_>>()
+    );
+    println!(
+        "oblivious users (diffusion may not converge): {}",
+        oblivious_nodes(&engine).len()
+    );
+
+    // Voting-score seeds vs IMM seeds, evaluated on BOTH objectives.
+    let problem = Problem::new(inst, ds.default_target, k, t, ScoringFunction::Plurality)
+        .expect("valid problem");
+    let ours = select_seeds(&problem, &Method::rw_default()).expect("selection succeeds");
+    let imm = imm_seeds(
+        g,
+        CascadeModel::IndependentCascade,
+        k,
+        &ImmConfig::default(),
+    );
+
+    let sims = 1_000;
+    println!("\n{:<18} {:>12} {:>14}", "seeds", "plurality", "EIS under IC");
+    for (label, seeds) in [("RW (plurality)", &ours.seeds), ("IMM (IC)", &imm)] {
+        let plurality = problem.exact_score(seeds);
+        let spread = expected_spread(g, CascadeModel::IndependentCascade, seeds, sims, 3);
+        println!("{label:<18} {plurality:>12.0} {spread:>14.1}");
+    }
+    println!(
+        "\nvoting-score seeds keep most of IMM's cascade reach while \
+         winning far more ballots — the paper's Figure 11 story."
+    );
+}

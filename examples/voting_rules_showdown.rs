@@ -1,0 +1,76 @@
+//! The choice of voting rule changes who you should seed — and how many
+//! seeds you need to win.
+//!
+//! Runs the exact generic greedy under the paper's plurality/Copeland
+//! scores and the extension rules (Borda, veto, maximin, Bucklin,
+//! Copeland⁰·⁵) on a 10-candidate Yelp-like replica, then finds the
+//! minimum winning budget per rule (Problem 2 generalized).
+//!
+//! ```sh
+//! cargo run --release --example voting_rules_showdown
+//! ```
+
+use vom::core::{evaluate_rule, generic_greedy, min_seeds_to_win_rule};
+use vom::datasets::{yelp_like, ReplicaParams};
+use vom::voting::{tally, ExtendedRule, OpinionScore, ScoringFunction};
+
+fn main() {
+    let ds = yelp_like(&ReplicaParams::at_scale(0.0004, 42));
+    let inst = &ds.instance;
+    let t = 20;
+    let k = 5;
+    // Campaign for an *underdog*: the candidate with the worst seedless
+    // plurality at the horizon (the default target usually already wins).
+    let standings = tally(&inst.opinions_at(t, 0, &[]), &ScoringFunction::Plurality);
+    let q = (0..inst.num_candidates())
+        .min_by(|&a, &b| standings.scores[a].total_cmp(&standings.scores[b]))
+        .expect("at least one candidate");
+    println!(
+        "dataset {} — {} users, {} candidates, target {}",
+        ds.name,
+        inst.num_nodes(),
+        inst.num_candidates(),
+        ds.candidate_names[q]
+    );
+
+    let rules: Vec<Box<dyn OpinionScore>> = vec![
+        Box::new(ScoringFunction::Plurality),
+        Box::new(ScoringFunction::Copeland),
+        Box::new(ExtendedRule::Borda),
+        Box::new(ExtendedRule::Veto),
+        Box::new(ExtendedRule::Maximin),
+        Box::new(ExtendedRule::Bucklin),
+        Box::new(ExtendedRule::CopelandHalf),
+    ];
+
+    println!("\n-- greedy seeds per rule (k = {k}, t = {t}) --");
+    let mut seed_sets: Vec<(String, Vec<u32>)> = Vec::new();
+    for rule in &rules {
+        let seeds = generic_greedy(inst, q, k, t, rule.as_ref()).expect("valid problem");
+        let before = evaluate_rule(inst, q, t, &[], rule.as_ref());
+        let after = evaluate_rule(inst, q, t, &seeds, rule.as_ref());
+        println!(
+            "  {:<14} {before:>8.1} -> {after:>8.1}   seeds {seeds:?}",
+            rule.rule_name()
+        );
+        seed_sets.push((rule.rule_name().to_string(), seeds));
+    }
+
+    println!("\n-- pairwise seed overlap (out of {k}) --");
+    for (i, (a, sa)) in seed_sets.iter().enumerate() {
+        for (b, sb) in seed_sets.iter().skip(i + 1) {
+            let shared = sa.iter().filter(|s| sb.contains(s)).count();
+            if shared < k {
+                println!("  {a:<14} vs {b:<14} share {shared}/{k}");
+            }
+        }
+    }
+
+    println!("\n-- minimum budget to strictly win (Problem 2, generic) --");
+    for rule in &rules {
+        match min_seeds_to_win_rule(inst, q, t, rule.as_ref()).expect("valid problem") {
+            Some(win) => println!("  {:<14} k* = {}", rule.rule_name(), win.k),
+            None => println!("  {:<14} cannot win at t = {t}", rule.rule_name()),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-method agreement on a mid-size synthetic instance: DM (exact),
+//! RW and RS must find seed sets of near-identical quality, and the
+//! estimated scores must track the exact ones.
+
+use vom::core::rs::RsConfig;
+use vom::core::rw::RwConfig;
+use vom::core::{select_seeds, select_seeds_plain, Method, Problem};
+use vom::datasets::{dblp_like, yelp_like, ReplicaParams};
+use vom::voting::ScoringFunction;
+
+fn params() -> ReplicaParams {
+    ReplicaParams::at_scale(0.004, 97)
+}
+
+#[test]
+fn cumulative_scores_agree_within_tolerance() {
+    let ds = dblp_like(&params());
+    let p = Problem::new(&ds.instance, 0, 10, 10, ScoringFunction::Cumulative).unwrap();
+    let dm = select_seeds(&p, &Method::Dm).unwrap().exact_score;
+    let rw = select_seeds(&p, &Method::rw_default()).unwrap().exact_score;
+    let rs = select_seeds(&p, &Method::rs_default()).unwrap().exact_score;
+    // DM is exact greedy; the estimators should be within a few percent.
+    assert!(rw >= 0.95 * dm, "RW {rw} too far below DM {dm}");
+    assert!(rs >= 0.93 * dm, "RS {rs} too far below DM {dm}");
+    // And none can exceed the best-possible trivial upper bound n.
+    assert!(dm <= ds.instance.num_nodes() as f64 + 1e-9);
+}
+
+#[test]
+fn plurality_scores_agree_within_tolerance() {
+    let ds = dblp_like(&params());
+    let p = Problem::new(&ds.instance, 0, 10, 10, ScoringFunction::Plurality).unwrap();
+    let dm = select_seeds(&p, &Method::Dm).unwrap().exact_score;
+    let rw = select_seeds(&p, &Method::rw_default()).unwrap().exact_score;
+    let rs = select_seeds(&p, &Method::rs_default()).unwrap().exact_score;
+    assert!(rw >= 0.9 * dm, "RW {rw} too far below DM {dm}");
+    assert!(rs >= 0.85 * dm, "RS {rs} too far below DM {dm}");
+}
+
+#[test]
+fn estimated_cumulative_tracks_exact_score() {
+    use vom::sketch::SketchSet;
+    let ds = yelp_like(&params());
+    let cand = ds.instance.candidate(0);
+    let t = 10;
+    let sketch = SketchSet::generate(
+        &cand.graph,
+        &cand.stubbornness,
+        &cand.initial,
+        t,
+        200_000,
+        3,
+    );
+    let exact: f64 = cand.engine().opinions_at(t, &[]).iter().sum();
+    let est = sketch.estimated_cumulative();
+    let rel = (est - exact).abs() / exact;
+    assert!(rel < 0.02, "estimate {est} vs exact {exact} ({rel:.3} rel)");
+}
+
+#[test]
+fn seed_overlap_between_methods_is_substantial() {
+    let ds = dblp_like(&params());
+    let p = Problem::new(&ds.instance, 0, 20, 10, ScoringFunction::Cumulative).unwrap();
+    let dm = select_seeds_plain(&p, &Method::Dm).unwrap().seeds;
+    let rw = select_seeds_plain(
+        &p,
+        &Method::Rw(RwConfig {
+            seed: 5,
+            ..RwConfig::default()
+        }),
+    )
+    .unwrap()
+    .seeds;
+    let rs = select_seeds_plain(
+        &p,
+        &Method::Rs(RsConfig {
+            seed: 5,
+            ..RsConfig::default()
+        }),
+    )
+    .unwrap()
+    .seeds;
+    let overlap = |a: &[u32], b: &[u32]| {
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        b.iter().filter(|v| set.contains(v)).count()
+    };
+    assert!(overlap(&dm, &rw) >= 10, "DM/RW overlap {}", overlap(&dm, &rw));
+    assert!(overlap(&dm, &rs) >= 8, "DM/RS overlap {}", overlap(&dm, &rs));
+}
+
+#[test]
+fn selection_is_deterministic_given_seed() {
+    let ds = dblp_like(&params());
+    let p = Problem::new(&ds.instance, 0, 8, 10, ScoringFunction::Plurality).unwrap();
+    for method in [
+        Method::Dm,
+        Method::Rw(RwConfig {
+            seed: 11,
+            ..RwConfig::default()
+        }),
+        Method::Rs(RsConfig {
+            seed: 11,
+            ..RsConfig::default()
+        }),
+    ] {
+        let a = select_seeds(&p, &method).unwrap().seeds;
+        let b = select_seeds(&p, &method).unwrap().seeds;
+        assert_eq!(a, b, "{}", method.name());
+    }
+}

@@ -1,0 +1,200 @@
+//! Failure-injection tests: every user-facing constructor must reject
+//! malformed input with a descriptive error instead of panicking or
+//! silently mis-computing. One test per error surface, across crates.
+
+use std::sync::Arc;
+use vom::core::{generic_greedy, CoreError, Problem};
+use vom::diffusion::{CandidateData, DiffusionError, Instance, OpinionMatrix};
+use vom::dynamics::{DeffuantModel, DynamicsError, HkModel, VoterModel};
+use vom::graph::builder::graph_from_edges;
+use vom::graph::{GraphBuilder, GraphError};
+use vom::voting::{ExtendedRule, ScoreError, ScoringFunction};
+
+fn valid_graph() -> Arc<vom::graph::SocialGraph> {
+    Arc::new(graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap())
+}
+
+// ---- vom-graph ------------------------------------------------------
+
+#[test]
+fn graph_rejects_zero_nodes() {
+    assert!(matches!(
+        GraphBuilder::new(0).build(),
+        Err(GraphError::EmptyGraph)
+    ));
+}
+
+#[test]
+fn graph_rejects_out_of_bounds_endpoints() {
+    let err = graph_from_edges(2, &[(0, 5, 1.0)]).unwrap_err();
+    assert!(matches!(err, GraphError::NodeOutOfBounds { node: 5, n: 2 }));
+}
+
+#[test]
+fn graph_rejects_nan_negative_and_infinite_weights() {
+    for w in [f64::NAN, -1.0, f64::INFINITY] {
+        let err = graph_from_edges(2, &[(0, 1, w)]).unwrap_err();
+        assert!(
+            matches!(err, GraphError::InvalidWeight { .. }),
+            "weight {w}: {err}"
+        );
+    }
+}
+
+#[test]
+fn graph_error_messages_name_the_offender() {
+    let msg = graph_from_edges(2, &[(0, 5, 1.0)]).unwrap_err().to_string();
+    assert!(msg.contains('5'), "unhelpful message: {msg}");
+}
+
+// ---- vom-diffusion ---------------------------------------------------
+
+#[test]
+fn opinions_reject_out_of_range_and_nan() {
+    for bad in [-0.1, 1.1, f64::NAN] {
+        let err = OpinionMatrix::from_rows(vec![vec![0.5, bad]]).unwrap_err();
+        assert!(
+            matches!(err, DiffusionError::ValueOutOfRange { .. }),
+            "value {bad}: {err}"
+        );
+    }
+}
+
+#[test]
+fn opinions_reject_ragged_rows() {
+    let err = OpinionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.5]]).unwrap_err();
+    assert!(matches!(err, DiffusionError::LengthMismatch { .. }));
+}
+
+#[test]
+fn opinions_reject_zero_candidates() {
+    assert!(matches!(
+        OpinionMatrix::from_rows(vec![]).unwrap_err(),
+        DiffusionError::NoCandidates
+    ));
+}
+
+#[test]
+fn candidate_data_rejects_wrong_lengths_and_bad_stubbornness() {
+    let g = valid_graph();
+    let err = CandidateData::new(g.clone(), vec![0.5; 2], vec![0.5; 3]).unwrap_err();
+    assert!(matches!(err, DiffusionError::LengthMismatch { .. }));
+    let err = CandidateData::new(g, vec![0.5; 3], vec![0.5, 2.0, 0.5]).unwrap_err();
+    assert!(matches!(err, DiffusionError::ValueOutOfRange { .. }));
+}
+
+// ---- vom-voting ------------------------------------------------------
+
+#[test]
+fn scores_reject_bad_p_and_bad_weights() {
+    assert!(matches!(
+        ScoringFunction::PApproval { p: 0 }.validate(3),
+        Err(ScoreError::InvalidP { .. })
+    ));
+    assert!(matches!(
+        ScoringFunction::PApproval { p: 4 }.validate(3),
+        Err(ScoreError::InvalidP { .. })
+    ));
+    // Increasing weights are invalid (must be non-increasing).
+    let bad = ScoringFunction::PositionalPApproval {
+        p: 2,
+        weights: vec![0.5, 1.0, 0.0],
+    };
+    assert!(matches!(
+        bad.validate(3),
+        Err(ScoreError::InvalidPositionWeights(_))
+    ));
+    // Wrong length.
+    let short = ScoringFunction::PositionalPApproval {
+        p: 2,
+        weights: vec![1.0],
+    };
+    assert!(short.validate(3).is_err());
+}
+
+#[test]
+#[should_panic(expected = "at least two candidates")]
+fn borda_constructor_rejects_single_candidate() {
+    let _ = ScoringFunction::borda(1);
+}
+
+// ---- vom-core --------------------------------------------------------
+
+#[test]
+fn problem_rejects_bad_target_and_budget() {
+    let g = valid_graph();
+    let b = OpinionMatrix::from_rows(vec![vec![0.5; 3], vec![0.5; 3]]).unwrap();
+    let inst = Instance::shared(g, b, vec![0.0; 3]).unwrap();
+    assert!(matches!(
+        Problem::new(&inst, 7, 1, 1, ScoringFunction::Plurality),
+        Err(CoreError::BadTarget { target: 7, r: 2 })
+    ));
+    assert!(matches!(
+        Problem::new(&inst, 0, 99, 1, ScoringFunction::Plurality),
+        Err(CoreError::BudgetTooLarge { k: 99, n: 3 })
+    ));
+    // Score validation propagates.
+    assert!(Problem::new(&inst, 0, 1, 1, ScoringFunction::PApproval { p: 9 }).is_err());
+}
+
+#[test]
+fn generic_greedy_propagates_validation() {
+    let g = valid_graph();
+    let b = OpinionMatrix::from_rows(vec![vec![0.5; 3], vec![0.5; 3]]).unwrap();
+    let inst = Instance::shared(g, b, vec![0.0; 3]).unwrap();
+    assert!(generic_greedy(&inst, 9, 1, 1, &ExtendedRule::Borda).is_err());
+    assert!(generic_greedy(&inst, 0, 9, 1, &ExtendedRule::Borda).is_err());
+}
+
+// ---- vom-dynamics ----------------------------------------------------
+
+#[test]
+fn dynamics_models_reject_mismatched_opinions() {
+    let g = valid_graph();
+    let wrong = OpinionMatrix::from_rows(vec![vec![0.5; 2]]).unwrap();
+    assert!(matches!(
+        VoterModel::new(g, wrong),
+        Err(DynamicsError::LengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn bounded_confidence_parameters_are_validated() {
+    let g = valid_graph();
+    let b = OpinionMatrix::from_rows(vec![vec![0.5; 3]]).unwrap();
+    for (eps, mu) in [(-0.1, 0.3), (1.5, 0.3), (0.5, 0.0), (0.5, 0.6)] {
+        assert!(
+            DeffuantModel::new(g.clone(), b.clone(), eps, mu).is_err(),
+            "eps {eps}, mu {mu} accepted"
+        );
+    }
+    assert!(HkModel::new(g, b, 1.2).is_err());
+}
+
+#[test]
+fn dynamics_errors_display_the_constraint() {
+    let g = valid_graph();
+    let b = OpinionMatrix::from_rows(vec![vec![0.5; 3]]).unwrap();
+    let msg = DeffuantModel::new(g, b, 2.0, 0.3).unwrap_err().to_string();
+    assert!(
+        msg.contains("epsilon") && msg.contains('2'),
+        "unhelpful message: {msg}"
+    );
+}
+
+// ---- cross-cutting: valid inputs still work after near-miss values ----
+
+#[test]
+fn boundary_values_are_accepted() {
+    // 0.0 and 1.0 are valid opinions/stubbornness; ε ∈ {0, 1} and
+    // µ = 0.5 are valid bounds — off-by-epsilon validation would break
+    // these.
+    let g = valid_graph();
+    let b = OpinionMatrix::from_rows(vec![vec![0.0, 1.0, 0.5]]).unwrap();
+    assert!(CandidateData::new(g.clone(), vec![0.0, 1.0, 0.5], vec![0.0, 1.0, 0.5]).is_ok());
+    assert!(DeffuantModel::new(g.clone(), b.clone(), 0.0, 0.5).is_ok());
+    assert!(DeffuantModel::new(g.clone(), b.clone(), 1.0, 0.5).is_ok());
+    assert!(HkModel::new(g, b, 0.0).is_ok());
+    assert!(ScoringFunction::borda(2).validate(2).is_ok());
+    assert!(ScoringFunction::veto(2).validate(2).is_ok());
+}

@@ -1,0 +1,135 @@
+//! Golden test: the paper's running example (Figure 1 + Table I + the
+//! §IV-D submodularity-ratio instance), end to end through the public
+//! API.
+
+use std::sync::Arc;
+use vom::core::{select_seeds, Method, Problem};
+use vom::diffusion::{Instance, OpinionMatrix};
+use vom::graph::builder::graph_from_edges;
+use vom::voting::{condorcet_winner, tally, ScoringFunction};
+
+/// Figure 1, 0-indexed, with the competitor initial row calibrated to
+/// reproduce the paper's stated t=1 values (see DESIGN.md on the 0.78 vs
+/// 0.775 rounding in the paper).
+fn running_example() -> Instance {
+    let g = Arc::new(
+        graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
+    );
+    let b = OpinionMatrix::from_rows(vec![
+        vec![0.40, 0.80, 0.60, 0.90],
+        vec![0.35, 0.75, 1.00, 0.80],
+    ])
+    .unwrap();
+    Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5]).unwrap()
+}
+
+#[test]
+fn table1_all_rows_reproduce() {
+    let inst = running_example();
+    // (seed set, expected opinions, cumulative, plurality, copeland)
+    type Row = (Vec<u32>, [f64; 4], f64, f64, f64);
+    let rows: Vec<Row> = vec![
+        (vec![], [0.40, 0.80, 0.60, 0.75], 2.55, 2.0, 0.0),
+        (vec![0], [1.00, 0.80, 0.75, 0.75], 3.30, 2.0, 0.0),
+        (vec![1], [0.40, 1.00, 0.65, 0.75], 2.80, 2.0, 0.0),
+        (vec![2], [0.40, 0.80, 1.00, 0.95], 3.15, 4.0, 1.0),
+        (vec![3], [0.40, 0.80, 0.60, 1.00], 2.80, 3.0, 1.0),
+        (vec![0, 1], [1.00, 1.00, 0.80, 0.75], 3.55, 3.0, 1.0),
+    ];
+    for (seeds, opinions, cumulative, plurality, copeland) in rows {
+        let b = inst.opinions_at(1, 0, &seeds);
+        for (v, want) in opinions.iter().enumerate() {
+            assert!(
+                (b.get(0, v as u32) - want).abs() < 1e-12,
+                "seeds {seeds:?} node {v}"
+            );
+        }
+        assert!(
+            (ScoringFunction::Cumulative.score(&b, 0) - cumulative).abs() < 1e-12,
+            "cumulative for {seeds:?}"
+        );
+        assert_eq!(
+            ScoringFunction::Plurality.score(&b, 0),
+            plurality,
+            "plurality for {seeds:?}"
+        );
+        assert_eq!(
+            ScoringFunction::Copeland.score(&b, 0),
+            copeland,
+            "copeland for {seeds:?}"
+        );
+    }
+}
+
+#[test]
+fn example_2_optimal_single_seeds_per_score() {
+    // "The optimal seed sets are quite different for various
+    // voting-based scores" — user 1 for cumulative, user 3 for
+    // plurality, user 3 or 4 for Copeland (0-indexed: 0, 2, {2, 3}).
+    let inst = running_example();
+    for (score, check) in [
+        (
+            ScoringFunction::Cumulative,
+            Box::new(|s: &[u32]| s == [0]) as Box<dyn Fn(&[u32]) -> bool>,
+        ),
+        (ScoringFunction::Plurality, Box::new(|s: &[u32]| s == [2])),
+        (
+            ScoringFunction::Copeland,
+            Box::new(|s: &[u32]| s == [2] || s == [3]),
+        ),
+    ] {
+        let p = Problem::new(&inst, 0, 1, 1, score.clone()).unwrap();
+        let res = select_seeds(&p, &Method::Dm).unwrap();
+        assert!(
+            check(&res.seeds),
+            "{score}: unexpected seeds {:?}",
+            res.seeds
+        );
+    }
+}
+
+#[test]
+fn condorcet_winner_appears_with_seed_3() {
+    let inst = running_example();
+    let seedless = inst.opinions_at(1, 0, &[]);
+    assert_eq!(condorcet_winner(&seedless), None, "2-2 split, no winner");
+    let seeded = inst.opinions_at(1, 0, &[2]);
+    assert_eq!(condorcet_winner(&seeded), Some(0));
+    let result = tally(&seeded, &ScoringFunction::Plurality);
+    assert_eq!(result.winner, 0);
+    assert!(result.strict);
+}
+
+#[test]
+fn example_3_non_submodularity_of_plurality_and_copeland() {
+    // Inserting node 2 (paper user 2) into {} gains 0; into {1} (paper
+    // user 1) gains 1 — submodularity violated for both scores.
+    let inst = running_example();
+    for score in [ScoringFunction::Plurality, ScoringFunction::Copeland] {
+        let p = Problem::new(&inst, 0, 1, 1, score.clone()).unwrap();
+        let f = |seeds: &[u32]| p.exact_score(seeds);
+        let gain_empty = f(&[1]) - f(&[]);
+        let gain_after_0 = f(&[0, 1]) - f(&[0]);
+        assert_eq!(gain_empty, 0.0, "{score}");
+        assert_eq!(gain_after_0, 1.0, "{score}");
+        assert!(gain_after_0 > gain_empty, "{score} must violate submodularity");
+    }
+}
+
+#[test]
+fn all_three_methods_agree_on_the_running_example() {
+    let inst = running_example();
+    for score in [
+        ScoringFunction::Cumulative,
+        ScoringFunction::Plurality,
+        ScoringFunction::PApproval { p: 2 },
+        ScoringFunction::Copeland,
+    ] {
+        let p = Problem::new(&inst, 0, 1, 1, score.clone()).unwrap();
+        let dm = select_seeds(&p, &Method::Dm).unwrap().exact_score;
+        let rw = select_seeds(&p, &Method::rw_default()).unwrap().exact_score;
+        let rs = select_seeds(&p, &Method::rs_default()).unwrap().exact_score;
+        assert_eq!(dm, rw, "{score}: DM vs RW");
+        assert_eq!(dm, rs, "{score}: DM vs RS");
+    }
+}

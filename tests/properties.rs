@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) for the core invariants:
+//! column-stochasticity, opinion range/monotonicity, cumulative
+//! submodularity (Theorem 3), estimator unbiasedness and bound
+//! domination.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vom::diffusion::{FjEngine, Instance, OpinionMatrix};
+use vom::graph::builder::graph_from_edges;
+use vom::graph::{Node, SocialGraph};
+
+/// Strategy: a random small weighted digraph + opinions + stubbornness.
+fn arb_instance() -> impl Strategy<Value = (SocialGraph, Vec<f64>, Vec<f64>)> {
+    (3usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as Node, 0..n as Node, 0.1f64..5.0),
+            1..(3 * n),
+        );
+        let opinions = proptest::collection::vec(0.0f64..=1.0, n);
+        let stubbornness = proptest::collection::vec(0.0f64..=1.0, n);
+        (edges, opinions, stubbornness).prop_map(move |(edges, b0, d)| {
+            let g = graph_from_edges(n, &edges).expect("valid random edges");
+            (g, b0, d)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_always_column_stochastic((g, _, _) in arb_instance()) {
+        g.validate_column_stochastic(1e-9).unwrap();
+    }
+
+    #[test]
+    fn opinions_stay_in_unit_interval(
+        (g, b0, d) in arb_instance(),
+        t in 0usize..12,
+        seed in 0u32..8,
+    ) {
+        let engine = FjEngine::new(&g, &b0, &d).unwrap();
+        let seeds = [seed % g.num_nodes() as Node];
+        for &b in &engine.opinions_at(t, &seeds) {
+            prop_assert!((0.0..=1.0).contains(&b), "opinion {b} out of range");
+        }
+    }
+
+    #[test]
+    fn opinions_monotone_in_seed_sets(
+        (g, b0, d) in arb_instance(),
+        t in 0usize..10,
+        extra in 0u32..8,
+    ) {
+        // Adding a seed can only raise each user's opinion (§III-B).
+        let n = g.num_nodes() as Node;
+        let engine = FjEngine::new(&g, &b0, &d).unwrap();
+        let small = [0 % n];
+        let large = [0 % n, extra % n];
+        let b_small = engine.opinions_at(t, &small);
+        let b_large = engine.opinions_at(t, &large);
+        for (s, l) in b_small.iter().zip(&b_large) {
+            prop_assert!(l + 1e-12 >= *s, "monotonicity violated: {s} > {l}");
+        }
+    }
+
+    #[test]
+    fn per_user_opinion_is_submodular_theorem3(
+        (g, b0, d) in arb_instance(),
+        t in 0usize..8,
+    ) {
+        // b_qi[X ∪ {s}] − b_qi[X] >= b_qi[Y ∪ {s}] − b_qi[Y] for X ⊆ Y.
+        let n = g.num_nodes() as Node;
+        if n < 4 { return Ok(()); }
+        let engine = FjEngine::new(&g, &b0, &d).unwrap();
+        let x = [0];
+        let y = [0, 1];
+        let s = 2;
+        let bx = engine.opinions_at(t, &x);
+        let bxs = engine.opinions_at(t, &[0, s]);
+        let by = engine.opinions_at(t, &y);
+        let bys = engine.opinions_at(t, &[0, 1, s]);
+        for v in 0..n as usize {
+            let gain_x = bxs[v] - bx[v];
+            let gain_y = bys[v] - by[v];
+            prop_assert!(
+                gain_x + 1e-9 >= gain_y,
+                "node {v}: gain {gain_x} under X < gain {gain_y} under Y"
+            );
+        }
+    }
+
+    #[test]
+    fn cumulative_greedy_matches_brute_force_for_k1(
+        (g, b0, d) in arb_instance(),
+        t in 1usize..6,
+    ) {
+        let n = g.num_nodes();
+        let initial = OpinionMatrix::from_rows(vec![b0.clone()]).unwrap();
+        let inst = Instance::shared(Arc::new(g), initial, d).unwrap();
+        let p = vom::core::Problem::new(
+            &inst, 0, 1, t, vom::voting::ScoringFunction::Cumulative,
+        ).unwrap();
+        let greedy = p.exact_score(&vom::core::dm::dm_greedy(&p));
+        let best = (0..n as Node)
+            .map(|v| p.exact_score(&[v]))
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((greedy - best).abs() < 1e-9, "greedy {greedy} vs best {best}");
+    }
+
+    #[test]
+    fn upper_bound_dominates_score_on_random_instances(
+        (g, b0, d) in arb_instance(),
+        t in 1usize..6,
+        k in 1usize..3,
+    ) {
+        let n = g.num_nodes();
+        // Two candidates: target row b0, competitor row reversed.
+        let competitor: Vec<f64> = b0.iter().map(|b| 1.0 - b).collect();
+        let initial = OpinionMatrix::from_rows(vec![b0.clone(), competitor]).unwrap();
+        let inst = Instance::shared(Arc::new(g), initial, d).unwrap();
+        for score in [
+            vom::voting::ScoringFunction::Plurality,
+            vom::voting::ScoringFunction::Copeland,
+        ] {
+            let p = vom::core::Problem::new(&inst, 0, k.min(n), t, score).unwrap();
+            let seedless = p.opinions(&[]);
+            let (mult, base) = vom::core::bounds::upper_bound_parts(&p, &seedless);
+            // Check UB(S) >= F(S) on a few seed sets.
+            for seeds in [vec![], vec![0], vec![1, 2]] {
+                let ub = vom::core::bounds::evaluate_upper_bound(&p, &base, mult, &seeds);
+                let f = p.exact_score(&seeds);
+                prop_assert!(ub + 1e-9 >= f, "UB {ub} < F {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_estimates_agree_with_exact_opinions(
+        (g, b0, d) in arb_instance(),
+        t in 0usize..5,
+    ) {
+        use vom::walks::{Lambda, OpinionEstimator, WalkGenerator};
+        let engine = FjEngine::new(&g, &b0, &d).unwrap();
+        let exact = engine.opinions_at(t, &[0]);
+        let gen = WalkGenerator::new(&g, &d, t);
+        let arena = gen.generate_per_node(&Lambda::Uniform(4000), 11);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        est.add_seed(0);
+        for v in 0..g.num_nodes() as Node {
+            let e = est.estimate(v);
+            prop_assert!(
+                (e - exact[v as usize]).abs() < 0.06,
+                "node {v}: estimate {e} vs exact {}",
+                exact[v as usize]
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Property-based tests for the extension surface: extended voting rules
+//! (`vom_voting::ext`) and alternative opinion-dynamics models
+//! (`vom-dynamics`).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vom::diffusion::OpinionMatrix;
+use vom::dynamics::{
+    expected_opinions, DeffuantModel, DynamicsModel, HkModel, MajorityRule, QVoterModel,
+    SznajdModel, VoterModel,
+};
+use vom::graph::builder::graph_from_edges;
+use vom::graph::{Node, SocialGraph};
+use vom::voting::{beta, ExtendedRule, ScoringFunction};
+
+/// Strategy: a random opinion snapshot with `r ∈ [2, 5]`, `n ∈ [1, 12]`.
+fn arb_snapshot() -> impl Strategy<Value = OpinionMatrix> {
+    (2usize..=5, 1usize..=12).prop_flat_map(|(r, n)| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, n), r)
+            .prop_map(|rows| OpinionMatrix::from_rows(rows).expect("rows in range"))
+    })
+}
+
+/// Strategy: a random small graph plus a 2-candidate opinion snapshot.
+fn arb_graph_and_opinions() -> impl Strategy<Value = (SocialGraph, OpinionMatrix)> {
+    (3usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as Node, 0..n as Node, 0.1f64..5.0),
+            1..(3 * n),
+        );
+        let rows = proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, n), 2);
+        (edges, rows).prop_map(move |(edges, rows)| {
+            let g = graph_from_edges(n, &edges).expect("valid random edges");
+            let b = OpinionMatrix::from_rows(rows).expect("rows in range");
+            (g, b)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- extended voting rules -------------------------------------
+
+    #[test]
+    fn extended_rules_are_non_negative_and_bounded(b in arb_snapshot()) {
+        let n = b.num_users();
+        let r = b.num_candidates();
+        for rule in ExtendedRule::ALL {
+            for q in 0..r {
+                let s = rule.score(&b, q);
+                prop_assert!(s >= 0.0, "{rule} cand {q}: {s}");
+                prop_assert!(
+                    s <= rule.upper_bound(n, r) + 1e-9,
+                    "{rule} cand {q}: {s} > {}",
+                    rule.upper_bound(n, r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn veto_always_equals_r_minus_1_approval(b in arb_snapshot()) {
+        let r = b.num_candidates();
+        let approval = ScoringFunction::PApproval { p: r - 1 };
+        for q in 0..r {
+            prop_assert_eq!(
+                ExtendedRule::Veto.score(&b, q),
+                approval.score(&b, q),
+                "candidate {}", q
+            );
+        }
+    }
+
+    #[test]
+    fn copeland_half_dominates_copeland_by_at_most_the_tie_count(b in arb_snapshot()) {
+        let r = b.num_candidates();
+        for q in 0..r {
+            let strict = ScoringFunction::Copeland.score(&b, q);
+            let half = ExtendedRule::CopelandHalf.score(&b, q);
+            prop_assert!(half >= strict, "half {half} < strict {strict}");
+            prop_assert!(half <= strict + (r - 1) as f64 * 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn borda_is_the_sum_of_positional_credit(b in arb_snapshot()) {
+        // Borda(q) = Σ_v (r − β(b_qv)) recomputed independently via beta.
+        let r = b.num_candidates();
+        for q in 0..r {
+            let direct = ExtendedRule::Borda.score(&b, q);
+            let mut expect = 0.0;
+            for v in 0..b.num_users() as Node {
+                expect += (r - beta(&b, q, v)) as f64;
+            }
+            prop_assert_eq!(direct, expect);
+        }
+    }
+
+    #[test]
+    fn raising_the_target_row_never_lowers_any_rule(
+        b in arb_snapshot(),
+        boost in 0.0f64..=1.0,
+    ) {
+        // Monotonicity: replacing the target's opinions by their max
+        // with `boost` weakly improves every extended rule.
+        let q = 0;
+        let mut boosted = b.clone();
+        let row: Vec<f64> = b.row(q).iter().map(|x| x.max(boost)).collect();
+        boosted.set_row(q, &row);
+        for rule in ExtendedRule::ALL {
+            let before = rule.score(&b, q);
+            let after = rule.score(&boosted, q);
+            prop_assert!(after + 1e-12 >= before, "{rule}: {after} < {before}");
+        }
+    }
+
+    #[test]
+    fn maximin_never_exceeds_any_pairwise_support(b in arb_snapshot()) {
+        let r = b.num_candidates();
+        let q = 0;
+        let maximin = ExtendedRule::Maximin.score(&b, q);
+        for x in 1..r {
+            let support = (0..b.num_users() as Node)
+                .filter(|&v| b.get(q, v) > b.get(x, v))
+                .count() as f64;
+            prop_assert!(maximin <= support + 1e-12);
+        }
+    }
+
+    // ---- dynamics models --------------------------------------------
+
+    #[test]
+    fn discrete_models_emit_one_hot_snapshots(
+        (g, b) in arb_graph_and_opinions(),
+        t in 0usize..8,
+        rng in 0u64..4,
+    ) {
+        let g = Arc::new(g);
+        let models: Vec<Box<dyn DynamicsModel>> = vec![
+            Box::new(VoterModel::new(g.clone(), b.clone()).unwrap()),
+            Box::new(QVoterModel::new(g.clone(), b.clone(), 2).unwrap()),
+            Box::new(MajorityRule::new(g.clone(), b.clone()).unwrap()),
+            Box::new(SznajdModel::new(g, b).unwrap()),
+        ];
+        for m in &models {
+            let snap = m.opinions_at(t, 0, &[], rng);
+            for v in 0..snap.num_users() as Node {
+                let col: f64 = (0..snap.num_candidates()).map(|q| snap.get(q, v)).sum();
+                prop_assert!((col - 1.0).abs() < 1e-12, "{}: user {v}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_hold_the_target_in_every_model(
+        (g, b) in arb_graph_and_opinions(),
+        t in 0usize..8,
+        rng in 0u64..4,
+        seed_node in 0u32..3,
+    ) {
+        let n = g.num_nodes() as Node;
+        let s = seed_node % n;
+        let g = Arc::new(g);
+        let models: Vec<Box<dyn DynamicsModel>> = vec![
+            Box::new(VoterModel::new(g.clone(), b.clone()).unwrap()),
+            Box::new(QVoterModel::new(g.clone(), b.clone(), 3).unwrap()),
+            Box::new(MajorityRule::new(g.clone(), b.clone()).unwrap()),
+            Box::new(SznajdModel::new(g.clone(), b.clone()).unwrap()),
+            Box::new(DeffuantModel::new(g.clone(), b.clone(), 0.5, 0.5).unwrap()),
+            Box::new(HkModel::new(g, b, 0.5).unwrap()),
+        ];
+        for m in &models {
+            let snap = m.opinions_at(t, 0, &[s], rng);
+            prop_assert_eq!(snap.get(0, s), 1.0, "{}: seed not pinned", m.name());
+        }
+    }
+
+    #[test]
+    fn continuous_models_stay_in_unit_interval(
+        (g, b) in arb_graph_and_opinions(),
+        t in 0usize..8,
+        rng in 0u64..4,
+        eps in 0.0f64..=1.0,
+    ) {
+        let g = Arc::new(g);
+        let models: Vec<Box<dyn DynamicsModel>> = vec![
+            Box::new(DeffuantModel::new(g.clone(), b.clone(), eps, 0.5).unwrap()),
+            Box::new(HkModel::new(g, b, eps).unwrap()),
+        ];
+        for m in &models {
+            let snap = m.opinions_at(t, 0, &[], rng);
+            for q in 0..snap.num_candidates() {
+                for v in 0..snap.num_users() as Node {
+                    let x = snap.get(q, v);
+                    prop_assert!((0.0..=1.0).contains(&x), "{}: b[{q}][{v}] = {x}", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn realizations_are_reproducible(
+        (g, b) in arb_graph_and_opinions(),
+        t in 0usize..6,
+        rng in 0u64..16,
+    ) {
+        let g = Arc::new(g);
+        let m = VoterModel::new(g, b).unwrap();
+        prop_assert_eq!(
+            m.opinions_at(t, 0, &[], rng),
+            m.opinions_at(t, 0, &[], rng)
+        );
+    }
+
+    #[test]
+    fn monte_carlo_columns_remain_distributions(
+        (g, b) in arb_graph_and_opinions(),
+        t in 0usize..5,
+    ) {
+        let g = Arc::new(g);
+        let m = VoterModel::new(g, b).unwrap();
+        let avg = expected_opinions(&m, t, 0, &[], 32, 7);
+        for v in 0..avg.num_users() as Node {
+            let col: f64 = (0..avg.num_candidates()).map(|q| avg.get(q, v)).sum();
+            prop_assert!((col - 1.0).abs() < 1e-9, "user {v}: {col}");
+        }
+    }
+
+    #[test]
+    fn seeding_never_lowers_expected_target_support_in_the_voter_model(
+        (g, b) in arb_graph_and_opinions(),
+        t in 0usize..5,
+    ) {
+        // The pinned seed contributes 1 itself and can only inject the
+        // target state into others' copy distributions.
+        let g = Arc::new(g);
+        let m = VoterModel::new(g, b).unwrap();
+        let before: f64 = expected_opinions(&m, t, 0, &[], 48, 3).row(0).iter().sum();
+        let after: f64 = expected_opinions(&m, t, 0, &[0], 48, 3).row(0).iter().sum();
+        prop_assert!(after + 1e-9 >= before, "{after} < {before}");
+    }
+}
