@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn spread_includes_seeds_and_is_monotone() {
         let g = graph_from_edges(4, &generators::path(4)).unwrap();
-        for model in [CascadeModel::IndependentCascade, CascadeModel::LinearThreshold] {
+        for model in [
+            CascadeModel::IndependentCascade,
+            CascadeModel::LinearThreshold,
+        ] {
             let one = expected_spread(&g, model, &[0], 200, 7);
             let two = expected_spread(&g, model, &[0, 2], 200, 7);
             assert!(one >= 1.0, "{model:?}: seeds count themselves");

@@ -35,9 +35,7 @@ mod tests {
     use vom_graph::builder::graph_from_edges;
 
     fn instance() -> Instance {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         let b = OpinionMatrix::from_rows(vec![
             vec![0.40, 0.80, 0.60, 0.90],
             vec![0.35, 0.75, 1.00, 0.80],

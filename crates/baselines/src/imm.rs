@@ -90,10 +90,9 @@ pub fn imm_seeds(g: &SocialGraph, model: CascadeModel, k: usize, cfg: &ImmConfig
     let eps = cfg.epsilon;
     let eps_prime = std::f64::consts::SQRT_2 * eps;
     let log2n = n_f.log2().max(1.0);
-    let lambda_prime = (2.0 + 2.0 * eps_prime / 3.0)
-        * (ln_choose(n, k) + cfg.l * n_f.ln() + log2n.ln())
-        * n_f
-        / (eps_prime * eps_prime);
+    let lambda_prime =
+        (2.0 + 2.0 * eps_prime / 3.0) * (ln_choose(n, k) + cfg.l * n_f.ln() + log2n.ln()) * n_f
+            / (eps_prime * eps_prime);
 
     let mut rr_sets: Vec<Vec<Node>> = Vec::new();
     let mut stream = 0u64;
@@ -131,10 +130,8 @@ pub fn imm_seeds(g: &SocialGraph, model: CascadeModel, k: usize, cfg: &ImmConfig
     // Node-selection phase.
     let alpha = (cfg.l * n_f.ln() + 2f64.ln()).sqrt();
     let one_minus_inv_e = 1.0 - std::f64::consts::E.powi(-1);
-    let beta =
-        (one_minus_inv_e * (ln_choose(n, k) + cfg.l * n_f.ln() + 2f64.ln())).sqrt();
-    let lambda_star =
-        2.0 * n_f * (one_minus_inv_e * alpha + beta).powi(2) / (eps * eps);
+    let beta = (one_minus_inv_e * (ln_choose(n, k) + cfg.l * n_f.ln() + 2f64.ln())).sqrt();
+    let lambda_star = 2.0 * n_f * (one_minus_inv_e * alpha + beta).powi(2) / (eps * eps);
     let theta = ((lambda_star / lb).ceil() as usize).clamp(1, cfg.max_rr_sets);
     ensure(&mut rr_sets, &mut stream, theta);
     let (seeds, _) = max_coverage(&rr_sets, n, k);
@@ -149,13 +146,7 @@ mod tests {
 
     #[test]
     fn max_coverage_greedy_is_exact_on_hand_instance() {
-        let rr: Vec<Vec<Node>> = vec![
-            vec![0, 1],
-            vec![1],
-            vec![1, 2],
-            vec![3],
-            vec![3, 4],
-        ];
+        let rr: Vec<Vec<Node>> = vec![vec![0, 1], vec![1], vec![1, 2], vec![3], vec![3, 4]];
         let (seeds, cov) = max_coverage(&rr, 5, 2);
         assert_eq!(seeds, vec![1, 3]);
         assert_eq!(cov, 5);
@@ -172,7 +163,10 @@ mod tests {
     #[test]
     fn imm_prefers_the_star_hub() {
         let g = graph_from_edges(60, &generators::star(60)).unwrap();
-        for model in [CascadeModel::IndependentCascade, CascadeModel::LinearThreshold] {
+        for model in [
+            CascadeModel::IndependentCascade,
+            CascadeModel::LinearThreshold,
+        ] {
             let cfg = ImmConfig {
                 max_rr_sets: 50_000,
                 ..ImmConfig::default()
@@ -184,11 +178,8 @@ mod tests {
 
     #[test]
     fn imm_returns_k_distinct_seeds() {
-        let edges = generators::preferential_attachment(
-            200,
-            3,
-            &mut rand::rngs::StdRng::seed_from_u64(4),
-        );
+        let edges =
+            generators::preferential_attachment(200, 3, &mut rand::rngs::StdRng::seed_from_u64(4));
         let g = graph_from_edges(200, &edges).unwrap();
         let cfg = ImmConfig {
             max_rr_sets: 20_000,

@@ -10,9 +10,7 @@ use vom_dynamics::{
     DeffuantModel, DynamicsModel, FjDynamics, HkModel, MajorityRule, SznajdModel, VoterModel,
 };
 
-fn models_for(
-    scale: f64,
-) -> (usize, Vec<Box<dyn DynamicsModel>>) {
+fn models_for(scale: f64) -> (usize, Vec<Box<dyn DynamicsModel>>) {
     let ds = dblp_like(&ReplicaParams::at_scale(scale, 3));
     let inst = Arc::new(ds.instance);
     let n = inst.num_nodes();

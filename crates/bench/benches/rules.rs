@@ -16,7 +16,10 @@ fn rule_evaluation(c: &mut Criterion) {
     let rules: Vec<(&str, Box<dyn OpinionScore>)> = vec![
         ("cumulative", Box::new(ScoringFunction::Cumulative)),
         ("plurality", Box::new(ScoringFunction::Plurality)),
-        ("p-approval-3", Box::new(ScoringFunction::PApproval { p: 3 })),
+        (
+            "p-approval-3",
+            Box::new(ScoringFunction::PApproval { p: 3 }),
+        ),
         (
             "positional-3",
             Box::new(ScoringFunction::PositionalPApproval {

@@ -13,13 +13,9 @@ fn generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("walk_generation");
     group.sample_size(10);
     for lambda in [50usize, 150] {
-        group.bench_with_input(
-            BenchmarkId::new("per_node", lambda),
-            &lambda,
-            |b, &l| {
-                b.iter(|| std::hint::black_box(gen.generate_per_node(&Lambda::Uniform(l), 7)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("per_node", lambda), &lambda, |b, &l| {
+            b.iter(|| std::hint::black_box(gen.generate_per_node(&Lambda::Uniform(l), 7)))
+        });
     }
     group.finish();
 }

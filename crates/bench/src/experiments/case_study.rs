@@ -21,8 +21,7 @@ pub fn run(cfg: &ExpConfig) {
     let n = inst.num_nodes();
     let k = cfg.default_k().min(n / 10);
     let t = cfg.default_t();
-    let problem =
-        Problem::new(inst, 0, k, t, ScoringFunction::Plurality).expect("valid problem");
+    let problem = Problem::new(inst, 0, k, t, ScoringFunction::Plurality).expect("valid problem");
     let method = Method::Rs(RsConfig {
         seed: cfg.seed,
         ..RsConfig::default()

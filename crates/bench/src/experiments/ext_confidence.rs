@@ -28,10 +28,7 @@ use vom_voting::ScoringFunction;
 
 /// Builds the polarized two-community instance: SBM graph, candidate 0
 /// loved by community 0 (even nodes) and disliked by community 1.
-fn polarized(
-    n: usize,
-    seed: u64,
-) -> (Arc<vom_graph::SocialGraph>, OpinionMatrix) {
+fn polarized(n: usize, seed: u64) -> (Arc<vom_graph::SocialGraph>, OpinionMatrix) {
     let mut rng = StdRng::seed_from_u64(seed);
     let edges = stochastic_block(n, 2, 0.12, 0.015, &mut rng);
     let graph = Arc::new(graph_from_edges(n, &edges).expect("valid SBM"));
@@ -76,9 +73,7 @@ pub fn run(cfg: &ExpConfig) {
     let score = ScoringFunction::Plurality;
     for &eps in &epsilons {
         let models: Vec<Box<dyn DynamicsModel>> = vec![
-            Box::new(
-                DeffuantModel::new(graph.clone(), initial.clone(), eps, 0.4).expect("valid"),
-            ),
+            Box::new(DeffuantModel::new(graph.clone(), initial.clone(), eps, 0.4).expect("valid")),
             Box::new(HkModel::new(graph.clone(), initial.clone(), eps).expect("valid")),
         ];
         for model in &models {

@@ -57,17 +57,14 @@ pub fn run(cfg: &ExpConfig) {
     }
 
     for (name, rule) in &rules {
-        let (seeds, elapsed) = crate::timed(|| {
-            generic_greedy(inst, q, k, t, rule.as_ref()).expect("valid problem")
-        });
+        let (seeds, elapsed) =
+            crate::timed(|| generic_greedy(inst, q, k, t, rule.as_ref()).expect("valid problem"));
         let before = evaluate_rule(inst, q, t, &[], rule.as_ref());
         let after = evaluate_rule(inst, q, t, &seeds, rule.as_ref());
         let b_after = inst.opinions_at(t, q, &seeds);
         // Winner under the same rule family after seeding.
         let winner = match name.as_str() {
-            "plurality (paper)" => {
-                vom_voting::tally(&b_after, &ScoringFunction::Plurality).winner
-            }
+            "plurality (paper)" => vom_voting::tally(&b_after, &ScoringFunction::Plurality).winner,
             _ => {
                 let ext = ExtendedRule::ALL
                     .iter()
@@ -82,7 +79,11 @@ pub fn run(cfg: &ExpConfig) {
             name.clone(),
             format!("{before:.1}"),
             format!("{after:.1}"),
-            if winner == q { "yes".into() } else { format!("no (c{winner})") },
+            if winner == q {
+                "yes".into()
+            } else {
+                format!("no (c{winner})")
+            },
             format!("{overlap}/{k}"),
             secs(elapsed),
         ]);

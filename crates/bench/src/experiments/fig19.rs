@@ -21,8 +21,14 @@ fn series(
         };
         let ds = make(&params);
         let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
-        let problem = Problem::new(&ds.instance, ds.default_target, k, cfg.default_t(), score.clone())
-            .expect("valid problem");
+        let problem = Problem::new(
+            &ds.instance,
+            ds.default_target,
+            k,
+            cfg.default_t(),
+            score.clone(),
+        )
+        .expect("valid problem");
         let res = select_seeds_plain(
             &problem,
             &Method::Rs(RsConfig {

@@ -16,10 +16,7 @@ pub fn run(cfg: &ExpConfig) {
         mu: 10.0,
     };
     let cases = vec![
-        (
-            twitter_distancing_like(&params),
-            ScoringFunction::Plurality,
-        ),
+        (twitter_distancing_like(&params), ScoringFunction::Plurality),
         (yelp_like(&params), ScoringFunction::Copeland),
     ];
     let ks: Vec<usize> = if cfg.quick {
@@ -35,9 +32,14 @@ pub fn run(cfg: &ExpConfig) {
     let mut ratios = Vec::new();
     for (ds, score) in cases {
         for &k in &ks {
-            let problem =
-                Problem::new(&ds.instance, ds.default_target, k, cfg.default_t(), score.clone())
-                    .expect("valid problem");
+            let problem = Problem::new(
+                &ds.instance,
+                ds.default_target,
+                k,
+                cfg.default_t(),
+                score.clone(),
+            )
+            .expect("valid problem");
             let method = Method::Rs(RsConfig {
                 seed: cfg.seed ^ k as u64,
                 ..RsConfig::default()
@@ -58,8 +60,14 @@ pub fn run(cfg: &ExpConfig) {
     table.row(vec![
         "summary".into(),
         format!("{} trials", ratios.len()),
-        format!("{:.0}% >= 0.7", 100.0 * above_07 as f64 / ratios.len() as f64),
-        format!("{:.0}% >= 0.8", 100.0 * above_08 as f64 / ratios.len() as f64),
+        format!(
+            "{:.0}% >= 0.7",
+            100.0 * above_07 as f64 / ratios.len() as f64
+        ),
+        format!(
+            "{:.0}% >= 0.8",
+            100.0 * above_08 as f64 / ratios.len() as f64
+        ),
     ]);
     table.emit(&cfg.out_dir);
 }

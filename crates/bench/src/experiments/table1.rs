@@ -12,9 +12,7 @@ use vom_voting::ScoringFunction;
 /// its t=1 opinions are 0.35/0.75/0.775/0.90 (the paper's stated 0.78 is
 /// not exactly reachable; every comparison in Table I is preserved).
 pub fn running_example_instance() -> Instance {
-    let g = Arc::new(
-        graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-    );
+    let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
     let b = OpinionMatrix::from_rows(vec![
         vec![0.40, 0.80, 0.60, 0.90],
         vec![0.35, 0.75, 1.00, 0.80],
@@ -29,7 +27,16 @@ pub fn run(cfg: &ExpConfig) {
     let mut table = Table::new(
         "table1",
         "scores of candidate c1 for various seed sets at t=1 (paper Table I)",
-        &["seed set", "u1", "u2", "u3", "u4", "cumulative", "plurality", "copeland"],
+        &[
+            "seed set",
+            "u1",
+            "u2",
+            "u3",
+            "u4",
+            "cumulative",
+            "plurality",
+            "copeland",
+        ],
     );
     // Paper's 1-indexed seed sets.
     let seed_sets: [&[Node]; 6] = [&[], &[0], &[1], &[2], &[3], &[0, 1]];

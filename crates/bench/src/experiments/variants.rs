@@ -41,13 +41,23 @@ pub fn run_overlap(cfg: &ExpConfig) {
     let mut table = Table::new(
         "fig9",
         "seed overlap of positional-p-approval vs plurality and p-approval (paper Figure 9)",
-        &["p", "omega_p", "overlap w/ plurality", "overlap w/ p-approval"],
+        &[
+            "p",
+            "omega_p",
+            "overlap w/ plurality",
+            "overlap w/ p-approval",
+        ],
     );
     for p in [2usize, 3] {
         let plurality = {
-            let prob =
-                Problem::new(&ds.instance, ds.default_target, k, t, ScoringFunction::Plurality)
-                    .unwrap();
+            let prob = Problem::new(
+                &ds.instance,
+                ds.default_target,
+                k,
+                t,
+                ScoringFunction::Plurality,
+            )
+            .unwrap();
             select(&prob, cfg.seed)
         };
         let papproval = {

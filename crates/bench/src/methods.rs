@@ -170,9 +170,7 @@ mod tests {
 
     #[test]
     fn every_method_returns_k_seeds_and_a_score() {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         let b = OpinionMatrix::from_rows(vec![
             vec![0.40, 0.80, 0.60, 0.90],
             vec![0.35, 0.75, 1.00, 0.80],
@@ -183,7 +181,11 @@ mod tests {
         for m in AnyMethod::all() {
             let out = evaluate_baseline(&p, m, 5);
             assert_eq!(out.seeds.len(), 2, "{}", m.name());
-            assert!(out.score >= 2.55, "{} cannot lose to the empty set", m.name());
+            assert!(
+                out.score >= 2.55,
+                "{} cannot lose to the empty set",
+                m.name()
+            );
         }
     }
 

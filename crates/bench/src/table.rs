@@ -1,10 +1,9 @@
 //! Minimal table rendering + JSON row output for the experiments.
 
-use serde::Serialize;
 use std::path::Path;
 
 /// A printable result table that can also be persisted as JSON rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table/figure id, e.g. "fig6".
     pub id: String,
@@ -62,14 +61,66 @@ impl Table {
         out
     }
 
+    /// Serializes the table as pretty-printed JSON.
+    ///
+    /// Hand-rolled (all fields are strings or string lists) so the
+    /// workspace does not need `serde` in the offline build; the shape
+    /// matches what `#[derive(Serialize)]` + `serde_json` produced.
+    pub fn to_json_pretty(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn str_list(items: &[String], indent: &str) -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let inner = items
+                .iter()
+                .map(|s| format!("{indent}  {}", esc(s)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{inner}\n{indent}]")
+        }
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let inner = self
+                .rows
+                .iter()
+                .map(|r| format!("    {}", str_list(r, "    ")))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{inner}\n  ]")
+        };
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": {}\n}}",
+            esc(&self.id),
+            esc(&self.title),
+            str_list(&self.headers, "  "),
+            rows
+        )
+    }
+
     /// Prints to stdout and writes `<out_dir>/<id>.json`.
     pub fn emit(&self, out_dir: &Path) {
         println!("{}", self.render());
         if std::fs::create_dir_all(out_dir).is_ok() {
             let path = out_dir.join(format!("{}.json", self.id));
-            if let Ok(json) = serde_json::to_string_pretty(self) {
-                let _ = std::fs::write(path, json);
-            }
+            let _ = std::fs::write(path, self.to_json_pretty());
         }
     }
 }

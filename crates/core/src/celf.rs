@@ -48,12 +48,7 @@ impl Ord for Entry {
 ///
 /// Returns the selected nodes in order. Stops early if every remaining
 /// gain is zero (adding more seeds cannot help a non-decreasing score).
-pub fn celf_greedy<FM, FC>(
-    n: usize,
-    k: usize,
-    mut marginal: FM,
-    mut commit: FC,
-) -> Vec<Node>
+pub fn celf_greedy<FM, FC>(n: usize, k: usize, mut marginal: FM, mut commit: FC) -> Vec<Node>
 where
     FM: FnMut(Node) -> f64,
     FC: FnMut(Node),
@@ -136,7 +131,9 @@ mod tests {
                 sets[v as usize].iter().filter(|i| !c.contains(i)).count() as f64
             },
             |v| {
-                covered.borrow_mut().extend(sets[v as usize].iter().copied());
+                covered
+                    .borrow_mut()
+                    .extend(sets[v as usize].iter().copied());
             },
         );
         assert_eq!(selected.len(), 2);

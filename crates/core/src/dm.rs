@@ -39,8 +39,7 @@ pub fn dm_greedy(problem: &Problem<'_>) -> Vec<Node> {
             // buffer, and the cached current score.
             let seeds_cell = std::cell::RefCell::new({
                 let mut buf = DiffusionBuffer::new(n);
-                let current: f64 =
-                    engine.opinions_at_with(t, &seeds, &mut buf).iter().sum();
+                let current: f64 = engine.opinions_at_with(t, &seeds, &mut buf).iter().sum();
                 (seeds, buf, current)
             });
             celf_greedy(
@@ -157,9 +156,7 @@ mod tests {
     use vom_graph::builder::graph_from_edges;
 
     fn instance() -> Instance {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         // The paper's stated competitor opinions at t=1
         // (0.35/0.75/0.78/0.90) are not exactly reachable from any valid
         // B₂⁰; the row below yields 0.35/0.75/0.775/0.90, preserving

@@ -99,13 +99,7 @@ pub fn generic_greedy<S: OpinionScore + ?Sized>(
             .into_par_iter()
             .filter(|&v| !is_seed[v as usize])
             .map_init(
-                || {
-                    (
-                        DiffusionBuffer::new(n),
-                        seeds.clone(),
-                        others.clone(),
-                    )
-                },
+                || (DiffusionBuffer::new(n), seeds.clone(), others.clone()),
                 |(buf, trial, snapshot), v| {
                     trial.push(v);
                     let row = engine.opinions_at_with(horizon, trial, buf);
@@ -202,9 +196,7 @@ mod tests {
     /// The paper's running example (Figure 1) with the calibrated `c₂`
     /// initial opinions from DESIGN.md §4b.
     fn running_example() -> Instance {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         let d = vec![0.0, 0.0, 0.5, 0.5];
         let c1 = CandidateData::new(g.clone(), vec![0.40, 0.80, 0.60, 0.90], d.clone()).unwrap();
         let c2 = CandidateData::new(g, vec![0.35, 0.75, 1.00, 0.80], d).unwrap();

@@ -34,7 +34,10 @@ impl fmt::Display for CoreError {
                 write!(f, "seed budget {k} exceeds node count {n}")
             }
             CoreError::BadTarget { target, r } => {
-                write!(f, "target candidate {target} out of range for {r} candidates")
+                write!(
+                    f,
+                    "target candidate {target} out of range for {r} candidates"
+                )
             }
             CoreError::Score(msg) => write!(f, "score error: {msg}"),
             CoreError::Diffusion(msg) => write!(f, "diffusion error: {msg}"),

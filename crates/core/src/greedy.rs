@@ -99,8 +99,12 @@ pub fn greedy_on_estimate<E: OpinionEstimate>(
             ScoringFunction::Plurality
             | ScoringFunction::PApproval { .. }
             | ScoringFunction::PositionalPApproval { .. } => {
-                let gains =
-                    rank_gains(est, score, others.expect("competitive score needs others"), q);
+                let gains = rank_gains(
+                    est,
+                    score,
+                    others.expect("competitive score needs others"),
+                    q,
+                );
                 // The discrete score is flat almost everywhere; ties are
                 // broken by the cumulative gain (still moving opinions
                 // toward the target helps later iterations and the true
@@ -190,8 +194,7 @@ fn rank_gains<E: OpinionEstimate>(
             let w = est.user_weight(v);
             if w > 0.0 {
                 cur_est[v as usize] = e;
-                cur_contrib[v as usize] =
-                    w * positional_contribution(score, others, q, v, e, p);
+                cur_contrib[v as usize] = w * positional_contribution(score, others, q, v, e, p);
             }
         }
     }
@@ -203,8 +206,8 @@ fn rank_gains<E: OpinionEstimate>(
         if w <= 0.0 {
             continue;
         }
-        let new_contrib = w
-            * positional_contribution(score, others, q, d.user, cur_est[v] + d.delta, p);
+        let new_contrib =
+            w * positional_contribution(score, others, q, d.user, cur_est[v] + d.delta, p);
         gains[d.seed as usize] += new_contrib - cur_contrib[v];
     }
     gains
@@ -300,20 +303,12 @@ mod tests {
     use vom_graph::builder::graph_from_edges;
     use vom_walks::{Lambda, OpinionEstimator, WalkGenerator};
 
-    fn running_example() -> (
-        vom_graph::SocialGraph,
-        Vec<f64>,
-        Vec<f64>,
-        OpinionMatrix,
-    ) {
+    fn running_example() -> (vom_graph::SocialGraph, Vec<f64>, Vec<f64>, OpinionMatrix) {
         let g = graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let b0 = vec![0.40, 0.80, 0.60, 0.90];
         let d = vec![0.0, 0.0, 0.5, 0.5];
-        let others = OpinionMatrix::from_rows(vec![
-            vec![0.0; 4],
-            vec![0.35, 0.75, 0.78, 0.90],
-        ])
-        .unwrap();
+        let others =
+            OpinionMatrix::from_rows(vec![vec![0.0; 4], vec![0.35, 0.75, 0.78, 0.90]]).unwrap();
         (g, b0, d, others)
     }
 
@@ -355,13 +350,7 @@ mod tests {
         let gen = WalkGenerator::new(&g, &d, 1);
         let arena = gen.generate_per_node(&Lambda::Uniform(20_000), 11);
         let mut est = OpinionEstimator::new(&arena, &b0);
-        let seeds = greedy_on_estimate(
-            &mut est,
-            1,
-            &ScoringFunction::Plurality,
-            Some(&others),
-            0,
-        );
+        let seeds = greedy_on_estimate(&mut est, 1, &ScoringFunction::Plurality, Some(&others), 0);
         assert_eq!(seeds, vec![2]);
     }
 
@@ -372,8 +361,7 @@ mod tests {
         let gen = WalkGenerator::new(&g, &d, 1);
         let arena = gen.generate_per_node(&Lambda::Uniform(20_000), 13);
         let mut est = OpinionEstimator::new(&arena, &b0);
-        let seeds =
-            greedy_on_estimate(&mut est, 1, &ScoringFunction::Copeland, Some(&others), 0);
+        let seeds = greedy_on_estimate(&mut est, 1, &ScoringFunction::Copeland, Some(&others), 0);
         assert_eq!(seeds.len(), 1);
         assert!(seeds[0] == 2 || seeds[0] == 3, "got {seeds:?}");
     }

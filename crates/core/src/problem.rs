@@ -60,9 +60,7 @@ impl<'a> Problem<'a> {
     /// Exact objective value `F(B^{(t)}[S], c_q)` of a seed set —
     /// the ground truth every method is evaluated on in §VIII.
     pub fn exact_score(&self, seeds: &[Node]) -> f64 {
-        let b = self
-            .instance
-            .opinions_at(self.horizon, self.target, seeds);
+        let b = self.instance.opinions_at(self.horizon, self.target, seeds);
         self.score.score(&b, self.target)
     }
 
@@ -97,9 +95,7 @@ mod tests {
     use vom_graph::builder::graph_from_edges;
 
     fn instance() -> Instance {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         let b = OpinionMatrix::from_rows(vec![
             vec![0.40, 0.80, 0.60, 0.90],
             vec![0.35, 0.75, 0.90, 0.90],

@@ -50,10 +50,7 @@ where
         let k_probe = k.min(n);
         let seeds = select(&problem.with_budget(k_probe));
         if wins(problem, &seeds) {
-            break WinResult {
-                k: k_probe,
-                seeds,
-            };
+            break WinResult { k: k_probe, seeds };
         }
         lo = k_probe;
         if k_probe == n {
@@ -86,9 +83,7 @@ mod tests {
     use vom_voting::ScoringFunction;
 
     fn instance() -> Instance {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         let b = OpinionMatrix::from_rows(vec![
             vec![0.40, 0.80, 0.60, 0.90],
             vec![0.35, 0.75, 1.00, 0.80],

@@ -81,9 +81,7 @@ mod tests {
     use vom_voting::{ExtendedRule, ScoringFunction};
 
     fn instance() -> Instance {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         let b = OpinionMatrix::from_rows(vec![
             vec![0.40, 0.80, 0.60, 0.90],
             vec![0.35, 0.75, 1.00, 0.80],
@@ -101,7 +99,13 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(res.k, 1);
-        assert!(wins_rule(&inst, 0, 1, &res.seeds, &ScoringFunction::Plurality));
+        assert!(wins_rule(
+            &inst,
+            0,
+            1,
+            &res.seeds,
+            &ScoringFunction::Plurality
+        ));
     }
 
     #[test]
@@ -115,7 +119,10 @@ mod tests {
         // wins (linear-scan cross-check).
         for k in 0..res.k {
             let seeds = generic_greedy(&inst, 0, k, 1, &rule).unwrap();
-            assert!(!wins_rule(&inst, 0, 1, &seeds, &rule), "k = {k} already wins");
+            assert!(
+                !wins_rule(&inst, 0, 1, &seeds, &rule),
+                "k = {k} already wins"
+            );
         }
     }
 

@@ -116,7 +116,7 @@ pub fn acm_case_study(params: &ReplicaParams) -> CaseStudy {
     while added < m_target {
         let (u, v) = if rng.gen::<f64>() < 0.85 {
             // Intra-domain pair.
-            let d = rng.gen_range(0..7);
+            let d = rng.gen_range(0..7usize);
             let ms = &members[d];
             if ms.len() < 2 {
                 continue;
@@ -128,10 +128,7 @@ pub fn acm_case_study(params: &ReplicaParams) -> CaseStudy {
             };
             (pick(&mut rng), pick(&mut rng))
         } else {
-            (
-                rng.gen_range(0..n) as Node,
-                rng.gen_range(0..n) as Node,
-            )
+            (rng.gen_range(0..n) as Node, rng.gen_range(0..n) as Node)
         };
         if u == v {
             continue;
@@ -167,8 +164,8 @@ pub fn acm_case_study(params: &ReplicaParams) -> CaseStudy {
         .iter()
         .map(|doms| opinion(&COMPETITOR_AFFINITY, doms, &mut rng))
         .collect();
-    let initial = OpinionMatrix::from_rows(vec![target_row, competitor_row])
-        .expect("opinions in range");
+    let initial =
+        OpinionMatrix::from_rows(vec![target_row, competitor_row]).expect("opinions in range");
     let stubbornness: Vec<f64> = (0..n).map(|_| beta(5.0, 2.0, &mut rng)).collect();
     let instance =
         Instance::shared(graph, initial, stubbornness).expect("consistent by construction");
@@ -178,10 +175,7 @@ pub fn acm_case_study(params: &ReplicaParams) -> CaseStudy {
             name: "ACM_Election",
             instance,
             default_target: 0,
-            candidate_names: vec![
-                "Joseph A. Konstan".into(),
-                "Yannis E. Ioannidis".into(),
-            ],
+            candidate_names: vec!["Joseph A. Konstan".into(), "Yannis E. Ioannidis".into()],
         },
         user_domains,
     }

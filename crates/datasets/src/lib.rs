@@ -41,6 +41,6 @@ pub mod replicas;
 
 pub use case_study::{acm_case_study, CaseStudy};
 pub use replicas::{
-    all_replicas, dblp_like, twitter_distancing_like, twitter_election_like,
-    twitter_mask_like, yelp_like, Dataset, ReplicaParams,
+    all_replicas, dblp_like, twitter_distancing_like, twitter_election_like, twitter_mask_like,
+    yelp_like, Dataset, ReplicaParams,
 };

@@ -166,10 +166,7 @@ pub fn dblp_like(params: &ReplicaParams) -> Dataset {
             nodes: 63_910,
             edges: 2_847_120,
         },
-        vec![
-            "Joseph A. Konstan".into(),
-            "Yannis E. Ioannidis".into(),
-        ],
+        vec!["Joseph A. Konstan".into(), "Yannis E. Ioannidis".into()],
         vec![OpinionModel::Beta(2.0, 3.0), OpinionModel::Beta(3.0, 2.0)],
         StubbornnessModel::Engagement,
         0,

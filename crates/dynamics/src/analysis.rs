@@ -130,8 +130,7 @@ mod tests {
         assert_eq!(is_unanimous(&yes), Some(0));
         let split = OpinionMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         assert_eq!(is_unanimous(&split), None);
-        let continuous =
-            OpinionMatrix::from_rows(vec![vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
+        let continuous = OpinionMatrix::from_rows(vec![vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
         assert_eq!(is_unanimous(&continuous), None, "not one-hot");
         let empty = OpinionMatrix::from_rows(vec![vec![], vec![]]).unwrap();
         assert_eq!(is_unanimous(&empty), None);
@@ -155,11 +154,8 @@ mod tests {
         // Two sources with fixed opposite preferences feeding one node:
         // unanimity is impossible.
         let g = Arc::new(graph_from_edges(3, &[(0, 2, 0.5), (1, 2, 0.5)]).unwrap());
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.5],
-            vec![0.1, 0.9, 0.4],
-        ])
-        .unwrap();
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.5], vec![0.1, 0.9, 0.4]]).unwrap();
         let m = VoterModel::new(g, initial).unwrap();
         assert_eq!(consensus_time(&m, 30, 0, &[], 3), None);
     }
@@ -192,8 +188,7 @@ mod tests {
             }
         }
         let g = Arc::new(graph_from_edges(6, &edges).unwrap());
-        let initial = OpinionMatrix::from_rows(vec![vec![0.0, 0.05, 0.1, 0.9, 0.95, 1.0]])
-            .unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.0, 0.05, 0.1, 0.9, 0.95, 1.0]]).unwrap();
         let wide = HkModel::new(g.clone(), initial.clone(), 1.0).unwrap();
         let snap = crate::model::DynamicsModel::opinions_at(&wide, 20, 0, &[], 0);
         assert_eq!(opinion_clusters(snap.row(0), 0.05).len(), 1);
@@ -218,11 +213,8 @@ mod tests {
     #[test]
     fn trajectory_starts_at_initial_support_and_is_finite() {
         let g = Arc::new(graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap());
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.1],
-            vec![0.1, 0.9, 0.9],
-        ])
-        .unwrap();
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.1], vec![0.1, 0.9, 0.9]]).unwrap();
         let m = VoterModel::new(g, initial).unwrap();
         let traj = support_trajectory(&m, 6, 0, &[0], 32, 9);
         assert_eq!(traj.len(), 7);

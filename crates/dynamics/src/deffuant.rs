@@ -87,19 +87,12 @@ impl DeffuantModel {
     /// Evolves one candidate's opinion row for `horizon` timestamps.
     /// `pinned` users never move (used for the target's seeds; empty for
     /// other candidates).
-    fn evolve_row(
-        &self,
-        row: &mut [f64],
-        pinned: &[bool],
-        horizon: usize,
-        stream: u64,
-    ) {
+    fn evolve_row(&self, row: &mut [f64], pinned: &[bool], horizon: usize, stream: u64) {
         if self.edges.is_empty() {
             return;
         }
         for step in 0..horizon {
-            let mut rng =
-                SmallRng::seed_from_u64(mix_seed(stream, step as u64));
+            let mut rng = SmallRng::seed_from_u64(mix_seed(stream, step as u64));
             for _ in 0..self.edges.len() {
                 let (u, v) = self.edges[rng.gen_range(0..self.edges.len())];
                 let (u, v) = (u as usize, v as usize);
@@ -177,11 +170,13 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.5, 0.5]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.5, 0.5]]).unwrap();
         assert!(matches!(
             DeffuantModel::new(pair(), initial.clone(), 1.5, 0.3),
-            Err(DynamicsError::BadParameter { name: "epsilon", .. })
+            Err(DynamicsError::BadParameter {
+                name: "epsilon",
+                ..
+            })
         ));
         assert!(matches!(
             DeffuantModel::new(pair(), initial.clone(), 0.5, 0.0),
@@ -195,8 +190,7 @@ mod tests {
 
     #[test]
     fn compatible_pair_converges_to_the_midpoint() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.2, 0.6]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.2, 0.6]]).unwrap();
         let m = DeffuantModel::new(pair(), initial, 1.0, 0.5).unwrap();
         let b = m.opinions_at(1, 0, &[], 1);
         // µ = 0.5: the very first encounter lands both on 0.4, where
@@ -207,8 +201,7 @@ mod tests {
 
     #[test]
     fn incompatible_pair_never_interacts() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.1, 0.9]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.1, 0.9]]).unwrap();
         let m = DeffuantModel::new(pair(), initial, 0.3, 0.5).unwrap();
         let b = m.opinions_at(20, 0, &[], 5);
         assert_eq!(b.get(0, 0), 0.1);
@@ -218,17 +211,10 @@ mod tests {
     #[test]
     fn opinions_stay_in_unit_interval() {
         let g = Arc::new(
-            graph_from_edges(
-                3,
-                &[(0, 1, 0.5), (2, 1, 0.5), (1, 0, 1.0), (1, 2, 1.0)],
-            )
-            .unwrap(),
+            graph_from_edges(3, &[(0, 1, 0.5), (2, 1, 0.5), (1, 0, 1.0), (1, 2, 1.0)]).unwrap(),
         );
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.0, 0.5, 1.0],
-            vec![1.0, 0.0, 0.3],
-        ])
-        .unwrap();
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.0, 0.5, 1.0], vec![1.0, 0.0, 0.3]]).unwrap();
         let m = DeffuantModel::new(g, initial, 1.0, 0.5).unwrap();
         for seed in 0..10 {
             let b = m.opinions_at(15, 0, &[], seed);
@@ -243,8 +229,7 @@ mod tests {
 
     #[test]
     fn seeds_stay_at_one_and_pull_neighbors_up() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.5, 0.5]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.5, 0.5]]).unwrap();
         let m = DeffuantModel::new(pair(), initial, 1.0, 0.5).unwrap();
         let b = m.opinions_at(10, 0, &[0], 2);
         assert_eq!(b.get(0, 0), 1.0, "seed pinned");
@@ -253,11 +238,7 @@ mod tests {
 
     #[test]
     fn non_target_candidates_ignore_the_seeds() {
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.5, 0.5],
-            vec![0.4, 0.4],
-        ])
-        .unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.4, 0.4]]).unwrap();
         let m = DeffuantModel::new(pair(), initial, 1.0, 0.5).unwrap();
         let b = m.opinions_at(5, 0, &[0], 3);
         // Candidate 1's row evolves without pins; both users already
@@ -268,11 +249,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_the_same_seed() {
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.1, 0.8],
-            vec![0.6, 0.2],
-        ])
-        .unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.1, 0.8], vec![0.6, 0.2]]).unwrap();
         let m = DeffuantModel::new(pair(), initial, 0.8, 0.25).unwrap();
         assert_eq!(m.opinions_at(7, 0, &[], 11), m.opinions_at(7, 0, &[], 11));
     }

@@ -64,10 +64,7 @@ pub fn support_counts(states: &[State], r: usize) -> Vec<usize> {
 }
 
 /// Validates a shared (graph, initial opinions) configuration.
-pub(crate) fn validate_config(
-    n: usize,
-    initial: &OpinionMatrix,
-) -> Result<()> {
+pub(crate) fn validate_config(n: usize, initial: &OpinionMatrix) -> Result<()> {
     if initial.num_candidates() == 0 {
         return Err(DynamicsError::NoCandidates);
     }

@@ -79,6 +79,8 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("epsilon") && s.contains("-0.5"));
-        assert!(DynamicsError::NoCandidates.to_string().contains("candidate"));
+        assert!(DynamicsError::NoCandidates
+            .to_string()
+            .contains("candidate"));
     }
 }

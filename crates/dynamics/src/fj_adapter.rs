@@ -62,12 +62,9 @@ mod tests {
     use vom_graph::builder::graph_from_edges;
 
     fn instance() -> Arc<Instance> {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         let d = vec![0.0, 0.0, 0.5, 0.5];
-        let c1 =
-            CandidateData::new(g.clone(), vec![0.40, 0.80, 0.60, 0.90], d.clone()).unwrap();
+        let c1 = CandidateData::new(g.clone(), vec![0.40, 0.80, 0.60, 0.90], d.clone()).unwrap();
         let c2 = CandidateData::new(g, vec![0.35, 0.75, 1.00, 0.80], d).unwrap();
         Arc::new(Instance::from_candidates(vec![c1, c2]).unwrap())
     }

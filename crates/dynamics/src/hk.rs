@@ -31,11 +31,7 @@ pub struct HkModel {
 
 impl HkModel {
     /// Builds an HK model with confidence bound `epsilon ∈ [0, 1]`.
-    pub fn new(
-        graph: Arc<SocialGraph>,
-        initial: OpinionMatrix,
-        epsilon: f64,
-    ) -> Result<Self> {
+    pub fn new(graph: Arc<SocialGraph>, initial: OpinionMatrix, epsilon: f64) -> Result<Self> {
         validate_config(graph.num_nodes(), &initial)?;
         if !(0.0..=1.0).contains(&epsilon) {
             return Err(DynamicsError::BadParameter {
@@ -167,8 +163,7 @@ mod tests {
 
     #[test]
     fn full_confidence_reaches_the_global_mean_in_one_step() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.0, 0.5, 1.0]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.0, 0.5, 1.0]]).unwrap();
         let m = HkModel::new(triangle(), initial, 1.0).unwrap();
         let b = m.opinions_at(1, 0, &[], 0);
         for v in 0..3u32 {
@@ -178,8 +173,7 @@ mod tests {
 
     #[test]
     fn zero_confidence_freezes_distinct_opinions() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.1, 0.5, 0.9]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.1, 0.5, 0.9]]).unwrap();
         let m = HkModel::new(triangle(), initial, 0.0).unwrap();
         let b = m.opinions_at(10, 0, &[], 0);
         assert_eq!(b.row(0), &[0.1, 0.5, 0.9]);
@@ -190,19 +184,9 @@ mod tests {
         // Users at 0.0/0.1 and 0.9/1.0 with ε = 0.2: the two camps
         // average internally but never bridge the 0.8 gap.
         let g = Arc::new(
-            graph_from_edges(
-                4,
-                &[
-                    (1, 0, 1.0),
-                    (0, 1, 1.0),
-                    (3, 2, 1.0),
-                    (2, 3, 1.0),
-                ],
-            )
-            .unwrap(),
+            graph_from_edges(4, &[(1, 0, 1.0), (0, 1, 1.0), (3, 2, 1.0), (2, 3, 1.0)]).unwrap(),
         );
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.0, 0.1, 0.9, 1.0]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.0, 0.1, 0.9, 1.0]]).unwrap();
         let m = HkModel::new(g, initial, 0.2).unwrap();
         let b = m.opinions_at(30, 0, &[], 0);
         assert!((b.get(0, 0) - 0.05).abs() < 1e-9);
@@ -213,8 +197,7 @@ mod tests {
 
     #[test]
     fn seeds_pull_confident_neighbors_toward_one() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.6, 0.6, 0.6]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.6, 0.6, 0.6]]).unwrap();
         let m = HkModel::new(triangle(), initial, 1.0).unwrap();
         let b = m.opinions_at(20, 0, &[0], 0);
         assert_eq!(b.get(0, 0), 1.0);
@@ -225,8 +208,7 @@ mod tests {
     #[test]
     fn out_of_confidence_seed_is_ignored() {
         // Neighbors at 0.1 with ε = 0.3 cannot hear a seed at 1.0.
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.6, 0.1, 0.1]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.6, 0.1, 0.1]]).unwrap();
         let m = HkModel::new(triangle(), initial, 0.3).unwrap();
         let b = m.opinions_at(10, 0, &[0], 0);
         assert_eq!(b.get(0, 0), 1.0);
@@ -236,16 +218,14 @@ mod tests {
 
     #[test]
     fn rng_seed_is_irrelevant() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.3, 0.4, 0.8]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.3, 0.4, 0.8]]).unwrap();
         let m = HkModel::new(triangle(), initial, 0.5).unwrap();
         assert_eq!(m.opinions_at(6, 0, &[], 1), m.opinions_at(6, 0, &[], 2));
     }
 
     #[test]
     fn opinions_stay_bounded_by_initial_extremes() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.2, 0.5, 0.7]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.2, 0.5, 0.7]]).unwrap();
         let m = HkModel::new(triangle(), initial, 1.0).unwrap();
         let b = m.opinions_at(9, 0, &[], 0);
         for v in 0..3u32 {

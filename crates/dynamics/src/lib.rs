@@ -87,8 +87,7 @@ pub mod sznajd;
 pub mod voter;
 
 pub use analysis::{
-    consensus_time, is_unanimous, opinion_clusters, polarization_index, support_trajectory,
-    Cluster,
+    consensus_time, is_unanimous, opinion_clusters, polarization_index, support_trajectory, Cluster,
 };
 pub use deffuant::DeffuantModel;
 pub use error::DynamicsError;

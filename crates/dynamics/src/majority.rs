@@ -31,12 +31,7 @@ impl MajorityRule {
     }
 
     /// Runs the deterministic chain and returns the final states.
-    pub fn states_at(
-        &self,
-        horizon: usize,
-        target: Candidate,
-        seeds: &[Node],
-    ) -> Vec<State> {
+    pub fn states_at(&self, horizon: usize, target: Candidate, seeds: &[Node]) -> Vec<State> {
         let n = self.graph.num_nodes();
         let r = self.initial.num_candidates();
         let mut states = initial_states(&self.initial);
@@ -61,10 +56,7 @@ impl MajorityRule {
                 for (&nb, &w) in neighbors.iter().zip(self.graph.in_weights(v)) {
                     weight_of[states[nb as usize] as usize] += w;
                 }
-                let max = weight_of
-                    .iter()
-                    .cloned()
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let max = weight_of.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let current = states[v as usize] as usize;
                 // Keep the current preference on ties; otherwise the
                 // smallest tied index.
@@ -142,11 +134,9 @@ mod tests {
     fn center_adopts_leaf_majority() {
         // Leaves prefer candidate 1 (two of three); the center starts at
         // candidate 0 and must flip after one step.
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.2, 0.8],
-            vec![0.1, 0.9, 0.8, 0.2],
-        ])
-        .unwrap();
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.2, 0.8], vec![0.1, 0.9, 0.8, 0.2]])
+                .unwrap();
         let m = MajorityRule::new(star(), initial).unwrap();
         let states = m.states_at(1, 0, &[]);
         assert_eq!(states[0], 1, "center follows the 2-vs-1 leaf majority");
@@ -154,11 +144,9 @@ mod tests {
 
     #[test]
     fn seeding_the_center_flips_all_leaves() {
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.1, 0.1, 0.2, 0.2],
-            vec![0.9, 0.9, 0.8, 0.8],
-        ])
-        .unwrap();
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.1, 0.1, 0.2, 0.2], vec![0.9, 0.9, 0.8, 0.8]])
+                .unwrap();
         let m = MajorityRule::new(star(), initial).unwrap();
         let states = m.states_at(1, 0, &[0]);
         assert_eq!(states, vec![0, 0, 0, 0], "leaves copy the seeded center");
@@ -167,14 +155,9 @@ mod tests {
     #[test]
     fn ties_keep_the_current_preference() {
         // Node 2 hears one vote for each candidate with equal weight.
-        let g = Arc::new(
-            graph_from_edges(3, &[(0, 2, 0.5), (1, 2, 0.5)]).unwrap(),
-        );
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.6],
-            vec![0.1, 0.9, 0.4],
-        ])
-        .unwrap();
+        let g = Arc::new(graph_from_edges(3, &[(0, 2, 0.5), (1, 2, 0.5)]).unwrap());
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.6], vec![0.1, 0.9, 0.4]]).unwrap();
         let m = MajorityRule::new(g, initial).unwrap();
         let states = m.states_at(5, 0, &[]);
         assert_eq!(states[2], 0, "tie resolves to the held preference");
@@ -182,11 +165,9 @@ mod tests {
 
     #[test]
     fn deterministic_and_rng_independent() {
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.2, 0.8],
-            vec![0.1, 0.9, 0.8, 0.2],
-        ])
-        .unwrap();
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.2, 0.8], vec![0.1, 0.9, 0.8, 0.2]])
+                .unwrap();
         let m = MajorityRule::new(star(), initial).unwrap();
         let a = m.opinions_at(4, 0, &[], 1);
         let b = m.opinions_at(4, 0, &[], 999);
@@ -195,11 +176,9 @@ mod tests {
 
     #[test]
     fn horizon_zero_is_the_initial_profile() {
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.2, 0.8],
-            vec![0.1, 0.9, 0.8, 0.2],
-        ])
-        .unwrap();
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.2, 0.8], vec![0.1, 0.9, 0.8, 0.2]])
+                .unwrap();
         let m = MajorityRule::new(star(), initial).unwrap();
         assert_eq!(m.states_at(0, 0, &[]), vec![0, 1, 1, 0]);
     }
@@ -210,8 +189,7 @@ mod tests {
         // every step — the classic synchronous-majority 2-cycle. This
         // documents (rather than hides) the model's known behaviour.
         let g = Arc::new(graph_from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap());
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
         let m = MajorityRule::new(g, initial).unwrap();
         assert_eq!(m.states_at(1, 0, &[]), vec![1, 0]);
         assert_eq!(m.states_at(2, 0, &[]), vec![0, 1]);

@@ -65,20 +65,12 @@ mod tests {
 
     fn graph() -> Arc<vom_graph::SocialGraph> {
         Arc::new(
-            graph_from_edges(
-                3,
-                &[(0, 1, 0.5), (2, 1, 0.5), (1, 0, 1.0), (1, 2, 1.0)],
-            )
-            .unwrap(),
+            graph_from_edges(3, &[(0, 1, 0.5), (2, 1, 0.5), (1, 0, 1.0), (1, 2, 1.0)]).unwrap(),
         )
     }
 
     fn initial() -> OpinionMatrix {
-        OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.4, 0.2],
-            vec![0.1, 0.6, 0.8],
-        ])
-        .unwrap()
+        OpinionMatrix::from_rows(vec![vec![0.9, 0.4, 0.2], vec![0.1, 0.6, 0.8]]).unwrap()
     }
 
     #[test]

@@ -147,18 +147,20 @@ mod tests {
         Arc::new(
             graph_from_edges(
                 4,
-                &[(0, 2, 0.5), (1, 2, 0.5), (2, 3, 1.0), (3, 0, 1.0), (2, 1, 1.0)],
+                &[
+                    (0, 2, 0.5),
+                    (1, 2, 0.5),
+                    (2, 3, 1.0),
+                    (3, 0, 1.0),
+                    (2, 1, 1.0),
+                ],
             )
             .unwrap(),
         )
     }
 
     fn polarized_initial() -> OpinionMatrix {
-        OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.2, 0.3, 0.8],
-            vec![0.1, 0.8, 0.7, 0.2],
-        ])
-        .unwrap()
+        OpinionMatrix::from_rows(vec![vec![0.9, 0.2, 0.3, 0.8], vec![0.1, 0.8, 0.7, 0.2]]).unwrap()
     }
 
     #[test]
@@ -187,8 +189,7 @@ mod tests {
 
     #[test]
     fn unanimity_is_absorbing_for_any_q() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.8; 4], vec![0.2; 4]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.8; 4], vec![0.2; 4]]).unwrap();
         for q in [1, 2, 4] {
             let m = QVoterModel::new(mixed_graph(), initial.clone(), q).unwrap();
             for seed in 0..10 {
@@ -215,14 +216,9 @@ mod tests {
         // in the split cases — so across many runs it flips to
         // candidate 0 (from initial candidate 1) in ≈ ¼ of realizations,
         // never all of them. Under q = 1 it flips in ≈ ½.
-        let g = Arc::new(
-            graph_from_edges(3, &[(0, 2, 0.5), (1, 2, 0.5)]).unwrap(),
-        );
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.2],
-            vec![0.1, 0.9, 0.8],
-        ])
-        .unwrap();
+        let g = Arc::new(graph_from_edges(3, &[(0, 2, 0.5), (1, 2, 0.5)]).unwrap());
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.2], vec![0.1, 0.9, 0.8]]).unwrap();
         let q2 = QVoterModel::new(g.clone(), initial.clone(), 2).unwrap();
         let q1 = QVoterModel::new(g, initial, 1).unwrap();
         let runs = 4000;
@@ -258,11 +254,7 @@ mod tests {
             .unwrap(),
         );
         // Influencer 0 seeded for target; influencer 1 fixed against.
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.2; 5],
-            vec![0.8; 5],
-        ])
-        .unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.2; 5], vec![0.8; 5]]).unwrap();
         let support = |q: usize| -> f64 {
             let m = QVoterModel::new(g.clone(), initial.clone(), q).unwrap();
             expected_opinions(&m, 4, 0, &[0], 2000, 13)
@@ -285,9 +277,6 @@ mod tests {
     #[test]
     fn deterministic_given_the_same_seed() {
         let m = QVoterModel::new(mixed_graph(), polarized_initial(), 2).unwrap();
-        assert_eq!(
-            m.states_at(9, 0, &[], 77),
-            m.states_at(9, 0, &[], 77)
-        );
+        assert_eq!(m.states_at(9, 0, &[], 77), m.states_at(9, 0, &[], 77));
     }
 }

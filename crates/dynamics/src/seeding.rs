@@ -171,12 +171,9 @@ mod tests {
     use vom_voting::{ExtendedRule, ScoringFunction};
 
     fn running_example_instance() -> Arc<Instance> {
-        let g = Arc::new(
-            graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-        );
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
         let d = vec![0.0, 0.0, 0.5, 0.5];
-        let c1 =
-            CandidateData::new(g.clone(), vec![0.40, 0.80, 0.60, 0.90], d.clone()).unwrap();
+        let c1 = CandidateData::new(g.clone(), vec![0.40, 0.80, 0.60, 0.90], d.clone()).unwrap();
         let c2 = CandidateData::new(g, vec![0.35, 0.75, 1.00, 0.80], d).unwrap();
         Arc::new(Instance::from_candidates(vec![c1, c2]).unwrap())
     }
@@ -204,22 +201,9 @@ mod tests {
         // Star: node 0 influences everyone; the best voter-model seed
         // for expected support must be the hub.
         let g = Arc::new(
-            graph_from_edges(
-                5,
-                &[
-                    (0, 1, 1.0),
-                    (0, 2, 1.0),
-                    (0, 3, 1.0),
-                    (0, 4, 1.0),
-                ],
-            )
-            .unwrap(),
+            graph_from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]).unwrap(),
         );
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.2; 5],
-            vec![0.8; 5],
-        ])
-        .unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.2; 5], vec![0.8; 5]]).unwrap();
         let model = VoterModel::new(g, initial).unwrap();
         let seeder = DynamicsSeeder::new(&model, 3, 0, 200, 9);
         let seeds = seeder.greedy(1, &ScoringFunction::Cumulative);
@@ -228,18 +212,10 @@ mod tests {
 
     #[test]
     fn greedy_objective_is_non_decreasing_along_the_selection() {
-        let g = Arc::new(
-            graph_from_edges(
-                4,
-                &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-            )
-            .unwrap(),
-        );
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.3, 0.4, 0.2, 0.1],
-            vec![0.7, 0.6, 0.8, 0.9],
-        ])
-        .unwrap();
+        let g = Arc::new(graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.3, 0.4, 0.2, 0.1], vec![0.7, 0.6, 0.8, 0.9]])
+                .unwrap();
         let model = MajorityRule::new(g, initial).unwrap();
         let seeder = DynamicsSeeder::new(&model, 2, 0, 1, 0);
         let rule = ExtendedRule::Borda;
@@ -282,14 +258,9 @@ mod tests {
         // Star hub: the target trails 0-vs-5 but one pinned hub converts
         // every leaf within two steps.
         let g = Arc::new(
-            graph_from_edges(
-                5,
-                &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)],
-            )
-            .unwrap(),
+            graph_from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]).unwrap(),
         );
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.2; 5], vec![0.8; 5]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.2; 5], vec![0.8; 5]]).unwrap();
         let model = VoterModel::new(g, initial).unwrap();
         let seeder = DynamicsSeeder::new(&model, 3, 0, 64, 5);
         let (k, seeds) = seeder

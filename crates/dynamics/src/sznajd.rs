@@ -142,17 +142,12 @@ mod tests {
     }
 
     fn polarized_initial() -> OpinionMatrix {
-        OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.8, 0.2, 0.1],
-            vec![0.1, 0.2, 0.8, 0.9],
-        ])
-        .unwrap()
+        OpinionMatrix::from_rows(vec![vec![0.9, 0.8, 0.2, 0.1], vec![0.1, 0.2, 0.8, 0.9]]).unwrap()
     }
 
     #[test]
     fn unanimity_is_absorbing() {
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.2; 4], vec![0.8; 4]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.2; 4], vec![0.8; 4]]).unwrap();
         let m = SznajdModel::new(chain(), initial).unwrap();
         for seed in 0..20 {
             assert_eq!(m.states_at(10, 0, &[], seed), vec![1, 1, 1, 1]);
@@ -189,11 +184,8 @@ mod tests {
     #[test]
     fn empty_graph_keeps_initial_states() {
         let g = Arc::new(graph_from_edges(3, &[]).unwrap());
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.5],
-            vec![0.1, 0.9, 0.4],
-        ])
-        .unwrap();
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.5], vec![0.1, 0.9, 0.4]]).unwrap();
         let m = SznajdModel::new(g, initial).unwrap();
         assert_eq!(m.states_at(10, 0, &[], 3), vec![0, 1, 0]);
     }
@@ -201,9 +193,6 @@ mod tests {
     #[test]
     fn deterministic_given_the_same_seed() {
         let m = SznajdModel::new(chain(), polarized_initial()).unwrap();
-        assert_eq!(
-            m.states_at(10, 0, &[], 42),
-            m.states_at(10, 0, &[], 42)
-        );
+        assert_eq!(m.states_at(10, 0, &[], 42), m.states_at(10, 0, &[], 42));
     }
 }

@@ -154,18 +154,10 @@ mod tests {
 
     /// Path 0 → 1 → 2 with an extra source 3 → 1.
     fn model() -> VoterModel {
-        let g = Arc::new(
-            graph_from_edges(
-                4,
-                &[(0, 1, 0.5), (3, 1, 0.5), (1, 2, 1.0)],
-            )
-            .unwrap(),
-        );
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.1, 0.2, 0.3],
-            vec![0.1, 0.8, 0.7, 0.6],
-        ])
-        .unwrap();
+        let g = Arc::new(graph_from_edges(4, &[(0, 1, 0.5), (3, 1, 0.5), (1, 2, 1.0)]).unwrap());
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.1, 0.2, 0.3], vec![0.1, 0.8, 0.7, 0.6]])
+                .unwrap();
         VoterModel::new(g, initial).unwrap()
     }
 
@@ -196,8 +188,7 @@ mod tests {
     #[test]
     fn unanimous_initial_state_is_absorbing() {
         let g = Arc::new(graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap());
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.1; 3], vec![0.9; 3]]).unwrap();
+        let initial = OpinionMatrix::from_rows(vec![vec![0.1; 3], vec![0.9; 3]]).unwrap();
         let m = VoterModel::new(g, initial).unwrap();
         for seed in 0..20 {
             assert_eq!(m.states_at(15, 0, &[], seed), vec![1, 1, 1]);
@@ -237,14 +228,9 @@ mod tests {
         // candidate 1 sits at node 1, cutting the target's influence
         // chain to node 2 permanently.
         let g = Arc::new(graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap());
-        let initial = OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.9, 0.9],
-            vec![0.1, 0.1, 0.1],
-        ])
-        .unwrap();
-        let m = VoterModel::new(g, initial)
-            .unwrap()
-            .with_zealots(1, &[1]);
+        let initial =
+            OpinionMatrix::from_rows(vec![vec![0.9, 0.9, 0.9], vec![0.1, 0.1, 0.1]]).unwrap();
+        let m = VoterModel::new(g, initial).unwrap().with_zealots(1, &[1]);
         for seed in 0..20 {
             let states = m.states_at(10, 0, &[0], seed);
             assert_eq!(states[0], 0, "seed pinned");
@@ -257,11 +243,8 @@ mod tests {
     #[test]
     fn a_seed_on_a_zealot_node_takes_precedence() {
         let g = Arc::new(graph_from_edges(2, &[(0, 1, 1.0)]).unwrap());
-        let initial =
-            OpinionMatrix::from_rows(vec![vec![0.2, 0.2], vec![0.8, 0.8]]).unwrap();
-        let m = VoterModel::new(g, initial)
-            .unwrap()
-            .with_zealots(1, &[0]);
+        let initial = OpinionMatrix::from_rows(vec![vec![0.2, 0.2], vec![0.8, 0.8]]).unwrap();
+        let m = VoterModel::new(g, initial).unwrap().with_zealots(1, &[0]);
         // Without a seed, the zealot spreads candidate 1.
         assert_eq!(m.states_at(3, 0, &[], 1), vec![1, 1]);
         // Buying the zealot converts the chain.

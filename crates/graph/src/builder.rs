@@ -103,8 +103,7 @@ impl GraphBuilder {
             return Err(GraphError::EmptyGraph);
         }
         // Merge parallel edges: sort by (dst, src) and sum raw counts.
-        self.edges
-            .sort_unstable_by_key(|a| (a.1, a.0));
+        self.edges.sort_unstable_by_key(|a| (a.1, a.0));
         let mut merged: Vec<(Node, Node, f64)> = Vec::with_capacity(self.edges.len());
         for &(src, dst, raw) in &self.edges {
             match merged.last_mut() {
@@ -130,8 +129,7 @@ impl GraphBuilder {
             has_in[dst as usize] = true;
         }
         // in-CSR keyed by destination, out-CSR keyed by source.
-        let in_edges: Vec<(Node, Node, f64)> =
-            merged.iter().map(|&(s, d, w)| (d, s, w)).collect();
+        let in_edges: Vec<(Node, Node, f64)> = merged.iter().map(|&(s, d, w)| (d, s, w)).collect();
         let in_csr = Csr::from_grouped_edges(self.n, &in_edges);
         let out_csr = Csr::from_grouped_edges(self.n, &merged);
         let g = SocialGraph::from_parts(in_csr, out_csr, has_in);
@@ -174,7 +172,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_graph() {
-        assert_eq!(GraphBuilder::new(0).build().unwrap_err(), GraphError::EmptyGraph);
+        assert_eq!(
+            GraphBuilder::new(0).build().unwrap_err(),
+            GraphError::EmptyGraph
+        );
     }
 
     #[test]

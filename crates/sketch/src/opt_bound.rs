@@ -82,8 +82,7 @@ pub fn opt_lower_bound(
     let mut x = n_f / 2.0;
     let mut round = 0u64;
     while x >= lb.max(1.0) {
-        let theta = (((2.0 + 2.0 / 3.0 * eps_prime) * n_f * log_term)
-            / (eps_prime * eps_prime * x))
+        let theta = (((2.0 + 2.0 / 3.0 * eps_prime) * n_f * log_term) / (eps_prime * eps_prime * x))
             .ceil() as usize;
         let theta = theta.clamp(1, cfg.max_theta);
         let mut sketch = SketchSet::generate(

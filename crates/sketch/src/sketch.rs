@@ -170,8 +170,7 @@ impl SketchSet {
             if c == 0 {
                 continue;
             }
-            total +=
-                c as f64 * positional_contribution(score, non_target, q, v, est, p);
+            total += c as f64 * positional_contribution(score, non_target, q, v, est, p);
         }
         total * self.n as f64 / self.theta() as f64
     }

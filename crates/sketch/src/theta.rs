@@ -29,8 +29,8 @@ pub fn theta_cumulative(n: usize, k: usize, epsilon: f64, l: f64, opt_lower: f64
     let n_f = n as f64;
     let one_minus_inv_e = 1.0 - std::f64::consts::E.powi(-1);
     let ln_2nl = l * n_f.ln() + 2.0f64.ln();
-    let term = one_minus_inv_e * ln_2nl.sqrt()
-        + (one_minus_inv_e * (ln_2nl + ln_choose(n, k))).sqrt();
+    let term =
+        one_minus_inv_e * ln_2nl.sqrt() + (one_minus_inv_e * (ln_2nl + ln_choose(n, k))).sqrt();
     let theta = 2.0 * n_f / (opt_lower * epsilon * epsilon) * term * term;
     theta.ceil() as usize
 }

@@ -137,11 +137,7 @@ impl ExtendedRule {
                         continue;
                     }
                     let row_x = b.row(x);
-                    let support = row_q
-                        .iter()
-                        .zip(row_x)
-                        .filter(|(bq, bx)| bq > bx)
-                        .count();
+                    let support = row_q.iter().zip(row_x).filter(|(bq, bx)| bq > bx).count();
                     worst = worst.min(support);
                 }
                 if worst == usize::MAX {
@@ -384,12 +380,8 @@ mod tests {
     #[test]
     fn copeland_half_awards_half_per_tie() {
         // Two candidates with identical rows: the duel is a tie.
-        let b = OpinionMatrix::from_rows(vec![
-            vec![0.4, 0.6],
-            vec![0.4, 0.6],
-            vec![0.1, 0.1],
-        ])
-        .unwrap();
+        let b =
+            OpinionMatrix::from_rows(vec![vec![0.4, 0.6], vec![0.4, 0.6], vec![0.1, 0.1]]).unwrap();
         assert_eq!(ExtendedRule::CopelandHalf.score(&b, 0), 1.5);
         assert_eq!(ExtendedRule::CopelandHalf.score(&b, 1), 1.5);
         assert_eq!(ExtendedRule::CopelandHalf.score(&b, 2), 0.0);
@@ -454,12 +446,8 @@ mod tests {
             );
         }
         // Also under ties: duplicate opinion values.
-        let tied = OpinionMatrix::from_rows(vec![
-            vec![0.5, 0.2],
-            vec![0.5, 0.8],
-            vec![0.1, 0.8],
-        ])
-        .unwrap();
+        let tied =
+            OpinionMatrix::from_rows(vec![vec![0.5, 0.2], vec![0.5, 0.8], vec![0.1, 0.8]]).unwrap();
         for q in 0..3 {
             let scaled = paper_form.score(&tied, q) * 2.0;
             assert_eq!(scaled, ExtendedRule::Borda.score(&tied, q), "candidate {q}");

@@ -23,12 +23,7 @@ pub fn beta(b: &OpinionMatrix, q: Candidate, v: Node) -> usize {
 /// which combine an *estimated* target opinion with *exact* competitor
 /// opinions (Eqs. 32, 42).
 #[inline]
-pub fn beta_with_target(
-    b: &OpinionMatrix,
-    q: Candidate,
-    v: Node,
-    bqv_override: f64,
-) -> usize {
+pub fn beta_with_target(b: &OpinionMatrix, q: Candidate, v: Node, bqv_override: f64) -> usize {
     let mut rank = 1; // q itself always satisfies b_qv >= b_qv.
     for x in 0..b.num_candidates() {
         if x != q && b.get(x, v) >= bqv_override {
@@ -57,12 +52,7 @@ mod tests {
 
     fn snapshot() -> OpinionMatrix {
         // 3 candidates, 2 users.
-        OpinionMatrix::from_rows(vec![
-            vec![0.9, 0.2],
-            vec![0.5, 0.2],
-            vec![0.1, 0.8],
-        ])
-        .unwrap()
+        OpinionMatrix::from_rows(vec![vec![0.9, 0.2], vec![0.5, 0.2], vec![0.1, 0.8]]).unwrap()
     }
 
     #[test]

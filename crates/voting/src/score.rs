@@ -176,9 +176,7 @@ impl ScoringFunction {
             ScoringFunction::Cumulative => b.row(q).iter().sum(),
             ScoringFunction::Plurality => self.rank_threshold_score(b, q, 1),
             ScoringFunction::PApproval { p } => self.rank_threshold_score(b, q, *p),
-            ScoringFunction::PositionalPApproval { p, .. } => {
-                self.rank_threshold_score(b, q, *p)
-            }
+            ScoringFunction::PositionalPApproval { p, .. } => self.rank_threshold_score(b, q, *p),
             ScoringFunction::Copeland => copeland_score(b, q) as f64,
         }
     }
@@ -374,7 +372,10 @@ mod tests {
         assert!(ScoringFunction::Cumulative.is_submodular());
         assert!(!ScoringFunction::Plurality.is_submodular());
         assert!(!ScoringFunction::Copeland.is_submodular());
-        assert_eq!(ScoringFunction::PApproval { p: 2 }.to_string(), "2-approval");
+        assert_eq!(
+            ScoringFunction::PApproval { p: 2 }.to_string(),
+            "2-approval"
+        );
         assert_eq!(
             ScoringFunction::PositionalPApproval {
                 p: 3,
@@ -389,7 +390,10 @@ mod tests {
     #[test]
     fn approval_depths() {
         assert_eq!(ScoringFunction::Plurality.approval_depth(), Some(1));
-        assert_eq!(ScoringFunction::PApproval { p: 3 }.approval_depth(), Some(3));
+        assert_eq!(
+            ScoringFunction::PApproval { p: 3 }.approval_depth(),
+            Some(3)
+        );
         assert_eq!(ScoringFunction::Cumulative.approval_depth(), None);
         assert_eq!(ScoringFunction::Copeland.approval_depth(), None);
     }

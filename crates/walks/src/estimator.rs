@@ -109,12 +109,16 @@ impl<'a> OpinionEstimator<'a> {
 
     /// All per-node estimates.
     pub fn estimates(&self) -> Vec<f64> {
-        (0..self.num_nodes() as Node).map(|v| self.estimate(v)).collect()
+        (0..self.num_nodes() as Node)
+            .map(|v| self.estimate(v))
+            .collect()
     }
 
     /// Estimated cumulative score `Σ_v b̂_qv^{(t)}[S]`.
     pub fn estimated_cumulative(&self) -> f64 {
-        (0..self.num_nodes() as Node).map(|v| self.estimate(v)).sum()
+        (0..self.num_nodes() as Node)
+            .map(|v| self.estimate(v))
+            .sum()
     }
 
     /// Restricted cumulative estimate `Σ_{v: mask[v]} b̂_qv^{(t)}[S]` —
@@ -363,7 +367,11 @@ mod tests {
         for i in range {
             let w = arena_direct.walk(i);
             let e = w[w.len() - 1];
-            sum += if seeds.contains(&e) { 1.0 } else { b0[e as usize] };
+            sum += if seeds.contains(&e) {
+                1.0
+            } else {
+                b0[e as usize]
+            };
         }
         let direct_estimate = sum / count as f64;
         assert!(

@@ -111,12 +111,7 @@ impl<'a> WalkGenerator<'a> {
     /// Nodes are processed in fixed 4096-node chunks so shard boundaries —
     /// and therefore the merged arena — are identical regardless of how
     /// rayon schedules them; each node also has its own RNG stream.
-    fn generate_grouped(
-        &self,
-        lambda: &Lambda,
-        is_seed: Option<&[bool]>,
-        seed: u64,
-    ) -> WalkArena {
+    fn generate_grouped(&self, lambda: &Lambda, is_seed: Option<&[bool]>, seed: u64) -> WalkArena {
         const CHUNK: usize = 4096;
         let n = self.graph.num_nodes();
         let node_ids: Vec<Node> = (0..n as Node).collect();

@@ -121,12 +121,7 @@ pub fn estimate_gamma_star(
 
 /// Converts per-node γ estimates into per-node walk counts via the
 /// Theorem 11/12 bounds, capped at `max_lambda` to bound memory.
-pub fn lambda_from_gammas(
-    gammas: &[f64],
-    rho: f64,
-    copeland: bool,
-    max_lambda: usize,
-) -> Lambda {
+pub fn lambda_from_gammas(gammas: &[f64], rho: f64, copeland: bool, max_lambda: usize) -> Lambda {
     let counts: Vec<u32> = gammas
         .iter()
         .map(|&g| {

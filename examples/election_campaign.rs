@@ -51,7 +51,11 @@ fn main() {
         "\nwith {k} seeds: plurality {} -> {} ({} with the sandwich ratio {:.2})",
         standings.scores[target],
         res.exact_score,
-        if wins(&problem, &res.seeds) { "WIN" } else { "still behind" },
+        if wins(&problem, &res.seeds) {
+            "WIN"
+        } else {
+            "still behind"
+        },
         res.sandwich.as_ref().map_or(1.0, |s| s.ratio),
     );
 
@@ -62,8 +66,11 @@ fn main() {
             .seeds
     });
     match win {
-        Some(w) => println!("minimum winning budget k* = {} (seeds: {:?}...)", w.k,
-            &w.seeds[..w.seeds.len().min(5)]),
+        Some(w) => println!(
+            "minimum winning budget k* = {} (seeds: {:?}...)",
+            w.k,
+            &w.seeds[..w.seeds.len().min(5)]
+        ),
         None => println!("this election cannot be won even seeding everyone"),
     }
 }

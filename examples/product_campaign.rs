@@ -17,13 +17,18 @@ fn main() {
     let (k, t) = (30, 20);
     println!(
         "dataset {} — {} users, target category: {}",
-        ds.name, inst.num_nodes(), ds.candidate_names[ds.default_target]
+        ds.name,
+        inst.num_nodes(),
+        ds.candidate_names[ds.default_target]
     );
 
     // Where does the target rank in users' preference orders today?
     let seedless = inst.opinions_at(t, ds.default_target, &[]);
     let hist = position_histogram(&seedless, ds.default_target);
-    println!("rank distribution before seeding (positions 1..4): {:?}", &hist[..4]);
+    println!(
+        "rank distribution before seeding (positions 1..4): {:?}",
+        &hist[..4]
+    );
 
     // Three membership models, one budget.
     let scores = vec![
@@ -42,8 +47,8 @@ fn main() {
         },
     ];
     for score in scores {
-        let problem = Problem::new(inst, ds.default_target, k, t, score.clone())
-            .expect("valid problem");
+        let problem =
+            Problem::new(inst, ds.default_target, k, t, score.clone()).expect("valid problem");
         let res = select_seeds(&problem, &Method::rs_default()).expect("selection succeeds");
         let after = inst.opinions_at(t, ds.default_target, &res.seeds);
         let hist = position_histogram(&after, ds.default_target);

@@ -39,7 +39,10 @@ fn main() {
     // 3. Watch opinions evolve to the horizon.
     let horizon = 1;
     let seedless = instance.opinions_at(horizon, 0, &[]);
-    println!("opinions about the target at t={horizon}: {:?}", seedless.row(0));
+    println!(
+        "opinions about the target at t={horizon}: {:?}",
+        seedless.row(0)
+    );
     let result = tally(&seedless, &ScoringFunction::Plurality);
     println!(
         "seedless plurality tally: {:?} -> winner candidate {}",
@@ -52,8 +55,7 @@ fn main() {
         ScoringFunction::Plurality,
         ScoringFunction::Copeland,
     ] {
-        let problem =
-            Problem::new(&instance, 0, 1, horizon, score.clone()).expect("valid problem");
+        let problem = Problem::new(&instance, 0, 1, horizon, score.clone()).expect("valid problem");
         let res = select_seeds(&problem, &Method::Dm).expect("selection succeeds");
         println!(
             "{score:>10}: seed user {:?} -> score {:.2}",

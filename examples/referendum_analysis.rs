@@ -19,7 +19,9 @@ fn main() {
     let (k, t) = (20, 20);
     println!(
         "dataset {} — {} users, stances: {:?}",
-        ds.name, inst.num_nodes(), ds.candidate_names
+        ds.name,
+        inst.num_nodes(),
+        ds.candidate_names
     );
 
     // How fast do opinions settle? (The reason a finite horizon matters.)
@@ -28,7 +30,10 @@ fn main() {
     let changes = change_fraction_series(&engine, &[], 10, 1.0);
     println!(
         "fraction of users changing >1% per step: {:?}",
-        changes.iter().map(|c| format!("{:.2}", c)).collect::<Vec<_>>()
+        changes
+            .iter()
+            .map(|c| format!("{:.2}", c))
+            .collect::<Vec<_>>()
     );
     println!(
         "oblivious users (diffusion may not converge): {}",
@@ -47,7 +52,10 @@ fn main() {
     );
 
     let sims = 1_000;
-    println!("\n{:<18} {:>12} {:>14}", "seeds", "plurality", "EIS under IC");
+    println!(
+        "\n{:<18} {:>12} {:>14}",
+        "seeds", "plurality", "EIS under IC"
+    );
     for (label, seeds) in [("RW (plurality)", &ours.seeds), ("IMM (IC)", &imm)] {
         let plurality = problem.exact_score(seeds);
         let spread = expected_spread(g, CascadeModel::IndependentCascade, seeds, sims, 3);

@@ -3,8 +3,8 @@
 //! GED-T coincides with DM on the cumulative score only.
 
 use vom::baselines::{
-    degree_centrality_seeds, expected_spread, gedt_seeds, imm_seeds, pagerank_seeds,
-    rwr_seeds, CascadeModel, ImmConfig,
+    degree_centrality_seeds, expected_spread, gedt_seeds, imm_seeds, pagerank_seeds, rwr_seeds,
+    CascadeModel, ImmConfig,
 };
 use vom::core::dm::dm_greedy;
 use vom::core::{select_seeds, Method, Problem};
@@ -23,7 +23,9 @@ fn gedt_equals_dm_on_cumulative_but_not_plurality() {
 
     let plu = Problem::new(&ds.instance, 0, 10, 10, ScoringFunction::Plurality).unwrap();
     let gedt_score = plu.exact_score(&gedt_seeds(&plu));
-    let ours = select_seeds(&plu, &Method::rs_default()).unwrap().exact_score;
+    let ours = select_seeds(&plu, &Method::rs_default())
+        .unwrap()
+        .exact_score;
     // GED-T runs exact CELF; our RS runs on sketch estimates, so allow a
     // small estimation margin (the paper's gap is in our favor at scale).
     assert!(
@@ -94,7 +96,10 @@ fn lt_and_ic_imm_both_return_plausible_hubs() {
         max_rr_sets: 50_000,
         ..ImmConfig::default()
     };
-    for model in [CascadeModel::IndependentCascade, CascadeModel::LinearThreshold] {
+    for model in [
+        CascadeModel::IndependentCascade,
+        CascadeModel::LinearThreshold,
+    ] {
         let seeds = imm_seeds(g, model, 5, &cfg);
         assert_eq!(seeds.len(), 5, "{model:?}");
         // Seeds should have above-average out-degree: they are spreaders.

@@ -84,8 +84,16 @@ fn seed_overlap_between_methods_is_substantial() {
         let set: std::collections::HashSet<_> = a.iter().collect();
         b.iter().filter(|v| set.contains(v)).count()
     };
-    assert!(overlap(&dm, &rw) >= 10, "DM/RW overlap {}", overlap(&dm, &rw));
-    assert!(overlap(&dm, &rs) >= 8, "DM/RS overlap {}", overlap(&dm, &rs));
+    assert!(
+        overlap(&dm, &rw) >= 10,
+        "DM/RW overlap {}",
+        overlap(&dm, &rw)
+    );
+    assert!(
+        overlap(&dm, &rs) >= 8,
+        "DM/RS overlap {}",
+        overlap(&dm, &rs)
+    );
 }
 
 #[test]

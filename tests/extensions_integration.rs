@@ -30,8 +30,14 @@ fn borda_runs_through_the_paper_estimator_machinery() {
     let r = ds.instance.num_candidates();
     let t = 10;
     let k = 4;
-    let problem = Problem::new(&ds.instance, ds.default_target, k, t, ScoringFunction::borda(r))
-        .expect("valid problem");
+    let problem = Problem::new(
+        &ds.instance,
+        ds.default_target,
+        k,
+        t,
+        ScoringFunction::borda(r),
+    )
+    .expect("valid problem");
     let seedless = problem.exact_score(&[]);
     for method in [Method::rw_default(), Method::rs_default()] {
         let res = select_seeds(&problem, &method).expect("selection succeeds");
@@ -97,8 +103,8 @@ fn generic_win_search_agrees_with_plurality_specialized_path() {
                 .total_cmp(&ScoringFunction::Plurality.score(&b0, b))
         })
         .unwrap();
-    let generic = min_seeds_to_win_rule(inst, q, t, &ScoringFunction::Plurality)
-        .expect("valid problem");
+    let generic =
+        min_seeds_to_win_rule(inst, q, t, &ScoringFunction::Plurality).expect("valid problem");
     let problem = Problem::new(inst, q, 1, t, ScoringFunction::Plurality).unwrap();
     let specialized = vom::core::win::min_seeds_to_win(&problem, vom::core::dm::dm_greedy);
     match (generic, specialized) {
@@ -117,21 +123,10 @@ fn seeder_routes_around_entrenched_zealots() {
     // chosen seed must beat seeding a mere leaf.
     use vom::graph::builder::graph_from_edges;
     let g = Arc::new(
-        graph_from_edges(
-            6,
-            &[
-                (0, 2, 1.0),
-                (0, 3, 1.0),
-                (1, 4, 1.0),
-                (1, 5, 1.0),
-            ],
-        )
-        .unwrap(),
+        graph_from_edges(6, &[(0, 2, 1.0), (0, 3, 1.0), (1, 4, 1.0), (1, 5, 1.0)]).unwrap(),
     );
     let initial = OpinionMatrix::from_rows(vec![vec![0.4; 6], vec![0.6; 6]]).unwrap();
-    let model = VoterModel::new(g, initial)
-        .unwrap()
-        .with_zealots(1, &[0]);
+    let model = VoterModel::new(g, initial).unwrap().with_zealots(1, &[0]);
     let seeder = DynamicsSeeder::new(&model, 4, 0, 128, 21);
     let seeds = seeder.greedy(1, &ScoringFunction::Plurality);
     assert!(
@@ -140,7 +135,10 @@ fn seeder_routes_around_entrenched_zealots() {
     );
     let lift = seeder.evaluate(&seeds, &ScoringFunction::Plurality)
         - seeder.evaluate(&[], &ScoringFunction::Plurality);
-    assert!(lift >= 3.0, "a hub seed converts itself + two leaves: {lift}");
+    assert!(
+        lift >= 3.0,
+        "a hub seed converts itself + two leaves: {lift}"
+    );
 }
 
 #[test]
@@ -173,8 +171,14 @@ fn dynamics_campaign_end_to_end_on_a_replica() {
     let seeder = DynamicsSeeder::new(&voter, t, q, 24, 11);
     let seeds = seeder.greedy(3, &ScoringFunction::Cumulative);
     assert_eq!(seeds.len(), 3);
-    let before: f64 = expected_opinions(&voter, t, q, &[], 24, 11).row(q).iter().sum();
-    let after: f64 = expected_opinions(&voter, t, q, &seeds, 24, 11).row(q).iter().sum();
+    let before: f64 = expected_opinions(&voter, t, q, &[], 24, 11)
+        .row(q)
+        .iter()
+        .sum();
+    let after: f64 = expected_opinions(&voter, t, q, &seeds, 24, 11)
+        .row(q)
+        .iter()
+        .sum();
     assert!(
         after >= before + 2.0,
         "3 voter-model seeds should add at least their own support: {before} -> {after}"

@@ -12,9 +12,7 @@ use vom::voting::{condorcet_winner, tally, ScoringFunction};
 /// reproduce the paper's stated t=1 values (see DESIGN.md on the 0.78 vs
 /// 0.775 rounding in the paper).
 fn running_example() -> Instance {
-    let g = Arc::new(
-        graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
-    );
+    let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
     let b = OpinionMatrix::from_rows(vec![
         vec![0.40, 0.80, 0.60, 0.90],
         vec![0.35, 0.75, 1.00, 0.80],
@@ -112,7 +110,10 @@ fn example_3_non_submodularity_of_plurality_and_copeland() {
         let gain_after_0 = f(&[0, 1]) - f(&[0]);
         assert_eq!(gain_empty, 0.0, "{score}");
         assert_eq!(gain_after_0, 1.0, "{score}");
-        assert!(gain_after_0 > gain_empty, "{score} must violate submodularity");
+        assert!(
+            gain_after_0 > gain_empty,
+            "{score} must violate submodularity"
+        );
     }
 }
 

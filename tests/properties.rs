@@ -12,10 +12,8 @@ use vom::graph::{Node, SocialGraph};
 /// Strategy: a random small weighted digraph + opinions + stubbornness.
 fn arb_instance() -> impl Strategy<Value = (SocialGraph, Vec<f64>, Vec<f64>)> {
     (3usize..10).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as Node, 0..n as Node, 0.1f64..5.0),
-            1..(3 * n),
-        );
+        let edges =
+            proptest::collection::vec((0..n as Node, 0..n as Node, 0.1f64..5.0), 1..(3 * n));
         let opinions = proptest::collection::vec(0.0f64..=1.0, n);
         let stubbornness = proptest::collection::vec(0.0f64..=1.0, n);
         (edges, opinions, stubbornness).prop_map(move |(edges, b0, d)| {

@@ -24,10 +24,8 @@ fn arb_snapshot() -> impl Strategy<Value = OpinionMatrix> {
 /// Strategy: a random small graph plus a 2-candidate opinion snapshot.
 fn arb_graph_and_opinions() -> impl Strategy<Value = (SocialGraph, OpinionMatrix)> {
     (3usize..10).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as Node, 0..n as Node, 0.1f64..5.0),
-            1..(3 * n),
-        );
+        let edges =
+            proptest::collection::vec((0..n as Node, 0..n as Node, 0.1f64..5.0), 1..(3 * n));
         let rows = proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, n), 2);
         (edges, rows).prop_map(move |(edges, rows)| {
             let g = graph_from_edges(n, &edges).expect("valid random edges");

@@ -28,8 +28,8 @@ fn lower_bound_dominated_by_score_for_plurality_variants() {
         let favorable = favorable_users(&seedless, 0, pp);
         for seeds in [vec![], vec![1, 2, 3]] {
             let b = p.opinions(&seeds);
-            let lb: f64 = score.position_weight(pp)
-                * favorable.iter().map(|&v| b.get(0, v)).sum::<f64>();
+            let lb: f64 =
+                score.position_weight(pp) * favorable.iter().map(|&v| b.get(0, v)).sum::<f64>();
             let f = p.exact_score(&seeds);
             assert!(lb <= f + 1e-9, "{score}: LB {lb} > F {f} for {seeds:?}");
         }

@@ -38,10 +38,7 @@ fn more_accurate_methods_need_no_more_seeds() {
     let ds = twitter_mask_like(&ReplicaParams::at_scale(0.0003, 78));
     let p = Problem::new(&ds.instance, 0, 1, 8, ScoringFunction::Plurality).unwrap();
     let k_of = |method: Method| {
-        min_seeds_to_win(&p, |prob| {
-            select_seeds_plain(prob, &method).unwrap().seeds
-        })
-        .map(|w| w.k)
+        min_seeds_to_win(&p, |prob| select_seeds_plain(prob, &method).unwrap().seeds).map(|w| w.k)
     };
     let dm = k_of(Method::Dm);
     let rw = k_of(Method::rw_default());

@@ -1,0 +1,227 @@
+#![warn(missing_docs)]
+//! Offline shim for the subset of the `criterion` benchmarking API that
+//! the `vom-bench` benches use.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate stands in for `criterion` (wired in as `criterion = { path =
+//! ... }` through the workspace dependency table). It supports
+//! `benchmark_group` / `bench_function` / `bench_with_input` /
+//! `iter` / `iter_batched` / `criterion_group!` / `criterion_main!` and
+//! reports a simple best-of-N wall-clock time per benchmark instead of
+//! criterion's statistical analysis. CI only `cargo check`s the benches;
+//! running them locally still produces useful comparative numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark (split across samples).
+const TARGET_TIME: Duration = Duration::from_millis(400);
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Registers and runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        budget: TARGET_TIME / sample_size.max(1) as u32,
+        best_ns: f64::INFINITY,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    if bencher.best_ns.is_finite() {
+        println!("bench {label}: {}", format_ns(bencher.best_ns));
+    } else {
+        println!("bench {label}: no measurement");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Timing loop handle passed to benchmark closures (mirrors
+/// `criterion::Bencher`).
+pub struct Bencher {
+    budget: Duration,
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it until the sample budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget || iters == 0 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.best_ns = self.best_ns.min(per_iter);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < self.budget || iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        let per_iter = spent.as_nanos() as f64 / iters as f64;
+        self.best_ns = self.best_ns.min(per_iter);
+    }
+}
+
+/// Batch sizing hints (accepted and ignored; mirrors
+/// `criterion::BatchSize`).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark identifier combining a function name and a parameter
+/// (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Opaque value barrier (mirrors `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function named `$name` that runs each
+/// target (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("t20", 64).0, "t20/64");
+        assert_eq!(BenchmarkId::from_parameter(40).0, "40");
+    }
+
+    #[test]
+    fn iter_records_a_measurement() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("input", 3), &3, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,187 @@
+#![warn(missing_docs)]
+//! Offline shim for the subset of the `rayon` API that the `vom`
+//! workspace uses.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate stands in for `rayon` (wired in as `rayon = { path = ... }`
+//! through the workspace dependency table). It exposes the same call
+//! surface — `into_par_iter()`, `par_chunks()`, and the adapter chain
+//! `filter / map / map_init / enumerate / collect / sum / reduce` — but
+//! executes **sequentially**. All call sites in the workspace are
+//! designed to be schedule-independent (per-item RNG streams), so the
+//! results are identical to a parallel run; only wall-clock differs.
+//! Swapping in real `rayon` is a one-line change in the workspace
+//! manifest (see DESIGN.md § Vendored shims).
+
+/// A "parallel" iterator: a thin wrapper over a standard iterator with
+/// rayon-shaped adapter methods.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Keeps only items matching the predicate.
+    pub fn filter<P>(self, predicate: P) -> ParIter<core::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(predicate))
+    }
+
+    /// Transforms each item.
+    pub fn map<F, R>(self, f: F) -> ParIter<core::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Transforms each item with access to per-worker scratch state
+    /// (rayon's `map_init`; one worker here, so `init` runs once).
+    pub fn map_init<T, INIT, F, R>(self, init: INIT, f: F) -> ParIter<MapInit<I, T, F>>
+    where
+        INIT: FnOnce() -> T,
+        F: FnMut(&mut T, I::Item) -> R,
+    {
+        ParIter(MapInit {
+            iter: self.0,
+            state: init(),
+            f,
+        })
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<core::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: core::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Folds with an identity constructor (rayon's `reduce` signature).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+}
+
+/// `map_init` adapter iterator (see [`ParIter::map_init`]).
+pub struct MapInit<I, T, F> {
+    iter: I,
+    state: T,
+    f: F,
+}
+
+impl<I, T, F, R> Iterator for MapInit<I, T, F>
+where
+    I: Iterator,
+    F: FnMut(&mut T, I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        let item = self.iter.next()?;
+        Some((self.f)(&mut self.state, item))
+    }
+}
+
+/// Rayon-style traits, imported via `use rayon::prelude::*`.
+pub mod prelude {
+    use super::ParIter;
+
+    /// Owned conversion into a parallel iterator (`into_par_iter`).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Converts `self` into a (sequential) parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Slice splitting and borrowing (`par_chunks`, `par_iter`).
+    pub trait ParallelSlice<T> {
+        /// Iterates over `size`-element chunks.
+        fn par_chunks(&self, size: usize) -> ParIter<core::slice::Chunks<'_, T>>;
+
+        /// Iterates over borrowed items.
+        fn par_iter(&self) -> ParIter<core::slice::Iter<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParIter<core::slice::Chunks<'_, T>> {
+            ParIter(self.chunks(size))
+        }
+
+        fn par_iter(&self) -> ParIter<core::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chain_matches_sequential_equivalent() {
+        let par: Vec<(usize, u32)> = (0u32..10)
+            .into_par_iter()
+            .filter(|&v| v % 2 == 0)
+            .map(|v| v * 3)
+            .enumerate()
+            .collect();
+        let seq: Vec<(usize, u32)> = (0u32..10)
+            .filter(|&v| v % 2 == 0)
+            .map(|v| v * 3)
+            .enumerate()
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_init_threads_scratch_state() {
+        let out: Vec<usize> = (0..5usize)
+            .into_par_iter()
+            .map_init(Vec::new, |scratch: &mut Vec<usize>, v| {
+                scratch.push(v);
+                scratch.len()
+            })
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let total = (1..=4usize)
+            .into_par_iter()
+            .map(|v| vec![v])
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        assert_eq!(total, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice() {
+        let data: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = data.par_chunks(4).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![6, 22, 17]);
+        let total: u32 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 45);
+    }
+}
