@@ -45,6 +45,7 @@ pub mod imm;
 pub mod pagerank;
 pub mod rrset;
 pub mod rwr;
+pub mod selectors;
 
 pub use cascade::{expected_spread, CascadeModel};
 pub use degree::degree_centrality_seeds;
@@ -52,6 +53,7 @@ pub use gedt::gedt_seeds;
 pub use imm::{imm_seeds, ImmConfig};
 pub use pagerank::pagerank_seeds;
 pub use rwr::rwr_seeds;
+pub use selectors::{AnyEngine, BaselineEngine};
 
 /// Selects the `k` nodes with the largest scores (ties toward smaller
 /// ids), used by all centrality-style baselines.

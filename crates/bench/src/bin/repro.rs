@@ -68,11 +68,17 @@ fn main() {
         cfg.scale, cfg.seed, cfg.quick
     );
     for id in ids {
-        let (ok, elapsed) = vom_bench::timed(|| experiments::run(&id, &cfg));
-        if !ok {
-            eprintln!("unknown experiment '{id}'");
-            usage();
+        let (outcome, elapsed) = vom_bench::timed(|| experiments::run(&id, &cfg));
+        match outcome {
+            Ok(true) => println!("[{id} done in {:.1}s]\n", elapsed.as_secs_f64()),
+            Ok(false) => {
+                eprintln!("unknown experiment '{id}'");
+                usage();
+            }
+            Err(e) => {
+                eprintln!("experiment '{id}' failed: {e}");
+                std::process::exit(1);
+            }
         }
-        println!("[{id} done in {:.1}s]\n", elapsed.as_secs_f64());
     }
 }

@@ -1,0 +1,54 @@
+//! Harness-level error type: experiments propagate selection failures
+//! instead of panicking mid-sweep.
+
+use std::fmt;
+use vom_core::CoreError;
+
+/// An error raised while running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// A selection engine failed (propagated from `vom-core`).
+    Core(CoreError),
+    /// An experiment was asked to build an invalid problem/configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Core(e) => write!(f, "selection failed: {e}"),
+            BenchError::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Core(e) => Some(e),
+            BenchError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for BenchError {
+    fn from(e: CoreError) -> Self {
+        BenchError::Core(e)
+    }
+}
+
+/// Harness-wide result type.
+pub type Result<T> = std::result::Result<T, BenchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_the_core_error() {
+        let e: BenchError = CoreError::BudgetExceedsPrepared { k: 9, budget: 3 }.into();
+        let msg = e.to_string();
+        assert!(msg.contains("selection failed"), "{msg}");
+        assert!(msg.contains('9'), "{msg}");
+    }
+}

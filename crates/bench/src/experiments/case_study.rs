@@ -1,6 +1,6 @@
 //! Table IV / Figure 4: the ACM-general-election case study.
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
 use vom_core::rs::RsConfig;
 use vom_core::{select_seeds, Method, Problem};
 use vom_datasets::case_study::DOMAINS;
@@ -10,7 +10,7 @@ use vom_voting::ScoringFunction;
 /// Selects the top seeds for the trailing candidate and reports, per
 /// research domain, the voters before/after seeding plus where the top-10
 /// seeds act — the paper's headline: 100 seeds flip the election.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: cfg.scale.max(0.02),
         seed: cfg.seed,
@@ -21,12 +21,12 @@ pub fn run(cfg: &ExpConfig) {
     let n = inst.num_nodes();
     let k = cfg.default_k().min(n / 10);
     let t = cfg.default_t();
-    let problem = Problem::new(inst, 0, k, t, ScoringFunction::Plurality).expect("valid problem");
+    let problem = Problem::new(inst, 0, k, t, ScoringFunction::Plurality)?;
     let method = Method::Rs(RsConfig {
         seed: cfg.seed,
         ..RsConfig::default()
     });
-    let res = select_seeds(&problem, &method).expect("selection succeeds");
+    let res = select_seeds(&problem, &method)?;
 
     let before = inst.opinions_at(t, 0, &[]);
     let after = inst.opinions_at(t, 0, &res.seeds);
@@ -85,4 +85,5 @@ pub fn run(cfg: &ExpConfig) {
         format!("k={k}"),
     ]);
     table.emit(&cfg.out_dir);
+    Ok(())
 }

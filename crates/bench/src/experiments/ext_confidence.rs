@@ -13,7 +13,7 @@
 //! community, above it they pull everyone — the quantitative version of
 //! the `polarized_communities` example.
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -49,7 +49,7 @@ fn polarized(n: usize, seed: u64) -> (Arc<vom_graph::SocialGraph>, OpinionMatrix
 }
 
 /// Runs the confidence-bound sweep.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let n = if cfg.quick { 80 } else { 160 };
     let t = if cfg.quick { 10 } else { 20 };
     let k = if cfg.quick { 3 } else { 5 };
@@ -102,4 +102,5 @@ pub fn run(cfg: &ExpConfig) {
         }
     }
     structure.emit(&cfg.out_dir);
+    Ok(())
 }

@@ -12,7 +12,7 @@
 //!    other model. If FJ seeds transfer well, the cheap FJ machinery
 //!    (RW/RS) remains useful even when the true dynamics differ.
 
-use crate::{secs, ExpConfig, Table};
+use crate::{secs, ExpConfig, Result, Table};
 use std::sync::Arc;
 use vom_datasets::{dblp_like, ReplicaParams};
 use vom_diffusion::OpinionMatrix;
@@ -23,7 +23,7 @@ use vom_dynamics::{
 use vom_voting::ScoringFunction;
 
 /// Runs the dynamics-model comparison.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     // Greedy-by-simulation costs O(k·n·runs) realizations per model;
     // keep the replica small so the comparison finishes in minutes even
     // single-core (the Sznajd sweep is the expensive one).
@@ -110,4 +110,5 @@ pub fn run(cfg: &ExpConfig) {
         ]);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

@@ -9,13 +9,13 @@
 //! plurality selection — showing how much the *choice of rule* changes
 //! who you should seed.
 
-use crate::{secs, ExpConfig, Table};
+use crate::{secs, ExpConfig, Result, Table};
 use vom_core::{evaluate_rule, generic_greedy};
 use vom_datasets::{yelp_like, ReplicaParams};
 use vom_voting::{ext_winner, ExtendedRule, OpinionScore, ScoringFunction};
 
 /// Runs the extended-rules comparison.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     // The generic greedy is exact (O(k·n·t·m) per rule), so run it on a
     // reduced replica; the rule comparison is about *who gets seeded*,
     // not scale.
@@ -44,9 +44,9 @@ pub fn run(cfg: &ExpConfig) {
     );
 
     // Reference: the paper's plurality greedy on the same exact path.
-    let (plu_seeds, _) = crate::timed(|| {
-        generic_greedy(inst, q, k, t, &ScoringFunction::Plurality).expect("valid problem")
-    });
+    let (plu_seeds, _) =
+        crate::timed(|| generic_greedy(inst, q, k, t, &ScoringFunction::Plurality));
+    let plu_seeds = plu_seeds?;
 
     let mut rules: Vec<(String, Box<dyn OpinionScore>)> = vec![(
         "plurality (paper)".to_string(),
@@ -57,8 +57,8 @@ pub fn run(cfg: &ExpConfig) {
     }
 
     for (name, rule) in &rules {
-        let (seeds, elapsed) =
-            crate::timed(|| generic_greedy(inst, q, k, t, rule.as_ref()).expect("valid problem"));
+        let (seeds, elapsed) = crate::timed(|| generic_greedy(inst, q, k, t, rule.as_ref()));
+        let seeds = seeds?;
         let before = evaluate_rule(inst, q, t, &[], rule.as_ref());
         let after = evaluate_rule(inst, q, t, &seeds, rule.as_ref());
         let b_after = inst.opinions_at(t, q, &seeds);
@@ -89,4 +89,5 @@ pub fn run(cfg: &ExpConfig) {
         ]);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

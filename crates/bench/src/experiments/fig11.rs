@@ -1,18 +1,20 @@
 //! Figure 11: expected influence spread (IC/LT) of RW's voting-score
 //! seeds vs IMM's seeds.
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
 use vom_baselines::{expected_spread, imm_seeds, CascadeModel, ImmConfig};
+use vom_core::engine::SeedSelector;
 use vom_core::rw::RwConfig;
-use vom_core::{select_seeds_plain, Method, Problem};
+use vom_core::{Engine, Problem, Query};
 use vom_datasets::{twitter_mask_like, ReplicaParams};
 use vom_voting::ScoringFunction;
 
 /// Compares the EIS of RW-selected seeds (under each of the three main
 /// voting scores) against IMM's own seeds — the paper's point: our seeds
 /// reach over 80% of IMM's spread despite optimizing a different
-/// objective.
-pub fn run(cfg: &ExpConfig) {
+/// objective. The RW engine prepares once; the three voting scores are
+/// three queries.
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: cfg.scale,
         seed: cfg.seed,
@@ -36,22 +38,25 @@ pub fn run(cfg: &ExpConfig) {
             format!("{lt:.1}"),
         ]);
     };
+    let spec = Problem::new(
+        &ds.instance,
+        ds.default_target,
+        k,
+        cfg.default_t(),
+        ScoringFunction::Cumulative,
+    )?;
+    let engine = Engine::Rw(RwConfig {
+        seed: cfg.seed,
+        ..RwConfig::default()
+    });
+    let mut prepared = engine.prepare(&spec)?;
     for (label, score) in [
         ("RW (cumulative)", ScoringFunction::Cumulative),
         ("RW (plurality)", ScoringFunction::Plurality),
         ("RW (copeland)", ScoringFunction::Copeland),
     ] {
-        let prob = Problem::new(&ds.instance, ds.default_target, k, cfg.default_t(), score)
-            .expect("valid problem");
-        let seeds = select_seeds_plain(
-            &prob,
-            &Method::Rw(RwConfig {
-                seed: cfg.seed,
-                ..RwConfig::default()
-            }),
-        )
-        .expect("selection succeeds")
-        .seeds;
+        let query = Query::plain(k, score, ds.default_target);
+        let seeds = prepared.select(&query)?.seeds;
         emit(label, &seeds, &mut table);
     }
     let imm_cfg = ImmConfig {
@@ -64,4 +69,5 @@ pub fn run(cfg: &ExpConfig) {
     let lt_seeds = imm_seeds(g, CascadeModel::LinearThreshold, k, &imm_cfg);
     emit("IMM (LT)", &lt_seeds, &mut table);
     table.emit(&cfg.out_dir);
+    Ok(())
 }

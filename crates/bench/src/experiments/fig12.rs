@@ -1,7 +1,7 @@
 //! Figure 12: cumulative score and seed-finding time vs the time
 //! horizon `t`.
 
-use crate::{secs, AnyMethod, ExpConfig, Table};
+use crate::{secs, AnyMethod, ExpConfig, Result, Table};
 use vom_core::Problem;
 use vom_datasets::{yelp_like, ReplicaParams};
 use vom_voting::ScoringFunction;
@@ -9,7 +9,7 @@ use vom_voting::ScoringFunction;
 /// Sweeps `t = 0..=30` for DM/RW/RS on Yelp — the paper's finding: the
 /// score plateaus near `t = 20` (hence the default horizon), and DM's
 /// time grows linearly in `t` while RW/RS barely move.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: (cfg.scale * 0.4).max(0.0005),
         seed: cfg.seed,
@@ -34,10 +34,11 @@ pub fn run(cfg: &ExpConfig) {
             k,
             t,
             ScoringFunction::Cumulative,
-        )
-        .expect("valid problem");
+        )?;
+        // The artifacts depend on the horizon, so each t needs its own
+        // build; the one-shot evaluation is the honest cost here.
         for m in [AnyMethod::Dm, AnyMethod::Rw, AnyMethod::Rs] {
-            let out = crate::evaluate_baseline(&problem, m, cfg.seed);
+            let out = crate::evaluate_baseline(&problem, m, cfg.seed)?;
             table.row(vec![
                 t.to_string(),
                 m.name().to_string(),
@@ -47,4 +48,5 @@ pub fn run(cfg: &ExpConfig) {
         }
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

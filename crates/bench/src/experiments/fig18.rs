@@ -1,13 +1,13 @@
 //! Figure 18 (Appendix B): fraction of users still changing opinion at
 //! each timestamp, for several tolerances ∆.
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
 use vom_datasets::{yelp_like, ReplicaParams};
 use vom_diffusion::convergence::change_fraction_series;
 
 /// The paper's motivation for a finite horizon: a significant fraction of
 /// users keeps moving before t = 30, especially at small tolerances.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: cfg.scale,
         seed: cfg.seed,
@@ -37,4 +37,5 @@ pub fn run(cfg: &ExpConfig) {
         ]);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

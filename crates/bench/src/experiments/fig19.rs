@@ -1,7 +1,7 @@
 //! Figure 19 (Appendix D): sensitivity of the scores to the edge-weight
 //! parameter µ.
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
 use vom_core::rs::RsConfig;
 use vom_core::{select_seeds_plain, Method, Problem};
 use vom_datasets::{twitter_election_like, yelp_like, Dataset, ReplicaParams};
@@ -12,7 +12,7 @@ fn series(
     make: impl Fn(&ReplicaParams) -> Dataset,
     score: ScoringFunction,
     table: &mut Table,
-) {
+) -> Result<()> {
     for mu in [1.0, 5.0, 10.0, 15.0, 25.0] {
         let params = ReplicaParams {
             scale: cfg.scale,
@@ -27,16 +27,14 @@ fn series(
             k,
             cfg.default_t(),
             score.clone(),
-        )
-        .expect("valid problem");
+        )?;
         let res = select_seeds_plain(
             &problem,
             &Method::Rs(RsConfig {
                 seed: cfg.seed,
                 ..RsConfig::default()
             }),
-        )
-        .expect("selection succeeds");
+        )?;
         table.row(vec![
             ds.name.to_string(),
             score.to_string(),
@@ -44,22 +42,24 @@ fn series(
             format!("{:.2}", res.exact_score),
         ]);
     }
+    Ok(())
 }
 
 /// The paper's justification of µ = 10: the column normalization damps
 /// µ's influence, and the µ = 10 / µ = 15 curves nearly coincide.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let mut table = Table::new(
         "fig19",
         "score vs edge-weight parameter µ (paper Figure 19)",
         &["dataset", "score", "mu", "score value"],
     );
-    series(cfg, yelp_like, ScoringFunction::Plurality, &mut table);
+    series(cfg, yelp_like, ScoringFunction::Plurality, &mut table)?;
     series(
         cfg,
         twitter_election_like,
         ScoringFunction::Cumulative,
         &mut table,
-    );
+    )?;
     table.emit(&cfg.out_dir);
+    Ok(())
 }

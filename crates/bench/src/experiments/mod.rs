@@ -20,7 +20,7 @@ pub mod table6;
 pub mod theta;
 pub mod variants;
 
-use crate::ExpConfig;
+use crate::{ExpConfig, Result};
 
 /// Every experiment id, in presentation order.
 pub const ALL_IDS: [&str; 23] = [
@@ -49,33 +49,35 @@ pub const ALL_IDS: [&str; 23] = [
     "ext-confidence",
 ];
 
-/// Dispatches an experiment id. Returns false for unknown ids.
-pub fn run(id: &str, cfg: &ExpConfig) -> bool {
+/// Dispatches an experiment id. `Ok(false)` for unknown ids; selection
+/// failures propagate as [`crate::BenchError`] instead of panicking
+/// mid-sweep.
+pub fn run(id: &str, cfg: &ExpConfig) -> Result<bool> {
     match id {
-        "table1" => table1::run(cfg),
-        "table2" => table2::run(cfg),
-        "table3" => table3::run(cfg),
-        "fig2" => fig2::run(cfg),
-        "case-study" | "table4" | "fig4" => case_study::run(cfg),
-        "table6" => table6::run(cfg),
-        "fig6" => sweep_k::run_plurality(cfg),
-        "fig7" => sweep_k::run_copeland(cfg),
-        "fig8" => sweep_k::run_cumulative(cfg),
-        "fig9" => variants::run_overlap(cfg),
-        "fig10" => variants::run_positions(cfg),
-        "fig11" => fig11::run(cfg),
-        "fig12" => fig12::run(cfg),
-        "fig13" => theta::run_plurality(cfg),
-        "fig14" => theta::run_copeland(cfg),
-        "fig15" => params::run_epsilon(cfg),
-        "fig16" => params::run_rho(cfg),
-        "fig17" => fig17::run(cfg),
-        "fig18" => fig18::run(cfg),
-        "fig19" => fig19::run(cfg),
-        "ext-rules" => ext_rules::run(cfg),
-        "ext-dynamics" => ext_dynamics::run(cfg),
-        "ext-confidence" => ext_confidence::run(cfg),
-        _ => return false,
+        "table1" => table1::run(cfg)?,
+        "table2" => table2::run(cfg)?,
+        "table3" => table3::run(cfg)?,
+        "fig2" => fig2::run(cfg)?,
+        "case-study" | "table4" | "fig4" => case_study::run(cfg)?,
+        "table6" => table6::run(cfg)?,
+        "fig6" => sweep_k::run_plurality(cfg)?,
+        "fig7" => sweep_k::run_copeland(cfg)?,
+        "fig8" => sweep_k::run_cumulative(cfg)?,
+        "fig9" => variants::run_overlap(cfg)?,
+        "fig10" => variants::run_positions(cfg)?,
+        "fig11" => fig11::run(cfg)?,
+        "fig12" => fig12::run(cfg)?,
+        "fig13" => theta::run_plurality(cfg)?,
+        "fig14" => theta::run_copeland(cfg)?,
+        "fig15" => params::run_epsilon(cfg)?,
+        "fig16" => params::run_rho(cfg)?,
+        "fig17" => fig17::run(cfg)?,
+        "fig18" => fig18::run(cfg)?,
+        "fig19" => fig19::run(cfg)?,
+        "ext-rules" => ext_rules::run(cfg)?,
+        "ext-dynamics" => ext_dynamics::run(cfg)?,
+        "ext-confidence" => ext_confidence::run(cfg)?,
+        _ => return Ok(false),
     }
-    true
+    Ok(true)
 }

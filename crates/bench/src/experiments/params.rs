@@ -1,7 +1,7 @@
 //! Figures 15–16: sensitivity to the estimation parameters ε (RS) and
 //! ρ (RW).
 
-use crate::{secs, ExpConfig, Table};
+use crate::{secs, ExpConfig, Result, Table};
 use vom_core::rs::RsConfig;
 use vom_core::rw::RwConfig;
 use vom_core::{select_seeds_plain, Method, Problem};
@@ -11,7 +11,7 @@ use vom_voting::ScoringFunction;
 /// Figure 15: cumulative score and time vs ε for RS on
 /// Twitter-US-Election. Larger ε → fewer sketches → faster but less
 /// accurate; the paper picks ε = 0.1.
-pub fn run_epsilon(cfg: &ExpConfig) {
+pub fn run_epsilon(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: cfg.scale,
         seed: cfg.seed,
@@ -25,8 +25,7 @@ pub fn run_epsilon(cfg: &ExpConfig) {
         k,
         cfg.default_t(),
         ScoringFunction::Cumulative,
-    )
-    .expect("valid problem");
+    )?;
     let mut table = Table::new(
         "fig15",
         "cumulative score and time vs epsilon for RS (paper Figure 15)",
@@ -39,7 +38,7 @@ pub fn run_epsilon(cfg: &ExpConfig) {
             ..RsConfig::default()
         };
         let theta = vom_core::rs::choose_theta(&problem, &rs_cfg);
-        let res = select_seeds_plain(&problem, &Method::Rs(rs_cfg)).expect("selection succeeds");
+        let res = select_seeds_plain(&problem, &Method::Rs(rs_cfg))?;
         table.row(vec![
             format!("{epsilon}"),
             theta.to_string(),
@@ -48,12 +47,13 @@ pub fn run_epsilon(cfg: &ExpConfig) {
         ]);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }
 
 /// Figure 16: plurality score and time vs ρ for RW on
 /// Twitter-Social-Distancing. Larger ρ → more walks per node → slower but
 /// more accurate; the paper picks ρ = 0.9.
-pub fn run_rho(cfg: &ExpConfig) {
+pub fn run_rho(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: (cfg.scale * 0.6).max(0.0005),
         seed: cfg.seed,
@@ -67,8 +67,7 @@ pub fn run_rho(cfg: &ExpConfig) {
         k,
         cfg.default_t(),
         ScoringFunction::Plurality,
-    )
-    .expect("valid problem");
+    )?;
     let mut table = Table::new(
         "fig16",
         "plurality score and time vs rho for RW (paper Figure 16)",
@@ -80,7 +79,7 @@ pub fn run_rho(cfg: &ExpConfig) {
             seed: cfg.seed,
             ..RwConfig::default()
         };
-        let res = select_seeds_plain(&problem, &Method::Rw(rw_cfg)).expect("selection succeeds");
+        let res = select_seeds_plain(&problem, &Method::Rw(rw_cfg))?;
         table.row(vec![
             format!("{rho}"),
             format!("{:.2}", res.exact_score),
@@ -88,4 +87,5 @@ pub fn run_rho(cfg: &ExpConfig) {
         ]);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

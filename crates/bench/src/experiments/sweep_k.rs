@@ -1,7 +1,13 @@
 //! Figures 6–8: voting score and seed-finding time vs seed budget `k`,
 //! for all nine methods on three dataset replicas.
+//!
+//! Prepared lifecycle: each method builds its artifacts **once per
+//! dataset** (at the largest swept budget) and every `k` queries the same
+//! prepared engine, so the sweep pays O(methods) builds instead of
+//! O(methods × |ks|). `build_s` reports the one-time build, `select_s`
+//! the per-query greedy.
 
-use crate::{secs, AnyMethod, ExpConfig, Table};
+use crate::{secs, AnyMethod, ExpConfig, PreparedMethod, Result, Table};
 use vom_core::Problem;
 use vom_datasets::{twitter_election_like, twitter_mask_like, yelp_like, Dataset, ReplicaParams};
 use vom_voting::ScoringFunction;
@@ -35,49 +41,69 @@ fn sweep_methods(n: usize, score: &ScoringFunction) -> Vec<AnyMethod> {
     }
 }
 
-fn run_sweep(cfg: &ExpConfig, id: &str, score: ScoringFunction) {
+fn run_sweep(cfg: &ExpConfig, id: &str, score: ScoringFunction) -> Result<()> {
     let t = cfg.default_t();
     let mut table = Table::new(
         id,
         &format!("{score} score and seed-finding time vs k (paper Figures 6-8)"),
-        &["dataset", "k", "method", "score", "time_s", "memory_mb"],
+        &[
+            "dataset",
+            "k",
+            "method",
+            "score",
+            "select_s",
+            "build_s",
+            "memory_mb",
+        ],
     );
     for ds in datasets(cfg) {
         let n = ds.instance.num_nodes();
         let methods = sweep_methods(n, &score);
-        for &k in &cfg.k_sweep() {
-            let k = k.min(n / 2);
-            let Ok(problem) = Problem::new(&ds.instance, ds.default_target, k, t, score.clone())
-            else {
-                continue;
-            };
-            for &m in &methods {
-                let out = crate::evaluate_baseline(&problem, m, cfg.seed);
+        let ks: Vec<usize> = cfg
+            .k_sweep()
+            .iter()
+            .map(|&k| k.min(n / 2))
+            .filter(|&k| k > 0)
+            .collect();
+        let Some(&k_max) = ks.iter().max() else {
+            continue;
+        };
+        let Ok(spec) = Problem::new(&ds.instance, ds.default_target, k_max, t, score.clone())
+        else {
+            continue;
+        };
+        for &m in &methods {
+            let mut prepared = PreparedMethod::new(&spec, m, cfg.seed)?;
+            let build = prepared.build_time();
+            for &k in &ks {
+                let out = prepared.evaluate(k)?;
                 table.row(vec![
                     ds.name.to_string(),
                     k.to_string(),
                     m.name().to_string(),
                     format!("{:.2}", out.score),
                     secs(out.elapsed),
+                    secs(build),
                     format!("{:.1}", out.memory as f64 / 1e6),
                 ]);
             }
         }
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }
 
 /// Figure 6: plurality score vs k.
-pub fn run_plurality(cfg: &ExpConfig) {
-    run_sweep(cfg, "fig6", ScoringFunction::Plurality);
+pub fn run_plurality(cfg: &ExpConfig) -> Result<()> {
+    run_sweep(cfg, "fig6", ScoringFunction::Plurality)
 }
 
 /// Figure 7: Copeland score vs k.
-pub fn run_copeland(cfg: &ExpConfig) {
-    run_sweep(cfg, "fig7", ScoringFunction::Copeland);
+pub fn run_copeland(cfg: &ExpConfig) -> Result<()> {
+    run_sweep(cfg, "fig7", ScoringFunction::Copeland)
 }
 
 /// Figure 8: cumulative score vs k.
-pub fn run_cumulative(cfg: &ExpConfig) {
-    run_sweep(cfg, "fig8", ScoringFunction::Cumulative);
+pub fn run_cumulative(cfg: &ExpConfig) -> Result<()> {
+    run_sweep(cfg, "fig8", ScoringFunction::Cumulative)
 }

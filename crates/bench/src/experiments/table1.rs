@@ -1,7 +1,7 @@
 //! Table I: scores of candidate c1 for all single/double seed sets at
 //! t = 1 on the running example.
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
 use std::sync::Arc;
 use vom_diffusion::{Instance, OpinionMatrix};
 use vom_graph::builder::graph_from_edges;
@@ -22,7 +22,7 @@ pub fn running_example_instance() -> Instance {
 }
 
 /// Regenerates Table I.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let inst = running_example_instance();
     let mut table = Table::new(
         "table1",
@@ -56,4 +56,5 @@ pub fn run(cfg: &ExpConfig) {
         ]);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

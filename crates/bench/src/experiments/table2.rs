@@ -1,7 +1,7 @@
 //! Table II: empirical validation of the score properties
 //! (non-negativity, monotonicity, (non-)submodularity).
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -29,7 +29,7 @@ fn score_of(inst: &Instance, score: &ScoringFunction, t: usize, seeds: &[Node]) 
 
 /// Checks each property over random instances and random seed-set chains
 /// `X ⊂ X∪{s}` / submodularity quadruples, reporting violation counts.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let trials = if cfg.quick { 100 } else { 500 };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let scores: Vec<(ScoringFunction, bool)> = vec![
@@ -98,4 +98,5 @@ pub fn run(cfg: &ExpConfig) {
         ]);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

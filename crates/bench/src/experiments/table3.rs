@@ -1,12 +1,12 @@
 //! Table III: characteristics of the (replica) datasets.
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
 use vom_datasets::{all_replicas, ReplicaParams};
 use vom_graph::stats::GraphStats;
 
 /// Regenerates Table III for the synthetic replicas at the configured
 /// scale (the paper-scale counts are shown alongside).
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let paper: [(&str, usize, usize); 5] = [
         ("DBLP", 63_910, 2_847_120),
         ("Yelp", 966_240, 8_815_788),
@@ -46,4 +46,5 @@ pub fn run(cfg: &ExpConfig) {
         ]);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

@@ -1,18 +1,24 @@
 //! Table VI: minimum seed-set sizes for the target to win the plurality
 //! vote, per method.
+//!
+//! Prepared lifecycle: the budget search probes many `k` values; each
+//! engine prepares its artifacts once (for the whole search) and every
+//! probe is a cheap query against them.
 
+use crate::error::Result;
 use crate::{ExpConfig, Table};
+use vom_core::engine::SeedSelector;
 use vom_core::rs::RsConfig;
 use vom_core::rw::RwConfig;
-use vom_core::win::min_seeds_to_win;
-use vom_core::{select_seeds_plain, Method, Problem};
+use vom_core::win::try_min_seeds_to_win;
+use vom_core::{CoreError, Engine, Problem, Query};
 use vom_datasets::{twitter_distancing_like, twitter_mask_like, ReplicaParams};
 use vom_voting::ScoringFunction;
 
 /// Binary-searches the minimum winning budget with each of DM/RW/RS (the
 /// paper's finding: the more approximate the method, the more seeds it
 /// needs). DM is skipped on replicas too large for its exact greedy.
-pub fn run(cfg: &ExpConfig) {
+pub fn run(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: (cfg.scale * 0.4).max(0.0005),
         seed: cfg.seed,
@@ -31,38 +37,35 @@ pub fn run(cfg: &ExpConfig) {
             1,
             cfg.default_t(),
             ScoringFunction::Plurality,
-        )
-        .expect("valid problem");
+        )?;
         let mut methods = vec![
-            (
-                "RW",
-                Method::Rw(RwConfig {
-                    seed: cfg.seed,
-                    ..RwConfig::default()
-                }),
-            ),
-            (
-                "RS",
-                Method::Rs(RsConfig {
-                    seed: cfg.seed,
-                    ..RsConfig::default()
-                }),
-            ),
+            Engine::Rw(RwConfig {
+                seed: cfg.seed,
+                ..RwConfig::default()
+            }),
+            Engine::Rs(RsConfig {
+                seed: cfg.seed,
+                ..RsConfig::default()
+            }),
         ];
         if n <= 3_000 {
-            methods.insert(0, ("DM", Method::Dm));
+            methods.insert(0, Engine::Dm);
         }
-        for (name, method) in methods {
-            let result = min_seeds_to_win(&base, |p| {
-                select_seeds_plain(p, &method)
-                    .expect("selection succeeds")
-                    .seeds
-            });
-            let k_star = result
+        for engine in methods {
+            // Prepare at the search's maximum probe budget (n); probes
+            // query the shared artifacts.
+            let mut prepared = engine.prepare(&base.with_budget(n))?;
+            let result: std::result::Result<_, CoreError> =
+                try_min_seeds_to_win(&base, |p: &Problem<'_>| {
+                    let query = Query::plain(p.k, p.score.clone(), p.target);
+                    prepared.select(&query).map(|r| r.seeds)
+                });
+            let k_star = result?
                 .map(|w| w.k.to_string())
                 .unwrap_or_else(|| "unwinnable".to_string());
-            table.row(vec![ds.name.to_string(), name.to_string(), k_star]);
+            table.row(vec![ds.name.to_string(), engine.name().to_string(), k_star]);
         }
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

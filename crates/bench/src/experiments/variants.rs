@@ -1,9 +1,14 @@
 //! Figures 9–10: comparison among the plurality score variants.
+//!
+//! Prepared lifecycle: all compared rules are competitive, so they share
+//! one sketch set — the RS engine prepares **once per dataset** and every
+//! rule variant is just a different [`Query`].
 
-use crate::{ExpConfig, Table};
+use crate::{ExpConfig, Result, Table};
+use vom_core::engine::SeedSelector;
 use vom_core::rs::RsConfig;
-use vom_core::{select_seeds, Method, Problem};
-use vom_datasets::{yelp_like, ReplicaParams};
+use vom_core::{Engine, Prepared, Problem, Query};
+use vom_datasets::{yelp_like, Dataset, ReplicaParams};
 use vom_graph::Node;
 use vom_voting::rank::position_histogram;
 use vom_voting::ScoringFunction;
@@ -14,21 +19,31 @@ fn overlap(a: &[Node], b: &[Node]) -> f64 {
     common as f64 / a.len().max(1) as f64
 }
 
-fn select(problem: &Problem<'_>, seed: u64) -> Vec<Node> {
-    select_seeds(
-        problem,
-        &Method::Rs(RsConfig {
-            seed,
-            ..RsConfig::default()
-        }),
-    )
-    .expect("selection succeeds")
-    .seeds
+/// One RS engine prepared for the dataset at budget `k`; rule variants
+/// query it.
+fn prepare_rs<'a>(ds: &'a Dataset, k: usize, t: usize, seed: u64) -> Result<Prepared<'a>> {
+    let spec = Problem::new(
+        &ds.instance,
+        ds.default_target,
+        k,
+        t,
+        ScoringFunction::Plurality,
+    )?;
+    let engine = Engine::Rs(RsConfig {
+        seed,
+        ..RsConfig::default()
+    });
+    Ok(engine.prepare(&spec)?)
+}
+
+fn select_rule(prepared: &mut Prepared<'_>, k: usize, rule: ScoringFunction) -> Result<Vec<Node>> {
+    let query = Query::new(k, rule, prepared.target());
+    Ok(prepared.select(&query)?.seeds)
 }
 
 /// Figure 9: seed-set overlap of positional-p-approval (varying `ω[p]`)
 /// against plurality and p-approval, on Yelp.
-pub fn run_overlap(cfg: &ExpConfig) {
+pub fn run_overlap(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: cfg.scale,
         seed: cfg.seed,
@@ -38,6 +53,7 @@ pub fn run_overlap(cfg: &ExpConfig) {
     let r = ds.instance.num_candidates();
     let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
     let t = cfg.default_t();
+    let mut prepared = prepare_rs(&ds, k, t, cfg.seed)?;
     let mut table = Table::new(
         "fig9",
         "seed overlap of positional-p-approval vs plurality and p-approval (paper Figure 9)",
@@ -48,44 +64,20 @@ pub fn run_overlap(cfg: &ExpConfig) {
             "overlap w/ p-approval",
         ],
     );
+    let plurality = select_rule(&mut prepared, k, ScoringFunction::Plurality)?;
     for p in [2usize, 3] {
-        let plurality = {
-            let prob = Problem::new(
-                &ds.instance,
-                ds.default_target,
-                k,
-                t,
-                ScoringFunction::Plurality,
-            )
-            .unwrap();
-            select(&prob, cfg.seed)
-        };
-        let papproval = {
-            let prob = Problem::new(
-                &ds.instance,
-                ds.default_target,
-                k,
-                t,
-                ScoringFunction::PApproval { p },
-            )
-            .unwrap();
-            select(&prob, cfg.seed)
-        };
+        let papproval = select_rule(&mut prepared, k, ScoringFunction::PApproval { p })?;
         for omega_p in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let mut weights = vec![1.0; r];
             weights[p - 1] = omega_p;
             for w in weights.iter_mut().skip(p) {
                 *w = 0.0;
             }
-            let prob = Problem::new(
-                &ds.instance,
-                ds.default_target,
+            let seeds = select_rule(
+                &mut prepared,
                 k,
-                t,
                 ScoringFunction::PositionalPApproval { p, weights },
-            )
-            .unwrap();
-            let seeds = select(&prob, cfg.seed);
+            )?;
             table.row(vec![
                 p.to_string(),
                 format!("{omega_p:.2}"),
@@ -95,11 +87,12 @@ pub fn run_overlap(cfg: &ExpConfig) {
         }
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }
 
 /// Figure 10: number of users ranking the target at each position at the
 /// horizon, before and after seeding, on Yelp.
-pub fn run_positions(cfg: &ExpConfig) {
+pub fn run_positions(cfg: &ExpConfig) -> Result<()> {
     let params = ReplicaParams {
         scale: cfg.scale,
         seed: cfg.seed,
@@ -108,6 +101,7 @@ pub fn run_positions(cfg: &ExpConfig) {
     let ds = yelp_like(&params);
     let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
     let t = cfg.default_t();
+    let mut prepared = prepare_rs(&ds, k, t, cfg.seed)?;
     let mut table = Table::new(
         "fig10",
         "users ranking the target at each position at the horizon (paper Figure 10)",
@@ -131,9 +125,9 @@ pub fn run_positions(cfg: &ExpConfig) {
         ("2-approval", ScoringFunction::PApproval { p: 2 }),
         ("3-approval", ScoringFunction::PApproval { p: 3 }),
     ] {
-        let prob = Problem::new(&ds.instance, ds.default_target, k, t, score).unwrap();
-        let seeds = select(&prob, cfg.seed);
+        let seeds = select_rule(&mut prepared, k, score)?;
         emit(label, &seeds);
     }
     table.emit(&cfg.out_dir);
+    Ok(())
 }

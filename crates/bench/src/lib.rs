@@ -11,11 +11,13 @@
 //! in `k`/`t`, parameter sensitivities — is asserted by the workspace
 //! integration tests in `tests/experiments_shape.rs`.
 
+pub mod error;
 pub mod experiments;
 pub mod methods;
 pub mod table;
 
-pub use methods::{evaluate_baseline, AnyMethod};
+pub use error::{BenchError, Result};
+pub use methods::{evaluate_baseline, harness_engine, AnyMethod, MethodOutcome, PreparedMethod};
 pub use table::Table;
 
 use std::time::{Duration, Instant};

@@ -1,0 +1,64 @@
+//! Build-once guarantees for the prepared experiments: `fig2`, the
+//! `sweep-k` family, and the `theta` calibration must build each RW/RS
+//! estimator artifact exactly once per (method, dataset) — not once per
+//! table cell — asserted against the process-wide build counters.
+//!
+//! All assertions live in one `#[test]` because the counters are global
+//! to the process and the default test runner is multi-threaded.
+
+use vom_bench::experiments::{fig2, sweep_k, theta};
+use vom_bench::ExpConfig;
+use vom_core::BuildCounters;
+use vom_datasets::{twitter_mask_like, ReplicaParams};
+
+fn cfg() -> ExpConfig {
+    ExpConfig {
+        scale: 0.0001,
+        seed: 77,
+        quick: true,
+        out_dir: std::env::temp_dir().join("vom-build-counter-test"),
+    }
+}
+
+#[test]
+fn prepared_experiments_build_artifacts_once_per_method_and_dataset() {
+    let cfg = cfg();
+
+    // fig2: RS on two datasets, three budgets each. One sketch per
+    // dataset — not one per (dataset, k) cell.
+    let before = BuildCounters::snapshot();
+    fig2::run(&cfg).expect("fig2 runs");
+    let delta = BuildCounters::snapshot().since(before);
+    assert_eq!(delta.rs_sketches, 2, "fig2: one sketch set per dataset");
+    assert_eq!(delta.rw_arenas, 0, "fig2 never touches RW");
+
+    // sweep-k (Figure 6, plurality): RW and RS each prepare once per
+    // dataset; the k sweep queries the shared artifacts.
+    let before = BuildCounters::snapshot();
+    sweep_k::run_plurality(&cfg).expect("fig6 runs");
+    let delta = BuildCounters::snapshot().since(before);
+    assert_eq!(delta.rw_arenas, 3, "fig6: one RW arena per dataset");
+    assert_eq!(delta.rs_sketches, 3, "fig6: one sketch set per dataset");
+
+    // theta (Figure 13): the sketch artifact depends on (t, θ) but not on
+    // k, so the k-variants share builds — exactly one per (horizon
+    // group, θ).
+    let params = ReplicaParams {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        mu: 10.0,
+    };
+    let n = twitter_mask_like(&params).instance.num_nodes();
+    let theta_count = theta::theta_sweep(n, cfg.quick).len();
+    let base_k = cfg.default_k().min(n / 10); // clamped as fig13 does
+    let horizon_groups = theta::distinct_horizons(&theta::variants(base_k)).len();
+    let before = BuildCounters::snapshot();
+    theta::run_plurality(&cfg).expect("fig13 runs");
+    let delta = BuildCounters::snapshot().since(before);
+    assert_eq!(
+        delta.rs_sketches,
+        horizon_groups * theta_count,
+        "fig13: one sketch set per (horizon, θ), shared across k-variants"
+    );
+    assert_eq!(delta.rw_arenas, 0, "fig13 never touches RW");
+}

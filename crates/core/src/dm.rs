@@ -5,7 +5,7 @@ use crate::celf::celf_greedy;
 use crate::greedy::score_with_target_row;
 use crate::problem::Problem;
 use rayon::prelude::*;
-use vom_diffusion::DiffusionBuffer;
+use vom_diffusion::{DiffusionBuffer, OpinionMatrix};
 use vom_graph::Node;
 use vom_voting::ScoringFunction;
 
@@ -19,6 +19,17 @@ use vom_voting::ScoringFunction;
 ///
 /// Returns exactly `min(k, n - |fixed|)` seeds, in selection order.
 pub fn dm_greedy(problem: &Problem<'_>) -> Vec<Node> {
+    let others = problem
+        .is_competitive()
+        .then(|| problem.non_target_opinions());
+    dm_greedy_with_others(problem, others.as_ref())
+}
+
+/// [`dm_greedy`] with the exact competitor opinions supplied by the
+/// caller (the prepared engine computes them once and reuses them across
+/// queries). `others` is ignored for the cumulative score and computed on
+/// the fly when `None` for a competitive score.
+pub fn dm_greedy_with_others(problem: &Problem<'_>, others: Option<&OpinionMatrix>) -> Vec<Node> {
     let q = problem.target;
     let cand = problem.instance.candidate(q);
     let engine = cand.engine();
@@ -63,7 +74,14 @@ pub fn dm_greedy(problem: &Problem<'_>) -> Vec<Node> {
             )
         }
         score => {
-            let others = problem.non_target_opinions();
+            let owned;
+            let others = match others {
+                Some(o) => o,
+                None => {
+                    owned = problem.non_target_opinions();
+                    &owned
+                }
+            };
             let mut picked = Vec::with_capacity(problem.k);
             for _ in 0..problem.k {
                 let evals: Vec<(Node, f64, f64)> = (0..n as Node)
@@ -74,7 +92,7 @@ pub fn dm_greedy(problem: &Problem<'_>) -> Vec<Node> {
                         |(buf, trial), v| {
                             trial.push(v);
                             let row = engine.opinions_at_with(t, trial, buf);
-                            let s = score_with_target_row(score, &others, q, row);
+                            let s = score_with_target_row(score, others, q, row);
                             // Secondary tie-break criterion: the discrete
                             // rank scores are flat almost everywhere.
                             let cum: f64 = row.iter().sum();

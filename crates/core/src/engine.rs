@@ -1,0 +1,873 @@
+//! The prepared-engine selection API: build artifacts once, query many.
+//!
+//! The paper's practical pitch for RW/RS is that one expensive
+//! precomputation (the walk arena of Algorithm 4, the sketch set of
+//! Algorithm 5) amortizes over many cheap greedy queries. This module
+//! makes that split explicit:
+//!
+//! 1. [`SeedSelector::prepare`] builds the engine's reusable artifacts
+//!    for one `(instance, target, horizon)` and a seed budget, recording
+//!    build time and heap bytes;
+//! 2. [`Prepared::select`] answers a [`Query`] — any `k` up to the
+//!    prepared budget, any scoring rule, plain or sandwich greedy —
+//!    against the shared artifacts.
+//!
+//! Artifacts are cached per [`RuleClass`]: the walk arena differs between
+//! the cumulative score (uniform λ, Theorem 10) and the competitive
+//! scores (γ*-based per-node λ, Theorems 11–12), so an engine prepared on
+//! one class lazily builds the other's artifacts on first use — still
+//! exactly once each. The one-shot conveniences
+//! [`crate::select_seeds`]/[`crate::select_seeds_plain`] are thin
+//! wrappers over this lifecycle.
+//!
+//! External crates plug their own methods in by implementing
+//! [`SeedSelector`] + [`PreparedBackend`] (the §VIII baselines in
+//! `vom-baselines` do exactly that) and registering a [`MethodId`] in
+//! the registry.
+
+use crate::bounds::favorable_users;
+use crate::dm::{dm_greedy_masked_cumulative, dm_greedy_with_others};
+use crate::problem::Problem;
+use crate::registry::MethodId;
+use crate::rs::{sketch_theta, RsConfig};
+use crate::rw::{competitive_arena, competitive_gammas, uniform_arena, RwConfig};
+use crate::sandwich::{sandwich_select, SandwichInfo};
+use crate::{CoreError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use vom_diffusion::OpinionMatrix;
+use vom_graph::{Candidate, Node};
+use vom_sketch::SketchSet;
+use vom_voting::ScoringFunction;
+use vom_walks::{OpinionEstimator, WalkArena};
+
+/// The three proposed selection engines behind the prepared lifecycle
+/// (§VIII compares them as DM, RW, RS). This is the type the one-shot
+/// [`crate::Method`] alias points at.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// Exact direct matrix–vector greedy.
+    Dm,
+    /// Random-walk estimation (Algorithm 4).
+    Rw(RwConfig),
+    /// Reverse sketching (Algorithm 5) — the recommended method.
+    Rs(RsConfig),
+}
+
+impl Engine {
+    /// Display name matching the paper's legends (from the registry).
+    pub fn name(&self) -> &'static str {
+        self.id().name()
+    }
+
+    /// The registry identity of this engine.
+    pub fn id(&self) -> MethodId {
+        match self {
+            Engine::Dm => MethodId::Dm,
+            Engine::Rw(_) => MethodId::Rw,
+            Engine::Rs(_) => MethodId::Rs,
+        }
+    }
+
+    /// RW with paper-default parameters.
+    pub fn rw_default() -> Self {
+        Engine::Rw(RwConfig::default())
+    }
+
+    /// RS with paper-default parameters.
+    pub fn rs_default() -> Self {
+        Engine::Rs(RsConfig::default())
+    }
+}
+
+/// Coarse partition of the scoring rules by the estimator artifacts they
+/// need: the walk arena / sketch count is chosen per class, not per rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleClass {
+    /// The submodular cumulative score (Theorem 3).
+    Cumulative = 0,
+    /// Plurality and the p-approval variants (Definition 3's bounds).
+    Rank = 1,
+    /// Copeland (pairwise duels; needs the widest estimates).
+    Copeland = 2,
+}
+
+impl RuleClass {
+    /// The class a scoring rule belongs to.
+    pub fn of(score: &ScoringFunction) -> RuleClass {
+        match score {
+            ScoringFunction::Cumulative => RuleClass::Cumulative,
+            ScoringFunction::Copeland => RuleClass::Copeland,
+            _ => RuleClass::Rank,
+        }
+    }
+}
+
+/// How a query runs the greedy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionMode {
+    /// Paper behavior: plain greedy for the submodular cumulative score,
+    /// sandwich approximation (Algorithm 3) for the rank-based scores.
+    #[default]
+    Auto,
+    /// Plain greedy only (Algorithm 1/4/5 without the sandwich wrapper).
+    Plain,
+}
+
+/// One selection request against a prepared engine.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Seed budget; must not exceed the prepared budget.
+    pub k: usize,
+    /// The voting-based objective to optimize.
+    pub rule: ScoringFunction,
+    /// Target candidate; must match the candidate the engine was
+    /// prepared for (the artifacts are target-specific).
+    pub target: Candidate,
+    /// Plain or auto (sandwich where the paper prescribes it).
+    pub mode: SelectionMode,
+}
+
+impl Query {
+    /// An auto-mode query.
+    pub fn new(k: usize, rule: ScoringFunction, target: Candidate) -> Query {
+        Query {
+            k,
+            rule,
+            target,
+            mode: SelectionMode::Auto,
+        }
+    }
+
+    /// A plain-greedy query.
+    pub fn plain(k: usize, rule: ScoringFunction, target: Candidate) -> Query {
+        Query {
+            k,
+            rule,
+            target,
+            mode: SelectionMode::Plain,
+        }
+    }
+}
+
+/// Build-side diagnostics of a prepared engine.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildStats {
+    /// Wall-clock time spent in [`SeedSelector::prepare`] (eager builds
+    /// only; lazily added rule classes are not included).
+    pub build_time: Duration,
+    /// Heap bytes currently held by the artifacts (walk arenas / sketch
+    /// sets); 0 for DM. The Figure 17(b) series.
+    pub heap_bytes: usize,
+    /// Number of estimator artifacts built so far (eager + lazy).
+    pub artifact_builds: usize,
+}
+
+/// Outcome of a seed selection run.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// The selected seeds (size `min(k, n)`), in selection order.
+    pub seeds: Vec<Node>,
+    /// Exact objective value `F(B^{(t)}[S], c_q)` of the returned set.
+    pub exact_score: f64,
+    /// Wall-clock selection time (excludes the final exact evaluation;
+    /// the one-shot wrappers fold artifact build time in, a prepared
+    /// [`Prepared::select`] does not — see [`BuildStats::build_time`]).
+    pub elapsed: Duration,
+    /// Heap bytes held by the estimator (walk arena / sketch set); 0 for
+    /// DM. The Figure 17(b) series.
+    pub estimator_heap_bytes: usize,
+    /// Sandwich diagnostics, present for the non-submodular scores.
+    pub sandwich: Option<SandwichInfo>,
+}
+
+/// A selection method with the build-once/query-many lifecycle.
+///
+/// Implementors: the three core [`Engine`]s here, the six §VIII baselines
+/// in `vom-baselines`. `prepare` does the expensive, reusable work;
+/// everything per-query lives behind [`Prepared::select`].
+pub trait SeedSelector {
+    /// The registry identity of this method.
+    fn id(&self) -> MethodId;
+
+    /// Builds the engine's artifacts for `problem`'s instance, target,
+    /// horizon, and budget (`problem.k`); `problem.score` hints which
+    /// rule class to build eagerly.
+    fn prepare<'a>(&self, problem: &Problem<'a>) -> Result<Prepared<'a>>;
+
+    /// One-shot convenience: prepare for exactly this problem, run one
+    /// auto-mode query, and fold the build time into
+    /// [`SelectionResult::elapsed`].
+    fn select_once(&self, problem: &Problem<'_>) -> Result<SelectionResult> {
+        select_once_with(self, problem, SelectionMode::Auto)
+    }
+}
+
+/// Shared body of the one-shot wrappers (`select_seeds`,
+/// `select_seeds_plain`, [`SeedSelector::select_once`]).
+pub fn select_once_with<S: SeedSelector + ?Sized>(
+    selector: &S,
+    problem: &Problem<'_>,
+    mode: SelectionMode,
+) -> Result<SelectionResult> {
+    let mut prepared = selector.prepare(problem)?;
+    let query = Query {
+        k: problem.k,
+        rule: problem.score.clone(),
+        target: problem.target,
+        mode,
+    };
+    let mut res = prepared.select(&query)?;
+    res.elapsed += prepared.build_stats().build_time;
+    Ok(res)
+}
+
+/// The per-engine greedy primitives a [`Prepared`] drives. Implementors
+/// own the reusable artifacts; the generic sandwich orchestration (mask
+/// construction, feasible-solution arbitration, Algorithm 3) lives in
+/// [`Prepared::select`] and is shared by every engine.
+pub trait PreparedBackend<'a> {
+    /// Heap bytes currently held by the artifacts.
+    fn heap_bytes(&self) -> usize;
+
+    /// Number of estimator artifacts built so far.
+    fn artifact_builds(&self) -> usize {
+        0
+    }
+
+    /// Plain greedy for `problem.k` seeds under `problem.score`
+    /// (Algorithm 1/4/5 without the sandwich wrapper). `others` carries
+    /// the exact competitor opinions whenever the score is competitive
+    /// and [`PreparedBackend::needs_exact_competitors`] is true.
+    fn greedy(
+        &mut self,
+        problem: &Problem<'a>,
+        others: Option<&OpinionMatrix>,
+    ) -> Result<Vec<Node>>;
+
+    /// Greedy maximization of the masked cumulative estimate — the
+    /// engine half of the sandwich bounds (Definition 3). Only called
+    /// when [`PreparedBackend::supports_sandwich`] is true.
+    fn greedy_masked_cumulative(
+        &mut self,
+        problem: &Problem<'a>,
+        mask: &[bool],
+        others: Option<&OpinionMatrix>,
+    ) -> Result<Vec<Node>> {
+        let _ = mask;
+        self.greedy(problem, others)
+    }
+
+    /// Whether auto-mode queries on rank-based scores should run the
+    /// sandwich approximation (the core engines) or take the engine's
+    /// plain selection as-is (the baselines, per §VIII-A).
+    fn supports_sandwich(&self) -> bool {
+        false
+    }
+
+    /// Whether the engine's greedy needs the exact competitor opinions
+    /// for competitive scores. Baselines that rank by pure structure
+    /// (degree, PageRank, …) return false and skip that computation.
+    fn needs_exact_competitors(&self) -> bool {
+        true
+    }
+}
+
+/// A prepared engine: shared artifacts plus cached exact matrices,
+/// answering many [`Query`]s for one `(instance, target, horizon)`.
+pub struct Prepared<'a> {
+    spec: Problem<'a>,
+    id: MethodId,
+    backend: Box<dyn PreparedBackend<'a> + 'a>,
+    build_time: Duration,
+    /// Exact non-target opinions at the horizon (lazily cached; depends
+    /// only on the prepared instance/target/horizon).
+    others: Option<OpinionMatrix>,
+    /// Exact seedless opinions at the horizon (lazily cached).
+    seedless: Option<OpinionMatrix>,
+}
+
+impl<'a> Prepared<'a> {
+    /// Wraps a backend into the prepared lifecycle. `spec.k` becomes the
+    /// prepared budget; `spec.score` records the eagerly built class.
+    pub fn new(
+        spec: Problem<'a>,
+        id: MethodId,
+        backend: Box<dyn PreparedBackend<'a> + 'a>,
+        build_time: Duration,
+    ) -> Prepared<'a> {
+        Prepared {
+            spec,
+            id,
+            backend,
+            build_time,
+            others: None,
+            seedless: None,
+        }
+    }
+
+    /// Like [`Prepared::new`], seeding the competitor-opinion cache with
+    /// a matrix the engine already computed during its build.
+    pub fn with_cached_others(
+        spec: Problem<'a>,
+        id: MethodId,
+        backend: Box<dyn PreparedBackend<'a> + 'a>,
+        build_time: Duration,
+        others: Option<OpinionMatrix>,
+    ) -> Prepared<'a> {
+        Prepared {
+            others,
+            ..Prepared::new(spec, id, backend, build_time)
+        }
+    }
+
+    /// The registry identity of the prepared method.
+    pub fn method_id(&self) -> MethodId {
+        self.id
+    }
+
+    /// The maximum budget queries may request.
+    pub fn budget(&self) -> usize {
+        self.spec.k
+    }
+
+    /// The prepared target candidate.
+    pub fn target(&self) -> Candidate {
+        self.spec.target
+    }
+
+    /// The scoring rule the engine was prepared with (queries may use any
+    /// other rule; its artifacts are then built on first use).
+    pub fn rule(&self) -> &ScoringFunction {
+        &self.spec.score
+    }
+
+    /// Build-side diagnostics.
+    pub fn build_stats(&self) -> BuildStats {
+        BuildStats {
+            build_time: self.build_time,
+            heap_bytes: self.backend.heap_bytes(),
+            artifact_builds: self.backend.artifact_builds(),
+        }
+    }
+
+    /// An auto-mode query for `k` seeds under the prepared rule.
+    pub fn query(&self, k: usize) -> Query {
+        Query::new(k, self.spec.score.clone(), self.spec.target)
+    }
+
+    /// Convenience: auto-mode selection of `k` seeds under the prepared
+    /// rule.
+    pub fn select_k(&mut self, k: usize) -> Result<SelectionResult> {
+        let query = self.query(k);
+        self.select(&query)
+    }
+
+    /// Answers one query against the shared artifacts: plain greedy, or
+    /// the sandwich approximation (Algorithm 3) where auto mode
+    /// prescribes it. Bit-identical to the one-shot path for the same
+    /// budget and seeds (the equivalence suite in
+    /// `tests/prepared_equivalence.rs` asserts this).
+    pub fn select(&mut self, query: &Query) -> Result<SelectionResult> {
+        if query.target != self.spec.target {
+            return Err(CoreError::PreparedTargetMismatch {
+                requested: query.target,
+                prepared: self.spec.target,
+            });
+        }
+        if query.k > self.spec.k {
+            return Err(CoreError::BudgetExceedsPrepared {
+                k: query.k,
+                budget: self.spec.k,
+            });
+        }
+        query.rule.validate(self.spec.instance.num_candidates())?;
+        let problem = Problem {
+            k: query.k,
+            score: query.rule.clone(),
+            ..self.spec.clone()
+        };
+
+        // Fill the exact-matrix caches the query needs before the timed
+        // section mutably borrows the backend.
+        let competitive = problem.is_competitive() && self.backend.needs_exact_competitors();
+        if competitive && self.others.is_none() {
+            self.others = Some(problem.non_target_opinions());
+        }
+        let sandwich = matches!(query.mode, SelectionMode::Auto)
+            && problem.is_competitive()
+            && self.backend.supports_sandwich();
+        if sandwich && self.seedless.is_none() {
+            self.seedless = Some(problem.opinions(&[]));
+        }
+        let others = if competitive {
+            self.others.as_ref()
+        } else {
+            None
+        };
+
+        let start = Instant::now();
+        let (seeds, info) = if !sandwich {
+            (self.backend.greedy(&problem, others)?, None)
+        } else {
+            let seedless = self.seedless.as_ref().expect("cached above");
+            let mask = problem.score.approval_depth().map(|p| {
+                let favorable = favorable_users(seedless, problem.target, p);
+                let mut mask = vec![false; problem.num_nodes()];
+                for v in favorable {
+                    mask[v as usize] = true;
+                }
+                mask
+            });
+            let all_mask = vec![true; problem.num_nodes()];
+            let s_rank = self.backend.greedy(&problem, others)?;
+            let s_cum = self
+                .backend
+                .greedy_masked_cumulative(&problem, &all_mask, others)?;
+            let s_f = better_feasible(&problem, s_rank, s_cum);
+            let s_l = match &mask {
+                Some(m) => Some(self.backend.greedy_masked_cumulative(&problem, m, others)?),
+                None => None,
+            };
+            let (seeds, info) = sandwich_select(&problem, seedless, s_f, s_l);
+            (seeds, Some(info))
+        };
+        let elapsed = start.elapsed();
+        let exact_score = problem.exact_score(&seeds);
+        Ok(SelectionResult {
+            seeds,
+            exact_score,
+            elapsed,
+            estimator_heap_bytes: self.backend.heap_bytes(),
+            sandwich: info,
+        })
+    }
+}
+
+/// Picks the better of two feasible seed sets by exact score. Algorithm 3
+/// admits *any* feasible solution for `S_F`; alongside the rank-objective
+/// greedy we always evaluate the cumulative-objective greedy over the
+/// same estimator artifacts — on noisy estimates the myopic rank greedy
+/// can trail the broad opinion-lifting strategy, and this keeps the
+/// sandwich outcome no worse than a GED-T-style selection.
+fn better_feasible(problem: &Problem<'_>, a: Vec<Node>, b: Vec<Node>) -> Vec<Node> {
+    if problem.exact_score(&a) >= problem.exact_score(&b) {
+        a
+    } else {
+        b
+    }
+}
+
+impl SeedSelector for Engine {
+    fn id(&self) -> MethodId {
+        Engine::id(self)
+    }
+
+    fn prepare<'a>(&self, problem: &Problem<'a>) -> Result<Prepared<'a>> {
+        let start = Instant::now();
+        // The competitive artifacts (γ* pilot, rank/Copeland estimates)
+        // need the exact competitor opinions; compute them once here and
+        // hand the matrix to the Prepared cache so queries reuse it.
+        let others = (problem.is_competitive() && !matches!(self, Engine::Dm))
+            .then(|| problem.non_target_opinions());
+        let backend: Box<dyn PreparedBackend<'a> + 'a> = match self {
+            Engine::Dm => Box::new(DmBackend),
+            Engine::Rw(cfg) => Box::new(RwBackend::prepare(cfg.clone(), problem, others.as_ref())),
+            Engine::Rs(cfg) => Box::new(RsBackend::prepare(cfg.clone(), problem)),
+        };
+        let build_time = start.elapsed();
+        Ok(Prepared::with_cached_others(
+            problem.clone(),
+            self.id(),
+            backend,
+            build_time,
+            others,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Build counters (observability for the build-once guarantees)
+// ---------------------------------------------------------------------
+
+static RW_ARENA_BUILDS: AtomicUsize = AtomicUsize::new(0);
+static RS_SKETCH_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide counters of estimator artifact builds, for asserting the
+/// build-once/query-many property (see `tests/build_counter.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildCounters {
+    /// Walk arenas generated by the RW engine (per rule class).
+    pub rw_arenas: usize,
+    /// Sketch sets generated by the RS engine (per distinct θ).
+    pub rs_sketches: usize,
+}
+
+impl BuildCounters {
+    /// Current counter values.
+    pub fn snapshot() -> BuildCounters {
+        BuildCounters {
+            rw_arenas: RW_ARENA_BUILDS.load(Ordering::Relaxed),
+            rs_sketches: RS_SKETCH_BUILDS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Builds since an earlier snapshot.
+    pub fn since(self, earlier: BuildCounters) -> BuildCounters {
+        BuildCounters {
+            rw_arenas: self.rw_arenas - earlier.rw_arenas,
+            rs_sketches: self.rs_sketches - earlier.rs_sketches,
+        }
+    }
+}
+
+pub(crate) fn count_rw_arena_build() {
+    RW_ARENA_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_rs_sketch_build() {
+    RS_SKETCH_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// DM backend
+// ---------------------------------------------------------------------
+
+/// DM holds no estimator artifacts; its reusable state is the exact
+/// competitor matrix, which the [`Prepared`] cache already carries.
+struct DmBackend;
+
+impl<'a> PreparedBackend<'a> for DmBackend {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+
+    fn greedy(
+        &mut self,
+        problem: &Problem<'a>,
+        others: Option<&OpinionMatrix>,
+    ) -> Result<Vec<Node>> {
+        Ok(dm_greedy_with_others(problem, others))
+    }
+
+    fn greedy_masked_cumulative(
+        &mut self,
+        problem: &Problem<'a>,
+        mask: &[bool],
+        _others: Option<&OpinionMatrix>,
+    ) -> Result<Vec<Node>> {
+        Ok(dm_greedy_masked_cumulative(problem, mask))
+    }
+
+    fn supports_sandwich(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// RW backend
+// ---------------------------------------------------------------------
+
+/// Cached walk arenas, one per rule class (the λ schedule differs), plus
+/// the γ* pilot shared by the two competitive classes.
+struct RwBackend {
+    cfg: RwConfig,
+    /// The prepared budget: the γ* pilot depth derives from it (pin
+    /// `RwConfig::gamma_pilot` to decouple artifacts from the budget).
+    budget: usize,
+    gammas: Option<Vec<f64>>,
+    arenas: [Option<WalkArena>; 3],
+    builds: usize,
+}
+
+impl RwBackend {
+    fn prepare(cfg: RwConfig, problem: &Problem<'_>, others: Option<&OpinionMatrix>) -> RwBackend {
+        let mut backend = RwBackend {
+            cfg,
+            budget: problem.k,
+            gammas: None,
+            arenas: [None, None, None],
+            builds: 0,
+        };
+        backend.ensure_arena(problem, others);
+        backend
+    }
+
+    fn ensure_arena(&mut self, problem: &Problem<'_>, others: Option<&OpinionMatrix>) {
+        let class = RuleClass::of(&problem.score);
+        if self.arenas[class as usize].is_some() {
+            return;
+        }
+        let arena = match class {
+            RuleClass::Cumulative => uniform_arena(problem, &self.cfg),
+            RuleClass::Rank | RuleClass::Copeland => {
+                let others = others.expect("competitive arena needs exact competitor opinions");
+                let budget = self.budget;
+                let cfg = &self.cfg;
+                let gammas = self
+                    .gammas
+                    .get_or_insert_with(|| competitive_gammas(problem, cfg, budget, others));
+                competitive_arena(
+                    problem,
+                    &self.cfg,
+                    gammas,
+                    matches!(class, RuleClass::Copeland),
+                )
+            }
+        };
+        self.builds += 1;
+        self.arenas[class as usize] = Some(arena);
+    }
+
+    fn estimator<'s>(&'s self, problem: &Problem<'_>, class: RuleClass) -> OpinionEstimator<'s> {
+        let arena = self.arenas[class as usize]
+            .as_ref()
+            .expect("arena built by ensure_arena");
+        let cand = problem.instance.candidate(problem.target);
+        let mut est = OpinionEstimator::new(arena, &cand.initial);
+        for &s in &cand.fixed_seeds {
+            est.add_seed(s);
+        }
+        est
+    }
+}
+
+impl<'a> PreparedBackend<'a> for RwBackend {
+    fn heap_bytes(&self) -> usize {
+        self.arenas.iter().flatten().map(|a| a.heap_bytes()).sum()
+    }
+
+    fn artifact_builds(&self) -> usize {
+        self.builds
+    }
+
+    fn greedy(
+        &mut self,
+        problem: &Problem<'a>,
+        others: Option<&OpinionMatrix>,
+    ) -> Result<Vec<Node>> {
+        self.ensure_arena(problem, others);
+        let mut est = self.estimator(problem, RuleClass::of(&problem.score));
+        Ok(crate::greedy::greedy_on_estimate(
+            &mut est,
+            problem.k,
+            &problem.score,
+            others,
+            problem.target,
+        ))
+    }
+
+    fn greedy_masked_cumulative(
+        &mut self,
+        problem: &Problem<'a>,
+        mask: &[bool],
+        others: Option<&OpinionMatrix>,
+    ) -> Result<Vec<Node>> {
+        // The masked cumulative greedy shares the *query rule's* arena
+        // (§IV-D builds the artifacts once per selection).
+        self.ensure_arena(problem, others);
+        let mut est = self.estimator(problem, RuleClass::of(&problem.score));
+        Ok(crate::greedy::greedy_masked_cumulative(
+            &mut est, problem.k, mask,
+        ))
+    }
+
+    fn supports_sandwich(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// RS backend
+// ---------------------------------------------------------------------
+
+/// Cached sketch sets, keyed by the sketch count θ (rule classes whose θ
+/// coincide — always the case under `theta_override` — share one sketch).
+struct RsBackend {
+    cfg: RsConfig,
+    budget: usize,
+    /// θ per rule class, memoized (the Theorem 13 bound for cumulative
+    /// runs a sampling-based OPT lower bound; worth caching by itself).
+    thetas: [Option<usize>; 3],
+    sketches: Vec<(usize, SketchSet)>,
+    builds: usize,
+}
+
+impl RsBackend {
+    fn prepare(cfg: RsConfig, problem: &Problem<'_>) -> RsBackend {
+        let mut backend = RsBackend {
+            cfg,
+            budget: problem.k,
+            thetas: [None, None, None],
+            sketches: Vec::new(),
+            builds: 0,
+        };
+        backend.ensure_sketch(problem);
+        backend
+    }
+
+    fn theta_for(&mut self, problem: &Problem<'_>) -> usize {
+        let class = RuleClass::of(&problem.score);
+        if let Some(theta) = self.thetas[class as usize] {
+            return theta;
+        }
+        let theta = crate::rs::choose_theta(&problem.with_budget(self.budget), &self.cfg);
+        self.thetas[class as usize] = Some(theta);
+        theta
+    }
+
+    fn ensure_sketch(&mut self, problem: &Problem<'_>) -> usize {
+        let theta = self.theta_for(problem);
+        if !self.sketches.iter().any(|(t, _)| *t == theta) {
+            let sketch = sketch_theta(problem, &self.cfg, theta);
+            self.builds += 1;
+            self.sketches.push((theta, sketch));
+        }
+        theta
+    }
+
+    fn sketch(&self, theta: usize) -> &SketchSet {
+        &self
+            .sketches
+            .iter()
+            .find(|(t, _)| *t == theta)
+            .expect("sketch built by ensure_sketch")
+            .1
+    }
+}
+
+impl<'a> PreparedBackend<'a> for RsBackend {
+    fn heap_bytes(&self) -> usize {
+        self.sketches.iter().map(|(_, s)| s.heap_bytes()).sum()
+    }
+
+    fn artifact_builds(&self) -> usize {
+        self.builds
+    }
+
+    fn greedy(
+        &mut self,
+        problem: &Problem<'a>,
+        others: Option<&OpinionMatrix>,
+    ) -> Result<Vec<Node>> {
+        let theta = self.ensure_sketch(problem);
+        let cand = problem.instance.candidate(problem.target);
+        let mut sketch = self.sketch(theta).clone();
+        for &s in &cand.fixed_seeds {
+            sketch.add_seed(s);
+        }
+        Ok(crate::greedy::greedy_on_estimate(
+            &mut sketch,
+            problem.k,
+            &problem.score,
+            others,
+            problem.target,
+        ))
+    }
+
+    fn greedy_masked_cumulative(
+        &mut self,
+        problem: &Problem<'a>,
+        mask: &[bool],
+        _others: Option<&OpinionMatrix>,
+    ) -> Result<Vec<Node>> {
+        let theta = self.ensure_sketch(problem);
+        let cand = problem.instance.candidate(problem.target);
+        let mut sketch = self.sketch(theta).clone();
+        for &s in &cand.fixed_seeds {
+            sketch.add_seed(s);
+        }
+        Ok(crate::greedy::greedy_masked_cumulative(
+            &mut sketch,
+            problem.k,
+            mask,
+        ))
+    }
+
+    fn supports_sandwich(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vom_diffusion::Instance;
+    use vom_graph::builder::graph_from_edges;
+
+    fn instance() -> Instance {
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.90],
+            vec![0.35, 0.75, 1.00, 0.80],
+        ])
+        .unwrap();
+        Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn prepare_once_serves_every_budget_and_rule() {
+        let inst = instance();
+        let spec = Problem::new(&inst, 0, 2, 1, ScoringFunction::Cumulative).unwrap();
+        let mut prepared = Engine::rs_default().prepare(&spec).unwrap();
+        // Budget 1, cumulative: node 0 (Table I).
+        let r1 = prepared.select_k(1).unwrap();
+        assert_eq!(r1.seeds, vec![0]);
+        // Same prepared engine, plurality rule: node 2 wins.
+        let q = Query::new(1, ScoringFunction::Plurality, 0);
+        let r2 = prepared.select(&q).unwrap();
+        assert_eq!(r2.exact_score, 4.0);
+        assert!(r2.sandwich.is_some());
+        // Budget 2 still within the prepared budget.
+        assert_eq!(prepared.select_k(2).unwrap().seeds.len(), 2);
+    }
+
+    #[test]
+    fn select_rejects_over_budget_and_wrong_target() {
+        let inst = instance();
+        let spec = Problem::new(&inst, 0, 1, 1, ScoringFunction::Cumulative).unwrap();
+        let mut prepared = Engine::Dm.prepare(&spec).unwrap();
+        assert!(matches!(
+            prepared.select_k(2),
+            Err(CoreError::BudgetExceedsPrepared { k: 2, budget: 1 })
+        ));
+        let q = Query::new(1, ScoringFunction::Cumulative, 1);
+        assert!(matches!(
+            prepared.select(&q),
+            Err(CoreError::PreparedTargetMismatch {
+                requested: 1,
+                prepared: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn build_stats_track_artifacts() {
+        let inst = instance();
+        let spec = Problem::new(&inst, 0, 1, 1, ScoringFunction::Cumulative).unwrap();
+        let mut prepared = Engine::rw_default().prepare(&spec).unwrap();
+        let stats = prepared.build_stats();
+        assert_eq!(stats.artifact_builds, 1);
+        assert!(stats.heap_bytes > 0);
+        // Re-querying the prepared class builds nothing new.
+        prepared.select_k(1).unwrap();
+        prepared.select_k(1).unwrap();
+        assert_eq!(prepared.build_stats().artifact_builds, 1);
+        // A competitive query lazily adds that class's arena, once.
+        let q = Query::new(1, ScoringFunction::Plurality, 0);
+        prepared.select(&q).unwrap();
+        prepared.select(&q).unwrap();
+        assert_eq!(prepared.build_stats().artifact_builds, 2);
+    }
+
+    #[test]
+    fn dm_holds_no_estimator_memory() {
+        let inst = instance();
+        let spec = Problem::new(&inst, 0, 1, 1, ScoringFunction::Plurality).unwrap();
+        let mut prepared = Engine::Dm.prepare(&spec).unwrap();
+        let res = prepared.select_k(1).unwrap();
+        assert_eq!(res.estimator_heap_bytes, 0);
+        assert_eq!(res.exact_score, 4.0);
+    }
+}

@@ -25,6 +25,22 @@ pub enum CoreError {
     Diffusion(String),
     /// A parameter was outside its valid range.
     InvalidParameter(String),
+    /// A prepared-engine query asked for more seeds than the engine was
+    /// prepared for.
+    BudgetExceedsPrepared {
+        /// Requested budget.
+        k: usize,
+        /// The prepared budget.
+        budget: usize,
+    },
+    /// A prepared-engine query targeted a different candidate than the
+    /// one the artifacts were built for.
+    PreparedTargetMismatch {
+        /// Requested target.
+        requested: usize,
+        /// The prepared target.
+        prepared: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +58,18 @@ impl fmt::Display for CoreError {
             CoreError::Score(msg) => write!(f, "score error: {msg}"),
             CoreError::Diffusion(msg) => write!(f, "diffusion error: {msg}"),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::BudgetExceedsPrepared { k, budget } => {
+                write!(f, "query budget {k} exceeds the prepared budget {budget}")
+            }
+            CoreError::PreparedTargetMismatch {
+                requested,
+                prepared,
+            } => {
+                write!(
+                    f,
+                    "query target {requested} differs from the prepared target {prepared}"
+                )
+            }
         }
     }
 }

@@ -22,16 +22,28 @@
 //! [`win::min_seeds_to_win`] implements Problem 2 (FJ-Vote-Win) by binary
 //! search over the budget (Algorithm 2).
 //!
-//! Entry point: [`selector::select_seeds`] with a [`selector::Method`].
+//! Entry points:
+//!
+//! * build-once/query-many: [`engine::SeedSelector::prepare`] on an
+//!   [`engine::Engine`], then [`engine::Prepared::select`] with an
+//!   [`engine::Query`] — the API for sweeps, rule comparisons, and
+//!   serving;
+//! * one-shot: [`selector::select_seeds`] with a [`selector::Method`]
+//!   (a thin wrapper over the above).
+//!
+//! The [`registry`] is the single source of method identities and legend
+//! names across the workspace (ours *and* the §VIII baselines).
 
 pub mod bounds;
 pub mod celf;
 pub mod dm;
 pub mod dm_ext;
+pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod greedy;
 pub mod problem;
+pub mod registry;
 pub mod rs;
 pub mod rw;
 pub mod sandwich;
@@ -40,9 +52,14 @@ pub mod win;
 pub mod win_ext;
 
 pub use dm_ext::{evaluate_rule, generic_greedy};
+pub use engine::{
+    BuildCounters, BuildStats, Engine, Prepared, PreparedBackend, Query, RuleClass, SeedSelector,
+    SelectionMode, SelectionResult,
+};
 pub use error::CoreError;
 pub use problem::Problem;
-pub use selector::{select_seeds, select_seeds_plain, Method, SelectionResult};
+pub use registry::{MethodDescriptor, MethodId, METHOD_REGISTRY};
+pub use selector::{select_seeds, select_seeds_plain, Method};
 pub use win_ext::{min_seeds_to_win_rule, wins_rule};
 
 /// Crate-wide result type.

@@ -76,10 +76,11 @@ pub fn choose_theta(problem: &Problem<'_>, cfg: &RsConfig) -> usize {
     }
 }
 
-/// Builds the sketch set for `problem`.
-pub fn build_rs(problem: &Problem<'_>, cfg: &RsConfig) -> SketchSet {
+/// Generates a sketch set with an explicit θ. Shared by the one-shot
+/// path and the prepared backend (which caches sketches per θ).
+pub(crate) fn sketch_theta(problem: &Problem<'_>, cfg: &RsConfig, theta: usize) -> SketchSet {
     let cand = problem.instance.candidate(problem.target);
-    let theta = choose_theta(problem, cfg);
+    crate::engine::count_rs_sketch_build();
     SketchSet::generate(
         &cand.graph,
         &cand.stubbornness,
@@ -88,6 +89,11 @@ pub fn build_rs(problem: &Problem<'_>, cfg: &RsConfig) -> SketchSet {
         theta,
         cfg.seed,
     )
+}
+
+/// Builds the sketch set for `problem`.
+pub fn build_rs(problem: &Problem<'_>, cfg: &RsConfig) -> SketchSet {
+    sketch_theta(problem, cfg, choose_theta(problem, cfg))
 }
 
 /// Full RS selection: build sketches, apply pre-committed seeds, run the

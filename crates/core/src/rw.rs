@@ -21,6 +21,12 @@ pub struct RwConfig {
     pub max_lambda: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Pilot budget for the γ* estimation (§V-C). `None` derives it from
+    /// the selection budget as `min(k, 32)` — γ* stabilizes quickly, so
+    /// the pilot is capped. Pin an explicit value to make the walk arena
+    /// independent of the prepared budget (the artifact-reuse equivalence
+    /// suite relies on this).
+    pub gamma_pilot: Option<usize>,
 }
 
 impl Default for RwConfig {
@@ -31,6 +37,7 @@ impl Default for RwConfig {
             gamma_floor: 0.05,
             max_lambda: 2_000,
             seed: 0x5EED_5EED,
+            gamma_pilot: None,
         }
     }
 }
@@ -45,44 +52,78 @@ pub struct RwArtifacts {
     pub others: Option<OpinionMatrix>,
 }
 
+/// Generates the Theorem 10 uniform-λ arena (the cumulative-score
+/// artifact). Shared by the one-shot path and the prepared backend.
+pub(crate) fn uniform_arena(problem: &Problem<'_>, cfg: &RwConfig) -> WalkArena {
+    let cand = problem.instance.candidate(problem.target);
+    let gen = WalkGenerator::new(&cand.graph, &cand.stubbornness, problem.horizon);
+    let lambda = Lambda::Uniform(lambda_cumulative(cfg.delta, cfg.rho));
+    crate::engine::count_rw_arena_build();
+    gen.generate_per_node(&lambda, cfg.seed)
+}
+
+/// Runs the γ* pilot (§V-C) for the competitive scores. `budget` is the
+/// selection budget the pilot depth derives from (overridden by
+/// [`RwConfig::gamma_pilot`]); `others` are the exact competitor opinions
+/// at the horizon.
+pub(crate) fn competitive_gammas(
+    problem: &Problem<'_>,
+    cfg: &RwConfig,
+    budget: usize,
+    others: &OpinionMatrix,
+) -> Vec<f64> {
+    let cand = problem.instance.candidate(problem.target);
+    let rows: Vec<&[f64]> = (0..others.num_candidates())
+        .filter(|&x| x != problem.target)
+        .map(|x| others.row(x))
+        .collect();
+    let gcfg = GammaConfig {
+        alpha: lambda_cumulative(cfg.delta, cfg.rho),
+        // γ* stabilizes quickly; cap the pilot.
+        k: cfg.gamma_pilot.unwrap_or_else(|| budget.min(32)),
+        floor: cfg.gamma_floor,
+        seed: cfg.seed ^ 0xA5A5,
+    };
+    estimate_gamma_star(
+        &cand.graph,
+        &cand.stubbornness,
+        &cand.initial,
+        &rows,
+        problem.horizon,
+        &gcfg,
+    )
+}
+
+/// Generates the γ*-based per-node-λ arena (Theorems 11–12 + Eq. 33) for
+/// a competitive rule class.
+pub(crate) fn competitive_arena(
+    problem: &Problem<'_>,
+    cfg: &RwConfig,
+    gammas: &[f64],
+    copeland: bool,
+) -> WalkArena {
+    let cand = problem.instance.candidate(problem.target);
+    let gen = WalkGenerator::new(&cand.graph, &cand.stubbornness, problem.horizon);
+    let lambda = lambda_from_gammas(gammas, cfg.rho, copeland, cfg.max_lambda);
+    crate::engine::count_rw_arena_build();
+    gen.generate_per_node(&lambda, cfg.seed)
+}
+
 /// Generates the walk arena for `problem`: Theorem 10's uniform λ for the
 /// cumulative score; the γ*-based per-node λ (Theorems 11–12 + Eq. 33)
 /// for the competitive scores.
 pub fn build_rw(problem: &Problem<'_>, cfg: &RwConfig) -> RwArtifacts {
-    let cand = problem.instance.candidate(problem.target);
-    let gen = WalkGenerator::new(&cand.graph, &cand.stubbornness, problem.horizon);
     match &problem.score {
-        ScoringFunction::Cumulative => {
-            let lambda = Lambda::Uniform(lambda_cumulative(cfg.delta, cfg.rho));
-            RwArtifacts {
-                arena: gen.generate_per_node(&lambda, cfg.seed),
-                others: None,
-            }
-        }
+        ScoringFunction::Cumulative => RwArtifacts {
+            arena: uniform_arena(problem, cfg),
+            others: None,
+        },
         score => {
             let others = problem.non_target_opinions();
-            let rows: Vec<&[f64]> = (0..others.num_candidates())
-                .filter(|&x| x != problem.target)
-                .map(|x| others.row(x))
-                .collect();
-            let gcfg = GammaConfig {
-                alpha: lambda_cumulative(cfg.delta, cfg.rho),
-                k: problem.k.min(32), // γ* stabilizes quickly; cap the pilot
-                floor: cfg.gamma_floor,
-                seed: cfg.seed ^ 0xA5A5,
-            };
-            let gammas = estimate_gamma_star(
-                &cand.graph,
-                &cand.stubbornness,
-                &cand.initial,
-                &rows,
-                problem.horizon,
-                &gcfg,
-            );
+            let gammas = competitive_gammas(problem, cfg, problem.k, &others);
             let copeland = matches!(score, ScoringFunction::Copeland);
-            let lambda = lambda_from_gammas(&gammas, cfg.rho, copeland, cfg.max_lambda);
             RwArtifacts {
-                arena: gen.generate_per_node(&lambda, cfg.seed),
+                arena: competitive_arena(problem, cfg, &gammas, copeland),
                 others: Some(others),
             }
         }

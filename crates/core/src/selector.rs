@@ -1,232 +1,45 @@
-//! Unified front door: pick a method, get seeds + diagnostics.
+//! One-shot front door: pick a method, get seeds + diagnostics.
+//!
+//! These are source-compatible conveniences over the prepared-engine
+//! lifecycle of [`crate::engine`]: each call prepares the engine for
+//! exactly the given problem, runs a single query, and folds the artifact
+//! build time into [`SelectionResult::elapsed`]. Callers that select more
+//! than once per `(instance, target, horizon)` — sweeping `k`, comparing
+//! rules, binary-searching a winning budget — should prepare once via
+//! [`SeedSelector::prepare`] and query the returned
+//! [`Prepared`][crate::engine::Prepared] instead.
 
-use crate::bounds::favorable_users;
-use crate::dm::{dm_greedy, dm_greedy_masked_cumulative};
-use crate::greedy::{greedy_masked_cumulative, greedy_on_estimate};
+use crate::engine::{select_once_with, SeedSelector, SelectionMode};
 use crate::problem::Problem;
-use crate::rs::{build_rs, RsConfig};
-use crate::rw::{build_rw, RwConfig};
-use crate::sandwich::{sandwich_select, SandwichInfo};
 use crate::Result;
-use std::time::{Duration, Instant};
-use vom_graph::Node;
-use vom_voting::ScoringFunction;
-use vom_walks::OpinionEstimator;
 
-/// The three proposed selection engines (§VIII compares them as DM, RW,
-/// RS).
-#[derive(Debug, Clone)]
-pub enum Method {
-    /// Exact direct matrix–vector greedy.
-    Dm,
-    /// Random-walk estimation (Algorithm 4).
-    Rw(RwConfig),
-    /// Reverse sketching (Algorithm 5) — the recommended method.
-    Rs(RsConfig),
-}
+pub use crate::engine::{Engine, SelectionResult};
 
-impl Method {
-    /// Display name matching the paper's legends.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Method::Dm => "DM",
-            Method::Rw(_) => "RW",
-            Method::Rs(_) => "RS",
-        }
-    }
-
-    /// RW with paper-default parameters.
-    pub fn rw_default() -> Self {
-        Method::Rw(RwConfig::default())
-    }
-
-    /// RS with paper-default parameters.
-    pub fn rs_default() -> Self {
-        Method::Rs(RsConfig::default())
-    }
-}
-
-/// Outcome of a seed selection run.
-#[derive(Debug, Clone)]
-pub struct SelectionResult {
-    /// The selected seeds (size `min(k, n)`), in selection order.
-    pub seeds: Vec<Node>,
-    /// Exact objective value `F(B^{(t)}[S], c_q)` of the returned set.
-    pub exact_score: f64,
-    /// Wall-clock selection time (excludes the final exact evaluation).
-    pub elapsed: Duration,
-    /// Heap bytes held by the estimator (walk arena / sketch set); 0 for
-    /// DM. The Figure 17(b) series.
-    pub estimator_heap_bytes: usize,
-    /// Sandwich diagnostics, present for the non-submodular scores.
-    pub sandwich: Option<SandwichInfo>,
-}
+/// The historical name of [`Engine`]: the three proposed selection
+/// engines (§VIII compares them as DM, RW, RS).
+pub use crate::engine::Engine as Method;
 
 /// Runs the method's plain greedy (Algorithm 1/4/5 without the sandwich
 /// wrapper). Exposed for the ablation benches.
 pub fn select_seeds_plain(problem: &Problem<'_>, method: &Method) -> Result<SelectionResult> {
-    let start = Instant::now();
-    let (seeds, bytes) = plain_greedy(problem, method);
-    let elapsed = start.elapsed();
-    let exact_score = problem.exact_score(&seeds);
-    Ok(SelectionResult {
-        seeds,
-        exact_score,
-        elapsed,
-        estimator_heap_bytes: bytes,
-        sandwich: None,
-    })
+    select_once_with(method, problem, SelectionMode::Plain)
 }
 
 /// Full seed selection as the paper runs it: plain greedy for the
 /// submodular cumulative score; sandwich approximation (Algorithm 3) for
 /// the plurality variants and Copeland.
 pub fn select_seeds(problem: &Problem<'_>, method: &Method) -> Result<SelectionResult> {
-    if matches!(problem.score, ScoringFunction::Cumulative) {
-        return select_seeds_plain(problem, method);
-    }
-    let start = Instant::now();
-    let (s_f, s_l, bytes) = sandwich_inputs(problem, method);
-    let seedless = problem.opinions(&[]);
-    let (seeds, info) = sandwich_select(problem, &seedless, s_f, s_l);
-    let elapsed = start.elapsed();
-    let exact_score = problem.exact_score(&seeds);
-    Ok(SelectionResult {
-        seeds,
-        exact_score,
-        elapsed,
-        estimator_heap_bytes: bytes,
-        sandwich: Some(info),
-    })
-}
-
-/// Picks the better of two feasible seed sets by exact score. Algorithm 3
-/// admits *any* feasible solution for `S_F`; alongside the rank-objective
-/// greedy we always evaluate the cumulative-objective greedy over the
-/// same estimator artifacts — on noisy estimates the myopic rank greedy
-/// can trail the broad opinion-lifting strategy, and this keeps the
-/// sandwich outcome no worse than a GED-T-style selection.
-fn better_feasible(problem: &Problem<'_>, a: Vec<Node>, b: Vec<Node>) -> Vec<Node> {
-    if problem.exact_score(&a) >= problem.exact_score(&b) {
-        a
-    } else {
-        b
-    }
-}
-
-/// `(S_F, S_L, estimator bytes)` for the sandwich wrapper. `S_L` is only
-/// produced for the plurality variants (Definition 3); the estimator
-/// artifacts (walk arena / sketch set) are built once and shared between
-/// the greedy runs, as §IV-D prescribes for efficiency.
-fn sandwich_inputs(
-    problem: &Problem<'_>,
-    method: &Method,
-) -> (Vec<Node>, Option<Vec<Node>>, usize) {
-    let wants_lb = problem.score.approval_depth().is_some();
-    let mask = wants_lb.then(|| {
-        let seedless = problem.opinions(&[]);
-        let p = problem.score.approval_depth().expect("plurality variant");
-        let favorable = favorable_users(&seedless, problem.target, p);
-        let mut mask = vec![false; problem.num_nodes()];
-        for v in favorable {
-            mask[v as usize] = true;
-        }
-        mask
-    });
-
-    let all_mask = vec![true; problem.num_nodes()];
-    match method {
-        Method::Dm => {
-            let s_rank = dm_greedy(problem);
-            let s_cum = dm_greedy_masked_cumulative(problem, &all_mask);
-            let s_f = better_feasible(problem, s_rank, s_cum);
-            let s_l = mask
-                .as_ref()
-                .map(|m| dm_greedy_masked_cumulative(problem, m));
-            (s_f, s_l, 0)
-        }
-        Method::Rw(cfg) => {
-            let artifacts = build_rw(problem, cfg);
-            let cand = problem.instance.candidate(problem.target);
-            let bytes = artifacts.arena.heap_bytes();
-            let mut est = OpinionEstimator::new(&artifacts.arena, &cand.initial);
-            for &s in &cand.fixed_seeds {
-                est.add_seed(s);
-            }
-            let s_rank = greedy_on_estimate(
-                &mut est,
-                problem.k,
-                &problem.score,
-                artifacts.others.as_ref(),
-                problem.target,
-            );
-            let s_cum = {
-                let mut est_c = OpinionEstimator::new(&artifacts.arena, &cand.initial);
-                for &s in &cand.fixed_seeds {
-                    est_c.add_seed(s);
-                }
-                greedy_masked_cumulative(&mut est_c, problem.k, &all_mask)
-            };
-            let s_f = better_feasible(problem, s_rank, s_cum);
-            let s_l = mask.as_ref().map(|m| {
-                let mut est_l = OpinionEstimator::new(&artifacts.arena, &cand.initial);
-                for &s in &cand.fixed_seeds {
-                    est_l.add_seed(s);
-                }
-                greedy_masked_cumulative(&mut est_l, problem.k, m)
-            });
-            (s_f, s_l, bytes)
-        }
-        Method::Rs(cfg) => {
-            let sketch = build_rs(problem, cfg);
-            let bytes = sketch.heap_bytes();
-            let cand = problem.instance.candidate(problem.target);
-            let others = problem.non_target_opinions();
-            let mut sketch_f = sketch.clone();
-            for &s in &cand.fixed_seeds {
-                sketch_f.add_seed(s);
-            }
-            let s_rank = greedy_on_estimate(
-                &mut sketch_f,
-                problem.k,
-                &problem.score,
-                Some(&others),
-                problem.target,
-            );
-            let s_cum = {
-                let mut sketch_c = sketch.clone();
-                for &s in &cand.fixed_seeds {
-                    sketch_c.add_seed(s);
-                }
-                greedy_masked_cumulative(&mut sketch_c, problem.k, &all_mask)
-            };
-            let s_f = better_feasible(problem, s_rank, s_cum);
-            let s_l = mask.as_ref().map(|m| {
-                let mut sketch_l = sketch;
-                for &s in &cand.fixed_seeds {
-                    sketch_l.add_seed(s);
-                }
-                greedy_masked_cumulative(&mut sketch_l, problem.k, m)
-            });
-            (s_f, s_l, bytes)
-        }
-    }
-}
-
-fn plain_greedy(problem: &Problem<'_>, method: &Method) -> (Vec<Node>, usize) {
-    match method {
-        Method::Dm => (dm_greedy(problem), 0),
-        Method::Rw(cfg) => crate::rw::rw_select(problem, cfg),
-        Method::Rs(cfg) => crate::rs::rs_select(problem, cfg),
-    }
+    method.select_once(problem)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rs::RsConfig;
     use std::sync::Arc;
     use vom_diffusion::{Instance, OpinionMatrix};
     use vom_graph::builder::graph_from_edges;
+    use vom_voting::ScoringFunction;
 
     fn instance() -> Instance {
         let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
@@ -294,5 +107,12 @@ mod tests {
         assert_eq!(dm.estimator_heap_bytes, 0);
         let rw = select_seeds(&p, &Method::rw_default()).unwrap();
         assert!(rw.estimator_heap_bytes > 0);
+    }
+
+    #[test]
+    fn method_names_come_from_the_registry() {
+        assert_eq!(Method::Dm.name(), "DM");
+        assert_eq!(Method::rw_default().name(), "RW");
+        assert_eq!(Method::rs_default().name(), "RS");
     }
 }

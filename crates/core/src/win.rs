@@ -36,11 +36,30 @@ pub fn min_seeds_to_win<F>(problem: &Problem<'_>, mut select: F) -> Option<WinRe
 where
     F: FnMut(&Problem<'_>) -> Vec<Node>,
 {
+    let result: Result<_, std::convert::Infallible> =
+        try_min_seeds_to_win(problem, |p| Ok(select(p)));
+    match result {
+        Ok(r) => r,
+        Err(e) => match e {},
+    }
+}
+
+/// [`min_seeds_to_win`] with a fallible selector: any selection error
+/// aborts the search and propagates. This is the variant the prepared
+/// engines plug into (`Prepared::select` returns `Result`), so harnesses
+/// need no `expect` inside the budget search.
+pub fn try_min_seeds_to_win<F, E>(
+    problem: &Problem<'_>,
+    mut select: F,
+) -> Result<Option<WinResult>, E>
+where
+    F: FnMut(&Problem<'_>) -> Result<Vec<Node>, E>,
+{
     if wins(problem, &[]) {
-        return Some(WinResult {
+        return Ok(Some(WinResult {
             k: 0,
             seeds: Vec::new(),
-        });
+        }));
     }
     let n = problem.num_nodes();
     // Exponential phase: find a winning upper bound.
@@ -48,13 +67,13 @@ where
     let mut k = 1usize;
     let mut best = loop {
         let k_probe = k.min(n);
-        let seeds = select(&problem.with_budget(k_probe));
+        let seeds = select(&problem.with_budget(k_probe))?;
         if wins(problem, &seeds) {
             break WinResult { k: k_probe, seeds };
         }
         lo = k_probe;
         if k_probe == n {
-            return None;
+            return Ok(None);
         }
         k *= 2;
     };
@@ -62,7 +81,7 @@ where
     let mut hi = best.k;
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
-        let seeds = select(&problem.with_budget(mid));
+        let seeds = select(&problem.with_budget(mid))?;
         if wins(problem, &seeds) {
             hi = mid;
             best = WinResult { k: mid, seeds };
@@ -70,7 +89,7 @@ where
             lo = mid;
         }
     }
-    Some(best)
+    Ok(Some(best))
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use vom_diffusion::OpinionMatrix;
 use vom_graph::{Candidate, Node, SocialGraph};
 use vom_voting::rank::beta_with_target;
@@ -18,9 +19,12 @@ use vom_walks::{Truncation, WalkArena, WalkGenerator};
 /// samples contributes through its start's pooled estimate. Pooling is
 /// what makes the rank-based estimates (Eqs. 42/47) consistent — a
 /// single-walk estimate of a rank indicator is biased.
+/// Cloning shares the immutable walk arena (`Arc`) and copies only the
+/// `O(θ + n)` truncation/pooling state, so prepared engines can hand out
+/// a fresh sketch per query cheaply.
 #[derive(Debug, Clone)]
 pub struct SketchSet {
-    arena: WalkArena,
+    arena: Arc<WalkArena>,
     trunc: Truncation,
     b0: Vec<f64>,
     n: usize,
@@ -56,7 +60,7 @@ impl SketchSet {
             start_count[v] += 1;
         }
         SketchSet {
-            arena,
+            arena: Arc::new(arena),
             trunc,
             b0: b0_target.to_vec(),
             n,

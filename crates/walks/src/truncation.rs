@@ -1,6 +1,7 @@
 //! Post-generation truncation (Theorem 9).
 
 use crate::arena::WalkArena;
+use std::sync::Arc;
 use vom_graph::Node;
 
 /// Incremental truncation state over a [`WalkArena`].
@@ -15,14 +16,25 @@ use vom_graph::Node;
 /// state keeps, per walk, the current end position, plus an index from
 /// node to its first occurrence in every walk. Ends only move leftwards;
 /// each `add_seed` costs `O(#occurrences of the seed)`.
+///
+/// The occurrence index is immutable after construction and shared
+/// behind an `Arc`, so cloning a `Truncation` (the prepared engines
+/// clone per query) copies only the `O(θ + n)` mutable state, not the
+/// `O(total walk length)` index.
 #[derive(Debug, Clone)]
 pub struct Truncation {
     end_pos: Vec<u32>,
+    index: Arc<OccurrenceIndex>,
+    is_seed: Vec<bool>,
+    seeds: Vec<Node>,
+}
+
+/// First-occurrence positions of every node in every walk (CSR by node).
+#[derive(Debug)]
+struct OccurrenceIndex {
     occ_off: Vec<usize>,
     occ_walk: Vec<u32>,
     occ_pos: Vec<u32>,
-    is_seed: Vec<bool>,
-    seeds: Vec<Node>,
 }
 
 impl Truncation {
@@ -61,9 +73,11 @@ impl Truncation {
         }
         Truncation {
             end_pos,
-            occ_off,
-            occ_walk,
-            occ_pos,
+            index: Arc::new(OccurrenceIndex {
+                occ_off,
+                occ_walk,
+                occ_pos,
+            }),
             is_seed: vec![false; n],
             seeds: Vec::new(),
         }
@@ -130,10 +144,13 @@ impl Truncation {
         if self.is_seed[u as usize] {
             return;
         }
-        let (s, e) = (self.occ_off[u as usize], self.occ_off[u as usize + 1]);
+        let (s, e) = (
+            self.index.occ_off[u as usize],
+            self.index.occ_off[u as usize + 1],
+        );
         for idx in s..e {
-            let walk = self.occ_walk[idx] as usize;
-            let pos = self.occ_pos[idx];
+            let walk = self.index.occ_walk[idx] as usize;
+            let pos = self.index.occ_pos[idx];
             let end = self.end_pos[walk];
             if pos > end {
                 continue; // u lies beyond the live prefix

@@ -6,8 +6,9 @@
 //! cargo run --release --example election_campaign
 //! ```
 
-use vom::core::win::{min_seeds_to_win, wins};
-use vom::core::{select_seeds, select_seeds_plain, Method, Problem};
+use vom::core::engine::SeedSelector;
+use vom::core::win::{try_min_seeds_to_win, wins};
+use vom::core::{select_seeds, Engine, Problem, Query};
 use vom::datasets::{twitter_election_like, ReplicaParams};
 use vom::voting::{tally, ScoringFunction};
 
@@ -46,7 +47,7 @@ fn main() {
     let k = 25;
     let problem =
         Problem::new(inst, target, k, t, ScoringFunction::Plurality).expect("valid problem");
-    let res = select_seeds(&problem, &Method::rs_default()).expect("selection succeeds");
+    let res = select_seeds(&problem, &Engine::rs_default()).expect("selection succeeds");
     println!(
         "\nwith {k} seeds: plurality {} -> {} ({} with the sandwich ratio {:.2})",
         standings.scores[target],
@@ -59,12 +60,18 @@ fn main() {
         res.sandwich.as_ref().map_or(1.0, |s| s.ratio),
     );
 
-    // Problem 2: the minimum budget that actually wins.
-    let win = min_seeds_to_win(&problem, |p| {
-        select_seeds_plain(p, &Method::rs_default())
-            .expect("selection succeeds")
-            .seeds
-    });
+    // Problem 2: the minimum budget that actually wins. The budget
+    // search probes many k values — prepare the RS engine once and let
+    // every probe query the shared sketch artifacts.
+    let mut prepared = Engine::rs_default()
+        .prepare(&problem.with_budget(inst.num_nodes()))
+        .expect("prepare succeeds");
+    let win = try_min_seeds_to_win(&problem, |p| {
+        prepared
+            .select(&Query::plain(p.k, p.score.clone(), p.target))
+            .map(|r| r.seeds)
+    })
+    .expect("selection succeeds");
     match win {
         Some(w) => println!(
             "minimum winning budget k* = {} (seeds: {:?}...)",

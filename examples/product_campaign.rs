@@ -7,7 +7,8 @@
 //! cargo run --release --example product_campaign
 //! ```
 
-use vom::core::{select_seeds, Method, Problem};
+use vom::core::engine::SeedSelector;
+use vom::core::{Engine, Problem, Query};
 use vom::datasets::{yelp_like, ReplicaParams};
 use vom::voting::{position_histogram, ScoringFunction};
 
@@ -46,14 +47,26 @@ fn main() {
             },
         },
     ];
+    // All three membership models are competitive rules, so one prepared
+    // RS engine (one sketch set) serves them all — the build is paid
+    // once, each rule is a cheap query.
+    let spec = Problem::new(inst, ds.default_target, k, t, ScoringFunction::Plurality)
+        .expect("valid problem");
+    let mut prepared = Engine::rs_default()
+        .prepare(&spec)
+        .expect("prepare succeeds");
+    println!(
+        "prepared RS once in {:.2}s ({:.1} MB of sketches)",
+        prepared.build_stats().build_time.as_secs_f64(),
+        prepared.build_stats().heap_bytes as f64 / 1e6
+    );
     for score in scores {
-        let problem =
-            Problem::new(inst, ds.default_target, k, t, score.clone()).expect("valid problem");
-        let res = select_seeds(&problem, &Method::rs_default()).expect("selection succeeds");
+        let query = Query::new(k, score.clone(), ds.default_target);
+        let res = prepared.select(&query).expect("selection succeeds");
         let after = inst.opinions_at(t, ds.default_target, &res.seeds);
         let hist = position_histogram(&after, ds.default_target);
         println!(
-            "{score:<24} score {:>8.1}  ({:.2}s)  rank dist: {:?}",
+            "{score:<24} score {:>8.1}  (query {:.2}s)  rank dist: {:?}",
             res.exact_score,
             res.elapsed.as_secs_f64(),
             &hist[..4]
@@ -70,12 +83,14 @@ fn main() {
         ScoringFunction::PApproval { p: 3 },
     )
     .expect("valid problem");
-    for method in [Method::Dm, Method::rw_default(), Method::rs_default()] {
-        let res = select_seeds(&problem, &method).expect("selection succeeds");
+    for engine in [Engine::Dm, Engine::rw_default(), Engine::rs_default()] {
+        let mut prepared = engine.prepare(&problem).expect("prepare succeeds");
+        let res = prepared.select_k(k).expect("selection succeeds");
         println!(
-            "  {:<3} score {:>8.1}  time {:>7.3}s  estimator {:>6.1} MB",
-            method.name(),
+            "  {:<3} score {:>8.1}  build {:>7.3}s  query {:>7.3}s  estimator {:>6.1} MB",
+            engine.name(),
             res.exact_score,
+            prepared.build_stats().build_time.as_secs_f64(),
             res.elapsed.as_secs_f64(),
             res.estimator_heap_bytes as f64 / 1e6
         );

@@ -6,7 +6,8 @@
 //! ```
 
 use std::sync::Arc;
-use vom::core::{select_seeds, Method, Problem};
+use vom::core::engine::SeedSelector;
+use vom::core::{Engine, Problem, Query};
 use vom::diffusion::{Instance, OpinionMatrix};
 use vom::graph::GraphBuilder;
 use vom::voting::{tally, ScoringFunction};
@@ -49,14 +50,20 @@ fn main() {
         result.scores, result.winner
     );
 
-    // 4. Pick one seed for the target to maximize each voting score.
+    // 4. Pick one seed for the target to maximize each voting score:
+    //    prepare the exact DM engine once, then query it per rule (the
+    //    build-once/query-many lifecycle; `select_seeds` remains as a
+    //    one-shot shorthand).
+    let spec =
+        Problem::new(&instance, 0, 1, horizon, ScoringFunction::Cumulative).expect("valid problem");
+    let mut prepared = Engine::Dm.prepare(&spec).expect("prepare succeeds");
     for score in [
         ScoringFunction::Cumulative,
         ScoringFunction::Plurality,
         ScoringFunction::Copeland,
     ] {
-        let problem = Problem::new(&instance, 0, 1, horizon, score.clone()).expect("valid problem");
-        let res = select_seeds(&problem, &Method::Dm).expect("selection succeeds");
+        let query = Query::new(1, score.clone(), 0);
+        let res = prepared.select(&query).expect("selection succeeds");
         println!(
             "{score:>10}: seed user {:?} -> score {:.2}",
             res.seeds, res.exact_score

@@ -184,7 +184,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Lengths accepted by [`vec`]: an exact `usize` or a `usize` range.
+    /// Lengths accepted by [`vec()`]: an exact `usize` or a `usize` range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -228,7 +228,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
