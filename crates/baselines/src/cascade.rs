@@ -67,8 +67,9 @@ fn simulate(g: &SocialGraph, model: CascadeModel, seeds: &[Node], rng: &mut Smal
 
 /// Monte-Carlo expected influence spread of `seeds` under `model`
 /// (Figure 11's metric), averaged over `simulations` runs. Deterministic
-/// for a given `seed`; simulations run in parallel with independent RNG
-/// streams.
+/// for a given `seed` at any `VOM_THREADS` setting: simulations run in
+/// parallel with independent RNG streams `mix(seed, i)` and the
+/// activation counts sum in run order.
 pub fn expected_spread(
     g: &SocialGraph,
     model: CascadeModel,

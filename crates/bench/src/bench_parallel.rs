@@ -1,0 +1,265 @@
+//! The perf-trajectory harness behind `repro --bench-json`.
+//!
+//! Times the prepare and query phases of two representative workloads —
+//! the Figure 6 plurality sweep in quick mode (`fig6-quick`) and the
+//! cumulative budget sweep (`sweep-k`) — with the pool pinned to a
+//! single thread and at the parallel target, then writes the samples to
+//! `BENCH_parallel.json`. The file seeds the repo's recorded perf
+//! trajectory: each sample carries the thread count, phase wall clocks,
+//! and a `deterministic` flag asserting the run selected bit-identical
+//! seeds to the single-threaded reference (the shim's
+//! schedule-independence contract, checked on every bench run).
+//!
+//! Methodology: datasets are generated once and shared by all runs, so
+//! the timings isolate engine work (artifact builds + greedy queries)
+//! from replica synthesis; each (workload, width) pair runs
+//! [`PASSES`] times with the widths interleaved — evening out cache
+//! warmth — and the fastest pass is recorded (min-of-N, as criterion
+//! does, so one scheduler hiccup cannot masquerade as a slowdown).
+
+use crate::error::{BenchError, Result};
+use crate::experiments::sweep_k;
+use crate::{timed, ExpConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+use vom_core::Problem;
+use vom_datasets::Dataset;
+use vom_graph::Node;
+use vom_voting::ScoringFunction;
+
+/// One timed (workload, thread-count) sample.
+#[derive(Debug, Clone)]
+pub struct BenchSample {
+    /// Workload id (`fig6-quick` or `sweep-k`).
+    pub experiment: &'static str,
+    /// Pool threads the sample ran with.
+    pub threads: usize,
+    /// Wall clock of all `prepare` calls (artifact builds).
+    pub prepare_s: f64,
+    /// Wall clock of all `select` queries.
+    pub query_s: f64,
+    /// `prepare_s + query_s` — the workload's engine wall clock.
+    pub total_s: f64,
+    /// Whether the selected seed sets are bit-identical to the
+    /// 1-thread reference run of the same workload.
+    pub deterministic: bool,
+}
+
+/// Seed selections of one workload pass, for cross-thread comparison:
+/// `(dataset, method, k) -> seeds`.
+type Selections = Vec<(String, Vec<Node>)>;
+
+struct WorkloadPass {
+    prepare: Duration,
+    query: Duration,
+    selections: Selections,
+}
+
+/// Timed passes per (workload, width); the fastest is recorded. Three
+/// passes converge the min to the noise floor on busy machines — with
+/// one pass, scheduler jitter on the (mostly serial) query phase can
+/// exceed the parallel build speedup being measured.
+pub const PASSES: usize = 3;
+
+/// The thread count for the parallel pass: the configured pool width,
+/// but at least 2 so the comparison is meaningful on single-core boxes.
+fn parallel_target() -> usize {
+    rayon::current_num_threads().max(2)
+}
+
+/// Runs one workload over the shared datasets at the current pool
+/// setting, timing prepare and query phases separately.
+fn run_workload(
+    cfg: &ExpConfig,
+    datasets: &[Dataset],
+    score: &ScoringFunction,
+) -> Result<WorkloadPass> {
+    let t = cfg.default_t();
+    let mut prepare = Duration::ZERO;
+    let mut query = Duration::ZERO;
+    let mut selections: Selections = Vec::new();
+    for ds in datasets {
+        let n = ds.instance.num_nodes();
+        // An explicit --k override is taken verbatim (no clamping): an
+        // unsatisfiable budget must surface as a BenchError, not be
+        // silently shrunk to fit.
+        let ks: Vec<usize> = match cfg.k_override {
+            Some(k) => vec![k],
+            None => cfg
+                .k_sweep()
+                .iter()
+                .map(|&k| k.min(n / 2))
+                .filter(|&k| k > 0)
+                .collect(),
+        };
+        let Some(&k_max) = ks.iter().max() else {
+            continue;
+        };
+        let spec = Problem::new(&ds.instance, ds.default_target, k_max, t, score.clone())?;
+        let methods: Vec<_> = sweep_k::sweep_methods(n, score)
+            .into_iter()
+            .filter(|m| m.is_ours())
+            .collect();
+        for m in methods {
+            let (prepared, build) = timed(|| crate::PreparedMethod::new(&spec, m, cfg.seed));
+            let mut prepared = prepared?;
+            prepare += build;
+            for &k in &ks {
+                let (out, select) = timed(|| prepared.evaluate(k));
+                let out = out?;
+                query += select;
+                selections.push((format!("{}/{}/k{}", ds.name, m.name(), k), out.seeds));
+            }
+        }
+    }
+    Ok(WorkloadPass {
+        prepare,
+        query,
+        selections,
+    })
+}
+
+/// Runs both workloads at 1 and N threads (the configured pool width,
+/// floored at 2) and writes `BENCH_parallel.json` into the current
+/// directory. Returns the path written. The pool override is always
+/// restored, also on error.
+pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
+    let quick = ExpConfig {
+        quick: true,
+        ..cfg.clone()
+    };
+    let datasets = sweep_k::datasets(&quick);
+    let threads_hi = parallel_target();
+    let workloads: [(&'static str, ScoringFunction); 2] = [
+        ("fig6-quick", ScoringFunction::Plurality),
+        ("sweep-k", ScoringFunction::Cumulative),
+    ];
+
+    let mut samples: Vec<BenchSample> = Vec::new();
+    let outcome = (|| -> Result<()> {
+        for (experiment, score) in &workloads {
+            let mut reference: Option<Selections> = None;
+            // threads -> (fastest pass, every pass matched the reference)
+            let mut best: Vec<(usize, WorkloadPass, bool)> = Vec::new();
+            for pass_no in 0..PASSES {
+                for &threads in &[1usize, threads_hi] {
+                    rayon::set_thread_override(Some(threads));
+                    let pass = run_workload(&quick, &datasets, score)?;
+                    let matches = match &reference {
+                        None => {
+                            reference = Some(pass.selections.clone());
+                            true
+                        }
+                        Some(expected) => *expected == pass.selections,
+                    };
+                    println!(
+                        "[bench {experiment} threads={threads} pass {}/{PASSES}: \
+                         prepare {:.3}s, query {:.3}s, deterministic: {matches}]",
+                        pass_no + 1,
+                        pass.prepare.as_secs_f64(),
+                        pass.query.as_secs_f64(),
+                    );
+                    match best.iter_mut().find(|(t, _, _)| *t == threads) {
+                        None => best.push((threads, pass, matches)),
+                        Some((_, fastest, all_match)) => {
+                            *all_match = *all_match && matches;
+                            if pass.prepare + pass.query < fastest.prepare + fastest.query {
+                                *fastest = pass;
+                            }
+                        }
+                    }
+                }
+            }
+            for (threads, pass, deterministic) in best {
+                samples.push(BenchSample {
+                    experiment,
+                    threads,
+                    prepare_s: pass.prepare.as_secs_f64(),
+                    query_s: pass.query.as_secs_f64(),
+                    total_s: (pass.prepare + pass.query).as_secs_f64(),
+                    deterministic,
+                });
+            }
+        }
+        Ok(())
+    })();
+    rayon::set_thread_override(None);
+    outcome?;
+
+    if let Some(bad) = samples.iter().find(|s| !s.deterministic) {
+        return Err(BenchError::InvalidConfig(format!(
+            "parallel run of {} at {} threads diverged from the 1-thread selections \
+             (schedule-independence contract violated)",
+            bad.experiment, bad.threads
+        )));
+    }
+
+    let path = PathBuf::from("BENCH_parallel.json");
+    std::fs::write(&path, render_json(&quick, &samples))
+        .map_err(|e| BenchError::InvalidConfig(format!("cannot write {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+/// Hand-rolled JSON (the workspace builds offline without serde; same
+/// policy as [`crate::Table::to_json_pretty`]).
+fn render_json(cfg: &ExpConfig, samples: &[BenchSample]) -> String {
+    let runs = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\n      \"experiment\": \"{}\",\n      \"threads\": {},\n      \
+                 \"prepare_s\": {:.6},\n      \"query_s\": {:.6},\n      \"total_s\": {:.6},\n      \
+                 \"deterministic\": {}\n    }}",
+                s.experiment, s.threads, s.prepare_s, s.query_s, s.total_s, s.deterministic
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"id\": \"bench_parallel\",\n  \"title\": \"engine wall clock at 1 vs N pool \
+         threads (prepare/query phases, fastest of {PASSES} passes)\",\n  \"scale\": {},\n  \
+         \"seed\": {},\n  \"passes\": {PASSES},\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+        cfg.scale, cfg.seed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_shaped_for_the_trajectory_tooling() {
+        let cfg = ExpConfig::default();
+        let samples = vec![
+            BenchSample {
+                experiment: "fig6-quick",
+                threads: 1,
+                prepare_s: 1.5,
+                query_s: 0.5,
+                total_s: 2.0,
+                deterministic: true,
+            },
+            BenchSample {
+                experiment: "fig6-quick",
+                threads: 4,
+                prepare_s: 0.5,
+                query_s: 0.25,
+                total_s: 0.75,
+                deterministic: true,
+            },
+        ];
+        let json = render_json(&cfg, &samples);
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"total_s\": 2.000000"));
+        assert!(json.contains("\"deterministic\": true"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn parallel_target_is_at_least_two() {
+        assert!(parallel_target() >= 2);
+    }
+}

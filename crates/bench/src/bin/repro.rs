@@ -3,18 +3,24 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR]
+//! repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N]
+//! repro --bench-json [--scale F] [--seed N] [--k N]
 //! ```
 //!
 //! Experiments: table1 table2 table3 table6 fig2 case-study fig6 fig7
 //! fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19.
+//!
+//! `--bench-json` times the fig6-quick and sweep-k workloads at 1 and N
+//! pool threads and writes `BENCH_parallel.json` (the perf trajectory);
+//! it can run alone or alongside experiment ids.
 
 use vom_bench::experiments::{self, ALL_IDS};
 use vom_bench::ExpConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR]\n\
+        "usage: repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N]\n\
+         \x20      repro --bench-json [--scale F] [--seed N] [--k N]\n\
          experiments: {}",
         ALL_IDS.join(" ")
     );
@@ -28,9 +34,19 @@ fn main() {
     }
     let mut cfg = ExpConfig::default();
     let mut targets: Vec<String> = Vec::new();
+    let mut bench_json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--bench-json" => bench_json = true,
+            "--k" => {
+                i += 1;
+                cfg.k_override = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--scale" => {
                 i += 1;
                 cfg.scale = args
@@ -55,7 +71,7 @@ fn main() {
         }
         i += 1;
     }
-    if targets.is_empty() {
+    if targets.is_empty() && !bench_json {
         usage();
     }
     let ids: Vec<String> = if targets.iter().any(|t| t == "all") {
@@ -77,6 +93,20 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("experiment '{id}' failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if bench_json {
+        let (outcome, elapsed) = vom_bench::timed(|| vom_bench::bench_parallel::run(&cfg));
+        match outcome {
+            Ok(path) => println!(
+                "[bench-json written to {} in {:.1}s]",
+                path.display(),
+                elapsed.as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("bench-json failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -12,7 +12,7 @@ use vom_core::Problem;
 use vom_datasets::{twitter_election_like, twitter_mask_like, yelp_like, Dataset, ReplicaParams};
 use vom_voting::ScoringFunction;
 
-fn datasets(cfg: &ExpConfig) -> Vec<Dataset> {
+pub(crate) fn datasets(cfg: &ExpConfig) -> Vec<Dataset> {
     let params = ReplicaParams {
         scale: cfg.scale,
         seed: cfg.seed,
@@ -29,7 +29,7 @@ fn datasets(cfg: &ExpConfig) -> Vec<Dataset> {
 /// enough for its `O(k·t·m·n)` rank-score greedy (the paper ran DM on a
 /// 512 GB server for days; the shape comparison survives without it on
 /// the larger replicas).
-fn sweep_methods(n: usize, score: &ScoringFunction) -> Vec<AnyMethod> {
+pub(crate) fn sweep_methods(n: usize, score: &ScoringFunction) -> Vec<AnyMethod> {
     let dm_ok = match score {
         ScoringFunction::Cumulative => n <= 5_000,
         _ => n <= 1_500,

@@ -11,6 +11,7 @@
 //! in `k`/`t`, parameter sensitivities — is asserted by the workspace
 //! integration tests in `tests/experiments_shape.rs`.
 
+pub mod bench_parallel;
 pub mod error;
 pub mod experiments;
 pub mod methods;
@@ -33,6 +34,11 @@ pub struct ExpConfig {
     pub quick: bool,
     /// Directory for JSON result rows (`results/` by default).
     pub out_dir: std::path::PathBuf,
+    /// Explicit seed-budget override (`repro --k N`). Experiments that
+    /// derive a budget from [`ExpConfig::default_k`] still clamp it to
+    /// their instance size; the `--bench-json` harness takes it
+    /// verbatim so unsatisfiable budgets exercise the error path.
+    pub k_override: Option<usize>,
 }
 
 impl Default for ExpConfig {
@@ -42,6 +48,7 @@ impl Default for ExpConfig {
             seed: 2023,
             quick: false,
             out_dir: std::path::PathBuf::from("results"),
+            k_override: None,
         }
     }
 }
@@ -57,8 +64,11 @@ impl ExpConfig {
         }
     }
 
-    /// The default seed budget (paper: 100).
+    /// The default seed budget (paper: 100; `--k` overrides).
     pub fn default_k(&self) -> usize {
+        if let Some(k) = self.k_override {
+            return k;
+        }
         if self.quick {
             10
         } else {

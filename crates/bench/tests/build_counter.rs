@@ -17,6 +17,7 @@ fn cfg() -> ExpConfig {
         seed: 77,
         quick: true,
         out_dir: std::env::temp_dir().join("vom-build-counter-test"),
+        ..ExpConfig::default()
     }
 }
 

@@ -89,6 +89,10 @@ pub fn dm_greedy_with_others(problem: &Problem<'_>, others: Option<&OpinionMatri
                     .filter(|&v| !is_seed[v as usize])
                     .map_init(
                         || (DiffusionBuffer::new(n), seeds.clone()),
+                        // Per-worker scratch (determinism contract: the
+                        // buffer is fully overwritten and the trial list
+                        // push/pops per item, so results are independent
+                        // of which worker evaluates which candidate).
                         |(buf, trial), v| {
                             trial.push(v);
                             let row = engine.opinions_at_with(t, trial, buf);

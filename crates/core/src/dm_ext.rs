@@ -32,10 +32,12 @@ pub fn evaluate_rule<S: OpinionScore + ?Sized>(
 /// Greedy seed selection (Algorithm 1) for an arbitrary [`OpinionScore`].
 ///
 /// Every iteration evaluates all non-seed candidates exactly — each one
-/// FJ run plus one rule evaluation — in parallel, and commits the node
-/// with the largest marginal gain (ties: larger cumulative target
-/// opinion, then smaller node id). Returns `min(k, n − |fixed|)` seeds in
-/// selection order.
+/// FJ run plus one rule evaluation — in parallel (per-worker
+/// `map_init` scratch: iteration buffer, trial seed list, and a private
+/// snapshot copy; each is fully rewritten per candidate, so results are
+/// schedule-independent), and commits the node with the largest
+/// marginal gain (ties: larger cumulative target opinion, then smaller
+/// node id). Returns `min(k, n − |fixed|)` seeds in selection order.
 ///
 /// For non-decreasing rules (all of `vom_voting::ext`) this is the same
 /// heuristic the paper analyses; quality guarantees depend on the rule's

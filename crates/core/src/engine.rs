@@ -154,8 +154,14 @@ impl Query {
 #[derive(Debug, Clone, Copy)]
 pub struct BuildStats {
     /// Wall-clock time spent in [`SeedSelector::prepare`] (eager builds
-    /// only; lazily added rule classes are not included).
+    /// only; lazily added rule classes are not included). The build runs
+    /// on the parallel pool, so this is wall time over [`BuildStats::threads`]
+    /// workers, not CPU time.
     pub build_time: Duration,
+    /// Worker threads the pool offered while `prepare` ran
+    /// (`rayon::current_num_threads()` at prepare time — the `VOM_THREADS`
+    /// setting or available parallelism).
+    pub threads: usize,
     /// Heap bytes currently held by the artifacts (walk arenas / sketch
     /// sets); 0 for DM. The Figure 17(b) series.
     pub heap_bytes: usize,
@@ -280,6 +286,10 @@ pub struct Prepared<'a> {
     id: MethodId,
     backend: Box<dyn PreparedBackend<'a> + 'a>,
     build_time: Duration,
+    /// Thread count in effect when the engine was prepared (captured at
+    /// construction; the pool setting may change between prepare and a
+    /// later `build_stats()` call).
+    build_threads: usize,
     /// Exact non-target opinions at the horizon (lazily cached; depends
     /// only on the prepared instance/target/horizon).
     others: Option<OpinionMatrix>,
@@ -301,6 +311,7 @@ impl<'a> Prepared<'a> {
             id,
             backend,
             build_time,
+            build_threads: rayon::current_num_threads(),
             others: None,
             seedless: None,
         }
@@ -346,6 +357,7 @@ impl<'a> Prepared<'a> {
     pub fn build_stats(&self) -> BuildStats {
         BuildStats {
             build_time: self.build_time,
+            threads: self.build_threads,
             heap_bytes: self.backend.heap_bytes(),
             artifact_builds: self.backend.artifact_builds(),
         }

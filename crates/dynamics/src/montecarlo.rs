@@ -11,10 +11,11 @@ use vom_graph::{Candidate, Node};
 /// regardless of `runs`.
 ///
 /// Runs are parallel but deterministic: realization `j` uses the RNG
-/// stream `mix(base_seed, j)`, so the result is identical however rayon
-/// schedules the work. For discrete models the averaged entries are
-/// per-user preference probabilities (each user's column still sums
-/// to 1).
+/// stream `mix(base_seed, j)`, and the shim's `reduce` folds the
+/// per-run snapshots sequentially in run order, so the float
+/// accumulation is bit-identical for every `VOM_THREADS` setting. For
+/// discrete models the averaged entries are per-user preference
+/// probabilities (each user's column still sums to 1).
 pub fn expected_opinions<M: DynamicsModel + ?Sized>(
     model: &M,
     horizon: usize,

@@ -122,6 +122,12 @@ impl<'a, M: DynamicsModel + ?Sized> DynamicsSeeder<'a, M> {
     /// Greedy selection of `k` seeds maximizing the expected rule value
     /// (ties: larger expected cumulative target support, then smaller
     /// node id). Returns `min(k, n)` distinct seeds in selection order.
+    ///
+    /// Candidate evaluations run on the parallel pool; the inner
+    /// Monte-Carlo loop of [`expected_opinions`] then executes inline on
+    /// each worker (the pool never nests), and every evaluation is
+    /// seeded per candidate, so selections are identical at any
+    /// `VOM_THREADS` setting.
     pub fn greedy<S: OpinionScore + ?Sized>(&self, k: usize, rule: &S) -> Vec<Node> {
         let n = self.model.num_nodes();
         let mut is_seed = vec![false; n];

@@ -2,6 +2,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use std::sync::Arc;
 use vom_diffusion::OpinionMatrix;
 use vom_graph::{Candidate, Node, SocialGraph};
@@ -52,11 +53,19 @@ impl SketchSet {
         let gen = WalkGenerator::new(graph, stubbornness, t);
         let arena = gen.generate_for_starts(&starts, seed.wrapping_add(1));
         let trunc = Truncation::new(&arena, n);
+        // End values are independent per sketch, so they run on the
+        // pool; the pooled accumulation folds sequentially in sketch
+        // order, keeping the float sums schedule-independent (the
+        // determinism contract — see `vendor/rayon`'s crate docs).
+        let end_values: Vec<f64> = (0..arena.num_walks())
+            .into_par_iter()
+            .map(|j| trunc.end_value(&arena, b0_target, j))
+            .collect();
         let mut start_sum = vec![0.0f64; n];
         let mut start_count = vec![0u32; n];
-        for j in 0..arena.num_walks() {
+        for (j, &end) in end_values.iter().enumerate() {
             let v = arena.start(j) as usize;
-            start_sum[v] += trunc.end_value(&arena, b0_target, j);
+            start_sum[v] += end;
             start_count[v] += 1;
         }
         SketchSet {

@@ -12,7 +12,11 @@ use vom_graph::Node;
 /// When built by per-node generation ([`crate::WalkGenerator`]), the arena
 /// also records *start groups*: walk indices `group_range(v)` all start at
 /// node `v`.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural (same walks in the same order with the same
+/// groups) — the cross-thread determinism suite compares arenas built
+/// under different `VOM_THREADS` settings with `==`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalkArena {
     nodes: Vec<Node>,
     offsets: Vec<usize>,
@@ -93,10 +97,20 @@ impl WalkArena {
 }
 
 /// Incremental builder used by the generators.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WalkArenaBuilder {
     nodes: Vec<Node>,
     offsets: Vec<usize>,
+}
+
+impl Default for WalkArenaBuilder {
+    /// An empty builder, equivalent to `with_capacity(0, 0)`. The
+    /// offsets array must carry its leading 0 even when empty —
+    /// `num_walks()` and `append` both rely on it — so this cannot be
+    /// a derived field-wise default.
+    fn default() -> Self {
+        WalkArenaBuilder::with_capacity(0, 0)
+    }
 }
 
 impl WalkArenaBuilder {

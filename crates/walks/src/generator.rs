@@ -17,14 +17,16 @@ pub enum Lambda {
 }
 
 impl Lambda {
-    fn count(&self, v: Node) -> usize {
+    /// Walks to generate from start node `v`.
+    pub fn count(&self, v: Node) -> usize {
         match self {
             Lambda::Uniform(l) => *l,
             Lambda::PerNode(ls) => ls[v as usize] as usize,
         }
     }
 
-    fn total(&self, n: usize) -> usize {
+    /// Total walks over `n` start nodes (`Σ_v λ_v`).
+    pub fn total(&self, n: usize) -> usize {
         match self {
             Lambda::Uniform(l) => l * n,
             Lambda::PerNode(ls) => ls.iter().map(|&l| l as usize).sum(),

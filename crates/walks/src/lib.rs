@@ -57,7 +57,7 @@ pub mod generator;
 pub mod lambda;
 pub mod truncation;
 
-pub use arena::WalkArena;
+pub use arena::{WalkArena, WalkArenaBuilder};
 pub use estimator::OpinionEstimator;
 pub use generator::{Lambda, WalkGenerator};
 pub use truncation::Truncation;

@@ -1,0 +1,174 @@
+//! Property tests (proptest) for the walk-storage layer the parallel
+//! generators shard through: `Lambda` count/total consistency, and
+//! `WalkArenaBuilder` push/append/build round-trips under arbitrary
+//! shard interleavings — the exact merge pattern the rayon pool drives.
+//!
+//! This suite is what surfaced the derived-`Default` bug in
+//! `WalkArenaBuilder` (an empty default builder lacked the leading 0
+//! offset, so appending into one shifted every walk boundary).
+
+use proptest::prelude::*;
+use vom::graph::Node;
+use vom::walks::{Lambda, WalkArena, WalkArenaBuilder};
+
+/// Arbitrary non-empty walks (each at least its start node).
+fn arb_walks() -> impl Strategy<Value = Vec<Vec<Node>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..60, 1..6), 0..30)
+}
+
+/// Pushes `walks` through one builder.
+fn build_shard(walks: &[Vec<Node>]) -> WalkArenaBuilder {
+    let mut builder = WalkArenaBuilder::with_capacity(walks.len(), 2);
+    for walk in walks {
+        for &v in walk {
+            builder.push_node(v);
+        }
+        builder.finish_walk();
+    }
+    builder
+}
+
+/// Splits `walks` into `chunk`-sized shards and merges them in order —
+/// the parallel generators' shard/append pattern.
+fn build_chunked(walks: &[Vec<Node>], chunk: usize, groups: Option<Vec<usize>>) -> WalkArena {
+    let mut merged = WalkArenaBuilder::default();
+    for shard in walks.chunks(chunk.max(1)) {
+        merged.append(build_shard(shard));
+    }
+    merged.build(groups)
+}
+
+/// Walks grouped by start node: entry `v` holds the walks starting at
+/// `v` (every walk begins with its group's node id).
+fn arb_grouped_walks() -> impl Strategy<Value = Vec<Vec<Vec<Node>>>> {
+    (1usize..6).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(0u32..(n as Node), 0..4), 0..4),
+            n,
+        )
+        .prop_map(|per_node| {
+            per_node
+                .into_iter()
+                .enumerate()
+                .map(|(v, tails)| {
+                    tails
+                        .into_iter()
+                        .map(|tail| {
+                            let mut walk = vec![v as Node];
+                            walk.extend(tail);
+                            walk
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lambda_per_node_total_matches_count_sum(
+        counts in proptest::collection::vec(0u32..200, 1..50),
+    ) {
+        let n = counts.len();
+        let lambda = Lambda::PerNode(counts.clone());
+        let by_count: usize = (0..n as Node).map(|v| lambda.count(v)).sum();
+        prop_assert_eq!(lambda.total(n), by_count);
+        for (v, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(lambda.count(v as Node), c as usize);
+        }
+    }
+
+    #[test]
+    fn lambda_uniform_total_is_count_times_n(l in 0usize..500, n in 0usize..80) {
+        let lambda = Lambda::Uniform(l);
+        prop_assert_eq!(lambda.total(n), l * n);
+        if n > 0 {
+            prop_assert_eq!(lambda.count((n - 1) as Node), l);
+        }
+    }
+
+    #[test]
+    fn chunked_builds_round_trip_walks(
+        walks in arb_walks(),
+        chunk in 1usize..8,
+    ) {
+        let arena = build_chunked(&walks, chunk, None);
+        prop_assert_eq!(arena.num_walks(), walks.len());
+        for (i, walk) in walks.iter().enumerate() {
+            prop_assert_eq!(arena.walk(i), &walk[..]);
+            prop_assert_eq!(arena.start(i), walk[0]);
+        }
+        prop_assert_eq!(
+            arena.total_nodes(),
+            walks.iter().map(Vec::len).sum::<usize>()
+        );
+        // Shard size must never leak into the result.
+        prop_assert_eq!(arena, build_chunked(&walks, walks.len().max(1), None));
+    }
+
+    #[test]
+    fn append_of_an_empty_builder_is_identity_on_either_side(
+        walks in arb_walks(),
+    ) {
+        let reference = build_shard(&walks).build(None);
+
+        // Empty right-hand side: nothing changes.
+        let mut left = build_shard(&walks);
+        left.append(WalkArenaBuilder::default());
+        prop_assert_eq!(&left.build(None), &reference);
+
+        // Empty left-hand side: offsets and starts carry over intact.
+        let mut right_into_empty = WalkArenaBuilder::default();
+        prop_assert_eq!(right_into_empty.num_walks(), 0);
+        right_into_empty.append(build_shard(&walks));
+        prop_assert_eq!(right_into_empty.num_walks(), walks.len());
+        prop_assert_eq!(&right_into_empty.build(None), &reference);
+    }
+
+    #[test]
+    fn group_ranges_partition_grouped_builds(
+        (grouped, chunk) in (arb_grouped_walks(), 1usize..5),
+    ) {
+        let flat: Vec<Vec<Node>> = grouped.iter().flatten().cloned().collect();
+        let mut groups = Vec::with_capacity(grouped.len() + 1);
+        groups.push(0usize);
+        let mut acc = 0;
+        for walks in &grouped {
+            acc += walks.len();
+            groups.push(acc);
+        }
+        let arena = build_chunked(&flat, chunk, Some(groups));
+
+        prop_assert!(arena.has_groups());
+        prop_assert_eq!(arena.num_groups(), Some(grouped.len()));
+        let mut covered = 0;
+        for (v, walks) in grouped.iter().enumerate() {
+            let range = arena.group_range(v as Node).expect("grouped arena");
+            prop_assert_eq!(range.start, covered, "ranges must be contiguous");
+            prop_assert_eq!(range.len(), walks.len());
+            covered = range.end;
+            for (i, walk) in range.clone().zip(walks) {
+                prop_assert_eq!(arena.walk(i), &walk[..]);
+                prop_assert_eq!(arena.start(i), v as Node);
+            }
+        }
+        prop_assert_eq!(covered, arena.num_walks(), "ranges must cover the arena");
+    }
+}
+
+/// The derived-`Default` regression, pinned as a plain test: a default
+/// builder must behave exactly like `with_capacity(0, 0)`.
+#[test]
+fn default_builder_is_a_valid_empty_builder() {
+    let mut builder = WalkArenaBuilder::default();
+    assert_eq!(builder.num_walks(), 0);
+    builder.push_node(4);
+    builder.push_node(2);
+    builder.finish_walk();
+    assert_eq!(builder.num_walks(), 1);
+    let arena = builder.build(None);
+    assert_eq!(arena.walk(0), &[4, 2]);
+}

@@ -1,187 +1,759 @@
 #![warn(missing_docs)]
-//! Offline shim for the subset of the `rayon` API that the `vom`
-//! workspace uses.
+//! Offline, genuinely parallel shim for the subset of the `rayon` API
+//! that the `vom` workspace uses.
 //!
 //! The build environment has no network access to crates.io, so this
 //! crate stands in for `rayon` (wired in as `rayon = { path = ... }`
 //! through the workspace dependency table). It exposes the same call
-//! surface — `into_par_iter()`, `par_chunks()`, and the adapter chain
-//! `filter / map / map_init / enumerate / collect / sum / reduce` — but
-//! executes **sequentially**. All call sites in the workspace are
-//! designed to be schedule-independent (per-item RNG streams), so the
-//! results are identical to a parallel run; only wall-clock differs.
-//! Swapping in real `rayon` is a one-line change in the workspace
-//! manifest (see DESIGN.md § Vendored shims).
+//! surface — `into_par_iter()`, `par_chunks()`, `par_iter()`, `join`,
+//! and the adapter chain `filter / map / map_init / enumerate / collect
+//! / sum / reduce / for_each` — and executes it on a chunked
+//! work-distributing pool built on `std::thread::scope` (see the
+//! `pool` module's docs inside the crate). The thread count comes from
+//! the `VOM_THREADS` environment variable, defaulting to the machine's
+//! available parallelism; [`set_thread_override`] switches it at
+//! runtime for in-process comparisons.
+//!
+//! # The determinism contract
+//!
+//! Unlike real rayon, this shim guarantees **bit-identical results for
+//! every thread count and schedule**, which the workspace's estimators
+//! rely on (they seed one RNG stream per item; see DESIGN.md § Vendored
+//! shims). Two design choices make that hold:
+//!
+//! 1. every pipeline is driven by *source index*: items are produced
+//!    from their index, processed in index order within a chunk, and
+//!    chunk outputs are re-assembled in chunk order — `collect` output
+//!    order equals sequential order no matter which worker ran what;
+//! 2. the combining terminals (`sum`, `reduce`, `for_each`) compute the
+//!    per-item values in parallel but **combine them sequentially in
+//!    source order** on the calling thread. Floating-point accumulation
+//!    is not associative, so a rayon-style parallel reduction tree would
+//!    change results with the schedule; the ordered fold trades the
+//!    (cheap) combine step's parallelism for reproducibility. The
+//!    expensive per-item work still runs on the pool, and chunks stream
+//!    to the fold as they complete under a bounded backpressure window —
+//!    parallel runs hold at most a constant fraction of the mapped items
+//!    (one in-flight chunk per worker plus the window), while
+//!    single-threaded and nested runs keep one item in flight, exactly
+//!    like a sequential iterator chain.
+//!
+//! Call sites must uphold their half of the contract: per-item work
+//! must not depend on execution order or shared mutable state, and
+//! `map_init` state is *scratch* (one per worker, reused across chunks
+//! in schedule order — results must not depend on its history).
+//!
+//! # Deliberate API narrowing
+//!
+//! `into_par_iter()` is implemented for integer ranges (the only owned
+//! source the workspace parallelizes) rather than for every
+//! `IntoIterator`: parallel index-addressed execution needs random
+//! access, and ranges keep that trivially cheap. Slices get
+//! `par_iter()` / `par_chunks()`. Swapping in real `rayon` remains a
+//! one-line change in the workspace manifest plus re-auditing the
+//! `reduce`/`sum` call sites for float-order sensitivity.
 
-/// A "parallel" iterator: a thin wrapper over a standard iterator with
-/// rayon-shaped adapter methods.
-pub struct ParIter<I>(I);
+mod pool;
 
-impl<I: Iterator> ParIter<I> {
-    /// Keeps only items matching the predicate.
-    pub fn filter<P>(self, predicate: P) -> ParIter<core::iter::Filter<I, P>>
-    where
-        P: FnMut(&I::Item) -> bool,
-    {
-        ParIter(self.0.filter(predicate))
+pub use pool::{current_num_threads, join, set_thread_override};
+
+// ---------------------------------------------------------------------
+// Pipeline stages
+// ---------------------------------------------------------------------
+
+/// One stage of a parallel pipeline: produces, for each *source index*,
+/// zero or one items (filters drop items; everything else maps 1:1).
+///
+/// Implementations must be pure per index: `fill(state, idx, ..)` must
+/// yield the same item for the same `idx` regardless of schedule,
+/// worker, or the scratch `State`'s history.
+pub trait ParStage: Sync {
+    /// The item type this stage produces.
+    type Item: Send;
+    /// Per-worker scratch state (only `map_init` carries real state).
+    type State: Send;
+
+    /// Number of source indices driving the pipeline.
+    fn source_len(&self) -> usize;
+
+    /// Creates one worker's scratch state.
+    fn make_state(&self) -> Self::State;
+
+    /// Produces the item for source index `idx` (if any) into `sink`.
+    fn fill<F: FnMut(Self::Item)>(&self, state: &mut Self::State, idx: usize, sink: &mut F);
+}
+
+/// Marker for stages whose source index equals the item's position in
+/// the produced sequence (no filtering upstream) — the stages
+/// `enumerate` is meaningful on, mirroring rayon's
+/// `IndexedParallelIterator`.
+pub trait IndexedParStage: ParStage {}
+
+/// A parallel iterator: a pipeline of [`ParStage`]s executed by the
+/// chunked thread pool at the terminal operation.
+pub struct ParIter<S> {
+    stage: S,
+}
+
+// --- sources ---------------------------------------------------------
+
+/// Integer types usable as `into_par_iter()` range endpoints.
+pub trait ParIndexable: Copy + Send + Sync + PartialOrd {
+    /// `self + n`, for stepping through the range.
+    fn offset(self, n: usize) -> Self;
+    /// `end - start` as a `usize` (caller guarantees `start <= end`).
+    fn distance(start: Self, end: Self) -> usize;
+}
+
+macro_rules! par_indexable {
+    ($($t:ty),*) => {$(
+        impl ParIndexable for $t {
+            #[inline]
+            fn offset(self, n: usize) -> Self {
+                self + n as $t
+            }
+            #[inline]
+            fn distance(start: Self, end: Self) -> usize {
+                (end - start) as usize
+            }
+        }
+    )*};
+}
+par_indexable!(u32, u64, usize, i32, i64);
+
+/// Source stage for integer ranges.
+pub struct RangeStage<T> {
+    start: T,
+    len: usize,
+}
+
+impl<T: ParIndexable> ParStage for RangeStage<T> {
+    type Item = T;
+    type State = ();
+
+    fn source_len(&self) -> usize {
+        self.len
     }
 
-    /// Transforms each item.
-    pub fn map<F, R>(self, f: F) -> ParIter<core::iter::Map<I, F>>
-    where
-        F: FnMut(I::Item) -> R,
-    {
-        ParIter(self.0.map(f))
-    }
+    fn make_state(&self) {}
 
-    /// Transforms each item with access to per-worker scratch state
-    /// (rayon's `map_init`; one worker here, so `init` runs once).
-    pub fn map_init<T, INIT, F, R>(self, init: INIT, f: F) -> ParIter<MapInit<I, T, F>>
-    where
-        INIT: FnOnce() -> T,
-        F: FnMut(&mut T, I::Item) -> R,
-    {
-        ParIter(MapInit {
-            iter: self.0,
-            state: init(),
-            f,
-        })
-    }
-
-    /// Pairs each item with its index.
-    pub fn enumerate(self) -> ParIter<core::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Collects into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Sums the items.
-    pub fn sum<S: core::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Folds with an identity constructor (rayon's `reduce` signature).
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: FnOnce() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Runs `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    fn fill<F: FnMut(T)>(&self, _state: &mut (), idx: usize, sink: &mut F) {
+        sink(self.start.offset(idx));
     }
 }
 
-/// `map_init` adapter iterator (see [`ParIter::map_init`]).
-pub struct MapInit<I, T, F> {
-    iter: I,
-    state: T,
+impl<T: ParIndexable> IndexedParStage for RangeStage<T> {}
+
+/// Source stage for borrowed slice items (`par_iter()`).
+pub struct SliceStage<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParStage for SliceStage<'a, T> {
+    type Item = &'a T;
+    type State = ();
+
+    fn source_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn make_state(&self) {}
+
+    fn fill<F: FnMut(&'a T)>(&self, _state: &mut (), idx: usize, sink: &mut F) {
+        sink(&self.slice[idx]);
+    }
+}
+
+impl<T: Sync> IndexedParStage for SliceStage<'_, T> {}
+
+/// Source stage for fixed-size slice chunks (`par_chunks()`); chunk
+/// boundaries depend only on the caller-chosen size, never on the
+/// thread count.
+pub struct ChunksStage<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParStage for ChunksStage<'a, T> {
+    type Item = &'a [T];
+    type State = ();
+
+    fn source_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn make_state(&self) {}
+
+    fn fill<F: FnMut(&'a [T])>(&self, _state: &mut (), idx: usize, sink: &mut F) {
+        let lo = idx * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        sink(&self.slice[lo..hi]);
+    }
+}
+
+impl<T: Sync> IndexedParStage for ChunksStage<'_, T> {}
+
+// --- adapters --------------------------------------------------------
+
+/// `map` adapter stage (see [`ParIter::map`]).
+pub struct MapStage<S, F> {
+    prev: S,
     f: F,
 }
 
-impl<I, T, F, R> Iterator for MapInit<I, T, F>
+impl<S, F, R> ParStage for MapStage<S, F>
 where
-    I: Iterator,
-    F: FnMut(&mut T, I::Item) -> R,
+    S: ParStage,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
 {
     type Item = R;
+    type State = S::State;
 
-    fn next(&mut self) -> Option<R> {
-        let item = self.iter.next()?;
-        Some((self.f)(&mut self.state, item))
+    fn source_len(&self) -> usize {
+        self.prev.source_len()
+    }
+
+    fn make_state(&self) -> S::State {
+        self.prev.make_state()
+    }
+
+    fn fill<G: FnMut(R)>(&self, state: &mut S::State, idx: usize, sink: &mut G) {
+        self.prev.fill(state, idx, &mut |item| sink((self.f)(item)));
+    }
+}
+
+impl<S, F, R> IndexedParStage for MapStage<S, F>
+where
+    S: IndexedParStage,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+}
+
+/// `filter` adapter stage (see [`ParIter::filter`]).
+pub struct FilterStage<S, P> {
+    prev: S,
+    predicate: P,
+}
+
+impl<S, P> ParStage for FilterStage<S, P>
+where
+    S: ParStage,
+    P: Fn(&S::Item) -> bool + Sync,
+{
+    type Item = S::Item;
+    type State = S::State;
+
+    fn source_len(&self) -> usize {
+        self.prev.source_len()
+    }
+
+    fn make_state(&self) -> S::State {
+        self.prev.make_state()
+    }
+
+    fn fill<G: FnMut(S::Item)>(&self, state: &mut S::State, idx: usize, sink: &mut G) {
+        self.prev.fill(state, idx, &mut |item| {
+            if (self.predicate)(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+/// `map_init` adapter stage (see [`ParIter::map_init`]).
+pub struct MapInitStage<S, I, F> {
+    prev: S,
+    init: I,
+    f: F,
+}
+
+impl<S, I, T, F, R> ParStage for MapInitStage<S, I, F>
+where
+    S: ParStage,
+    I: Fn() -> T + Sync,
+    T: Send,
+    F: Fn(&mut T, S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    type State = (S::State, T);
+
+    fn source_len(&self) -> usize {
+        self.prev.source_len()
+    }
+
+    fn make_state(&self) -> (S::State, T) {
+        (self.prev.make_state(), (self.init)())
+    }
+
+    fn fill<G: FnMut(R)>(&self, state: &mut (S::State, T), idx: usize, sink: &mut G) {
+        let (prev_state, scratch) = state;
+        self.prev
+            .fill(prev_state, idx, &mut |item| sink((self.f)(scratch, item)));
+    }
+}
+
+impl<S, I, T, F, R> IndexedParStage for MapInitStage<S, I, F>
+where
+    S: IndexedParStage,
+    I: Fn() -> T + Sync,
+    T: Send,
+    F: Fn(&mut T, S::Item) -> R + Sync,
+    R: Send,
+{
+}
+
+/// `enumerate` adapter stage (see [`ParIter::enumerate`]).
+pub struct EnumerateStage<S> {
+    prev: S,
+}
+
+impl<S: IndexedParStage> ParStage for EnumerateStage<S> {
+    type Item = (usize, S::Item);
+    type State = S::State;
+
+    fn source_len(&self) -> usize {
+        self.prev.source_len()
+    }
+
+    fn make_state(&self) -> S::State {
+        self.prev.make_state()
+    }
+
+    fn fill<G: FnMut((usize, S::Item))>(&self, state: &mut S::State, idx: usize, sink: &mut G) {
+        self.prev.fill(state, idx, &mut |item| sink((idx, item)));
+    }
+}
+
+impl<S: IndexedParStage> IndexedParStage for EnumerateStage<S> {}
+
+// --- adapter + terminal methods --------------------------------------
+
+impl<S: ParStage> ParIter<S> {
+    /// Keeps only items matching the predicate.
+    pub fn filter<P>(self, predicate: P) -> ParIter<FilterStage<S, P>>
+    where
+        P: Fn(&S::Item) -> bool + Sync,
+    {
+        ParIter {
+            stage: FilterStage {
+                prev: self.stage,
+                predicate,
+            },
+        }
+    }
+
+    /// Transforms each item.
+    pub fn map<F, R>(self, f: F) -> ParIter<MapStage<S, F>>
+    where
+        F: Fn(S::Item) -> R + Sync,
+        R: Send,
+    {
+        ParIter {
+            stage: MapStage {
+                prev: self.stage,
+                f,
+            },
+        }
+    }
+
+    /// Transforms each item with access to per-worker scratch state
+    /// (rayon's `map_init`): `init` runs once per participating worker
+    /// and the scratch value is reused across that worker's chunks.
+    /// Results must not depend on the scratch's history.
+    pub fn map_init<T, I, F, R>(self, init: I, f: F) -> ParIter<MapInitStage<S, I, F>>
+    where
+        I: Fn() -> T + Sync,
+        T: Send,
+        F: Fn(&mut T, S::Item) -> R + Sync,
+        R: Send,
+    {
+        ParIter {
+            stage: MapInitStage {
+                prev: self.stage,
+                init,
+                f,
+            },
+        }
+    }
+
+    /// Pairs each item with its source index. Only available while the
+    /// pipeline is still index-aligned (i.e. before any `filter`),
+    /// mirroring rayon's `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<EnumerateStage<S>>
+    where
+        S: IndexedParStage,
+    {
+        ParIter {
+            stage: EnumerateStage { prev: self.stage },
+        }
+    }
+
+    /// Runs the pipeline and hands `consume` the items as one
+    /// source-ordered stream (bit-identical for every thread count).
+    ///
+    /// Multi-threaded runs compute fixed chunks on the pool and stream
+    /// them back in chunk order under a bounded backpressure window, so
+    /// only in-flight and finished-ahead-of-turn chunks are alive at
+    /// once; single-threaded (or single-chunk) runs drive the stream
+    /// fully lazily with one item in flight — the folding terminals
+    /// never materialize the full mapped item set at once.
+    fn drive<Out>(self, consume: impl FnOnce(&mut dyn Iterator<Item = S::Item>) -> Out) -> Out {
+        let stage = self.stage;
+        let len = stage.source_len();
+        let threads = pool::effective_threads();
+        if threads > 1 && len > 1 {
+            let granularity = pool::chunk_granularity(len);
+            let num_chunks = len.div_ceil(granularity);
+            if num_chunks > 1 {
+                return pool::drive_ordered(
+                    num_chunks,
+                    || stage.make_state(),
+                    |state, chunk_idx| {
+                        let lo = chunk_idx * granularity;
+                        let hi = (lo + granularity).min(len);
+                        let mut out = Vec::with_capacity(hi - lo);
+                        for idx in lo..hi {
+                            stage.fill(state, idx, &mut |item| out.push(item));
+                        }
+                        out
+                    },
+                    consume,
+                );
+            }
+        }
+        let mut state = stage.make_state();
+        let mut pending = std::collections::VecDeque::new();
+        let mut idx = 0usize;
+        let mut stream = core::iter::from_fn(|| loop {
+            if let Some(item) = pending.pop_front() {
+                return Some(item);
+            }
+            if idx >= len {
+                return None;
+            }
+            stage.fill(&mut state, idx, &mut |item| pending.push_back(item));
+            idx += 1;
+        });
+        consume(&mut stream)
+    }
+
+    /// Collects into any `FromIterator` container, in source order.
+    pub fn collect<C: FromIterator<S::Item>>(self) -> C {
+        self.drive(|items| items.collect())
+    }
+
+    /// Sums the items. Per-item work runs on the pool; the accumulation
+    /// itself folds sequentially in source order so floating-point sums
+    /// are schedule-independent.
+    pub fn sum<Out: core::iter::Sum<S::Item>>(self) -> Out {
+        self.drive(|items| items.sum())
+    }
+
+    /// Folds with an identity constructor (rayon's `reduce` signature).
+    /// Per-item work runs on the pool; `op` is applied sequentially in
+    /// source order (see [`ParIter::sum`] — same determinism trade).
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> S::Item
+    where
+        Id: FnOnce() -> S::Item,
+        Op: FnMut(S::Item, S::Item) -> S::Item,
+    {
+        self.drive(|items| items.fold(identity(), op))
+    }
+
+    /// Runs `f` on every item, in source order on the calling thread
+    /// (per-item pipeline work still runs on the pool).
+    pub fn for_each<F: FnMut(S::Item)>(self, mut f: F) {
+        self.drive(|items| items.for_each(&mut f))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------
+
+/// Owned conversion into a parallel iterator (`into_par_iter`).
+/// Implemented for integer ranges — see the crate docs on the
+/// deliberate narrowing versus rayon's blanket implementation.
+pub trait IntoParallelIterator {
+    /// The pipeline source stage this conversion produces.
+    type Stage: ParStage;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Stage>;
+}
+
+impl<T: ParIndexable> IntoParallelIterator for core::ops::Range<T> {
+    type Stage = RangeStage<T>;
+
+    fn into_par_iter(self) -> ParIter<RangeStage<T>> {
+        let len = if self.start < self.end {
+            T::distance(self.start, self.end)
+        } else {
+            0
+        };
+        ParIter {
+            stage: RangeStage {
+                start: self.start,
+                len,
+            },
+        }
+    }
+}
+
+impl<T: ParIndexable> IntoParallelIterator for core::ops::RangeInclusive<T> {
+    type Stage = RangeStage<T>;
+
+    fn into_par_iter(self) -> ParIter<RangeStage<T>> {
+        let (start, end) = self.into_inner();
+        let len = if start <= end {
+            T::distance(start, end) + 1
+        } else {
+            0
+        };
+        ParIter {
+            stage: RangeStage { start, len },
+        }
+    }
+}
+
+/// Slice splitting and borrowing (`par_chunks`, `par_iter`).
+pub trait ParallelSlice<T: Sync> {
+    /// Iterates over `size`-element chunks (the last may be shorter).
+    /// Chunk boundaries are fixed by `size`, independent of the thread
+    /// count — per-chunk results merge identically on any schedule.
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksStage<'_, T>>;
+
+    /// Iterates over borrowed items.
+    fn par_iter(&self) -> ParIter<SliceStage<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksStage<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            stage: ChunksStage { slice: self, size },
+        }
+    }
+
+    fn par_iter(&self) -> ParIter<SliceStage<'_, T>> {
+        ParIter {
+            stage: SliceStage { slice: self },
+        }
     }
 }
 
 /// Rayon-style traits, imported via `use rayon::prelude::*`.
 pub mod prelude {
-    use super::ParIter;
-
-    /// Owned conversion into a parallel iterator (`into_par_iter`).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Converts `self` into a (sequential) parallel iterator.
-        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-            ParIter(self.into_iter())
-        }
-    }
-
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// Slice splitting and borrowing (`par_chunks`, `par_iter`).
-    pub trait ParallelSlice<T> {
-        /// Iterates over `size`-element chunks.
-        fn par_chunks(&self, size: usize) -> ParIter<core::slice::Chunks<'_, T>>;
-
-        /// Iterates over borrowed items.
-        fn par_iter(&self) -> ParIter<core::slice::Iter<'_, T>>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, size: usize) -> ParIter<core::slice::Chunks<'_, T>> {
-            ParIter(self.chunks(size))
-        }
-
-        fn par_iter(&self) -> ParIter<core::slice::Iter<'_, T>> {
-            ParIter(self.iter())
-        }
-    }
+    pub use crate::{IntoParallelIterator, ParallelSlice};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::set_thread_override;
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the global thread override. A failed
+    /// test poisons it with the override already restored (see the
+    /// guard in `with_threads`), so later tests just clear the poison.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+        OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        /// Restores the default also when `f` panics (an assertion
+        /// failure must not leak the override into other tests).
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_thread_override(None);
+            }
+        }
+        set_thread_override(Some(threads));
+        let _restore = Restore;
+        f()
+    }
 
     #[test]
     fn chain_matches_sequential_equivalent() {
-        let par: Vec<(usize, u32)> = (0u32..10)
-            .into_par_iter()
-            .filter(|&v| v % 2 == 0)
-            .map(|v| v * 3)
-            .enumerate()
-            .collect();
-        let seq: Vec<(usize, u32)> = (0u32..10)
-            .filter(|&v| v % 2 == 0)
-            .map(|v| v * 3)
-            .enumerate()
-            .collect();
-        assert_eq!(par, seq);
-    }
-
-    #[test]
-    fn map_init_threads_scratch_state() {
-        let out: Vec<usize> = (0..5usize)
-            .into_par_iter()
-            .map_init(Vec::new, |scratch: &mut Vec<usize>, v| {
-                scratch.push(v);
-                scratch.len()
-            })
-            .collect();
-        assert_eq!(out, vec![1, 2, 3, 4, 5]);
-    }
-
-    #[test]
-    fn reduce_uses_identity() {
-        let total = (1..=4usize)
-            .into_par_iter()
-            .map(|v| vec![v])
-            .reduce(Vec::new, |mut a, b| {
-                a.extend(b);
-                a
+        let _guard = override_lock();
+        for threads in [1, 2, 8] {
+            let par: Vec<(usize, u32)> = with_threads(threads, || {
+                (0u32..10)
+                    .into_par_iter()
+                    .map(|v| v * 3)
+                    .enumerate()
+                    .collect()
             });
-        assert_eq!(total, vec![1, 2, 3, 4]);
+            let seq: Vec<(usize, u32)> = (0u32..10).map(|v| v * 3).enumerate().collect();
+            assert_eq!(par, seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn filter_preserves_source_order() {
+        let _guard = override_lock();
+        let seq: Vec<u32> = (0u32..1000).filter(|v| v % 3 == 0).map(|v| v * 7).collect();
+        for threads in [1, 2, 8] {
+            let par: Vec<u32> = with_threads(threads, || {
+                (0u32..1000)
+                    .into_par_iter()
+                    .filter(|v| v % 3 == 0)
+                    .map(|v| v * 7)
+                    .collect()
+            });
+            assert_eq!(par, seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_init_scratch_is_reusable_state() {
+        let _guard = override_lock();
+        // The scratch buffer is cleared per item, so results are
+        // schedule-independent even though the state itself is reused.
+        for threads in [1, 2, 8] {
+            let out: Vec<usize> = with_threads(threads, || {
+                (0..100usize)
+                    .into_par_iter()
+                    .map_init(Vec::new, |scratch: &mut Vec<usize>, v| {
+                        scratch.clear();
+                        scratch.extend(0..v);
+                        scratch.len()
+                    })
+                    .collect()
+            });
+            assert_eq!(out, (0..100).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn reduce_folds_in_source_order() {
+        let _guard = override_lock();
+        for threads in [1, 2, 8] {
+            let total = with_threads(threads, || {
+                (1..=4usize)
+                    .into_par_iter()
+                    .map(|v| vec![v])
+                    .reduce(Vec::new, |mut a, b| {
+                        a.extend(b);
+                        a
+                    })
+            });
+            assert_eq!(total, vec![1, 2, 3, 4], "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn float_sums_are_bit_identical_across_thread_counts() {
+        let _guard = override_lock();
+        let data: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let seq: f64 = data.iter().sum();
+        for threads in [1, 2, 8] {
+            let par: f64 = with_threads(threads, || data.par_iter().map(|&x| x).sum());
+            assert_eq!(par.to_bits(), seq.to_bits(), "{threads} threads");
+        }
     }
 
     #[test]
     fn par_chunks_covers_the_slice() {
+        let _guard = override_lock();
         let data: Vec<u32> = (0..10).collect();
-        let sums: Vec<u32> = data.par_chunks(4).map(|c| c.iter().sum()).collect();
-        assert_eq!(sums, vec![6, 22, 17]);
-        let total: u32 = data.par_iter().map(|&x| x).sum();
-        assert_eq!(total, 45);
+        for threads in [1, 2, 8] {
+            let sums: Vec<u32> = with_threads(threads, || {
+                data.par_chunks(4).map(|c| c.iter().sum()).collect()
+            });
+            assert_eq!(sums, vec![6, 22, 17], "{threads} threads");
+            let total: u32 = with_threads(threads, || data.par_iter().map(|&x| x).sum());
+            assert_eq!(total, 45, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_in_source_order() {
+        let _guard = override_lock();
+        for threads in [1, 2, 8] {
+            let mut seen = Vec::new();
+            with_threads(threads, || {
+                (0u32..257).into_par_iter().for_each(|v| seen.push(v));
+            });
+            assert_eq!(seen, (0u32..257).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_sources_work() {
+        let _guard = override_lock();
+        for threads in [1, 8] {
+            with_threads(threads, || {
+                let empty: Vec<u32> = (5u32..5).into_par_iter().collect();
+                assert!(empty.is_empty());
+                let one: Vec<u32> = (7u32..8).into_par_iter().collect();
+                assert_eq!(one, vec![7]);
+                let none: Vec<&u32> = [].par_iter().collect();
+                assert!(none.is_empty());
+            });
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results_in_order() {
+        let _guard = override_lock();
+        for threads in [1, 4] {
+            let (a, b) = with_threads(threads, || {
+                super::join(|| (0..100u64).sum::<u64>(), || (0..100u64).product::<u64>())
+            });
+            assert_eq!(a, 4950);
+            assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_stays_deterministic() {
+        let _guard = override_lock();
+        let seq: Vec<u32> = (0u32..16)
+            .map(|i| (0u32..64).map(|j| i * j).sum::<u32>())
+            .collect();
+        for threads in [1, 2, 8] {
+            let par: Vec<u32> = with_threads(threads, || {
+                (0u32..16)
+                    .into_par_iter()
+                    .map(|i| (0u32..64).into_par_iter().map(|j| i * j).sum::<u32>())
+                    .collect()
+            });
+            assert_eq!(par, seq, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_without_deadlocking() {
+        let _guard = override_lock();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_threads(4, || {
+                (0u32..64)
+                    .into_par_iter()
+                    .map(|v| if v == 13 { panic!("boom") } else { v })
+                    .collect::<Vec<_>>()
+            })
+        }));
+        let payload = outcome.expect_err("the worker panic must reach the caller");
+        // The *original* payload is re-raised, not a generic shim panic.
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        // The pool (and this thread's worker flag) stays usable.
+        let v: Vec<u32> = with_threads(2, || (0u32..8).into_par_iter().collect());
+        assert_eq!(v, (0u32..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn current_num_threads_reflects_override() {
+        let _guard = override_lock();
+        set_thread_override(Some(3));
+        assert_eq!(super::current_num_threads(), 3);
+        set_thread_override(None);
+        assert!(super::current_num_threads() >= 1);
     }
 }

@@ -1,0 +1,344 @@
+//! The execution engine behind the parallel adapters: a chunked,
+//! work-distributing pool built on `std::thread::scope`.
+//!
+//! Every parallel terminal operation partitions its index space into
+//! fixed chunks and hands them to [`drive_ordered`], which spawns
+//! `current_num_threads()` scoped compute workers while the calling
+//! thread consumes — it folds finished chunks in chunk-index order and
+//! otherwise sleeps on a condvar, so it costs little CPU next to the
+//! workers. Workers pull chunk indices from a shared atomic counter —
+//! classic dynamic (self-scheduling) distribution — and park once they
+//! get more than a bounded window of chunks ahead of the consumer, so
+//! runaway workers cannot buffer the whole mapped item set the way an
+//! unthrottled collect-then-fold would (see [`drive_ordered`] for the
+//! precise bound). The merged output order is chunk-index order no
+//! matter which worker ran which chunk.
+//!
+//! # Thread-count resolution
+//!
+//! 1. a process-wide programmatic override ([`set_thread_override`]),
+//!    used by the determinism test suite and the perf harness to switch
+//!    thread counts at runtime;
+//! 2. otherwise the `VOM_THREADS` environment variable (parsed once; a
+//!    value of `1` forces fully sequential in-place execution);
+//! 3. otherwise [`std::thread::available_parallelism`].
+//!
+//! # Nested parallelism
+//!
+//! A thread-local flag marks pool workers; parallel operations invoked
+//! *from inside a worker* run sequentially inline instead of spawning a
+//! second generation of threads. This keeps the total live worker count
+//! at the configured bound when hot paths nest (e.g. the dynamics
+//! greedy parallelizes over candidate seeds while each evaluation's
+//! Monte-Carlo loop is itself a parallel call site).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Programmatic thread-count override (0 = none). Takes precedence over
+/// `VOM_THREADS`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while this thread is executing chunks on behalf of a pool.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The thread count configured by the environment: `VOM_THREADS` if set
+/// to a positive integer, otherwise the machine's available parallelism.
+/// Parsed once per process.
+fn configured_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("VOM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Overrides the pool's thread count for the whole process (`None`
+/// restores the `VOM_THREADS` / available-parallelism default).
+///
+/// This exists for callers that must compare thread counts *within one
+/// process* — the cross-thread determinism suite and the
+/// `repro --bench-json` perf harness. It is global: do not call it
+/// concurrently with parallel work whose thread count matters.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel operations currently use.
+pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => configured_threads(),
+        n => n,
+    }
+}
+
+/// Like [`current_num_threads`], but 1 inside a pool worker (nested
+/// parallel calls run inline; see the module docs).
+pub(crate) fn effective_threads() -> usize {
+    if IN_POOL.with(Cell::get) {
+        1
+    } else {
+        current_num_threads()
+    }
+}
+
+/// The chunk length terminal operations should use to split `len` items:
+/// one chunk (sequential) when a single thread would run it, otherwise
+/// roughly four chunks per worker so dynamic distribution can smooth out
+/// uneven per-item cost.
+pub(crate) fn chunk_granularity(len: usize) -> usize {
+    let threads = effective_threads();
+    if threads <= 1 {
+        len
+    } else {
+        len.div_ceil(threads * 4).max(1)
+    }
+}
+
+/// Clears the worker flag even if the work panics, so a caught panic
+/// on a reused thread cannot leave it permanently "in pool".
+struct PoolGuard;
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        IN_POOL.with(|flag| flag.set(false));
+    }
+}
+
+/// Coordination state of one [`drive_ordered`] run. Every field is
+/// mutated **under the mutex** and signalled through one condvar
+/// afterwards — the waiter always holds the mutex from predicate check
+/// to `Condvar::wait`, so no wakeup can be lost.
+struct Stream<T> {
+    /// Chunks finished ahead of the consumer, keyed by chunk index.
+    ready: BTreeMap<usize, Vec<T>>,
+    /// Next chunk index the consumer will hand to `consume`.
+    upto: usize,
+    /// A worker died mid-chunk; its chunk will never arrive.
+    worker_died: bool,
+    /// The dying worker's caught panic payload, re-raised on the
+    /// consumer so callers see the original diagnostic (as they would
+    /// with real rayon or a plain sequential iterator).
+    worker_panic: Option<Box<dyn std::any::Any + Send>>,
+    /// The consumer stopped reading (normally or by panic); workers
+    /// must not park waiting for it.
+    consumer_done: bool,
+}
+
+/// Runs `work(&mut state, chunk_index)` for every chunk index in
+/// `0..num_chunks` on spawned workers, **streaming** the per-chunk item
+/// vectors back to the calling thread in chunk-index order, where
+/// `consume` reads them as one flat iterator. `make_state` runs once per
+/// worker (this is what gives `map_init` genuinely per-worker scratch
+/// state).
+///
+/// Streaming plus backpressure is what keeps the ordered
+/// `sum`/`reduce`/`for_each` terminals memory-bounded: a worker whose
+/// claimed chunk is more than `2 × workers` chunks ahead of the
+/// consumer's cursor parks until the consumer catches up, so at most
+/// that many chunks are buffered. Since chunks hold `len/(4×workers)`
+/// items, the worst-case live set (workers' in-flight chunks plus the
+/// buffered window, roughly `3·len/4` items) is a constant fraction of
+/// the mapped items — a hard improvement over unthrottled full
+/// materialization, but **not** the one-item profile of a sequential
+/// fold; parallel runs inherently hold one chunk per worker. The
+/// sequential path (1 thread, nested calls) does keep a single item in
+/// flight. The window always admits the chunk the consumer is waiting
+/// for, so producer and consumer cannot deadlock.
+///
+/// Panics propagate both ways: a dying worker flags the consumer so it
+/// never waits for a chunk that cannot arrive, and a dying (or
+/// early-returning) consumer releases any parked workers.
+pub(crate) fn drive_ordered<T, St, Out, MS, W, C>(
+    num_chunks: usize,
+    make_state: MS,
+    work: W,
+    consume: C,
+) -> Out
+where
+    T: Send,
+    St: Send,
+    MS: Fn() -> St + Sync,
+    W: Fn(&mut St, usize) -> Vec<T> + Sync,
+    C: FnOnce(&mut dyn Iterator<Item = T>) -> Out,
+{
+    /// Flags worker death on unwind (under the mutex, then notifies).
+    struct WorkerSignal<'a, T> {
+        finished: bool,
+        stream: &'a Mutex<Stream<T>>,
+        changed: &'a Condvar,
+    }
+    impl<T> Drop for WorkerSignal<'_, T> {
+        fn drop(&mut self) {
+            if !self.finished {
+                match self.stream.lock() {
+                    Ok(mut s) => s.worker_died = true,
+                    Err(poison) => poison.into_inner().worker_died = true,
+                }
+            }
+            self.changed.notify_all();
+        }
+    }
+
+    /// Releases parked workers once the consumer stops reading, whether
+    /// it finished, returned early, or panicked.
+    struct ConsumerSignal<'a, T> {
+        stream: &'a Mutex<Stream<T>>,
+        changed: &'a Condvar,
+    }
+    impl<T> Drop for ConsumerSignal<'_, T> {
+        fn drop(&mut self) {
+            match self.stream.lock() {
+                Ok(mut s) => s.consumer_done = true,
+                Err(poison) => poison.into_inner().consumer_done = true,
+            }
+            self.changed.notify_all();
+        }
+    }
+
+    let workers = effective_threads().min(num_chunks).max(1);
+    let window = 2 * workers;
+    let next = AtomicUsize::new(0);
+    let stream = Mutex::new(Stream::<T> {
+        ready: BTreeMap::new(),
+        upto: 0,
+        worker_died: false,
+        worker_panic: None,
+        consumer_done: false,
+    });
+    let changed = Condvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_POOL.with(|flag| flag.set(true));
+                let _guard = PoolGuard;
+                let mut signal = WorkerSignal {
+                    finished: false,
+                    stream: &stream,
+                    changed: &changed,
+                };
+                let mut state = make_state();
+                loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    if ci >= num_chunks {
+                        break;
+                    }
+                    // Backpressure: park until `ci` is within the
+                    // consumer's window (the consumer's own chunk
+                    // `upto` is always admitted).
+                    {
+                        let mut s = stream.lock().unwrap();
+                        while ci >= s.upto + window && !s.consumer_done {
+                            s = changed.wait(s).unwrap();
+                        }
+                        if s.consumer_done {
+                            break;
+                        }
+                    }
+                    // Catch the chunk's panic so the consumer can
+                    // re-raise the *original* payload; escapes outside
+                    // this region still trip the generic signal guard.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        work(&mut state, ci)
+                    })) {
+                        Ok(items) => {
+                            stream.lock().unwrap().ready.insert(ci, items);
+                            changed.notify_all();
+                        }
+                        Err(payload) => {
+                            {
+                                let mut s = stream.lock().unwrap();
+                                s.worker_died = true;
+                                s.worker_panic = Some(payload);
+                            }
+                            changed.notify_all();
+                            break;
+                        }
+                    }
+                }
+                signal.finished = true;
+            });
+        }
+        // The calling thread consumes chunks in index order as they
+        // land, handing `consume` a flat source-ordered item stream.
+        let _consumer_signal = ConsumerSignal {
+            stream: &stream,
+            changed: &changed,
+        };
+        let mut current = Vec::new().into_iter();
+        let mut items = core::iter::from_fn(|| loop {
+            if let Some(item) = current.next() {
+                return Some(item);
+            }
+            let mut s = stream.lock().unwrap();
+            if s.upto >= num_chunks {
+                return None;
+            }
+            loop {
+                let turn = s.upto;
+                if let Some(chunk) = s.ready.remove(&turn) {
+                    s.upto = turn + 1;
+                    drop(s);
+                    changed.notify_all();
+                    current = chunk.into_iter();
+                    break;
+                }
+                if let Some(payload) = s.worker_panic.take() {
+                    drop(s);
+                    std::panic::resume_unwind(payload);
+                }
+                assert!(!s.worker_died, "a vom-rayon-shim pool worker panicked");
+                s = changed.wait(s).unwrap();
+            }
+        });
+        consume(&mut items)
+    })
+}
+
+/// Runs the two closures, potentially in parallel, and returns both
+/// results in argument order (the `rayon::join` surface).
+///
+/// Both branches count as pool workers: parallel operations nested in
+/// *either* closure run inline on their branch's thread, so a join
+/// costs exactly two compute threads — it widens the pool for the two
+/// branches instead of nesting a second pool under one of them.
+pub fn join<A, B, Ra, Rb>(a: A, b: B) -> (Ra, Rb)
+where
+    A: FnOnce() -> Ra + Send,
+    B: FnOnce() -> Rb + Send,
+    Ra: Send,
+    Rb: Send,
+{
+    if effective_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            IN_POOL.with(|flag| flag.set(true));
+            let _guard = PoolGuard;
+            b()
+        });
+        let ra = {
+            IN_POOL.with(|flag| flag.set(true));
+            let _guard = PoolGuard;
+            a()
+        };
+        let rb = match handle.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
