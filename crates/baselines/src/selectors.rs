@@ -16,9 +16,9 @@ use crate::imm::{imm_seeds, ImmConfig};
 use crate::pagerank::pagerank_seeds;
 use crate::rwr::rwr_seeds;
 use std::time::Instant;
-use vom_core::engine::{Engine, Prepared, PreparedBackend, SeedSelector};
+use vom_core::engine::{Engine, IndexBackend, PreparedIndex, SeedSelector, SessionScratch};
 use vom_core::registry::MethodId;
-use vom_core::{Problem, Result};
+use vom_core::{Problem, ProblemSpec, Result};
 use vom_diffusion::OpinionMatrix;
 use vom_graph::Node;
 
@@ -78,43 +78,51 @@ impl SeedSelector for BaselineEngine {
         BaselineEngine::id(self)
     }
 
-    fn prepare<'a>(&self, problem: &Problem<'a>) -> Result<Prepared<'a>> {
+    fn prepare_spec(&self, spec: ProblemSpec) -> Result<PreparedIndex> {
         let start = Instant::now();
-        let g = problem.instance.graph_of(problem.target);
-        let order = match self {
-            BaselineEngine::Ic(cfg) => {
-                imm_seeds(g, CascadeModel::IndependentCascade, problem.k, cfg)
+        let order = {
+            let problem = spec.problem();
+            let g = problem.instance.graph_of(problem.target);
+            match self {
+                BaselineEngine::Ic(cfg) => {
+                    imm_seeds(g, CascadeModel::IndependentCascade, problem.k, cfg)
+                }
+                BaselineEngine::Lt(cfg) => {
+                    imm_seeds(g, CascadeModel::LinearThreshold, problem.k, cfg)
+                }
+                BaselineEngine::Gedt => gedt_seeds(&problem),
+                BaselineEngine::PageRank => pagerank_seeds(g, problem.k),
+                BaselineEngine::Rwr => rwr_seeds(g, problem.k),
+                BaselineEngine::Degree => degree_centrality_seeds(g, problem.k),
             }
-            BaselineEngine::Lt(cfg) => imm_seeds(g, CascadeModel::LinearThreshold, problem.k, cfg),
-            BaselineEngine::Gedt => gedt_seeds(problem),
-            BaselineEngine::PageRank => pagerank_seeds(g, problem.k),
-            BaselineEngine::Rwr => rwr_seeds(g, problem.k),
-            BaselineEngine::Degree => degree_centrality_seeds(g, problem.k),
         };
-        Ok(Prepared::new(
-            problem.clone(),
+        Ok(PreparedIndex::new(
+            spec,
             self.id(),
-            Box::new(RankedListBackend { order }),
+            Box::new(RankedListIndex { order }),
             start.elapsed(),
         ))
     }
 }
 
-/// Prepared state of every baseline: the selection order computed at the
-/// prepared budget; a query takes the first `k`.
-struct RankedListBackend {
+/// Prepared state of every baseline: the immutable selection order
+/// computed at the prepared budget; a query takes the first `k`. The
+/// ranking is prefix-consistent (deterministic greedy or full sort), so
+/// concurrent sessions need no per-query state at all.
+struct RankedListIndex {
     order: Vec<Node>,
 }
 
-impl<'a> PreparedBackend<'a> for RankedListBackend {
+impl IndexBackend for RankedListIndex {
     fn heap_bytes(&self) -> usize {
         0
     }
 
     fn greedy(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         _others: Option<&OpinionMatrix>,
+        _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         Ok(self.order.iter().take(problem.k).copied().collect())
     }
@@ -161,10 +169,10 @@ impl SeedSelector for AnyEngine {
         }
     }
 
-    fn prepare<'a>(&self, problem: &Problem<'a>) -> Result<Prepared<'a>> {
+    fn prepare_spec(&self, spec: ProblemSpec) -> Result<PreparedIndex> {
         match self {
-            AnyEngine::Core(e) => e.prepare(problem),
-            AnyEngine::Baseline(b) => b.prepare(problem),
+            AnyEngine::Core(e) => e.prepare_spec(spec),
+            AnyEngine::Baseline(b) => b.prepare_spec(spec),
         }
     }
 }

@@ -1,14 +1,25 @@
 //! The perf-trajectory harness behind `repro --bench-json`.
 //!
-//! Times the prepare and query phases of two representative workloads —
-//! the Figure 6 plurality sweep in quick mode (`fig6-quick`) and the
-//! cumulative budget sweep (`sweep-k`) — with the pool pinned to a
+//! Times the prepare and query phases of three representative workloads —
+//! the Figure 6 plurality sweep in quick mode (`fig6-quick`), the
+//! cumulative budget sweep (`sweep-k`), and a batched `query-throughput`
+//! workload that fans mixed queries over **one shared
+//! [`vom_service::VomService`] index** — with the pool pinned to a
 //! single thread and at the parallel target, then writes the samples to
 //! `BENCH_parallel.json`. The file seeds the repo's recorded perf
 //! trajectory: each sample carries the thread count, phase wall clocks,
-//! and a `deterministic` flag asserting the run selected bit-identical
+//! a `deterministic` flag asserting the run selected bit-identical
 //! seeds to the single-threaded reference (the shim's
-//! schedule-independence contract, checked on every bench run).
+//! schedule-independence contract, checked on every bench run), and a
+//! `digest` of the selections so external tooling (the CI smoke) can
+//! re-assert the cross-width match from the JSON alone.
+//!
+//! The sweep workloads parallelize *inside* one query (artifact builds,
+//! estimate updates); the query-throughput workload parallelizes
+//! *across* queries — each batch item gets its own
+//! [`vom_core::QuerySession`] on the shared `Send + Sync` index, so the
+//! thread count scales served queries per second, not single-query
+//! latency.
 //!
 //! Methodology: datasets are generated once and shared by all runs, so
 //! the timings isolate engine work (artifact builds + greedy queries)
@@ -21,16 +32,19 @@ use crate::error::{BenchError, Result};
 use crate::experiments::sweep_k;
 use crate::{timed, ExpConfig};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
-use vom_core::Problem;
+use vom_core::engine::{Query, SelectionMode};
+use vom_core::{MethodId, Problem};
 use vom_datasets::Dataset;
 use vom_graph::Node;
+use vom_service::{ServiceRequest, VomService};
 use vom_voting::ScoringFunction;
 
 /// One timed (workload, thread-count) sample.
 #[derive(Debug, Clone)]
 pub struct BenchSample {
-    /// Workload id (`fig6-quick` or `sweep-k`).
+    /// Workload id (`fig6-quick`, `sweep-k`, or `query-throughput`).
     pub experiment: &'static str,
     /// Pool threads the sample ran with.
     pub threads: usize,
@@ -43,6 +57,10 @@ pub struct BenchSample {
     /// Whether the selected seed sets are bit-identical to the
     /// 1-thread reference run of the same workload.
     pub deterministic: bool,
+    /// FNV-1a digest of the selections (labels + seeds), hex. Equal
+    /// digests across thread counts of one experiment mean equal
+    /// selections — asserted again from the JSON by the CI smoke.
+    pub digest: String,
 }
 
 /// Seed selections of one workload pass, for cross-thread comparison:
@@ -67,7 +85,30 @@ fn parallel_target() -> usize {
     rayon::current_num_threads().max(2)
 }
 
-/// Runs one workload over the shared datasets at the current pool
+/// FNV-1a over the selection labels and seed ids — a stable fingerprint
+/// of "which seeds did every query pick".
+fn selections_digest(selections: &Selections) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (label, seeds) in selections {
+        for b in label.bytes() {
+            eat(b);
+        }
+        eat(0xff);
+        for &s in seeds {
+            for b in s.to_le_bytes() {
+                eat(b);
+            }
+        }
+        eat(0xfe);
+    }
+    format!("{hash:016x}")
+}
+
+/// Runs one sweep workload over the shared datasets at the current pool
 /// setting, timing prepare and query phases separately.
 fn run_workload(
     cfg: &ExpConfig,
@@ -119,16 +160,143 @@ fn run_workload(
     })
 }
 
-/// Runs both workloads at 1 and N threads (the configured pool width,
-/// floored at 2) and writes `BENCH_parallel.json` into the current
-/// directory. Returns the path written. The pool override is always
-/// restored, also on error.
+/// The mixed query batch of the throughput workload: every swept budget
+/// under the plurality rule, auto (sandwich) and plain modes, replicated
+/// [`QT_REPLICATION`] times — all answered by **one** shared RS index.
+fn throughput_requests(cfg: &ExpConfig, ds: &Dataset) -> Vec<ServiceRequest> {
+    let n = ds.instance.num_nodes();
+    let ks: Vec<usize> = match cfg.k_override {
+        Some(k) => vec![k],
+        None => cfg
+            .k_sweep()
+            .iter()
+            .map(|&k| k.min(n / 2))
+            .filter(|&k| k > 0)
+            .collect(),
+    };
+    let mut requests = Vec::new();
+    for _rep in 0..QT_REPLICATION {
+        for &k in &ks {
+            for mode in [SelectionMode::Auto, SelectionMode::Plain] {
+                let mut query = Query::new(k, ScoringFunction::Plurality, ds.default_target);
+                query.mode = mode;
+                requests.push(ServiceRequest::new(
+                    QT_GRAPH,
+                    MethodId::Rs,
+                    cfg.default_t(),
+                    query,
+                ));
+            }
+        }
+    }
+    requests
+}
+
+const QT_GRAPH: &str = "bench";
+/// Batch replication factor: enough in-flight queries that every pool
+/// worker stays busy at the parallel target.
+const QT_REPLICATION: usize = 4;
+
+/// One pass of the batched query-throughput workload: a fresh service,
+/// `warm` as the prepare phase (builds the one shared index), then
+/// `run_batch` as the query phase.
+fn run_query_throughput(cfg: &ExpConfig, ds: &Dataset) -> Result<WorkloadPass> {
+    let seed = cfg.seed;
+    let service =
+        VomService::with_engine_factory(Box::new(move |m| crate::harness_engine(m, seed)));
+    service
+        .register(QT_GRAPH, Arc::new(ds.instance.clone()))
+        .map_err(|e| BenchError::InvalidConfig(format!("service registration failed: {e}")))?;
+    let requests = throughput_requests(cfg, ds);
+    let (_, prepare) = timed(|| service.warm(&requests));
+    let (results, query) = timed(|| service.run_batch(&requests));
+    let mut selections: Selections = Vec::with_capacity(results.len());
+    for (i, (req, res)) in requests.iter().zip(results).enumerate() {
+        let out = res.map_err(|e| {
+            BenchError::InvalidConfig(format!(
+                "query-throughput request {i} (k={}) failed: {e}",
+                req.query.k
+            ))
+        })?;
+        selections.push((
+            format!("{}/k{}/{:?}/{i}", ds.name, req.query.k, req.query.mode),
+            out.seeds,
+        ));
+    }
+    Ok(WorkloadPass {
+        prepare,
+        query,
+        selections,
+    })
+}
+
+/// Interleaves [`PASSES`] passes of one workload at 1 and `threads_hi`
+/// pool threads, checks every pass against the 1-thread reference
+/// selections, and records the fastest pass per width.
+fn collect_workload(
+    experiment: &'static str,
+    threads_hi: usize,
+    samples: &mut Vec<BenchSample>,
+    mut pass_fn: impl FnMut() -> Result<WorkloadPass>,
+) -> Result<()> {
+    let mut reference: Option<Selections> = None;
+    // threads -> (fastest pass, every pass matched the reference)
+    let mut best: Vec<(usize, WorkloadPass, bool)> = Vec::new();
+    for pass_no in 0..PASSES {
+        for &threads in &[1usize, threads_hi] {
+            rayon::set_thread_override(Some(threads));
+            let pass = pass_fn()?;
+            let matches = match &reference {
+                None => {
+                    reference = Some(pass.selections.clone());
+                    true
+                }
+                Some(expected) => *expected == pass.selections,
+            };
+            println!(
+                "[bench {experiment} threads={threads} pass {}/{PASSES}: \
+                 prepare {:.3}s, query {:.3}s, deterministic: {matches}]",
+                pass_no + 1,
+                pass.prepare.as_secs_f64(),
+                pass.query.as_secs_f64(),
+            );
+            match best.iter_mut().find(|(t, _, _)| *t == threads) {
+                None => best.push((threads, pass, matches)),
+                Some((_, fastest, all_match)) => {
+                    *all_match = *all_match && matches;
+                    if pass.prepare + pass.query < fastest.prepare + fastest.query {
+                        *fastest = pass;
+                    }
+                }
+            }
+        }
+    }
+    for (threads, pass, deterministic) in best {
+        samples.push(BenchSample {
+            experiment,
+            threads,
+            prepare_s: pass.prepare.as_secs_f64(),
+            query_s: pass.query.as_secs_f64(),
+            total_s: (pass.prepare + pass.query).as_secs_f64(),
+            deterministic,
+            digest: selections_digest(&pass.selections),
+        });
+    }
+    Ok(())
+}
+
+/// Runs all three workloads at 1 and N threads (the configured pool
+/// width, floored at 2) and writes `BENCH_parallel.json` into the
+/// current directory. Returns the path written. The pool override in
+/// effect at entry (e.g. from `repro --threads`) is always restored,
+/// also on error.
 pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
     let quick = ExpConfig {
         quick: true,
         ..cfg.clone()
     };
     let datasets = sweep_k::datasets(&quick);
+    let entry_override = rayon::thread_override();
     let threads_hi = parallel_target();
     let workloads: [(&'static str, ScoringFunction); 2] = [
         ("fig6-quick", ScoringFunction::Plurality),
@@ -138,52 +306,20 @@ pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
     let mut samples: Vec<BenchSample> = Vec::new();
     let outcome = (|| -> Result<()> {
         for (experiment, score) in &workloads {
-            let mut reference: Option<Selections> = None;
-            // threads -> (fastest pass, every pass matched the reference)
-            let mut best: Vec<(usize, WorkloadPass, bool)> = Vec::new();
-            for pass_no in 0..PASSES {
-                for &threads in &[1usize, threads_hi] {
-                    rayon::set_thread_override(Some(threads));
-                    let pass = run_workload(&quick, &datasets, score)?;
-                    let matches = match &reference {
-                        None => {
-                            reference = Some(pass.selections.clone());
-                            true
-                        }
-                        Some(expected) => *expected == pass.selections,
-                    };
-                    println!(
-                        "[bench {experiment} threads={threads} pass {}/{PASSES}: \
-                         prepare {:.3}s, query {:.3}s, deterministic: {matches}]",
-                        pass_no + 1,
-                        pass.prepare.as_secs_f64(),
-                        pass.query.as_secs_f64(),
-                    );
-                    match best.iter_mut().find(|(t, _, _)| *t == threads) {
-                        None => best.push((threads, pass, matches)),
-                        Some((_, fastest, all_match)) => {
-                            *all_match = *all_match && matches;
-                            if pass.prepare + pass.query < fastest.prepare + fastest.query {
-                                *fastest = pass;
-                            }
-                        }
-                    }
-                }
-            }
-            for (threads, pass, deterministic) in best {
-                samples.push(BenchSample {
-                    experiment,
-                    threads,
-                    prepare_s: pass.prepare.as_secs_f64(),
-                    query_s: pass.query.as_secs_f64(),
-                    total_s: (pass.prepare + pass.query).as_secs_f64(),
-                    deterministic,
-                });
-            }
+            collect_workload(experiment, threads_hi, &mut samples, || {
+                run_workload(&quick, &datasets, score)
+            })?;
         }
+        // The batched service workload: one shared index, N sessions.
+        let qt_dataset = datasets.first().ok_or_else(|| {
+            BenchError::InvalidConfig("no dataset for the query-throughput workload".into())
+        })?;
+        collect_workload("query-throughput", threads_hi, &mut samples, || {
+            run_query_throughput(&quick, qt_dataset)
+        })?;
         Ok(())
     })();
-    rayon::set_thread_override(None);
+    rayon::set_thread_override(entry_override);
     outcome?;
 
     if let Some(bad) = samples.iter().find(|s| !s.deterministic) {
@@ -209,8 +345,9 @@ fn render_json(cfg: &ExpConfig, samples: &[BenchSample]) -> String {
             format!(
                 "    {{\n      \"experiment\": \"{}\",\n      \"threads\": {},\n      \
                  \"prepare_s\": {:.6},\n      \"query_s\": {:.6},\n      \"total_s\": {:.6},\n      \
-                 \"deterministic\": {}\n    }}",
-                s.experiment, s.threads, s.prepare_s, s.query_s, s.total_s, s.deterministic
+                 \"deterministic\": {},\n      \"digest\": \"{}\"\n    }}",
+                s.experiment, s.threads, s.prepare_s, s.query_s, s.total_s, s.deterministic,
+                s.digest
             )
         })
         .collect::<Vec<_>>()
@@ -238,6 +375,7 @@ mod tests {
                 query_s: 0.5,
                 total_s: 2.0,
                 deterministic: true,
+                digest: "00c0ffee00c0ffee".into(),
             },
             BenchSample {
                 experiment: "fig6-quick",
@@ -246,6 +384,7 @@ mod tests {
                 query_s: 0.25,
                 total_s: 0.75,
                 deterministic: true,
+                digest: "00c0ffee00c0ffee".into(),
             },
         ];
         let json = render_json(&cfg, &samples);
@@ -253,6 +392,7 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"total_s\": 2.000000"));
         assert!(json.contains("\"deterministic\": true"));
+        assert!(json.contains("\"digest\": \"00c0ffee00c0ffee\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -261,5 +401,28 @@ mod tests {
     #[test]
     fn parallel_target_is_at_least_two() {
         assert!(parallel_target() >= 2);
+    }
+
+    #[test]
+    fn digest_tracks_selection_content() {
+        let a: Selections = vec![("x/k1".into(), vec![1, 2]), ("x/k2".into(), vec![3])];
+        let b: Selections = vec![("x/k1".into(), vec![1, 2]), ("x/k2".into(), vec![4])];
+        assert_eq!(selections_digest(&a), selections_digest(&a));
+        assert_ne!(selections_digest(&a), selections_digest(&b));
+        assert_eq!(selections_digest(&a).len(), 16);
+    }
+
+    #[test]
+    fn throughput_batch_covers_budgets_modes_and_replicas() {
+        let cfg = ExpConfig {
+            quick: true,
+            ..ExpConfig::default()
+        };
+        let ds = sweep_k::datasets(&cfg).remove(0);
+        let reqs = throughput_requests(&cfg, &ds);
+        assert!(!reqs.is_empty());
+        assert_eq!(reqs.len() % (2 * QT_REPLICATION), 0, "k × mode × replicas");
+        assert!(reqs.iter().all(|r| r.graph == QT_GRAPH));
+        assert!(reqs.iter().any(|r| r.query.mode == SelectionMode::Plain));
     }
 }

@@ -3,24 +3,30 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N]
-//! repro --bench-json [--scale F] [--seed N] [--k N]
+//! repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N] [--threads N]
+//! repro --bench-json [--scale F] [--seed N] [--k N] [--threads N]
 //! ```
 //!
 //! Experiments: table1 table2 table3 table6 fig2 case-study fig6 fig7
 //! fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19.
 //!
-//! `--bench-json` times the fig6-quick and sweep-k workloads at 1 and N
-//! pool threads and writes `BENCH_parallel.json` (the perf trajectory);
-//! it can run alone or alongside experiment ids.
+//! `--bench-json` times the fig6-quick and sweep-k workloads plus a
+//! batched query-throughput workload at 1 and N pool threads and writes
+//! `BENCH_parallel.json` (the perf trajectory); it can run alone or
+//! alongside experiment ids.
+//!
+//! `--threads N` pins the worker pool width for the whole run. The pool
+//! width resolves in this order: `--threads` flag, then the
+//! `VOM_THREADS` environment variable, then the machine's available
+//! parallelism (see README.md).
 
 use vom_bench::experiments::{self, ALL_IDS};
 use vom_bench::ExpConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N]\n\
-         \x20      repro --bench-json [--scale F] [--seed N] [--k N]\n\
+        "usage: repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N] [--threads N]\n\
+         \x20      repro --bench-json [--scale F] [--seed N] [--k N] [--threads N]\n\
          experiments: {}",
         ALL_IDS.join(" ")
     );
@@ -65,6 +71,15 @@ fn main() {
                 i += 1;
                 cfg.out_dir = args.get(i).map(Into::into).unwrap_or_else(|| usage());
             }
+            "--threads" => {
+                i += 1;
+                let threads: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| usage());
+                rayon::set_thread_override(Some(threads));
+            }
             "--quick" => cfg.quick = true,
             flag if flag.starts_with("--") => usage(),
             id => targets.push(id.to_string()),
@@ -80,8 +95,11 @@ fn main() {
         targets
     };
     println!(
-        "# vom repro — scale {}, seed {}, quick: {}\n",
-        cfg.scale, cfg.seed, cfg.quick
+        "# vom repro — scale {}, seed {}, quick: {}, threads: {}\n",
+        cfg.scale,
+        cfg.seed,
+        cfg.quick,
+        rayon::current_num_threads()
     );
     for id in ids {
         let (outcome, elapsed) = vom_bench::timed(|| experiments::run(&id, &cfg));

@@ -19,7 +19,7 @@ pub fn run(cfg: &ExpConfig) -> Result<()> {
     let cs = acm_case_study(&params);
     let inst = &cs.dataset.instance;
     let n = inst.num_nodes();
-    let k = cfg.default_k().min(n / 10);
+    let k = cfg.default_k().min(n / 10).max(1);
     let t = cfg.default_t();
     let problem = Problem::new(inst, 0, k, t, ScoringFunction::Plurality)?;
     let method = Method::Rs(RsConfig {

@@ -2,8 +2,9 @@
 //! seeds vs IMM's seeds.
 
 use crate::{ExpConfig, Result, Table};
+use std::sync::Arc;
 use vom_baselines::{expected_spread, imm_seeds, CascadeModel, ImmConfig};
-use vom_core::engine::SeedSelector;
+use vom_core::engine::{PreparedIndex, SeedSelector};
 use vom_core::rw::RwConfig;
 use vom_core::{Engine, Problem, Query};
 use vom_datasets::{twitter_mask_like, ReplicaParams};
@@ -22,7 +23,7 @@ pub fn run(cfg: &ExpConfig) -> Result<()> {
     };
     let ds = twitter_mask_like(&params);
     let g = ds.instance.graph_of(ds.default_target);
-    let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
+    let k = cfg.default_k().min(ds.instance.num_nodes() / 10).max(1);
     let sims = if cfg.quick { 200 } else { 2_000 };
     let mut table = Table::new(
         "fig11",
@@ -49,14 +50,15 @@ pub fn run(cfg: &ExpConfig) -> Result<()> {
         seed: cfg.seed,
         ..RwConfig::default()
     });
-    let mut prepared = engine.prepare(&spec)?;
+    let index = Arc::new(engine.prepare_index(&spec)?);
+    let mut session = PreparedIndex::session(&index);
     for (label, score) in [
         ("RW (cumulative)", ScoringFunction::Cumulative),
         ("RW (plurality)", ScoringFunction::Plurality),
         ("RW (copeland)", ScoringFunction::Copeland),
     ] {
         let query = Query::plain(k, score, ds.default_target);
-        let seeds = prepared.select(&query)?.seeds;
+        let seeds = session.select(&query)?.seeds;
         emit(label, &seeds, &mut table);
     }
     let imm_cfg = ImmConfig {

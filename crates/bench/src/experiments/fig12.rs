@@ -16,7 +16,9 @@ pub fn run(cfg: &ExpConfig) -> Result<()> {
         mu: 10.0,
     };
     let ds = yelp_like(&params);
-    let k = (cfg.default_k() / 2).clamp(5, ds.instance.num_nodes() / 10);
+    let k = (cfg.default_k() / 2)
+        .clamp(5, ds.instance.num_nodes() / 10)
+        .max(1);
     let horizons: Vec<usize> = if cfg.quick {
         vec![0, 5, 10, 20]
     } else {

@@ -20,7 +20,7 @@ fn series(
             mu,
         };
         let ds = make(&params);
-        let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
+        let k = cfg.default_k().min(ds.instance.num_nodes() / 10).max(1);
         let problem = Problem::new(
             &ds.instance,
             ds.default_target,

@@ -6,7 +6,8 @@
 //! instead of 1; `tests/build_counter.rs` pins the count).
 
 use crate::{ExpConfig, Result, Table};
-use vom_core::engine::SeedSelector;
+use std::sync::Arc;
+use vom_core::engine::{PreparedIndex, SeedSelector};
 use vom_core::rs::RsConfig;
 use vom_core::{Engine, Problem};
 use vom_datasets::{twitter_distancing_like, yelp_like, ReplicaParams};
@@ -49,9 +50,10 @@ pub fn run(cfg: &ExpConfig) -> Result<()> {
             seed: cfg.seed,
             ..RsConfig::default()
         });
-        let mut prepared = engine.prepare(&spec)?;
+        let index = Arc::new(engine.prepare_index(&spec)?);
+        let mut session = PreparedIndex::session(&index);
         for &k in &ks {
-            let res = prepared.select_k(k)?;
+            let res = session.select_k(k)?;
             let ratio = res.sandwich.expect("non-submodular score").ratio;
             ratios.push(ratio);
             table.row(vec![

@@ -18,7 +18,7 @@ pub fn run_epsilon(cfg: &ExpConfig) -> Result<()> {
         mu: 10.0,
     };
     let ds = twitter_election_like(&params);
-    let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
+    let k = cfg.default_k().min(ds.instance.num_nodes() / 10).max(1);
     let problem = Problem::new(
         &ds.instance,
         ds.default_target,
@@ -60,7 +60,7 @@ pub fn run_rho(cfg: &ExpConfig) -> Result<()> {
         mu: 10.0,
     };
     let ds = twitter_distancing_like(&params);
-    let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
+    let k = cfg.default_k().min(ds.instance.num_nodes() / 10).max(1);
     let problem = Problem::new(
         &ds.instance,
         ds.default_target,

@@ -7,7 +7,8 @@
 
 use crate::error::Result;
 use crate::{ExpConfig, Table};
-use vom_core::engine::SeedSelector;
+use std::sync::Arc;
+use vom_core::engine::{PreparedIndex, SeedSelector};
 use vom_core::rs::RsConfig;
 use vom_core::rw::RwConfig;
 use vom_core::win::try_min_seeds_to_win;
@@ -53,12 +54,13 @@ pub fn run(cfg: &ExpConfig) -> Result<()> {
         }
         for engine in methods {
             // Prepare at the search's maximum probe budget (n); probes
-            // query the shared artifacts.
-            let mut prepared = engine.prepare(&base.with_budget(n))?;
+            // query the shared index through one session.
+            let index = Arc::new(engine.prepare_index(&base.with_budget(n))?);
+            let mut session = PreparedIndex::session(&index);
             let result: std::result::Result<_, CoreError> =
                 try_min_seeds_to_win(&base, |p: &Problem<'_>| {
                     let query = Query::plain(p.k, p.score.clone(), p.target);
-                    prepared.select(&query).map(|r| r.seeds)
+                    session.select(&query).map(|r| r.seeds)
                 });
             let k_star = result?
                 .map(|w| w.k.to_string())

@@ -7,7 +7,8 @@
 //! one build per table cell).
 
 use crate::{ExpConfig, Result, Table};
-use vom_core::engine::SeedSelector;
+use std::sync::Arc;
+use vom_core::engine::{PreparedIndex, SeedSelector};
 use vom_core::rs::RsConfig;
 use vom_core::{Engine, Problem, Query};
 use vom_datasets::{twitter_mask_like, yelp_like, Dataset, ReplicaParams};
@@ -59,7 +60,7 @@ fn run_theta(cfg: &ExpConfig, id: &str, ds: Dataset, score: ScoringFunction) -> 
         &format!("{score} score vs sketch count θ (paper Figures 13-14)"),
         &["variant", "theta", "score"],
     );
-    let base_k = cfg.default_k().min(n / 10);
+    let base_k = cfg.default_k().min(n / 10).max(1);
     let variants = variants(base_k);
     // Group the variants by horizon: the sketch artifacts depend on t
     // (and θ) but not on k, so each (t, θ) pair builds exactly once.
@@ -75,10 +76,11 @@ fn run_theta(cfg: &ExpConfig, id: &str, ds: Dataset, score: ScoringFunction) -> 
                 seed: cfg.seed,
                 ..RsConfig::default()
             });
-            let mut prepared = engine.prepare(&spec)?;
+            let index = Arc::new(engine.prepare_index(&spec)?);
+            let mut session = PreparedIndex::session(&index);
             for (label, k, _) in group.iter().copied() {
                 let query = Query::plain((*k).max(1), score.clone(), ds.default_target);
-                let res = prepared.select(&query)?;
+                let res = session.select(&query)?;
                 table.row(vec![
                     label.clone(),
                     theta.to_string(),

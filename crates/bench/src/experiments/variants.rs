@@ -5,9 +5,10 @@
 //! rule variant is just a different [`Query`].
 
 use crate::{ExpConfig, Result, Table};
-use vom_core::engine::SeedSelector;
+use std::sync::Arc;
+use vom_core::engine::{PreparedIndex, SeedSelector};
 use vom_core::rs::RsConfig;
-use vom_core::{Engine, Prepared, Problem, Query};
+use vom_core::{Engine, Problem, Query, QuerySession};
 use vom_datasets::{yelp_like, Dataset, ReplicaParams};
 use vom_graph::Node;
 use vom_voting::rank::position_histogram;
@@ -19,9 +20,9 @@ fn overlap(a: &[Node], b: &[Node]) -> f64 {
     common as f64 / a.len().max(1) as f64
 }
 
-/// One RS engine prepared for the dataset at budget `k`; rule variants
-/// query it.
-fn prepare_rs<'a>(ds: &'a Dataset, k: usize, t: usize, seed: u64) -> Result<Prepared<'a>> {
+/// One RS index prepared for the dataset at budget `k`; rule variants
+/// are queries on a session over it.
+fn prepare_rs(ds: &Dataset, k: usize, t: usize, seed: u64) -> Result<QuerySession> {
     let spec = Problem::new(
         &ds.instance,
         ds.default_target,
@@ -33,12 +34,13 @@ fn prepare_rs<'a>(ds: &'a Dataset, k: usize, t: usize, seed: u64) -> Result<Prep
         seed,
         ..RsConfig::default()
     });
-    Ok(engine.prepare(&spec)?)
+    let index = Arc::new(engine.prepare_index(&spec)?);
+    Ok(PreparedIndex::session(&index))
 }
 
-fn select_rule(prepared: &mut Prepared<'_>, k: usize, rule: ScoringFunction) -> Result<Vec<Node>> {
-    let query = Query::new(k, rule, prepared.target());
-    Ok(prepared.select(&query)?.seeds)
+fn select_rule(session: &mut QuerySession, k: usize, rule: ScoringFunction) -> Result<Vec<Node>> {
+    let query = Query::new(k, rule, session.index().target());
+    Ok(session.select(&query)?.seeds)
 }
 
 /// Figure 9: seed-set overlap of positional-p-approval (varying `ω[p]`)
@@ -51,7 +53,7 @@ pub fn run_overlap(cfg: &ExpConfig) -> Result<()> {
     };
     let ds = yelp_like(&params);
     let r = ds.instance.num_candidates();
-    let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
+    let k = cfg.default_k().min(ds.instance.num_nodes() / 10).max(1);
     let t = cfg.default_t();
     let mut prepared = prepare_rs(&ds, k, t, cfg.seed)?;
     let mut table = Table::new(
@@ -99,7 +101,7 @@ pub fn run_positions(cfg: &ExpConfig) -> Result<()> {
         mu: 10.0,
     };
     let ds = yelp_like(&params);
-    let k = cfg.default_k().min(ds.instance.num_nodes() / 10);
+    let k = cfg.default_k().min(ds.instance.num_nodes() / 10).max(1);
     let t = cfg.default_t();
     let mut prepared = prepare_rs(&ds, k, t, cfg.seed)?;
     let mut table = Table::new(

@@ -8,9 +8,10 @@
 //! [`MethodOutcome`] row format the experiments emit.
 
 use crate::error::Result;
+use std::sync::Arc;
 use std::time::Duration;
 use vom_baselines::{AnyEngine, BaselineEngine, ImmConfig};
-use vom_core::engine::{Engine, Prepared, SeedSelector};
+use vom_core::engine::{Engine, PreparedIndex, QuerySession, SeedSelector};
 use vom_core::rs::RsConfig;
 use vom_core::rw::RwConfig;
 use vom_core::Problem;
@@ -71,19 +72,27 @@ pub struct MethodOutcome {
 }
 
 /// A method prepared once for a `(dataset, target, horizon, budget)` —
-/// the unit the sweep experiments iterate: build the artifacts here, then
-/// [`PreparedMethod::evaluate`] per `k`.
-pub struct PreparedMethod<'a> {
+/// the unit the sweep experiments iterate: build the immutable
+/// [`PreparedIndex`] here, then [`PreparedMethod::evaluate`] per `k`
+/// through the bundled [`QuerySession`]. The index is `Arc`-shared:
+/// [`PreparedMethod::index`] hands it to further sessions or threads.
+pub struct PreparedMethod {
     method: AnyMethod,
-    prepared: Prepared<'a>,
+    index: Arc<PreparedIndex>,
+    session: QuerySession,
 }
 
-impl<'a> PreparedMethod<'a> {
+impl PreparedMethod {
     /// Prepares `method` for `problem` (whose `k` becomes the budget and
     /// whose score is the rule queries default to).
-    pub fn new(problem: &Problem<'a>, method: AnyMethod, seed: u64) -> Result<PreparedMethod<'a>> {
-        let prepared = harness_engine(method, seed).prepare(problem)?;
-        Ok(PreparedMethod { method, prepared })
+    pub fn new(problem: &Problem<'_>, method: AnyMethod, seed: u64) -> Result<PreparedMethod> {
+        let index = Arc::new(harness_engine(method, seed).prepare_index(problem)?);
+        let session = PreparedIndex::session(&index);
+        Ok(PreparedMethod {
+            method,
+            index,
+            session,
+        })
     }
 
     /// The method's registry id.
@@ -93,7 +102,7 @@ impl<'a> PreparedMethod<'a> {
 
     /// One-time artifact build wall time.
     pub fn build_time(&self) -> Duration {
-        self.prepared.build_stats().build_time
+        self.index.build_stats().build_time
     }
 
     /// Selects `k` seeds under the prepared rule and evaluates them
@@ -101,7 +110,7 @@ impl<'a> PreparedMethod<'a> {
     /// methods; once the seeds are selected, all of them are evaluated in
     /// the same multi-campaign setting" (§VIII-A).
     pub fn evaluate(&mut self, k: usize) -> Result<MethodOutcome> {
-        let res = self.prepared.select_k(k)?;
+        let res = self.session.select_k(k)?;
         Ok(MethodOutcome {
             seeds: res.seeds,
             score: res.exact_score,
@@ -110,10 +119,16 @@ impl<'a> PreparedMethod<'a> {
         })
     }
 
-    /// The underlying prepared engine, for queries beyond the default
-    /// rule (e.g. the rule-comparison experiments).
-    pub fn prepared(&mut self) -> &mut Prepared<'a> {
-        &mut self.prepared
+    /// The shared prepared index (for opening sessions on other threads
+    /// or reading build stats).
+    pub fn index(&self) -> &Arc<PreparedIndex> {
+        &self.index
+    }
+
+    /// The bundled query session, for queries beyond the default rule
+    /// (e.g. the rule-comparison experiments).
+    pub fn session(&mut self) -> &mut QuerySession {
+        &mut self.session
     }
 }
 
@@ -182,11 +197,11 @@ mod tests {
         let mut prepared = PreparedMethod::new(&p, AnyMethod::Rs, 5).unwrap();
         // Use the backend-local build count (the process-global counters
         // race with sibling tests on parallel test threads).
-        let builds_before = prepared.prepared().build_stats().artifact_builds;
+        let builds_before = prepared.index().build_stats().artifact_builds;
         for k in 1..=2 {
             assert_eq!(prepared.evaluate(k).unwrap().seeds.len(), k);
         }
-        let builds_after = prepared.prepared().build_stats().artifact_builds;
+        let builds_after = prepared.index().build_stats().artifact_builds;
         assert_eq!(
             builds_after, builds_before,
             "queries must not rebuild sketches"

@@ -1,39 +1,92 @@
-//! The prepared-engine selection API: build artifacts once, query many.
+//! The prepared-engine selection API: build artifacts once, query many —
+//! from any number of threads at once.
 //!
 //! The paper's practical pitch for RW/RS is that one expensive
 //! precomputation (the walk arena of Algorithm 4, the sketch set of
 //! Algorithm 5) amortizes over many cheap greedy queries. This module
-//! makes that split explicit:
+//! makes that split explicit, and splits the query side once more so a
+//! single prepared artifact can serve concurrent callers:
 //!
-//! 1. [`SeedSelector::prepare`] builds the engine's reusable artifacts
-//!    for one `(instance, target, horizon)` and a seed budget, recording
-//!    build time and heap bytes;
-//! 2. [`Prepared::select`] answers a [`Query`] — any `k` up to the
+//! 1. [`SeedSelector::prepare_index`] builds an immutable, owned,
+//!    `Send + Sync` [`PreparedIndex`] for one `(instance, target,
+//!    horizon)` and a seed budget, recording build time and heap bytes;
+//! 2. each caller opens a cheap [`QuerySession`] on the (`Arc`-shared)
+//!    index — the session owns all mutable per-query scratch;
+//! 3. [`QuerySession::select`] answers a [`Query`] — any `k` up to the
 //!    prepared budget, any scoring rule, plain or sandwich greedy —
-//!    against the shared artifacts.
+//!    against the shared artifacts. Results are bit-identical no matter
+//!    how many sessions query the index concurrently.
 //!
 //! Artifacts are cached per [`RuleClass`]: the walk arena differs between
 //! the cumulative score (uniform λ, Theorem 10) and the competitive
-//! scores (γ*-based per-node λ, Theorems 11–12), so an engine prepared on
+//! scores (γ*-based per-node λ, Theorems 11–12), so an index prepared on
 //! one class lazily builds the other's artifacts on first use — still
-//! exactly once each. The one-shot conveniences
+//! exactly once each, even when the first users are concurrent sessions
+//! (the caches are `OnceLock`/lock-guarded).
+//!
+//! [`Prepared`] is the source-compatible single-caller wrapper (an index
+//! plus one private session) behind the historical `prepare`/`select`
+//! pair, and the one-shot conveniences
 //! [`crate::select_seeds`]/[`crate::select_seeds_plain`] are thin
-//! wrappers over this lifecycle.
+//! wrappers over the full lifecycle. The `vom-service` crate serves
+//! whole query batches over registered graphs on top of this API.
 //!
 //! External crates plug their own methods in by implementing
-//! [`SeedSelector`] + [`PreparedBackend`] (the §VIII baselines in
+//! [`SeedSelector`] + [`IndexBackend`] (the §VIII baselines in
 //! `vom-baselines` do exactly that) and registering a [`MethodId`] in
 //! the registry.
+//!
+//! # Example
+//!
+//! One index, two concurrent sessions:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vom_core::engine::{Engine, PreparedIndex, Query, SeedSelector};
+//! use vom_core::Problem;
+//! use vom_diffusion::{Instance, OpinionMatrix};
+//! use vom_graph::builder::graph_from_edges;
+//! use vom_voting::ScoringFunction;
+//!
+//! let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)])?);
+//! let b = OpinionMatrix::from_rows(vec![
+//!     vec![0.40, 0.80, 0.60, 0.90],
+//!     vec![0.35, 0.75, 1.00, 0.80],
+//! ])?;
+//! let inst = Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5])?;
+//!
+//! let spec = Problem::new(&inst, 0, 2, 1, ScoringFunction::Cumulative)?;
+//! let index = Arc::new(Engine::rs_default().prepare_index(&spec)?);
+//!
+//! let results = std::thread::scope(|s| {
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let index = Arc::clone(&index);
+//!             s.spawn(move || {
+//!                 let mut session = PreparedIndex::session(&index);
+//!                 session.select_k(1).map(|r| r.seeds)
+//!             })
+//!         })
+//!         .collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+//! });
+//! for r in results {
+//!     assert_eq!(r?, vec![0]); // every session sees the same artifacts
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use crate::bounds::favorable_users;
 use crate::dm::{dm_greedy_masked_cumulative, dm_greedy_with_others};
-use crate::problem::Problem;
+use crate::problem::{Problem, ProblemSpec};
 use crate::registry::MethodId;
 use crate::rs::{sketch_theta, RsConfig};
 use crate::rw::{competitive_arena, competitive_gammas, uniform_arena, RwConfig};
 use crate::sandwich::{sandwich_select, SandwichInfo};
 use crate::{CoreError, Result};
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use vom_diffusion::OpinionMatrix;
 use vom_graph::{Candidate, Node};
@@ -117,7 +170,8 @@ pub enum SelectionMode {
 /// One selection request against a prepared engine.
 #[derive(Debug, Clone)]
 pub struct Query {
-    /// Seed budget; must not exceed the prepared budget.
+    /// Seed budget; must be at least 1 and not exceed the prepared
+    /// budget.
     pub k: usize,
     /// The voting-based objective to optimize.
     pub rule: ScoringFunction,
@@ -150,13 +204,13 @@ impl Query {
     }
 }
 
-/// Build-side diagnostics of a prepared engine.
+/// Build-side diagnostics of a prepared index.
 #[derive(Debug, Clone, Copy)]
 pub struct BuildStats {
-    /// Wall-clock time spent in [`SeedSelector::prepare`] (eager builds
-    /// only; lazily added rule classes are not included). The build runs
-    /// on the parallel pool, so this is wall time over [`BuildStats::threads`]
-    /// workers, not CPU time.
+    /// Wall-clock time spent in [`SeedSelector::prepare_index`] (eager
+    /// builds only; lazily added rule classes are not included). The
+    /// build runs on the parallel pool, so this is wall time over
+    /// [`BuildStats::threads`] workers, not CPU time.
     pub build_time: Duration,
     /// Worker threads the pool offered while `prepare` ran
     /// (`rayon::current_num_threads()` at prepare time — the `VOM_THREADS`
@@ -177,8 +231,8 @@ pub struct SelectionResult {
     /// Exact objective value `F(B^{(t)}[S], c_q)` of the returned set.
     pub exact_score: f64,
     /// Wall-clock selection time (excludes the final exact evaluation;
-    /// the one-shot wrappers fold artifact build time in, a prepared
-    /// [`Prepared::select`] does not — see [`BuildStats::build_time`]).
+    /// the one-shot wrappers fold artifact build time in, a session
+    /// [`QuerySession::select`] does not — see [`BuildStats::build_time`]).
     pub elapsed: Duration,
     /// Heap bytes held by the estimator (walk arena / sketch set); 0 for
     /// DM. The Figure 17(b) series.
@@ -190,16 +244,35 @@ pub struct SelectionResult {
 /// A selection method with the build-once/query-many lifecycle.
 ///
 /// Implementors: the three core [`Engine`]s here, the six §VIII baselines
-/// in `vom-baselines`. `prepare` does the expensive, reusable work;
-/// everything per-query lives behind [`Prepared::select`].
+/// in `vom-baselines`. [`SeedSelector::prepare_spec`] does the expensive,
+/// reusable work; everything per-query lives behind a [`QuerySession`].
 pub trait SeedSelector {
     /// The registry identity of this method.
     fn id(&self) -> MethodId;
 
-    /// Builds the engine's artifacts for `problem`'s instance, target,
-    /// horizon, and budget (`problem.k`); `problem.score` hints which
-    /// rule class to build eagerly.
-    fn prepare<'a>(&self, problem: &Problem<'a>) -> Result<Prepared<'a>>;
+    /// Builds the method's immutable index for `spec`'s instance, target,
+    /// horizon, and budget (`spec.k`); `spec.score` hints which rule
+    /// class to build eagerly. This is the implementor hook; most callers
+    /// use [`SeedSelector::prepare_index`] or [`SeedSelector::prepare`].
+    fn prepare_spec(&self, spec: ProblemSpec) -> Result<PreparedIndex>;
+
+    /// Builds the immutable index from a borrowed problem (clones the
+    /// instance into the index's `Arc`; graphs stay shared).
+    fn prepare_index(&self, problem: &Problem<'_>) -> Result<PreparedIndex> {
+        self.prepare_spec(ProblemSpec::from_problem(problem))
+    }
+
+    /// Source-compatible single-caller lifecycle: the index plus one
+    /// private session, behind the historical [`Prepared`] API.
+    fn prepare<'a>(&self, problem: &Problem<'a>) -> Result<Prepared<'a>> {
+        Ok(Prepared::from_index(self.prepare_index(problem)?))
+    }
+
+    /// Opens a query session on a shared index (sugar for
+    /// [`PreparedIndex::session`]).
+    fn session(&self, index: &Arc<PreparedIndex>) -> QuerySession {
+        PreparedIndex::session(index)
+    }
 
     /// One-shot convenience: prepare for exactly this problem, run one
     /// auto-mode query, and fold the build time into
@@ -216,23 +289,28 @@ pub fn select_once_with<S: SeedSelector + ?Sized>(
     problem: &Problem<'_>,
     mode: SelectionMode,
 ) -> Result<SelectionResult> {
-    let mut prepared = selector.prepare(problem)?;
+    let index = selector.prepare_index(problem)?;
     let query = Query {
         k: problem.k,
         rule: problem.score.clone(),
         target: problem.target,
         mode,
     };
-    let mut res = prepared.select(&query)?;
-    res.elapsed += prepared.build_stats().build_time;
+    let mut scratch = SessionScratch::default();
+    let mut res = index.select_with(&query, &mut scratch)?;
+    res.elapsed += index.build_stats().build_time;
     Ok(res)
 }
 
-/// The per-engine greedy primitives a [`Prepared`] drives. Implementors
-/// own the reusable artifacts; the generic sandwich orchestration (mask
+/// The per-engine greedy primitives a [`PreparedIndex`] drives.
+/// Implementors own the reusable artifacts and take `&self`: any lazily
+/// added artifact must live behind interior mutability
+/// (`OnceLock`/`Mutex`) so concurrent sessions build it exactly once.
+/// All per-query mutable state goes through the caller's
+/// [`SessionScratch`]. The generic sandwich orchestration (mask
 /// construction, feasible-solution arbitration, Algorithm 3) lives in
-/// [`Prepared::select`] and is shared by every engine.
-pub trait PreparedBackend<'a> {
+/// the index and is shared by every engine.
+pub trait IndexBackend: Send + Sync {
     /// Heap bytes currently held by the artifacts.
     fn heap_bytes(&self) -> usize;
 
@@ -244,24 +322,26 @@ pub trait PreparedBackend<'a> {
     /// Plain greedy for `problem.k` seeds under `problem.score`
     /// (Algorithm 1/4/5 without the sandwich wrapper). `others` carries
     /// the exact competitor opinions whenever the score is competitive
-    /// and [`PreparedBackend::needs_exact_competitors`] is true.
+    /// and [`IndexBackend::needs_exact_competitors`] is true.
     fn greedy(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         others: Option<&OpinionMatrix>,
+        scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>>;
 
     /// Greedy maximization of the masked cumulative estimate — the
     /// engine half of the sandwich bounds (Definition 3). Only called
-    /// when [`PreparedBackend::supports_sandwich`] is true.
+    /// when [`IndexBackend::supports_sandwich`] is true.
     fn greedy_masked_cumulative(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         mask: &[bool],
         others: Option<&OpinionMatrix>,
+        scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         let _ = mask;
-        self.greedy(problem, others)
+        self.greedy(problem, others, scratch)
     }
 
     /// Whether auto-mode queries on rank-based scores should run the
@@ -279,57 +359,123 @@ pub trait PreparedBackend<'a> {
     }
 }
 
-/// A prepared engine: shared artifacts plus cached exact matrices,
-/// answering many [`Query`]s for one `(instance, target, horizon)`.
-pub struct Prepared<'a> {
-    spec: Problem<'a>,
+/// Reusable per-session buffers the query paths fill on every select:
+/// sandwich masks and the RS working sketch. Contents are pure scratch —
+/// they never influence results, only allocation traffic — so a fresh
+/// default scratch and a warm one answer queries identically.
+#[derive(Debug, Default)]
+pub struct SessionScratch {
+    /// Favorable-user mask for the sandwich lower bound.
+    mask_lower: Vec<bool>,
+    /// All-users mask for the cumulative feasible solution.
+    mask_all: Vec<bool>,
+    /// RS working sketch from the previous query, keyed by its θ.
+    rs_sketch: Option<(usize, SketchSet)>,
+}
+
+impl SessionScratch {
+    /// A working copy of `pristine` (a sketch with θ sketches and no
+    /// query seeds), reusing the previous query's buffers when the θ
+    /// matches. Pair with [`SessionScratch::return_sketch`].
+    pub fn checkout_sketch(&mut self, theta: usize, pristine: &SketchSet) -> SketchSet {
+        match self.rs_sketch.take() {
+            Some((t, mut sketch)) if t == theta => {
+                sketch.clone_from(pristine);
+                sketch
+            }
+            _ => pristine.clone(),
+        }
+    }
+
+    /// Stores a used working sketch for the next checkout.
+    pub fn return_sketch(&mut self, theta: usize, sketch: SketchSet) {
+        self.rs_sketch = Some((theta, sketch));
+    }
+}
+
+/// An immutable prepared index: the shared artifacts of one method for
+/// one `(instance, target, horizon)` and budget, plus lazily cached
+/// exact matrices. `Send + Sync` — wrap it in an [`Arc`] and any number
+/// of [`QuerySession`]s can answer queries against it concurrently with
+/// bit-identical results (rule classes not prepared eagerly are still
+/// built exactly once, behind locks).
+pub struct PreparedIndex {
+    spec: ProblemSpec,
     id: MethodId,
-    backend: Box<dyn PreparedBackend<'a> + 'a>,
+    backend: Box<dyn IndexBackend>,
     build_time: Duration,
-    /// Thread count in effect when the engine was prepared (captured at
+    /// Thread count in effect when the index was prepared (captured at
     /// construction; the pool setting may change between prepare and a
     /// later `build_stats()` call).
     build_threads: usize,
-    /// Exact non-target opinions at the horizon (lazily cached; depends
-    /// only on the prepared instance/target/horizon).
-    others: Option<OpinionMatrix>,
-    /// Exact seedless opinions at the horizon (lazily cached).
-    seedless: Option<OpinionMatrix>,
+    /// Exact non-target opinions at the horizon (computed at most once;
+    /// depends only on the prepared instance/target/horizon).
+    others: OnceLock<OpinionMatrix>,
+    /// Exact seedless opinions at the horizon (computed at most once).
+    seedless: OnceLock<OpinionMatrix>,
 }
 
-impl<'a> Prepared<'a> {
-    /// Wraps a backend into the prepared lifecycle. `spec.k` becomes the
-    /// prepared budget; `spec.score` records the eagerly built class.
+impl PreparedIndex {
+    /// Wraps a backend into an index. `spec.k` becomes the prepared
+    /// budget; `spec.score` records the eagerly built class.
     pub fn new(
-        spec: Problem<'a>,
+        spec: ProblemSpec,
         id: MethodId,
-        backend: Box<dyn PreparedBackend<'a> + 'a>,
+        backend: Box<dyn IndexBackend>,
         build_time: Duration,
-    ) -> Prepared<'a> {
-        Prepared {
+    ) -> PreparedIndex {
+        PreparedIndex {
             spec,
             id,
             backend,
             build_time,
             build_threads: rayon::current_num_threads(),
-            others: None,
-            seedless: None,
+            others: OnceLock::new(),
+            seedless: OnceLock::new(),
         }
     }
 
-    /// Like [`Prepared::new`], seeding the competitor-opinion cache with
-    /// a matrix the engine already computed during its build.
+    /// Like [`PreparedIndex::new`], seeding the competitor-opinion cache
+    /// with a matrix the engine already computed during its build.
     pub fn with_cached_others(
-        spec: Problem<'a>,
+        spec: ProblemSpec,
         id: MethodId,
-        backend: Box<dyn PreparedBackend<'a> + 'a>,
+        backend: Box<dyn IndexBackend>,
         build_time: Duration,
         others: Option<OpinionMatrix>,
-    ) -> Prepared<'a> {
-        Prepared {
-            others,
-            ..Prepared::new(spec, id, backend, build_time)
+    ) -> PreparedIndex {
+        let index = PreparedIndex::new(spec, id, backend, build_time);
+        if let Some(m) = others {
+            let _ = index.others.set(m);
         }
+        index
+    }
+
+    /// Opens a query session on a shared index.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use vom_core::engine::{Engine, PreparedIndex, SeedSelector};
+    /// use vom_core::Problem;
+    /// # use vom_diffusion::{Instance, OpinionMatrix};
+    /// # use vom_graph::builder::graph_from_edges;
+    /// use vom_voting::ScoringFunction;
+    ///
+    /// # let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)])?);
+    /// # let b = OpinionMatrix::from_rows(vec![
+    /// #     vec![0.40, 0.80, 0.60, 0.90],
+    /// #     vec![0.35, 0.75, 1.00, 0.80],
+    /// # ])?;
+    /// # let inst = Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5])?;
+    /// let spec = Problem::new(&inst, 0, 2, 1, ScoringFunction::Cumulative)?;
+    /// let index = Arc::new(Engine::Dm.prepare_index(&spec)?);
+    /// // Each caller gets its own cheap session on the shared artifacts.
+    /// let mut session = PreparedIndex::session(&index);
+    /// assert_eq!(session.select_k(1)?.seeds, vec![0]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn session(index: &Arc<PreparedIndex>) -> QuerySession {
+        QuerySession::new(Arc::clone(index))
     }
 
     /// The registry identity of the prepared method.
@@ -347,10 +493,20 @@ impl<'a> Prepared<'a> {
         self.spec.target
     }
 
-    /// The scoring rule the engine was prepared with (queries may use any
+    /// The prepared horizon.
+    pub fn horizon(&self) -> usize {
+        self.spec.horizon
+    }
+
+    /// The scoring rule the index was prepared with (queries may use any
     /// other rule; its artifacts are then built on first use).
     pub fn rule(&self) -> &ScoringFunction {
         &self.spec.score
+    }
+
+    /// The owned problem specification the index was prepared for.
+    pub fn spec(&self) -> &ProblemSpec {
+        &self.spec
     }
 
     /// Build-side diagnostics.
@@ -368,24 +524,26 @@ impl<'a> Prepared<'a> {
         Query::new(k, self.spec.score.clone(), self.spec.target)
     }
 
-    /// Convenience: auto-mode selection of `k` seeds under the prepared
-    /// rule.
-    pub fn select_k(&mut self, k: usize) -> Result<SelectionResult> {
-        let query = self.query(k);
-        self.select(&query)
-    }
-
-    /// Answers one query against the shared artifacts: plain greedy, or
-    /// the sandwich approximation (Algorithm 3) where auto mode
-    /// prescribes it. Bit-identical to the one-shot path for the same
-    /// budget and seeds (the equivalence suite in
-    /// `tests/prepared_equivalence.rs` asserts this).
-    pub fn select(&mut self, query: &Query) -> Result<SelectionResult> {
+    /// Validates a query against the prepared artifacts: the target must
+    /// be in range and match the prepared target, the budget must be
+    /// `1..=budget()`, and the rule must fit the instance. Every
+    /// violation is a readable [`CoreError`], never a panic.
+    pub fn validate_query(&self, query: &Query) -> Result<()> {
+        let r = self.spec.instance.num_candidates();
+        if query.target >= r {
+            return Err(CoreError::BadTarget {
+                target: query.target,
+                r,
+            });
+        }
         if query.target != self.spec.target {
             return Err(CoreError::PreparedTargetMismatch {
                 requested: query.target,
                 prepared: self.spec.target,
             });
+        }
+        if query.k == 0 {
+            return Err(CoreError::EmptyQuery);
         }
         if query.k > self.spec.k {
             return Err(CoreError::BudgetExceedsPrepared {
@@ -393,54 +551,73 @@ impl<'a> Prepared<'a> {
                 budget: self.spec.k,
             });
         }
-        query.rule.validate(self.spec.instance.num_candidates())?;
-        let problem = Problem {
-            k: query.k,
-            score: query.rule.clone(),
-            ..self.spec.clone()
-        };
+        query.rule.validate(r)?;
+        Ok(())
+    }
+
+    /// Answers one query against the shared artifacts using the caller's
+    /// scratch: plain greedy, or the sandwich approximation (Algorithm 3)
+    /// where auto mode prescribes it. Bit-identical to the one-shot path
+    /// for the same budget and seeds (the equivalence suite in
+    /// `tests/prepared_equivalence.rs` asserts this), and independent of
+    /// which or how many sessions share the index.
+    fn select_with(&self, query: &Query, scratch: &mut SessionScratch) -> Result<SelectionResult> {
+        self.validate_query(query)?;
+        let problem = self.spec.query_problem(query.k, query.rule.clone());
 
         // Fill the exact-matrix caches the query needs before the timed
-        // section mutably borrows the backend.
+        // section (computed at most once per index, whichever session
+        // gets there first).
         let competitive = problem.is_competitive() && self.backend.needs_exact_competitors();
-        if competitive && self.others.is_none() {
-            self.others = Some(problem.non_target_opinions());
-        }
+        let others = if competitive {
+            Some(self.others.get_or_init(|| problem.non_target_opinions()))
+        } else {
+            None
+        };
         let sandwich = matches!(query.mode, SelectionMode::Auto)
             && problem.is_competitive()
             && self.backend.supports_sandwich();
-        if sandwich && self.seedless.is_none() {
-            self.seedless = Some(problem.opinions(&[]));
-        }
-        let others = if competitive {
-            self.others.as_ref()
+        let seedless = if sandwich {
+            Some(self.seedless.get_or_init(|| problem.opinions(&[])))
         } else {
             None
         };
 
         let start = Instant::now();
         let (seeds, info) = if !sandwich {
-            (self.backend.greedy(&problem, others)?, None)
+            (self.backend.greedy(&problem, others, scratch)?, None)
         } else {
-            let seedless = self.seedless.as_ref().expect("cached above");
+            let seedless = seedless.expect("cached above");
+            let n = problem.num_nodes();
             let mask = problem.score.approval_depth().map(|p| {
                 let favorable = favorable_users(seedless, problem.target, p);
-                let mut mask = vec![false; problem.num_nodes()];
+                let mut mask = std::mem::take(&mut scratch.mask_lower);
+                mask.clear();
+                mask.resize(n, false);
                 for v in favorable {
                     mask[v as usize] = true;
                 }
                 mask
             });
-            let all_mask = vec![true; problem.num_nodes()];
-            let s_rank = self.backend.greedy(&problem, others)?;
+            let mut all_mask = std::mem::take(&mut scratch.mask_all);
+            all_mask.clear();
+            all_mask.resize(n, true);
+            let s_rank = self.backend.greedy(&problem, others, scratch)?;
             let s_cum = self
                 .backend
-                .greedy_masked_cumulative(&problem, &all_mask, others)?;
+                .greedy_masked_cumulative(&problem, &all_mask, others, scratch)?;
+            scratch.mask_all = all_mask;
             let s_f = better_feasible(&problem, s_rank, s_cum);
             let s_l = match &mask {
-                Some(m) => Some(self.backend.greedy_masked_cumulative(&problem, m, others)?),
+                Some(m) => Some(
+                    self.backend
+                        .greedy_masked_cumulative(&problem, m, others, scratch)?,
+                ),
                 None => None,
             };
+            if let Some(m) = mask {
+                scratch.mask_lower = m;
+            }
             let (seeds, info) = sandwich_select(&problem, seedless, s_f, s_l);
             (seeds, Some(info))
         };
@@ -453,6 +630,153 @@ impl<'a> Prepared<'a> {
             estimator_heap_bytes: self.backend.heap_bytes(),
             sandwich: info,
         })
+    }
+}
+
+/// A lightweight per-caller handle on a shared [`PreparedIndex`]: it
+/// owns the mutable per-query scratch (sandwich masks, the RS working
+/// sketch) and a clone of the index `Arc`, so creating one is cheap and
+/// every thread serving queries gets its own. Sessions never communicate
+/// — results depend only on the index and the query.
+pub struct QuerySession {
+    index: Arc<PreparedIndex>,
+    scratch: SessionScratch,
+    queries: usize,
+}
+
+impl QuerySession {
+    /// Opens a session on a shared index.
+    pub fn new(index: Arc<PreparedIndex>) -> QuerySession {
+        QuerySession {
+            index,
+            scratch: SessionScratch::default(),
+            queries: 0,
+        }
+    }
+
+    /// The shared index this session queries.
+    pub fn index(&self) -> &Arc<PreparedIndex> {
+        &self.index
+    }
+
+    /// Number of queries answered by this session (including failed
+    /// ones).
+    pub fn queries_served(&self) -> usize {
+        self.queries
+    }
+
+    /// An auto-mode query for `k` seeds under the prepared rule.
+    pub fn query(&self, k: usize) -> Query {
+        self.index.query(k)
+    }
+
+    /// Answers one query against the shared index. See
+    /// [`PreparedIndex`] for the sharing/determinism contract.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use vom_core::engine::{Engine, PreparedIndex, Query, SeedSelector};
+    /// use vom_core::{CoreError, Problem};
+    /// # use vom_diffusion::{Instance, OpinionMatrix};
+    /// # use vom_graph::builder::graph_from_edges;
+    /// use vom_voting::ScoringFunction;
+    ///
+    /// # let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)])?);
+    /// # let b = OpinionMatrix::from_rows(vec![
+    /// #     vec![0.40, 0.80, 0.60, 0.90],
+    /// #     vec![0.35, 0.75, 1.00, 0.80],
+    /// # ])?;
+    /// # let inst = Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5])?;
+    /// let spec = Problem::new(&inst, 0, 2, 1, ScoringFunction::Cumulative)?;
+    /// let index = Arc::new(Engine::Dm.prepare_index(&spec)?);
+    /// let mut session = PreparedIndex::session(&index);
+    /// // Any rule within the prepared budget; artifacts are shared.
+    /// let plurality = session.select(&Query::new(1, ScoringFunction::Plurality, 0))?;
+    /// assert_eq!(plurality.exact_score, 4.0);
+    /// // Invalid queries are readable errors, never panics.
+    /// let err = session.select(&Query::new(0, ScoringFunction::Plurality, 0));
+    /// assert!(matches!(err, Err(CoreError::EmptyQuery)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn select(&mut self, query: &Query) -> Result<SelectionResult> {
+        self.queries += 1;
+        self.index.select_with(query, &mut self.scratch)
+    }
+
+    /// Convenience: auto-mode selection of `k` seeds under the prepared
+    /// rule.
+    pub fn select_k(&mut self, k: usize) -> Result<SelectionResult> {
+        let query = self.query(k);
+        self.select(&query)
+    }
+}
+
+/// Source-compatible single-caller wrapper over the split lifecycle: a
+/// [`PreparedIndex`] plus one private [`QuerySession`], exposing the
+/// historical `prepare`/`select` API (`select` takes `&mut self` because
+/// the inner session does). The lifetime parameter is vestigial — the
+/// index owns its instance — and kept so existing signatures compile
+/// unchanged. Use [`Prepared::index`] to share the artifacts with more
+/// sessions.
+pub struct Prepared<'a> {
+    session: QuerySession,
+    _instance: PhantomData<&'a ()>,
+}
+
+impl<'a> Prepared<'a> {
+    /// Wraps an index (with a fresh private session).
+    pub fn from_index(index: PreparedIndex) -> Prepared<'a> {
+        Prepared {
+            session: QuerySession::new(Arc::new(index)),
+            _instance: PhantomData,
+        }
+    }
+
+    /// The shared index, for opening further sessions on other threads.
+    pub fn index(&self) -> &Arc<PreparedIndex> {
+        self.session.index()
+    }
+
+    /// The registry identity of the prepared method.
+    pub fn method_id(&self) -> MethodId {
+        self.session.index.method_id()
+    }
+
+    /// The maximum budget queries may request.
+    pub fn budget(&self) -> usize {
+        self.session.index.budget()
+    }
+
+    /// The prepared target candidate.
+    pub fn target(&self) -> Candidate {
+        self.session.index.target()
+    }
+
+    /// The scoring rule the engine was prepared with (queries may use any
+    /// other rule; its artifacts are then built on first use).
+    pub fn rule(&self) -> &ScoringFunction {
+        self.session.index.rule()
+    }
+
+    /// Build-side diagnostics.
+    pub fn build_stats(&self) -> BuildStats {
+        self.session.index.build_stats()
+    }
+
+    /// An auto-mode query for `k` seeds under the prepared rule.
+    pub fn query(&self, k: usize) -> Query {
+        self.session.query(k)
+    }
+
+    /// Convenience: auto-mode selection of `k` seeds under the prepared
+    /// rule.
+    pub fn select_k(&mut self, k: usize) -> Result<SelectionResult> {
+        self.session.select_k(k)
+    }
+
+    /// Answers one query against the prepared artifacts.
+    pub fn select(&mut self, query: &Query) -> Result<SelectionResult> {
+        self.session.select(query)
     }
 }
 
@@ -475,21 +799,27 @@ impl SeedSelector for Engine {
         Engine::id(self)
     }
 
-    fn prepare<'a>(&self, problem: &Problem<'a>) -> Result<Prepared<'a>> {
+    fn prepare_spec(&self, spec: ProblemSpec) -> Result<PreparedIndex> {
         let start = Instant::now();
         // The competitive artifacts (γ* pilot, rank/Copeland estimates)
         // need the exact competitor opinions; compute them once here and
-        // hand the matrix to the Prepared cache so queries reuse it.
-        let others = (problem.is_competitive() && !matches!(self, Engine::Dm))
-            .then(|| problem.non_target_opinions());
-        let backend: Box<dyn PreparedBackend<'a> + 'a> = match self {
-            Engine::Dm => Box::new(DmBackend),
-            Engine::Rw(cfg) => Box::new(RwBackend::prepare(cfg.clone(), problem, others.as_ref())),
-            Engine::Rs(cfg) => Box::new(RsBackend::prepare(cfg.clone(), problem)),
+        // hand the matrix to the index cache so queries reuse it.
+        let (backend, others): (Box<dyn IndexBackend>, Option<OpinionMatrix>) = {
+            let problem = spec.problem();
+            let others = (problem.is_competitive() && !matches!(self, Engine::Dm))
+                .then(|| problem.non_target_opinions());
+            let backend: Box<dyn IndexBackend> = match self {
+                Engine::Dm => Box::new(DmIndex),
+                Engine::Rw(cfg) => {
+                    Box::new(RwIndex::prepare(cfg.clone(), &problem, others.as_ref()))
+                }
+                Engine::Rs(cfg) => Box::new(RsIndex::prepare(cfg.clone(), &problem)),
+            };
+            (backend, others)
         };
         let build_time = start.elapsed();
-        Ok(Prepared::with_cached_others(
-            problem.clone(),
+        Ok(PreparedIndex::with_cached_others(
+            spec,
             self.id(),
             backend,
             build_time,
@@ -546,27 +876,29 @@ pub(crate) fn count_rs_sketch_build() {
 // ---------------------------------------------------------------------
 
 /// DM holds no estimator artifacts; its reusable state is the exact
-/// competitor matrix, which the [`Prepared`] cache already carries.
-struct DmBackend;
+/// competitor matrix, which the [`PreparedIndex`] cache already carries.
+struct DmIndex;
 
-impl<'a> PreparedBackend<'a> for DmBackend {
+impl IndexBackend for DmIndex {
     fn heap_bytes(&self) -> usize {
         0
     }
 
     fn greedy(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         others: Option<&OpinionMatrix>,
+        _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         Ok(dm_greedy_with_others(problem, others))
     }
 
     fn greedy_masked_cumulative(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         mask: &[bool],
         _others: Option<&OpinionMatrix>,
+        _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         Ok(dm_greedy_masked_cumulative(problem, mask))
     }
@@ -581,60 +913,57 @@ impl<'a> PreparedBackend<'a> for DmBackend {
 // ---------------------------------------------------------------------
 
 /// Cached walk arenas, one per rule class (the λ schedule differs), plus
-/// the γ* pilot shared by the two competitive classes.
-struct RwBackend {
+/// the γ* pilot shared by the two competitive classes. Lazy per-class
+/// builds go through `OnceLock`, so concurrent sessions racing to add a
+/// class still build it exactly once (losers block until the winner's
+/// arena is ready).
+struct RwIndex {
     cfg: RwConfig,
     /// The prepared budget: the γ* pilot depth derives from it (pin
     /// `RwConfig::gamma_pilot` to decouple artifacts from the budget).
     budget: usize,
-    gammas: Option<Vec<f64>>,
-    arenas: [Option<WalkArena>; 3],
-    builds: usize,
+    gammas: OnceLock<Vec<f64>>,
+    arenas: [OnceLock<WalkArena>; 3],
+    builds: AtomicUsize,
 }
 
-impl RwBackend {
-    fn prepare(cfg: RwConfig, problem: &Problem<'_>, others: Option<&OpinionMatrix>) -> RwBackend {
-        let mut backend = RwBackend {
+impl RwIndex {
+    fn prepare(cfg: RwConfig, problem: &Problem<'_>, others: Option<&OpinionMatrix>) -> RwIndex {
+        let backend = RwIndex {
             cfg,
             budget: problem.k,
-            gammas: None,
-            arenas: [None, None, None],
-            builds: 0,
+            gammas: OnceLock::new(),
+            arenas: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            builds: AtomicUsize::new(0),
         };
         backend.ensure_arena(problem, others);
         backend
     }
 
-    fn ensure_arena(&mut self, problem: &Problem<'_>, others: Option<&OpinionMatrix>) {
+    fn ensure_arena(&self, problem: &Problem<'_>, others: Option<&OpinionMatrix>) -> &WalkArena {
         let class = RuleClass::of(&problem.score);
-        if self.arenas[class as usize].is_some() {
-            return;
-        }
-        let arena = match class {
-            RuleClass::Cumulative => uniform_arena(problem, &self.cfg),
-            RuleClass::Rank | RuleClass::Copeland => {
-                let others = others.expect("competitive arena needs exact competitor opinions");
-                let budget = self.budget;
-                let cfg = &self.cfg;
-                let gammas = self
-                    .gammas
-                    .get_or_insert_with(|| competitive_gammas(problem, cfg, budget, others));
-                competitive_arena(
-                    problem,
-                    &self.cfg,
-                    gammas,
-                    matches!(class, RuleClass::Copeland),
-                )
-            }
-        };
-        self.builds += 1;
-        self.arenas[class as usize] = Some(arena);
+        self.arenas[class as usize].get_or_init(|| {
+            let arena = match class {
+                RuleClass::Cumulative => uniform_arena(problem, &self.cfg),
+                RuleClass::Rank | RuleClass::Copeland => {
+                    let others = others.expect("competitive arena needs exact competitor opinions");
+                    let gammas = self.gammas.get_or_init(|| {
+                        competitive_gammas(problem, &self.cfg, self.budget, others)
+                    });
+                    competitive_arena(
+                        problem,
+                        &self.cfg,
+                        gammas,
+                        matches!(class, RuleClass::Copeland),
+                    )
+                }
+            };
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            arena
+        })
     }
 
-    fn estimator<'s>(&'s self, problem: &Problem<'_>, class: RuleClass) -> OpinionEstimator<'s> {
-        let arena = self.arenas[class as usize]
-            .as_ref()
-            .expect("arena built by ensure_arena");
+    fn estimator<'s>(&self, arena: &'s WalkArena, problem: &Problem<'s>) -> OpinionEstimator<'s> {
         let cand = problem.instance.candidate(problem.target);
         let mut est = OpinionEstimator::new(arena, &cand.initial);
         for &s in &cand.fixed_seeds {
@@ -644,22 +973,27 @@ impl RwBackend {
     }
 }
 
-impl<'a> PreparedBackend<'a> for RwBackend {
+impl IndexBackend for RwIndex {
     fn heap_bytes(&self) -> usize {
-        self.arenas.iter().flatten().map(|a| a.heap_bytes()).sum()
+        self.arenas
+            .iter()
+            .filter_map(|a| a.get())
+            .map(|a| a.heap_bytes())
+            .sum()
     }
 
     fn artifact_builds(&self) -> usize {
-        self.builds
+        self.builds.load(Ordering::Relaxed)
     }
 
     fn greedy(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         others: Option<&OpinionMatrix>,
+        _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
-        self.ensure_arena(problem, others);
-        let mut est = self.estimator(problem, RuleClass::of(&problem.score));
+        let arena = self.ensure_arena(problem, others);
+        let mut est = self.estimator(arena, problem);
         Ok(crate::greedy::greedy_on_estimate(
             &mut est,
             problem.k,
@@ -670,15 +1004,16 @@ impl<'a> PreparedBackend<'a> for RwBackend {
     }
 
     fn greedy_masked_cumulative(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         mask: &[bool],
         others: Option<&OpinionMatrix>,
+        _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         // The masked cumulative greedy shares the *query rule's* arena
         // (§IV-D builds the artifacts once per selection).
-        self.ensure_arena(problem, others);
-        let mut est = self.estimator(problem, RuleClass::of(&problem.score));
+        let arena = self.ensure_arena(problem, others);
+        let mut est = self.estimator(arena, problem);
         Ok(crate::greedy::greedy_masked_cumulative(
             &mut est, problem.k, mask,
         ))
@@ -694,106 +1029,106 @@ impl<'a> PreparedBackend<'a> for RwBackend {
 // ---------------------------------------------------------------------
 
 /// Cached sketch sets, keyed by the sketch count θ (rule classes whose θ
-/// coincide — always the case under `theta_override` — share one sketch).
-struct RsBackend {
+/// coincide — always the case under `theta_override` — share one
+/// sketch). θ memoization is per class behind `OnceLock`; the sketch
+/// list sits behind a `Mutex` so a lazily added θ is built exactly once
+/// even under concurrent sessions (the build runs under the lock — rare,
+/// and racing sessions need the same sketch anyway).
+struct RsIndex {
     cfg: RsConfig,
     budget: usize,
     /// θ per rule class, memoized (the Theorem 13 bound for cumulative
     /// runs a sampling-based OPT lower bound; worth caching by itself).
-    thetas: [Option<usize>; 3],
-    sketches: Vec<(usize, SketchSet)>,
-    builds: usize,
+    thetas: [OnceLock<usize>; 3],
+    sketches: Mutex<Vec<(usize, Arc<SketchSet>)>>,
+    builds: AtomicUsize,
 }
 
-impl RsBackend {
-    fn prepare(cfg: RsConfig, problem: &Problem<'_>) -> RsBackend {
-        let mut backend = RsBackend {
+impl RsIndex {
+    fn prepare(cfg: RsConfig, problem: &Problem<'_>) -> RsIndex {
+        let backend = RsIndex {
             cfg,
             budget: problem.k,
-            thetas: [None, None, None],
-            sketches: Vec::new(),
-            builds: 0,
+            thetas: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            sketches: Mutex::new(Vec::new()),
+            builds: AtomicUsize::new(0),
         };
         backend.ensure_sketch(problem);
         backend
     }
 
-    fn theta_for(&mut self, problem: &Problem<'_>) -> usize {
+    fn theta_for(&self, problem: &Problem<'_>) -> usize {
         let class = RuleClass::of(&problem.score);
-        if let Some(theta) = self.thetas[class as usize] {
-            return theta;
-        }
-        let theta = crate::rs::choose_theta(&problem.with_budget(self.budget), &self.cfg);
-        self.thetas[class as usize] = Some(theta);
-        theta
+        *self.thetas[class as usize]
+            .get_or_init(|| crate::rs::choose_theta(&problem.with_budget(self.budget), &self.cfg))
     }
 
-    fn ensure_sketch(&mut self, problem: &Problem<'_>) -> usize {
+    fn ensure_sketch(&self, problem: &Problem<'_>) -> (usize, Arc<SketchSet>) {
         let theta = self.theta_for(problem);
-        if !self.sketches.iter().any(|(t, _)| *t == theta) {
-            let sketch = sketch_theta(problem, &self.cfg, theta);
-            self.builds += 1;
-            self.sketches.push((theta, sketch));
+        let mut sketches = self.sketches.lock().expect("sketch cache lock");
+        if let Some((_, sketch)) = sketches.iter().find(|(t, _)| *t == theta) {
+            return (theta, Arc::clone(sketch));
         }
-        theta
-    }
-
-    fn sketch(&self, theta: usize) -> &SketchSet {
-        &self
-            .sketches
-            .iter()
-            .find(|(t, _)| *t == theta)
-            .expect("sketch built by ensure_sketch")
-            .1
+        let sketch = Arc::new(sketch_theta(problem, &self.cfg, theta));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        sketches.push((theta, Arc::clone(&sketch)));
+        (theta, sketch)
     }
 }
 
-impl<'a> PreparedBackend<'a> for RsBackend {
+impl IndexBackend for RsIndex {
     fn heap_bytes(&self) -> usize {
-        self.sketches.iter().map(|(_, s)| s.heap_bytes()).sum()
+        self.sketches
+            .lock()
+            .expect("sketch cache lock")
+            .iter()
+            .map(|(_, s)| s.heap_bytes())
+            .sum()
     }
 
     fn artifact_builds(&self) -> usize {
-        self.builds
+        self.builds.load(Ordering::Relaxed)
     }
 
     fn greedy(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         others: Option<&OpinionMatrix>,
+        scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
-        let theta = self.ensure_sketch(problem);
+        let (theta, pristine) = self.ensure_sketch(problem);
         let cand = problem.instance.candidate(problem.target);
-        let mut sketch = self.sketch(theta).clone();
+        let mut sketch = scratch.checkout_sketch(theta, &pristine);
         for &s in &cand.fixed_seeds {
             sketch.add_seed(s);
         }
-        Ok(crate::greedy::greedy_on_estimate(
+        let seeds = crate::greedy::greedy_on_estimate(
             &mut sketch,
             problem.k,
             &problem.score,
             others,
             problem.target,
-        ))
+        );
+        scratch.return_sketch(theta, sketch);
+        Ok(seeds)
     }
 
     fn greedy_masked_cumulative(
-        &mut self,
-        problem: &Problem<'a>,
+        &self,
+        problem: &Problem<'_>,
         mask: &[bool],
         _others: Option<&OpinionMatrix>,
+        scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
-        let theta = self.ensure_sketch(problem);
+        let (theta, pristine) = self.ensure_sketch(problem);
         let cand = problem.instance.candidate(problem.target);
-        let mut sketch = self.sketch(theta).clone();
+        let mut sketch = scratch.checkout_sketch(theta, &pristine);
         for &s in &cand.fixed_seeds {
             sketch.add_seed(s);
         }
-        Ok(crate::greedy::greedy_masked_cumulative(
-            &mut sketch,
-            problem.k,
-            mask,
-        ))
+        let seeds = crate::greedy::greedy_masked_cumulative(&mut sketch, problem.k, mask);
+        scratch.return_sketch(theta, sketch);
+        Ok(seeds)
     }
 
     fn supports_sandwich(&self) -> bool {
@@ -804,7 +1139,6 @@ impl<'a> PreparedBackend<'a> for RsBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use vom_diffusion::Instance;
     use vom_graph::builder::graph_from_edges;
 
@@ -836,14 +1170,20 @@ mod tests {
     }
 
     #[test]
-    fn select_rejects_over_budget_and_wrong_target() {
+    fn select_rejects_invalid_queries_readably() {
         let inst = instance();
         let spec = Problem::new(&inst, 0, 1, 1, ScoringFunction::Cumulative).unwrap();
         let mut prepared = Engine::Dm.prepare(&spec).unwrap();
+        // k over the prepared budget.
         assert!(matches!(
             prepared.select_k(2),
             Err(CoreError::BudgetExceedsPrepared { k: 2, budget: 1 })
         ));
+        // k = 0 is an error, not a silent empty selection.
+        let err = prepared.select_k(0).unwrap_err();
+        assert!(matches!(err, CoreError::EmptyQuery));
+        assert!(err.to_string().contains("k = 0"), "{err}");
+        // Mismatched (but in-range) target.
         let q = Query::new(1, ScoringFunction::Cumulative, 1);
         assert!(matches!(
             prepared.select(&q),
@@ -851,6 +1191,13 @@ mod tests {
                 requested: 1,
                 prepared: 0
             })
+        ));
+        // Out-of-range target reports the candidate count, not a
+        // mismatch.
+        let q = Query::new(1, ScoringFunction::Cumulative, 9);
+        assert!(matches!(
+            prepared.select(&q),
+            Err(CoreError::BadTarget { target: 9, r: 2 })
         ));
     }
 
@@ -881,5 +1228,56 @@ mod tests {
         let res = prepared.select_k(1).unwrap();
         assert_eq!(res.estimator_heap_bytes, 0);
         assert_eq!(res.exact_score, 4.0);
+    }
+
+    #[test]
+    fn prepared_index_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedIndex>();
+        assert_send_sync::<Arc<PreparedIndex>>();
+        assert_send_sync::<QuerySession>();
+    }
+
+    #[test]
+    fn concurrent_sessions_lazily_build_each_class_once() {
+        let inst = instance();
+        let spec = Problem::new(&inst, 0, 2, 1, ScoringFunction::Cumulative).unwrap();
+        let index = Arc::new(Engine::rw_default().prepare_index(&spec).unwrap());
+        assert_eq!(index.build_stats().artifact_builds, 1);
+        // Four sessions race to be the first to need the Rank-class
+        // arena; it must be built exactly once and every session must
+        // agree on the selection.
+        let selections = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let index = Arc::clone(&index);
+                    s.spawn(move || {
+                        let mut session = PreparedIndex::session(&index);
+                        let q = Query::new(1, ScoringFunction::Plurality, 0);
+                        session.select(&q).unwrap().seeds
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(index.build_stats().artifact_builds, 2);
+        assert!(selections.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sessions_count_queries_and_reuse_scratch() {
+        let inst = instance();
+        let spec = Problem::new(&inst, 0, 2, 1, ScoringFunction::Plurality).unwrap();
+        let index = Arc::new(Engine::rs_default().prepare_index(&spec).unwrap());
+        let mut session = PreparedIndex::session(&index);
+        let warm_1 = session.select_k(1).unwrap();
+        let warm_2 = session.select_k(1).unwrap();
+        assert_eq!(session.queries_served(), 2);
+        // Scratch reuse must not leak previous query state into results.
+        assert_eq!(warm_1.seeds, warm_2.seeds);
+        assert_eq!(warm_1.exact_score.to_bits(), warm_2.exact_score.to_bits());
     }
 }

@@ -41,6 +41,10 @@ pub enum CoreError {
         /// The prepared target.
         prepared: usize,
     },
+    /// A query asked for zero seeds. Selecting an empty set is always a
+    /// no-op, so a `k = 0` request is a caller bug surfaced as an error
+    /// rather than a silent empty selection.
+    EmptyQuery,
 }
 
 impl fmt::Display for CoreError {
@@ -69,6 +73,9 @@ impl fmt::Display for CoreError {
                     f,
                     "query target {requested} differs from the prepared target {prepared}"
                 )
+            }
+            CoreError::EmptyQuery => {
+                write!(f, "query budget k = 0: a selection needs at least one seed")
             }
         }
     }

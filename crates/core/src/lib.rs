@@ -24,10 +24,15 @@
 //!
 //! Entry points:
 //!
-//! * build-once/query-many: [`engine::SeedSelector::prepare`] on an
-//!   [`engine::Engine`], then [`engine::Prepared::select`] with an
-//!   [`engine::Query`] — the API for sweeps, rule comparisons, and
-//!   serving;
+//! * build-once/query-many: [`engine::SeedSelector::prepare_index`] on an
+//!   [`engine::Engine`] builds an immutable, `Arc`-shareable
+//!   [`engine::PreparedIndex`]; each caller opens an
+//!   [`engine::QuerySession`] and answers [`engine::Query`]s — the API
+//!   for sweeps, rule comparisons, and concurrent serving (the
+//!   `vom-service` crate batches over it);
+//! * single caller: [`engine::SeedSelector::prepare`] returns the
+//!   source-compatible [`engine::Prepared`] wrapper (index + one
+//!   session);
 //! * one-shot: [`selector::select_seeds`] with a [`selector::Method`]
 //!   (a thin wrapper over the above).
 //!
@@ -53,11 +58,11 @@ pub mod win_ext;
 
 pub use dm_ext::{evaluate_rule, generic_greedy};
 pub use engine::{
-    BuildCounters, BuildStats, Engine, Prepared, PreparedBackend, Query, RuleClass, SeedSelector,
-    SelectionMode, SelectionResult,
+    BuildCounters, BuildStats, Engine, IndexBackend, Prepared, PreparedIndex, Query, QuerySession,
+    RuleClass, SeedSelector, SelectionMode, SelectionResult, SessionScratch,
 };
 pub use error::CoreError;
-pub use problem::Problem;
+pub use problem::{Problem, ProblemSpec};
 pub use registry::{MethodDescriptor, MethodId, METHOD_REGISTRY};
 pub use selector::{select_seeds, select_seeds_plain, Method};
 pub use win_ext::{min_seeds_to_win_rule, wins_rule};

@@ -1,6 +1,7 @@
 //! The FJ-Vote problem specification (Problem 1).
 
 use crate::{CoreError, Result};
+use std::sync::Arc;
 use vom_diffusion::{Instance, OpinionMatrix};
 use vom_graph::{Candidate, Node};
 use vom_voting::ScoringFunction;
@@ -88,10 +89,90 @@ impl<'a> Problem<'a> {
     }
 }
 
+/// An owned problem specification: the same five fields as [`Problem`],
+/// but holding the instance behind an [`Arc`] instead of borrowing it.
+///
+/// This is what a [`crate::engine::PreparedIndex`] stores — an index is a
+/// long-lived, `Send + Sync` artifact that outlives the stack frame it
+/// was built in, so it cannot borrow the instance the way the
+/// query-side [`Problem`] view does. Convert freely in both directions:
+/// [`ProblemSpec::from_problem`] clones the instance once into the `Arc`
+/// (the graphs inside an [`Instance`] are already `Arc`-shared, so the
+/// copy is `O(r·n)` opinion/stubbornness values, not the graph), and
+/// [`ProblemSpec::problem`] reborrows a [`Problem`] view for the
+/// algorithm layer.
+#[derive(Debug, Clone)]
+pub struct ProblemSpec {
+    /// The multi-candidate diffusion instance, shared.
+    pub instance: Arc<Instance>,
+    /// The target candidate `c_q`.
+    pub target: Candidate,
+    /// Seed budget `k`.
+    pub k: usize,
+    /// Time horizon `t`.
+    pub horizon: usize,
+    /// The voting-based objective.
+    pub score: ScoringFunction,
+}
+
+impl ProblemSpec {
+    /// Builds and validates an owned problem specification.
+    pub fn new(
+        instance: Arc<Instance>,
+        target: Candidate,
+        k: usize,
+        horizon: usize,
+        score: ScoringFunction,
+    ) -> Result<Self> {
+        Problem::new(&instance, target, k, horizon, score.clone())?;
+        Ok(ProblemSpec {
+            instance,
+            target,
+            k,
+            horizon,
+            score,
+        })
+    }
+
+    /// An owned copy of a borrowed problem (clones the instance into the
+    /// `Arc`; the underlying graphs stay shared).
+    pub fn from_problem(problem: &Problem<'_>) -> ProblemSpec {
+        ProblemSpec {
+            instance: Arc::new(problem.instance.clone()),
+            target: problem.target,
+            k: problem.k,
+            horizon: problem.horizon,
+            score: problem.score.clone(),
+        }
+    }
+
+    /// A borrowed [`Problem`] view of this specification.
+    pub fn problem(&self) -> Problem<'_> {
+        Problem {
+            instance: &self.instance,
+            target: self.target,
+            k: self.k,
+            horizon: self.horizon,
+            score: self.score.clone(),
+        }
+    }
+
+    /// A borrowed view with a different budget and rule — the per-query
+    /// problem the prepared artifacts answer.
+    pub fn query_problem(&self, k: usize, score: ScoringFunction) -> Problem<'_> {
+        Problem {
+            instance: &self.instance,
+            target: self.target,
+            k,
+            horizon: self.horizon,
+            score,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use vom_graph::builder::graph_from_edges;
 
     fn instance() -> Instance {
@@ -126,6 +207,37 @@ mod tests {
         assert!((p.exact_score(&[]) - 2.55).abs() < 1e-12);
         assert!((p.exact_score(&[0]) - 3.30).abs() < 1e-12);
         assert!((p.exact_score(&[2]) - 3.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_round_trips_through_problem_views() {
+        let inst = instance();
+        let p = Problem::new(&inst, 0, 2, 3, ScoringFunction::Plurality).unwrap();
+        let spec = ProblemSpec::from_problem(&p);
+        let view = spec.problem();
+        assert_eq!(view.target, 0);
+        assert_eq!(view.k, 2);
+        assert_eq!(view.horizon, 3);
+        assert_eq!(view.num_nodes(), 4);
+        // The graphs inside the instance stay shared, not deep-copied.
+        assert!(Arc::ptr_eq(
+            p.instance.graph_of(0),
+            spec.instance.graph_of(0)
+        ));
+        let q = spec.query_problem(1, ScoringFunction::Cumulative);
+        assert_eq!(q.k, 1);
+        assert!(!q.is_competitive());
+        // Validation mirrors Problem::new.
+        assert!(matches!(
+            ProblemSpec::new(
+                Arc::clone(&spec.instance),
+                9,
+                1,
+                1,
+                ScoringFunction::Plurality
+            ),
+            Err(CoreError::BadTarget { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,610 @@
+#![warn(missing_docs)]
+//! # vom-service
+//!
+//! A shared-state query service over the prepared-index lifecycle:
+//! register named diffusion instances once, then throw batches of
+//! [`Query`]s at them from any number of callers.
+//!
+//! [`VomService`] is the facade the ROADMAP's serving story needs on top
+//! of `vom-core`'s [`PreparedIndex`]/[`vom_core::QuerySession`] split:
+//!
+//! * **named graphs** — instances are registered under a name and shared
+//!   behind `Arc`s;
+//! * **memoized indexes** — each `(graph, method, target, horizon,
+//!   rule-class, budget-bucket)` builds its [`PreparedIndex`] exactly
+//!   once, whoever asks first; later queries (and whole batches) reuse
+//!   it;
+//! * **parallel batches** — [`VomService::run_batch`] fans a
+//!   `&[ServiceRequest]` across the worker pool (the vendored rayon
+//!   shim), one cheap [`vom_core::QuerySession`] per request, and returns
+//!   results **in request order**;
+//! * **per-query errors** — an invalid query (unknown graph, `k = 0`,
+//!   out-of-range target, oversized budget, bad rule) yields a readable
+//!   [`ServiceError`] in its slot; the rest of the batch is unaffected.
+//!
+//! # Determinism contract
+//!
+//! Selections are bit-identical however the batch is scheduled: indexes
+//! are immutable, artifact builds are deterministic given the engine
+//! seed, and the budget each index is prepared at depends only on the
+//! query (`k` rounded up to a power of two, capped at `n`) — never on
+//! batch composition, memoization history, or thread count. The
+//! workspace test `tests/query_service.rs` and the `repro --bench-json`
+//! query-throughput section both assert this cross-width.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vom_core::{MethodId, Query};
+//! use vom_diffusion::{Instance, OpinionMatrix};
+//! use vom_graph::builder::graph_from_edges;
+//! use vom_service::{ServiceRequest, VomService};
+//! use vom_voting::ScoringFunction;
+//!
+//! let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)])?);
+//! let b = OpinionMatrix::from_rows(vec![
+//!     vec![0.40, 0.80, 0.60, 0.90],
+//!     vec![0.35, 0.75, 1.00, 0.80],
+//! ])?;
+//! let inst = Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5])?;
+//!
+//! let service = VomService::new();
+//! service.register("toy", Arc::new(inst))?;
+//!
+//! let batch = vec![
+//!     ServiceRequest::new("toy", MethodId::Rs, 1, Query::new(1, ScoringFunction::Cumulative, 0)),
+//!     ServiceRequest::new("toy", MethodId::Rs, 1, Query::new(0, ScoringFunction::Cumulative, 0)),
+//!     ServiceRequest::new("toy", MethodId::Dm, 1, Query::new(1, ScoringFunction::Plurality, 0)),
+//! ];
+//! let results = service.run_batch(&batch);
+//!
+//! assert_eq!(results.len(), 3); // request order, one slot per request
+//! assert_eq!(results[0].as_ref().unwrap().seeds, vec![0]);
+//! assert!(results[1].is_err()); // k = 0 fails alone, not the batch
+//! assert_eq!(results[2].as_ref().unwrap().exact_score, 4.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use rayon::IntoParallelIterator;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use vom_baselines::AnyEngine;
+use vom_core::engine::{PreparedIndex, Query, RuleClass, SeedSelector, SelectionResult};
+use vom_core::{CoreError, MethodId, ProblemSpec};
+use vom_diffusion::Instance;
+use vom_graph::Candidate;
+
+/// Builds the engine (with its configuration) the service uses for a
+/// registry method. The default is [`AnyEngine::with_defaults`]; a bench
+/// harness can inject its §VIII-B parameter settings instead.
+pub type EngineFactory = Box<dyn Fn(MethodId) -> AnyEngine + Send + Sync>;
+
+/// One query against a named, registered graph.
+#[derive(Debug, Clone)]
+pub struct ServiceRequest {
+    /// The registered instance name.
+    pub graph: String,
+    /// The selection method (any of the nine registered methods).
+    pub method: MethodId,
+    /// The diffusion horizon `t` the artifacts are built for.
+    pub horizon: usize,
+    /// The selection query (budget, rule, target, mode).
+    pub query: Query,
+}
+
+impl ServiceRequest {
+    /// Convenience constructor.
+    pub fn new(
+        graph: impl Into<String>,
+        method: MethodId,
+        horizon: usize,
+        query: Query,
+    ) -> ServiceRequest {
+        ServiceRequest {
+            graph: graph.into(),
+            method,
+            horizon,
+            query,
+        }
+    }
+}
+
+/// A per-query service failure. Batches never fail as a whole: each
+/// request gets its own `Result` slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The request named a graph that was never registered.
+    UnknownGraph {
+        /// The unknown name.
+        name: String,
+    },
+    /// `register` was called with a name that is already taken.
+    DuplicateGraph {
+        /// The contested name.
+        name: String,
+    },
+    /// The query itself was invalid or the selection failed (propagated
+    /// from `vom-core`, e.g. `k = 0`, out-of-range target, `k > n`).
+    Selection(CoreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownGraph { name } => {
+                write!(f, "no graph registered under {name:?}")
+            }
+            ServiceError::DuplicateGraph { name } => {
+                write!(f, "a graph is already registered under {name:?}")
+            }
+            ServiceError::Selection(e) => write!(f, "selection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Selection(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Selection(e)
+    }
+}
+
+/// Per-request outcome of a batch.
+pub type ServiceResult = Result<SelectionResult, ServiceError>;
+
+/// Everything a prepared index depends on — the memoization key. The
+/// budget bucket (`k` rounded up to a power of two, capped at `n`)
+/// depends only on the query, so memo hits can never change results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct IndexKey {
+    graph: String,
+    method: MethodId,
+    target: Candidate,
+    horizon: usize,
+    class: RuleClass,
+    budget: usize,
+}
+
+/// The budget an index is prepared at for a query asking `k ≤ n` seeds:
+/// the next power of two (so nearby budgets share one index) capped at
+/// `n` (a budget can never exceed the node count).
+fn prepared_budget(k: usize, n: usize) -> usize {
+    k.max(1).checked_next_power_of_two().unwrap_or(n).min(n)
+}
+
+/// One memo slot: same-key callers share the cell and only the first
+/// runs the build (inside the cell's `OnceLock`, *outside* the cache
+/// map lock — memo hits and unrelated builds never wait on each other).
+type IndexCell = Arc<OnceLock<Result<Arc<PreparedIndex>, ServiceError>>>;
+
+/// The index memo: cells by key, insertion order for FIFO eviction, and
+/// an optional capacity. Eviction is safe at any moment — in-flight
+/// sessions keep their index alive through their own `Arc`s, and a
+/// rebuilt index is bit-identical by the determinism contract.
+struct IndexCache {
+    cells: HashMap<IndexKey, IndexCell>,
+    order: VecDeque<IndexKey>,
+    capacity: Option<usize>,
+}
+
+/// The shared-state query service facade. One `VomService` is meant to
+/// live for the process: it is `Send + Sync`, all methods take `&self`,
+/// and every piece of prepared state is shared behind `Arc`s.
+pub struct VomService {
+    engine_factory: EngineFactory,
+    graphs: RwLock<BTreeMap<String, Arc<Instance>>>,
+    /// The cache map lock is held only for cell lookup/insert/evict —
+    /// never across an artifact build.
+    indexes: Mutex<IndexCache>,
+}
+
+impl Default for VomService {
+    fn default() -> Self {
+        VomService::new()
+    }
+}
+
+impl VomService {
+    /// A service using each method's default configuration.
+    pub fn new() -> VomService {
+        VomService::with_engine_factory(Box::new(AnyEngine::with_defaults))
+    }
+
+    /// A service with custom engine configurations (e.g. the bench
+    /// harness's §VIII-B parameter settings).
+    pub fn with_engine_factory(factory: EngineFactory) -> VomService {
+        VomService {
+            engine_factory: factory,
+            graphs: RwLock::new(BTreeMap::new()),
+            indexes: Mutex::new(IndexCache {
+                cells: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: None,
+            }),
+        }
+    }
+
+    /// Caps the index memo at `capacity` entries with FIFO eviction
+    /// (default: unbounded). A long-lived service whose requests vary
+    /// target/horizon/budget freely should set this — every distinct
+    /// key otherwise retains its arena/sketch artifacts forever.
+    /// Eviction never changes results: a re-requested key rebuilds the
+    /// identical index.
+    pub fn with_index_capacity(self, capacity: usize) -> VomService {
+        self.indexes.lock().expect("index lock").capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Drops every memoized index (e.g. after a bulk workload, to
+    /// release artifact memory). Sessions already holding an index keep
+    /// it alive through their own `Arc`s.
+    pub fn clear_indexes(&self) {
+        let mut cache = self.indexes.lock().expect("index lock");
+        cache.cells.clear();
+        cache.order.clear();
+    }
+
+    /// Registers an instance under a name. Names are first-come:
+    /// re-registering is an error (indexes built for the old instance
+    /// would silently answer for the new one otherwise).
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        instance: Arc<Instance>,
+    ) -> Result<(), ServiceError> {
+        let name = name.into();
+        let mut graphs = self.graphs.write().expect("graphs lock");
+        if graphs.contains_key(&name) {
+            return Err(ServiceError::DuplicateGraph { name });
+        }
+        graphs.insert(name, instance);
+        Ok(())
+    }
+
+    /// The registered instance names, sorted.
+    pub fn graph_names(&self) -> Vec<String> {
+        self.graphs
+            .read()
+            .expect("graphs lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The registered instance under `name`, if any.
+    pub fn instance(&self, name: &str) -> Option<Arc<Instance>> {
+        self.graphs.read().expect("graphs lock").get(name).cloned()
+    }
+
+    /// Number of distinct prepared indexes currently memoized.
+    pub fn index_count(&self) -> usize {
+        self.indexes.lock().expect("index lock").cells.len()
+    }
+
+    /// The memoized (building if absent) index for a request, after
+    /// cheap upfront validation — so garbage queries fail readably
+    /// *before* any expensive artifact build.
+    fn index_for(&self, req: &ServiceRequest) -> Result<Arc<PreparedIndex>, ServiceError> {
+        let instance = self
+            .instance(&req.graph)
+            .ok_or_else(|| ServiceError::UnknownGraph {
+                name: req.graph.clone(),
+            })?;
+        let n = instance.num_nodes();
+        let r = instance.num_candidates();
+        if req.query.target >= r {
+            return Err(CoreError::BadTarget {
+                target: req.query.target,
+                r,
+            }
+            .into());
+        }
+        if req.query.k == 0 {
+            return Err(CoreError::EmptyQuery.into());
+        }
+        if req.query.k > n {
+            return Err(CoreError::BudgetTooLarge { k: req.query.k, n }.into());
+        }
+        req.query.rule.validate(r).map_err(CoreError::from)?;
+
+        let key = IndexKey {
+            graph: req.graph.clone(),
+            method: req.method,
+            target: req.query.target,
+            horizon: req.horizon,
+            class: RuleClass::of(&req.query.rule),
+            budget: prepared_budget(req.query.k, n),
+        };
+        // Grab (or create) the key's memo cell under the map lock —
+        // cheap — then build outside it, inside the cell: same-key
+        // racers wait for the one build, everyone else proceeds.
+        let cell: IndexCell = {
+            let mut cache = self.indexes.lock().expect("index lock");
+            match cache.cells.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    if let Some(cap) = cache.capacity {
+                        while cache.cells.len() >= cap {
+                            match cache.order.pop_front() {
+                                Some(oldest) => {
+                                    cache.cells.remove(&oldest);
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                    let cell: IndexCell = Arc::new(OnceLock::new());
+                    cache.cells.insert(key.clone(), Arc::clone(&cell));
+                    cache.order.push_back(key.clone());
+                    cell
+                }
+            }
+        };
+        cell.get_or_init(|| {
+            let engine = (self.engine_factory)(req.method);
+            let spec = ProblemSpec::new(
+                instance,
+                req.query.target,
+                key.budget,
+                req.horizon,
+                req.query.rule.clone(),
+            )?;
+            Ok(Arc::new(engine.prepare_spec(spec)?))
+        })
+        .clone()
+    }
+
+    /// Builds (and memoizes) every index a batch will need, skipping
+    /// requests that fail validation — their errors resurface per-query
+    /// in [`VomService::run_batch`]. Returns the number of indexes
+    /// built. Useful to warm the service before latency-sensitive
+    /// serving, and to time build vs. query phases separately.
+    pub fn warm(&self, requests: &[ServiceRequest]) -> usize {
+        let before = self.index_count();
+        for req in requests {
+            let _ = self.index_for(req);
+        }
+        self.index_count() - before
+    }
+
+    /// Answers one request (building or reusing its index).
+    pub fn run(&self, req: &ServiceRequest) -> ServiceResult {
+        let index = self.index_for(req)?;
+        let mut session = PreparedIndex::session(&index);
+        session.select(&req.query).map_err(ServiceError::Selection)
+    }
+
+    /// Answers a whole batch: indexes are resolved (and missing ones
+    /// built, each exactly once) up front, then the queries run on the
+    /// worker pool, one [`vom_core::QuerySession`] per request. The
+    /// result vector is in request order regardless of schedule, and
+    /// each slot carries its own error — one bad query never sinks the
+    /// batch.
+    pub fn run_batch(&self, requests: &[ServiceRequest]) -> Vec<ServiceResult> {
+        let indexes: Vec<Result<Arc<PreparedIndex>, ServiceError>> =
+            requests.iter().map(|req| self.index_for(req)).collect();
+        (0..requests.len())
+            .into_par_iter()
+            .map(|i| {
+                let index = indexes[i].clone()?;
+                let mut session = PreparedIndex::session(&index);
+                session
+                    .select(&requests[i].query)
+                    .map_err(ServiceError::Selection)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_diffusion::OpinionMatrix;
+    use vom_graph::builder::graph_from_edges;
+    use vom_voting::ScoringFunction;
+
+    fn instance() -> Arc<Instance> {
+        let g = Arc::new(graph_from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.40, 0.80, 0.60, 0.90],
+            vec![0.35, 0.75, 1.00, 0.80],
+        ])
+        .unwrap();
+        Arc::new(Instance::shared(g, b, vec![0.0, 0.0, 0.5, 0.5]).unwrap())
+    }
+
+    fn service() -> VomService {
+        let service = VomService::new();
+        service.register("toy", instance()).unwrap();
+        service
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VomService>();
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let service = service();
+        assert!(matches!(
+            service.register("toy", instance()),
+            Err(ServiceError::DuplicateGraph { .. })
+        ));
+        assert_eq!(service.graph_names(), vec!["toy".to_string()]);
+    }
+
+    #[test]
+    fn batch_preserves_request_order_and_isolates_errors() {
+        let service = service();
+        let batch = vec![
+            ServiceRequest::new(
+                "toy",
+                MethodId::Rs,
+                1,
+                Query::new(1, ScoringFunction::Cumulative, 0),
+            ),
+            ServiceRequest::new(
+                "toy",
+                MethodId::Rs,
+                1,
+                Query::new(0, ScoringFunction::Cumulative, 0),
+            ),
+            ServiceRequest::new(
+                "nope",
+                MethodId::Rs,
+                1,
+                Query::new(1, ScoringFunction::Cumulative, 0),
+            ),
+            ServiceRequest::new(
+                "toy",
+                MethodId::Rs,
+                1,
+                Query::new(1, ScoringFunction::Cumulative, 9),
+            ),
+            ServiceRequest::new(
+                "toy",
+                MethodId::Rs,
+                1,
+                Query::new(99, ScoringFunction::Cumulative, 0),
+            ),
+            ServiceRequest::new(
+                "toy",
+                MethodId::Dm,
+                1,
+                Query::new(1, ScoringFunction::Plurality, 0),
+            ),
+        ];
+        let results = service.run_batch(&batch);
+        assert_eq!(results.len(), batch.len());
+        assert_eq!(results[0].as_ref().unwrap().seeds, vec![0]);
+        assert!(matches!(
+            results[1],
+            Err(ServiceError::Selection(CoreError::EmptyQuery))
+        ));
+        assert!(matches!(
+            results[2],
+            Err(ServiceError::UnknownGraph { ref name }) if name == "nope"
+        ));
+        assert!(matches!(
+            results[3],
+            Err(ServiceError::Selection(CoreError::BadTarget {
+                target: 9,
+                r: 2
+            }))
+        ));
+        assert!(matches!(
+            results[4],
+            Err(ServiceError::Selection(CoreError::BudgetTooLarge {
+                k: 99,
+                n: 4
+            }))
+        ));
+        assert_eq!(results[5].as_ref().unwrap().exact_score, 4.0);
+    }
+
+    #[test]
+    fn indexes_are_memoized_per_key_and_shared_across_budgets() {
+        let service = service();
+        // k = 3 and k = 4 share the power-of-two budget bucket 4; a
+        // different rule class gets its own index.
+        let reqs = vec![
+            ServiceRequest::new(
+                "toy",
+                MethodId::Rs,
+                1,
+                Query::new(3, ScoringFunction::Cumulative, 0),
+            ),
+            ServiceRequest::new(
+                "toy",
+                MethodId::Rs,
+                1,
+                Query::new(4, ScoringFunction::Cumulative, 0),
+            ),
+            ServiceRequest::new(
+                "toy",
+                MethodId::Rs,
+                1,
+                Query::new(1, ScoringFunction::Plurality, 0),
+            ),
+        ];
+        assert_eq!(service.warm(&reqs), 2);
+        // Warming again builds nothing; neither does running the batch.
+        assert_eq!(service.warm(&reqs), 0);
+        let results = service.run_batch(&reqs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(service.index_count(), 2);
+    }
+
+    #[test]
+    fn batch_results_match_single_runs() {
+        let service = service();
+        let reqs: Vec<ServiceRequest> = (1..=2)
+            .flat_map(|k| {
+                [ScoringFunction::Cumulative, ScoringFunction::Plurality]
+                    .into_iter()
+                    .map(move |rule| {
+                        ServiceRequest::new("toy", MethodId::Rs, 1, Query::new(k, rule, 0))
+                    })
+            })
+            .collect();
+        let batch = service.run_batch(&reqs);
+        for (req, out) in reqs.iter().zip(&batch) {
+            let solo = service.run(req).unwrap();
+            let out = out.as_ref().unwrap();
+            assert_eq!(solo.seeds, out.seeds);
+            assert_eq!(solo.exact_score.to_bits(), out.exact_score.to_bits());
+        }
+    }
+
+    #[test]
+    fn index_capacity_evicts_fifo_without_changing_results() {
+        let service = VomService::new().with_index_capacity(1);
+        service.register("toy", instance()).unwrap();
+        let cum = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Cumulative, 0),
+        );
+        let plu = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Plurality, 0),
+        );
+        let first = service.run(&cum).unwrap();
+        assert_eq!(service.index_count(), 1);
+        // A second key evicts the first (capacity 1)…
+        service.run(&plu).unwrap();
+        assert_eq!(service.index_count(), 1);
+        // …and re-requesting the first rebuilds a bit-identical index.
+        let again = service.run(&cum).unwrap();
+        assert_eq!(service.index_count(), 1);
+        assert_eq!(first.seeds, again.seeds);
+        assert_eq!(first.exact_score.to_bits(), again.exact_score.to_bits());
+        // clear_indexes releases everything.
+        service.clear_indexes();
+        assert_eq!(service.index_count(), 0);
+    }
+
+    #[test]
+    fn prepared_budget_buckets_are_query_only() {
+        assert_eq!(prepared_budget(1, 100), 1);
+        assert_eq!(prepared_budget(3, 100), 4);
+        assert_eq!(prepared_budget(4, 100), 4);
+        assert_eq!(prepared_budget(90, 100), 100); // capped at n
+        assert_eq!(prepared_budget(7, 7), 7);
+    }
+}

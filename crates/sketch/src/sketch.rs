@@ -23,7 +23,7 @@ use vom_walks::{Truncation, WalkArena, WalkGenerator};
 /// Cloning shares the immutable walk arena (`Arc`) and copies only the
 /// `O(θ + n)` truncation/pooling state, so prepared engines can hand out
 /// a fresh sketch per query cheaply.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SketchSet {
     arena: Arc<WalkArena>,
     trunc: Truncation,
@@ -33,6 +33,32 @@ pub struct SketchSet {
     start_sum: Vec<f64>,
     /// Per start node: number of sketches started there.
     start_count: Vec<u32>,
+}
+
+/// Manual impl so `clone_from` reuses the target's allocations: a query
+/// session that resets its working sketch from the prepared pristine
+/// copy re-fills the existing `O(θ + n)` buffers instead of allocating
+/// fresh ones per query.
+impl Clone for SketchSet {
+    fn clone(&self) -> Self {
+        SketchSet {
+            arena: Arc::clone(&self.arena),
+            trunc: self.trunc.clone(),
+            b0: self.b0.clone(),
+            n: self.n,
+            start_sum: self.start_sum.clone(),
+            start_count: self.start_count.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.arena = Arc::clone(&source.arena);
+        self.trunc.clone_from(&source.trunc);
+        self.b0.clone_from(&source.b0);
+        self.n = source.n;
+        self.start_sum.clone_from(&source.start_sum);
+        self.start_count.clone_from(&source.start_count);
+    }
 }
 
 impl SketchSet {

@@ -21,12 +21,33 @@ use vom_graph::Node;
 /// behind an `Arc`, so cloning a `Truncation` (the prepared engines
 /// clone per query) copies only the `O(θ + n)` mutable state, not the
 /// `O(total walk length)` index.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Truncation {
     end_pos: Vec<u32>,
     index: Arc<OccurrenceIndex>,
     is_seed: Vec<bool>,
     seeds: Vec<Node>,
+}
+
+/// Manual impl so `clone_from` reuses the target's allocations — a query
+/// session resetting its working truncation from the pristine one then
+/// allocates nothing.
+impl Clone for Truncation {
+    fn clone(&self) -> Self {
+        Truncation {
+            end_pos: self.end_pos.clone(),
+            index: Arc::clone(&self.index),
+            is_seed: self.is_seed.clone(),
+            seeds: self.seeds.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.end_pos.clone_from(&source.end_pos);
+        self.index = Arc::clone(&source.index);
+        self.is_seed.clone_from(&source.is_seed);
+        self.seeds.clone_from(&source.seeds);
+    }
 }
 
 /// First-occurrence positions of every node in every walk (CSR by node).

@@ -6,7 +6,8 @@
 //! cargo run --release --example election_campaign
 //! ```
 
-use vom::core::engine::SeedSelector;
+use std::sync::Arc;
+use vom::core::engine::{PreparedIndex, SeedSelector};
 use vom::core::win::{try_min_seeds_to_win, wins};
 use vom::core::{select_seeds, Engine, Problem, Query};
 use vom::datasets::{twitter_election_like, ReplicaParams};
@@ -61,13 +62,16 @@ fn main() {
     );
 
     // Problem 2: the minimum budget that actually wins. The budget
-    // search probes many k values — prepare the RS engine once and let
-    // every probe query the shared sketch artifacts.
-    let mut prepared = Engine::rs_default()
-        .prepare(&problem.with_budget(inst.num_nodes()))
-        .expect("prepare succeeds");
+    // search probes many k values — build the RS index once and let
+    // every probe query the shared sketch artifacts through a session.
+    let index = Arc::new(
+        Engine::rs_default()
+            .prepare_index(&problem.with_budget(inst.num_nodes()))
+            .expect("prepare succeeds"),
+    );
+    let mut session = PreparedIndex::session(&index);
     let win = try_min_seeds_to_win(&problem, |p| {
-        prepared
+        session
             .select(&Query::plain(p.k, p.score.clone(), p.target))
             .map(|r| r.seeds)
     })

@@ -7,7 +7,8 @@
 //! cargo run --release --example product_campaign
 //! ```
 
-use vom::core::engine::SeedSelector;
+use std::sync::Arc;
+use vom::core::engine::{PreparedIndex, SeedSelector};
 use vom::core::{Engine, Problem, Query};
 use vom::datasets::{yelp_like, ReplicaParams};
 use vom::voting::{position_histogram, ScoringFunction};
@@ -47,22 +48,25 @@ fn main() {
             },
         },
     ];
-    // All three membership models are competitive rules, so one prepared
-    // RS engine (one sketch set) serves them all — the build is paid
-    // once, each rule is a cheap query.
+    // All three membership models are competitive rules, so one shared
+    // RS index (one sketch set) serves them all — the build is paid
+    // once, each rule is a cheap query on a session.
     let spec = Problem::new(inst, ds.default_target, k, t, ScoringFunction::Plurality)
         .expect("valid problem");
-    let mut prepared = Engine::rs_default()
-        .prepare(&spec)
-        .expect("prepare succeeds");
+    let index = Arc::new(
+        Engine::rs_default()
+            .prepare_index(&spec)
+            .expect("prepare succeeds"),
+    );
+    let mut session = PreparedIndex::session(&index);
     println!(
         "prepared RS once in {:.2}s ({:.1} MB of sketches)",
-        prepared.build_stats().build_time.as_secs_f64(),
-        prepared.build_stats().heap_bytes as f64 / 1e6
+        index.build_stats().build_time.as_secs_f64(),
+        index.build_stats().heap_bytes as f64 / 1e6
     );
     for score in scores {
         let query = Query::new(k, score.clone(), ds.default_target);
-        let res = prepared.select(&query).expect("selection succeeds");
+        let res = session.select(&query).expect("selection succeeds");
         let after = inst.opinions_at(t, ds.default_target, &res.seeds);
         let hist = position_histogram(&after, ds.default_target);
         println!(
@@ -84,13 +88,15 @@ fn main() {
     )
     .expect("valid problem");
     for engine in [Engine::Dm, Engine::rw_default(), Engine::rs_default()] {
-        let mut prepared = engine.prepare(&problem).expect("prepare succeeds");
-        let res = prepared.select_k(k).expect("selection succeeds");
+        let index = Arc::new(engine.prepare_index(&problem).expect("prepare succeeds"));
+        let res = PreparedIndex::session(&index)
+            .select_k(k)
+            .expect("selection succeeds");
         println!(
             "  {:<3} score {:>8.1}  build {:>7.3}s  query {:>7.3}s  estimator {:>6.1} MB",
             engine.name(),
             res.exact_score,
-            prepared.build_stats().build_time.as_secs_f64(),
+            index.build_stats().build_time.as_secs_f64(),
             res.elapsed.as_secs_f64(),
             res.estimator_heap_bytes as f64 / 1e6
         );

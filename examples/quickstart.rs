@@ -6,7 +6,7 @@
 //! ```
 
 use std::sync::Arc;
-use vom::core::engine::SeedSelector;
+use vom::core::engine::{PreparedIndex, SeedSelector};
 use vom::core::{Engine, Problem, Query};
 use vom::diffusion::{Instance, OpinionMatrix};
 use vom::graph::GraphBuilder;
@@ -51,19 +51,22 @@ fn main() {
     );
 
     // 4. Pick one seed for the target to maximize each voting score:
-    //    prepare the exact DM engine once, then query it per rule (the
-    //    build-once/query-many lifecycle; `select_seeds` remains as a
-    //    one-shot shorthand).
+    //    build the exact DM engine's immutable index once, open a query
+    //    session on it, then query per rule (the build-once/query-many
+    //    lifecycle; the index is `Send + Sync`, so any number of threads
+    //    could open their own sessions on the same `Arc` —
+    //    `select_seeds` remains as a one-shot shorthand).
     let spec =
         Problem::new(&instance, 0, 1, horizon, ScoringFunction::Cumulative).expect("valid problem");
-    let mut prepared = Engine::Dm.prepare(&spec).expect("prepare succeeds");
+    let index = Arc::new(Engine::Dm.prepare_index(&spec).expect("prepare succeeds"));
+    let mut session = PreparedIndex::session(&index);
     for score in [
         ScoringFunction::Cumulative,
         ScoringFunction::Plurality,
         ScoringFunction::Copeland,
     ] {
         let query = Query::new(1, score.clone(), 0);
-        let res = prepared.select(&query).expect("selection succeeds");
+        let res = session.select(&query).expect("selection succeeds");
         println!(
             "{score:>10}: seed user {:?} -> score {:.2}",
             res.seeds, res.exact_score

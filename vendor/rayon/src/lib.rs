@@ -55,7 +55,7 @@
 
 mod pool;
 
-pub use pool::{current_num_threads, join, set_thread_override};
+pub use pool::{current_num_threads, join, set_thread_override, thread_override};
 
 // ---------------------------------------------------------------------
 // Pipeline stages

@@ -75,6 +75,17 @@ pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
 }
 
+/// The current runtime override, if any — what was last passed to
+/// [`set_thread_override`]. Lets callers that pin the width temporarily
+/// (benches comparing 1 vs N threads) restore the caller's setting
+/// instead of clobbering it with `None`.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
 /// The number of worker threads parallel operations currently use.
 pub fn current_num_threads() -> usize {
     match THREAD_OVERRIDE.load(Ordering::SeqCst) {
