@@ -17,9 +17,9 @@ use crate::pagerank::pagerank_seeds;
 use crate::rwr::rwr_seeds;
 use std::time::Instant;
 use vom_core::engine::{Engine, IndexBackend, PreparedIndex, SeedSelector, SessionScratch};
+use vom_core::greedy::Competitors;
 use vom_core::registry::MethodId;
 use vom_core::{Problem, ProblemSpec, Result};
-use vom_diffusion::OpinionMatrix;
 use vom_graph::Node;
 
 /// One of the six compared baselines (§VIII-A), ready to prepare.
@@ -121,7 +121,7 @@ impl IndexBackend for RankedListIndex {
     fn greedy(
         &self,
         problem: &Problem<'_>,
-        _others: Option<&OpinionMatrix>,
+        _comp: Option<Competitors<'_>>,
         _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         Ok(self.order.iter().take(problem.k).copied().collect())
@@ -181,7 +181,7 @@ impl SeedSelector for AnyEngine {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use vom_diffusion::Instance;
+    use vom_diffusion::{Instance, OpinionMatrix};
     use vom_graph::builder::graph_from_edges;
     use vom_voting::ScoringFunction;
 

@@ -35,6 +35,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use vom_core::engine::{Query, SelectionMode};
+use vom_core::phases::{self, PhaseTimes};
 use vom_core::{MethodId, Problem};
 use vom_datasets::Dataset;
 use vom_graph::Node;
@@ -61,6 +62,14 @@ pub struct BenchSample {
     /// digests across thread counts of one experiment mean equal
     /// selections — asserted again from the JSON by the CI smoke.
     pub digest: String,
+    /// Query-phase breakdown (diffusion vs truncation vs scoring wall
+    /// clock, from `vom_core::phases`) of the recorded pass. The three
+    /// phases cover the hot work, not the orchestration, so they sum to
+    /// slightly less than `query_s`.
+    pub phases: PhaseTimes,
+    /// The same breakdown attributed per engine (`DM`/`RW`/`RS`), in
+    /// first-run order.
+    pub method_phases: Vec<(String, PhaseTimes)>,
 }
 
 /// Seed selections of one workload pass, for cross-thread comparison:
@@ -71,6 +80,18 @@ struct WorkloadPass {
     prepare: Duration,
     query: Duration,
     selections: Selections,
+    /// Per-phase attribution of the query wall clock.
+    phases: PhaseTimes,
+    /// Query phases split per method name.
+    method_phases: Vec<(String, PhaseTimes)>,
+}
+
+/// Adds `delta` to `method`'s slot (insertion order preserved).
+fn merge_method_phases(into: &mut Vec<(String, PhaseTimes)>, method: &str, delta: PhaseTimes) {
+    match into.iter_mut().find(|(m, _)| m == method) {
+        Some((_, acc)) => acc.add(delta),
+        None => into.push((method.to_string(), delta)),
+    }
 }
 
 /// Timed passes per (workload, width); the fastest is recorded. Three
@@ -119,6 +140,8 @@ fn run_workload(
     let mut prepare = Duration::ZERO;
     let mut query = Duration::ZERO;
     let mut selections: Selections = Vec::new();
+    let mut query_phases = PhaseTimes::default();
+    let mut method_phases: Vec<(String, PhaseTimes)> = Vec::new();
     for ds in datasets {
         let n = ds.instance.num_nodes();
         // An explicit --k override is taken verbatim (no clamping): an
@@ -145,18 +168,24 @@ fn run_workload(
             let (prepared, build) = timed(|| crate::PreparedMethod::new(&spec, m, cfg.seed));
             let mut prepared = prepared?;
             prepare += build;
+            let before = phases::snapshot();
             for &k in &ks {
                 let (out, select) = timed(|| prepared.evaluate(k));
                 let out = out?;
                 query += select;
                 selections.push((format!("{}/{}/k{}", ds.name, m.name(), k), out.seeds));
             }
+            let delta = phases::snapshot().since(before);
+            query_phases.add(delta);
+            merge_method_phases(&mut method_phases, m.name(), delta);
         }
     }
     Ok(WorkloadPass {
         prepare,
         query,
         selections,
+        phases: query_phases,
+        method_phases,
     })
 }
 
@@ -209,7 +238,9 @@ fn run_query_throughput(cfg: &ExpConfig, ds: &Dataset) -> Result<WorkloadPass> {
         .map_err(|e| BenchError::InvalidConfig(format!("service registration failed: {e}")))?;
     let requests = throughput_requests(cfg, ds);
     let (_, prepare) = timed(|| service.warm(&requests));
+    let before = phases::snapshot();
     let (results, query) = timed(|| service.run_batch(&requests));
+    let query_phases = phases::snapshot().since(before);
     let mut selections: Selections = Vec::with_capacity(results.len());
     for (i, (req, res)) in requests.iter().zip(results).enumerate() {
         let out = res.map_err(|e| {
@@ -227,6 +258,8 @@ fn run_query_throughput(cfg: &ExpConfig, ds: &Dataset) -> Result<WorkloadPass> {
         prepare,
         query,
         selections,
+        phases: query_phases,
+        method_phases: vec![(MethodId::Rs.name().to_string(), query_phases)],
     })
 }
 
@@ -280,6 +313,8 @@ fn collect_workload(
             total_s: (pass.prepare + pass.query).as_secs_f64(),
             deterministic,
             digest: selections_digest(&pass.selections),
+            phases: pass.phases,
+            method_phases: pass.method_phases,
         });
     }
     Ok(())
@@ -336,18 +371,44 @@ pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
     Ok(path)
 }
 
+/// Renders one phase breakdown as JSON object fields.
+fn phase_fields(p: PhaseTimes) -> String {
+    format!(
+        "\"diffusion_s\": {:.6}, \"truncation_s\": {:.6}, \"scoring_s\": {:.6}",
+        p.diffusion.as_secs_f64(),
+        p.truncation.as_secs_f64(),
+        p.scoring.as_secs_f64()
+    )
+}
+
 /// Hand-rolled JSON (the workspace builds offline without serde; same
 /// policy as [`crate::Table::to_json_pretty`]).
 fn render_json(cfg: &ExpConfig, samples: &[BenchSample]) -> String {
     let runs = samples
         .iter()
         .map(|s| {
+            let methods = s
+                .method_phases
+                .iter()
+                .map(|(m, p)| {
+                    format!("        {{ \"method\": \"{m}\", {} }}", phase_fields(*p))
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
             format!(
                 "    {{\n      \"experiment\": \"{}\",\n      \"threads\": {},\n      \
                  \"prepare_s\": {:.6},\n      \"query_s\": {:.6},\n      \"total_s\": {:.6},\n      \
-                 \"deterministic\": {},\n      \"digest\": \"{}\"\n    }}",
-                s.experiment, s.threads, s.prepare_s, s.query_s, s.total_s, s.deterministic,
-                s.digest
+                 \"deterministic\": {},\n      \"digest\": \"{}\",\n      \
+                 \"phases\": {{ {} }},\n      \"method_phases\": [\n{}\n      ]\n    }}",
+                s.experiment,
+                s.threads,
+                s.prepare_s,
+                s.query_s,
+                s.total_s,
+                s.deterministic,
+                s.digest,
+                phase_fields(s.phases),
+                methods
             )
         })
         .collect::<Vec<_>>()
@@ -367,6 +428,11 @@ mod tests {
     #[test]
     fn json_is_shaped_for_the_trajectory_tooling() {
         let cfg = ExpConfig::default();
+        let phases = PhaseTimes {
+            diffusion: Duration::from_millis(100),
+            truncation: Duration::from_millis(50),
+            scoring: Duration::from_millis(250),
+        };
         let samples = vec![
             BenchSample {
                 experiment: "fig6-quick",
@@ -376,6 +442,8 @@ mod tests {
                 total_s: 2.0,
                 deterministic: true,
                 digest: "00c0ffee00c0ffee".into(),
+                phases,
+                method_phases: vec![("RW".into(), phases), ("RS".into(), phases)],
             },
             BenchSample {
                 experiment: "fig6-quick",
@@ -385,6 +453,8 @@ mod tests {
                 total_s: 0.75,
                 deterministic: true,
                 digest: "00c0ffee00c0ffee".into(),
+                phases,
+                method_phases: vec![("RW".into(), phases)],
             },
         ];
         let json = render_json(&cfg, &samples);
@@ -393,6 +463,11 @@ mod tests {
         assert!(json.contains("\"total_s\": 2.000000"));
         assert!(json.contains("\"deterministic\": true"));
         assert!(json.contains("\"digest\": \"00c0ffee00c0ffee\""));
+        // The per-phase breakdown is present at both levels.
+        assert!(json.contains("\"phases\": { \"diffusion_s\": 0.100000"));
+        assert!(json.contains("\"scoring_s\": 0.250000"));
+        assert!(json.contains("\"method\": \"RW\""));
+        assert!(json.contains("\"method\": \"RS\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

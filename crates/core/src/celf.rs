@@ -28,10 +28,12 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap by gain; ties broken toward the smaller node id so the
-        // selection is deterministic.
+        // selection is deterministic. `total_cmp` keeps the order total
+        // even if a degenerate objective hands back a NaN gain — such an
+        // entry sorts above +∞ (or below −∞ for negative NaN) instead of
+        // panicking deep inside the heap.
         self.gain
-            .partial_cmp(&other.gain)
-            .expect("gains must be finite")
+            .total_cmp(&other.gain)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -48,25 +50,46 @@ impl Ord for Entry {
 ///
 /// Returns the selected nodes in order. Stops early if every remaining
 /// gain is zero (adding more seeds cannot help a non-decreasing score).
-pub fn celf_greedy<FM, FC>(n: usize, k: usize, mut marginal: FM, mut commit: FC) -> Vec<Node>
+pub fn celf_greedy<FM, FC>(n: usize, k: usize, marginal: FM, commit: FC) -> Vec<Node>
 where
     FM: FnMut(Node) -> f64,
     FC: FnMut(Node),
 {
-    let mut heap = BinaryHeap::with_capacity(n);
-    for v in 0..n as Node {
-        heap.push(Entry {
+    lazy_greedy(0..n as Node, k, true, marginal, commit)
+}
+
+/// The shared lazy-greedy loop behind [`celf_greedy`] and the
+/// estimate-driven cumulative fills in `crate::greedy`: one heap, one
+/// staleness protocol, one tie-breaking rule — any change to the lazy
+/// evaluation semantics lands in every submodular selection path at
+/// once. `stop_on_zero` selects between CELF's early stop and the
+/// paper's fill-to-`k` semantics (zero-gain seeds committed by smallest
+/// id); `candidates` seeds the heap (callers exclude existing seeds
+/// either here or by returning `NEG_INFINITY` from `marginal`).
+pub(crate) fn lazy_greedy<FM, FC>(
+    candidates: impl Iterator<Item = Node>,
+    k: usize,
+    stop_on_zero: bool,
+    mut marginal: FM,
+    mut commit: FC,
+) -> Vec<Node>
+where
+    FM: FnMut(Node) -> f64,
+    FC: FnMut(Node),
+{
+    let mut heap: BinaryHeap<Entry> = candidates
+        .map(|v| Entry {
             gain: marginal(v),
             node: v,
             round: 0,
-        });
-    }
+        })
+        .collect();
     let mut selected = Vec::with_capacity(k);
     let mut round = 0u32;
     while selected.len() < k {
         let Some(top) = heap.pop() else { break };
         if top.round == round {
-            if top.gain <= 0.0 {
+            if stop_on_zero && top.gain <= 0.0 {
                 break;
             }
             commit(top.node);
@@ -172,5 +195,16 @@ mod tests {
     fn ties_break_toward_smaller_ids() {
         let selected = celf_greedy(4, 2, |_| 1.0, |_| {});
         assert_eq!(selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_gains_order_deterministically_instead_of_panicking() {
+        // A degenerate objective: node 2's "gain" is NaN. total_cmp
+        // sorts positive NaN above everything, so it is selected first —
+        // deterministically — and the run completes.
+        let selected = celf_greedy(4, 2, |v| if v == 2 { f64::NAN } else { 1.0 }, |_| {});
+        assert_eq!(selected, vec![2, 0]);
+        let again = celf_greedy(4, 2, |v| if v == 2 { f64::NAN } else { 1.0 }, |_| {});
+        assert_eq!(selected, again, "NaN ordering is stable");
     }
 }

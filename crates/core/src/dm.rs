@@ -2,20 +2,29 @@
 //! iteration (Algorithm 1 with exact opinions, §III-C).
 
 use crate::celf::celf_greedy;
-use crate::greedy::score_with_target_row;
+use crate::greedy::Competitors;
+use crate::phases::{self, Phase};
 use crate::problem::Problem;
 use rayon::prelude::*;
 use vom_diffusion::{DiffusionBuffer, OpinionMatrix};
 use vom_graph::Node;
-use vom_voting::ScoringFunction;
+use vom_voting::{
+    CopelandAccumulator, CopelandScratch, PositionalAccumulator, RankIndex, ScoringFunction,
+};
 
 /// Exact greedy selection.
 ///
 /// * Cumulative score: CELF lazy greedy (valid by Theorem 3's
 ///   submodularity), each evaluation one `O(t·m)` FJ run.
-/// * Plurality variants / Copeland: plain greedy — every iteration
-///   evaluates all candidate seeds exactly (`O(k·t·m·n)` total, the
-///   paper's stated DM complexity), parallelized over candidates.
+/// * Plurality variants / Copeland: plain greedy, parallelized over
+///   candidates — but scored **incrementally**: each iteration fixes a
+///   baseline (the current seed set's opinions and their per-user
+///   contributions, held in a rank-indexed accumulator), and a
+///   candidate evaluation re-scores only the users its diffusion run
+///   actually moved (`O(t·m + n + Δ·log r)` instead of the naive
+///   `O(t·m + n·r)`). Plurality/p-approval totals are integer-valued,
+///   so the delta evaluation is bit-identical to a full rescore;
+///   Copeland nets are exact `i64` counts, likewise identical.
 ///
 /// Returns exactly `min(k, n - |fixed|)` seeds, in selection order.
 pub fn dm_greedy(problem: &Problem<'_>) -> Vec<Node> {
@@ -26,10 +35,36 @@ pub fn dm_greedy(problem: &Problem<'_>) -> Vec<Node> {
 }
 
 /// [`dm_greedy`] with the exact competitor opinions supplied by the
-/// caller (the prepared engine computes them once and reuses them across
-/// queries). `others` is ignored for the cumulative score and computed on
-/// the fly when `None` for a competitive score.
+/// caller. `others` is ignored for the cumulative score and computed on
+/// the fly when `None` for a competitive score; the rank index is built
+/// locally (the prepared engine path caches it instead — see
+/// [`dm_greedy_prepared`]).
 pub fn dm_greedy_with_others(problem: &Problem<'_>, others: Option<&OpinionMatrix>) -> Vec<Node> {
+    if !problem.is_competitive() {
+        return dm_greedy_prepared(problem, None);
+    }
+    let owned;
+    let others = match others {
+        Some(o) => o,
+        None => {
+            owned = problem.non_target_opinions();
+            &owned
+        }
+    };
+    let ranks = RankIndex::build(others, problem.target);
+    dm_greedy_prepared(
+        problem,
+        Some(Competitors {
+            matrix: others,
+            ranks: &ranks,
+        }),
+    )
+}
+
+/// The prepared-engine entry point: competitor opinions *and* their rank
+/// index come from the caller's cache. `comp` must be `Some` for the
+/// competitive scores.
+pub fn dm_greedy_prepared(problem: &Problem<'_>, comp: Option<Competitors<'_>>) -> Vec<Node> {
     let q = problem.target;
     let cand = problem.instance.candidate(q);
     let engine = cand.engine();
@@ -44,13 +79,15 @@ pub fn dm_greedy_with_others(problem: &Problem<'_>, others: Option<&OpinionMatri
         is_seed[s as usize] = true;
     }
 
-    let selected = match &problem.score {
+    match &problem.score {
         ScoringFunction::Cumulative => {
             // CELF closures share the growing seed list, the iteration
             // buffer, and the cached current score.
             let seeds_cell = std::cell::RefCell::new({
                 let mut buf = DiffusionBuffer::new(n);
-                let current: f64 = engine.opinions_at_with(t, &seeds, &mut buf).iter().sum();
+                let current: f64 = phases::timed(Phase::Diffusion, || {
+                    engine.opinions_at_with(t, &seeds, &mut buf).iter().sum()
+                });
                 (seeds, buf, current)
             });
             celf_greedy(
@@ -62,7 +99,9 @@ pub fn dm_greedy_with_others(problem: &Problem<'_>, others: Option<&OpinionMatri
                     }
                     let (ref mut s, ref mut b, cur) = *seeds_cell.borrow_mut();
                     s.push(v);
-                    let total: f64 = engine.opinions_at_with(t, s, b).iter().sum();
+                    let total: f64 = phases::timed(Phase::Diffusion, || {
+                        engine.opinions_at_with(t, s, b).iter().sum()
+                    });
                     s.pop();
                     total - cur
                 },
@@ -74,32 +113,50 @@ pub fn dm_greedy_with_others(problem: &Problem<'_>, others: Option<&OpinionMatri
             )
         }
         score => {
-            let owned;
-            let others = match others {
-                Some(o) => o,
-                None => {
-                    owned = problem.non_target_opinions();
-                    &owned
-                }
-            };
+            let comp = comp.expect("competitive DM greedy needs competitor opinions");
+            let index = comp.ranks;
             let mut picked = Vec::with_capacity(problem.k);
+            let mut base_buf = DiffusionBuffer::new(n);
+            let mut base_row: Vec<f64> = Vec::with_capacity(n);
             for _ in 0..problem.k {
+                // Fix this iteration's baseline: the committed seeds'
+                // exact opinions and their per-user score state.
+                phases::timed(Phase::Diffusion, || {
+                    base_row.clear();
+                    base_row.extend_from_slice(engine.opinions_at_with(t, &seeds, &mut base_buf));
+                });
+                let baseline = phases::timed(Phase::Scoring, || {
+                    DmBaseline::build(score, index, &base_row)
+                });
                 let evals: Vec<(Node, f64, f64)> = (0..n as Node)
                     .into_par_iter()
                     .filter(|&v| !is_seed[v as usize])
                     .map_init(
-                        || (DiffusionBuffer::new(n), seeds.clone()),
+                        || {
+                            (
+                                DiffusionBuffer::new(n),
+                                seeds.clone(),
+                                CopelandScratch::default(),
+                                // Phase times batch locally and flush to
+                                // the shared counters once per worker.
+                                phases::PhaseLocal::default(),
+                            )
+                        },
                         // Per-worker scratch (determinism contract: the
-                        // buffer is fully overwritten and the trial list
-                        // push/pops per item, so results are independent
-                        // of which worker evaluates which candidate).
-                        |(buf, trial), v| {
+                        // buffer is fully overwritten, the trial list
+                        // push/pops per item, and the Copeland scratch is
+                        // epoch-reset, so results are independent of
+                        // which worker evaluates which candidate).
+                        |(buf, trial, cscratch, local), v| {
                             trial.push(v);
-                            let row = engine.opinions_at_with(t, trial, buf);
-                            let s = score_with_target_row(score, others, q, row);
+                            let row = local
+                                .timed(Phase::Diffusion, || engine.opinions_at_with(t, trial, buf));
+                            let start = std::time::Instant::now();
+                            let s = baseline.score_row(index, &base_row, row, cscratch);
                             // Secondary tie-break criterion: the discrete
                             // rank scores are flat almost everywhere.
                             let cum: f64 = row.iter().sum();
+                            local.add(Phase::Scoring, start.elapsed());
                             trial.pop();
                             (v, s, cum)
                         },
@@ -119,8 +176,99 @@ pub fn dm_greedy_with_others(problem: &Problem<'_>, others: Option<&OpinionMatri
             }
             picked
         }
-    };
-    selected
+    }
+}
+
+/// One DM greedy iteration's frozen scoring baseline: the committed
+/// seeds' per-user contributions, so a candidate evaluation pays only
+/// for the users its diffusion run moved.
+enum DmBaseline {
+    Positional {
+        acc: PositionalAccumulator,
+        total: f64,
+        /// Whether baseline+delta scoring equals a full rescore bit for
+        /// bit: true for plurality / p-approval, whose contributions are
+        /// unit-valued (sums of small integers are exact in f64).
+        /// Fractional positional weights re-sum from scratch instead —
+        /// still through the rank index (`O(n·log r)`), and in the same
+        /// user order as `score_with_target_row`, so the result is
+        /// bit-identical to the historical evaluation either way.
+        exact_delta: bool,
+    },
+    Copeland(CopelandAccumulator),
+}
+
+impl DmBaseline {
+    fn build(score: &ScoringFunction, index: &RankIndex, base_row: &[f64]) -> DmBaseline {
+        match score {
+            ScoringFunction::Copeland => {
+                DmBaseline::Copeland(CopelandAccumulator::new(index, base_row))
+            }
+            _ => {
+                let mut acc = PositionalAccumulator::new(score, base_row.len());
+                for (v, &b) in base_row.iter().enumerate() {
+                    acc.set_user(index, v as Node, b, 1.0);
+                }
+                let total = acc.total();
+                let exact_delta = matches!(
+                    score,
+                    ScoringFunction::Plurality | ScoringFunction::PApproval { .. }
+                );
+                DmBaseline::Positional {
+                    acc,
+                    total,
+                    exact_delta,
+                }
+            }
+        }
+    }
+
+    /// `F(B, c_q)` for a candidate's opinion row — bit-identical to
+    /// [`crate::greedy::score_with_target_row`] for every score family:
+    /// baseline + changed-user deltas where that is exact (unit-weight
+    /// plurality variants, Copeland's `i64` nets), a rank-indexed fresh
+    /// sum otherwise.
+    fn score_row(
+        &self,
+        index: &RankIndex,
+        base_row: &[f64],
+        row: &[f64],
+        cscratch: &mut CopelandScratch,
+    ) -> f64 {
+        match self {
+            DmBaseline::Positional {
+                acc,
+                total,
+                exact_delta,
+            } => {
+                if !exact_delta {
+                    // Fresh user-order sum: same terms, same IEEE order
+                    // as the full rescore (weights are 1.0, so the
+                    // accumulator's products are the raw ω values).
+                    return (0..row.len() as Node)
+                        .map(|v| acc.preview(index, v, row[v as usize]))
+                        .sum();
+                }
+                let mut s = *total;
+                for (v, (&new, &old)) in row.iter().zip(base_row).enumerate() {
+                    if new != old {
+                        let v = v as Node;
+                        s += acc.preview(index, v, new) - acc.contribution(v);
+                    }
+                }
+                s
+            }
+            DmBaseline::Copeland(acc) => {
+                let moves = row
+                    .iter()
+                    .zip(base_row)
+                    .enumerate()
+                    .filter(|(_, (new, old))| new != old)
+                    .map(|(v, (&new, _))| (v as Node, new));
+                acc.preview_wins(index, moves, cscratch) as f64
+            }
+        }
+    }
 }
 
 /// Exact CELF greedy maximization of the restricted cumulative sum
@@ -158,7 +306,9 @@ pub fn dm_greedy_masked_cumulative(problem: &Problem<'_>, mask: &[bool]) -> Vec<
             }
             let (ref mut s, ref mut b, cur) = *state.borrow_mut();
             s.push(v);
-            let total = masked_sum(engine.opinions_at_with(t, s, b));
+            let total = phases::timed(Phase::Diffusion, || {
+                masked_sum(engine.opinions_at_with(t, s, b))
+            });
             s.pop();
             total - cur
         },
@@ -248,6 +398,36 @@ mod tests {
                 .map(|v| p.exact_score(&[v]))
                 .fold(f64::NEG_INFINITY, f64::max);
             assert_eq!(greedy_score, best, "{score}");
+        }
+    }
+
+    /// The delta evaluation must reproduce the full rescore exactly for
+    /// every score family, across multi-seed selections.
+    #[test]
+    fn dm_delta_scoring_matches_full_rescore() {
+        use crate::greedy::score_with_target_row;
+        let inst = instance();
+        for score in [
+            ScoringFunction::Plurality,
+            ScoringFunction::PApproval { p: 2 },
+            ScoringFunction::PositionalPApproval {
+                p: 2,
+                weights: vec![1.0, 0.3],
+            },
+            ScoringFunction::Copeland,
+        ] {
+            let p = Problem::new(&inst, 0, 2, 1, score.clone()).unwrap();
+            let others = p.non_target_opinions();
+            let index = RankIndex::build(&others, 0);
+            let base_row: Vec<f64> = p.opinions(&[]).row(0).to_vec();
+            let baseline = DmBaseline::build(&score, &index, &base_row);
+            let mut scratch = CopelandScratch::default();
+            for v in 0..4 {
+                let row: Vec<f64> = p.opinions(&[v]).row(0).to_vec();
+                let fast = baseline.score_row(&index, &base_row, &row, &mut scratch);
+                let slow = score_with_target_row(&score, &others, 0, &row);
+                assert_eq!(fast.to_bits(), slow.to_bits(), "{score} seed {v}");
+            }
         }
     }
 }

@@ -76,13 +76,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::bounds::favorable_users;
-use crate::dm::{dm_greedy_masked_cumulative, dm_greedy_with_others};
+use crate::bounds::{favorable_users, greedy_upper_bound, upper_bound_parts};
+use crate::dm::{dm_greedy_masked_cumulative, dm_greedy_prepared};
+use crate::greedy::Competitors;
+use crate::phases::{self, Phase};
 use crate::problem::{Problem, ProblemSpec};
 use crate::registry::MethodId;
 use crate::rs::{sketch_theta, RsConfig};
 use crate::rw::{competitive_arena, competitive_gammas, uniform_arena, RwConfig};
-use crate::sandwich::{sandwich_select, SandwichInfo};
+use crate::sandwich::{sandwich_select_with_su, SandwichInfo};
 use crate::{CoreError, Result};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -91,7 +93,7 @@ use std::time::{Duration, Instant};
 use vom_diffusion::OpinionMatrix;
 use vom_graph::{Candidate, Node};
 use vom_sketch::SketchSet;
-use vom_voting::ScoringFunction;
+use vom_voting::{RankIndex, ScoringFunction};
 use vom_walks::{OpinionEstimator, WalkArena};
 
 /// The three proposed selection engines behind the prepared lifecycle
@@ -320,13 +322,15 @@ pub trait IndexBackend: Send + Sync {
     }
 
     /// Plain greedy for `problem.k` seeds under `problem.score`
-    /// (Algorithm 1/4/5 without the sandwich wrapper). `others` carries
-    /// the exact competitor opinions whenever the score is competitive
-    /// and [`IndexBackend::needs_exact_competitors`] is true.
+    /// (Algorithm 1/4/5 without the sandwich wrapper). `comp` carries
+    /// the exact competitor opinions *and their rank index* whenever the
+    /// score is competitive and
+    /// [`IndexBackend::needs_exact_competitors`] is true — both are
+    /// shared prepared artifacts, computed once per index.
     fn greedy(
         &self,
         problem: &Problem<'_>,
-        others: Option<&OpinionMatrix>,
+        comp: Option<Competitors<'_>>,
         scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>>;
 
@@ -337,11 +341,11 @@ pub trait IndexBackend: Send + Sync {
         &self,
         problem: &Problem<'_>,
         mask: &[bool],
-        others: Option<&OpinionMatrix>,
+        comp: Option<Competitors<'_>>,
         scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         let _ = mask;
-        self.greedy(problem, others, scratch)
+        self.greedy(problem, comp, scratch)
     }
 
     /// Whether auto-mode queries on rank-based scores should run the
@@ -411,8 +415,19 @@ pub struct PreparedIndex {
     /// Exact non-target opinions at the horizon (computed at most once;
     /// depends only on the prepared instance/target/horizon).
     others: OnceLock<OpinionMatrix>,
+    /// Per-user sorted competitor opinions over `others` — the scoring
+    /// index every competitive query ranks against (built at most once).
+    ranks: OnceLock<RankIndex>,
     /// Exact seedless opinions at the horizon (computed at most once).
     seedless: OnceLock<OpinionMatrix>,
+    /// Sandwich upper-bound (coverage) greedy orders at the prepared
+    /// budget, keyed by the favorable-base kind (approval depth `p`, or
+    /// `usize::MAX` for Copeland's weakly-favorable base). CELF is
+    /// prefix-consistent in `k`, so one order serves every query budget.
+    /// The map lock is held only for cell lookup/insert; the build runs
+    /// inside the cell's `OnceLock`, so sessions needing an
+    /// already-cached key never wait on another key's build.
+    upper_orders: Mutex<Vec<(usize, UpperOrderCell)>>,
 }
 
 impl PreparedIndex {
@@ -431,7 +446,9 @@ impl PreparedIndex {
             build_time,
             build_threads: rayon::current_num_threads(),
             others: OnceLock::new(),
+            ranks: OnceLock::new(),
             seedless: OnceLock::new(),
+            upper_orders: Mutex::new(Vec::new()),
         }
     }
 
@@ -555,6 +572,37 @@ impl PreparedIndex {
         Ok(())
     }
 
+    /// The memoized sandwich upper-bound greedy order for this query's
+    /// favorable-base kind, computed once at the **prepared** budget —
+    /// the CELF coverage greedy is prefix-consistent in `k`, so a query
+    /// takes the first `k` entries instead of re-running `n` bounded-BFS
+    /// coverage evaluations (the single hottest part of a sandwich
+    /// query before this cache existed).
+    fn upper_bound_order(&self, problem: &Problem<'_>, seedless: &OpinionMatrix) -> Arc<Vec<Node>> {
+        let key = problem.score.approval_depth().unwrap_or(usize::MAX);
+        // Short-held map lock for cell lookup/insert; the build runs in
+        // the cell, so a session whose key is already cached never waits
+        // on another key's coverage build.
+        let cell = {
+            let mut orders = self.upper_orders.lock().expect("upper-order cache lock");
+            match orders.iter().find(|(k, _)| *k == key) {
+                Some((_, cell)) => Arc::clone(cell),
+                None => {
+                    let cell = Arc::new(OnceLock::new());
+                    orders.push((key, Arc::clone(&cell)));
+                    cell
+                }
+            }
+        };
+        Arc::clone(cell.get_or_init(|| {
+            let budget_problem = problem.with_budget(self.spec.k);
+            phases::timed(Phase::Scoring, || {
+                let (_, base) = upper_bound_parts(&budget_problem, seedless);
+                Arc::new(greedy_upper_bound(&budget_problem, &base))
+            })
+        }))
+    }
+
     /// Answers one query against the shared artifacts using the caller's
     /// scratch: plain greedy, or the sandwich approximation (Algorithm 3)
     /// where auto mode prescribes it. Bit-identical to the one-shot path
@@ -567,10 +615,16 @@ impl PreparedIndex {
 
         // Fill the exact-matrix caches the query needs before the timed
         // section (computed at most once per index, whichever session
-        // gets there first).
+        // gets there first). The rank index over the competitor matrix
+        // is an artifact like the matrices: built once, shared by every
+        // session.
         let competitive = problem.is_competitive() && self.backend.needs_exact_competitors();
-        let others = if competitive {
-            Some(self.others.get_or_init(|| problem.non_target_opinions()))
+        let comp = if competitive {
+            let matrix = self.others.get_or_init(|| problem.non_target_opinions());
+            let ranks = self.ranks.get_or_init(|| {
+                phases::timed(Phase::Scoring, || RankIndex::build(matrix, problem.target))
+            });
+            Some(Competitors { matrix, ranks })
         } else {
             None
         };
@@ -585,7 +639,7 @@ impl PreparedIndex {
 
         let start = Instant::now();
         let (seeds, info) = if !sandwich {
-            (self.backend.greedy(&problem, others, scratch)?, None)
+            (self.backend.greedy(&problem, comp, scratch)?, None)
         } else {
             let seedless = seedless.expect("cached above");
             let n = problem.num_nodes();
@@ -602,23 +656,29 @@ impl PreparedIndex {
             let mut all_mask = std::mem::take(&mut scratch.mask_all);
             all_mask.clear();
             all_mask.resize(n, true);
-            let s_rank = self.backend.greedy(&problem, others, scratch)?;
+            let s_rank = self.backend.greedy(&problem, comp, scratch)?;
             let s_cum = self
                 .backend
-                .greedy_masked_cumulative(&problem, &all_mask, others, scratch)?;
+                .greedy_masked_cumulative(&problem, &all_mask, comp, scratch)?;
             scratch.mask_all = all_mask;
             let s_f = better_feasible(&problem, s_rank, s_cum);
             let s_l = match &mask {
                 Some(m) => Some(
                     self.backend
-                        .greedy_masked_cumulative(&problem, m, others, scratch)?,
+                        .greedy_masked_cumulative(&problem, m, comp, scratch)?,
                 ),
                 None => None,
             };
             if let Some(m) = mask {
                 scratch.mask_lower = m;
             }
-            let (seeds, info) = sandwich_select(&problem, seedless, s_f, s_l);
+            let s_u: Vec<Node> = self
+                .upper_bound_order(&problem, seedless)
+                .iter()
+                .take(problem.k)
+                .copied()
+                .collect();
+            let (seeds, info) = sandwich_select_with_su(&problem, seedless, s_f, s_l, s_u);
             (seeds, Some(info))
         };
         let elapsed = start.elapsed();
@@ -632,6 +692,10 @@ impl PreparedIndex {
         })
     }
 }
+
+/// One memo cell of the sandwich upper-bound order cache: same-key
+/// callers share the cell and only the first runs the coverage greedy.
+type UpperOrderCell = Arc<OnceLock<Arc<Vec<Node>>>>;
 
 /// A lightweight per-caller handle on a shared [`PreparedIndex`]: it
 /// owns the mutable per-query scratch (sandwich masks, the RS working
@@ -887,17 +951,17 @@ impl IndexBackend for DmIndex {
     fn greedy(
         &self,
         problem: &Problem<'_>,
-        others: Option<&OpinionMatrix>,
+        comp: Option<Competitors<'_>>,
         _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
-        Ok(dm_greedy_with_others(problem, others))
+        Ok(dm_greedy_prepared(problem, comp))
     }
 
     fn greedy_masked_cumulative(
         &self,
         problem: &Problem<'_>,
         mask: &[bool],
-        _others: Option<&OpinionMatrix>,
+        _comp: Option<Competitors<'_>>,
         _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         Ok(dm_greedy_masked_cumulative(problem, mask))
@@ -989,16 +1053,16 @@ impl IndexBackend for RwIndex {
     fn greedy(
         &self,
         problem: &Problem<'_>,
-        others: Option<&OpinionMatrix>,
+        comp: Option<Competitors<'_>>,
         _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
-        let arena = self.ensure_arena(problem, others);
+        let arena = self.ensure_arena(problem, comp.map(|c| c.matrix));
         let mut est = self.estimator(arena, problem);
         Ok(crate::greedy::greedy_on_estimate(
             &mut est,
             problem.k,
             &problem.score,
-            others,
+            comp,
             problem.target,
         ))
     }
@@ -1007,12 +1071,12 @@ impl IndexBackend for RwIndex {
         &self,
         problem: &Problem<'_>,
         mask: &[bool],
-        others: Option<&OpinionMatrix>,
+        comp: Option<Competitors<'_>>,
         _scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         // The masked cumulative greedy shares the *query rule's* arena
         // (§IV-D builds the artifacts once per selection).
-        let arena = self.ensure_arena(problem, others);
+        let arena = self.ensure_arena(problem, comp.map(|c| c.matrix));
         let mut est = self.estimator(arena, problem);
         Ok(crate::greedy::greedy_masked_cumulative(
             &mut est, problem.k, mask,
@@ -1093,7 +1157,7 @@ impl IndexBackend for RsIndex {
     fn greedy(
         &self,
         problem: &Problem<'_>,
-        others: Option<&OpinionMatrix>,
+        comp: Option<Competitors<'_>>,
         scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         let (theta, pristine) = self.ensure_sketch(problem);
@@ -1106,7 +1170,7 @@ impl IndexBackend for RsIndex {
             &mut sketch,
             problem.k,
             &problem.score,
-            others,
+            comp,
             problem.target,
         );
         scratch.return_sketch(theta, sketch);
@@ -1117,7 +1181,7 @@ impl IndexBackend for RsIndex {
         &self,
         problem: &Problem<'_>,
         mask: &[bool],
-        _others: Option<&OpinionMatrix>,
+        _comp: Option<Competitors<'_>>,
         scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         let (theta, pristine) = self.ensure_sketch(problem);

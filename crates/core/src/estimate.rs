@@ -7,7 +7,7 @@
 use vom_graph::Node;
 use vom_sketch::SketchSet;
 use vom_walks::estimator::PairDelta;
-use vom_walks::OpinionEstimator;
+use vom_walks::{DeltaScratch, OpinionEstimator};
 
 /// An incremental estimate of the target candidate's opinions under a
 /// growing seed set.
@@ -39,8 +39,43 @@ pub trait OpinionEstimate {
     /// Per-(candidate seed, user) estimate deltas, sorted by seed.
     fn pair_deltas(&self) -> Vec<PairDelta>;
 
+    /// Marginal estimated-cumulative gain of one candidate seed,
+    /// bit-identical to `cumulative_gains()[w]` but `O(occurrences of
+    /// w)` — the index-lookup half of the incremental scoring engine.
+    fn cumulative_gain_of(&self, w: Node) -> f64;
+
+    /// [`OpinionEstimate::cumulative_gain_of`] restricted to
+    /// contributions from users in `mask`.
+    fn cumulative_gain_of_masked(&self, w: Node, mask: &[bool]) -> f64;
+
+    /// Visits the merged per-user estimate deltas of one candidate seed
+    /// (ascending user order) — the `seed == w` run of
+    /// [`OpinionEstimate::pair_deltas`] without scanning any other
+    /// candidate's walks.
+    fn for_candidate_deltas<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        scratch: &mut DeltaScratch,
+        visit: F,
+    );
+
+    /// [`OpinionEstimate::for_candidate_deltas`] that also returns the
+    /// candidate's estimated-cumulative gain (bit-identical to
+    /// [`OpinionEstimate::cumulative_gain_of`]) from the same pass — the
+    /// rank greedy's primary gain and its tie-break in one scan.
+    fn for_candidate_deltas_cum<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        scratch: &mut DeltaScratch,
+        visit: F,
+    ) -> f64;
+
     /// Commits `u` as a seed; returns users whose estimates changed.
     fn add_seed(&mut self, u: Node) -> Vec<Node>;
+
+    /// [`OpinionEstimate::add_seed`] writing the changed-users report
+    /// into a reusable buffer (cleared first; sorted, deduplicated).
+    fn add_seed_into(&mut self, u: Node, touched: &mut Vec<Node>);
 
     /// Whether `v` is already a seed.
     fn is_seed(&self, v: Node) -> bool;
@@ -74,8 +109,33 @@ impl OpinionEstimate for OpinionEstimator<'_> {
     fn pair_deltas(&self) -> Vec<PairDelta> {
         OpinionEstimator::pair_deltas(self)
     }
+    fn cumulative_gain_of(&self, w: Node) -> f64 {
+        OpinionEstimator::cumulative_gain_of(self, w)
+    }
+    fn cumulative_gain_of_masked(&self, w: Node, mask: &[bool]) -> f64 {
+        OpinionEstimator::cumulative_gain_of_masked(self, w, mask)
+    }
+    fn for_candidate_deltas<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        scratch: &mut DeltaScratch,
+        visit: F,
+    ) {
+        OpinionEstimator::for_candidate_deltas(self, w, scratch, visit)
+    }
+    fn for_candidate_deltas_cum<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        scratch: &mut DeltaScratch,
+        visit: F,
+    ) -> f64 {
+        OpinionEstimator::for_candidate_deltas_cum(self, w, scratch, visit)
+    }
     fn add_seed(&mut self, u: Node) -> Vec<Node> {
         OpinionEstimator::add_seed(self, u)
+    }
+    fn add_seed_into(&mut self, u: Node, touched: &mut Vec<Node>) {
+        OpinionEstimator::add_seed_into(self, u, touched)
     }
     fn is_seed(&self, v: Node) -> bool {
         OpinionEstimator::is_seed(self, v)
@@ -110,8 +170,33 @@ impl OpinionEstimate for SketchSet {
     fn pair_deltas(&self) -> Vec<PairDelta> {
         SketchSet::pair_deltas(self)
     }
+    fn cumulative_gain_of(&self, w: Node) -> f64 {
+        SketchSet::cumulative_gain_of(self, w)
+    }
+    fn cumulative_gain_of_masked(&self, w: Node, mask: &[bool]) -> f64 {
+        SketchSet::cumulative_gain_of_masked(self, w, mask)
+    }
+    fn for_candidate_deltas<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        scratch: &mut DeltaScratch,
+        visit: F,
+    ) {
+        SketchSet::for_candidate_deltas(self, w, scratch, visit)
+    }
+    fn for_candidate_deltas_cum<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        scratch: &mut DeltaScratch,
+        visit: F,
+    ) -> f64 {
+        SketchSet::for_candidate_deltas_cum(self, w, scratch, visit)
+    }
     fn add_seed(&mut self, u: Node) -> Vec<Node> {
         SketchSet::add_seed(self, u)
+    }
+    fn add_seed_into(&mut self, u: Node, touched: &mut Vec<Node>) {
+        SketchSet::add_seed_into(self, u, touched)
     }
     fn is_seed(&self, v: Node) -> bool {
         SketchSet::is_seed(self, v)

@@ -47,6 +47,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod greedy;
+pub mod phases;
 pub mod problem;
 pub mod registry;
 pub mod rs;

@@ -1,5 +1,6 @@
 //! The FJ-Vote problem specification (Problem 1).
 
+use crate::phases::{self, Phase};
 use crate::{CoreError, Result};
 use std::sync::Arc;
 use vom_diffusion::{Instance, OpinionMatrix};
@@ -61,13 +62,15 @@ impl<'a> Problem<'a> {
     /// Exact objective value `F(B^{(t)}[S], c_q)` of a seed set —
     /// the ground truth every method is evaluated on in §VIII.
     pub fn exact_score(&self, seeds: &[Node]) -> f64 {
-        let b = self.instance.opinions_at(self.horizon, self.target, seeds);
-        self.score.score(&b, self.target)
+        let b = self.opinions(seeds);
+        phases::timed(Phase::Scoring, || self.score.score(&b, self.target))
     }
 
     /// Exact opinion matrix under a seed set.
     pub fn opinions(&self, seeds: &[Node]) -> OpinionMatrix {
-        self.instance.opinions_at(self.horizon, self.target, seeds)
+        phases::timed(Phase::Diffusion, || {
+            self.instance.opinions_at(self.horizon, self.target, seeds)
+        })
     }
 
     /// Whether the objective needs the competitors' opinions (everything
@@ -79,7 +82,9 @@ impl<'a> Problem<'a> {
     /// Exact horizon-`t` opinions of the non-target candidates (computed
     /// once per selection; the target row is left zero and unused).
     pub fn non_target_opinions(&self) -> OpinionMatrix {
-        self.instance.non_target_opinions(self.horizon, self.target)
+        phases::timed(Phase::Diffusion, || {
+            self.instance.non_target_opinions(self.horizon, self.target)
+        })
     }
 
     /// A smaller copy of this problem with a different budget (used by

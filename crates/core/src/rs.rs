@@ -1,12 +1,12 @@
 //! **RS** — sketch-based greedy seed selection (Algorithm 5), the
 //! paper's ultimately recommended method.
 
-use crate::greedy::greedy_on_estimate;
+use crate::greedy::{greedy_on_estimate, Competitors};
 use crate::problem::Problem;
 use vom_graph::Node;
 use vom_sketch::opt_bound::{opt_lower_bound, OptBoundConfig};
 use vom_sketch::{theta_cumulative, SketchSet};
-use vom_voting::ScoringFunction;
+use vom_voting::{RankIndex, ScoringFunction};
 
 /// Parameters of the RS method (paper defaults: `ε = 0.1`, `l = 1`).
 #[derive(Debug, Clone)]
@@ -110,13 +110,12 @@ pub fn rs_select(problem: &Problem<'_>, cfg: &RsConfig) -> (Vec<Node>, usize) {
     } else {
         None
     };
-    let seeds = greedy_on_estimate(
-        &mut sketch,
-        problem.k,
-        &problem.score,
-        others.as_ref(),
-        problem.target,
-    );
+    let ranks = others.as_ref().map(|o| RankIndex::build(o, problem.target));
+    let comp = others
+        .as_ref()
+        .zip(ranks.as_ref())
+        .map(|(matrix, ranks)| Competitors { matrix, ranks });
+    let seeds = greedy_on_estimate(&mut sketch, problem.k, &problem.score, comp, problem.target);
     (seeds, bytes)
 }
 

@@ -1,10 +1,10 @@
 //! **RW** — random-walk-based greedy seed selection (Algorithm 4).
 
-use crate::greedy::greedy_on_estimate;
+use crate::greedy::{greedy_on_estimate, Competitors};
 use crate::problem::Problem;
 use vom_diffusion::OpinionMatrix;
 use vom_graph::Node;
-use vom_voting::ScoringFunction;
+use vom_voting::{RankIndex, ScoringFunction};
 use vom_walks::lambda::{estimate_gamma_star, lambda_cumulative, lambda_from_gammas, GammaConfig};
 use vom_walks::{Lambda, OpinionEstimator, WalkArena, WalkGenerator};
 
@@ -141,13 +141,16 @@ pub fn rw_select(problem: &Problem<'_>, cfg: &RwConfig) -> (Vec<Node>, usize) {
     for &s in &cand.fixed_seeds {
         est.add_seed(s);
     }
-    let seeds = greedy_on_estimate(
-        &mut est,
-        problem.k,
-        &problem.score,
-        artifacts.others.as_ref(),
-        problem.target,
-    );
+    let ranks = artifacts
+        .others
+        .as_ref()
+        .map(|o| RankIndex::build(o, problem.target));
+    let comp = artifacts
+        .others
+        .as_ref()
+        .zip(ranks.as_ref())
+        .map(|(matrix, ranks)| Competitors { matrix, ranks });
+    let seeds = greedy_on_estimate(&mut est, problem.k, &problem.score, comp, problem.target);
     (seeds, artifacts.arena.heap_bytes())
 }
 

@@ -44,11 +44,40 @@ pub fn sandwich_select(
 ) -> (Vec<Node>, SandwichInfo) {
     let (multiplier, base) = upper_bound_parts(problem, seedless);
     let s_u = greedy_upper_bound(problem, &base);
+    sandwich_finish(problem, s_f, s_l, s_u, multiplier, &base)
+}
 
+/// [`sandwich_select`] with the upper-bound greedy solution `S_U`
+/// supplied by the caller. The coverage greedy depends only on the
+/// graph, horizon, favorable base set, and budget — and its CELF
+/// selection is prefix-consistent in `k` — so prepared engines compute
+/// the order once at the prepared budget and every query hands in a
+/// prefix instead of re-running `n` bounded-BFS evaluations.
+pub fn sandwich_select_with_su(
+    problem: &Problem<'_>,
+    seedless: &OpinionMatrix,
+    s_f: Vec<Node>,
+    s_l: Option<Vec<Node>>,
+    s_u: Vec<Node>,
+) -> (Vec<Node>, SandwichInfo) {
+    let (multiplier, base) = upper_bound_parts(problem, seedless);
+    sandwich_finish(problem, s_f, s_l, s_u, multiplier, &base)
+}
+
+/// Shared tail of the two entry points: exact evaluation of all
+/// candidate solutions and Algorithm 3's arbitration.
+fn sandwich_finish(
+    problem: &Problem<'_>,
+    s_f: Vec<Node>,
+    s_l: Option<Vec<Node>>,
+    s_u: Vec<Node>,
+    multiplier: f64,
+    base: &[Node],
+) -> (Vec<Node>, SandwichInfo) {
     let f_sf = problem.exact_score(&s_f);
     let f_su = problem.exact_score(&s_u);
     let f_sl = s_l.as_ref().map(|s| problem.exact_score(s));
-    let ub_su = evaluate_upper_bound(problem, &base, multiplier, &s_u);
+    let ub_su = evaluate_upper_bound(problem, base, multiplier, &s_u);
     let ratio = if ub_su > 0.0 { f_su / ub_su } else { 1.0 };
 
     let mut chosen = s_f.clone();

@@ -13,7 +13,9 @@
 //! * **memoized indexes** — each `(graph, method, target, horizon,
 //!   rule-class, budget-bucket)` builds its [`PreparedIndex`] exactly
 //!   once, whoever asks first; later queries (and whole batches) reuse
-//!   it;
+//!   it — including the competitive-scoring artifacts it carries (the
+//!   exact competitor matrix and its `vom_voting::RankIndex`, which
+//!   every session's delta-driven greedy ranks against);
 //! * **parallel batches** — [`VomService::run_batch`] fans a
 //!   `&[ServiceRequest]` across the worker pool (the vendored rayon
 //!   shim), one cheap [`vom_core::QuerySession`] per request, and returns

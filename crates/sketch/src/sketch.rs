@@ -8,7 +8,7 @@ use vom_diffusion::OpinionMatrix;
 use vom_graph::{Candidate, Node, SocialGraph};
 use vom_voting::rank::beta_with_target;
 use vom_voting::ScoringFunction;
-use vom_walks::estimator::PairDelta;
+use vom_walks::estimator::{DeltaScratch, PairDelta};
 use vom_walks::{Truncation, WalkArena, WalkGenerator};
 
 /// θ reverse random walks from uniformly sampled starts, with incremental
@@ -33,6 +33,10 @@ pub struct SketchSet {
     start_sum: Vec<f64>,
     /// Per start node: number of sketches started there.
     start_count: Vec<u32>,
+    /// Sketch index -> current contribution gain `1 − end_value`, cached
+    /// for the per-candidate occurrence scans; `0.0` once the sketch
+    /// ends at a seed. Maintained by `add_seed_into`.
+    walk_gain: Vec<f64>,
 }
 
 /// Manual impl so `clone_from` reuses the target's allocations: a query
@@ -48,6 +52,7 @@ impl Clone for SketchSet {
             n: self.n,
             start_sum: self.start_sum.clone(),
             start_count: self.start_count.clone(),
+            walk_gain: self.walk_gain.clone(),
         }
     }
 
@@ -58,6 +63,7 @@ impl Clone for SketchSet {
         self.n = source.n;
         self.start_sum.clone_from(&source.start_sum);
         self.start_count.clone_from(&source.start_count);
+        self.walk_gain.clone_from(&source.walk_gain);
     }
 }
 
@@ -89,10 +95,12 @@ impl SketchSet {
             .collect();
         let mut start_sum = vec![0.0f64; n];
         let mut start_count = vec![0u32; n];
+        let mut walk_gain = vec![0.0f64; end_values.len()];
         for (j, &end) in end_values.iter().enumerate() {
             let v = arena.start(j) as usize;
             start_sum[v] += end;
             start_count[v] += 1;
+            walk_gain[j] = 1.0 - end;
         }
         SketchSet {
             arena: Arc::new(arena),
@@ -101,6 +109,7 @@ impl SketchSet {
             n,
             start_sum,
             start_count,
+            walk_gain,
         }
     }
 
@@ -164,17 +173,28 @@ impl SketchSet {
     /// estimates changed (deduplicated).
     pub fn add_seed(&mut self, u: Node) -> Vec<Node> {
         let mut touched = Vec::new();
+        self.add_seed_into(u, &mut touched);
+        touched
+    }
+
+    /// [`SketchSet::add_seed`] writing the changed-users delta report
+    /// into a caller-owned buffer (cleared first; sorted ascending,
+    /// deduplicated) so greedy loops reuse one allocation per seed.
+    pub fn add_seed_into(&mut self, u: Node, touched: &mut Vec<Node>) {
+        touched.clear();
         let arena = &self.arena;
         let b0 = &self.b0;
         let start_sum = &mut self.start_sum;
+        let walk_gain = &mut self.walk_gain;
         self.trunc.add_seed(arena, u, |walk, old_end| {
             let start = arena.start(walk);
             start_sum[start as usize] += 1.0 - b0[old_end as usize];
+            // The sketch now ends at a seed: value 1, gain gone for good.
+            walk_gain[walk] = 0.0;
             touched.push(start);
         });
         touched.sort_unstable();
         touched.dedup();
-        touched
     }
 
     /// Estimated cumulative score `(n/θ) Σ_j b̂_{qv_j}[S]` (Eq. 35).
@@ -303,6 +323,104 @@ impl SketchSet {
         deltas
     }
 
+    /// Visits `(sketch, start, 1 − end_value)` for every live sketch
+    /// whose live prefix contains candidate `w`, in ascending sketch
+    /// order — `w`'s occurrence list instead of a pass over all θ
+    /// prefixes. Visit set and order match [`Self::scan_prefixes`]
+    /// exactly, so sums taken here are bit-identical to the scan-based
+    /// gains.
+    #[inline]
+    fn visit_candidate_walks<F: FnMut(usize, Node, f64)>(&self, w: Node, mut visit: F) {
+        debug_assert!(!self.trunc.is_seed(w));
+        let (walks, positions) = self.trunc.first_occurrences(w);
+        for (&walk, &pos) in walks.iter().zip(positions) {
+            let walk = walk as usize;
+            let gain = self.walk_gain[walk];
+            if gain <= 0.0 {
+                continue;
+            }
+            if pos as usize > self.trunc.end_pos(walk) {
+                continue;
+            }
+            visit(walk, self.arena.start(walk), gain);
+        }
+    }
+
+    /// The marginal gain of candidate seed `w` in the estimated
+    /// cumulative score — bit-identical to `cumulative_gains()[w]`,
+    /// computed from `w`'s occurrence list alone. `0.0` for seeds.
+    pub fn cumulative_gain_of(&self, w: Node) -> f64 {
+        if self.trunc.is_seed(w) {
+            return 0.0;
+        }
+        let scale = self.n as f64 / self.theta() as f64;
+        let mut gain = 0.0;
+        self.visit_candidate_walks(w, |_, _, g| gain += g * scale);
+        gain
+    }
+
+    /// [`SketchSet::cumulative_gain_of`] restricted to sketches whose
+    /// start node is in `mask`.
+    pub fn cumulative_gain_of_masked(&self, w: Node, mask: &[bool]) -> f64 {
+        if self.trunc.is_seed(w) {
+            return 0.0;
+        }
+        let scale = self.n as f64 / self.theta() as f64;
+        let mut gain = 0.0;
+        self.visit_candidate_walks(w, |_, start, g| {
+            if mask[start as usize] {
+                gain += g * scale;
+            }
+        });
+        gain
+    }
+
+    /// Visits the merged per-user **pooled-estimate** deltas of one
+    /// candidate seed `w` — `(user, Δb̂_qv)` pairs in ascending user
+    /// order, the `seed == w` run of [`SketchSet::pair_deltas`] —
+    /// without scanning any other candidate's sketches. Sketch starts
+    /// are sampled with replacement (not grouped), so the merge goes
+    /// through the caller's reusable [`DeltaScratch`].
+    pub fn for_candidate_deltas<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        scratch: &mut DeltaScratch,
+        mut visit: F,
+    ) {
+        if self.trunc.is_seed(w) {
+            return;
+        }
+        scratch.begin(self.n);
+        self.visit_candidate_walks(w, |_, start, g| {
+            scratch.add(start, g / self.start_count[start as usize] as f64);
+        });
+        scratch.drain_sorted(&mut visit);
+    }
+
+    /// [`SketchSet::for_candidate_deltas`] that *also* accumulates the
+    /// candidate's estimated-cumulative gain in occurrence order — one
+    /// pass serves both the rank gain and its cumulative tie-break
+    /// (bit-identical to [`SketchSet::cumulative_gain_of`]).
+    pub fn for_candidate_deltas_cum<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        scratch: &mut DeltaScratch,
+        mut visit: F,
+    ) -> f64 {
+        if self.trunc.is_seed(w) {
+            return 0.0;
+        }
+        let scale = self.n as f64 / self.theta() as f64;
+        let mut cum = 0.0;
+        scratch.begin(self.n);
+        self.visit_candidate_walks(w, |_, start, g| {
+            cum += g * scale;
+            scratch.add(start, g / self.start_count[start as usize] as f64);
+        });
+        scratch.drain_sorted(&mut visit);
+        cum
+    }
+
     /// Visits `(candidate seed w, walk start, 1 − end_value)` for the
     /// first occurrence of every non-seed node in every live prefix.
     fn scan_prefixes<F: FnMut(Node, Node, f64)>(&self, mut visit: F) {
@@ -328,6 +446,7 @@ impl SketchSet {
             + self.b0.len() * std::mem::size_of::<f64>()
             + self.start_sum.len() * std::mem::size_of::<f64>()
             + self.start_count.len() * std::mem::size_of::<u32>()
+            + self.walk_gain.len() * std::mem::size_of::<f64>()
     }
 }
 
@@ -500,6 +619,60 @@ mod tests {
                 "node {v}: predicted {} vs {realized}",
                 predicted[v as usize]
             );
+        }
+    }
+
+    #[test]
+    fn per_candidate_gain_matches_full_scan() {
+        let (g, b0, d, _) = running_example();
+        let mut s = SketchSet::generate(&g, &d, &b0, 2, 3_000, 61);
+        let mask = [true, true, false, true];
+        for step in 0..2 {
+            let gains = s.cumulative_gains();
+            let masked = s.cumulative_gains_masked(&mask);
+            for w in 0..4u32 {
+                if s.is_seed(w) {
+                    continue;
+                }
+                assert_eq!(
+                    s.cumulative_gain_of(w).to_bits(),
+                    gains[w as usize].to_bits(),
+                    "step {step} node {w}"
+                );
+                assert_eq!(
+                    s.cumulative_gain_of_masked(w, &mask).to_bits(),
+                    masked[w as usize].to_bits(),
+                    "step {step} node {w} (masked)"
+                );
+            }
+            s.add_seed(3);
+        }
+    }
+
+    #[test]
+    fn per_candidate_deltas_match_pair_deltas() {
+        let (g, b0, d, _) = running_example();
+        let mut s = SketchSet::generate(&g, &d, &b0, 3, 2_000, 67);
+        s.add_seed(0);
+        let all = s.pair_deltas();
+        let mut scratch = DeltaScratch::default();
+        for w in 0..4u32 {
+            if s.is_seed(w) {
+                continue;
+            }
+            let mut got: Vec<(Node, f64)> = Vec::new();
+            s.for_candidate_deltas(w, &mut scratch, |user, delta| got.push((user, delta)));
+            let want: Vec<(Node, f64)> = all
+                .iter()
+                .filter(|d| d.seed == w)
+                .map(|d| (d.user, d.delta))
+                .collect();
+            assert_eq!(got.len(), want.len(), "node {w}");
+            for (g, w_) in got.iter().zip(&want) {
+                assert_eq!(g.0, w_.0, "node {w}");
+                assert!((g.1 - w_.1).abs() < 1e-12, "{} vs {}", g.1, w_.1);
+            }
+            assert!(got.windows(2).all(|p| p[0].0 < p[1].0), "ascending users");
         }
     }
 

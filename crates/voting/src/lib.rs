@@ -11,16 +11,21 @@
 //! * **Copeland** — one-on-one competitions won (Eq. 7).
 //!
 //! Plus ranking utilities (the rank `β` with ties), election tallies,
-//! (Condorcet) winner determination, and an [`ext`] module with extended
-//! voting rules (Borda, veto, maximin, Bucklin, Copeland⁰·⁵) behind the
-//! [`OpinionScore`] trait — the paper's §IX future-work direction.
+//! (Condorcet) winner determination, an [`index`] module with the
+//! rank-indexed competitor opinions and delta-driven score accumulators
+//! the selection engines' hot paths run on, and an [`ext`] module with
+//! extended voting rules (Borda, veto, maximin, Bucklin, Copeland⁰·⁵)
+//! behind the [`OpinionScore`] trait — the paper's §IX future-work
+//! direction.
 
 pub mod ext;
+pub mod index;
 pub mod rank;
 pub mod score;
 pub mod tally;
 
 pub use ext::{ext_winner, ExtendedRule, OpinionScore};
+pub use index::{CopelandAccumulator, CopelandScratch, PositionalAccumulator, RankIndex};
 pub use rank::{beta, position_histogram};
 pub use score::{ScoreError, ScoringFunction};
 pub use tally::{condorcet_winner, tally, ElectionResult};

@@ -17,6 +17,66 @@ pub struct PairDelta {
     pub delta: f64,
 }
 
+/// Reusable buffers for per-candidate delta merging on estimators whose
+/// walks are *not* grouped by start node (the sketch set samples starts
+/// with replacement): walk-order contributions are accumulated per user
+/// and then emitted in ascending user order. Per-node (grouped) arenas
+/// never touch it. Keep one per greedy loop and pass it to every
+/// `for_candidate_deltas` call — the buffers are epoch-reset, not
+/// reallocated.
+#[derive(Debug, Default)]
+pub struct DeltaScratch {
+    /// Per-user accumulated delta for the current candidate.
+    acc: Vec<f64>,
+    /// Epoch marks: `mark[v] == epoch` means `acc[v]` is live.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Users touched by the current candidate, in first-visit order.
+    dirty: Vec<Node>,
+}
+
+impl DeltaScratch {
+    /// Starts a new candidate evaluation over `n` users.
+    pub fn begin(&mut self, n: usize) {
+        if self.mark.len() != n {
+            self.acc.clear();
+            self.acc.resize(n, 0.0);
+            self.mark.clear();
+            self.mark.resize(n, 0);
+            self.epoch = 0;
+        }
+        self.dirty.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One lap of the u32 epoch: clear the marks and restart.
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Accumulates one walk's delta for `user` (walk order preserved
+    /// within a user).
+    #[inline]
+    pub fn add(&mut self, user: Node, delta: f64) {
+        let i = user as usize;
+        if self.mark[i] == self.epoch {
+            self.acc[i] += delta;
+        } else {
+            self.mark[i] = self.epoch;
+            self.acc[i] = delta;
+            self.dirty.push(user);
+        }
+    }
+
+    /// Emits the merged `(user, delta)` pairs in ascending user order.
+    pub fn drain_sorted(&mut self, mut visit: impl FnMut(Node, f64)) {
+        self.dirty.sort_unstable();
+        for &user in &self.dirty {
+            visit(user, self.acc[user as usize]);
+        }
+    }
+}
+
 /// Walk-based estimator of `b̂_qv^{(t)}[S]` for a per-node walk arena
 /// (Algorithm 4). The estimate for `v` is the mean end-node value of the
 /// `λ_v` truncated walks starting at `v` (Theorems 9–10), maintained
@@ -33,6 +93,11 @@ pub struct OpinionEstimator<'a> {
     /// Walk index -> start node (walks are grouped, but O(1) lookup keeps
     /// the truncation callback cheap).
     walk_start: Vec<Node>,
+    /// Walk index -> current contribution gain `1 − end_value`: cached
+    /// so the per-candidate occurrence scans do one load instead of
+    /// chasing the arena. `0.0` once the walk ends at a seed (it then
+    /// never contributes again); maintained by `add_seed_into`.
+    walk_gain: Vec<f64>,
 }
 
 impl<'a> OpinionEstimator<'a> {
@@ -51,12 +116,15 @@ impl<'a> OpinionEstimator<'a> {
         let mut sums = vec![0.0f64; n];
         let mut lambda = vec![0u32; n];
         let mut walk_start = vec![0 as Node; arena.num_walks()];
+        let mut walk_gain = vec![0.0f64; arena.num_walks()];
         for v in 0..n as Node {
             let range = arena.group_range(v).expect("grouped arena");
             lambda[v as usize] = range.len() as u32;
             for i in range {
                 walk_start[i] = v;
-                sums[v as usize] += trunc.end_value(arena, b0, i);
+                let end = trunc.end_value(arena, b0, i);
+                sums[v as usize] += end;
+                walk_gain[i] = 1.0 - end;
             }
         }
         OpinionEstimator {
@@ -66,6 +134,7 @@ impl<'a> OpinionEstimator<'a> {
             sums,
             lambda,
             walk_start,
+            walk_gain,
         }
     }
 
@@ -148,19 +217,31 @@ impl<'a> OpinionEstimator<'a> {
     /// Returns the start nodes whose estimates changed (deduplicated),
     /// which the γ* heuristic and rank-based gain scans consume.
     pub fn add_seed(&mut self, u: Node) -> Vec<Node> {
-        let mut touched: Vec<Node> = Vec::new();
+        let mut touched = Vec::new();
+        self.add_seed_into(u, &mut touched);
+        touched
+    }
+
+    /// [`OpinionEstimator::add_seed`] writing the changed-users delta
+    /// report into a caller-owned buffer (cleared first), so a greedy
+    /// loop adding one seed per iteration reuses one allocation. The
+    /// report is sorted ascending and deduplicated.
+    pub fn add_seed_into(&mut self, u: Node, touched: &mut Vec<Node>) {
+        touched.clear();
         let arena = self.arena;
         let b0 = &self.b0;
         let sums = &mut self.sums;
         let walk_start = &self.walk_start;
+        let walk_gain = &mut self.walk_gain;
         self.trunc.add_seed(arena, u, |walk, old_end| {
             let start = walk_start[walk];
             sums[start as usize] += 1.0 - b0[old_end as usize];
+            // The walk now ends at a seed: value 1, gain gone for good.
+            walk_gain[walk] = 0.0;
             touched.push(start);
         });
         touched.sort_unstable();
         touched.dedup();
-        touched
     }
 
     /// For every candidate seed `w`, the increase in the **estimated
@@ -199,6 +280,129 @@ impl<'a> OpinionEstimator<'a> {
             }
         });
         deltas
+    }
+
+    /// Visits `(walk, start, walk-level gain)` for every **live** walk
+    /// whose live prefix contains candidate `w`, in ascending walk
+    /// order — the occurrence-index dual of [`Self::scan_prefixes`]:
+    /// one candidate in `O(occurrences of w)` instead of one pass over
+    /// every prefix. The visit set and order match the scan exactly
+    /// (first occurrences only, dead walks skipped), so sums taken here
+    /// are bit-identical to the scan-based gains.
+    #[inline]
+    fn visit_candidate_walks<F: FnMut(usize, Node, f64)>(&self, w: Node, mut visit: F) {
+        debug_assert!(!self.trunc.is_seed(w));
+        let (walks, positions) = self.trunc.first_occurrences(w);
+        for (&walk, &pos) in walks.iter().zip(positions) {
+            let walk = walk as usize;
+            let gain = self.walk_gain[walk];
+            if gain <= 0.0 {
+                continue; // walk already ends at a seed (or at value 1)
+            }
+            if pos as usize > self.trunc.end_pos(walk) {
+                continue; // beyond the live prefix
+            }
+            visit(walk, self.walk_start[walk], gain);
+        }
+    }
+
+    /// The marginal estimated-cumulative gain of a single candidate seed
+    /// `w` — bit-identical to `cumulative_gains()[w]`, computed from
+    /// `w`'s occurrence list alone. `0.0` for seeds.
+    pub fn cumulative_gain_of(&self, w: Node) -> f64 {
+        if self.trunc.is_seed(w) {
+            return 0.0;
+        }
+        let mut gain = 0.0;
+        self.visit_candidate_walks(w, |_, start, g| {
+            gain += g / self.lambda[start as usize] as f64;
+        });
+        gain
+    }
+
+    /// [`OpinionEstimator::cumulative_gain_of`] restricted to walks whose
+    /// start node is in `mask`.
+    pub fn cumulative_gain_of_masked(&self, w: Node, mask: &[bool]) -> f64 {
+        if self.trunc.is_seed(w) {
+            return 0.0;
+        }
+        let mut gain = 0.0;
+        self.visit_candidate_walks(w, |_, start, g| {
+            if mask[start as usize] {
+                gain += g / self.lambda[start as usize] as f64;
+            }
+        });
+        gain
+    }
+
+    /// Visits the merged per-user estimate deltas of one candidate seed
+    /// `w` — `(user, Δb̂_qv)` pairs in ascending user order, exactly the
+    /// `seed == w` run of [`OpinionEstimator::pair_deltas`] — without
+    /// scanning any other candidate's walks. Grouped arenas emit
+    /// straight off the occurrence list (walk order is start order);
+    /// `scratch` is only for API parity with the sketch estimator.
+    pub fn for_candidate_deltas<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        _scratch: &mut DeltaScratch,
+        mut visit: F,
+    ) {
+        if self.trunc.is_seed(w) {
+            return;
+        }
+        // Walks are grouped by start node in ascending node order, so
+        // occurrences arrive user-major: merge adjacent runs in place.
+        let mut current: Option<(Node, f64)> = None;
+        self.visit_candidate_walks(w, |_, start, g| {
+            let delta = g / self.lambda[start as usize] as f64;
+            match &mut current {
+                Some((user, acc)) if *user == start => *acc += delta,
+                _ => {
+                    if let Some((user, acc)) = current.take() {
+                        visit(user, acc);
+                    }
+                    current = Some((start, delta));
+                }
+            }
+        });
+        if let Some((user, acc)) = current {
+            visit(user, acc);
+        }
+    }
+
+    /// [`OpinionEstimator::for_candidate_deltas`] that *also*
+    /// accumulates the candidate's estimated-cumulative gain in
+    /// occurrence order — one pass serves both the rank gain and its
+    /// cumulative tie-break (bit-identical to
+    /// [`OpinionEstimator::cumulative_gain_of`]).
+    pub fn for_candidate_deltas_cum<F: FnMut(Node, f64)>(
+        &self,
+        w: Node,
+        _scratch: &mut DeltaScratch,
+        mut visit: F,
+    ) -> f64 {
+        if self.trunc.is_seed(w) {
+            return 0.0;
+        }
+        let mut cum = 0.0;
+        let mut current: Option<(Node, f64)> = None;
+        self.visit_candidate_walks(w, |_, start, g| {
+            let delta = g / self.lambda[start as usize] as f64;
+            cum += delta;
+            match &mut current {
+                Some((user, acc)) if *user == start => *acc += delta,
+                _ => {
+                    if let Some((user, acc)) = current.take() {
+                        visit(user, acc);
+                    }
+                    current = Some((start, delta));
+                }
+            }
+        });
+        if let Some((user, acc)) = current {
+            visit(user, acc);
+        }
+        cum
     }
 
     /// Visits `(candidate seed w, walk start, walk-level gain)` for the
@@ -342,6 +546,77 @@ mod tests {
             );
         }
         assert!(deltas.iter().all(|d| d.delta > 0.0));
+    }
+
+    #[test]
+    fn per_candidate_gain_matches_full_scan() {
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 2);
+        let arena = gen.generate_per_node(&Lambda::Uniform(400), 47);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        let mask = [true, false, true, true];
+        for step in 0..2 {
+            let gains = est.cumulative_gains();
+            let masked = est.cumulative_gains_masked(&mask);
+            for w in 0..4u32 {
+                if est.is_seed(w) {
+                    continue;
+                }
+                assert_eq!(
+                    est.cumulative_gain_of(w).to_bits(),
+                    gains[w as usize].to_bits(),
+                    "step {step} node {w}"
+                );
+                assert_eq!(
+                    est.cumulative_gain_of_masked(w, &mask).to_bits(),
+                    masked[w as usize].to_bits(),
+                    "step {step} node {w} (masked)"
+                );
+            }
+            est.add_seed(2);
+        }
+        assert_eq!(est.cumulative_gain_of(2), 0.0, "seeds gain nothing");
+    }
+
+    #[test]
+    fn per_candidate_deltas_match_pair_deltas() {
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 3);
+        let arena = gen.generate_per_node(&Lambda::Uniform(300), 53);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        est.add_seed(1);
+        let all = est.pair_deltas();
+        let mut scratch = DeltaScratch::default();
+        for w in 0..4u32 {
+            if est.is_seed(w) {
+                continue;
+            }
+            let mut got: Vec<(Node, f64)> = Vec::new();
+            est.for_candidate_deltas(w, &mut scratch, |user, delta| got.push((user, delta)));
+            let want: Vec<(Node, f64)> = all
+                .iter()
+                .filter(|d| d.seed == w)
+                .map(|d| (d.user, d.delta))
+                .collect();
+            assert_eq!(got.len(), want.len(), "node {w}");
+            for (g, w_) in got.iter().zip(&want) {
+                assert_eq!(g.0, w_.0);
+                assert!((g.1 - w_.1).abs() < 1e-12, "{} vs {}", g.1, w_.1);
+            }
+            assert!(got.windows(2).all(|p| p[0].0 < p[1].0), "ascending users");
+        }
+    }
+
+    #[test]
+    fn add_seed_into_reuses_the_buffer() {
+        let (g, b0, d) = running_example();
+        let gen = WalkGenerator::new(&g, &d, 1);
+        let arena = gen.generate_per_node(&Lambda::Uniform(500), 59);
+        let mut est = OpinionEstimator::new(&arena, &b0);
+        let mut buf = vec![99; 8]; // stale content must be cleared
+        est.add_seed_into(2, &mut buf);
+        let mut est2 = OpinionEstimator::new(&arena, &b0);
+        assert_eq!(buf, est2.add_seed(2));
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod lambda;
 pub mod truncation;
 
 pub use arena::{WalkArena, WalkArenaBuilder};
-pub use estimator::OpinionEstimator;
+pub use estimator::{DeltaScratch, OpinionEstimator};
 pub use generator::{Lambda, WalkGenerator};
 pub use truncation::Truncation;
 

@@ -147,6 +147,22 @@ impl Truncation {
         &arena.walk(i)[..=self.end_pos(i)]
     }
 
+    /// The first occurrence of node `u` in every walk that contains it:
+    /// parallel slices of walk indices (ascending) and the position of
+    /// the occurrence within the walk. This is the precomputed index
+    /// `add_seed` truncates through; the delta-driven greedy scans it to
+    /// evaluate one candidate in `O(occurrences)` instead of rescanning
+    /// every walk prefix. An occurrence is inside the *live* prefix iff
+    /// its position is `<= self.end_pos(walk)`.
+    #[inline]
+    pub fn first_occurrences(&self, u: Node) -> (&[u32], &[u32]) {
+        let (s, e) = (
+            self.index.occ_off[u as usize],
+            self.index.occ_off[u as usize + 1],
+        );
+        (&self.index.occ_walk[s..e], &self.index.occ_pos[s..e])
+    }
+
     /// Adds `u` to the seed set, truncating every walk whose live prefix
     /// contains `u`.
     ///

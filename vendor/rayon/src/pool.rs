@@ -218,6 +218,29 @@ where
     }
 
     let workers = effective_threads().min(num_chunks).max(1);
+    // Fast inline path: with one effective worker there is nothing to
+    // distribute, so skip the `std::thread::scope` spawn entirely and
+    // stream the chunks on the calling thread (one chunk in flight).
+    // Spawn-per-batch overhead is pure waste at width 1 — on a 1-CPU
+    // host a spawned pool is *slower* than the caller doing the work.
+    // Chunk order is trivially source order, so the determinism
+    // contract holds unchanged.
+    if workers <= 1 {
+        let mut state = make_state();
+        let mut current = Vec::new().into_iter();
+        let mut next_chunk = 0usize;
+        let mut items = core::iter::from_fn(|| loop {
+            if let Some(item) = current.next() {
+                return Some(item);
+            }
+            if next_chunk >= num_chunks {
+                return None;
+            }
+            current = work(&mut state, next_chunk).into_iter();
+            next_chunk += 1;
+        });
+        return consume(&mut items);
+    }
     let window = 2 * workers;
     let next = AtomicUsize::new(0);
     let stream = Mutex::new(Stream::<T> {
@@ -352,4 +375,54 @@ where
         };
         (ra, rb)
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The width-1 inline path must stream all chunks on the caller,
+    /// in order, without spawning (observable: the worker flag of the
+    /// calling thread never flips, and nested effective width stays 1).
+    #[test]
+    fn drive_ordered_inlines_at_one_worker() {
+        set_thread_override(Some(1));
+        let out = drive_ordered(
+            8,
+            || (),
+            |_, ci| {
+                assert!(!IN_POOL.with(Cell::get), "no pool worker at width 1");
+                vec![ci * 10, ci * 10 + 1]
+            },
+            |items| items.collect::<Vec<_>>(),
+        );
+        set_thread_override(None);
+        let expected: Vec<usize> = (0..8).flat_map(|ci| [ci * 10, ci * 10 + 1]).collect();
+        assert_eq!(out, expected);
+    }
+
+    /// One chunk in flight on the inline path: the consumer sees chunk
+    /// `i` fully before chunk `i + 1` is even produced.
+    #[test]
+    fn inline_path_is_lazy_per_chunk() {
+        set_thread_override(Some(1));
+        let produced = AtomicUsize::new(0);
+        let out = drive_ordered(
+            4,
+            || (),
+            |_, ci| {
+                produced.fetch_add(1, Ordering::Relaxed);
+                vec![ci]
+            },
+            |items| {
+                let first = items.next().unwrap();
+                // Only the chunk that yielded the first item has run.
+                assert_eq!(produced.load(Ordering::Relaxed), 1);
+                let rest: Vec<_> = items.collect();
+                (first, rest)
+            },
+        );
+        set_thread_override(None);
+        assert_eq!(out, (0, vec![1, 2, 3]));
+    }
 }
