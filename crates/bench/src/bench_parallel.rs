@@ -35,7 +35,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use vom_core::engine::{Query, SelectionMode};
-use vom_core::phases::{self, PhaseTimes};
+use vom_core::phases::{self, PhaseTimes, SolverCounters};
 use vom_core::{MethodId, Problem};
 use vom_datasets::Dataset;
 use vom_graph::Node;
@@ -63,13 +63,19 @@ pub struct BenchSample {
     /// selections — asserted again from the JSON by the CI smoke.
     pub digest: String,
     /// Query-phase breakdown (diffusion vs truncation vs scoring wall
-    /// clock, from `vom_core::phases`) of the recorded pass. The three
+    /// clock, from `vom_core::phases`) of the recorded pass. The
     /// phases cover the hot work, not the orchestration, so they sum to
-    /// slightly less than `query_s`.
+    /// slightly less than `query_s`. Diffusion is reported both as the
+    /// historical cold+warm total (`diffusion_s`) and split into
+    /// `diffusion_cold_s` / `diffusion_warm_s`.
     pub phases: PhaseTimes,
     /// The same breakdown attributed per engine (`DM`/`RW`/`RS`), in
     /// first-run order.
     pub method_phases: Vec<(String, PhaseTimes)>,
+    /// Diffusion-solver work counters (cold/warm solves, cold steps,
+    /// warm frontier nodes) of the recorded pass's query section, from
+    /// `vom_diffusion::SolverCounters`.
+    pub solver: SolverCounters,
 }
 
 /// Seed selections of one workload pass, for cross-thread comparison:
@@ -84,6 +90,8 @@ struct WorkloadPass {
     phases: PhaseTimes,
     /// Query phases split per method name.
     method_phases: Vec<(String, PhaseTimes)>,
+    /// Diffusion-solver counters accumulated over the query sections.
+    solver: SolverCounters,
 }
 
 /// Adds `delta` to `method`'s slot (insertion order preserved).
@@ -142,6 +150,7 @@ fn run_workload(
     let mut selections: Selections = Vec::new();
     let mut query_phases = PhaseTimes::default();
     let mut method_phases: Vec<(String, PhaseTimes)> = Vec::new();
+    let mut solver = SolverCounters::default();
     for ds in datasets {
         let n = ds.instance.num_nodes();
         // An explicit --k override is taken verbatim (no clamping): an
@@ -169,6 +178,7 @@ fn run_workload(
             let mut prepared = prepared?;
             prepare += build;
             let before = phases::snapshot();
+            let solver_before = phases::solver_counters();
             for &k in &ks {
                 let (out, select) = timed(|| prepared.evaluate(k));
                 let out = out?;
@@ -177,6 +187,7 @@ fn run_workload(
             }
             let delta = phases::snapshot().since(before);
             query_phases.add(delta);
+            solver.add(phases::solver_counters().since(solver_before));
             merge_method_phases(&mut method_phases, m.name(), delta);
         }
     }
@@ -186,6 +197,7 @@ fn run_workload(
         selections,
         phases: query_phases,
         method_phases,
+        solver,
     })
 }
 
@@ -239,8 +251,10 @@ fn run_query_throughput(cfg: &ExpConfig, ds: &Dataset) -> Result<WorkloadPass> {
     let requests = throughput_requests(cfg, ds);
     let (_, prepare) = timed(|| service.warm(&requests));
     let before = phases::snapshot();
+    let solver_before = phases::solver_counters();
     let (results, query) = timed(|| service.run_batch(&requests));
     let query_phases = phases::snapshot().since(before);
+    let solver = phases::solver_counters().since(solver_before);
     let mut selections: Selections = Vec::with_capacity(results.len());
     for (i, (req, res)) in requests.iter().zip(results).enumerate() {
         let out = res.map_err(|e| {
@@ -260,6 +274,7 @@ fn run_query_throughput(cfg: &ExpConfig, ds: &Dataset) -> Result<WorkloadPass> {
         selections,
         phases: query_phases,
         method_phases: vec![(MethodId::Rs.name().to_string(), query_phases)],
+        solver,
     })
 }
 
@@ -315,6 +330,7 @@ fn collect_workload(
             digest: selections_digest(&pass.selections),
             phases: pass.phases,
             method_phases: pass.method_phases,
+            solver: pass.solver,
         });
     }
     Ok(())
@@ -371,13 +387,42 @@ pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
     Ok(path)
 }
 
-/// Renders one phase breakdown as JSON object fields.
+/// Runs one pass of the `sweep-k` workload at the current pool setting
+/// and returns the selection digest — the hook the warm-start digest
+/// test uses to assert cold-only and warm-start runs pick byte-identical
+/// seeds at any thread count, without writing a JSON file.
+pub fn sweep_k_selection_digest(cfg: &ExpConfig) -> Result<String> {
+    let quick = ExpConfig {
+        quick: true,
+        ..cfg.clone()
+    };
+    let datasets = sweep_k::datasets(&quick);
+    let pass = run_workload(&quick, &datasets, &ScoringFunction::Cumulative)?;
+    Ok(selections_digest(&pass.selections))
+}
+
+/// Renders one phase breakdown as JSON object fields. `diffusion_s`
+/// keeps its historical meaning (all exact diffusion wall clock) so the
+/// trajectory stays comparable across the warm-start change; the
+/// cold/warm split rides along as two extra fields.
 fn phase_fields(p: PhaseTimes) -> String {
     format!(
-        "\"diffusion_s\": {:.6}, \"truncation_s\": {:.6}, \"scoring_s\": {:.6}",
+        "\"diffusion_s\": {:.6}, \"diffusion_cold_s\": {:.6}, \"diffusion_warm_s\": {:.6}, \
+         \"truncation_s\": {:.6}, \"scoring_s\": {:.6}",
+        p.diffusion_total().as_secs_f64(),
         p.diffusion.as_secs_f64(),
+        p.diffusion_warm.as_secs_f64(),
         p.truncation.as_secs_f64(),
         p.scoring.as_secs_f64()
+    )
+}
+
+/// Renders the solver work counters as a JSON object.
+fn solver_fields(c: SolverCounters) -> String {
+    format!(
+        "{{ \"cold_solves\": {}, \"warm_solves\": {}, \"cold_steps\": {}, \
+         \"warm_frontier_nodes\": {} }}",
+        c.cold_solves, c.warm_solves, c.cold_steps, c.warm_frontier_nodes
     )
 }
 
@@ -399,7 +444,8 @@ fn render_json(cfg: &ExpConfig, samples: &[BenchSample]) -> String {
                 "    {{\n      \"experiment\": \"{}\",\n      \"threads\": {},\n      \
                  \"prepare_s\": {:.6},\n      \"query_s\": {:.6},\n      \"total_s\": {:.6},\n      \
                  \"deterministic\": {},\n      \"digest\": \"{}\",\n      \
-                 \"phases\": {{ {} }},\n      \"method_phases\": [\n{}\n      ]\n    }}",
+                 \"phases\": {{ {} }},\n      \"solver\": {},\n      \
+                 \"method_phases\": [\n{}\n      ]\n    }}",
                 s.experiment,
                 s.threads,
                 s.prepare_s,
@@ -408,6 +454,7 @@ fn render_json(cfg: &ExpConfig, samples: &[BenchSample]) -> String {
                 s.deterministic,
                 s.digest,
                 phase_fields(s.phases),
+                solver_fields(s.solver),
                 methods
             )
         })
@@ -432,6 +479,13 @@ mod tests {
             diffusion: Duration::from_millis(100),
             truncation: Duration::from_millis(50),
             scoring: Duration::from_millis(250),
+            diffusion_warm: Duration::from_millis(300),
+        };
+        let solver = SolverCounters {
+            cold_solves: 7,
+            warm_solves: 1234,
+            cold_steps: 140,
+            warm_frontier_nodes: 9876,
         };
         let samples = vec![
             BenchSample {
@@ -444,6 +498,7 @@ mod tests {
                 digest: "00c0ffee00c0ffee".into(),
                 phases,
                 method_phases: vec![("RW".into(), phases), ("RS".into(), phases)],
+                solver,
             },
             BenchSample {
                 experiment: "fig6-quick",
@@ -455,6 +510,7 @@ mod tests {
                 digest: "00c0ffee00c0ffee".into(),
                 phases,
                 method_phases: vec![("RW".into(), phases)],
+                solver,
             },
         ];
         let json = render_json(&cfg, &samples);
@@ -463,9 +519,15 @@ mod tests {
         assert!(json.contains("\"total_s\": 2.000000"));
         assert!(json.contains("\"deterministic\": true"));
         assert!(json.contains("\"digest\": \"00c0ffee00c0ffee\""));
-        // The per-phase breakdown is present at both levels.
-        assert!(json.contains("\"phases\": { \"diffusion_s\": 0.100000"));
+        // The per-phase breakdown is present at both levels:
+        // diffusion_s stays cold+warm so the trajectory is comparable.
+        assert!(json.contains("\"phases\": { \"diffusion_s\": 0.400000"));
+        assert!(json.contains("\"diffusion_cold_s\": 0.100000"));
+        assert!(json.contains("\"diffusion_warm_s\": 0.300000"));
         assert!(json.contains("\"scoring_s\": 0.250000"));
+        // Solver work counters ride along per sample.
+        assert!(json.contains("\"solver\": { \"cold_solves\": 7, \"warm_solves\": 1234"));
+        assert!(json.contains("\"warm_frontier_nodes\": 9876"));
         assert!(json.contains("\"method\": \"RW\""));
         assert!(json.contains("\"method\": \"RS\""));
         // Balanced braces/brackets as a cheap well-formedness check.

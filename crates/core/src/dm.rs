@@ -6,7 +6,9 @@ use crate::greedy::Competitors;
 use crate::phases::{self, Phase};
 use crate::problem::Problem;
 use rayon::prelude::*;
-use vom_diffusion::{DiffusionBuffer, OpinionMatrix};
+use std::sync::Arc;
+use std::time::Instant;
+use vom_diffusion::{OpinionMatrix, SolveOptions, SolverPool};
 use vom_graph::Node;
 use vom_voting::{
     CopelandAccumulator, CopelandScratch, PositionalAccumulator, RankIndex, ScoringFunction,
@@ -15,7 +17,7 @@ use vom_voting::{
 /// Exact greedy selection.
 ///
 /// * Cumulative score: CELF lazy greedy (valid by Theorem 3's
-///   submodularity), each evaluation one `O(t·m)` FJ run.
+///   submodularity), each evaluation one exact FJ solve.
 /// * Plurality variants / Copeland: plain greedy, parallelized over
 ///   candidates — but scored **incrementally**: each iteration fixes a
 ///   baseline (the current seed set's opinions and their per-user
@@ -25,6 +27,14 @@ use vom_voting::{
 ///   `O(t·m + n·r)`). Plurality/p-approval totals are integer-valued,
 ///   so the delta evaluation is bit-identical to a full rescore;
 ///   Copeland nets are exact `i64` counts, likewise identical.
+///
+/// Diffusion itself is **warm-started** (PR 6): each greedy iteration
+/// records the committed seed set's trajectory once
+/// ([`SolveOptions::recording`], a cold `O(t·m)` solve), and every trial
+/// evaluation propagates only the frontier its extra seed actually moves
+/// — bit-identical to a full solve (see `vom_diffusion::solver`), so
+/// selections and scores are unchanged while the per-trial cost drops
+/// from `O(t·m)` to `O(frontier)`.
 ///
 /// Returns exactly `min(k, n - |fixed|)` seeds, in selection order.
 pub fn dm_greedy(problem: &Problem<'_>) -> Vec<Node> {
@@ -65,11 +75,23 @@ pub fn dm_greedy_with_others(problem: &Problem<'_>, others: Option<&OpinionMatri
 /// index come from the caller's cache. `comp` must be `Some` for the
 /// competitive scores.
 pub fn dm_greedy_prepared(problem: &Problem<'_>, comp: Option<Competitors<'_>>) -> Vec<Node> {
+    dm_greedy_prepared_with(problem, comp, &SolverPool::new())
+}
+
+/// [`dm_greedy_prepared`] with caller-owned solver scratch: the prepared
+/// engine threads its session's [`SolverPool`] here so solver buffers
+/// and warm-start baselines survive across the `(k, trial)` loop and
+/// across queries.
+pub fn dm_greedy_prepared_with(
+    problem: &Problem<'_>,
+    comp: Option<Competitors<'_>>,
+    pool: &SolverPool,
+) -> Vec<Node> {
     let q = problem.target;
     let cand = problem.instance.candidate(q);
-    let engine = cand.engine();
+    let system = Arc::clone(cand.system());
     let n = problem.num_nodes();
-    let t = problem.horizon;
+    let opts = SolveOptions::exact(problem.horizon);
 
     // The target's pre-committed seeds participate in every evaluation.
     let fixed = cand.fixed_seeds.clone();
@@ -81,14 +103,16 @@ pub fn dm_greedy_prepared(problem: &Problem<'_>, comp: Option<Competitors<'_>>) 
 
     match &problem.score {
         ScoringFunction::Cumulative => {
-            // CELF closures share the growing seed list, the iteration
-            // buffer, and the cached current score.
-            let seeds_cell = std::cell::RefCell::new({
-                let mut buf = DiffusionBuffer::new(n);
+            // CELF closures share the growing seed list, the pooled
+            // solver (whose recorded baseline makes trial evaluations
+            // warm), and the cached current score.
+            let state = std::cell::RefCell::new({
+                let mut solver = pool.checkout(&system);
                 let current: f64 = phases::timed(Phase::Diffusion, || {
-                    engine.opinions_at_with(t, &seeds, &mut buf).iter().sum()
+                    solver.solve(&seeds, &opts.recording());
+                    solver.opinions().iter().sum()
                 });
-                (seeds, buf, current)
+                (seeds, solver, current)
             });
             celf_greedy(
                 n,
@@ -97,18 +121,31 @@ pub fn dm_greedy_prepared(problem: &Problem<'_>, comp: Option<Competitors<'_>>) 
                     if is_seed[v as usize] {
                         return f64::NEG_INFINITY;
                     }
-                    let (ref mut s, ref mut b, cur) = *seeds_cell.borrow_mut();
+                    let (ref mut s, ref mut solver, cur) = *state.borrow_mut();
                     s.push(v);
-                    let total: f64 = phases::timed(Phase::Diffusion, || {
-                        engine.opinions_at_with(t, s, b).iter().sum()
-                    });
+                    let start = Instant::now();
+                    let report = solver.solve(s, &opts.warm());
+                    let total: f64 = solver.opinions().iter().sum();
+                    phases::record(
+                        if report.warm {
+                            Phase::DiffusionWarm
+                        } else {
+                            Phase::Diffusion
+                        },
+                        start.elapsed(),
+                    );
                     s.pop();
                     total - cur
                 },
                 |v| {
-                    let (ref mut s, ref mut b, ref mut cur) = *seeds_cell.borrow_mut();
+                    // Committing a seed re-records the baseline (one cold
+                    // solve), re-arming warm starts for the next round.
+                    let (ref mut s, ref mut solver, ref mut cur) = *state.borrow_mut();
                     s.push(v);
-                    *cur = engine.opinions_at_with(t, s, b).iter().sum();
+                    *cur = phases::timed(Phase::Diffusion, || {
+                        solver.solve(s, &opts.recording());
+                        solver.opinions().iter().sum()
+                    });
                 },
             )
         }
@@ -116,15 +153,20 @@ pub fn dm_greedy_prepared(problem: &Problem<'_>, comp: Option<Competitors<'_>>) 
             let comp = comp.expect("competitive DM greedy needs competitor opinions");
             let index = comp.ranks;
             let mut picked = Vec::with_capacity(problem.k);
-            let mut base_buf = DiffusionBuffer::new(n);
             let mut base_row: Vec<f64> = Vec::with_capacity(n);
             for _ in 0..problem.k {
                 // Fix this iteration's baseline: the committed seeds'
-                // exact opinions and their per-user score state.
-                phases::timed(Phase::Diffusion, || {
+                // exact opinions (recorded as the warm-start trajectory
+                // all workers share) and their per-user score state.
+                let base = {
+                    let mut solver = pool.checkout(&system);
+                    phases::timed(Phase::Diffusion, || {
+                        solver.solve(&seeds, &opts.recording());
+                    });
                     base_row.clear();
-                    base_row.extend_from_slice(engine.opinions_at_with(t, &seeds, &mut base_buf));
-                });
+                    base_row.extend_from_slice(solver.opinions());
+                    Arc::clone(solver.baseline().expect("recording solve installs one"))
+                };
                 let baseline = phases::timed(Phase::Scoring, || {
                     DmBaseline::build(score, index, &base_row)
                 });
@@ -133,8 +175,10 @@ pub fn dm_greedy_prepared(problem: &Problem<'_>, comp: Option<Competitors<'_>>) 
                     .filter(|&v| !is_seed[v as usize])
                     .map_init(
                         || {
+                            let mut solver = pool.checkout(&system);
+                            solver.set_baseline(Arc::clone(&base));
                             (
-                                DiffusionBuffer::new(n),
+                                solver,
                                 seeds.clone(),
                                 CopelandScratch::default(),
                                 // Phase times batch locally and flush to
@@ -143,15 +187,25 @@ pub fn dm_greedy_prepared(problem: &Problem<'_>, comp: Option<Competitors<'_>>) 
                             )
                         },
                         // Per-worker scratch (determinism contract: the
-                        // buffer is fully overwritten, the trial list
-                        // push/pops per item, and the Copeland scratch is
-                        // epoch-reset, so results are independent of
-                        // which worker evaluates which candidate).
-                        |(buf, trial, cscratch, local), v| {
+                        // solver row is fully determined by the trial
+                        // seeds, the trial list push/pops per item, and
+                        // the Copeland scratch is epoch-reset, so results
+                        // are independent of which worker evaluates which
+                        // candidate).
+                        |(solver, trial, cscratch, local), v| {
                             trial.push(v);
-                            let row = local
-                                .timed(Phase::Diffusion, || engine.opinions_at_with(t, trial, buf));
-                            let start = std::time::Instant::now();
+                            let start = Instant::now();
+                            let report = solver.solve(trial, &opts.warm());
+                            local.add(
+                                if report.warm {
+                                    Phase::DiffusionWarm
+                                } else {
+                                    Phase::Diffusion
+                                },
+                                start.elapsed(),
+                            );
+                            let row = solver.opinions();
+                            let start = Instant::now();
                             let s = baseline.score_row(index, &base_row, row, cscratch);
                             // Secondary tie-break criterion: the discrete
                             // rank scores are flat almost everywhere.
@@ -276,10 +330,20 @@ impl DmBaseline {
 /// bound `LB(S)` (Definition 3). Submodular by Theorem 3 (a sum of
 /// submodular per-user opinions), so CELF applies.
 pub fn dm_greedy_masked_cumulative(problem: &Problem<'_>, mask: &[bool]) -> Vec<Node> {
+    dm_greedy_masked_cumulative_with(problem, mask, &SolverPool::new())
+}
+
+/// [`dm_greedy_masked_cumulative`] with caller-owned solver scratch (the
+/// prepared engine's session pool).
+pub fn dm_greedy_masked_cumulative_with(
+    problem: &Problem<'_>,
+    mask: &[bool],
+    pool: &SolverPool,
+) -> Vec<Node> {
     let cand = problem.instance.candidate(problem.target);
-    let engine = cand.engine();
+    let system = Arc::clone(cand.system());
     let n = problem.num_nodes();
-    let t = problem.horizon;
+    let opts = SolveOptions::exact(problem.horizon);
     let masked_sum = |row: &[f64]| -> f64 {
         row.iter()
             .zip(mask)
@@ -292,10 +356,13 @@ pub fn dm_greedy_masked_cumulative(problem: &Problem<'_>, mask: &[bool]) -> Vec<
         is_seed[s as usize] = true;
     }
     let state = std::cell::RefCell::new({
-        let mut buf = DiffusionBuffer::new(n);
+        let mut solver = pool.checkout(&system);
         let seeds = cand.fixed_seeds.clone();
-        let cur = masked_sum(engine.opinions_at_with(t, &seeds, &mut buf));
-        (seeds, buf, cur)
+        let cur = phases::timed(Phase::Diffusion, || {
+            solver.solve(&seeds, &opts.recording());
+            masked_sum(solver.opinions())
+        });
+        (seeds, solver, cur)
     });
     celf_greedy(
         n,
@@ -304,18 +371,29 @@ pub fn dm_greedy_masked_cumulative(problem: &Problem<'_>, mask: &[bool]) -> Vec<
             if is_seed[v as usize] {
                 return f64::NEG_INFINITY;
             }
-            let (ref mut s, ref mut b, cur) = *state.borrow_mut();
+            let (ref mut s, ref mut solver, cur) = *state.borrow_mut();
             s.push(v);
-            let total = phases::timed(Phase::Diffusion, || {
-                masked_sum(engine.opinions_at_with(t, s, b))
-            });
+            let start = Instant::now();
+            let report = solver.solve(s, &opts.warm());
+            let total = masked_sum(solver.opinions());
+            phases::record(
+                if report.warm {
+                    Phase::DiffusionWarm
+                } else {
+                    Phase::Diffusion
+                },
+                start.elapsed(),
+            );
             s.pop();
             total - cur
         },
         |v| {
-            let (ref mut s, ref mut b, ref mut cur) = *state.borrow_mut();
+            let (ref mut s, ref mut solver, ref mut cur) = *state.borrow_mut();
             s.push(v);
-            *cur = masked_sum(engine.opinions_at_with(t, s, b));
+            *cur = phases::timed(Phase::Diffusion, || {
+                solver.solve(s, &opts.recording());
+                masked_sum(solver.opinions())
+            });
         },
     )
 }

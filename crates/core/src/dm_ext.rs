@@ -11,7 +11,8 @@
 
 use crate::{CoreError, Result};
 use rayon::prelude::*;
-use vom_diffusion::{DiffusionBuffer, Instance, OpinionMatrix};
+use std::sync::Arc;
+use vom_diffusion::{Instance, OpinionMatrix, SolveOptions, SolverPool};
 use vom_graph::{Candidate, Node};
 use vom_voting::OpinionScore;
 
@@ -32,10 +33,10 @@ pub fn evaluate_rule<S: OpinionScore + ?Sized>(
 /// Greedy seed selection (Algorithm 1) for an arbitrary [`OpinionScore`].
 ///
 /// Every iteration evaluates all non-seed candidates exactly — each one
-/// FJ run plus one rule evaluation — in parallel (per-worker
-/// `map_init` scratch: iteration buffer, trial seed list, and a private
-/// snapshot copy; each is fully rewritten per candidate, so results are
-/// schedule-independent), and commits the node with the largest
+/// warm-started FJ solve plus one rule evaluation — in parallel
+/// (per-worker `map_init` scratch: pooled solver, trial seed list, and a
+/// private snapshot copy; each is fully rewritten per candidate, so
+/// results are schedule-independent), and commits the node with the largest
 /// marginal gain (ties: larger cumulative target opinion, then smaller
 /// node id). Returns `min(k, n − |fixed|)` seeds in selection order.
 ///
@@ -86,8 +87,10 @@ pub fn generic_greedy<S: OpinionScore + ?Sized>(
     }
 
     let cand = instance.candidate(target);
-    let engine = cand.engine();
+    let system = Arc::clone(cand.system());
     let others = instance.non_target_opinions(horizon, target);
+    let opts = SolveOptions::exact(horizon);
+    let pool = SolverPool::new();
 
     let mut seeds = cand.fixed_seeds.clone();
     let mut is_seed = vec![false; n];
@@ -97,14 +100,26 @@ pub fn generic_greedy<S: OpinionScore + ?Sized>(
 
     let mut picked = Vec::with_capacity(k);
     for _ in 0..k {
+        // One cold recording solve per iteration; trial evaluations
+        // warm-start from it (bit-identical — see vom_diffusion::solver).
+        let base = {
+            let mut solver = pool.checkout(&system);
+            solver.solve(&seeds, &opts.recording());
+            Arc::clone(solver.baseline().expect("recording solve installs one"))
+        };
         let evals: Vec<(Node, f64, f64)> = (0..n as Node)
             .into_par_iter()
             .filter(|&v| !is_seed[v as usize])
             .map_init(
-                || (DiffusionBuffer::new(n), seeds.clone(), others.clone()),
-                |(buf, trial, snapshot), v| {
+                || {
+                    let mut solver = pool.checkout(&system);
+                    solver.set_baseline(Arc::clone(&base));
+                    (solver, seeds.clone(), others.clone())
+                },
+                |(solver, trial, snapshot), v| {
                     trial.push(v);
-                    let row = engine.opinions_at_with(horizon, trial, buf);
+                    solver.solve(trial, &opts.warm());
+                    let row = solver.opinions();
                     let cum: f64 = row.iter().sum();
                     snapshot.set_row(target, row);
                     let s = rule.evaluate(snapshot, target);

@@ -77,7 +77,7 @@
 //! ```
 
 use crate::bounds::{favorable_users, greedy_upper_bound, upper_bound_parts};
-use crate::dm::{dm_greedy_masked_cumulative, dm_greedy_prepared};
+use crate::dm::{dm_greedy_masked_cumulative_with, dm_greedy_prepared_with};
 use crate::greedy::Competitors;
 use crate::phases::{self, Phase};
 use crate::problem::{Problem, ProblemSpec};
@@ -90,7 +90,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
-use vom_diffusion::OpinionMatrix;
+use vom_diffusion::{DiffusionSystem, OpinionMatrix, SolverCounters, SolverPool};
 use vom_graph::{Candidate, Node};
 use vom_sketch::SketchSet;
 use vom_voting::{RankIndex, ScoringFunction};
@@ -223,6 +223,10 @@ pub struct BuildStats {
     pub heap_bytes: usize,
     /// Number of estimator artifacts built so far (eager + lazy).
     pub artifact_builds: usize,
+    /// Exact-diffusion solver activity during the build (cold/warm solve
+    /// counts, steps, frontier work) — the competitor/seedless matrices
+    /// and any pilot evaluations run through the shared solver.
+    pub solver: SolverCounters,
 }
 
 /// Outcome of a seed selection run.
@@ -375,6 +379,10 @@ pub struct SessionScratch {
     mask_all: Vec<bool>,
     /// RS working sketch from the previous query, keyed by its θ.
     rs_sketch: Option<(usize, SketchSet)>,
+    /// Pooled exact-diffusion solvers (iteration buffers + warm-start
+    /// baselines), reused across DM's `(k, trial)` loop and across
+    /// queries on the same session.
+    dm_pool: SolverPool,
 }
 
 impl SessionScratch {
@@ -420,6 +428,10 @@ pub struct PreparedIndex {
     ranks: OnceLock<RankIndex>,
     /// Exact seedless opinions at the horizon (computed at most once).
     seedless: OnceLock<OpinionMatrix>,
+    /// Solver activity attributed to the build (see
+    /// [`BuildStats::solver`]); zero unless the builder recorded it via
+    /// [`PreparedIndex::with_build_solver`].
+    build_solver: SolverCounters,
     /// Sandwich upper-bound (coverage) greedy orders at the prepared
     /// budget, keyed by the favorable-base kind (approval depth `p`, or
     /// `usize::MAX` for Copeland's weakly-favorable base). CELF is
@@ -448,8 +460,16 @@ impl PreparedIndex {
             others: OnceLock::new(),
             ranks: OnceLock::new(),
             seedless: OnceLock::new(),
+            build_solver: SolverCounters::default(),
             upper_orders: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Records the solver-counter delta observed while the backend was
+    /// built, surfaced through [`BuildStats::solver`].
+    pub fn with_build_solver(mut self, solver: SolverCounters) -> PreparedIndex {
+        self.build_solver = solver;
+        self
     }
 
     /// Like [`PreparedIndex::new`], seeding the competitor-opinion cache
@@ -533,6 +553,7 @@ impl PreparedIndex {
             threads: self.build_threads,
             heap_bytes: self.backend.heap_bytes(),
             artifact_builds: self.backend.artifact_builds(),
+            solver: self.build_solver,
         }
     }
 
@@ -865,6 +886,7 @@ impl SeedSelector for Engine {
 
     fn prepare_spec(&self, spec: ProblemSpec) -> Result<PreparedIndex> {
         let start = Instant::now();
+        let solver_before = SolverCounters::snapshot();
         // The competitive artifacts (γ* pilot, rank/Copeland estimates)
         // need the exact competitor opinions; compute them once here and
         // hand the matrix to the index cache so queries reuse it.
@@ -873,7 +895,7 @@ impl SeedSelector for Engine {
             let others = (problem.is_competitive() && !matches!(self, Engine::Dm))
                 .then(|| problem.non_target_opinions());
             let backend: Box<dyn IndexBackend> = match self {
-                Engine::Dm => Box::new(DmIndex),
+                Engine::Dm => Box::new(DmIndex::prepare(&problem)),
                 Engine::Rw(cfg) => {
                     Box::new(RwIndex::prepare(cfg.clone(), &problem, others.as_ref()))
                 }
@@ -882,13 +904,10 @@ impl SeedSelector for Engine {
             (backend, others)
         };
         let build_time = start.elapsed();
-        Ok(PreparedIndex::with_cached_others(
-            spec,
-            self.id(),
-            backend,
-            build_time,
-            others,
-        ))
+        Ok(
+            PreparedIndex::with_cached_others(spec, self.id(), backend, build_time, others)
+                .with_build_solver(SolverCounters::snapshot().since(solver_before)),
+        )
     }
 }
 
@@ -940,11 +959,33 @@ pub(crate) fn count_rs_sketch_build() {
 // ---------------------------------------------------------------------
 
 /// DM holds no estimator artifacts; its reusable state is the exact
-/// competitor matrix, which the [`PreparedIndex`] cache already carries.
-struct DmIndex;
+/// competitor matrix (carried by the [`PreparedIndex`] cache), the
+/// target candidate's [`DiffusionSystem`] (built eagerly at prepare time
+/// and shared with the instance's own cache, so its memory is problem
+/// data rather than estimator heap), and the memoized cumulative CELF
+/// order: CELF is prefix-consistent in `k`, so the greedy runs **once**
+/// at the prepared budget and every cumulative query takes a prefix.
+struct DmIndex {
+    system: Arc<DiffusionSystem>,
+    budget: usize,
+    cum_order: OnceLock<Arc<Vec<Node>>>,
+}
+
+impl DmIndex {
+    fn prepare(problem: &Problem<'_>) -> DmIndex {
+        DmIndex {
+            system: Arc::clone(problem.instance.candidate(problem.target).system()),
+            budget: problem.k,
+            cum_order: OnceLock::new(),
+        }
+    }
+}
 
 impl IndexBackend for DmIndex {
     fn heap_bytes(&self) -> usize {
+        // The diffusion system is shared problem data (the instance's
+        // candidate cache holds the same Arc), not an estimator artifact
+        // — DM keeps its Figure 17(b) "no estimator memory" semantics.
         0
     }
 
@@ -952,9 +993,30 @@ impl IndexBackend for DmIndex {
         &self,
         problem: &Problem<'_>,
         comp: Option<Competitors<'_>>,
-        _scratch: &mut SessionScratch,
+        scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
-        Ok(dm_greedy_prepared(problem, comp))
+        // Queries must hit the exact system the index pinned at prepare
+        // time — if this fails, something invalidated the instance's
+        // candidate cache after prepare.
+        debug_assert!(Arc::ptr_eq(
+            &self.system,
+            problem.instance.candidate(problem.target).system()
+        ));
+        if matches!(problem.score, ScoringFunction::Cumulative) {
+            // One cumulative CELF run at the prepared budget serves every
+            // query budget (prefix-consistency; asserted against the
+            // one-shot path by tests/prepared_equivalence.rs).
+            let order = self.cum_order.get_or_init(|| {
+                let budget_problem = problem.with_budget(self.budget);
+                Arc::new(dm_greedy_prepared_with(
+                    &budget_problem,
+                    comp,
+                    &scratch.dm_pool,
+                ))
+            });
+            return Ok(order.iter().take(problem.k).copied().collect());
+        }
+        Ok(dm_greedy_prepared_with(problem, comp, &scratch.dm_pool))
     }
 
     fn greedy_masked_cumulative(
@@ -962,9 +1024,13 @@ impl IndexBackend for DmIndex {
         problem: &Problem<'_>,
         mask: &[bool],
         _comp: Option<Competitors<'_>>,
-        _scratch: &mut SessionScratch,
+        scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
-        Ok(dm_greedy_masked_cumulative(problem, mask))
+        Ok(dm_greedy_masked_cumulative_with(
+            problem,
+            mask,
+            &scratch.dm_pool,
+        ))
     }
 
     fn supports_sandwich(&self) -> bool {

@@ -11,6 +11,11 @@
 //! * **scoring** — candidate gain computation (rank lookups, delta
 //!   application, cumulative gain scans) and exact score tallies.
 //!
+//! Diffusion is split further into cold full solves ([`Phase::Diffusion`])
+//! and warm-start frontier solves ([`Phase::DiffusionWarm`]) so the bench
+//! trajectory can show how much of the exact-DM wall the warm path
+//! absorbed; solve/frontier *counts* live in [`SolverCounters`].
+//!
 //! Counters are process-wide atomics, so the parallel pool's workers can
 //! report from inside `par_iter` closures; readers take
 //! [`snapshot`] deltas around the section they want attributed. The
@@ -24,18 +29,27 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+pub use vom_diffusion::SolverCounters;
+
 /// A hot-path phase of the query pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
-    /// Exact opinion diffusion (matrix–vector FJ runs).
+    /// Exact opinion diffusion: cold (full fixed-horizon) solves.
     Diffusion = 0,
     /// Seed-commit truncation on walk arenas / sketch sets.
     Truncation = 1,
     /// Candidate scoring: rank lookups, delta application, gain scans.
     Scoring = 2,
+    /// Exact opinion diffusion: warm-start frontier solves.
+    DiffusionWarm = 3,
 }
 
-static NANOS: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+static NANOS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
 
 /// Adds `elapsed` to a phase's process-wide counter.
 #[inline]
@@ -57,12 +71,14 @@ pub fn timed<T>(phase: Phase, f: impl FnOnce() -> T) -> T {
 /// real time).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTimes {
-    /// Exact diffusion time.
+    /// Cold (full-solve) exact diffusion time.
     pub diffusion: Duration,
     /// Truncation time.
     pub truncation: Duration,
     /// Scoring time.
     pub scoring: Duration,
+    /// Warm-start (frontier-solve) exact diffusion time.
+    pub diffusion_warm: Duration,
 }
 
 impl PhaseTimes {
@@ -72,6 +88,7 @@ impl PhaseTimes {
             diffusion: self.diffusion.saturating_sub(earlier.diffusion),
             truncation: self.truncation.saturating_sub(earlier.truncation),
             scoring: self.scoring.saturating_sub(earlier.scoring),
+            diffusion_warm: self.diffusion_warm.saturating_sub(earlier.diffusion_warm),
         }
     }
 
@@ -80,6 +97,13 @@ impl PhaseTimes {
         self.diffusion += other.diffusion;
         self.truncation += other.truncation;
         self.scoring += other.scoring;
+        self.diffusion_warm += other.diffusion_warm;
+    }
+
+    /// Total exact diffusion time, cold + warm — the historical
+    /// `diffusion` semantics before the warm split.
+    pub fn diffusion_total(&self) -> Duration {
+        self.diffusion + self.diffusion_warm
     }
 }
 
@@ -91,7 +115,7 @@ impl PhaseTimes {
 /// when the pool tears the scratch down.
 #[derive(Debug, Default)]
 pub struct PhaseLocal {
-    acc: [Duration; 3],
+    acc: [Duration; 4],
 }
 
 impl PhaseLocal {
@@ -127,7 +151,14 @@ pub fn snapshot() -> PhaseTimes {
         diffusion: Duration::from_nanos(NANOS[0].load(Ordering::Relaxed)),
         truncation: Duration::from_nanos(NANOS[1].load(Ordering::Relaxed)),
         scoring: Duration::from_nanos(NANOS[2].load(Ordering::Relaxed)),
+        diffusion_warm: Duration::from_nanos(NANOS[3].load(Ordering::Relaxed)),
     }
+}
+
+/// Current process-wide solver counters (re-exported from the diffusion
+/// crate so bench/report code reads phases and counters from one place).
+pub fn solver_counters() -> SolverCounters {
+    SolverCounters::snapshot()
 }
 
 #[cfg(test)]
@@ -141,11 +172,15 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2))
         });
         record(Phase::Diffusion, Duration::from_micros(5));
+        record(Phase::DiffusionWarm, Duration::from_micros(7));
         let delta = snapshot().since(before);
         assert!(delta.scoring >= Duration::from_millis(2));
         assert!(delta.diffusion >= Duration::from_micros(5));
+        assert!(delta.diffusion_warm >= Duration::from_micros(7));
+        assert!(delta.diffusion_total() >= Duration::from_micros(12));
         let mut acc = PhaseTimes::default();
         acc.add(delta);
         assert_eq!(acc.scoring, delta.scoring);
+        assert_eq!(acc.diffusion_warm, delta.diffusion_warm);
     }
 }

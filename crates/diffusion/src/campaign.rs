@@ -3,8 +3,9 @@
 use crate::error::{validate_unit_range, DiffusionError};
 use crate::fj::FjEngine;
 use crate::opinion::OpinionMatrix;
+use crate::solver::{DiffusionSystem, SolveOptions, Solver};
 use crate::Result;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use vom_graph::{Candidate, Node, SocialGraph};
 
 /// Everything that defines one candidate's campaign: her influence matrix
@@ -25,6 +26,9 @@ pub struct CandidateData {
     pub stubbornness: Vec<f64>,
     /// Seeds committed for this candidate at time 0.
     pub fixed_seeds: Vec<Node>,
+    /// Lazily built solver system (CSR copy of `graph` + `initial`/
+    /// `stubbornness`), shared by every [`Solver`] over this candidate.
+    system: OnceLock<Arc<DiffusionSystem>>,
 }
 
 impl CandidateData {
@@ -35,6 +39,7 @@ impl CandidateData {
             initial,
             stubbornness,
             fixed_seeds: Vec::new(),
+            system: OnceLock::new(),
         };
         data.validate()?;
         Ok(data)
@@ -71,6 +76,18 @@ impl CandidateData {
     pub fn engine(&self) -> FjEngine<'_> {
         FjEngine::new(&self.graph, &self.initial, &self.stubbornness)
             .expect("validated at construction")
+    }
+
+    /// The candidate's [`DiffusionSystem`], built on first use and cached:
+    /// the solver-owned CSR layout every cold and warm solve iterates.
+    /// Cloning shares the cache; [`Instance::candidate_mut`] invalidates it.
+    pub fn system(&self) -> &Arc<DiffusionSystem> {
+        self.system.get_or_init(|| {
+            Arc::new(
+                DiffusionSystem::new(&self.graph, &self.initial, &self.stubbornness)
+                    .expect("validated at construction"),
+            )
+        })
     }
 }
 
@@ -142,8 +159,11 @@ impl Instance {
         &self.candidates[q]
     }
 
-    /// Mutable candidate data (e.g. to commit fixed seeds).
+    /// Mutable candidate data (e.g. to commit fixed seeds). Drops the
+    /// candidate's cached [`DiffusionSystem`] since the caller may change
+    /// the inputs it was built from; it is rebuilt lazily on next use.
     pub fn candidate_mut(&mut self, q: Candidate) -> &mut CandidateData {
+        self.candidates[q].system = OnceLock::new();
         &mut self.candidates[q]
     }
 
@@ -167,13 +187,15 @@ impl Instance {
     /// on top of the candidate's fixed seeds.
     pub fn opinions_of(&self, q: Candidate, t: usize, extra_seeds: &[Node]) -> Vec<f64> {
         let c = &self.candidates[q];
+        let mut solver = Solver::new(Arc::clone(c.system()));
         if c.fixed_seeds.is_empty() {
-            c.engine().opinions_at(t, extra_seeds)
+            solver.solve(extra_seeds, &SolveOptions::exact(t));
         } else {
             let mut seeds = c.fixed_seeds.clone();
             seeds.extend_from_slice(extra_seeds);
-            c.engine().opinions_at(t, &seeds)
+            solver.solve(&seeds, &SolveOptions::exact(t));
         }
+        solver.opinions().to_vec()
     }
 
     /// The full opinion matrix `B^(t)[S]`: seeds `S` applied to the

@@ -6,9 +6,15 @@
 //! These routines reproduce that analysis and detect FJ convergence.
 
 use crate::fj::FjEngine;
+use crate::solver::{DiffusionSystem, SolveOptions, SolveReport, Solver};
+use std::sync::Arc;
 use vom_graph::Node;
 
 /// Result of running FJ until the opinions stop moving.
+///
+/// This is the historical, convergence-focused view; the solver-level
+/// [`SolveReport`] carries the same information plus residual/frontier
+/// detail, and this type is now derived from it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConvergenceReport {
     /// Number of steps actually taken.
@@ -20,36 +26,39 @@ pub struct ConvergenceReport {
     pub opinions: Vec<f64>,
 }
 
+impl ConvergenceReport {
+    /// Derives the legacy report from a solver run.
+    fn from_solve(report: SolveReport, eps: f64, opinions: Vec<f64>) -> ConvergenceReport {
+        ConvergenceReport {
+            steps: report.steps,
+            // The historical loop only tested deltas of executed steps, so a
+            // zero step budget never counted as converged.
+            converged: report.steps > 0 && report.residual < eps,
+            opinions,
+        }
+    }
+}
+
 /// Iterates FJ with seed set `seeds` until the maximum per-node change
 /// drops below `eps`, or `max_steps` is exhausted.
+///
+/// Compatibility wrapper over [`Solver::solve`] with
+/// [`SolveOptions::with_tolerance`] — one `O(t · m)` pass instead of the
+/// historical `O(t² · m)` re-evaluation per horizon. New code should build
+/// a [`DiffusionSystem`] once and call the solver directly.
 pub fn run_until_convergence(
     engine: &FjEngine<'_>,
     seeds: &[Node],
     eps: f64,
     max_steps: usize,
 ) -> ConvergenceReport {
-    let mut prev = engine.opinions_at(0, seeds);
-    for t in 1..=max_steps {
-        let cur = engine.opinions_at(t, seeds);
-        let max_delta = prev
-            .iter()
-            .zip(&cur)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        if max_delta < eps {
-            return ConvergenceReport {
-                steps: t,
-                converged: true,
-                opinions: cur,
-            };
-        }
-        prev = cur;
-    }
-    ConvergenceReport {
-        steps: max_steps,
-        converged: false,
-        opinions: prev,
-    }
+    let system = Arc::new(
+        DiffusionSystem::new(engine.graph(), engine.initial(), engine.stubbornness())
+            .expect("engine inputs were validated at construction"),
+    );
+    let mut solver = Solver::new(system);
+    let report = solver.solve(seeds, &SolveOptions::exact(max_steps).with_tolerance(eps));
+    ConvergenceReport::from_solve(report, eps, solver.opinions().to_vec())
 }
 
 /// For each `t ∈ 1..=t_max`, the fraction of nodes whose opinion changed

@@ -10,6 +10,10 @@ use vom_graph::{Node, SocialGraph};
 ///
 /// Seeding still pins seeds at opinion 1 (seeding sets `d_s = 1` even when
 /// the underlying model is DeGroot — Problem 1 modifies `D_q`).
+///
+/// Like the [`FjEngine`] entry points it wraps, the per-call methods here
+/// are deprecated in docs in favor of [`crate::Solver::solve`] over a
+/// [`crate::DiffusionSystem`] built with zero stubbornness.
 #[derive(Debug, Clone)]
 pub struct DeGrootEngine<'a> {
     graph: &'a SocialGraph,

@@ -97,12 +97,23 @@ impl<'a> FjEngine<'a> {
     }
 
     /// Computes `B_q^(t)[S]`, allocating a fresh buffer.
+    ///
+    /// *Deprecated in favor of [`crate::Solver::solve`]* — build a
+    /// [`crate::DiffusionSystem`] once per candidate and solve through it
+    /// to get scratch reuse, fixed-point early-exit, and warm starts. This
+    /// entry point is kept (bit-identical arithmetic, no early exit) for
+    /// callers holding bare slices and as the independent reference the
+    /// solver's equivalence tests check against.
     pub fn opinions_at(&self, t: usize, seeds: &[Node]) -> Vec<f64> {
         let mut buf = DiffusionBuffer::new(self.graph.num_nodes());
         self.opinions_at_with(t, seeds, &mut buf).to_vec()
     }
 
     /// Computes `B_q^(t)[S]` into `buf`; the returned slice borrows `buf`.
+    ///
+    /// *Deprecated in favor of [`crate::Solver::solve`]* (see
+    /// [`FjEngine::opinions_at`]); [`crate::Solver`] owns its scratch, so
+    /// the separate [`DiffusionBuffer`] becomes unnecessary there.
     pub fn opinions_at_with<'b>(
         &self,
         t: usize,

@@ -61,12 +61,17 @@ pub mod degroot;
 pub mod error;
 pub mod fj;
 pub mod opinion;
+pub mod solver;
 pub mod stubbornness;
 
 pub use campaign::{CandidateData, Instance};
 pub use error::DiffusionError;
 pub use fj::{DiffusionBuffer, FjEngine};
 pub use opinion::OpinionMatrix;
+pub use solver::{
+    set_warm_start_enabled, warm_start_enabled, Baseline, DiffusionSystem, PooledSolver,
+    SolveOptions, SolveReport, Solver, SolverCounters, SolverPool,
+};
 pub use stubbornness::Stubbornness;
 
 /// Crate-wide result type.
