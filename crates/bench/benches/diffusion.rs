@@ -1,5 +1,9 @@
 //! Microbenchmarks for the exact FJ engine (the DM building block).
 
+// The deprecated per-call FjEngine surface is exactly what this bench
+// measures: it is the reference iteration the solver is compared to.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vom_datasets::{twitter_mask_like, ReplicaParams};
 use vom_diffusion::DiffusionBuffer;

@@ -31,12 +31,12 @@
 use crate::error::{BenchError, Result};
 use crate::experiments::sweep_k;
 use crate::{timed, ExpConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
-use vom_core::engine::{Query, SelectionMode};
+use vom_core::engine::{BuildCounters, PreparedIndex, Query, RuleClass, SelectionMode};
 use vom_core::phases::{self, PhaseTimes, SolverCounters};
-use vom_core::{MethodId, Problem};
+use vom_core::{IndexSource, MethodId, Problem};
 use vom_datasets::Dataset;
 use vom_graph::Node;
 use vom_service::{ServiceRequest, VomService};
@@ -137,8 +137,58 @@ fn selections_digest(selections: &Selections) -> String {
     format!("{hash:016x}")
 }
 
+/// The snapshot file one (dataset, method) index of a sweep workload is
+/// saved under: budget and horizon are part of the identity, so a `--k`
+/// override never aliases a default-budget snapshot.
+fn snapshot_path(
+    dir: &Path,
+    ds: &str,
+    method: MethodId,
+    score: &ScoringFunction,
+    k_max: usize,
+    t: usize,
+) -> PathBuf {
+    dir.join(format!(
+        "{ds}--{}-c{}-k{k_max}-t{t}.vpi",
+        method.name().to_lowercase(),
+        RuleClass::of(score) as usize
+    ))
+}
+
+/// Builds (or, under `cfg.load_index`, loads) one prepared method.
+/// An unusable snapshot — missing file, corruption, digest mismatch —
+/// falls back to a fresh build with a warning and clears `all_loaded`:
+/// loads fail closed, the workload does not.
+fn prepare_method(
+    cfg: &ExpConfig,
+    ds: &Dataset,
+    spec: &Problem<'_>,
+    m: MethodId,
+    score: &ScoringFunction,
+    k_max: usize,
+    all_loaded: &mut bool,
+) -> Result<crate::PreparedMethod> {
+    if let Some(dir) = &cfg.load_index {
+        let path = snapshot_path(dir, ds.name, m, score, k_max, cfg.default_t());
+        match PreparedIndex::load(Arc::new(ds.instance.clone()), IndexSource::File(&path)) {
+            Ok(index) => return Ok(crate::PreparedMethod::from_index(m, Arc::new(index))),
+            Err(e) => {
+                eprintln!(
+                    "[bench] index snapshot {} unusable ({e}); rebuilding",
+                    path.display()
+                );
+                *all_loaded = false;
+            }
+        }
+    }
+    crate::PreparedMethod::new(spec, m, cfg.seed)
+}
+
 /// Runs one sweep workload over the shared datasets at the current pool
-/// setting, timing prepare and query phases separately.
+/// setting, timing prepare and query phases separately. With
+/// `cfg.load_index` the prepare phase loads snapshots instead of
+/// simulating; with `cfg.save_index` every index is snapshotted after
+/// its queries.
 fn run_workload(
     cfg: &ExpConfig,
     datasets: &[Dataset],
@@ -151,6 +201,13 @@ fn run_workload(
     let mut query_phases = PhaseTimes::default();
     let mut method_phases: Vec<(String, PhaseTimes)> = Vec::new();
     let mut solver = SolverCounters::default();
+    let counters_before = BuildCounters::snapshot();
+    let mut all_loaded = cfg.load_index.is_some();
+    if let Some(dir) = &cfg.save_index {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            BenchError::InvalidConfig(format!("cannot create {}: {e}", dir.display()))
+        })?;
+    }
     for ds in datasets {
         let n = ds.instance.num_nodes();
         // An explicit --k override is taken verbatim (no clamping): an
@@ -174,7 +231,8 @@ fn run_workload(
             .filter(|m| m.is_ours())
             .collect();
         for m in methods {
-            let (prepared, build) = timed(|| crate::PreparedMethod::new(&spec, m, cfg.seed));
+            let (prepared, build) =
+                timed(|| prepare_method(cfg, ds, &spec, m, score, k_max, &mut all_loaded));
             let mut prepared = prepared?;
             prepare += build;
             let before = phases::snapshot();
@@ -189,6 +247,23 @@ fn run_workload(
             query_phases.add(delta);
             solver.add(phases::solver_counters().since(solver_before));
             merge_method_phases(&mut method_phases, m.name(), delta);
+            if let Some(dir) = &cfg.save_index {
+                let path = snapshot_path(dir, ds.name, m, score, k_max, t);
+                prepared.index().save(&path).map_err(|e| {
+                    BenchError::InvalidConfig(format!("cannot save {}: {e}", path.display()))
+                })?;
+            }
+        }
+    }
+    if all_loaded {
+        // Every index came off disk: the load path must not have
+        // re-simulated any walk arena or sketch set.
+        let built = BuildCounters::snapshot().since(counters_before);
+        if built.rw_arenas != 0 || built.rs_sketches != 0 {
+            return Err(BenchError::InvalidConfig(format!(
+                "--load-index run still built artifacts ({} arenas, {} sketch sets)",
+                built.rw_arenas, built.rs_sketches
+            )));
         }
     }
     Ok(WorkloadPass {
@@ -278,6 +353,60 @@ fn run_query_throughput(cfg: &ExpConfig, ds: &Dataset) -> Result<WorkloadPass> {
     })
 }
 
+/// The build-vs-load comparison of the index persistence path: one
+/// workload prepared from scratch (and snapshotted), then the same
+/// workload served from the snapshots.
+#[derive(Debug, Clone)]
+pub struct IndexIoSample {
+    /// The workload the probe ran (`fig6-quick`).
+    pub experiment: &'static str,
+    /// Wall clock of building every index from the instance.
+    pub index_build_s: f64,
+    /// Wall clock of loading the same indexes from their snapshots.
+    pub index_load_s: f64,
+    /// `index_build_s / index_load_s`.
+    pub speedup: f64,
+    /// Selection digest of the built-index run.
+    pub digest: String,
+    /// Whether the loaded-index run selected bit-identical seeds.
+    pub deterministic: bool,
+}
+
+/// Runs the fig6-quick workload twice at one pool thread — build+save,
+/// then load — and compares wall clocks and selection digests. The
+/// snapshots live in a scratch directory that is removed afterwards
+/// (`--save-index`/`--load-index` are the user-facing way to keep them).
+fn run_index_io_probe(cfg: &ExpConfig, datasets: &[Dataset]) -> Result<IndexIoSample> {
+    let dir = std::env::temp_dir().join(format!("vom-index-io-{}", std::process::id()));
+    let score = ScoringFunction::Plurality;
+    let outcome = (|| -> Result<IndexIoSample> {
+        let save_cfg = ExpConfig {
+            save_index: Some(dir.clone()),
+            load_index: None,
+            ..cfg.clone()
+        };
+        let built = run_workload(&save_cfg, datasets, &score)?;
+        let load_cfg = ExpConfig {
+            save_index: None,
+            load_index: Some(dir.clone()),
+            ..cfg.clone()
+        };
+        let loaded = run_workload(&load_cfg, datasets, &score)?;
+        let index_build_s = built.prepare.as_secs_f64();
+        let index_load_s = loaded.prepare.as_secs_f64();
+        Ok(IndexIoSample {
+            experiment: "fig6-quick",
+            index_build_s,
+            index_load_s,
+            speedup: index_build_s / index_load_s.max(f64::EPSILON),
+            digest: selections_digest(&built.selections),
+            deterministic: built.selections == loaded.selections,
+        })
+    })();
+    std::fs::remove_dir_all(&dir).ok();
+    outcome
+}
+
 /// Interleaves [`PASSES`] passes of one workload at 1 and `threads_hi`
 /// pool threads, checks every pass against the 1-thread reference
 /// selections, and records the fastest pass per width.
@@ -355,6 +484,7 @@ pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
     ];
 
     let mut samples: Vec<BenchSample> = Vec::new();
+    let mut index_io: Option<IndexIoSample> = None;
     let outcome = (|| -> Result<()> {
         for (experiment, score) in &workloads {
             collect_workload(experiment, threads_hi, &mut samples, || {
@@ -368,6 +498,11 @@ pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
         collect_workload("query-throughput", threads_hi, &mut samples, || {
             run_query_throughput(&quick, qt_dataset)
         })?;
+        // The persistence probe: build vs load wall clock, at one
+        // thread so the parallel build speedup doesn't flatter the
+        // load-path ratio.
+        rayon::set_thread_override(Some(1));
+        index_io = Some(run_index_io_probe(&quick, &datasets)?);
         Ok(())
     })();
     rayon::set_thread_override(entry_override);
@@ -380,9 +515,21 @@ pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
             bad.experiment, bad.threads
         )));
     }
+    let index_io = index_io.expect("probe ran");
+    if !index_io.deterministic {
+        return Err(BenchError::InvalidConfig(
+            "snapshot-loaded indexes diverged from freshly built ones \
+             (persistence round-trip contract violated)"
+                .into(),
+        ));
+    }
+    println!(
+        "[bench index-io: build {:.3}s, load {:.3}s ({:.1}x)]",
+        index_io.index_build_s, index_io.index_load_s, index_io.speedup
+    );
 
     let path = PathBuf::from("BENCH_parallel.json");
-    std::fs::write(&path, render_json(&quick, &samples))
+    std::fs::write(&path, render_json(&quick, &samples, &index_io))
         .map_err(|e| BenchError::InvalidConfig(format!("cannot write {}: {e}", path.display())))?;
     Ok(path)
 }
@@ -392,13 +539,22 @@ pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
 /// test uses to assert cold-only and warm-start runs pick byte-identical
 /// seeds at any thread count, without writing a JSON file.
 pub fn sweep_k_selection_digest(cfg: &ExpConfig) -> Result<String> {
+    sweep_k_pass(cfg).map(|(digest, _)| digest)
+}
+
+/// One `sweep-k` pass (honoring `cfg.save_index`/`cfg.load_index`),
+/// returning the selection digest and the query-phase solver counters.
+/// Because the pass accounts all process-global counters as deltas, two
+/// passes in one process must return bitwise-equal counters — the
+/// counter-hygiene contract the persistence integration test pins.
+pub fn sweep_k_pass(cfg: &ExpConfig) -> Result<(String, SolverCounters)> {
     let quick = ExpConfig {
         quick: true,
         ..cfg.clone()
     };
     let datasets = sweep_k::datasets(&quick);
     let pass = run_workload(&quick, &datasets, &ScoringFunction::Cumulative)?;
-    Ok(selections_digest(&pass.selections))
+    Ok((selections_digest(&pass.selections), pass.solver))
 }
 
 /// Renders one phase breakdown as JSON object fields. `diffusion_s`
@@ -426,9 +582,18 @@ fn solver_fields(c: SolverCounters) -> String {
     )
 }
 
+/// Renders the build-vs-load probe as a JSON object.
+fn index_io_fields(io: &IndexIoSample) -> String {
+    format!(
+        "{{ \"experiment\": \"{}\", \"index_build_s\": {:.6}, \"index_load_s\": {:.6}, \
+         \"speedup\": {:.2}, \"digest\": \"{}\", \"deterministic\": {} }}",
+        io.experiment, io.index_build_s, io.index_load_s, io.speedup, io.digest, io.deterministic
+    )
+}
+
 /// Hand-rolled JSON (the workspace builds offline without serde; same
 /// policy as [`crate::Table::to_json_pretty`]).
-fn render_json(cfg: &ExpConfig, samples: &[BenchSample]) -> String {
+fn render_json(cfg: &ExpConfig, samples: &[BenchSample], index_io: &IndexIoSample) -> String {
     let runs = samples
         .iter()
         .map(|s| {
@@ -463,8 +628,11 @@ fn render_json(cfg: &ExpConfig, samples: &[BenchSample]) -> String {
     format!(
         "{{\n  \"id\": \"bench_parallel\",\n  \"title\": \"engine wall clock at 1 vs N pool \
          threads (prepare/query phases, fastest of {PASSES} passes)\",\n  \"scale\": {},\n  \
-         \"seed\": {},\n  \"passes\": {PASSES},\n  \"runs\": [\n{runs}\n  ]\n}}\n",
-        cfg.scale, cfg.seed
+         \"seed\": {},\n  \"passes\": {PASSES},\n  \"index_io\": {},\n  \
+         \"runs\": [\n{runs}\n  ]\n}}\n",
+        cfg.scale,
+        cfg.seed,
+        index_io_fields(index_io)
     )
 }
 
@@ -513,7 +681,15 @@ mod tests {
                 solver,
             },
         ];
-        let json = render_json(&cfg, &samples);
+        let io = IndexIoSample {
+            experiment: "fig6-quick",
+            index_build_s: 1.0,
+            index_load_s: 0.1,
+            speedup: 10.0,
+            digest: "00c0ffee00c0ffee".into(),
+            deterministic: true,
+        };
+        let json = render_json(&cfg, &samples, &io);
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"total_s\": 2.000000"));
@@ -525,6 +701,11 @@ mod tests {
         assert!(json.contains("\"diffusion_cold_s\": 0.100000"));
         assert!(json.contains("\"diffusion_warm_s\": 0.300000"));
         assert!(json.contains("\"scoring_s\": 0.250000"));
+        // The persistence probe is a top-level object.
+        assert!(json.contains("\"index_io\": { \"experiment\": \"fig6-quick\""));
+        assert!(json.contains("\"index_build_s\": 1.000000"));
+        assert!(json.contains("\"index_load_s\": 0.100000"));
+        assert!(json.contains("\"speedup\": 10.00"));
         // Solver work counters ride along per sample.
         assert!(json.contains("\"solver\": { \"cold_solves\": 7, \"warm_solves\": 1234"));
         assert!(json.contains("\"warm_frontier_nodes\": 9876"));

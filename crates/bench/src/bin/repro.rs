@@ -5,6 +5,7 @@
 //! ```text
 //! repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N] [--threads N]
 //! repro --bench-json [--scale F] [--seed N] [--k N] [--threads N]
+//!       [--save-index DIR] [--load-index DIR]
 //! ```
 //!
 //! Experiments: table1 table2 table3 table6 fig2 case-study fig6 fig7
@@ -14,6 +15,13 @@
 //! batched query-throughput workload at 1 and N pool threads and writes
 //! `BENCH_parallel.json` (the perf trajectory); it can run alone or
 //! alongside experiment ids.
+//!
+//! `--save-index DIR` snapshots every index the `--bench-json` sweep
+//! workloads prepare into `DIR` (versioned `.vpi` files); `--load-index
+//! DIR` makes a later invocation load them instead of re-simulating
+//! walks and sketches — a warm service restart. Unusable snapshots fall
+//! back to a fresh build with a warning; results are bit-identical
+//! either way.
 //!
 //! `--threads N` pins the worker pool width for the whole run. The pool
 //! width resolves in this order: `--threads` flag, then the
@@ -26,7 +34,7 @@ use vom_bench::ExpConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N] [--threads N]\n\
-         \x20      repro --bench-json [--scale F] [--seed N] [--k N] [--threads N]\n\
+         \x20      repro --bench-json [--scale F] [--seed N] [--k N] [--threads N] [--save-index DIR] [--load-index DIR]\n\
          experiments: {}",
         ALL_IDS.join(" ")
     );
@@ -70,6 +78,14 @@ fn main() {
             "--out" => {
                 i += 1;
                 cfg.out_dir = args.get(i).map(Into::into).unwrap_or_else(|| usage());
+            }
+            "--save-index" => {
+                i += 1;
+                cfg.save_index = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--load-index" => {
+                i += 1;
+                cfg.load_index = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
             }
             "--threads" => {
                 i += 1;

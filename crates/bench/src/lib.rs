@@ -39,6 +39,15 @@ pub struct ExpConfig {
     /// their instance size; the `--bench-json` harness takes it
     /// verbatim so unsatisfiable budgets exercise the error path.
     pub k_override: Option<usize>,
+    /// Directory the `--bench-json` workloads snapshot their prepared
+    /// indexes into after querying (`repro --save-index DIR`).
+    pub save_index: Option<std::path::PathBuf>,
+    /// Directory the `--bench-json` workloads load prepared-index
+    /// snapshots from instead of building (`repro --load-index DIR`).
+    /// A missing or unusable snapshot falls back to a fresh build with
+    /// a warning; when every index loads, the harness asserts no walk or
+    /// sketch artifact was re-simulated (`BuildCounters` delta zero).
+    pub load_index: Option<std::path::PathBuf>,
 }
 
 impl Default for ExpConfig {
@@ -49,6 +58,8 @@ impl Default for ExpConfig {
             quick: false,
             out_dir: std::path::PathBuf::from("results"),
             k_override: None,
+            save_index: None,
+            load_index: None,
         }
     }
 }

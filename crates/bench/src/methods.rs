@@ -95,6 +95,18 @@ impl PreparedMethod {
         })
     }
 
+    /// Wraps an already-available index — e.g. one loaded from a
+    /// `vom-persist` snapshot — in the prepared-method harness shape.
+    /// Loaded and freshly built indexes are interchangeable here.
+    pub fn from_index(method: AnyMethod, index: Arc<PreparedIndex>) -> PreparedMethod {
+        let session = PreparedIndex::session(&index);
+        PreparedMethod {
+            method,
+            index,
+            session,
+        }
+    }
+
     /// The method's registry id.
     pub fn method(&self) -> AnyMethod {
         self.method

@@ -365,6 +365,14 @@ pub trait IndexBackend: Send + Sync {
     fn needs_exact_competitors(&self) -> bool {
         true
     }
+
+    /// Snapshot hook: the concrete backend, for downcasting by the
+    /// [`crate::persist`] module. Backends without snapshot support
+    /// (the §VIII baselines) keep the default `None`, and saving an
+    /// index over them reports a typed unsupported-method error.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Reusable per-session buffers the query paths fill on every select:
@@ -486,6 +494,75 @@ impl PreparedIndex {
             let _ = index.others.set(m);
         }
         index
+    }
+
+    /// Reassembles an index from snapshot-loaded parts (the
+    /// [`crate::persist`] load path). The exact-matrix caches and the
+    /// sandwich upper-bound orders are pre-seeded with whatever the
+    /// snapshot carried; anything absent is lazily rebuilt on first use
+    /// exactly as on a freshly prepared index. `build_time` is the load
+    /// wall time, so [`BuildStats::build_time`] uniformly means "time to
+    /// readiness" for built and loaded indexes alike.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_loaded(
+        spec: ProblemSpec,
+        id: MethodId,
+        backend: Box<dyn IndexBackend>,
+        build_time: Duration,
+        others: Option<OpinionMatrix>,
+        ranks: Option<RankIndex>,
+        seedless: Option<OpinionMatrix>,
+        upper: Vec<(usize, Vec<Node>)>,
+    ) -> PreparedIndex {
+        let index = PreparedIndex::new(spec, id, backend, build_time);
+        if let Some(m) = others {
+            let _ = index.others.set(m);
+        }
+        if let Some(r) = ranks {
+            let _ = index.ranks.set(r);
+        }
+        if let Some(m) = seedless {
+            let _ = index.seedless.set(m);
+        }
+        {
+            let mut orders = index.upper_orders.lock().expect("upper-order cache lock");
+            for (key, order) in upper {
+                let cell: UpperOrderCell = Arc::new(OnceLock::new());
+                let _ = cell.set(Arc::new(order));
+                orders.push((key, cell));
+            }
+        }
+        index
+    }
+
+    /// The backend, for snapshot downcasting.
+    pub(crate) fn backend(&self) -> &dyn IndexBackend {
+        self.backend.as_ref()
+    }
+
+    /// The cached exact competitor-opinion matrix, if computed.
+    pub(crate) fn cached_others(&self) -> Option<&OpinionMatrix> {
+        self.others.get()
+    }
+
+    /// The cached competitor rank index, if built.
+    pub(crate) fn cached_ranks(&self) -> Option<&RankIndex> {
+        self.ranks.get()
+    }
+
+    /// The cached exact seedless opinions, if computed.
+    pub(crate) fn cached_seedless(&self) -> Option<&OpinionMatrix> {
+        self.seedless.get()
+    }
+
+    /// The materialized sandwich upper-bound orders (key, order) pairs.
+    pub(crate) fn cached_upper_orders(&self) -> Vec<(usize, Vec<Node>)> {
+        self.upper_orders
+            .lock()
+            .expect("upper-order cache lock")
+            .iter()
+            .filter_map(|(k, cell)| cell.get().map(|o| (*k, o.as_ref().clone())))
+            .collect()
     }
 
     /// Opens a query session on a shared index.
@@ -965,10 +1042,10 @@ pub(crate) fn count_rs_sketch_build() {
 /// data rather than estimator heap), and the memoized cumulative CELF
 /// order: CELF is prefix-consistent in `k`, so the greedy runs **once**
 /// at the prepared budget and every cumulative query takes a prefix.
-struct DmIndex {
-    system: Arc<DiffusionSystem>,
-    budget: usize,
-    cum_order: OnceLock<Arc<Vec<Node>>>,
+pub(crate) struct DmIndex {
+    pub(crate) system: Arc<DiffusionSystem>,
+    pub(crate) budget: usize,
+    pub(crate) cum_order: OnceLock<Arc<Vec<Node>>>,
 }
 
 impl DmIndex {
@@ -1036,6 +1113,10 @@ impl IndexBackend for DmIndex {
     fn supports_sandwich(&self) -> bool {
         true
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1047,14 +1128,14 @@ impl IndexBackend for DmIndex {
 /// builds go through `OnceLock`, so concurrent sessions racing to add a
 /// class still build it exactly once (losers block until the winner's
 /// arena is ready).
-struct RwIndex {
-    cfg: RwConfig,
+pub(crate) struct RwIndex {
+    pub(crate) cfg: RwConfig,
     /// The prepared budget: the γ* pilot depth derives from it (pin
     /// `RwConfig::gamma_pilot` to decouple artifacts from the budget).
-    budget: usize,
-    gammas: OnceLock<Vec<f64>>,
-    arenas: [OnceLock<WalkArena>; 3],
-    builds: AtomicUsize,
+    pub(crate) budget: usize,
+    pub(crate) gammas: OnceLock<Vec<f64>>,
+    pub(crate) arenas: [OnceLock<WalkArena>; 3],
+    pub(crate) builds: AtomicUsize,
 }
 
 impl RwIndex {
@@ -1152,6 +1233,10 @@ impl IndexBackend for RwIndex {
     fn supports_sandwich(&self) -> bool {
         true
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1164,14 +1249,14 @@ impl IndexBackend for RwIndex {
 /// list sits behind a `Mutex` so a lazily added θ is built exactly once
 /// even under concurrent sessions (the build runs under the lock — rare,
 /// and racing sessions need the same sketch anyway).
-struct RsIndex {
-    cfg: RsConfig,
-    budget: usize,
+pub(crate) struct RsIndex {
+    pub(crate) cfg: RsConfig,
+    pub(crate) budget: usize,
     /// θ per rule class, memoized (the Theorem 13 bound for cumulative
     /// runs a sampling-based OPT lower bound; worth caching by itself).
-    thetas: [OnceLock<usize>; 3],
-    sketches: Mutex<Vec<(usize, Arc<SketchSet>)>>,
-    builds: AtomicUsize,
+    pub(crate) thetas: [OnceLock<usize>; 3],
+    pub(crate) sketches: Mutex<Vec<(usize, Arc<SketchSet>)>>,
+    pub(crate) builds: AtomicUsize,
 }
 
 impl RsIndex {
@@ -1263,6 +1348,10 @@ impl IndexBackend for RsIndex {
 
     fn supports_sandwich(&self) -> bool {
         true
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

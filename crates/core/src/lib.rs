@@ -47,6 +47,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod greedy;
+pub mod persist;
 pub mod phases;
 pub mod problem;
 pub mod registry;
@@ -63,6 +64,7 @@ pub use engine::{
     RuleClass, SeedSelector, SelectionMode, SelectionResult, SessionScratch,
 };
 pub use error::CoreError;
+pub use persist::{graph_digest, spec_digest, IndexSource};
 pub use problem::{Problem, ProblemSpec};
 pub use registry::{MethodDescriptor, MethodId, METHOD_REGISTRY};
 pub use selector::{select_seeds, select_seeds_plain, Method};

@@ -46,6 +46,10 @@ impl ConvergenceReport {
 /// [`SolveOptions::with_tolerance`] — one `O(t · m)` pass instead of the
 /// historical `O(t² · m)` re-evaluation per horizon. New code should build
 /// a [`DiffusionSystem`] once and call the solver directly.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a DiffusionSystem and use Solver::solve with SolveOptions::with_tolerance"
+)]
 pub fn run_until_convergence(
     engine: &FjEngine<'_>,
     seeds: &[Node],
@@ -119,6 +123,8 @@ pub fn oblivious_nodes(engine: &FjEngine<'_>) -> Vec<Node> {
 }
 
 #[cfg(test)]
+// Pins the deprecated compatibility wrapper against the solver.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use vom_graph::builder::graph_from_edges;

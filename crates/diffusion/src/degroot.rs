@@ -36,11 +36,21 @@ impl<'a> DeGrootEngine<'a> {
     }
 
     /// Computes `B^(t)[S]`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a zero-stubbornness DiffusionSystem and use Solver::solve"
+    )]
     pub fn opinions_at(&self, t: usize, seeds: &[Node]) -> Vec<f64> {
+        #[allow(deprecated)]
         self.as_fj().opinions_at(t, seeds)
     }
 
     /// Computes `B^(t)[S]` into caller scratch space.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a zero-stubbornness DiffusionSystem and use Solver::solve"
+    )]
+    #[allow(deprecated)]
     pub fn opinions_at_with<'b>(
         &self,
         t: usize,
@@ -56,6 +66,8 @@ impl<'a> DeGrootEngine<'a> {
 }
 
 #[cfg(test)]
+// The suite pins the deprecated per-call surface against itself.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use vom_graph::builder::graph_from_edges;

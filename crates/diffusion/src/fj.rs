@@ -98,22 +98,31 @@ impl<'a> FjEngine<'a> {
 
     /// Computes `B_q^(t)[S]`, allocating a fresh buffer.
     ///
-    /// *Deprecated in favor of [`crate::Solver::solve`]* — build a
+    /// Deprecated in favor of [`crate::Solver::solve`] — build a
     /// [`crate::DiffusionSystem`] once per candidate and solve through it
     /// to get scratch reuse, fixed-point early-exit, and warm starts. This
     /// entry point is kept (bit-identical arithmetic, no early exit) for
     /// callers holding bare slices and as the independent reference the
     /// solver's equivalence tests check against.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a DiffusionSystem and use Solver::solve"
+    )]
     pub fn opinions_at(&self, t: usize, seeds: &[Node]) -> Vec<f64> {
         let mut buf = DiffusionBuffer::new(self.graph.num_nodes());
+        #[allow(deprecated)]
         self.opinions_at_with(t, seeds, &mut buf).to_vec()
     }
 
     /// Computes `B_q^(t)[S]` into `buf`; the returned slice borrows `buf`.
     ///
-    /// *Deprecated in favor of [`crate::Solver::solve`]* (see
+    /// Deprecated in favor of [`crate::Solver::solve`] (see
     /// [`FjEngine::opinions_at`]); [`crate::Solver`] owns its scratch, so
     /// the separate [`DiffusionBuffer`] becomes unnecessary there.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a DiffusionSystem and use Solver::solve"
+    )]
     pub fn opinions_at_with<'b>(
         &self,
         t: usize,
@@ -177,6 +186,9 @@ impl<'a> FjEngine<'a> {
 }
 
 #[cfg(test)]
+// The suite pins the deprecated per-call surface (the solver's
+// equivalence reference), so it exercises it on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use vom_graph::builder::graph_from_edges;

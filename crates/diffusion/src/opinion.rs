@@ -24,6 +24,27 @@ impl OpinionMatrix {
         }
     }
 
+    /// Reassembles a matrix from its persisted row-major data (snapshot
+    /// load). Only the shape is validated — the values are whatever the
+    /// diffusion produced, which a `[0, 1]` check must not second-guess
+    /// bit-for-bit.
+    pub fn from_flat(r: usize, n: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != r * n {
+            return Err(DiffusionError::LengthMismatch {
+                what: "opinion matrix data",
+                got: data.len(),
+                expected: r * n,
+            });
+        }
+        Ok(OpinionMatrix { r, n, data })
+    }
+
+    /// The row-major backing data (`r·n` values) — what a snapshot writer
+    /// serializes verbatim.
+    pub fn flat_data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Builds from per-candidate rows, validating lengths and the `[0, 1]`
     /// range.
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {

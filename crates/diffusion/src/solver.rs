@@ -47,6 +47,7 @@ use crate::Result;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use vom_graph::{Node, SocialGraph};
+use vom_persist::FlatBuf;
 
 #[cfg(doc)]
 use crate::fj::FjEngine;
@@ -164,17 +165,22 @@ impl SolverCounters {
 /// per-node `b⁰`/`d` vectors. Built once per candidate (see
 /// [`crate::CandidateData::system`]) and shared by `Arc`; immutable and
 /// `Send + Sync`.
+/// The flat arrays live in [`FlatBuf`]s so a snapshot load (`vom-persist`)
+/// can borrow them zero-copy from the mapped file region; `has_in` stays a
+/// `Vec<bool>` (persisted as bytes — casting raw bytes to `bool` is UB)
+/// and the folded constants are always recomputed, bitwise identically,
+/// from `b0`/`d`.
 #[derive(Debug)]
 pub struct DiffusionSystem {
     n: usize,
-    in_offsets: Vec<usize>,
-    in_sources: Vec<Node>,
-    in_weights: Vec<f64>,
-    out_offsets: Vec<usize>,
-    out_targets: Vec<Node>,
+    in_offsets: FlatBuf<usize>,
+    in_sources: FlatBuf<Node>,
+    in_weights: FlatBuf<f64>,
+    out_offsets: FlatBuf<usize>,
+    out_targets: FlatBuf<Node>,
     has_in: Vec<bool>,
-    b0: Vec<f64>,
-    d: Vec<f64>,
+    b0: FlatBuf<f64>,
+    d: FlatBuf<f64>,
     // Per-node constants of the update rule, folded once at build time
     // (bitwise the same values the per-step expressions would produce):
     // `omd[v] = 1.0 - d[v]`, `db0[v] = d[v] * b0[v]`.
@@ -226,17 +232,93 @@ impl DiffusionSystem {
         let db0: Vec<f64> = d.iter().zip(b0).map(|(&dv, &bv)| dv * bv).collect();
         Ok(DiffusionSystem {
             n,
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+            in_weights: in_weights.into(),
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            has_in,
+            b0: b0.to_vec().into(),
+            d: d.to_vec().into(),
+            omd,
+            db0,
+        })
+    }
+
+    /// Reassembles a system from its persisted arrays (snapshot load).
+    /// The CSR shapes and every node id are validated up front so a
+    /// corrupt-but-digest-valid snapshot fails closed here; the folded
+    /// per-node constants are recomputed from `b0`/`d` with the same
+    /// expressions [`DiffusionSystem::new`] folds, which is bitwise
+    /// identical to having persisted them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        n: usize,
+        in_offsets: FlatBuf<usize>,
+        in_sources: FlatBuf<Node>,
+        in_weights: FlatBuf<f64>,
+        out_offsets: FlatBuf<usize>,
+        out_targets: FlatBuf<Node>,
+        has_in: Vec<bool>,
+        b0: FlatBuf<f64>,
+        d: FlatBuf<f64>,
+    ) -> std::result::Result<Self, &'static str> {
+        let csr_ok = |off: &[usize], len: usize| {
+            off.len() == n + 1
+                && off.first() == Some(&0)
+                && *off.last().unwrap() == len
+                && off.windows(2).all(|w| w[0] <= w[1])
+        };
+        if !csr_ok(&in_offsets, in_sources.len()) || !csr_ok(&out_offsets, out_targets.len()) {
+            return Err("adjacency offsets must span their arrays");
+        }
+        if in_weights.len() != in_sources.len() {
+            return Err("in-weights must parallel in-sources");
+        }
+        if in_sources
+            .iter()
+            .chain(out_targets.iter())
+            .any(|&v| (v as usize) >= n)
+        {
+            return Err("adjacency node id out of range");
+        }
+        if b0.len() != n || d.len() != n || has_in.len() != n {
+            return Err("per-node arrays must have length n");
+        }
+        if (0..n).any(|v| has_in[v] != (in_offsets[v] < in_offsets[v + 1])) {
+            return Err("has_in must mirror in-edge emptiness");
+        }
+        let omd: Vec<f64> = d.iter().map(|&dv| 1.0 - dv).collect();
+        let db0: Vec<f64> = d.iter().zip(b0.iter()).map(|(&dv, &bv)| dv * bv).collect();
+        Ok(DiffusionSystem {
+            n,
             in_offsets,
             in_sources,
             in_weights,
             out_offsets,
             out_targets,
             has_in,
-            b0: b0.to_vec(),
-            d: d.to_vec(),
+            b0,
+            d,
             omd,
             db0,
         })
+    }
+
+    /// The persisted arrays `(in_offsets, in_sources, in_weights,
+    /// out_offsets, out_targets, has_in)` — the exact buffers a snapshot
+    /// writer serializes verbatim (plus [`DiffusionSystem::initial`] and
+    /// [`DiffusionSystem::stubbornness`]).
+    #[allow(clippy::type_complexity)]
+    pub fn parts(&self) -> (&[usize], &[Node], &[f64], &[usize], &[Node], &[bool]) {
+        (
+            &self.in_offsets,
+            &self.in_sources,
+            &self.in_weights,
+            &self.out_offsets,
+            &self.out_targets,
+            &self.has_in,
+        )
     }
 
     /// Number of nodes `n`.
@@ -991,6 +1073,9 @@ impl Drop for PooledSolver<'_> {
 }
 
 #[cfg(test)]
+// The deprecated FjEngine entry points are the independent reference
+// these equivalence tests check the solver against.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::fj::FjEngine;

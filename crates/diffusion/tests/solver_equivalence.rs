@@ -5,6 +5,10 @@
 //! DM greedy take the warm path while keeping selection digests
 //! byte-identical.
 
+// The deprecated FjEngine iteration is the independent reference this
+// suite checks the solver against.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use std::sync::Arc;
 use vom_diffusion::{DiffusionSystem, FjEngine, SolveOptions, Solver};

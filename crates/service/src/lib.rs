@@ -71,12 +71,16 @@
 use rayon::IntoParallelIterator;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
 use vom_baselines::AnyEngine;
 use vom_core::engine::{PreparedIndex, Query, RuleClass, SeedSelector, SelectionResult};
+use vom_core::persist::{graph_digest, IndexSource};
 use vom_core::{CoreError, MethodId, ProblemSpec};
 use vom_diffusion::Instance;
 use vom_graph::Candidate;
+use vom_persist::PersistError;
 
 /// Builds the engine (with its configuration) the service uses for a
 /// registry method. The default is [`AnyEngine::with_defaults`]; a bench
@@ -130,6 +134,10 @@ pub enum ServiceError {
     /// The query itself was invalid or the selection failed (propagated
     /// from `vom-core`, e.g. `k = 0`, out-of-range target, `k > n`).
     Selection(CoreError),
+    /// Saving or loading an index snapshot failed (typed; see
+    /// [`vom_persist::PersistError`]). Loads fail closed — a bad
+    /// snapshot never becomes a served index.
+    Persist(PersistError),
 }
 
 impl fmt::Display for ServiceError {
@@ -142,6 +150,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "a graph is already registered under {name:?}")
             }
             ServiceError::Selection(e) => write!(f, "selection failed: {e}"),
+            ServiceError::Persist(e) => write!(f, "index snapshot failed: {e}"),
         }
     }
 }
@@ -150,6 +159,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Selection(e) => Some(e),
+            ServiceError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -161,8 +171,39 @@ impl From<CoreError> for ServiceError {
     }
 }
 
+impl From<PersistError> for ServiceError {
+    fn from(e: PersistError) -> Self {
+        ServiceError::Persist(e)
+    }
+}
+
 /// Per-request outcome of a batch.
 pub type ServiceResult = Result<SelectionResult, ServiceError>;
+
+/// One row of [`VomService::index_stats`]: the memo key of a cached
+/// index plus its build-side diagnostics.
+#[derive(Debug, Clone)]
+pub struct IndexStats {
+    /// The registered graph name.
+    pub graph: String,
+    /// The prepared method.
+    pub method: MethodId,
+    /// The prepared target candidate.
+    pub target: Candidate,
+    /// The prepared horizon.
+    pub horizon: usize,
+    /// The rule class the index was keyed under.
+    pub class: RuleClass,
+    /// The prepared (bucketed) budget.
+    pub budget: usize,
+    /// Heap bytes currently held by the estimator artifacts.
+    pub heap_bytes: usize,
+    /// Estimator artifacts present (eager + lazy builds, or loaded).
+    pub artifact_builds: usize,
+    /// Time to readiness: the prepare wall time for built indexes, the
+    /// load wall time for snapshot-loaded ones.
+    pub build_time: Duration,
+}
 
 /// Everything a prepared index depends on — the memoization key. The
 /// budget bucket (`k` rounded up to a power of two, capped at `n`)
@@ -293,6 +334,175 @@ impl VomService {
         self.indexes.lock().expect("index lock").cells.len()
     }
 
+    /// The memo cell for `key`, creating (and FIFO-evicting, if over
+    /// capacity) under the short-held map lock.
+    fn cell_for(&self, key: &IndexKey) -> IndexCell {
+        let mut cache = self.indexes.lock().expect("index lock");
+        match cache.cells.get(key) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                if let Some(cap) = cache.capacity {
+                    while cache.cells.len() >= cap {
+                        match cache.order.pop_front() {
+                            Some(oldest) => {
+                                cache.cells.remove(&oldest);
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                let cell: IndexCell = Arc::new(OnceLock::new());
+                cache.cells.insert(key.clone(), Arc::clone(&cell));
+                cache.order.push_back(key.clone());
+                cell
+            }
+        }
+    }
+
+    /// Build-side diagnostics of every successfully built (or loaded)
+    /// memoized index: the memo key, current artifact heap bytes, and
+    /// build counters — the serving-side view of Figure 17(b).
+    pub fn index_stats(&self) -> Vec<IndexStats> {
+        let cells: Vec<(IndexKey, IndexCell)> = {
+            let cache = self.indexes.lock().expect("index lock");
+            cache
+                .cells
+                .iter()
+                .map(|(k, c)| (k.clone(), Arc::clone(c)))
+                .collect()
+        };
+        let mut stats: Vec<IndexStats> = cells
+            .into_iter()
+            .filter_map(|(key, cell)| {
+                let index = cell.get()?.as_ref().ok()?.clone();
+                let b = index.build_stats();
+                Some(IndexStats {
+                    graph: key.graph,
+                    method: key.method,
+                    target: key.target,
+                    horizon: key.horizon,
+                    class: key.class,
+                    budget: key.budget,
+                    heap_bytes: b.heap_bytes,
+                    artifact_builds: b.artifact_builds,
+                    build_time: b.build_time,
+                })
+            })
+            .collect();
+        stats.sort_by(|a, b| {
+            (&a.graph, a.method as usize, a.target, a.horizon, a.budget).cmp(&(
+                &b.graph,
+                b.method as usize,
+                b.target,
+                b.horizon,
+                b.budget,
+            ))
+        });
+        stats
+    }
+
+    /// The canonical snapshot filename for an index under `graph`.
+    fn snapshot_name(key: &IndexKey) -> String {
+        format!(
+            "{}--{}-c{}-t{}-h{}-b{}.vpi",
+            key.graph,
+            key.method.name().to_lowercase(),
+            key.class as usize,
+            key.target,
+            key.horizon,
+            key.budget
+        )
+    }
+
+    /// Resolves (building if absent) the index a request needs and
+    /// writes it as a snapshot file into `dir`, returning the path.
+    /// Pair with [`VomService::warm_from_dir`] on the next process start.
+    pub fn save_index(&self, req: &ServiceRequest, dir: &Path) -> Result<PathBuf, ServiceError> {
+        let index = self.index_for(req)?;
+        let instance = self
+            .instance(&req.graph)
+            .ok_or_else(|| ServiceError::UnknownGraph {
+                name: req.graph.clone(),
+            })?;
+        let key = IndexKey {
+            graph: req.graph.clone(),
+            method: req.method,
+            target: req.query.target,
+            horizon: req.horizon,
+            class: RuleClass::of(&req.query.rule),
+            budget: prepared_budget(req.query.k, instance.num_nodes()),
+        };
+        let path = dir.join(Self::snapshot_name(&key));
+        index.save(&path)?;
+        Ok(path)
+    }
+
+    /// Loads one index snapshot against the named registered graph and
+    /// memoizes it. The snapshot's graph digest must match the
+    /// registered instance — loading fails closed otherwise. If the key
+    /// is already cached (e.g. a racing build won), the existing index
+    /// is kept; both are bit-identical by the determinism contract.
+    pub fn load_index(&self, graph: &str, path: &Path) -> Result<(), ServiceError> {
+        let instance = self
+            .instance(graph)
+            .ok_or_else(|| ServiceError::UnknownGraph {
+                name: graph.to_string(),
+            })?;
+        let index = Arc::new(PreparedIndex::load(instance, IndexSource::Mapped(path))?);
+        let key = IndexKey {
+            graph: graph.to_string(),
+            method: index.method_id(),
+            target: index.target(),
+            horizon: index.horizon(),
+            class: RuleClass::of(index.rule()),
+            budget: index.budget(),
+        };
+        let cell = self.cell_for(&key);
+        let _ = cell.set(Ok(index));
+        Ok(())
+    }
+
+    /// Warm restart: scans `dir` for `.vpi` snapshots, matches each to a
+    /// registered graph **by graph digest** (no filename convention
+    /// required), and memoizes every match. Snapshots that fail to load
+    /// — corruption, version drift, no matching graph — are skipped, not
+    /// fatal: the corresponding indexes are simply rebuilt on first use.
+    /// Returns the number of indexes loaded.
+    pub fn warm_from_dir(&self, dir: &Path) -> Result<usize, ServiceError> {
+        let digests: Vec<(String, u64)> = {
+            let graphs = self.graphs.read().expect("graphs lock");
+            graphs
+                .iter()
+                .map(|(name, inst)| (name.clone(), graph_digest(inst)))
+                .collect()
+        };
+        let entries = std::fs::read_dir(dir).map_err(|e| {
+            ServiceError::Persist(PersistError::Io {
+                op: "read_dir",
+                message: e.to_string(),
+            })
+        })?;
+        let mut loaded = 0;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "vpi"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(snap) = vom_persist::Snapshot::open(&path, vom_persist::LoadMode::Copy) else {
+                continue;
+            };
+            let Some((graph, _)) = digests.iter().find(|(_, d)| *d == snap.graph_digest()) else {
+                continue;
+            };
+            if self.load_index(graph, &path).is_ok() {
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
     /// The memoized (building if absent) index for a request, after
     /// cheap upfront validation — so garbage queries fail readably
     /// *before* any expensive artifact build.
@@ -330,28 +540,7 @@ impl VomService {
         // Grab (or create) the key's memo cell under the map lock —
         // cheap — then build outside it, inside the cell: same-key
         // racers wait for the one build, everyone else proceeds.
-        let cell: IndexCell = {
-            let mut cache = self.indexes.lock().expect("index lock");
-            match cache.cells.get(&key) {
-                Some(cell) => Arc::clone(cell),
-                None => {
-                    if let Some(cap) = cache.capacity {
-                        while cache.cells.len() >= cap {
-                            match cache.order.pop_front() {
-                                Some(oldest) => {
-                                    cache.cells.remove(&oldest);
-                                }
-                                None => break,
-                            }
-                        }
-                    }
-                    let cell: IndexCell = Arc::new(OnceLock::new());
-                    cache.cells.insert(key.clone(), Arc::clone(&cell));
-                    cache.order.push_back(key.clone());
-                    cell
-                }
-            }
-        };
+        let cell = self.cell_for(&key);
         cell.get_or_init(|| {
             let engine = (self.engine_factory)(req.method);
             let spec = ProblemSpec::new(
@@ -599,6 +788,130 @@ mod tests {
         // clear_indexes releases everything.
         service.clear_indexes();
         assert_eq!(service.index_count(), 0);
+    }
+
+    #[test]
+    fn save_then_warm_restart_reproduces_results_without_rebuilding() {
+        let dir = std::env::temp_dir().join(format!(
+            "vom-service-warm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let reqs = vec![
+            ServiceRequest::new(
+                "toy",
+                MethodId::Rs,
+                1,
+                Query::new(2, ScoringFunction::Cumulative, 0),
+            ),
+            ServiceRequest::new(
+                "toy",
+                MethodId::Dm,
+                1,
+                Query::new(1, ScoringFunction::Plurality, 1),
+            ),
+        ];
+
+        // First process: build, serve, snapshot to disk.
+        let first = service();
+        let fresh = first.run_batch(&reqs);
+        for req in &reqs {
+            let path = first.save_index(req, &dir).unwrap();
+            assert!(path.exists());
+        }
+
+        // Toss in one corrupt snapshot: warm restarts must skip it.
+        std::fs::write(dir.join("junk.vpi"), b"not a snapshot").unwrap();
+
+        // Second process: warm from the directory, then serve without
+        // building anything.
+        let second = service();
+        assert_eq!(second.warm_from_dir(&dir).unwrap(), 2);
+        assert_eq!(second.index_count(), 2);
+        let stats = second.index_stats();
+        assert_eq!(stats.len(), 2);
+        let rs = stats.iter().find(|s| s.method == MethodId::Rs).unwrap();
+        // The RS sketch set was loaded, not rebuilt.
+        assert_eq!(rs.artifact_builds, 1);
+        let warmed = second.run_batch(&reqs);
+        for (a, b) in fresh.iter().zip(&warmed) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.seeds, b.seeds);
+            assert_eq!(a.exact_score.to_bits(), b.exact_score.to_bits());
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_index_fails_closed_on_wrong_graph_and_unknown_name() {
+        let dir = std::env::temp_dir().join(format!(
+            "vom-service-closed-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let service = service();
+        let req = ServiceRequest::new(
+            "toy",
+            MethodId::Rw,
+            1,
+            Query::new(1, ScoringFunction::Cumulative, 0),
+        );
+        let path = service.save_index(&req, &dir).unwrap();
+
+        // Unknown graph name.
+        assert!(matches!(
+            service.load_index("nope", &path),
+            Err(ServiceError::UnknownGraph { .. })
+        ));
+
+        // A different registered instance: the graph digest must reject
+        // the snapshot.
+        let g = Arc::new(graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap());
+        let b = OpinionMatrix::from_rows(vec![
+            vec![0.10, 0.20, 0.30, 0.40],
+            vec![0.40, 0.30, 0.20, 0.10],
+        ])
+        .unwrap();
+        let other = Arc::new(Instance::shared(g, b, vec![0.1, 0.1, 0.1, 0.1]).unwrap());
+        service.register("other", other).unwrap();
+        assert!(matches!(
+            service.load_index("other", &path),
+            Err(ServiceError::Persist(PersistError::DigestMismatch {
+                what: "graph",
+                ..
+            }))
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_stats_reports_cached_indexes_with_their_keys() {
+        let service = service();
+        assert!(service.index_stats().is_empty());
+        let req = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            2,
+            Query::new(3, ScoringFunction::Cumulative, 1),
+        );
+        service.run(&req).unwrap();
+        let stats = service.index_stats();
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.graph, "toy");
+        assert_eq!(s.method, MethodId::Rs);
+        assert_eq!(s.target, 1);
+        assert_eq!(s.horizon, 2);
+        assert_eq!(s.class, RuleClass::Cumulative);
+        assert_eq!(s.budget, 4); // k = 3 bucketed up to 4
+        assert!(s.heap_bytes > 0);
+        assert_eq!(s.artifact_builds, 1);
     }
 
     #[test]

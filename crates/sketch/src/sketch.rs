@@ -113,6 +113,58 @@ impl SketchSet {
         }
     }
 
+    /// Reassembles a *pristine* (seedless) sketch set from persisted
+    /// parts: the shared walk arena, its truncation state, and the pooled
+    /// end-value arrays (snapshot load). Shapes are validated against the
+    /// arena; the pooled values themselves are whatever the generation
+    /// produced and are restored bit-for-bit.
+    pub fn from_parts(
+        arena: Arc<WalkArena>,
+        trunc: Truncation,
+        b0: Vec<f64>,
+        n: usize,
+        start_sum: Vec<f64>,
+        start_count: Vec<u32>,
+        walk_gain: Vec<f64>,
+    ) -> Result<Self, &'static str> {
+        if b0.len() != n || start_sum.len() != n || start_count.len() != n {
+            return Err("per-node sketch arrays must have length n");
+        }
+        if walk_gain.len() != arena.num_walks() {
+            return Err("walk gains must cover every sketch");
+        }
+        if !trunc.seeds().is_empty() {
+            return Err("a persisted sketch set must be pristine");
+        }
+        if arena.walks().any(|w| w.iter().any(|&v| (v as usize) >= n)) {
+            return Err("sketch walk node out of range");
+        }
+        Ok(SketchSet {
+            arena,
+            trunc,
+            b0,
+            n,
+            start_sum,
+            start_count,
+            walk_gain,
+        })
+    }
+
+    /// The persisted pieces: the shared arena, the truncation, and the
+    /// pooled arrays `(b0, start_sum, start_count, walk_gain)` — exactly
+    /// the buffers a snapshot writer serializes verbatim.
+    #[allow(clippy::type_complexity)]
+    pub fn parts(&self) -> (&Arc<WalkArena>, &Truncation, &[f64], &[f64], &[u32], &[f64]) {
+        (
+            &self.arena,
+            &self.trunc,
+            &self.b0,
+            &self.start_sum,
+            &self.start_count,
+            &self.walk_gain,
+        )
+    }
+
     /// Number of sketches `θ`.
     pub fn theta(&self) -> usize {
         self.arena.num_walks()

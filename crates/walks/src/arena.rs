@@ -1,6 +1,7 @@
 //! Flat storage for reverse random walks.
 
 use vom_graph::Node;
+use vom_persist::FlatBuf;
 
 /// An arena of walks, each a short sequence of node ids.
 ///
@@ -16,22 +17,61 @@ use vom_graph::Node;
 /// Equality is structural (same walks in the same order with the same
 /// groups) — the cross-thread determinism suite compares arenas built
 /// under different `VOM_THREADS` settings with `==`.
+/// The three flat arrays live in [`FlatBuf`]s so a snapshot load
+/// (`vom-persist`) can borrow them zero-copy from the mapped file region;
+/// a fresh build owns them as plain `Vec`s. Either way the arena is
+/// immutable once constructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalkArena {
-    nodes: Vec<Node>,
-    offsets: Vec<usize>,
-    groups: Option<Vec<usize>>,
+    nodes: FlatBuf<Node>,
+    offsets: FlatBuf<usize>,
+    groups: Option<FlatBuf<usize>>,
 }
 
 impl WalkArena {
     pub(crate) fn new(nodes: Vec<Node>, offsets: Vec<usize>, groups: Option<Vec<usize>>) -> Self {
-        debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap(), nodes.len());
-        WalkArena {
+        Self::from_parts(nodes.into(), offsets.into(), groups.map(FlatBuf::from))
+            .expect("builder invariants hold")
+    }
+
+    /// Reassembles an arena from flat buffers (a fresh build or a
+    /// snapshot load); validates the offsets invariant the accessors
+    /// index by, so a corrupt-but-digest-valid snapshot cannot panic
+    /// later.
+    pub fn from_parts(
+        nodes: FlatBuf<Node>,
+        offsets: FlatBuf<usize>,
+        groups: Option<FlatBuf<usize>>,
+    ) -> Result<Self, &'static str> {
+        if offsets.is_empty() {
+            return Err("offsets must carry a leading 0");
+        }
+        if offsets[0] != 0 || *offsets.last().unwrap() != nodes.len() {
+            return Err("offsets must span exactly the node array");
+        }
+        if offsets.windows(2).any(|w| w[1] <= w[0]) {
+            return Err("walks must be non-empty and offsets increasing");
+        }
+        if let Some(g) = &groups {
+            let walks = offsets.len() - 1;
+            if g.is_empty() || g[0] != 0 || *g.last().unwrap() != walks {
+                return Err("groups must span exactly the walk list");
+            }
+            if g.windows(2).any(|w| w[1] < w[0]) {
+                return Err("group offsets must be non-decreasing");
+            }
+        }
+        Ok(WalkArena {
             nodes,
             offsets,
             groups,
-        }
+        })
+    }
+
+    /// The flat arrays `(nodes, offsets, groups)` — the exact buffers a
+    /// snapshot writer serializes verbatim.
+    pub fn parts(&self) -> (&[Node], &[usize], Option<&[usize]>) {
+        (&self.nodes, &self.offsets, self.groups.as_deref())
     }
 
     /// Number of walks stored.

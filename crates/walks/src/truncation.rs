@@ -3,6 +3,7 @@
 use crate::arena::WalkArena;
 use std::sync::Arc;
 use vom_graph::Node;
+use vom_persist::FlatBuf;
 
 /// Incremental truncation state over a [`WalkArena`].
 ///
@@ -51,11 +52,13 @@ impl Clone for Truncation {
 }
 
 /// First-occurrence positions of every node in every walk (CSR by node).
+/// The arrays sit in [`FlatBuf`]s so a snapshot load can borrow them from
+/// the mapped file region instead of copying.
 #[derive(Debug)]
 struct OccurrenceIndex {
-    occ_off: Vec<usize>,
-    occ_walk: Vec<u32>,
-    occ_pos: Vec<u32>,
+    occ_off: FlatBuf<usize>,
+    occ_walk: FlatBuf<u32>,
+    occ_pos: FlatBuf<u32>,
 }
 
 impl Truncation {
@@ -95,13 +98,72 @@ impl Truncation {
         Truncation {
             end_pos,
             index: Arc::new(OccurrenceIndex {
+                occ_off: occ_off.into(),
+                occ_walk: occ_walk.into(),
+                occ_pos: occ_pos.into(),
+            }),
+            is_seed: vec![false; n],
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Reassembles a *pristine* (seedless) truncation from its persisted
+    /// arrays: per-walk end positions plus the first-occurrence CSR.
+    /// Every index is bounds-validated against `arena` up front, so a
+    /// corrupt-but-digest-valid snapshot fails closed here instead of
+    /// panicking inside a later query.
+    pub fn from_parts(
+        arena: &WalkArena,
+        n: usize,
+        end_pos: Vec<u32>,
+        occ_off: FlatBuf<usize>,
+        occ_walk: FlatBuf<u32>,
+        occ_pos: FlatBuf<u32>,
+    ) -> Result<Self, &'static str> {
+        let walks = arena.num_walks();
+        if end_pos.len() != walks {
+            return Err("end positions must cover every walk");
+        }
+        if (0..walks).any(|i| end_pos[i] as usize >= arena.walk(i).len()) {
+            return Err("end position beyond its walk");
+        }
+        if occ_off.len() != n + 1 || occ_off[0] != 0 {
+            return Err("occurrence offsets must span every node");
+        }
+        if occ_off.windows(2).any(|w| w[1] < w[0]) {
+            return Err("occurrence offsets must be non-decreasing");
+        }
+        let total = *occ_off.last().unwrap();
+        if occ_walk.len() != total || occ_pos.len() != total {
+            return Err("occurrence arrays must match their offsets");
+        }
+        for slot in 0..total {
+            let w = occ_walk[slot] as usize;
+            if w >= walks || occ_pos[slot] as usize >= arena.walk(w).len() {
+                return Err("occurrence beyond its walk");
+            }
+        }
+        Ok(Truncation {
+            end_pos,
+            index: Arc::new(OccurrenceIndex {
                 occ_off,
                 occ_walk,
                 occ_pos,
             }),
             is_seed: vec![false; n],
             seeds: Vec::new(),
-        }
+        })
+    }
+
+    /// The persisted arrays `(end_pos, occ_off, occ_walk, occ_pos)` — the
+    /// exact buffers a snapshot writer serializes verbatim.
+    pub fn parts(&self) -> (&[u32], &[usize], &[u32], &[u32]) {
+        (
+            &self.end_pos,
+            &self.index.occ_off,
+            &self.index.occ_walk,
+            &self.index.occ_pos,
+        )
     }
 
     /// Seeds applied so far, in insertion order.

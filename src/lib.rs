@@ -39,6 +39,7 @@ pub use vom_datasets as datasets;
 pub use vom_diffusion as diffusion;
 pub use vom_dynamics as dynamics;
 pub use vom_graph as graph;
+pub use vom_persist as persist;
 pub use vom_service as service;
 pub use vom_sketch as sketch;
 pub use vom_voting as voting;

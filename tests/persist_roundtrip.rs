@@ -1,0 +1,253 @@
+//! Snapshot round-trip suite: a `PreparedIndex` written with
+//! `vom-persist` and loaded back must answer **bit-identically** to the
+//! freshly built index — every engine, every rule class, at 1/2/8 pool
+//! threads, through both load paths (owned read and the mmap-ready
+//! borrowed region) — and corrupted snapshots must fail closed with a
+//! typed error that leaves the rebuild fallback intact.
+//!
+//! The pool override is process-global, so every test takes `pool_lock`
+//! before touching it (same discipline as `parallel_determinism.rs`).
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use vom::core::engine::SeedSelector;
+use vom::core::rs::RsConfig;
+use vom::core::rw::RwConfig;
+use vom::core::{Engine, IndexSource, PreparedIndex, Problem, Query};
+use vom::diffusion::{Instance, OpinionMatrix};
+use vom::graph::builder::graph_from_edges;
+use vom::graph::{generators, Node};
+use vom::persist::PersistError;
+use vom::voting::ScoringFunction;
+
+const K_MAX: usize = 4;
+const HORIZON: usize = 4;
+const THREADS: [usize; 3] = [1, 2, 8];
+
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn pool_lock() -> std::sync::MutexGuard<'static, ()> {
+    POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            rayon::set_thread_override(None);
+        }
+    }
+    rayon::set_thread_override(Some(threads));
+    let _restore = Restore;
+    f()
+}
+
+/// A scratch path unique to this (process, label) pair.
+fn scratch(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vom-roundtrip-{}-{label}.vpi", std::process::id()))
+}
+
+/// A 40-node, 3-candidate instance (the `prepared_equivalence` replica).
+fn instance() -> Arc<Instance> {
+    use rand::SeedableRng;
+    let n = 40usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE0_1D);
+    let edges = generators::erdos_renyi(n, n * 3, &mut rng);
+    let g = Arc::new(graph_from_edges(n, &edges).unwrap());
+    let rows: Vec<Vec<f64>> = (0..3)
+        .map(|c| {
+            (0..n)
+                .map(|v| {
+                    let x = ((v * 37 + c * 101 + 13) % 97) as f64 / 96.0;
+                    x.clamp(0.02, 0.98)
+                })
+                .collect()
+        })
+        .collect();
+    let b = OpinionMatrix::from_rows(rows).unwrap();
+    let d: Vec<f64> = (0..n).map(|v| ((v * 29 + 7) % 50) as f64 / 100.0).collect();
+    Arc::new(Instance::shared(g, b, d).unwrap())
+}
+
+fn engines() -> Vec<Engine> {
+    vec![
+        Engine::Dm,
+        Engine::Rw(RwConfig {
+            seed: 11,
+            ..RwConfig::default()
+        }),
+        Engine::Rs(RsConfig {
+            seed: 12,
+            ..RsConfig::default()
+        }),
+    ]
+}
+
+fn rules() -> [ScoringFunction; 3] {
+    [
+        ScoringFunction::Cumulative,
+        ScoringFunction::Plurality,
+        ScoringFunction::Copeland,
+    ]
+}
+
+/// Every `k ≤ K_MAX` selection (seeds + score bits) of an index.
+fn selections(index: &Arc<PreparedIndex>, rule: &ScoringFunction) -> Vec<(Vec<Node>, u64)> {
+    let mut session = PreparedIndex::session(index);
+    (1..=K_MAX)
+        .map(|k| {
+            let out = session.select(&Query::new(k, rule.clone(), 0)).unwrap();
+            (out.seeds, out.exact_score.to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn round_trip_is_bit_identical_for_every_engine_rule_and_width() {
+    let _guard = pool_lock();
+    let inst = instance();
+    for engine in engines() {
+        for rule in rules() {
+            for threads in THREADS {
+                let label = format!("{}-{rule}-{threads}", engine.name());
+                let (fresh, loaded_file, loaded_map) = with_threads(threads, || {
+                    let spec = Problem::new(&inst, 0, K_MAX, HORIZON, rule.clone()).unwrap();
+                    let index = Arc::new(engine.prepare_index(&spec).unwrap());
+                    let fresh = selections(&index, &rule);
+                    // Querying first populates the lazy artifacts (DM
+                    // CELF order, sandwich upper orders), so the save
+                    // exercises every section kind.
+                    let path = scratch(&label);
+                    index.save(&path).unwrap();
+                    let by_file = Arc::new(
+                        PreparedIndex::load(Arc::clone(&inst), IndexSource::File(&path)).unwrap(),
+                    );
+                    let by_map = Arc::new(
+                        PreparedIndex::load(Arc::clone(&inst), IndexSource::Mapped(&path)).unwrap(),
+                    );
+                    std::fs::remove_file(&path).ok();
+                    (
+                        fresh,
+                        selections(&by_file, &rule),
+                        selections(&by_map, &rule),
+                    )
+                });
+                assert_eq!(fresh, loaded_file, "{label}: file load diverged");
+                assert_eq!(fresh, loaded_map, "{label}: mapped load diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_snapshots_fail_closed_and_the_rebuild_fallback_matches() {
+    let _guard = pool_lock();
+    let inst = instance();
+    let rule = ScoringFunction::Plurality;
+    let engine = Engine::Rs(RsConfig {
+        seed: 12,
+        ..RsConfig::default()
+    });
+    let spec = Problem::new(&inst, 0, K_MAX, HORIZON, rule.clone()).unwrap();
+    let index = Arc::new(engine.prepare_index(&spec).unwrap());
+    let fresh = selections(&index, &rule);
+    let path = scratch("corrupt");
+    index.save(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // A flipped payload byte, a truncated file, and a future format
+    // version must each yield a typed error — never a mangled index.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    std::fs::write(&path, &flipped).unwrap();
+    let err = PreparedIndex::load(Arc::clone(&inst), IndexSource::File(&path))
+        .err()
+        .expect("flipped byte must not load");
+    assert!(
+        matches!(err, PersistError::DigestMismatch { .. }),
+        "unexpected error for a flipped byte: {err}"
+    );
+
+    std::fs::write(&path, &pristine[..pristine.len() - 7]).unwrap();
+    let err = PreparedIndex::load(Arc::clone(&inst), IndexSource::File(&path))
+        .err()
+        .expect("truncated file must not load");
+    assert!(
+        matches!(
+            err,
+            PersistError::Truncated { .. } | PersistError::DigestMismatch { .. }
+        ),
+        "unexpected error for a truncation: {err}"
+    );
+
+    let mut future = pristine.clone();
+    future[8] = 0xEE; // the format-version header word
+    std::fs::write(&path, &future).unwrap();
+    let err = PreparedIndex::load(Arc::clone(&inst), IndexSource::File(&path))
+        .err()
+        .expect("future version must not load");
+    assert!(
+        matches!(err, PersistError::UnsupportedVersion { .. }),
+        "unexpected error for a version bump: {err}"
+    );
+
+    // The fallback after any failed load — rebuild — answers
+    // identically to the index that wrote the snapshot.
+    let rebuilt = Arc::new(engine.prepare_index(&spec).unwrap());
+    assert_eq!(fresh, selections(&rebuilt, &rule));
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random small instances: the round trip holds for arbitrary
+    /// topology, opinions, and stubbornness, not just the fixed replica.
+    #[test]
+    fn random_instances_round_trip_bit_identically(
+        n in 4usize..16,
+        edge_seed in 0u64..1000,
+        k in 1usize..4,
+        engine_ix in 0usize..3,
+        rule_ix in 0usize..3,
+    ) {
+        let _guard = pool_lock();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(edge_seed);
+        let edges = generators::erdos_renyi(n, n * 2, &mut rng);
+        let g = Arc::new(graph_from_edges(n, &edges).unwrap());
+        let rows: Vec<Vec<f64>> = (0..2)
+            .map(|c| {
+                (0..n)
+                    .map(|v| (((v * 31 + c * 57 + edge_seed as usize) % 89) as f64 / 88.0)
+                        .clamp(0.05, 0.95))
+                    .collect()
+            })
+            .collect();
+        let b = OpinionMatrix::from_rows(rows).unwrap();
+        let d: Vec<f64> = (0..n).map(|v| ((v * 13 + 3) % 40) as f64 / 80.0).collect();
+        let inst = Arc::new(Instance::shared(g, b, d).unwrap());
+        let k = k.min(n);
+        let engine = engines().swap_remove(engine_ix);
+        let rule = rules()[rule_ix].clone();
+
+        let spec = Problem::new(&inst, 0, k, HORIZON, rule.clone()).unwrap();
+        let index = Arc::new(engine.prepare_index(&spec).unwrap());
+        let mut session = PreparedIndex::session(&index);
+        let query = Query::new(k, rule.clone(), 0);
+        let fresh = session.select(&query).unwrap();
+
+        let path = scratch(&format!("prop-{edge_seed}-{engine_ix}-{rule_ix}"));
+        index.save(&path).unwrap();
+        let loaded = Arc::new(
+            PreparedIndex::load(Arc::clone(&inst), IndexSource::File(&path)).unwrap(),
+        );
+        std::fs::remove_file(&path).ok();
+        let mut session = PreparedIndex::session(&loaded);
+        let replay = session.select(&query).unwrap();
+        prop_assert_eq!(fresh.seeds, replay.seeds);
+        prop_assert_eq!(fresh.exact_score.to_bits(), replay.exact_score.to_bits());
+    }
+}
