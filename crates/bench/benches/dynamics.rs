@@ -16,7 +16,7 @@ fn models_for(scale: f64) -> (usize, Vec<Box<dyn DynamicsModel>>) {
     let n = inst.num_nodes();
     let graph = inst.graph_of(0).clone();
     let rows: Vec<Vec<f64>> = (0..inst.num_candidates())
-        .map(|c| inst.candidate(c).initial.clone())
+        .map(|c| inst.candidate(c).initial.to_vec())
         .collect();
     let initial = OpinionMatrix::from_rows(rows).expect("valid replica opinions");
     let models: Vec<Box<dyn DynamicsModel>> = vec![

@@ -80,7 +80,7 @@ pub struct BenchSample {
 
 /// Seed selections of one workload pass, for cross-thread comparison:
 /// `(dataset, method, k) -> seeds`.
-type Selections = Vec<(String, Vec<Node>)>;
+pub(crate) type Selections = Vec<(String, Vec<Node>)>;
 
 struct WorkloadPass {
     prepare: Duration,
@@ -116,7 +116,7 @@ fn parallel_target() -> usize {
 
 /// FNV-1a over the selection labels and seed ids — a stable fingerprint
 /// of "which seeds did every query pick".
-fn selections_digest(selections: &Selections) -> String {
+pub(crate) fn selections_digest(selections: &Selections) -> String {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |byte: u8| {
         hash ^= u64::from(byte);
@@ -561,7 +561,7 @@ pub fn sweep_k_pass(cfg: &ExpConfig) -> Result<(String, SolverCounters)> {
 /// keeps its historical meaning (all exact diffusion wall clock) so the
 /// trajectory stays comparable across the warm-start change; the
 /// cold/warm split rides along as two extra fields.
-fn phase_fields(p: PhaseTimes) -> String {
+pub(crate) fn phase_fields(p: PhaseTimes) -> String {
     format!(
         "\"diffusion_s\": {:.6}, \"diffusion_cold_s\": {:.6}, \"diffusion_warm_s\": {:.6}, \
          \"truncation_s\": {:.6}, \"scoring_s\": {:.6}",
@@ -574,7 +574,7 @@ fn phase_fields(p: PhaseTimes) -> String {
 }
 
 /// Renders the solver work counters as a JSON object.
-fn solver_fields(c: SolverCounters) -> String {
+pub(crate) fn solver_fields(c: SolverCounters) -> String {
     format!(
         "{{ \"cold_solves\": {}, \"warm_solves\": {}, \"cold_steps\": {}, \
          \"warm_frontier_nodes\": {} }}",

@@ -6,6 +6,7 @@
 //! repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N] [--threads N]
 //! repro --bench-json [--scale F] [--seed N] [--k N] [--threads N]
 //!       [--save-index DIR] [--load-index DIR]
+//! repro --scale-stress [--quick] [--seed N] [--k N]
 //! ```
 //!
 //! Experiments: table1 table2 table3 table6 fig2 case-study fig6 fig7
@@ -23,6 +24,12 @@
 //! back to a fresh build with a warning; results are bit-identical
 //! either way.
 //!
+//! `--scale-stress` runs the scale-stress workload (deterministic R-MAT
+//! instances at 10⁵ and 10⁶ nodes; `--quick` shrinks them for smoke
+//! testing) and writes `BENCH_scale.json`: build/query wall clock and
+//! capacity-exact index memory per scale, with a cross-width
+//! determinism check. It can run alone or alongside experiment ids.
+//!
 //! `--threads N` pins the worker pool width for the whole run. The pool
 //! width resolves in this order: `--threads` flag, then the
 //! `VOM_THREADS` environment variable, then the machine's available
@@ -35,6 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N] [--threads N]\n\
          \x20      repro --bench-json [--scale F] [--seed N] [--k N] [--threads N] [--save-index DIR] [--load-index DIR]\n\
+         \x20      repro --scale-stress [--quick] [--seed N] [--k N]\n\
          experiments: {}",
         ALL_IDS.join(" ")
     );
@@ -49,10 +57,12 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut targets: Vec<String> = Vec::new();
     let mut bench_json = false;
+    let mut scale_stress = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--bench-json" => bench_json = true,
+            "--scale-stress" => scale_stress = true,
             "--k" => {
                 i += 1;
                 cfg.k_override = Some(
@@ -102,7 +112,7 @@ fn main() {
         }
         i += 1;
     }
-    if targets.is_empty() && !bench_json {
+    if targets.is_empty() && !bench_json && !scale_stress {
         usage();
     }
     let ids: Vec<String> = if targets.iter().any(|t| t == "all") {
@@ -141,6 +151,20 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("bench-json failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if scale_stress {
+        let (outcome, elapsed) = vom_bench::timed(|| vom_bench::scale_stress::run(&cfg));
+        match outcome {
+            Ok(path) => println!(
+                "[scale-stress written to {} in {:.1}s]",
+                path.display(),
+                elapsed.as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("scale-stress failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -43,7 +43,7 @@ pub fn run(cfg: &ExpConfig) -> Result<()> {
     // Rebuild the shared graph + initial opinion matrix the models need.
     let graph = inst.graph_of(q).clone();
     let rows: Vec<Vec<f64>> = (0..inst.num_candidates())
-        .map(|c| inst.candidate(c).initial.clone())
+        .map(|c| inst.candidate(c).initial.to_vec())
         .collect();
     let initial = OpinionMatrix::from_rows(rows).expect("replica opinions are valid");
 

@@ -15,6 +15,7 @@ pub mod bench_parallel;
 pub mod error;
 pub mod experiments;
 pub mod methods;
+pub mod scale_stress;
 pub mod table;
 
 pub use error::{BenchError, Result};

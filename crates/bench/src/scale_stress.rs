@@ -1,0 +1,358 @@
+//! The scale-stress harness behind `repro --scale-stress`.
+//!
+//! The `--bench-json` trajectory answers "how does the engine parallelize
+//! at the replica scales"; this harness answers the orthogonal question
+//! the memory diet was funded by: **how do build time, query time, and
+//! index memory grow with `n`**. It generates deterministic R-MAT
+//! instances ([`vom_datasets::scale_stress`]) at 10⁵ and 10⁶ nodes
+//! (quick mode: 5·10³ and 2·10⁴, small enough for the CI smoke), runs
+//! the RS engine over each with θ pinned to `n`, and writes one row per
+//! scale to `BENCH_scale.json`.
+//!
+//! Each row records:
+//!
+//! * per-phase wall clock — dataset generation (`gen_s`), the one-time
+//!   sketch build (`build_s`), and the greedy query (`query_s`), plus
+//!   the `vom_core::phases` breakdown of the query section;
+//! * `heap_bytes` — the index's capacity-exact heap accounting (the
+//!   byte-accurate [`vom_core::engine::BuildStats::heap_bytes`], read
+//!   after the query so the lazily built sketch set is included);
+//! * `heap_bytes_pre_diet` — what the same index cost before the memory
+//!   diet: `+ 8θ` for the removed per-walk gain cache and `+ 8n` for
+//!   the second candidate's duplicated stubbornness vector. The ratio
+//!   of the two columns is the measured reduction;
+//! * `deterministic`/`digest` — the selection is re-run at pool widths
+//!   1 and 2 and must be bit-identical (the schedule-independence
+//!   contract at stress scale); the FNV-1a digest lets external tooling
+//!   re-assert run-to-run stability from the JSON alone.
+
+use crate::bench_parallel::{phase_fields, selections_digest, solver_fields, Selections};
+use crate::error::{BenchError, Result};
+use crate::{timed, ExpConfig, PreparedMethod};
+use std::path::PathBuf;
+use std::sync::Arc;
+use vom_core::engine::SeedSelector;
+use vom_core::phases::{self, PhaseTimes, SolverCounters};
+use vom_core::rs::RsConfig;
+use vom_core::{Engine, MethodId, Problem};
+use vom_datasets::{scale_stress, Dataset, ScaleParams};
+use vom_voting::ScoringFunction;
+
+/// One measured scale point.
+#[derive(Debug, Clone)]
+pub struct ScaleSample {
+    /// Users `n` of the generated instance.
+    pub nodes: usize,
+    /// Realized edge count (R-MAT targets `4n`).
+    pub edges: usize,
+    /// Sketch count θ the RS engine was pinned to (θ = n).
+    pub theta: usize,
+    /// Seed budget of the greedy query.
+    pub k: usize,
+    /// Dataset generation wall clock.
+    pub gen_s: f64,
+    /// One-time index build wall clock (walk arena; the sketch set is
+    /// lazy and lands in the first query).
+    pub build_s: f64,
+    /// Greedy query wall clock (includes the lazy sketch build and the
+    /// exact evaluation of the selected seeds).
+    pub query_s: f64,
+    /// Query-phase breakdown from `vom_core::phases`.
+    pub phases: PhaseTimes,
+    /// Diffusion-solver work counters of the query section.
+    pub solver: SolverCounters,
+    /// Whether the width-2 rerun selected bit-identical seeds.
+    pub deterministic: bool,
+    /// FNV-1a digest of the selections.
+    pub digest: String,
+    /// Capacity-exact index heap bytes after the query (arena + sketch).
+    pub heap_bytes: usize,
+    /// The same index's heap bytes before the memory diet (analytic:
+    /// `heap_bytes + 8θ + 8n`).
+    pub heap_bytes_pre_diet: usize,
+    /// Always true: `heap_bytes` is byte-accurate capacity accounting,
+    /// not an estimate. CI asserts this stays so.
+    pub heap_exact: bool,
+}
+
+/// The node counts measured: the paper's largest-corpus order of
+/// magnitude (10⁶) plus one decade below it for the growth rate; quick
+/// mode keeps the same 1:20-ish spread at smoke-test size.
+pub fn scale_points(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![5_000, 20_000]
+    } else {
+        vec![100_000, 1_000_000]
+    }
+}
+
+/// Measures one scale point. The pool is pinned to width 1 for the
+/// recorded timings (the stress axis is `n`, not parallelism — and the
+/// CI smoke runs on small boxes), then the selection is re-run at width
+/// 2 to assert schedule independence.
+fn run_scale(cfg: &ExpConfig, nodes: usize) -> Result<ScaleSample> {
+    let k = cfg.k_override.unwrap_or(20);
+    let t = cfg.default_t();
+    let (ds, gen) = timed(|| {
+        scale_stress(&ScaleParams {
+            nodes,
+            seed: cfg.seed,
+        })
+    });
+    let edges = ds.instance.graph_of(0).num_edges();
+    let theta = nodes;
+
+    rayon::set_thread_override(Some(1));
+    let (sample, reference) = measure_pass(cfg, &ds, nodes, theta, k, t)?;
+    // Schedule-independence check: same instance, two pool workers.
+    rayon::set_thread_override(Some(2));
+    let (_, rerun) = measure_pass(cfg, &ds, nodes, theta, k, t)?;
+    let deterministic = rerun == reference;
+
+    Ok(ScaleSample {
+        nodes,
+        edges,
+        theta,
+        k,
+        gen_s: gen.as_secs_f64(),
+        digest: selections_digest(&reference),
+        deterministic,
+        ..sample
+    })
+}
+
+/// One timed build + query pass at the current pool width. Returns the
+/// sample (without the generation/determinism fields, filled by the
+/// caller) and the selections for cross-width comparison.
+fn measure_pass(
+    cfg: &ExpConfig,
+    ds: &Dataset,
+    nodes: usize,
+    theta: usize,
+    k: usize,
+    t: usize,
+) -> Result<(ScaleSample, Selections)> {
+    let spec = Problem::new(
+        &ds.instance,
+        ds.default_target,
+        k,
+        t,
+        ScoringFunction::Cumulative,
+    )?;
+    let engine = Engine::Rs(RsConfig {
+        seed: cfg.seed,
+        theta_override: Some(theta),
+        ..RsConfig::default()
+    });
+    let (index, build) = timed(|| engine.prepare_index(&spec));
+    let index = Arc::new(index?);
+    let mut prepared = PreparedMethod::from_index(MethodId::Rs, Arc::clone(&index));
+
+    let before = phases::snapshot();
+    let solver_before = phases::solver_counters();
+    let (out, query) = timed(|| prepared.evaluate(k));
+    let out = out?;
+    let phases_delta = phases::snapshot().since(before);
+    let solver = phases::solver_counters().since(solver_before);
+    let selections: Selections = vec![(format!("{}/RS/k{k}", ds.name), out.seeds)];
+
+    // Read the accounting *after* the query: the sketch set is built
+    // lazily on first select, and the diet is about its resident size.
+    let heap_bytes = index.build_stats().heap_bytes;
+    // What the pre-diet encoding would hold resident: the 8-byte cached
+    // gain per sketch walk (now derived from truncation end values) and
+    // the second candidate's own stubbornness vector (now one shared
+    // SoA buffer).
+    let heap_bytes_pre_diet =
+        heap_bytes + theta * std::mem::size_of::<f64>() + nodes * std::mem::size_of::<f64>();
+
+    Ok((
+        ScaleSample {
+            nodes,
+            edges: 0,
+            theta,
+            k,
+            gen_s: 0.0,
+            build_s: build.as_secs_f64(),
+            query_s: query.as_secs_f64(),
+            phases: phases_delta,
+            solver,
+            deterministic: false,
+            digest: String::new(),
+            heap_bytes,
+            heap_bytes_pre_diet,
+            heap_exact: true,
+        },
+        selections,
+    ))
+}
+
+/// Renders one sample as a JSON object (hand-rolled; same offline-build
+/// policy as [`crate::bench_parallel`]).
+fn row_json(s: &ScaleSample) -> String {
+    format!(
+        "    {{\n      \"nodes\": {},\n      \"edges\": {},\n      \"theta\": {},\n      \
+         \"k\": {},\n      \"gen_s\": {:.6},\n      \"build_s\": {:.6},\n      \
+         \"query_s\": {:.6},\n      \"deterministic\": {},\n      \"digest\": \"{}\",\n      \
+         \"heap_bytes\": {},\n      \"heap_bytes_pre_diet\": {},\n      \"heap_exact\": {},\n      \
+         \"phases\": {{ {} }},\n      \"solver\": {}\n    }}",
+        s.nodes,
+        s.edges,
+        s.theta,
+        s.k,
+        s.gen_s,
+        s.build_s,
+        s.query_s,
+        s.deterministic,
+        s.digest,
+        s.heap_bytes,
+        s.heap_bytes_pre_diet,
+        s.heap_exact,
+        phase_fields(s.phases),
+        solver_fields(s.solver)
+    )
+}
+
+/// Renders the full `BENCH_scale.json` document.
+fn render_json(cfg: &ExpConfig, samples: &[ScaleSample]) -> String {
+    let rows = samples.iter().map(row_json).collect::<Vec<_>>().join(",\n");
+    format!(
+        "{{\n  \"id\": \"scale_stress\",\n  \"title\": \"build/query wall clock and \
+         capacity-exact index memory vs n (R-MAT, RS engine, theta = n)\",\n  \
+         \"seed\": {},\n  \"quick\": {},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+        cfg.seed, cfg.quick
+    )
+}
+
+/// Runs the scale-stress workload and writes `BENCH_scale.json` to the
+/// current directory. Fails if any scale's width-2 rerun diverges from
+/// the width-1 selections.
+pub fn run(cfg: &ExpConfig) -> Result<PathBuf> {
+    let entry_override = rayon::thread_override();
+    let mut samples = Vec::new();
+    let outcome = (|| -> Result<()> {
+        for nodes in scale_points(cfg.quick) {
+            let s = run_scale(cfg, nodes)?;
+            println!(
+                "[scale-stress n={}: gen {:.3}s, build {:.3}s, query {:.3}s, \
+                 heap {:.1} MiB (pre-diet {:.1} MiB), digest {}]",
+                s.nodes,
+                s.gen_s,
+                s.build_s,
+                s.query_s,
+                s.heap_bytes as f64 / (1024.0 * 1024.0),
+                s.heap_bytes_pre_diet as f64 / (1024.0 * 1024.0),
+                s.digest
+            );
+            samples.push(s);
+        }
+        Ok(())
+    })();
+    rayon::set_thread_override(entry_override);
+    outcome?;
+
+    if let Some(bad) = samples.iter().find(|s| !s.deterministic) {
+        return Err(BenchError::InvalidConfig(format!(
+            "scale-stress run at n = {} diverged between pool widths 1 and 2 \
+             (schedule-independence contract violated)",
+            bad.nodes
+        )));
+    }
+    let path = PathBuf::from("BENCH_scale.json");
+    std::fs::write(&path, render_json(cfg, &samples))
+        .map_err(|e| BenchError::InvalidConfig(format!("cannot write {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn json_is_shaped_for_the_trajectory_tooling() {
+        let cfg = ExpConfig::default();
+        let phases = PhaseTimes {
+            diffusion: Duration::from_millis(10),
+            truncation: Duration::from_millis(20),
+            scoring: Duration::from_millis(30),
+            diffusion_warm: Duration::from_millis(40),
+        };
+        let solver = SolverCounters {
+            cold_solves: 1,
+            warm_solves: 2,
+            cold_steps: 3,
+            warm_frontier_nodes: 4,
+        };
+        let samples = vec![ScaleSample {
+            nodes: 100_000,
+            edges: 399_500,
+            theta: 100_000,
+            k: 20,
+            gen_s: 1.25,
+            build_s: 2.5,
+            query_s: 0.75,
+            phases,
+            solver,
+            deterministic: true,
+            digest: "00c0ffee00c0ffee".into(),
+            heap_bytes: 10_000_000,
+            heap_bytes_pre_diet: 11_600_000,
+            heap_exact: true,
+        }];
+        let json = render_json(&cfg, &samples);
+        assert!(json.contains("\"id\": \"scale_stress\""));
+        assert!(json.contains("\"nodes\": 100000"));
+        assert!(json.contains("\"theta\": 100000"));
+        assert!(json.contains("\"gen_s\": 1.250000"));
+        assert!(json.contains("\"build_s\": 2.500000"));
+        assert!(json.contains("\"query_s\": 0.750000"));
+        assert!(json.contains("\"deterministic\": true"));
+        assert!(json.contains("\"digest\": \"00c0ffee00c0ffee\""));
+        assert!(json.contains("\"heap_bytes\": 10000000"));
+        assert!(json.contains("\"heap_bytes_pre_diet\": 11600000"));
+        assert!(json.contains("\"heap_exact\": true"));
+        assert!(json.contains("\"phases\": { \"diffusion_s\": 0.050000"));
+        assert!(json.contains("\"solver\": { \"cold_solves\": 1"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn scale_points_grow_and_shrink_with_quick() {
+        let quick = scale_points(true);
+        let full = scale_points(false);
+        assert!(quick.windows(2).all(|w| w[0] < w[1]));
+        assert!(full.windows(2).all(|w| w[0] < w[1]));
+        assert!(quick.iter().max() < full.iter().min());
+        assert!(
+            *full.iter().max().unwrap() >= 1_000_000,
+            "the point is 10^6"
+        );
+    }
+
+    #[test]
+    fn tiny_scale_point_is_deterministic_and_exactly_accounted() {
+        let cfg = ExpConfig {
+            quick: true,
+            k_override: Some(4),
+            ..ExpConfig::default()
+        };
+        let entry = rayon::thread_override();
+        let a = run_scale(&cfg, 400);
+        let b = run_scale(&cfg, 400);
+        rayon::set_thread_override(entry);
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert!(a.deterministic, "widths 1 and 2 must select identically");
+        assert_eq!(a.digest, b.digest, "run-to-run digests must match");
+        assert_eq!(a.edges, b.edges);
+        assert!(a.heap_exact);
+        assert!(a.heap_bytes > 0);
+        assert_eq!(
+            a.heap_bytes_pre_diet - a.heap_bytes,
+            8 * a.theta + 8 * a.nodes,
+            "diet delta is the gain cache plus the duplicated stubbornness row"
+        );
+    }
+}

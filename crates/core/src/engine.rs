@@ -1190,7 +1190,11 @@ impl IndexBackend for RwIndex {
             .iter()
             .filter_map(|a| a.get())
             .map(|a| a.heap_bytes())
-            .sum()
+            .sum::<usize>()
+            + self
+                .gammas
+                .get()
+                .map_or(0, |g| g.capacity() * std::mem::size_of::<f64>())
     }
 
     fn artifact_builds(&self) -> usize {

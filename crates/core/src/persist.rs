@@ -118,8 +118,9 @@ pub mod kind {
     pub const SK_START_SUM: u32 = 59;
     /// `u32` pooled start counts; `id` = slot.
     pub const SK_START_COUNT: u32 = 60;
-    /// `f64` per-walk gains `1 − end value`; `id` = slot.
-    pub const SK_WALK_GAIN: u32 = 61;
+    // Kind 61 was the per-walk gain section of format version 1; gains
+    // are now derived from the truncation end values, so the section is
+    // neither written nor read.
 }
 
 /// Where a snapshot's bytes come from and how long they live.
@@ -162,10 +163,10 @@ pub fn graph_digest(instance: &Instance) -> u64 {
                 d.update_f64(w);
             }
         }
-        for &b in &cand.initial {
+        for &b in cand.initial.iter() {
             d.update_f64(b);
         }
-        for &s in &cand.stubbornness {
+        for &s in cand.stubbornness.iter() {
             d.update_f64(s);
         }
         d.update_u64(cand.fixed_seeds.len() as u64);
@@ -399,7 +400,7 @@ fn save_rs(w: &mut SnapshotWriter, rs: &RsIndex) {
     let sketches = rs.sketches.lock().expect("sketch cache lock");
     for (slot, (theta, sketch)) in sketches.iter().enumerate() {
         let slot = slot as u64;
-        let (arena, trunc, b0, start_sum, start_count, walk_gain) = sketch.parts();
+        let (arena, trunc, b0, start_sum, start_count) = sketch.parts();
         w.section::<u64>(kind::SK_META, slot, &[*theta as u64]);
         let (nodes, offsets, groups) = arena.parts();
         w.section::<u32>(kind::SK_NODES, slot, nodes);
@@ -415,7 +416,6 @@ fn save_rs(w: &mut SnapshotWriter, rs: &RsIndex) {
         w.section::<f64>(kind::SK_B0, slot, b0);
         w.section::<f64>(kind::SK_START_SUM, slot, start_sum);
         w.section::<u32>(kind::SK_START_COUNT, slot, start_count);
-        w.section::<f64>(kind::SK_WALK_GAIN, slot, walk_gain);
     }
 }
 
@@ -710,9 +710,6 @@ fn load_rs(snap: &Snapshot, n: usize) -> Result<RsIndex> {
                 .as_slice()
                 .to_vec(),
             snap.section::<u32>(kind::SK_START_COUNT, slot)?
-                .as_slice()
-                .to_vec(),
-            snap.section::<f64>(kind::SK_WALK_GAIN, slot)?
                 .as_slice()
                 .to_vec(),
         )

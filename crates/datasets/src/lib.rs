@@ -38,9 +38,11 @@ pub mod case_study;
 pub mod dist;
 pub mod io;
 pub mod replicas;
+pub mod scale;
 
 pub use case_study::{acm_case_study, CaseStudy};
 pub use replicas::{
     all_replicas, dblp_like, twitter_distancing_like, twitter_election_like, twitter_mask_like,
     yelp_like, Dataset, ReplicaParams,
 };
+pub use scale::{scale_stress, ScaleParams};

@@ -62,7 +62,14 @@ struct PaperScale {
 
 fn scaled(paper: PaperScale, scale: f64) -> (usize, usize) {
     let n = ((paper.nodes as f64 * scale).round() as usize).max(50);
-    let m = ((paper.edges as f64 * scale).round() as usize).max(4 * n);
+    // The `4n` floor keeps tiny replicas connected enough to diffuse,
+    // but a simple digraph holds at most `n·(n−1)` edges — without the
+    // cap the edge target is unreachable and generation rejects forever.
+    // The cap never binds at the floor's own scale (`4n ≤ n·(n−1)` for
+    // every `n ≥ 50`), so existing replicas are unchanged.
+    let m = ((paper.edges as f64 * scale).round() as usize)
+        .max(4 * n)
+        .min(n.saturating_mul(n - 1));
     (n, m)
 }
 
@@ -297,6 +304,30 @@ mod tests {
         assert_eq!(twitter_election_like(&p).instance.num_candidates(), 4);
         assert_eq!(twitter_distancing_like(&p).instance.num_candidates(), 2);
         assert_eq!(twitter_mask_like(&p).instance.num_candidates(), 2);
+    }
+
+    #[test]
+    fn scaled_edge_target_fits_a_simple_digraph() {
+        // A pathological paper ratio (edges ≫ nodes²) at tiny scale used
+        // to demand more edges than a simple digraph can hold; the clamp
+        // keeps the target achievable.
+        let (n, m) = scaled(
+            PaperScale {
+                nodes: 60,
+                edges: 40_000_000,
+            },
+            1.0,
+        );
+        assert!(m <= n * (n - 1), "m = {m} exceeds simple-graph capacity");
+        // The 4n floor itself is never clamped away (4n ≤ n(n−1) at n ≥ 50).
+        let (n2, m2) = scaled(
+            PaperScale {
+                nodes: 63_910,
+                edges: 2_847_120,
+            },
+            0.002,
+        );
+        assert!(m2 >= 4 * n2);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Deterministic scale-stress datasets: synthetic instances that grow to
+//! 10⁶ nodes and beyond.
+//!
+//! The Table III replicas (`crate::replicas`) are scaled *down* from the
+//! paper's corpora to keep the repro suite fast; the scale-stress
+//! workload goes the other way — it asks how build time, query time, and
+//! index memory behave as `n` grows toward the paper's full dataset
+//! sizes. This module generates those instances: an R-MAT topology
+//! (heavy-tailed, community-rich, `O(m log n)` to sample — see
+//! [`vom_graph::generators::rmat`]), the same `1 − e^{−a/µ}`
+//! interaction-count weight pipeline the replicas use, and two
+//! candidates with Beta-distributed opinions and moderate stubbornness.
+//!
+//! Everything is bit-for-bit deterministic in `(nodes, seed)`; the
+//! `repro --scale-stress` harness (`vom-bench`) leans on that to assert
+//! selections are identical run-to-run and across thread counts.
+
+use crate::dist::{beta, interaction_count};
+use crate::replicas::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use vom_diffusion::{Instance, OpinionMatrix};
+use vom_graph::{generators, GraphBuilder, WeightTransform};
+
+/// Parameters of one scale-stress instance.
+#[derive(Debug, Clone)]
+pub struct ScaleParams {
+    /// Number of users `n`. Edges scale as `4n` (the replica floor
+    /// density, sparse enough to generate at 10⁶ nodes in seconds).
+    pub nodes: usize,
+    /// RNG seed; the instance is bit-for-bit reproducible from
+    /// `(nodes, seed)`.
+    pub seed: u64,
+}
+
+impl ScaleParams {
+    /// Params for `nodes` users at the default seed.
+    pub fn at(nodes: usize) -> ScaleParams {
+        ScaleParams {
+            nodes,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// Builds a two-candidate scale-stress instance with `params.nodes`
+/// users and `4n` expected edges over an R-MAT topology.
+///
+/// The opinion regime mirrors the DBLP replica (target starts behind:
+/// `Beta(2, 3)` vs `Beta(3, 2)`), with engagement-style stubbornness
+/// `Beta(2.5, 3)` so large instances still show multi-step dynamics.
+/// Candidate storage is structure-of-arrays ([`Instance::shared`]): one
+/// flat opinion buffer and one stubbornness buffer shared by both
+/// candidates.
+pub fn scale_stress(params: &ScaleParams) -> Dataset {
+    let n = params.nodes;
+    assert!(n >= 50, "scale-stress instances start at 50 nodes");
+    let m = 4 * n;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut edges = generators::rmat(n, m, &mut rng);
+    for e in &mut edges {
+        e.2 = interaction_count(0.4, &mut rng);
+    }
+    let mut builder = GraphBuilder::new(n).with_edge_capacity(edges.len());
+    for (s, d, w) in edges {
+        builder.add_edge(s, d, w);
+    }
+    let graph = Arc::new(
+        builder
+            .build_with(WeightTransform::ExpSaturation { mu: 10.0 })
+            .expect("generated edges are valid"),
+    );
+
+    let rows = vec![
+        (0..n).map(|_| beta(2.0, 3.0, &mut rng)).collect::<Vec<_>>(),
+        (0..n).map(|_| beta(3.0, 2.0, &mut rng)).collect::<Vec<_>>(),
+    ];
+    let initial = OpinionMatrix::from_rows(rows).expect("sampled opinions are in range");
+    let d: Vec<f64> = (0..n).map(|_| beta(2.5, 3.0, &mut rng)).collect();
+    let instance = Instance::shared(graph, initial, d).expect("consistent by construction");
+    Dataset {
+        name: "ScaleStress",
+        instance,
+        default_target: 0,
+        candidate_names: vec!["Challenger".into(), "Incumbent".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vom_graph::stats::GraphStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = ScaleParams {
+            nodes: 2000,
+            seed: 3,
+        };
+        let a = scale_stress(&p);
+        let b = scale_stress(&p);
+        assert_eq!(a.instance.num_nodes(), b.instance.num_nodes());
+        assert_eq!(
+            a.instance.graph_of(0).num_edges(),
+            b.instance.graph_of(0).num_edges()
+        );
+        assert_eq!(
+            a.instance.candidate(0).initial,
+            b.instance.candidate(0).initial
+        );
+        assert_eq!(
+            a.instance.candidate(1).stubbornness,
+            b.instance.candidate(1).stubbornness
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = scale_stress(&ScaleParams {
+            nodes: 500,
+            seed: 1,
+        });
+        let b = scale_stress(&ScaleParams {
+            nodes: 500,
+            seed: 2,
+        });
+        assert_ne!(
+            a.instance.candidate(0).initial,
+            b.instance.candidate(0).initial
+        );
+    }
+
+    #[test]
+    fn instances_are_valid_and_heavy_tailed() {
+        let ds = scale_stress(&ScaleParams::at(5000));
+        assert_eq!(ds.instance.num_nodes(), 5000);
+        assert_eq!(ds.instance.num_candidates(), 2);
+        let g = ds.instance.graph_of(0);
+        g.validate_column_stochastic(1e-9).unwrap();
+        let stats = GraphStats::compute(g);
+        assert!(
+            stats.max_in_degree as f64 > 8.0 * stats.mean_degree,
+            "expected hubs: {stats}"
+        );
+        for q in 0..2 {
+            let c = ds.instance.candidate(q);
+            assert!(c.initial.iter().all(|&b| (0.0..=1.0).contains(&b)));
+            assert!(c.stubbornness.iter().all(|&d| (0.0..=1.0).contains(&d)));
+        }
+    }
+
+    #[test]
+    fn candidates_share_soa_buffers() {
+        let ds = scale_stress(&ScaleParams::at(200));
+        let c0 = ds.instance.candidate(0);
+        let c1 = ds.instance.candidate(1);
+        assert!(c0.initial.same_backing(&c1.initial));
+        assert!(c0.stubbornness.same_backing(&c1.stubbornness));
+    }
+}

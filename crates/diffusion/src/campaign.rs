@@ -3,6 +3,7 @@
 use crate::error::{validate_unit_range, DiffusionError};
 use crate::fj::FjEngine;
 use crate::opinion::OpinionMatrix;
+use crate::shared::SharedValues;
 use crate::solver::{DiffusionSystem, SolveOptions, Solver};
 use crate::Result;
 use std::sync::{Arc, OnceLock};
@@ -20,10 +21,13 @@ use vom_graph::{Candidate, Node, SocialGraph};
 pub struct CandidateData {
     /// Influence matrix `W_q` (wrapped in the graph).
     pub graph: Arc<SocialGraph>,
-    /// Initial opinions `B_q^(0)` of every user about this candidate.
-    pub initial: Vec<f64>,
-    /// Stubbornness diagonal `D_q`.
-    pub stubbornness: Vec<f64>,
+    /// Initial opinions `B_q^(0)` of every user about this candidate —
+    /// a window into the instance's shared opinion buffer when built via
+    /// [`Instance::shared`] (structure-of-arrays storage).
+    pub initial: SharedValues,
+    /// Stubbornness diagonal `D_q` — one buffer shared by all candidates
+    /// when built via [`Instance::shared`].
+    pub stubbornness: SharedValues,
     /// Seeds committed for this candidate at time 0.
     pub fixed_seeds: Vec<Node>,
     /// Lazily built solver system (CSR copy of `graph` + `initial`/
@@ -33,11 +37,17 @@ pub struct CandidateData {
 
 impl CandidateData {
     /// Builds and validates one candidate's data (no fixed seeds).
-    pub fn new(graph: Arc<SocialGraph>, initial: Vec<f64>, stubbornness: Vec<f64>) -> Result<Self> {
+    /// Accepts plain `Vec<f64>`s or [`SharedValues`] windows into buffers
+    /// shared with other candidates.
+    pub fn new(
+        graph: Arc<SocialGraph>,
+        initial: impl Into<SharedValues>,
+        stubbornness: impl Into<SharedValues>,
+    ) -> Result<Self> {
         let data = CandidateData {
             graph,
-            initial,
-            stubbornness,
+            initial: initial.into(),
+            stubbornness: stubbornness.into(),
             fixed_seeds: Vec::new(),
             system: OnceLock::new(),
         };
@@ -134,17 +144,27 @@ impl Instance {
     /// Common case: every candidate shares the same influence matrix and
     /// stubbornness (as in the paper's running example and experiments);
     /// only the initial opinions differ.
+    ///
+    /// Storage is structure-of-arrays: all `r` candidates alias **one**
+    /// stubbornness buffer and hold per-row windows into **one** flat
+    /// `r × n` opinion buffer, instead of `r` private copies — at large
+    /// `n` this is the dominant per-candidate memory term.
     pub fn shared(
         graph: Arc<SocialGraph>,
         initial: OpinionMatrix,
         stubbornness: Vec<f64>,
     ) -> Result<Self> {
         let r = initial.num_candidates();
+        // The matrix's own row width (length mismatches against the graph
+        // are still reported by `CandidateData::new`, not a window panic).
+        let n = initial.flat_data().len() / r.max(1);
+        let flat: Arc<[f64]> = initial.flat_data().into();
+        let stubbornness = SharedValues::from(stubbornness);
         let mut candidates = Vec::with_capacity(r);
         for q in 0..r {
             candidates.push(CandidateData::new(
                 Arc::clone(&graph),
-                initial.row(q).to_vec(),
+                SharedValues::window(Arc::clone(&flat), q * n, n),
                 stubbornness.clone(),
             )?);
         }

@@ -61,6 +61,7 @@ pub mod degroot;
 pub mod error;
 pub mod fj;
 pub mod opinion;
+pub mod shared;
 pub mod solver;
 pub mod stubbornness;
 
@@ -68,6 +69,7 @@ pub use campaign::{CandidateData, Instance};
 pub use error::DiffusionError;
 pub use fj::{DiffusionBuffer, FjEngine};
 pub use opinion::OpinionMatrix;
+pub use shared::SharedValues;
 pub use solver::{
     set_warm_start_enabled, warm_start_enabled, Baseline, DiffusionSystem, PooledSolver,
     SolveOptions, SolveReport, Solver, SolverCounters, SolverPool,

@@ -1,0 +1,160 @@
+//! Structure-of-arrays storage for per-candidate node vectors.
+//!
+//! An [`crate::Instance`] holds `r` candidates over the same `n` users;
+//! in the common shared-graph setting every candidate carries the same
+//! stubbornness diagonal and a row of one `r × n` opinion matrix. Storing
+//! those as `r` independent `Vec<f64>`s duplicates the stubbornness
+//! `r − 1` times and scatters the opinion rows across `r` allocations —
+//! at 10⁶ nodes that is 8 MB of pure waste per extra candidate.
+//!
+//! [`SharedValues`] is a window into one reference-counted `f64` buffer:
+//! candidates alias a single backing allocation (one flat opinion buffer,
+//! one stubbornness vector) and each hold only a `(ptr, offset, len)`
+//! view. It dereferences to `&[f64]`, so every consumer that used to take
+//! the `Vec` slices compiles unchanged.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable window into a shared `f64` buffer.
+///
+/// Behaves like a `&[f64]` (via `Deref`), compares by value, and clones
+/// by bumping the backing buffer's reference count. Construct one from a
+/// `Vec<f64>` (sole owner of its backing buffer) or with
+/// [`SharedValues::window`] to alias a slice of an existing buffer.
+#[derive(Clone)]
+pub struct SharedValues {
+    data: Arc<[f64]>,
+    offset: usize,
+    len: usize,
+}
+
+impl SharedValues {
+    /// A view of `data[offset..offset + len]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the buffer.
+    pub fn window(data: Arc<[f64]>, offset: usize, len: usize) -> Self {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= data.len()),
+            "window {offset}..{} exceeds buffer of {}",
+            offset + len,
+            data.len()
+        );
+        SharedValues { data, offset, len }
+    }
+
+    /// The viewed values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+
+    /// Whether two views alias the same backing buffer (not just equal
+    /// values). Memory accounting uses this to count a shared buffer once.
+    pub fn same_backing(&self, other: &SharedValues) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Heap bytes of the full backing buffer (not just this window).
+    /// Callers that sum across views should dedup with
+    /// [`SharedValues::same_backing`].
+    pub fn backing_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Deref for SharedValues {
+    type Target = [f64];
+
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<f64>> for SharedValues {
+    fn from(v: Vec<f64>) -> Self {
+        let len = v.len();
+        SharedValues {
+            data: v.into(),
+            offset: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[f64]> for SharedValues {
+    fn from(v: &[f64]) -> Self {
+        v.to_vec().into()
+    }
+}
+
+impl PartialEq for SharedValues {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<f64>> for SharedValues {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[f64]> for SharedValues {
+    fn eq(&self, other: &[f64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for SharedValues {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_round_trip_and_equality() {
+        let v = vec![0.1, 0.2, 0.3];
+        let s = SharedValues::from(v.clone());
+        assert_eq!(s.len(), 3);
+        assert_eq!(&s[..], &v[..]);
+        assert_eq!(s, v);
+        assert_eq!(s.to_vec(), v);
+        assert_eq!(s, SharedValues::from(v));
+    }
+
+    #[test]
+    fn windows_alias_one_buffer() {
+        let flat: Arc<[f64]> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0].into();
+        let a = SharedValues::window(Arc::clone(&flat), 0, 3);
+        let b = SharedValues::window(Arc::clone(&flat), 3, 3);
+        assert_eq!(&a[..], &[1.0, 2.0, 3.0]);
+        assert_eq!(&b[..], &[4.0, 5.0, 6.0]);
+        assert!(a.same_backing(&b));
+        assert_eq!(a.backing_bytes(), 6 * 8);
+        // Independent buffers do not alias.
+        assert!(!a.same_backing(&SharedValues::from(a.to_vec())));
+    }
+
+    #[test]
+    fn clone_shares_rather_than_copies() {
+        let s = SharedValues::from(vec![0.5; 4]);
+        let c = s.clone();
+        assert!(s.same_backing(&c));
+        assert_eq!(s, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn out_of_bounds_window_panics() {
+        let flat: Arc<[f64]> = vec![0.0; 4].into();
+        let _ = SharedValues::window(flat, 2, 3);
+    }
+}

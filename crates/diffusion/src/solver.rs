@@ -363,14 +363,20 @@ impl DiffusionSystem {
         &self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Exact owned heap footprint in bytes: `FlatBuf` capacities (zero
+    /// for zero-copy snapshot borrows) plus the `Vec` capacities of the
+    /// bitmap and the folded constants, so slack is never hidden.
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        (self.in_offsets.len() + self.out_offsets.len()) * size_of::<usize>()
-            + (self.in_sources.len() + self.out_targets.len()) * size_of::<Node>()
-            + (self.in_weights.len() + self.b0.len() + self.d.len()) * size_of::<f64>()
-            + (self.omd.len() + self.db0.len()) * size_of::<f64>()
-            + self.has_in.len()
+        self.in_offsets.heap_bytes()
+            + self.in_sources.heap_bytes()
+            + self.in_weights.heap_bytes()
+            + self.out_offsets.heap_bytes()
+            + self.out_targets.heap_bytes()
+            + self.b0.heap_bytes()
+            + self.d.heap_bytes()
+            + (self.omd.capacity() + self.db0.capacity()) * size_of::<f64>()
+            + self.has_in.capacity()
     }
 
     /// The FJ update of one node from the current row:
@@ -571,11 +577,17 @@ impl Baseline {
         self.rows.last().expect("baseline has at least row 0")
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Exact owned heap footprint in bytes (`Vec` capacities throughout,
+    /// including each recorded row's own buffer).
     pub fn heap_bytes(&self) -> usize {
-        self.rows.len() * self.is_seed.len() * std::mem::size_of::<f64>()
-            + self.is_seed.len()
-            + self.seeds.len() * std::mem::size_of::<Node>()
+        self.rows.capacity() * std::mem::size_of::<Vec<f64>>()
+            + self
+                .rows
+                .iter()
+                .map(|r| r.capacity() * std::mem::size_of::<f64>())
+                .sum::<usize>()
+            + self.is_seed.capacity()
+            + self.seeds.capacity() * std::mem::size_of::<Node>()
     }
 }
 
@@ -1270,7 +1282,17 @@ mod tests {
         let sys = DiffusionSystem::new(&g, &b0, &d).unwrap();
         assert_eq!(sys.num_nodes(), 4);
         assert_eq!(sys.num_edges(), 3);
-        assert!(sys.heap_bytes() > 0);
+        // Capacity-exact accounting: `new` allocates the CSR arrays with
+        // exact capacities (n+1 offsets, m sources/targets/weights) and
+        // five n-sized per-node arrays (b0, d, omd, db0, has_in).
+        let (n, m) = (4usize, 3usize);
+        assert_eq!(
+            sys.heap_bytes(),
+            2 * (n + 1) * std::mem::size_of::<usize>()
+                + 2 * m * std::mem::size_of::<Node>()
+                + (m + 4 * n) * std::mem::size_of::<f64>()
+                + n
+        );
         let in2: Vec<_> = sys.in_entries(2).collect();
         assert_eq!(in2, vec![(0, 0.5), (1, 0.5)]);
         assert_eq!(sys.out_neighbors(2), &[3]);

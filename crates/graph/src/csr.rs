@@ -97,11 +97,12 @@ impl Csr {
         (self.offsets[v], self.offsets[v + 1])
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Exact owned heap footprint in bytes — `Vec` **capacities**, so any
+    /// post-build slack is visible to the memory accounting.
     pub fn heap_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
-            + self.targets.len() * std::mem::size_of::<Node>()
-            + self.weights.len() * std::mem::size_of::<f64>()
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.targets.capacity() * std::mem::size_of::<Node>()
+            + self.weights.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -152,7 +153,15 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_positive() {
-        assert!(sample().heap_bytes() > 0);
+    fn heap_bytes_is_capacity_exact() {
+        // `from_grouped_edges` allocates every buffer exact-size, so the
+        // capacity-based accounting equals the closed-form footprint.
+        let csr = sample();
+        assert_eq!(
+            csr.heap_bytes(),
+            (csr.num_nodes() + 1) * std::mem::size_of::<usize>()
+                + csr.num_edges() * std::mem::size_of::<Node>()
+                + csr.num_edges() * std::mem::size_of::<f64>()
+        );
     }
 }

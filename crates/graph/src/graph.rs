@@ -127,9 +127,10 @@ impl SocialGraph {
         Ok(())
     }
 
-    /// Approximate heap footprint in bytes (both CSR layouts + bitmap).
+    /// Exact owned heap footprint in bytes (both CSR layouts + bitmap),
+    /// counting `Vec` capacities so allocation slack is visible.
     pub fn heap_bytes(&self) -> usize {
-        self.in_csr.heap_bytes() + self.out_csr.heap_bytes() + self.has_in.len()
+        self.in_csr.heap_bytes() + self.out_csr.heap_bytes() + self.has_in.capacity()
     }
 }
 

@@ -45,8 +45,10 @@ use std::path::Path;
 pub const MAGIC: u64 = u64::from_le_bytes(*b"VOMPIDX1");
 
 /// Current snapshot format version; any change to the header, section
-/// table or section encodings bumps this.
-pub const FORMAT_VERSION: u64 = 1;
+/// table or section encodings bumps this. Version 2 dropped the
+/// redundant RS `walk_gain` section (gains are derived from the
+/// truncation end values on load).
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Header size in bytes (7 little-endian `u64` slots).
 pub const HEADER_BYTES: usize = 7 * 8;
@@ -408,6 +410,18 @@ impl<T> FlatBuf<T> {
     /// Whether this buffer borrows a snapshot region (no owned heap).
     pub fn is_static(&self) -> bool {
         matches!(self, FlatBuf::Static(_))
+    }
+
+    /// Heap bytes owned by this buffer: the full `Vec` **capacity** for
+    /// [`FlatBuf::Owned`] (post-build slack counts — it is resident), and
+    /// zero for [`FlatBuf::Static`] (the snapshot region is shared, not
+    /// owned). Every artifact `heap_bytes` impl sums these, so the
+    /// accounting contract is capacity-exact by construction.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            FlatBuf::Owned(v) => v.capacity() * std::mem::size_of::<T>(),
+            FlatBuf::Static(_) => 0,
+        }
     }
 }
 

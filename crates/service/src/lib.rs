@@ -205,6 +205,62 @@ pub struct IndexStats {
     pub build_time: Duration,
 }
 
+/// Outcome of a [`VomService::warm_from_dir`] scan: how many snapshots
+/// became served indexes, and — per file — why the rest did not. A
+/// non-empty `skipped` list is not an error (the affected indexes are
+/// rebuilt lazily), but it is the difference between a clean warm
+/// restart and one degrading to cold builds, so callers should log it.
+#[derive(Debug)]
+pub struct WarmSummary {
+    /// Snapshots loaded and memoized.
+    pub loaded: usize,
+    /// Snapshot files present but not served, with typed reasons.
+    pub skipped: Vec<SkippedSnapshot>,
+}
+
+impl WarmSummary {
+    /// Whether every `.vpi` file in the directory was served.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// One `.vpi` file a warm restart could not serve from.
+#[derive(Debug)]
+pub struct SkippedSnapshot {
+    /// The snapshot file.
+    pub path: PathBuf,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+}
+
+/// Why [`VomService::warm_from_dir`] skipped a snapshot file.
+#[derive(Debug)]
+pub enum SkipReason {
+    /// The file failed to open or validate (truncation, corruption,
+    /// format-version drift — see the wrapped [`PersistError`]).
+    Unreadable(PersistError),
+    /// No registered graph matches the snapshot's graph digest.
+    NoMatchingGraph {
+        /// The snapshot's graph digest.
+        digest: u64,
+    },
+    /// A graph digest-matched but reconstructing the index failed.
+    LoadFailed(ServiceError),
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::Unreadable(e) => write!(f, "unreadable snapshot: {e}"),
+            SkipReason::NoMatchingGraph { digest } => {
+                write!(f, "no registered graph matches digest {digest:016x}")
+            }
+            SkipReason::LoadFailed(e) => write!(f, "index load failed: {e}"),
+        }
+    }
+}
+
 /// Everything a prepared index depends on — the memoization key. The
 /// budget bucket (`k` rounded up to a power of two, capped at `n`)
 /// depends only on the query, so memo hits can never change results.
@@ -467,8 +523,10 @@ impl VomService {
     /// required), and memoizes every match. Snapshots that fail to load
     /// — corruption, version drift, no matching graph — are skipped, not
     /// fatal: the corresponding indexes are simply rebuilt on first use.
-    /// Returns the number of indexes loaded.
-    pub fn warm_from_dir(&self, dir: &Path) -> Result<usize, ServiceError> {
+    /// Every skip is reported with its file and typed reason in the
+    /// returned [`WarmSummary`], so operators can tell a clean restart
+    /// from one that silently fell back to rebuilds.
+    pub fn warm_from_dir(&self, dir: &Path) -> Result<WarmSummary, ServiceError> {
         let digests: Vec<(String, u64)> = {
             let graphs = self.graphs.read().expect("graphs lock");
             graphs
@@ -482,7 +540,10 @@ impl VomService {
                 message: e.to_string(),
             })
         })?;
-        let mut loaded = 0;
+        let mut summary = WarmSummary {
+            loaded: 0,
+            skipped: Vec::new(),
+        };
         let mut paths: Vec<PathBuf> = entries
             .filter_map(|e| e.ok())
             .map(|e| e.path())
@@ -490,17 +551,34 @@ impl VomService {
             .collect();
         paths.sort();
         for path in paths {
-            let Ok(snap) = vom_persist::Snapshot::open(&path, vom_persist::LoadMode::Copy) else {
-                continue;
+            let snap = match vom_persist::Snapshot::open(&path, vom_persist::LoadMode::Copy) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    summary.skipped.push(SkippedSnapshot {
+                        path,
+                        reason: SkipReason::Unreadable(e),
+                    });
+                    continue;
+                }
             };
             let Some((graph, _)) = digests.iter().find(|(_, d)| *d == snap.graph_digest()) else {
+                summary.skipped.push(SkippedSnapshot {
+                    path,
+                    reason: SkipReason::NoMatchingGraph {
+                        digest: snap.graph_digest(),
+                    },
+                });
                 continue;
             };
-            if self.load_index(graph, &path).is_ok() {
-                loaded += 1;
+            match self.load_index(graph, &path) {
+                Ok(()) => summary.loaded += 1,
+                Err(e) => summary.skipped.push(SkippedSnapshot {
+                    path,
+                    reason: SkipReason::LoadFailed(e),
+                }),
             }
         }
-        Ok(loaded)
+        Ok(summary)
     }
 
     /// The memoized (building if absent) index for a request, after
@@ -828,7 +906,16 @@ mod tests {
         // Second process: warm from the directory, then serve without
         // building anything.
         let second = service();
-        assert_eq!(second.warm_from_dir(&dir).unwrap(), 2);
+        let summary = second.warm_from_dir(&dir).unwrap();
+        assert_eq!(summary.loaded, 2);
+        // The junk file is reported, not silently dropped.
+        assert!(!summary.is_clean());
+        assert_eq!(summary.skipped.len(), 1);
+        assert!(summary.skipped[0].path.ends_with("junk.vpi"));
+        assert!(matches!(
+            summary.skipped[0].reason,
+            SkipReason::Unreadable(_)
+        ));
         assert_eq!(second.index_count(), 2);
         let stats = second.index_stats();
         assert_eq!(stats.len(), 2);
@@ -841,6 +928,83 @@ mod tests {
             assert_eq!(a.seeds, b.seeds);
             assert_eq!(a.exact_score.to_bits(), b.exact_score.to_bits());
         }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_from_dir_reports_each_skip_with_a_typed_reason() {
+        let dir = std::env::temp_dir().join(format!(
+            "vom-service-skips-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let saver = service();
+        let req = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Cumulative, 0),
+        );
+        let good = saver.save_index(&req, &dir).unwrap();
+
+        // A corrupt copy of the good snapshot: flip one payload byte so
+        // the header parses but the payload digest fails.
+        let mut bytes = std::fs::read(&good).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x01;
+        std::fs::write(dir.join("corrupt.vpi"), &bytes).unwrap();
+        // A snapshot whose graph was never registered here.
+        let foreign = VomService::new();
+        let g = Arc::new(graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap());
+        let b = OpinionMatrix::from_rows(vec![vec![0.2, 0.4, 0.6]]).unwrap();
+        foreign
+            .register(
+                "elsewhere",
+                Arc::new(Instance::shared(g, b, vec![0.5, 0.5, 0.5]).unwrap()),
+            )
+            .unwrap();
+        let freq = ServiceRequest::new(
+            "elsewhere",
+            MethodId::Dm,
+            1,
+            Query::new(1, ScoringFunction::Cumulative, 0),
+        );
+        foreign.save_index(&freq, &dir).unwrap();
+
+        let fresh = service();
+        let summary = fresh.warm_from_dir(&dir).unwrap();
+        assert_eq!(summary.loaded, 1, "only the good snapshot serves");
+        assert_eq!(fresh.index_count(), 1);
+        assert_eq!(summary.skipped.len(), 2);
+        let corrupt = summary
+            .skipped
+            .iter()
+            .find(|s| s.path.ends_with("corrupt.vpi"))
+            .expect("corrupt file reported");
+        assert!(matches!(
+            corrupt.reason,
+            SkipReason::Unreadable(PersistError::DigestMismatch { .. })
+        ));
+        let unmatched = summary
+            .skipped
+            .iter()
+            .find(|s| !s.path.ends_with("corrupt.vpi"))
+            .expect("foreign file reported");
+        assert!(matches!(
+            unmatched.reason,
+            SkipReason::NoMatchingGraph { .. }
+        ));
+        // Reasons render readably for operator logs.
+        assert!(corrupt.reason.to_string().contains("unreadable snapshot"));
+
+        // The served index answers identically to a fresh build.
+        let warmed = fresh.run(&req).unwrap();
+        let rebuilt = saver.run(&req).unwrap();
+        assert_eq!(warmed.seeds, rebuilt.seeds);
+        assert_eq!(warmed.exact_score.to_bits(), rebuilt.exact_score.to_bits());
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -33,10 +33,6 @@ pub struct SketchSet {
     start_sum: Vec<f64>,
     /// Per start node: number of sketches started there.
     start_count: Vec<u32>,
-    /// Sketch index -> current contribution gain `1 − end_value`, cached
-    /// for the per-candidate occurrence scans; `0.0` once the sketch
-    /// ends at a seed. Maintained by `add_seed_into`.
-    walk_gain: Vec<f64>,
 }
 
 /// Manual impl so `clone_from` reuses the target's allocations: a query
@@ -52,7 +48,6 @@ impl Clone for SketchSet {
             n: self.n,
             start_sum: self.start_sum.clone(),
             start_count: self.start_count.clone(),
-            walk_gain: self.walk_gain.clone(),
         }
     }
 
@@ -63,7 +58,6 @@ impl Clone for SketchSet {
         self.n = source.n;
         self.start_sum.clone_from(&source.start_sum);
         self.start_count.clone_from(&source.start_count);
-        self.walk_gain.clone_from(&source.walk_gain);
     }
 }
 
@@ -95,12 +89,10 @@ impl SketchSet {
             .collect();
         let mut start_sum = vec![0.0f64; n];
         let mut start_count = vec![0u32; n];
-        let mut walk_gain = vec![0.0f64; end_values.len()];
         for (j, &end) in end_values.iter().enumerate() {
             let v = arena.start(j) as usize;
             start_sum[v] += end;
             start_count[v] += 1;
-            walk_gain[j] = 1.0 - end;
         }
         SketchSet {
             arena: Arc::new(arena),
@@ -109,7 +101,6 @@ impl SketchSet {
             n,
             start_sum,
             start_count,
-            walk_gain,
         }
     }
 
@@ -125,13 +116,9 @@ impl SketchSet {
         n: usize,
         start_sum: Vec<f64>,
         start_count: Vec<u32>,
-        walk_gain: Vec<f64>,
     ) -> Result<Self, &'static str> {
         if b0.len() != n || start_sum.len() != n || start_count.len() != n {
             return Err("per-node sketch arrays must have length n");
-        }
-        if walk_gain.len() != arena.num_walks() {
-            return Err("walk gains must cover every sketch");
         }
         if !trunc.seeds().is_empty() {
             return Err("a persisted sketch set must be pristine");
@@ -146,22 +133,20 @@ impl SketchSet {
             n,
             start_sum,
             start_count,
-            walk_gain,
         })
     }
 
     /// The persisted pieces: the shared arena, the truncation, and the
-    /// pooled arrays `(b0, start_sum, start_count, walk_gain)` — exactly
-    /// the buffers a snapshot writer serializes verbatim.
-    #[allow(clippy::type_complexity)]
-    pub fn parts(&self) -> (&Arc<WalkArena>, &Truncation, &[f64], &[f64], &[u32], &[f64]) {
+    /// pooled arrays `(b0, start_sum, start_count)` — exactly the
+    /// buffers a snapshot writer serializes verbatim. (Per-sketch gains
+    /// are not stored: `1 − end_value` is derived from the truncation.)
+    pub fn parts(&self) -> (&Arc<WalkArena>, &Truncation, &[f64], &[f64], &[u32]) {
         (
             &self.arena,
             &self.trunc,
             &self.b0,
             &self.start_sum,
             &self.start_count,
-            &self.walk_gain,
         )
     }
 
@@ -237,12 +222,9 @@ impl SketchSet {
         let arena = &self.arena;
         let b0 = &self.b0;
         let start_sum = &mut self.start_sum;
-        let walk_gain = &mut self.walk_gain;
         self.trunc.add_seed(arena, u, |walk, old_end| {
             let start = arena.start(walk);
             start_sum[start as usize] += 1.0 - b0[old_end as usize];
-            // The sketch now ends at a seed: value 1, gain gone for good.
-            walk_gain[walk] = 0.0;
             touched.push(start);
         });
         touched.sort_unstable();
@@ -387,7 +369,11 @@ impl SketchSet {
         let (walks, positions) = self.trunc.first_occurrences(w);
         for (&walk, &pos) in walks.iter().zip(positions) {
             let walk = walk as usize;
-            let gain = self.walk_gain[walk];
+            // Derived, not cached: a sketch's gain is `1 − end_value` at
+            // all times (end_value pins to 1 once the end is a seed), so
+            // no θ-sized gain array is kept. Same value, same check
+            // order as the historical cached-gain path — bit-identical.
+            let gain = 1.0 - self.trunc.end_value(&self.arena, &self.b0, walk);
             if gain <= 0.0 {
                 continue;
             }
@@ -492,13 +478,15 @@ impl SketchSet {
         }
     }
 
-    /// Approximate heap footprint (Figure 17's memory comparison).
+    /// Exact owned heap footprint (Figure 17's memory comparison and the
+    /// scale-stress workload): `Vec` **capacities**, the shared arena's
+    /// buffers, and the truncation state — post-build slack included.
     pub fn heap_bytes(&self) -> usize {
         self.arena.heap_bytes()
-            + self.b0.len() * std::mem::size_of::<f64>()
-            + self.start_sum.len() * std::mem::size_of::<f64>()
-            + self.start_count.len() * std::mem::size_of::<u32>()
-            + self.walk_gain.len() * std::mem::size_of::<f64>()
+            + self.trunc.heap_bytes()
+            + self.b0.capacity() * std::mem::size_of::<f64>()
+            + self.start_sum.capacity() * std::mem::size_of::<f64>()
+            + self.start_count.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -729,9 +717,24 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_positive() {
+    fn heap_bytes_is_capacity_exact() {
         let (g, b0, d, _) = running_example();
         let s = SketchSet::generate(&g, &d, &b0, 2, 100, 37);
-        assert!(s.heap_bytes() > 0);
+        // The accounting is the sum of its parts — arena, truncation, and
+        // the three pooled per-node arrays (all built exact-size).
+        let (arena, trunc, b0s, sums, counts) = s.parts();
+        assert_eq!(
+            s.heap_bytes(),
+            arena.heap_bytes()
+                + trunc.heap_bytes()
+                + (b0s.len() + sums.len()) * std::mem::size_of::<f64>()
+                + std::mem::size_of_val(counts)
+        );
+        // No θ-sized gain cache rides along: the footprint beyond arena +
+        // truncation is exactly the 3 per-node arrays (20 bytes/node).
+        assert_eq!(
+            s.heap_bytes() - arena.heap_bytes() - trunc.heap_bytes(),
+            s.num_nodes() * 20
+        );
     }
 }

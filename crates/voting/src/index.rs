@@ -134,6 +134,13 @@ impl RankIndex {
         (&self.values, &self.owners)
     }
 
+    /// Exact owned heap footprint in bytes: the two `n·(r−1)` arrays at
+    /// full `Vec` capacity when owned, zero when borrowed zero-copy from
+    /// a snapshot.
+    pub fn heap_bytes(&self) -> usize {
+        self.values.heap_bytes() + self.owners.heap_bytes()
+    }
+
     /// The target candidate the index was built for.
     pub fn target(&self) -> Candidate {
         self.q

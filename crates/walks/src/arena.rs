@@ -124,15 +124,14 @@ impl WalkArena {
         self.groups.as_ref().map(|g| g.len() - 1)
     }
 
-    /// Approximate heap footprint in bytes (reported by the Figure 17
-    /// memory experiment).
+    /// Exact owned heap footprint in bytes (reported by the Figure 17
+    /// memory experiment and the scale-stress workload): full `Vec`
+    /// **capacity** for owned buffers — slack is resident memory and must
+    /// be visible — and zero for zero-copy snapshot borrows.
     pub fn heap_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<Node>()
-            + self.offsets.len() * std::mem::size_of::<usize>()
-            + self
-                .groups
-                .as_ref()
-                .map_or(0, |g| g.len() * std::mem::size_of::<usize>())
+        self.nodes.heap_bytes()
+            + self.offsets.heap_bytes()
+            + self.groups.as_ref().map_or(0, FlatBuf::heap_bytes)
     }
 }
 
@@ -195,8 +194,13 @@ impl WalkArenaBuilder {
             .extend(other.offsets.iter().skip(1).map(|o| o + base));
     }
 
-    /// Finalizes into an arena with optional start groups.
-    pub fn build(self, groups: Option<Vec<usize>>) -> WalkArena {
+    /// Finalizes into an arena with optional start groups. The capacity
+    /// hints over-reserve (walk lengths are random), so the buffers are
+    /// shrunk to fit here — the arena is immutable from now on and its
+    /// `heap_bytes` accounting charges capacity, not length.
+    pub fn build(mut self, groups: Option<Vec<usize>>) -> WalkArena {
+        self.nodes.shrink_to_fit();
+        self.offsets.shrink_to_fit();
         WalkArena::new(self.nodes, self.offsets, groups)
     }
 }
@@ -272,7 +276,33 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_positive() {
-        assert!(sample().heap_bytes() > 0);
+    fn heap_bytes_is_capacity_exact() {
+        // A built arena owns shrunk-to-fit buffers: the accounting must
+        // equal the exact capacity-based formula, not a length estimate.
+        let a = sample();
+        let (nodes, offsets, _) = a.parts();
+        assert_eq!(
+            a.heap_bytes(),
+            std::mem::size_of_val(nodes) + std::mem::size_of_val(offsets)
+        );
+
+        // Owned buffers with deliberate slack: capacity counts, len does
+        // not.
+        let mut nodes = Vec::with_capacity(64);
+        nodes.extend_from_slice(&[0 as Node, 1]);
+        let node_cap = nodes.capacity();
+        let slack = WalkArena::from_parts(nodes.into(), vec![0usize, 2].into(), None).unwrap();
+        assert_eq!(
+            slack.heap_bytes(),
+            node_cap * std::mem::size_of::<Node>() + 2 * std::mem::size_of::<usize>()
+        );
+
+        // Static (zero-copy loaded) buffers own no heap at all.
+        static NODES: [Node; 2] = [0, 1];
+        static OFFSETS: [usize; 2] = [0, 2];
+        let mapped =
+            WalkArena::from_parts(FlatBuf::Static(&NODES), FlatBuf::Static(&OFFSETS), None)
+                .unwrap();
+        assert_eq!(mapped.heap_bytes(), 0);
     }
 }

@@ -225,6 +225,21 @@ impl Truncation {
         (&self.index.occ_walk[s..e], &self.index.occ_pos[s..e])
     }
 
+    /// Exact owned heap footprint in bytes: full `Vec` capacities for the
+    /// per-query mutable state plus the shared occurrence index's
+    /// [`FlatBuf`]s (capacity when owned, zero when borrowed from a
+    /// snapshot). The index is `Arc`-shared across clones; each clone
+    /// reports the whole index, which matches how one prepared engine
+    /// holds exactly one pristine truncation.
+    pub fn heap_bytes(&self) -> usize {
+        self.end_pos.capacity() * std::mem::size_of::<u32>()
+            + self.is_seed.capacity()
+            + self.seeds.capacity() * std::mem::size_of::<Node>()
+            + self.index.occ_off.heap_bytes()
+            + self.index.occ_walk.heap_bytes()
+            + self.index.occ_pos.heap_bytes()
+    }
+
     /// Adds `u` to the seed set, truncating every walk whose live prefix
     /// contains `u`.
     ///

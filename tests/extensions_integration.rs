@@ -156,7 +156,7 @@ fn dynamics_campaign_end_to_end_on_a_replica() {
     let t = 8;
     let graph = inst.graph_of(q).clone();
     let rows: Vec<Vec<f64>> = (0..inst.num_candidates())
-        .map(|c| inst.candidate(c).initial.clone())
+        .map(|c| inst.candidate(c).initial.to_vec())
         .collect();
     let initial = OpinionMatrix::from_rows(rows).unwrap();
 

@@ -176,7 +176,7 @@ fn monte_carlo_expectations_are_bit_identical_across_thread_counts() {
     let cand = ds.instance.candidate(ds.default_target);
     let n = cand.graph.num_nodes();
     let initial = vom::diffusion::OpinionMatrix::from_rows(vec![
-        cand.initial.clone(),
+        cand.initial.to_vec(),
         cand.initial.iter().map(|b| 1.0 - b).collect(),
     ])
     .unwrap();
