@@ -1,0 +1,49 @@
+//! Seeded violations — one per lint — used by the audit's self-test.
+//! Never compiled; this file exists to be scanned.
+
+// d-hash-iter: hash-order import in shipped code.
+use std::collections::HashMap;
+
+/// d-float-cmp: a NaN in `xs` panics or silently ties here.
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// d-wall-clock and d-env-read in result-producing code.
+pub fn tainted() -> (u64, HashMap<String, String>) {
+    let t = std::time::Instant::now();
+    let _home = std::env::var("HOME");
+    (t.elapsed().as_nanos() as u64, HashMap::new())
+}
+
+/// A second timer carrying a *well-formed* waiver: this one must be
+/// suppressed and show up in the report as a used waiver.
+pub fn waived_timer() -> u64 {
+    // audit:allow(d-wall-clock, "seeded fixture: demonstrates a used waiver")
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+// audit-waiver: names a lint that does not exist.
+// audit:allow(d-determinism, "no such lint id")
+pub fn mislabeled() {}
+
+/// s-safety-comment: an `unsafe` block with no proof obligation.
+/// (s-crate-attrs also fires: this crate has `unsafe` but its root lacks
+/// `#![deny(unsafe_op_in_unsafe_fn)]`.)
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Local stand-in for the persist trait.
+pub unsafe trait Pod {}
+
+pub struct Composite {
+    pub a: u8,
+    pub b: u64,
+}
+
+// s-pod-impl: `unsafe impl Pod` outside vom-persist (and for a padded
+// composite type at that).
+// SAFETY: (deliberately bogus claim — the lint must fire anyway)
+unsafe impl Pod for Composite {}

@@ -1,0 +1,440 @@
+//! A minimal, comment- and string-aware token lexer for Rust source.
+//!
+//! The audit lints only need to see *code* tokens with line numbers plus
+//! the comment stream (for `SAFETY:` obligations and `audit:allow`
+//! waivers) — so this lexer does exactly that and nothing more: string
+//! and char literals are swallowed whole (their contents can never
+//! trigger a lint), comments are captured out-of-band with their line
+//! spans, and everything else becomes an identifier, a number, or a
+//! single-character punctuation token. No expression structure, no
+//! macro expansion — the lint layer works on token patterns.
+
+/// What a code token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`s, without the `r#`).
+    Ident,
+    /// A number, string, char or byte literal (contents not retained for
+    /// strings/chars — literal text can never violate a lint).
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (empty for string/char literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block) with its text and 1-based line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text, delimiters stripped.
+    pub text: String,
+    /// Line the comment starts on.
+    pub start_line: u32,
+    /// Line the comment ends on (== `start_line` for line comments).
+    pub end_line: u32,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The first line at or after `line` that carries a code token, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // Line comment (incl. `///` and `//!` docs).
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: b[start..j].iter().collect(),
+                    start_line: line,
+                    end_line: line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment; Rust block comments nest.
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: b[start..j.saturating_sub(2).max(start)].iter().collect(),
+                    start_line,
+                    end_line: line,
+                });
+                i = j;
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            '\'' => {
+                // Char literal vs lifetime. `'\...'` and `'x'` are
+                // literals; `'ident` (no closing quote right after the
+                // identifier run) is a lifetime.
+                if i + 1 < n && b[i + 1] == '\\' {
+                    let mut j = i + 2;
+                    // Skip the escape, then scan to the closing quote.
+                    while j < n && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else if i + 2 < n && is_ident_start(b[i + 1]) {
+                    let mut j = i + 2;
+                    while j < n && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' && j == i + 2 {
+                        // Single-char literal like 'x'.
+                        i = j + 1;
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            text: String::new(),
+                            line,
+                        });
+                    } else {
+                        // Lifetime: consume `'ident` silently.
+                        i = j;
+                    }
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    // Non-identifier single char like '(' or '0'.
+                    i += 3;
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    i += 1; // stray quote; be permissive
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (is_ident_cont(b[j])) {
+                    j += 1;
+                }
+                // Fraction / exponent: `1.5`, `1e-3` (but not `0..n`).
+                if j + 1 < n && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < n && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                }
+                if j < n
+                    && (b[j.saturating_sub(1)] == 'e' || b[j.saturating_sub(1)] == 'E')
+                    && (b[j] == '+' || b[j] == '-')
+                {
+                    j += 1;
+                    while j < n && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                // Check for string prefixes: r" r#" b" br" c" cr" b'.
+                if let Some(next) = string_prefix_len(&b, i) {
+                    let mut j = i + next;
+                    if j < n && (b[j] == '"' || b[j] == '#') {
+                        i = skip_raw_or_plain_string(&b, i + next, &mut line);
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            text: String::new(),
+                            line,
+                        });
+                        continue;
+                    }
+                    if j < n && b[j] == '\'' && b[i] == 'b' {
+                        // Byte char literal b'x'.
+                        j += 1;
+                        if j < n && b[j] == '\\' {
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                        while j < n && b[j] != '\'' {
+                            j += 1;
+                        }
+                        i = (j + 1).min(n);
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            text: String::new(),
+                            line,
+                        });
+                        continue;
+                    }
+                }
+                // Raw identifier `r#ident` (keep the ident text).
+                let start = if c == 'r'
+                    && i + 1 < n
+                    && b[i + 1] == '#'
+                    && i + 2 < n
+                    && is_ident_start(b[i + 2])
+                {
+                    i + 2
+                } else {
+                    i
+                };
+                let mut j = start;
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// If position `i` starts a possible literal prefix (`r`, `b`, `br`,
+/// `c`, `cr`), returns the prefix length to look past; `None` otherwise.
+fn string_prefix_len(b: &[char], i: usize) -> Option<usize> {
+    match b[i] {
+        'r' | 'c' => Some(1),
+        'b' => {
+            if i + 1 < b.len() && (b[i + 1] == 'r') {
+                Some(2)
+            } else {
+                Some(1)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Skips a plain `"..."` string starting at the opening quote; returns
+/// the index just past the closing quote. Tracks newlines into `line`.
+fn skip_string(b: &[char], open: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = open + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Skips a string whose opener (after any prefix letters) is at `at`:
+/// either a raw string `#*"` or a plain `"`. Returns the index past the
+/// closing delimiter.
+fn skip_raw_or_plain_string(b: &[char], at: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut hashes = 0usize;
+    let mut j = at;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || b[j] != '"' {
+        return j; // not actually a string; resync
+    }
+    if hashes == 0 && b[at] == '"' && !raw_marker(b, at) {
+        return skip_string(b, at, line);
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks, no escapes.
+    j += 1;
+    while j < n {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Whether the char before `at` marks this as a raw string (`r`/`br`/`cr`).
+fn raw_marker(b: &[char], at: usize) -> bool {
+    at > 0 && (b[at - 1] == 'r')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let s = "unsafe partial_cmp HashMap";
+            let r = r#"Instant::now()"#;
+            // comment with unsafe inside
+            /* block with partial_cmp */
+            let x = env_like; // not env::var
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unsafe"));
+        assert!(!ids.iter().any(|t| t == "partial_cmp"));
+        assert!(!ids.iter().any(|t| t == "Instant"));
+        assert!(ids.iter().any(|t| t == "env_like"));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 3);
+        assert!(lx.comments[0].text.contains("unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // If `'a` were taken as a char literal opener, the `>` and the
+        // rest of the signature would be swallowed.
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'z'; let e = '\\n';";
+        let ids = idents(src);
+        assert!(ids.iter().any(|t| t == "str"));
+        let toks = lex(src);
+        let lits = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2, "exactly the two char literals");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nlet target = 1;";
+        let lx = lex(src);
+        let t = lx.tokens.iter().find(|t| t.is_ident("target")).unwrap();
+        assert_eq!(t.line, 5);
+        assert_eq!(lx.comments[0].start_line, 3);
+        assert_eq!(lx.comments[0].end_line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_eat_dots() {
+        let lx = lex("for i in 0..7usize {}");
+        assert!(lx.tokens.iter().filter(|t| t.is_punct('.')).count() == 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("x")));
+    }
+}

@@ -1,0 +1,731 @@
+//! The two lint families (DESIGN.md §2d) over the lexed token stream.
+//!
+//! **D-lints** guard the determinism contract every digest pin rests on:
+//! no partial float orderings, no hash-order iteration, no wall-clock or
+//! environment reads inside result-producing code. **S-lints** guard the
+//! `unsafe` surface: every `unsafe` site carries its proof obligation, a
+//! crate either forbids `unsafe` outright or opts into strict
+//! `unsafe_op_in_unsafe_fn` discipline, and `unsafe impl Pod` stays
+//! restricted to provably padding-free primitives in `vom-persist`.
+//!
+//! Findings are *sites*, waivable one at a time with an `audit:allow`
+//! comment — the lint id plus a quoted reason — on the offending line
+//! or the line above; every waiver is surfaced in the JSON report.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+
+/// Every lint the scanner knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// `d-float-cmp`: calling `partial_cmp` on selection/scoring floats.
+    FloatCmp,
+    /// `d-hash-iter`: `HashMap`/`HashSet` in result-producing code.
+    HashIter,
+    /// `d-wall-clock`: `Instant::now` / `SystemTime` in scanned code.
+    WallClock,
+    /// `d-env-read`: `std::env` reads (`var`/`vars`/`args`).
+    EnvRead,
+    /// `s-safety-comment`: an `unsafe` site without a `SAFETY:` proof.
+    SafetyComment,
+    /// `s-crate-attrs`: crate root missing its unsafe-hygiene attribute.
+    CrateAttrs,
+    /// `s-pod-impl`: `unsafe impl Pod` for a non-provable type or crate.
+    PodImpl,
+    /// `audit-waiver`: a malformed or unknown `audit:allow` marker.
+    Waiver,
+}
+
+/// All real lints, in report order (excludes the waiver meta-lint).
+pub const ALL_LINTS: [Lint; 7] = [
+    Lint::FloatCmp,
+    Lint::HashIter,
+    Lint::WallClock,
+    Lint::EnvRead,
+    Lint::SafetyComment,
+    Lint::CrateAttrs,
+    Lint::PodImpl,
+];
+
+impl Lint {
+    /// Stable string id used in diagnostics and `audit:allow` markers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::FloatCmp => "d-float-cmp",
+            Lint::HashIter => "d-hash-iter",
+            Lint::WallClock => "d-wall-clock",
+            Lint::EnvRead => "d-env-read",
+            Lint::SafetyComment => "s-safety-comment",
+            Lint::CrateAttrs => "s-crate-attrs",
+            Lint::PodImpl => "s-pod-impl",
+            Lint::Waiver => "audit-waiver",
+        }
+    }
+
+    /// Parses a lint id as written in an `audit:allow` marker.
+    pub fn from_id(s: &str) -> Option<Lint> {
+        ALL_LINTS.iter().copied().find(|l| l.id() == s)
+    }
+
+    /// One-line invariant statement for reports and `--list`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Lint::FloatCmp => {
+                "float orderings must be total: use `total_cmp`, never `partial_cmp`, in \
+                 selection/scoring paths (a NaN must order deterministically, not panic or tie)"
+            }
+            Lint::HashIter => {
+                "no `HashMap`/`HashSet` where iteration can feed ordered or reduced results; \
+                 use BTree collections or waive with the ordering argument"
+            }
+            Lint::WallClock => {
+                "no `Instant`/`SystemTime` reads in result-producing code; phase timers must \
+                 be waived with the attribution-only argument"
+            }
+            Lint::EnvRead => {
+                "no environment reads in result-producing code; configuration knobs must be \
+                 waived with the results-invariance argument"
+            }
+            Lint::SafetyComment => {
+                "every `unsafe` block, fn, trait and impl carries a `SAFETY:` comment (or a \
+                 `# Safety` doc section) stating the invariant that makes it sound"
+            }
+            Lint::CrateAttrs => {
+                "a crate with `unsafe` code must `#![deny(unsafe_op_in_unsafe_fn)]`; every \
+                 other crate root must `#![forbid(unsafe_code)]`"
+            }
+            Lint::PodImpl => {
+                "`unsafe impl Pod` is legal only in vom-persist and only for padding-free \
+                 primitive element types the scanner can verify"
+            }
+            Lint::Waiver => "audit:allow markers must name a known lint and quote a reason",
+        }
+    }
+}
+
+/// One lint finding at a source site.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// 1-based line.
+    pub line: u32,
+    /// Site-specific diagnostic.
+    pub message: String,
+}
+
+/// One parsed `audit:allow` waiver site.
+#[derive(Debug, Clone)]
+pub struct WaiverSite {
+    /// The lint being waived.
+    pub lint: Lint,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// Source lines this waiver covers (its own line and the next code line).
+    pub covers: Vec<u32>,
+    /// The quoted justification.
+    pub reason: String,
+}
+
+/// Root-attribute facts needed by the crate-level `s-crate-attrs` check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RootAttrs {
+    /// `#![forbid(unsafe_code)]` (or deny) present.
+    pub forbids_unsafe_code: bool,
+    /// `#![deny(unsafe_op_in_unsafe_fn)]` (or forbid) present.
+    pub denies_unsafe_op: bool,
+}
+
+/// Everything the per-file pass learned about one source file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Raw findings (before waivers are applied).
+    pub findings: Vec<Finding>,
+    /// Waiver sites (before matching).
+    pub waivers: Vec<WaiverSite>,
+    /// Whether any active (non-test) `unsafe` token appears.
+    pub has_unsafe: bool,
+    /// Inner `#![...]` hygiene attributes found at the crate root.
+    pub root_attrs: RootAttrs,
+}
+
+/// Environment-reading functions under `std::env` that taint determinism.
+const ENV_READ_FNS: [&str; 6] = ["var", "var_os", "vars", "vars_os", "args", "args_os"];
+
+/// Padding-free primitive element types `unsafe impl Pod` may name.
+const POD_PRIMITIVES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32", "f64", "usize",
+    "isize",
+];
+
+/// Scans one file's source text. `is_pod_home` is true only for the
+/// crate allowed to define `Pod` impls (`vom-persist`).
+pub fn scan_file(src: &str, is_pod_home: bool) -> FileScan {
+    let lexed = lex(src);
+    let active = active_tokens(&lexed);
+    let mut scan = FileScan {
+        waivers: collect_waivers(&lexed),
+        ..FileScan::default()
+    };
+    // Malformed waiver markers are findings themselves.
+    for c in &lexed.comments {
+        if let Some(msg) = malformed_waiver(&c.text) {
+            scan.findings.push(Finding {
+                lint: Lint::Waiver,
+                line: c.start_line,
+                message: msg,
+            });
+        }
+    }
+    scan.root_attrs = root_attrs(&active);
+    scan.has_unsafe = active.iter().any(|t| t.is_ident("unsafe"));
+    check_float_cmp(&active, &mut scan.findings);
+    check_hash_iter(&active, &mut scan.findings);
+    check_wall_clock(&active, &mut scan.findings);
+    check_env_read(&active, &mut scan.findings);
+    check_safety_comments(&active, &lexed.comments, &mut scan.findings);
+    check_pod_impls(&active, is_pod_home, &mut scan.findings);
+    scan.findings.sort_by_key(|f| (f.line, f.lint));
+    scan
+}
+
+// ---------------------------------------------------------------------------
+// Test-code stripping
+// ---------------------------------------------------------------------------
+
+/// Returns the tokens that belong to shipped code: items behind
+/// `#[cfg(test)]` / `#[test]` attributes (and the attributes themselves)
+/// are dropped, so test-only conveniences (hash sets, timers, seeded
+/// `unsafe`-free fixtures) never trip a lint. `#[cfg(not(test))]` and
+/// other `not(...)`-shaped gates are conservatively kept.
+fn active_tokens(lexed: &Lexed) -> Vec<Tok> {
+    let toks = &lexed.tokens;
+    let mut keep = vec![true; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let close = match matching(toks, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            let content = &toks[i + 2..close];
+            let is_test_attr = content.iter().any(|t| t.is_ident("test"))
+                && !content.iter().any(|t| t.is_ident("not"));
+            if is_test_attr {
+                for k in keep.iter_mut().take(close + 1).skip(i) {
+                    *k = false;
+                }
+                let mut j = close + 1;
+                // Drop any further attributes on the same item.
+                while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                    let c = match matching(toks, j + 1, '[', ']') {
+                        Some(c) => c,
+                        None => break,
+                    };
+                    for k in keep.iter_mut().take(c + 1).skip(j) {
+                        *k = false;
+                    }
+                    j = c + 1;
+                }
+                // Drop the attributed item: through its `{...}` body or
+                // its terminating `;`, whichever comes first.
+                let mut end = toks.len().saturating_sub(1);
+                let mut p = j;
+                while p < toks.len() {
+                    if toks[p].is_punct(';') {
+                        end = p;
+                        break;
+                    }
+                    if toks[p].is_punct('{') {
+                        end = matching(toks, p, '{', '}').unwrap_or(toks.len() - 1);
+                        break;
+                    }
+                    p += 1;
+                }
+                for k in keep.iter_mut().take(end + 1).skip(j) {
+                    *k = false;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    toks.iter()
+        .zip(keep)
+        .filter(|&(_, k)| k)
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+/// Index of the delimiter matching `toks[open]` (which must be `open_c`).
+fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/// The marker prefix inside a comment.
+const ALLOW_MARKER: &str = "audit:allow(";
+
+fn collect_waivers(lexed: &Lexed) -> Vec<WaiverSite> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        if let Some((lint, reason)) = parse_waiver(&c.text) {
+            let mut covers = vec![c.end_line];
+            if let Some(next) = lexed.next_code_line(c.end_line + 1) {
+                covers.push(next);
+            }
+            out.push(WaiverSite {
+                lint,
+                line: c.start_line,
+                covers,
+                reason,
+            });
+        }
+    }
+    out
+}
+
+/// Parses an allow marker — the lint id plus its quoted reason — out of
+/// a comment, if present and well-formed.
+fn parse_waiver(text: &str) -> Option<(Lint, String)> {
+    let at = text.find(ALLOW_MARKER)?;
+    let rest = &text[at + ALLOW_MARKER.len()..];
+    let comma = rest.find(',')?;
+    let lint = Lint::from_id(rest[..comma].trim())?;
+    let tail = &rest[comma + 1..];
+    let q1 = tail.find('"')?;
+    let q2 = tail[q1 + 1..].find('"')?;
+    let reason = tail[q1 + 1..q1 + 1 + q2].trim().to_string();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((lint, reason))
+}
+
+/// If the comment carries an `audit:allow` marker that does not parse,
+/// explain why (a silent bad waiver would look like an un-waived pass).
+fn malformed_waiver(text: &str) -> Option<String> {
+    let at = text.find(ALLOW_MARKER)?;
+    if parse_waiver(text).is_some() {
+        return None;
+    }
+    let rest = &text[at + ALLOW_MARKER.len()..];
+    let lint_part = rest.split([',', ')']).next().unwrap_or("").trim();
+    if Lint::from_id(lint_part).is_none() {
+        return Some(format!(
+            "audit:allow names unknown lint `{lint_part}` (known: {})",
+            ALL_LINTS.map(|l| l.id()).join(", ")
+        ));
+    }
+    Some("audit:allow is missing its quoted reason: audit:allow(<lint>, \"why\")".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// D-lints
+// ---------------------------------------------------------------------------
+
+fn check_float_cmp(toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("partial_cmp") {
+            continue;
+        }
+        // Calls only: `.partial_cmp(` / `PartialOrd::partial_cmp(`.
+        // Implementing `fn partial_cmp` (to delegate to a total `Ord`)
+        // stays legal.
+        let called = i > 0 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'));
+        if called {
+            out.push(Finding {
+                lint: Lint::FloatCmp,
+                line: t.line,
+                message: "`partial_cmp` call: a NaN makes the order partial (panic or silent \
+                          tie); use `total_cmp` so every selection stays deterministic"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_hash_iter(toks: &[Tok], out: &mut Vec<Finding>) {
+    let mut in_use = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("use") {
+            in_use = true;
+        } else if t.is_punct(';') {
+            in_use = false;
+        }
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Flag the import / fully-qualified path — the choke points every
+        // real use must pass through.
+        let qualified = i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("collections");
+        if in_use || qualified {
+            out.push(Finding {
+                lint: Lint::HashIter,
+                line: t.line,
+                message: format!(
+                    "`{}` iterates in randomized hash order; ordered or reduced results fed \
+                     from it are nondeterministic — use the BTree equivalent, or waive stating \
+                     why no iteration reaches results",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_wall_clock(toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("SystemTime") {
+            out.push(Finding {
+                lint: Lint::WallClock,
+                line: t.line,
+                message: "`SystemTime` read in result-producing code".to_string(),
+            });
+        }
+        if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(Finding {
+                lint: Lint::WallClock,
+                line: t.line,
+                message: "`Instant::now` in result-producing code; if this only feeds phase \
+                          attribution, waive it saying so"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_env_read(toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("env") {
+            continue;
+        }
+        let is_read = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| ENV_READ_FNS.iter().any(|f| t.is_ident(f)));
+        if is_read {
+            out.push(Finding {
+                lint: Lint::EnvRead,
+                line: t.line,
+                message: format!(
+                    "`env::{}` read in result-producing code; waive only with the argument \
+                     that results are invariant to its value",
+                    toks[i + 3].text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// S-lints
+// ---------------------------------------------------------------------------
+
+/// How far above an `unsafe` token a `SAFETY:` comment may sit (lines).
+const SAFETY_WINDOW: u32 = 10;
+
+fn check_safety_comments(toks: &[Tok], comments: &[Comment], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let form = match toks.get(i + 1) {
+            Some(n) if n.is_punct('{') => "block",
+            Some(n) if n.is_ident("fn") => "fn",
+            Some(n) if n.is_ident("impl") => "impl",
+            Some(n) if n.is_ident("trait") => "trait",
+            Some(n) if n.is_ident("extern") => "extern block",
+            _ => "site",
+        };
+        let lo = t.line.saturating_sub(SAFETY_WINDOW);
+        let documented = comments.iter().any(|c| {
+            c.end_line >= lo
+                && c.start_line <= t.line
+                && (c.text.contains("SAFETY:") || c.text.contains("# Safety"))
+        });
+        if !documented {
+            out.push(Finding {
+                lint: Lint::SafetyComment,
+                line: t.line,
+                message: format!(
+                    "`unsafe` {form} without a `SAFETY:` comment (within {SAFETY_WINDOW} lines) \
+                     stating the invariant that makes it sound"
+                ),
+            });
+        }
+    }
+}
+
+fn check_pod_impls(toks: &[Tok], is_pod_home: bool, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("unsafe") && toks.get(i + 1).is_some_and(|t| t.is_ident("impl"))) {
+            continue;
+        }
+        // Skip generic parameters on the impl, if any.
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("Pod")) {
+            continue; // some other unsafe impl; s-safety-comment covers it
+        }
+        if !toks.get(j + 1).is_some_and(|t| t.is_ident("for")) {
+            continue;
+        }
+        let ty = &toks[j + 2..];
+        let body = ty.iter().position(|t| t.is_punct('{')).unwrap_or(ty.len());
+        let ty = &ty[..body];
+        let type_name: String = ty
+            .iter()
+            .map(|t| {
+                if t.kind == TokKind::Ident {
+                    t.text.clone()
+                } else if let TokKind::Punct(c) = t.kind {
+                    c.to_string()
+                } else {
+                    t.text.clone()
+                }
+            })
+            .collect();
+        if !is_pod_home {
+            out.push(Finding {
+                lint: Lint::PodImpl,
+                line: t.line,
+                message: format!(
+                    "`unsafe impl Pod for {type_name}` outside vom-persist: zero-copy casts \
+                     live in one audited crate only"
+                ),
+            });
+            continue;
+        }
+        let provable = matches!(ty.first(), Some(t) if t.is_punct('$'))
+            || (ty.len() == 1 && POD_PRIMITIVES.iter().any(|p| ty[0].is_ident(p)));
+        if !provable {
+            out.push(Finding {
+                lint: Lint::PodImpl,
+                line: t.line,
+                message: format!(
+                    "`unsafe impl Pod for {type_name}`: not a provably padding-free primitive \
+                     ({}) — composite types may have padding or invalid bit patterns",
+                    POD_PRIMITIVES.join("/")
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts the inner hygiene attributes (`#![forbid(unsafe_code)]`,
+/// `#![deny(unsafe_op_in_unsafe_fn)]`) from a crate-root token stream.
+fn root_attrs(toks: &[Tok]) -> RootAttrs {
+    let mut attrs = RootAttrs::default();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct('#') || !toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            continue;
+        }
+        let Some(close) = matching(toks, i + 2, '[', ']') else {
+            continue;
+        };
+        let content = &toks[i + 3..close];
+        let strict = content
+            .first()
+            .is_some_and(|t| t.is_ident("forbid") || t.is_ident("deny"));
+        if !strict {
+            continue;
+        }
+        if content.iter().any(|t| t.is_ident("unsafe_code")) {
+            attrs.forbids_unsafe_code = true;
+        }
+        if content.iter().any(|t| t.is_ident("unsafe_op_in_unsafe_fn")) {
+            attrs.denies_unsafe_op = true;
+        }
+    }
+    attrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(src: &str) -> Vec<&'static str> {
+        scan_file(src, false)
+            .findings
+            .iter()
+            .map(|f| f.lint.id())
+            .collect()
+    }
+
+    #[test]
+    fn partial_cmp_calls_fire_but_definitions_do_not() {
+        assert_eq!(lints_of("let o = a.partial_cmp(&b);"), ["d-float-cmp"]);
+        assert_eq!(
+            lints_of("let o = PartialOrd::partial_cmp(&a, &b);"),
+            ["d-float-cmp"]
+        );
+        assert!(
+            lints_of("fn partial_cmp(&self, o: &Self) -> Option<Ordering> { None }").is_empty()
+        );
+    }
+
+    #[test]
+    fn hash_collections_fire_at_imports_and_qualified_paths() {
+        assert_eq!(
+            lints_of("use std::collections::{BTreeMap, HashMap};"),
+            ["d-hash-iter"]
+        );
+        assert_eq!(
+            lints_of("let m: std::collections::HashSet<u32> = Default::default();"),
+            ["d-hash-iter"]
+        );
+        // After an import, bare uses are not re-flagged (the import is
+        // the choke point a waiver attaches to).
+        assert!(lints_of("let m = HashMap::new();").is_empty());
+        assert!(lints_of("use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn time_and_env_reads_fire() {
+        assert_eq!(lints_of("let t = Instant::now();"), ["d-wall-clock"]);
+        assert_eq!(
+            lints_of("use std::time::SystemTime; fn f() {}"),
+            ["d-wall-clock"]
+        );
+        assert_eq!(lints_of("let v = std::env::var(\"X\");"), ["d-env-read"]);
+        assert_eq!(
+            lints_of("let v: Vec<_> = env::args().collect();"),
+            ["d-env-read"]
+        );
+        // `Instant` in a type position or import alone is fine.
+        assert!(lints_of("use std::time::Instant; struct S { t: Instant }").is_empty());
+        assert!(lints_of("let d = std::env::temp_dir();").is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        assert_eq!(
+            lints_of("fn f() { unsafe { danger() } }"),
+            ["s-safety-comment"]
+        );
+        assert!(
+            lints_of("fn f() {\n // SAFETY: pointer is valid\n unsafe { danger() } }").is_empty()
+        );
+        assert!(lints_of("/// # Safety\n/// Caller upholds X.\npub unsafe fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn pod_impls_restricted_to_primitives_in_pod_home() {
+        let src = "// SAFETY: primitive\nunsafe impl Pod for u64 {}";
+        assert!(scan_file(src, true).findings.is_empty());
+        let bad = "// SAFETY: nope\nunsafe impl Pod for MyStruct {}";
+        assert_eq!(
+            scan_file(bad, true)
+                .findings
+                .iter()
+                .map(|f| f.lint.id())
+                .collect::<Vec<_>>(),
+            ["s-pod-impl"]
+        );
+        // Outside the pod home even primitives are illegal.
+        assert_eq!(
+            scan_file(src, false)
+                .findings
+                .iter()
+                .map(|f| f.lint.id())
+                .collect::<Vec<_>>(),
+            ["s-pod-impl"]
+        );
+        // Macro metavariables (the pod_numeric! macro body) are legal.
+        let mac = "// SAFETY: macro over primitives\nunsafe impl Pod for $t {}";
+        assert!(scan_file(mac, true).findings.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "
+            pub fn shipped() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashSet;
+                fn t() { let _ = a.partial_cmp(&b); let _ = Instant::now(); }
+            }
+        ";
+        assert!(lints_of(src).is_empty());
+        // ... but #[cfg(not(test))] code is scanned.
+        let not_test = "#[cfg(not(test))]\nfn f() { let _ = Instant::now(); }";
+        assert_eq!(lints_of(not_test), ["d-wall-clock"]);
+    }
+
+    #[test]
+    fn waivers_parse_and_malformed_ones_fire() {
+        let scan = scan_file(
+            "// audit:allow(d-wall-clock, \"phase timer only\")\nlet t = Instant::now();",
+            false,
+        );
+        assert_eq!(scan.waivers.len(), 1);
+        assert_eq!(scan.waivers[0].lint, Lint::WallClock);
+        assert_eq!(scan.waivers[0].reason, "phase timer only");
+        assert!(scan.waivers[0].covers.contains(&2));
+
+        assert_eq!(
+            lints_of("// audit:allow(no-such-lint, \"x\")\nfn f() {}"),
+            ["audit-waiver"]
+        );
+        assert_eq!(
+            lints_of("// audit:allow(d-wall-clock)\nfn f() {}"),
+            ["audit-waiver"]
+        );
+    }
+
+    #[test]
+    fn root_attr_detection() {
+        let scan = scan_file("#![forbid(unsafe_code)]\n#![warn(missing_docs)]", false);
+        assert!(scan.root_attrs.forbids_unsafe_code);
+        assert!(!scan.root_attrs.denies_unsafe_op);
+        let scan = scan_file("#![deny(unsafe_op_in_unsafe_fn)]", false);
+        assert!(scan.root_attrs.denies_unsafe_op);
+        // warn() is not strict enough.
+        let scan = scan_file("#![warn(unsafe_code)]", false);
+        assert!(!scan.root_attrs.forbids_unsafe_code);
+    }
+
+    #[test]
+    fn string_contents_never_fire() {
+        assert!(lints_of("let s = \"partial_cmp HashMap Instant::now unsafe\";").is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+#![forbid(unsafe_code)]
+//! `vom-audit` — the workspace's determinism & unsafe-safety lint pass.
+//!
+//! ```text
+//! vom-audit --workspace [--json PATH] [--quiet]
+//! vom-audit --root DIR  [--json PATH] [--quiet]
+//! vom-audit --list
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vom-audit --workspace [--json PATH] [--quiet]\n\
+         \x20      vom-audit --root DIR [--json PATH] [--quiet]\n\
+         \x20      vom-audit --list"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    // audit:allow(d-env-read, "CLI argv parsing; the audit emits a report, not selections")
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => return usage(),
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json = Some(PathBuf::from(p)),
+                    None => return usage(),
+                }
+            }
+            "--quiet" => quiet = true,
+            "--list" => {
+                for l in vom_audit::lints::ALL_LINTS {
+                    println!("{:18} {}", l.id(), l.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let root = match (workspace, root) {
+        (true, None) => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match vom_audit::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "vom-audit: no enclosing [workspace] Cargo.toml found from {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        (false, Some(r)) => r,
+        _ => return usage(),
+    };
+
+    let report = match vom_audit::scan_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vom-audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("vom-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !quiet {
+        for v in &report.violations {
+            println!(
+                "error[{}]: {}:{}: {}",
+                v.lint.id(),
+                v.file,
+                v.line,
+                v.message
+            );
+        }
+        let used = report.waivers.iter().filter(|w| w.used).count();
+        let unused = report.waivers.len() - used;
+        println!(
+            "vom-audit: {} files, {} crates — {} violation(s), {} waiver(s) in effect{}",
+            report.files_scanned,
+            report.crates.len(),
+            report.violations.len(),
+            used,
+            if unused > 0 {
+                format!(" ({unused} unused)")
+            } else {
+                String::new()
+            }
+        );
+        for w in report.waivers.iter().filter(|w| !w.used) {
+            println!(
+                "note[unused-waiver]: {}:{}: audit:allow({}) suppressed nothing",
+                w.file,
+                w.line,
+                w.lint.id()
+            );
+        }
+    }
+
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,213 @@
+//! Machine-readable report: the audit's findings as hand-rolled JSON
+//! (the workspace has no serde — same policy as the bench tables).
+
+use crate::lints::Lint;
+
+/// One surviving (un-waived, un-exempted) violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The lint that fired.
+    pub lint: Lint,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Site diagnostic.
+    pub message: String,
+}
+
+/// One waiver, with whether it actually suppressed anything.
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    /// The waived lint.
+    pub lint: Lint,
+    /// Workspace-relative file path of the marker.
+    pub file: String,
+    /// 1-based line of the marker.
+    pub line: u32,
+    /// The quoted justification.
+    pub reason: String,
+    /// Whether a violation was suppressed by it.
+    pub used: bool,
+}
+
+/// One built-in crate-level exemption that applied to this tree.
+#[derive(Debug, Clone)]
+pub struct ExemptionRecord {
+    /// Exempted crate name.
+    pub crate_name: String,
+    /// The lint the crate is exempt from.
+    pub lint: Lint,
+    /// Policy justification.
+    pub reason: String,
+    /// How many would-be findings it absorbed.
+    pub suppressed: usize,
+}
+
+/// The complete result of one audit pass.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Scanned root directory (as given).
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Crates discovered (by `Cargo.toml` package name).
+    pub crates: Vec<String>,
+    /// Surviving violations, sorted by (file, line, lint).
+    pub violations: Vec<Violation>,
+    /// Every waiver site found, with its reason and whether it was used.
+    pub waivers: Vec<WaiverRecord>,
+    /// Built-in exemptions that suppressed at least one finding.
+    pub exemptions: Vec<ExemptionRecord>,
+}
+
+impl AuditReport {
+    /// True when the tree is clean (no surviving violations).
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"clean\": {},\n", self.ok()));
+        s.push_str(&format!(
+            "  \"crates\": [{}],\n",
+            self.crates
+                .iter()
+                .map(|c| json_str(c))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("  \"lints\": [\n");
+        let lints: Vec<String> = crate::lints::ALL_LINTS
+            .iter()
+            .map(|l| {
+                format!(
+                    "    {{ \"id\": {}, \"invariant\": {} }}",
+                    json_str(l.id()),
+                    json_str(l.summary())
+                )
+            })
+            .collect();
+        s.push_str(&lints.join(",\n"));
+        s.push_str("\n  ],\n");
+        s.push_str("  \"violations\": [\n");
+        let vs: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "    {{ \"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {} }}",
+                    json_str(v.lint.id()),
+                    json_str(&v.file),
+                    v.line,
+                    json_str(&v.message)
+                )
+            })
+            .collect();
+        s.push_str(&vs.join(",\n"));
+        if !vs.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"waivers\": [\n");
+        let ws: Vec<String> = self
+            .waivers
+            .iter()
+            .map(|w| {
+                format!(
+                    "    {{ \"lint\": {}, \"file\": {}, \"line\": {}, \"reason\": {}, \"used\": {} }}",
+                    json_str(w.lint.id()),
+                    json_str(&w.file),
+                    w.line,
+                    json_str(&w.reason),
+                    w.used
+                )
+            })
+            .collect();
+        s.push_str(&ws.join(",\n"));
+        if !ws.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"exemptions\": [\n");
+        let es: Vec<String> = self
+            .exemptions
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{ \"crate\": {}, \"lint\": {}, \"reason\": {}, \"suppressed\": {} }}",
+                    json_str(&e.crate_name),
+                    json_str(e.lint.id()),
+                    json_str(&e.reason),
+                    e.suppressed
+                )
+            })
+            .collect();
+        s.push_str(&es.join(",\n"));
+        if !es.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string escaping (control chars, quotes, backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_parseable_shape() {
+        let mut r = AuditReport {
+            root: "/tmp/x".into(),
+            files_scanned: 2,
+            crates: vec!["a".into()],
+            ..Default::default()
+        };
+        r.violations.push(Violation {
+            lint: Lint::FloatCmp,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "quote \" and\nnewline".into(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\\\" and\\nnewline"));
+        assert!(j.contains("\"d-float-cmp\""));
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = AuditReport::default();
+        assert!(r.ok());
+        assert!(r.to_json().contains("\"clean\": true"));
+    }
+}

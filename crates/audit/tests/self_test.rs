@@ -1,0 +1,90 @@
+//! The audit's two-sided self-test: the seeded fixture must trip every
+//! lint (the scanner still sees), and the real workspace must be clean
+//! (the contracts still hold). Running `cargo test -p vom-audit` is
+//! therefore equivalent to running the audit itself.
+
+use std::path::Path;
+use vom_audit::{find_workspace_root, scan_root};
+
+#[test]
+fn seeded_fixture_trips_every_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/seeded");
+    let report = scan_root(&root).expect("scan fixture");
+    assert!(
+        !report.ok(),
+        "seeded fixture scanned clean — scanner broken"
+    );
+
+    let ids: Vec<&str> = report.violations.iter().map(|v| v.lint.id()).collect();
+    for expected in [
+        "d-float-cmp",
+        "d-hash-iter",
+        "d-wall-clock",
+        "d-env-read",
+        "s-safety-comment",
+        "s-crate-attrs",
+        "s-pod-impl",
+        "audit-waiver",
+    ] {
+        assert!(
+            ids.contains(&expected),
+            "seeded violation for `{expected}` not detected; got {ids:?}"
+        );
+    }
+
+    // The fixture's second timer carries a well-formed waiver: exactly one
+    // d-wall-clock survives and the waiver is recorded as used.
+    assert_eq!(ids.iter().filter(|i| **i == "d-wall-clock").count(), 1);
+    let used: Vec<_> = report.waivers.iter().filter(|w| w.used).collect();
+    assert_eq!(used.len(), 1);
+    assert_eq!(used[0].lint.id(), "d-wall-clock");
+
+    // The JSON report carries every waiver with its quoted reason.
+    let json = report.to_json();
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("demonstrates a used waiver"));
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("enclosing workspace root");
+    let report = scan_root(&root).expect("scan workspace");
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.lint.id(), v.message))
+        .collect();
+    assert!(
+        report.ok(),
+        "audit violations in the tree:\n{}",
+        rendered.join("\n")
+    );
+
+    // Every waiver in the tree must quote a reason and actually suppress
+    // something — stale waivers are not allowed to accumulate.
+    for w in &report.waivers {
+        assert!(
+            !w.reason.is_empty(),
+            "waiver without reason at {}:{}",
+            w.file,
+            w.line
+        );
+        assert!(
+            w.used,
+            "unused waiver at {}:{} ({})",
+            w.file,
+            w.line,
+            w.lint.id()
+        );
+    }
+
+    // Built-in exemptions are reported whenever they absorb findings.
+    assert!(
+        report
+            .exemptions
+            .iter()
+            .all(|e| e.suppressed > 0 && !e.reason.is_empty()),
+        "exemption records must carry a reason and a nonzero count"
+    );
+}

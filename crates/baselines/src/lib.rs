@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # vom-baselines
 //!
@@ -60,9 +61,11 @@ pub use selectors::{AnyEngine, BaselineEngine};
 pub(crate) fn top_k_by_score(scores: &[f64], k: usize) -> Vec<vom_graph::Node> {
     let mut idx: Vec<vom_graph::Node> = (0..scores.len() as vom_graph::Node).collect();
     idx.sort_by(|&a, &b| {
+        // `total_cmp` keeps the order total (a NaN score sorts
+        // deterministically instead of panicking); identical to
+        // `partial_cmp` on every finite trajectory.
         scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores are finite")
+            .total_cmp(&scores[a as usize])
             .then_with(|| a.cmp(&b))
     });
     idx.truncate(k);

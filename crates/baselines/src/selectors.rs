@@ -79,6 +79,7 @@ impl SeedSelector for BaselineEngine {
     }
 
     fn prepare_spec(&self, spec: ProblemSpec) -> Result<PreparedIndex> {
+        // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
         let start = Instant::now();
         let order = {
             let problem = spec.problem();

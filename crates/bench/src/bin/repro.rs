@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! Usage:

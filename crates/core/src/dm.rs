@@ -123,6 +123,7 @@ pub fn dm_greedy_prepared_with(
                     }
                     let (ref mut s, ref mut solver, cur) = *state.borrow_mut();
                     s.push(v);
+                    // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
                     let start = Instant::now();
                     let report = solver.solve(s, &opts.warm());
                     let total: f64 = solver.opinions().iter().sum();
@@ -194,6 +195,7 @@ pub fn dm_greedy_prepared_with(
                         // candidate).
                         |(solver, trial, cscratch, local), v| {
                             trial.push(v);
+                            // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
                             let start = Instant::now();
                             let report = solver.solve(trial, &opts.warm());
                             local.add(
@@ -205,6 +207,7 @@ pub fn dm_greedy_prepared_with(
                                 start.elapsed(),
                             );
                             let row = solver.opinions();
+                            // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
                             let start = Instant::now();
                             let s = baseline.score_row(index, &base_row, row, cscratch);
                             // Secondary tie-break criterion: the discrete
@@ -217,9 +220,12 @@ pub fn dm_greedy_prepared_with(
                     )
                     .collect();
                 let Some(&(best, _, _)) = evals.iter().max_by(|a, b| {
-                    (a.1, a.2)
-                        .partial_cmp(&(b.1, b.2))
-                        .expect("scores are finite")
+                    // `total_cmp` keeps the argmax total (a NaN score
+                    // orders deterministically instead of panicking);
+                    // identical to the tuple `partial_cmp` on every
+                    // finite trajectory — digest pins unchanged.
+                    a.1.total_cmp(&b.1)
+                        .then_with(|| a.2.total_cmp(&b.2))
                         .then_with(|| b.0.cmp(&a.0))
                 }) else {
                     break;
@@ -373,6 +379,7 @@ pub fn dm_greedy_masked_cumulative_with(
             }
             let (ref mut s, ref mut solver, cur) = *state.borrow_mut();
             s.push(v);
+            // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
             let start = Instant::now();
             let report = solver.solve(s, &opts.warm());
             let total = masked_sum(solver.opinions());

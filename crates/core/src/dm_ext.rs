@@ -129,9 +129,11 @@ pub fn generic_greedy<S: OpinionScore + ?Sized>(
             )
             .collect();
         let Some(&(best, _, _)) = evals.iter().max_by(|a, b| {
-            (a.1, a.2)
-                .partial_cmp(&(b.1, b.2))
-                .expect("scores are finite")
+            // `total_cmp` keeps the argmax total (a NaN score orders
+            // deterministically instead of panicking); identical to the
+            // tuple `partial_cmp` on every finite trajectory.
+            a.1.total_cmp(&b.1)
+                .then_with(|| a.2.total_cmp(&b.2))
                 .then_with(|| b.0.cmp(&a.0))
         }) else {
             break;

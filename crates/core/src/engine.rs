@@ -735,6 +735,7 @@ impl PreparedIndex {
             None
         };
 
+        // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
         let start = Instant::now();
         let (seeds, info) = if !sandwich {
             (self.backend.greedy(&problem, comp, scratch)?, None)
@@ -962,6 +963,7 @@ impl SeedSelector for Engine {
     }
 
     fn prepare_spec(&self, spec: ProblemSpec) -> Result<PreparedIndex> {
+        // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
         let start = Instant::now();
         let solver_before = SolverCounters::snapshot();
         // The competitive artifacts (γ* pilot, rank/Copeland estimates)

@@ -162,6 +162,7 @@ fn lazy_greedy_fill<E: OpinionEstimate>(
     k: usize,
     gain_of: impl Fn(&E, Node) -> f64,
 ) -> Vec<Node> {
+    // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
     let started = Instant::now();
     let mut truncating = Duration::ZERO;
     let n = est.num_nodes();
@@ -175,6 +176,7 @@ fn lazy_greedy_fill<E: OpinionEstimate>(
         false,
         |v| gain_of(&cell.borrow(), v),
         |v| {
+            // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
             let t = Instant::now();
             cell.borrow_mut().add_seed_into(v, &mut touched);
             truncating += t.elapsed();
@@ -274,6 +276,7 @@ fn rank_greedy<E: OpinionEstimate>(
     score: &ScoringFunction,
     index: &RankIndex,
 ) -> Vec<Node> {
+    // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
     let started = Instant::now();
     let mut truncating = Duration::ZERO;
     let n = est.num_nodes();
@@ -298,6 +301,7 @@ fn rank_greedy<E: OpinionEstimate>(
             }
         }
         let Some((bw, _, _)) = best else { break };
+        // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
         let t = Instant::now();
         est.add_seed_into(bw, &mut touched);
         truncating += t.elapsed();
@@ -328,6 +332,7 @@ fn copeland_greedy<E: OpinionEstimate>(
     others: &OpinionMatrix,
     q: Candidate,
 ) -> Vec<Node> {
+    // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
     let started = Instant::now();
     let mut truncating = Duration::ZERO;
     let n = est.num_nodes();
@@ -407,6 +412,7 @@ fn copeland_greedy<E: OpinionEstimate>(
         let Some(bw) = argmax_non_seed(est, &gains, Some(&margins)) else {
             break;
         };
+        // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
         let t = Instant::now();
         est.add_seed_into(bw, &mut touched);
         truncating += t.elapsed();

@@ -426,6 +426,7 @@ fn save_rs(w: &mut SnapshotWriter, rs: &RsIndex) {
 /// Reconstructs an index from an already-opened snapshot against
 /// `instance`. The instance must digest-match the snapshot's header.
 pub fn load_snapshot(instance: Arc<Instance>, snap: &Snapshot) -> Result<PreparedIndex> {
+    // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
     let start = Instant::now();
     let want = graph_digest(&instance);
     if snap.graph_digest() != want {

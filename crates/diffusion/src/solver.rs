@@ -79,6 +79,7 @@ const DENSE_FALLBACK_MIN_N: usize = 64;
 
 fn warm_env_init() {
     WARM_ENV.get_or_init(|| {
+        // audit:allow(d-env-read, "documented opt-out knob; toggles warm-start reuse, digests asserted identical either way")
         if let Ok(v) = std::env::var("VOM_WARM_START") {
             let off = matches!(v.trim(), "0" | "false" | "off" | "no");
             WARM_DISABLED.store(off, Ordering::Relaxed);

@@ -14,6 +14,7 @@ pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> Vec<(Node, Node, 
     assert!(n >= 2, "erdos_renyi needs at least 2 nodes");
     let max_edges = n * (n - 1);
     let m = m.min(max_edges);
+    // audit:allow(d-hash-iter, "edge-dedupe membership set; emission order comes from the edges Vec, the set is never iterated")
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {

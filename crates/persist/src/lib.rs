@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 //! # vom-persist
 //!
@@ -274,14 +275,28 @@ pub unsafe trait Pod: Copy + Send + Sync + 'static {
     fn decode_le(bytes: &[u8]) -> Vec<Self>;
 }
 
-/// Casts an aligned little-endian byte region to `&[T]`. Caller checks
-/// `T::cast_compatible()`, length divisibility and pointer alignment.
+/// Casts an aligned little-endian byte region to `&[T]`.
+///
+/// # Safety
+///
+/// The caller must check `T::cast_compatible()` (in-memory layout equals
+/// the on-disk little-endian layout), that `bytes.len()` is a multiple
+/// of `T::WIDTH`, and that `bytes.as_ptr()` is aligned to
+/// `align_of::<T>()`.
 unsafe fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
-    std::slice::from_raw_parts(bytes.as_ptr() as *const T, bytes.len() / T::WIDTH)
+    // SAFETY: caller upholds alignment, length divisibility and layout
+    // compatibility (see this function's `# Safety` contract); every
+    // `Pod` type additionally guarantees no padding and no invalid bit
+    // patterns, so any byte content is a valid `[T]`.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, bytes.len() / T::WIDTH) }
 }
 
 macro_rules! pod_numeric {
     ($t:ty, $name:literal) => {
+        // SAFETY: instantiated only for fixed-width unsigned integer
+        // primitives (u8/u32/u64) — Copy, no padding, every bit pattern
+        // valid — so casting aligned bytes to `&[$t]` is sound whenever
+        // `cast_compatible()` (little-endian target) holds.
         unsafe impl Pod for $t {
             const WIDTH: usize = std::mem::size_of::<$t>();
             const NAME: &'static str = $name;
@@ -293,6 +308,9 @@ macro_rules! pod_numeric {
             fn append_le(values: &[Self], out: &mut Vec<u8>) {
                 if Self::cast_compatible() {
                     // One memcpy: in-memory layout equals disk layout.
+                    // SAFETY: `values` is a live, initialized slice; a
+                    // `*const u8` view of it is always aligned, and
+                    // `len * WIDTH` equals its exact byte length.
                     out.extend_from_slice(unsafe {
                         std::slice::from_raw_parts(
                             values.as_ptr() as *const u8,
@@ -320,6 +338,9 @@ pod_numeric!(u8, "u8");
 pod_numeric!(u32, "u32");
 pod_numeric!(u64, "u64");
 
+// SAFETY: `f64` is a Copy primitive with no padding and no invalid bit
+// patterns (every 64-bit pattern is some float, NaNs included), so the
+// aligned byte→slice cast is sound on little-endian targets.
 unsafe impl Pod for f64 {
     const WIDTH: usize = 8;
     const NAME: &'static str = "f64";
@@ -330,6 +351,8 @@ unsafe impl Pod for f64 {
 
     fn append_le(values: &[Self], out: &mut Vec<u8>) {
         if Self::cast_compatible() {
+            // SAFETY: live initialized slice viewed as bytes; `u8` has
+            // alignment 1 and `len * 8` is the slice's exact byte length.
             out.extend_from_slice(unsafe {
                 std::slice::from_raw_parts(values.as_ptr() as *const u8, values.len() * 8)
             });
@@ -349,6 +372,10 @@ unsafe impl Pod for f64 {
 }
 
 // `usize` is stored on disk as `u64`; zero-copy only on 64-bit LE targets.
+// SAFETY: `usize` is a Copy integer primitive (no padding, all bit
+// patterns valid); `cast_compatible()` additionally requires
+// `size_of::<usize>() == 8` so the in-memory width matches the on-disk
+// `u64` width before any cast happens.
 unsafe impl Pod for usize {
     const WIDTH: usize = 8;
     const NAME: &'static str = "usize";
@@ -359,6 +386,9 @@ unsafe impl Pod for usize {
 
     fn append_le(values: &[Self], out: &mut Vec<u8>) {
         if Self::cast_compatible() {
+            // SAFETY: live initialized slice viewed as bytes; `u8` has
+            // alignment 1 and `len * 8` is the slice's exact byte length
+            // (WIDTH == size_of::<usize>() guaranteed by cast_compatible).
             out.extend_from_slice(unsafe {
                 std::slice::from_raw_parts(values.as_ptr() as *const u8, values.len() * 8)
             });
@@ -495,11 +525,16 @@ impl AlignedBuf {
 
     /// The buffer contents.
     pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `words` owns at least `len.div_ceil(8) * 8 >= len`
+        // initialized bytes; a `u8` view needs alignment 1; the borrow
+        // of `self` keeps the allocation alive for the slice lifetime.
         unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
     }
 
     /// Mutable contents (used by the one-shot file read).
     pub fn bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: same bounds as `bytes()`; `&mut self` guarantees the
+        // view is the only live reference into `words`.
         unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
     }
 
@@ -509,6 +544,9 @@ impl AlignedBuf {
     pub fn leak(self) -> &'static [u8] {
         let len = self.len;
         let words: &'static mut [u64] = Vec::leak(self.words);
+        // SAFETY: `Vec::leak` just promoted the allocation to 'static,
+        // so the pointer stays valid forever; `len <= words.len() * 8`
+        // by construction and `u8` views are always aligned.
         unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, len) }
     }
 }
@@ -807,6 +845,9 @@ impl Snapshot {
                 // Reborrow out of the leaked ('static) image.
                 let start = entry.offset;
                 let stat: &'static [u8] = &all[start..start + entry.len];
+                // SAFETY: `cast_compatible()` and pointer alignment were
+                // checked just above, and `entry.len % T::WIDTH == 0` was
+                // rejected earlier — exactly the `cast_slice` contract.
                 return Ok(Some(FlatBuf::Static(unsafe { cast_slice::<T>(stat) })));
             }
         }
@@ -966,6 +1007,61 @@ mod tests {
             open(bytes, LoadMode::Copy).unwrap_err(),
             PersistError::SectionBounds { kind: 1, id: 0 }
         );
+    }
+
+    #[test]
+    fn misaligned_entry_fails_closed_before_any_cast() {
+        // Nudge the first entry's offset off 8-alignment (still in
+        // bounds) and re-seal the digest so only the alignment check can
+        // object. Under `MapStatic` an accepted entry would be cast
+        // zero-copy — validation must reject it before any cast runs.
+        let mut bytes = sample().to_bytes();
+        let at = HEADER_BYTES + 16; // first entry's offset cell
+        let offset = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        bytes[at..at + 8].copy_from_slice(&(offset + 1).to_le_bytes());
+        let digest = fnv1a(&bytes[HEADER_BYTES..]);
+        bytes[16..24].copy_from_slice(&digest.to_le_bytes());
+        for mode in [LoadMode::Copy, LoadMode::MapStatic] {
+            assert_eq!(
+                open(bytes.clone(), mode).unwrap_err(),
+                PersistError::SectionBounds { kind: 1, id: 0 },
+                "misaligned entry must fail closed under {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_static_load_fails_closed() {
+        // Same truncation points as the Copy-mode test, but under
+        // `MapStatic`: validation runs before the image is leaked, so a
+        // short file is a typed error, never a short-lived cast.
+        let bytes = sample().to_bytes();
+        for keep in [0, 8, HEADER_BYTES - 1, HEADER_BYTES + 5, bytes.len() - 1] {
+            let err = open(bytes[..keep].to_vec(), LoadMode::MapStatic).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. } | PersistError::DigestMismatch { .. }
+                ),
+                "keep {keep}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_static_load_is_an_error_not_a_cast() {
+        // A 3-byte u8 section read as u64 under `MapStatic` must be a
+        // typed width error; the zero-copy path may not round the length.
+        let snap = open(sample().to_bytes(), LoadMode::MapStatic).unwrap();
+        assert!(matches!(
+            snap.section::<u64>(4, 1).unwrap_err(),
+            PersistError::BadValue { .. }
+        ));
+        // 5 u32s (20 bytes) is not a whole number of f64s either.
+        assert!(matches!(
+            snap.section::<f64>(2, 3).unwrap_err(),
+            PersistError::BadValue { .. }
+        ));
     }
 
     #[test]

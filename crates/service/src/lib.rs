@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # vom-service
 //!
@@ -69,6 +70,7 @@
 //! ```
 
 use rayon::IntoParallelIterator;
+// audit:allow(d-hash-iter, "HashMap is a keyed cache probed by exact key; every enumeration goes through sorted snapshots")
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};

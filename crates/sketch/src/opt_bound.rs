@@ -24,7 +24,9 @@ pub fn greedy_cumulative(sketch: &mut SketchSet, k: usize) -> Vec<Node> {
             .iter()
             .enumerate()
             .filter(|(v, _)| !sketch.is_seed(*v as Node))
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("gains are finite"))
+            // `total_cmp`: total order even for NaN gains (degenerate
+            // estimates order deterministically instead of panicking).
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(v, _)| v as Node);
         let Some(u) = best else { break };
         sketch.add_seed(u);

@@ -96,7 +96,9 @@ pub fn estimate_gamma_star(
             .copied()
             .enumerate()
             .filter(|(v, _)| !est.is_seed(*v as Node))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gains are finite"))
+            // `total_cmp`: total order even for NaN gains (degenerate
+            // estimates order deterministically instead of panicking).
+            .max_by(|a, b| a.1.total_cmp(&b.1))
         else {
             break;
         };

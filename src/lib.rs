@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Umbrella crate re-exporting the full voting-based opinion maximization API.
 //!

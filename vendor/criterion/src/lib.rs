@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Offline shim for the subset of the `criterion` benchmarking API that
 //! the `vom-bench` benches use.

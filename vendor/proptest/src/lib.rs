@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Offline shim for the subset of the `proptest` API that the
 //! workspace's property tests (`tests/properties.rs`,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Offline shim for the subset of the `rand` 0.8 API that the `vom`
 //! workspace uses.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Offline, genuinely parallel shim for the subset of the `rayon` API
 //! that the `vom` workspace uses.

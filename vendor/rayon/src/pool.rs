@@ -52,6 +52,7 @@ thread_local! {
 fn configured_threads() -> usize {
     static ENV: OnceLock<usize> = OnceLock::new();
     *ENV.get_or_init(|| {
+        // audit:allow(d-env-read, "VOM_THREADS picks the pool width; chunked reduction makes results identical at any width")
         std::env::var("VOM_THREADS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
