@@ -25,6 +25,9 @@ pub enum Lint {
     WallClock,
     /// `d-env-read`: `std::env` reads (`var`/`vars`/`args`).
     EnvRead,
+    /// `d-degrade-prefix`: a wall-clock quantity flowing into a cost
+    /// budget or meter charge.
+    DegradePrefix,
     /// `s-safety-comment`: an `unsafe` site without a `SAFETY:` proof.
     SafetyComment,
     /// `s-crate-attrs`: crate root missing its unsafe-hygiene attribute.
@@ -36,11 +39,12 @@ pub enum Lint {
 }
 
 /// All real lints, in report order (excludes the waiver meta-lint).
-pub const ALL_LINTS: [Lint; 7] = [
+pub const ALL_LINTS: [Lint; 8] = [
     Lint::FloatCmp,
     Lint::HashIter,
     Lint::WallClock,
     Lint::EnvRead,
+    Lint::DegradePrefix,
     Lint::SafetyComment,
     Lint::CrateAttrs,
     Lint::PodImpl,
@@ -54,6 +58,7 @@ impl Lint {
             Lint::HashIter => "d-hash-iter",
             Lint::WallClock => "d-wall-clock",
             Lint::EnvRead => "d-env-read",
+            Lint::DegradePrefix => "d-degrade-prefix",
             Lint::SafetyComment => "s-safety-comment",
             Lint::CrateAttrs => "s-crate-attrs",
             Lint::PodImpl => "s-pod-impl",
@@ -84,6 +89,11 @@ impl Lint {
             Lint::EnvRead => {
                 "no environment reads in result-producing code; configuration knobs must be \
                  waived with the results-invariance argument"
+            }
+            Lint::DegradePrefix => {
+                "cost budgets and meter charges are measured in deterministic work ticks; no \
+                 wall-clock quantity (`Instant`, `elapsed`, `as_millis`, …) may flow into \
+                 `CostBudget` or `.charge(..)`, else degraded prefixes stop being reproducible"
             }
             Lint::SafetyComment => {
                 "every `unsafe` block, fn, trait and impl carries a `SAFETY:` comment (or a \
@@ -182,6 +192,7 @@ pub fn scan_file(src: &str, is_pod_home: bool) -> FileScan {
     check_hash_iter(&active, &mut scan.findings);
     check_wall_clock(&active, &mut scan.findings);
     check_env_read(&active, &mut scan.findings);
+    check_degrade_prefix(&active, &mut scan.findings);
     check_safety_comments(&active, &lexed.comments, &mut scan.findings);
     check_pod_impls(&active, is_pod_home, &mut scan.findings);
     scan.findings.sort_by_key(|f| (f.line, f.lint));
@@ -442,6 +453,65 @@ fn check_env_read(toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
+/// Tokens that mark a quantity as wall-clock derived when they appear
+/// inside a budget construction or meter charge.
+const CLOCK_TAINT: [&str; 7] = [
+    "Instant",
+    "SystemTime",
+    "elapsed",
+    "as_millis",
+    "as_micros",
+    "as_nanos",
+    "as_secs",
+];
+
+/// `d-degrade-prefix`: deadlines degrade selections to prefixes only if
+/// the budget *and every charge* are deterministic work units. This
+/// check guards the two choke points — `CostBudget` constructions
+/// (`CostBudget::ticks(..)` / `CostBudget { ticks: .. }`) and
+/// `.charge(..)` calls — against wall-clock-derived arguments, which
+/// would make the degradation point (and thus the returned prefix) a
+/// function of machine speed.
+fn check_degrade_prefix(toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let (what, open_at) = if t.is_ident("CostBudget") {
+            // The argument group opens within the next few tokens:
+            // `(` after `::ticks`, or a `{ ticks: .. }` literal body.
+            let open = (i + 1..(i + 5).min(toks.len()))
+                .find(|&j| toks[j].is_punct('(') || toks[j].is_punct('{'));
+            ("a `CostBudget` construction", open)
+        } else if t.is_ident("charge") && i > 0 && toks[i - 1].is_punct('.') {
+            let open = (toks.get(i + 1).is_some_and(|n| n.is_punct('('))).then_some(i + 1);
+            ("a `.charge(..)` call", open)
+        } else {
+            continue;
+        };
+        let Some(open) = open_at else { continue };
+        let (oc, cc) = if toks[open].is_punct('(') {
+            ('(', ')')
+        } else {
+            ('{', '}')
+        };
+        let Some(close) = matching(toks, open, oc, cc) else {
+            continue;
+        };
+        if let Some(bad) = toks[open + 1..close]
+            .iter()
+            .find(|t| CLOCK_TAINT.iter().any(|w| t.is_ident(w)))
+        {
+            out.push(Finding {
+                lint: Lint::DegradePrefix,
+                line: bad.line,
+                message: format!(
+                    "wall-clock token `{}` flows into {what}: budgets and charges must be \
+                     deterministic work ticks, or degraded prefixes vary with machine speed",
+                    bad.text
+                ),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // S-lints
 // ---------------------------------------------------------------------------
@@ -634,6 +704,30 @@ mod tests {
         // `Instant` in a type position or import alone is fine.
         assert!(lints_of("use std::time::Instant; struct S { t: Instant }").is_empty());
         assert!(lints_of("let d = std::env::temp_dir();").is_empty());
+    }
+
+    #[test]
+    fn clock_tainted_budgets_and_charges_fire() {
+        // Wall-clock quantities flowing into budget constructions.
+        assert_eq!(
+            lints_of("let b = CostBudget::ticks(start.elapsed().as_millis() as u64);"),
+            ["d-degrade-prefix"]
+        );
+        assert_eq!(
+            lints_of("let b = CostBudget { ticks: t.as_micros() as u64 };"),
+            ["d-degrade-prefix"]
+        );
+        // …and into meter charges.
+        assert_eq!(
+            lints_of("meter.charge(clock.elapsed().as_nanos() as u64);"),
+            ["d-degrade-prefix"]
+        );
+        // Deterministic work units stay clean.
+        assert!(lints_of("let b = CostBudget::ticks(1_000);").is_empty());
+        assert!(lints_of("meter.charge(scanned);").is_empty());
+        assert!(lints_of("meter.charge(1);").is_empty());
+        // `charge` without a call, or unrelated idents, never fire.
+        assert!(lints_of("let charge = elapsed;").is_empty());
     }
 
     #[test]

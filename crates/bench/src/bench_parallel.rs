@@ -279,7 +279,7 @@ fn run_workload(
 /// The mixed query batch of the throughput workload: every swept budget
 /// under the plurality rule, auto (sandwich) and plain modes, replicated
 /// [`QT_REPLICATION`] times — all answered by **one** shared RS index.
-fn throughput_requests(cfg: &ExpConfig, ds: &Dataset) -> Vec<ServiceRequest> {
+pub(crate) fn throughput_requests(cfg: &ExpConfig, ds: &Dataset) -> Vec<ServiceRequest> {
     let n = ds.instance.num_nodes();
     let ks: Vec<usize> = match cfg.k_override {
         Some(k) => vec![k],
@@ -308,7 +308,7 @@ fn throughput_requests(cfg: &ExpConfig, ds: &Dataset) -> Vec<ServiceRequest> {
     requests
 }
 
-const QT_GRAPH: &str = "bench";
+pub(crate) const QT_GRAPH: &str = "bench";
 /// Batch replication factor: enough in-flight queries that every pool
 /// worker stays busy at the parallel target.
 const QT_REPLICATION: usize = 4;

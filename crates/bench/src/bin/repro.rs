@@ -8,6 +8,7 @@
 //! repro --bench-json [--scale F] [--seed N] [--k N] [--threads N]
 //!       [--save-index DIR] [--load-index DIR]
 //! repro --scale-stress [--quick] [--seed N] [--k N]
+//! repro --chaos [--seed N] [--threads N]
 //! ```
 //!
 //! Experiments: table1 table2 table3 table6 fig2 case-study fig6 fig7
@@ -31,6 +32,14 @@
 //! capacity-exact index memory per scale, with a cross-width
 //! determinism check. It can run alone or alongside experiment ids.
 //!
+//! `--chaos` runs the seeded fault-injection harness: the
+//! query-throughput batch under an injected build panic, query panics,
+//! inflated deadline budgets, and a transient snapshot IO fault, at
+//! pool widths 1/2/N. It asserts every fault surfaces as its typed
+//! error, every clean slot stays bit-identical to the fault-free
+//! baseline, and every degraded slot is a verified prefix — exiting
+//! nonzero if any contract breaks — and writes `BENCH_chaos.json`.
+//!
 //! `--threads N` pins the worker pool width for the whole run. The pool
 //! width resolves in this order: `--threads` flag, then the
 //! `VOM_THREADS` environment variable, then the machine's available
@@ -44,6 +53,7 @@ fn usage() -> ! {
         "usage: repro <experiment|all> [--scale F] [--seed N] [--quick] [--out DIR] [--k N] [--threads N]\n\
          \x20      repro --bench-json [--scale F] [--seed N] [--k N] [--threads N] [--save-index DIR] [--load-index DIR]\n\
          \x20      repro --scale-stress [--quick] [--seed N] [--k N]\n\
+         \x20      repro --chaos [--seed N] [--threads N]\n\
          experiments: {}",
         ALL_IDS.join(" ")
     );
@@ -59,11 +69,13 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut bench_json = false;
     let mut scale_stress = false;
+    let mut chaos = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--bench-json" => bench_json = true,
             "--scale-stress" => scale_stress = true,
+            "--chaos" => chaos = true,
             "--k" => {
                 i += 1;
                 cfg.k_override = Some(
@@ -113,7 +125,7 @@ fn main() {
         }
         i += 1;
     }
-    if targets.is_empty() && !bench_json && !scale_stress {
+    if targets.is_empty() && !bench_json && !scale_stress && !chaos {
         usage();
     }
     let ids: Vec<String> = if targets.iter().any(|t| t == "all") {
@@ -166,6 +178,20 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("scale-stress failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if chaos {
+        let (outcome, elapsed) = vom_bench::timed(|| vom_bench::chaos::run(&cfg));
+        match outcome {
+            Ok(path) => println!(
+                "[chaos written to {} in {:.1}s]",
+                path.display(),
+                elapsed.as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("chaos failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -13,6 +13,7 @@
 //! integration tests in `tests/experiments_shape.rs`.
 
 pub mod bench_parallel;
+pub mod chaos;
 pub mod error;
 pub mod experiments;
 pub mod methods;

@@ -4,6 +4,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use vom_diffusion::CostMeter;
 use vom_graph::Node;
 
 /// Heap entry: `(cached gain, node, iteration the gain was computed in)`.
@@ -55,7 +56,26 @@ where
     FM: FnMut(Node) -> f64,
     FC: FnMut(Node),
 {
-    lazy_greedy(0..n as Node, k, true, marginal, commit)
+    lazy_greedy(0..n as Node, k, true, None, marginal, commit)
+}
+
+/// [`celf_greedy`] with an optional [`CostMeter`]: one tick per marginal
+/// evaluation, exhaustion checked at the (sequential) pop boundary. A
+/// run stopped by the meter returns a bit-identical **prefix** of the
+/// unmetered selection — the heap evolves through the same deterministic
+/// state sequence and the meter only decides how far along it we stop.
+pub fn celf_greedy_metered<FM, FC>(
+    n: usize,
+    k: usize,
+    meter: Option<&CostMeter>,
+    marginal: FM,
+    commit: FC,
+) -> Vec<Node>
+where
+    FM: FnMut(Node) -> f64,
+    FC: FnMut(Node),
+{
+    lazy_greedy(0..n as Node, k, true, meter, marginal, commit)
 }
 
 /// The shared lazy-greedy loop behind [`celf_greedy`] and the
@@ -70,6 +90,7 @@ pub(crate) fn lazy_greedy<FM, FC>(
     candidates: impl Iterator<Item = Node>,
     k: usize,
     stop_on_zero: bool,
+    meter: Option<&CostMeter>,
     mut marginal: FM,
     mut commit: FC,
 ) -> Vec<Node>
@@ -77,6 +98,15 @@ where
     FM: FnMut(Node) -> f64,
     FC: FnMut(Node),
 {
+    // One tick per marginal evaluation — the unit the paper's complexity
+    // analysis counts. The charge schedule depends only on the heap's
+    // deterministic state sequence, never on thread interleaving.
+    let mut marginal = |v| {
+        if let Some(m) = meter {
+            m.charge(1);
+        }
+        marginal(v)
+    };
     let mut heap: BinaryHeap<Entry> = candidates
         .map(|v| Entry {
             gain: marginal(v),
@@ -87,6 +117,11 @@ where
     let mut selected = Vec::with_capacity(k);
     let mut round = 0u32;
     while selected.len() < k {
+        // Sequential checkpoint: stopping here leaves `selected` a valid
+        // prefix of the full-budget selection (CELF prefix-consistency).
+        if meter.is_some_and(|m| m.exhausted()) {
+            break;
+        }
         let Some(top) = heap.pop() else { break };
         if top.round == round {
             if stop_on_zero && top.gain <= 0.0 {
@@ -195,6 +230,27 @@ mod tests {
     fn ties_break_toward_smaller_ids() {
         let selected = celf_greedy(4, 2, |_| 1.0, |_| {});
         assert_eq!(selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn metered_runs_return_prefixes_of_the_full_selection() {
+        use vom_diffusion::CostBudget;
+        let weights = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let full = celf_greedy(5, 4, |v| weights[v as usize], |_| {});
+        assert_eq!(full, vec![0, 1, 2, 3]);
+        for budget in 0..20u64 {
+            let m = CostMeter::new(CostBudget::ticks(budget));
+            let got = celf_greedy_metered(5, 4, Some(&m), |v| weights[v as usize], |_| {});
+            assert!(
+                full.starts_with(&got),
+                "budget {budget}: {got:?} is not a prefix of {full:?}"
+            );
+        }
+        // An unlimited meter reproduces the unmetered selection exactly.
+        let m = CostMeter::new(CostBudget::ticks(u64::MAX));
+        let got = celf_greedy_metered(5, 4, Some(&m), |v| weights[v as usize], |_| {});
+        assert_eq!(got, full);
+        assert!(m.spent() > 0);
     }
 
     #[test]

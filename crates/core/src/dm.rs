@@ -1,9 +1,9 @@
 //! **DM** — exact greedy seed selection by direct matrix–vector
 //! iteration (Algorithm 1 with exact opinions, §III-C).
 
-use crate::celf::celf_greedy;
+use crate::celf::{celf_greedy, celf_greedy_metered};
 use crate::greedy::Competitors;
-use crate::phases::{self, Phase};
+use crate::phases::{self, CostMeter, Phase};
 use crate::problem::Problem;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -87,6 +87,23 @@ pub fn dm_greedy_prepared_with(
     comp: Option<Competitors<'_>>,
     pool: &SolverPool,
 ) -> Vec<Node> {
+    dm_greedy_prepared_metered(problem, comp, pool, None)
+}
+
+/// [`dm_greedy_prepared_with`] with an optional [`CostMeter`]: one tick
+/// per solver iteration step / warm frontier state (charged inside
+/// [`vom_diffusion::Solver::solve_metered`], possibly from parallel
+/// trial workers — commutative, so schedule-independent) plus one tick
+/// per scored candidate. Exhaustion is checked only at sequential seed
+/// boundaries (the CELF pop loop / the per-iteration head), so a
+/// metered run stopped early returns a bit-identical prefix of the
+/// unmetered selection; individual solves always run to completion.
+pub fn dm_greedy_prepared_metered(
+    problem: &Problem<'_>,
+    comp: Option<Competitors<'_>>,
+    pool: &SolverPool,
+    meter: Option<&CostMeter>,
+) -> Vec<Node> {
     let q = problem.target;
     let cand = problem.instance.candidate(q);
     let system = Arc::clone(cand.system());
@@ -109,14 +126,15 @@ pub fn dm_greedy_prepared_with(
             let state = std::cell::RefCell::new({
                 let mut solver = pool.checkout(&system);
                 let current: f64 = phases::timed(Phase::Diffusion, || {
-                    solver.solve(&seeds, &opts.recording());
+                    solver.solve_metered(&seeds, &opts.recording(), meter);
                     solver.opinions().iter().sum()
                 });
                 (seeds, solver, current)
             });
-            celf_greedy(
+            celf_greedy_metered(
                 n,
                 problem.k,
+                meter,
                 |v| {
                     if is_seed[v as usize] {
                         return f64::NEG_INFINITY;
@@ -125,7 +143,7 @@ pub fn dm_greedy_prepared_with(
                     s.push(v);
                     // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
                     let start = Instant::now();
-                    let report = solver.solve(s, &opts.warm());
+                    let report = solver.solve_metered(s, &opts.warm(), meter);
                     let total: f64 = solver.opinions().iter().sum();
                     phases::record(
                         if report.warm {
@@ -144,7 +162,7 @@ pub fn dm_greedy_prepared_with(
                     let (ref mut s, ref mut solver, ref mut cur) = *state.borrow_mut();
                     s.push(v);
                     *cur = phases::timed(Phase::Diffusion, || {
-                        solver.solve(s, &opts.recording());
+                        solver.solve_metered(s, &opts.recording(), meter);
                         solver.opinions().iter().sum()
                     });
                 },
@@ -156,13 +174,20 @@ pub fn dm_greedy_prepared_with(
             let mut picked = Vec::with_capacity(problem.k);
             let mut base_row: Vec<f64> = Vec::with_capacity(n);
             for _ in 0..problem.k {
+                // Sequential checkpoint: every parallel trial charge from
+                // the previous iteration has been joined at the collect,
+                // so stopping here is schedule-independent and leaves
+                // `picked` a prefix of the full-budget selection.
+                if meter.is_some_and(|m| m.exhausted()) {
+                    break;
+                }
                 // Fix this iteration's baseline: the committed seeds'
                 // exact opinions (recorded as the warm-start trajectory
                 // all workers share) and their per-user score state.
                 let base = {
                     let mut solver = pool.checkout(&system);
                     phases::timed(Phase::Diffusion, || {
-                        solver.solve(&seeds, &opts.recording());
+                        solver.solve_metered(&seeds, &opts.recording(), meter);
                     });
                     base_row.clear();
                     base_row.extend_from_slice(solver.opinions());
@@ -195,9 +220,12 @@ pub fn dm_greedy_prepared_with(
                         // candidate).
                         |(solver, trial, cscratch, local), v| {
                             trial.push(v);
+                            if let Some(m) = meter {
+                                m.charge(1); // one tick per scored candidate
+                            }
                             // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
                             let start = Instant::now();
-                            let report = solver.solve(trial, &opts.warm());
+                            let report = solver.solve_metered(trial, &opts.warm(), meter);
                             local.add(
                                 if report.warm {
                                     Phase::DiffusionWarm

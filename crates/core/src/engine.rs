@@ -77,9 +77,9 @@
 //! ```
 
 use crate::bounds::{favorable_users, greedy_upper_bound, upper_bound_parts};
-use crate::dm::{dm_greedy_masked_cumulative_with, dm_greedy_prepared_with};
+use crate::dm::{dm_greedy_masked_cumulative_with, dm_greedy_prepared_metered};
 use crate::greedy::Competitors;
-use crate::phases::{self, Phase};
+use crate::phases::{self, CostBudget, CostMeter, Phase};
 use crate::problem::{Problem, ProblemSpec};
 use crate::registry::MethodId;
 use crate::rs::{sketch_theta, RsConfig};
@@ -247,6 +247,46 @@ pub struct SelectionResult {
     pub sandwich: Option<SandwichInfo>,
 }
 
+/// Result of a budgeted selection ([`PreparedIndex::select_budgeted`]):
+/// either the full selection, or — when the [`CostBudget`] ran out at a
+/// sequential checkpoint — a *valid prefix* of it. CELF and the
+/// per-iteration greedy loops commit seeds one at a time against
+/// deterministic state, so the first `p` seeds of the full-budget run
+/// and a run cancelled after `p` commits are bit-identical; degraded
+/// answers are usable as-is, just shorter.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The budget sufficed; the full selection, with its exact score.
+    Complete(SelectionResult),
+    /// The budget ran out; a bit-identical prefix of the full selection.
+    /// The exact score is *not* computed (scoring a prefix would spend
+    /// the very work the budget was protecting).
+    Degraded {
+        /// The seeds committed before the budget ran out, in selection
+        /// order — a prefix of the full-budget selection.
+        seeds_prefix: Vec<Node>,
+        /// Work units charged when the query stopped (≥ the limit).
+        budget_spent: u64,
+        /// The budget's tick limit.
+        budget_limit: u64,
+    },
+}
+
+impl Outcome {
+    /// Whether the budget ran out before the selection completed.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Outcome::Degraded { .. })
+    }
+
+    /// The selected seeds: the full selection, or the degraded prefix.
+    pub fn seeds(&self) -> &[Node] {
+        match self {
+            Outcome::Complete(res) => &res.seeds,
+            Outcome::Degraded { seeds_prefix, .. } => seeds_prefix,
+        }
+    }
+}
+
 /// A selection method with the build-once/query-many lifecycle.
 ///
 /// Implementors: the three core [`Engine`]s here, the six §VIII baselines
@@ -378,13 +418,21 @@ pub trait IndexBackend: Send + Sync {
 /// Reusable per-session buffers the query paths fill on every select:
 /// sandwich masks and the RS working sketch. Contents are pure scratch —
 /// they never influence results, only allocation traffic — so a fresh
-/// default scratch and a warm one answer queries identically.
+/// default scratch and a warm one answer queries identically. The one
+/// exception is the [`CostMeter`] slot, installed by
+/// [`PreparedIndex::select_budgeted`] for exactly the duration of one
+/// budgeted query (and always cleared afterwards): it bounds how *far*
+/// the greedy runs, never *which* seeds a given prefix contains.
 #[derive(Debug, Default)]
 pub struct SessionScratch {
     /// Favorable-user mask for the sandwich lower bound.
     mask_lower: Vec<bool>,
     /// All-users mask for the cumulative feasible solution.
     mask_all: Vec<bool>,
+    /// Cost meter for the in-flight budgeted query; `None` on every
+    /// unmetered path (the carrier keeps [`IndexBackend::greedy`]
+    /// signatures unchanged for external backend implementors).
+    meter: Option<Arc<CostMeter>>,
     /// RS working sketch from the previous query, keyed by its θ.
     rs_sketch: Option<(usize, SketchSet)>,
     /// Pooled exact-diffusion solvers (iteration buffers + warm-start
@@ -790,6 +838,78 @@ impl PreparedIndex {
             sandwich: info,
         })
     }
+
+    /// Answers one query under a deterministic cost budget: the greedy
+    /// charges the caller's meter (one tick per solver step / warm
+    /// frontier state / scored candidate) and checks exhaustion only at
+    /// sequential seed-commit boundaries. If the budget runs out the
+    /// query returns [`Outcome::Degraded`] carrying a bit-identical
+    /// **prefix** of the full-budget selection.
+    ///
+    /// Budgeted queries always run **plain** greedy: the sandwich
+    /// arbitration (Algorithm 3) picks the best of three full candidate
+    /// sets under the exact objective, which is not prefix-consistent —
+    /// a truncated arbitration could return seeds that are a prefix of
+    /// nothing. Degraded results also skip the exact-score evaluation
+    /// (it would spend the very work the budget was protecting).
+    ///
+    /// Determinism: the charge schedule counts work units that are
+    /// identical at every thread width, so the degradation point — and
+    /// therefore the returned prefix — is bit-identical at widths 1/2/8.
+    pub fn select_budgeted(
+        &self,
+        query: &Query,
+        scratch: &mut SessionScratch,
+        meter: &Arc<CostMeter>,
+    ) -> Result<Outcome> {
+        self.validate_query(query)?;
+        let plain = Query {
+            k: query.k,
+            rule: query.rule.clone(),
+            target: query.target,
+            mode: SelectionMode::Plain,
+        };
+        let problem = self.spec.query_problem(plain.k, plain.rule.clone());
+
+        // Shared one-time index artifacts (competitor matrix, rank
+        // index) build unmetered: they are amortized over every future
+        // query on this index, and metering them would make the first
+        // budgeted query's degradation point depend on cache state.
+        let competitive = problem.is_competitive() && self.backend.needs_exact_competitors();
+        let comp = if competitive {
+            let matrix = self.others.get_or_init(|| problem.non_target_opinions());
+            let ranks = self.ranks.get_or_init(|| {
+                phases::timed(Phase::Scoring, || RankIndex::build(matrix, problem.target))
+            });
+            Some(Competitors { matrix, ranks })
+        } else {
+            None
+        };
+
+        // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
+        let start = Instant::now();
+        scratch.meter = Some(Arc::clone(meter));
+        let greedy_result = self.backend.greedy(&problem, comp, scratch);
+        scratch.meter = None;
+        let seeds = greedy_result?;
+        let elapsed = start.elapsed();
+
+        if meter.exhausted() && seeds.len() < plain.k {
+            return Ok(Outcome::Degraded {
+                seeds_prefix: seeds,
+                budget_spent: meter.spent(),
+                budget_limit: meter.limit(),
+            });
+        }
+        let exact_score = problem.exact_score(&seeds);
+        Ok(Outcome::Complete(SelectionResult {
+            seeds,
+            exact_score,
+            elapsed,
+            estimator_heap_bytes: self.backend.heap_bytes(),
+            sandwich: None,
+        }))
+    }
 }
 
 /// One memo cell of the sandwich upper-bound order cache: same-key
@@ -871,6 +991,22 @@ impl QuerySession {
     pub fn select_k(&mut self, k: usize) -> Result<SelectionResult> {
         let query = self.query(k);
         self.select(&query)
+    }
+
+    /// Answers one query under a deterministic tick budget; a spent
+    /// budget yields [`Outcome::Degraded`] with a valid prefix. See
+    /// [`PreparedIndex::select_budgeted`].
+    pub fn select_budgeted(&mut self, query: &Query, budget: CostBudget) -> Result<Outcome> {
+        let meter = Arc::new(CostMeter::new(budget));
+        self.select_with_meter(query, &meter)
+    }
+
+    /// [`QuerySession::select_budgeted`] with a caller-owned meter, for
+    /// callers that inspect `spent()` afterwards or inflate charges
+    /// ([`CostMeter::with_scale`], the fault-injection harness).
+    pub fn select_with_meter(&mut self, query: &Query, meter: &Arc<CostMeter>) -> Result<Outcome> {
+        self.queries += 1;
+        self.index.select_budgeted(query, &mut self.scratch, meter)
     }
 }
 
@@ -1081,21 +1217,40 @@ impl IndexBackend for DmIndex {
             &self.system,
             problem.instance.candidate(problem.target).system()
         ));
+        let meter = scratch.meter.clone();
         if matches!(problem.score, ScoringFunction::Cumulative) {
+            if let Some(m) = &meter {
+                // A metered run may stop early, so it must neither read
+                // nor seed the shared cum_order cache: reading would skip
+                // the charges the budget is supposed to see, and writing
+                // would poison every later query with a truncated order.
+                // The fresh run uses the prepared budget so its charge
+                // trajectory prefixes the cached run's exactly.
+                let budget_problem = problem.with_budget(self.budget);
+                let order =
+                    dm_greedy_prepared_metered(&budget_problem, comp, &scratch.dm_pool, Some(m));
+                return Ok(order.iter().take(problem.k).copied().collect());
+            }
             // One cumulative CELF run at the prepared budget serves every
             // query budget (prefix-consistency; asserted against the
             // one-shot path by tests/prepared_equivalence.rs).
             let order = self.cum_order.get_or_init(|| {
                 let budget_problem = problem.with_budget(self.budget);
-                Arc::new(dm_greedy_prepared_with(
+                Arc::new(dm_greedy_prepared_metered(
                     &budget_problem,
                     comp,
                     &scratch.dm_pool,
+                    None,
                 ))
             });
             return Ok(order.iter().take(problem.k).copied().collect());
         }
-        Ok(dm_greedy_prepared_with(problem, comp, &scratch.dm_pool))
+        Ok(dm_greedy_prepared_metered(
+            problem,
+            comp,
+            &scratch.dm_pool,
+            meter.as_deref(),
+        ))
     }
 
     fn greedy_masked_cumulative(
@@ -1207,16 +1362,17 @@ impl IndexBackend for RwIndex {
         &self,
         problem: &Problem<'_>,
         comp: Option<Competitors<'_>>,
-        _scratch: &mut SessionScratch,
+        scratch: &mut SessionScratch,
     ) -> Result<Vec<Node>> {
         let arena = self.ensure_arena(problem, comp.map(|c| c.matrix));
         let mut est = self.estimator(arena, problem);
-        Ok(crate::greedy::greedy_on_estimate(
+        Ok(crate::greedy::greedy_on_estimate_metered(
             &mut est,
             problem.k,
             &problem.score,
             comp,
             problem.target,
+            scratch.meter.as_deref(),
         ))
     }
 
@@ -1319,16 +1475,18 @@ impl IndexBackend for RsIndex {
     ) -> Result<Vec<Node>> {
         let (theta, pristine) = self.ensure_sketch(problem);
         let cand = problem.instance.candidate(problem.target);
+        let meter = scratch.meter.clone();
         let mut sketch = scratch.checkout_sketch(theta, &pristine);
         for &s in &cand.fixed_seeds {
             sketch.add_seed(s);
         }
-        let seeds = crate::greedy::greedy_on_estimate(
+        let seeds = crate::greedy::greedy_on_estimate_metered(
             &mut sketch,
             problem.k,
             &problem.score,
             comp,
             problem.target,
+            meter.as_deref(),
         );
         scratch.return_sketch(theta, sketch);
         Ok(seeds)
@@ -1490,6 +1648,52 @@ mod tests {
         });
         assert_eq!(index.build_stats().artifact_builds, 2);
         assert!(selections.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn budgeted_select_degrades_to_a_prefix_of_the_full_selection() {
+        let inst = instance();
+        let spec = Problem::new(&inst, 0, 3, 1, ScoringFunction::Cumulative).unwrap();
+        for engine in [Engine::Dm, Engine::rw_default(), Engine::rs_default()] {
+            let index = Arc::new(engine.prepare_index(&spec).unwrap());
+            let mut session = PreparedIndex::session(&index);
+            let q = Query::plain(3, ScoringFunction::Cumulative, 0);
+            let full = session.select(&q).unwrap();
+            // Unlimited budget: complete, bit-identical to the unmetered run.
+            match session
+                .select_budgeted(&q, CostBudget::ticks(u64::MAX))
+                .unwrap()
+            {
+                Outcome::Complete(res) => {
+                    assert_eq!(res.seeds, full.seeds);
+                    assert_eq!(res.exact_score.to_bits(), full.exact_score.to_bits());
+                }
+                out => panic!("unlimited budget degraded: {out:?}"),
+            }
+            // Every smaller budget yields a prefix (possibly empty).
+            for t in 0..60 {
+                let out = session.select_budgeted(&q, CostBudget::ticks(t)).unwrap();
+                assert!(
+                    full.seeds.starts_with(out.seeds()),
+                    "budget {t}: {:?} is not a prefix of {:?}",
+                    out.seeds(),
+                    full.seeds
+                );
+                if let Outcome::Degraded {
+                    budget_spent,
+                    budget_limit,
+                    ..
+                } = out
+                {
+                    assert!(budget_spent >= budget_limit);
+                    assert_eq!(budget_limit, t);
+                }
+            }
+            // A metered query must not poison the shared caches: the
+            // next unmetered query still answers in full.
+            let again = session.select(&q).unwrap();
+            assert_eq!(again.seeds, full.seeds);
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! sum of non-negative terms is monotone under subset removal).
 
 use crate::estimate::OpinionEstimate;
-use crate::phases::{self, Phase};
+use crate::phases::{self, CostMeter, Phase};
 use std::time::{Duration, Instant};
 use vom_diffusion::OpinionMatrix;
 use vom_graph::{Candidate, Node};
@@ -120,17 +120,37 @@ pub fn greedy_on_estimate<E: OpinionEstimate>(
     comp: Option<Competitors<'_>>,
     q: Candidate,
 ) -> Vec<Node> {
+    greedy_on_estimate_metered(est, k, score, comp, q, None)
+}
+
+/// [`greedy_on_estimate`] with an optional [`CostMeter`]: one tick per
+/// scored candidate, exhaustion checked at the sequential iteration
+/// boundary before each seed commit. A metered run stopped early returns
+/// a bit-identical **prefix** of the unmetered selection — every rule
+/// class here commits seeds one iteration at a time against state that
+/// evolves through the same deterministic sequence, so stopping between
+/// iterations cannot change the seeds already chosen.
+pub fn greedy_on_estimate_metered<E: OpinionEstimate>(
+    est: &mut E,
+    k: usize,
+    score: &ScoringFunction,
+    comp: Option<Competitors<'_>>,
+    q: Candidate,
+    meter: Option<&CostMeter>,
+) -> Vec<Node> {
     match score {
-        ScoringFunction::Cumulative => lazy_greedy_fill(est, k, |est, w| est.cumulative_gain_of(w)),
+        ScoringFunction::Cumulative => {
+            lazy_greedy_fill(est, k, meter, |est, w| est.cumulative_gain_of(w))
+        }
         ScoringFunction::Plurality
         | ScoringFunction::PApproval { .. }
         | ScoringFunction::PositionalPApproval { .. } => {
             let comp = comp.expect("competitive score needs competitor opinions");
-            rank_greedy(est, k, score, comp.ranks)
+            rank_greedy(est, k, score, comp.ranks, meter)
         }
         ScoringFunction::Copeland => {
             let comp = comp.expect("competitive score needs competitor opinions");
-            copeland_greedy(est, k, comp.matrix, q)
+            copeland_greedy(est, k, comp.matrix, q, meter)
         }
     }
 }
@@ -143,7 +163,9 @@ pub fn greedy_masked_cumulative<E: OpinionEstimate>(
     k: usize,
     mask: &[bool],
 ) -> Vec<Node> {
-    lazy_greedy_fill(est, k, |est, w| est.cumulative_gain_of_masked(w, mask))
+    lazy_greedy_fill(est, k, None, |est, w| {
+        est.cumulative_gain_of_masked(w, mask)
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -160,6 +182,7 @@ pub fn greedy_masked_cumulative<E: OpinionEstimate>(
 fn lazy_greedy_fill<E: OpinionEstimate>(
     est: &mut E,
     k: usize,
+    meter: Option<&CostMeter>,
     gain_of: impl Fn(&E, Node) -> f64,
 ) -> Vec<Node> {
     // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
@@ -174,6 +197,7 @@ fn lazy_greedy_fill<E: OpinionEstimate>(
         (0..n as Node).filter(|&v| !cell.borrow().is_seed(v)),
         k,
         false,
+        meter,
         |v| gain_of(&cell.borrow(), v),
         |v| {
             // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
@@ -275,6 +299,7 @@ fn rank_greedy<E: OpinionEstimate>(
     k: usize,
     score: &ScoringFunction,
     index: &RankIndex,
+    meter: Option<&CostMeter>,
 ) -> Vec<Node> {
     // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
     let started = Instant::now();
@@ -284,13 +309,20 @@ fn rank_greedy<E: OpinionEstimate>(
     let mut selected = Vec::with_capacity(k);
     let mut touched: Vec<Node> = Vec::new();
     for _ in 0..k {
+        // Sequential checkpoint: per-iteration commits mean stopping here
+        // leaves `selected` a prefix of the full-budget selection.
+        if meter.is_some_and(|m| m.exhausted()) {
+            break;
+        }
         // (node, rank gain, cumulative tie-break gain) — both gains come
         // out of one pass over the candidate's occurrence list.
         let mut best: Option<(Node, f64, f64)> = None;
+        let mut scanned = 0u64;
         for w in 0..n as Node {
             if est.is_seed(w) {
                 continue;
             }
+            scanned += 1;
             let (gain, cum) = state.gain_and_cum(est, index, w);
             let better = match best {
                 None => true,
@@ -299,6 +331,9 @@ fn rank_greedy<E: OpinionEstimate>(
             if better {
                 best = Some((w, gain, cum));
             }
+        }
+        if let Some(m) = meter {
+            m.charge(scanned); // one tick per scored candidate
         }
         let Some((bw, _, _)) = best else { break };
         // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
@@ -331,6 +366,7 @@ fn copeland_greedy<E: OpinionEstimate>(
     k: usize,
     others: &OpinionMatrix,
     q: Candidate,
+    meter: Option<&CostMeter>,
 ) -> Vec<Node> {
     // audit:allow(d-wall-clock, "phase timer: elapsed feeds reported timings, never selection order")
     let started = Instant::now();
@@ -362,6 +398,11 @@ fn copeland_greedy<E: OpinionEstimate>(
     let mut gains = vec![0.0f64; n];
     let mut margins = vec![0.0f64; n];
     for _ in 0..k {
+        // Sequential checkpoint: per-iteration commits mean stopping here
+        // leaves `selected` a prefix of the full-budget selection.
+        if meter.is_some_and(|m| m.exhausted()) {
+            break;
+        }
         // Current weighted majorities, re-summed in fixed user order
         // (incremental float nets would drift from the reference bits).
         net.iter_mut().for_each(|s| *s = 0.0);
@@ -383,10 +424,12 @@ fn copeland_greedy<E: OpinionEstimate>(
 
         gains.iter_mut().for_each(|g| *g = 0.0);
         margins.iter_mut().for_each(|m| *m = 0.0);
+        let mut scanned = 0u64;
         for w in 0..n as Node {
             if est.is_seed(w) {
                 continue;
             }
+            scanned += 1;
             net_change.iter_mut().for_each(|c| *c = 0.0);
             est.for_candidate_deltas(w, &mut scratch, |user, delta| {
                 let v = user as usize;
@@ -408,6 +451,9 @@ fn copeland_greedy<E: OpinionEstimate>(
                 .count() as f64;
             gains[w as usize] = new_wins - current_wins;
             margins[w as usize] = net_change.iter().sum();
+        }
+        if let Some(m) = meter {
+            m.charge(scanned); // one tick per scored candidate
         }
         let Some(bw) = argmax_non_seed(est, &gains, Some(&margins)) else {
             break;

@@ -59,13 +59,14 @@ pub mod selector;
 pub mod win;
 pub mod win_ext;
 
-pub use dm_ext::{evaluate_rule, generic_greedy};
+pub use dm_ext::{evaluate_rule, generic_greedy, generic_greedy_metered};
 pub use engine::{
-    BuildCounters, BuildStats, Engine, IndexBackend, Prepared, PreparedIndex, Query, QuerySession,
-    RuleClass, SeedSelector, SelectionMode, SelectionResult, SessionScratch,
+    BuildCounters, BuildStats, Engine, IndexBackend, Outcome, Prepared, PreparedIndex, Query,
+    QuerySession, RuleClass, SeedSelector, SelectionMode, SelectionResult, SessionScratch,
 };
 pub use error::CoreError;
 pub use persist::{graph_digest, spec_digest, IndexSource};
+pub use phases::{CostBudget, CostMeter};
 pub use problem::{Problem, ProblemSpec};
 pub use registry::{MethodDescriptor, MethodId, METHOD_REGISTRY};
 pub use selector::{select_seeds, select_seeds_plain, Method};

@@ -29,7 +29,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-pub use vom_diffusion::SolverCounters;
+pub use vom_diffusion::{CostBudget, CostMeter, SolverCounters};
 
 /// A hot-path phase of the query pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -56,6 +56,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod budget;
 pub mod campaign;
 pub mod convergence;
 pub mod degroot;
@@ -66,6 +67,7 @@ pub mod shared;
 pub mod solver;
 pub mod stubbornness;
 
+pub use budget::{CostBudget, CostMeter};
 pub use campaign::{CandidateData, Instance};
 pub use error::DiffusionError;
 pub use fj::{DiffusionBuffer, FjEngine};

@@ -42,6 +42,7 @@
 //! over the same arithmetic for callers holding bare slices; new code
 //! should build a [`DiffusionSystem`] once and call [`Solver::solve`].
 
+use crate::budget::CostMeter;
 use crate::error::validate_unit_range;
 use crate::Result;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -694,6 +695,23 @@ impl Solver {
     /// (same horizon, `baseline.seeds()` a prefix of `seeds`). The
     /// result is bit-identical to the cold solve in every case.
     pub fn solve(&mut self, seeds: &[Node], opts: &SolveOptions) -> SolveReport {
+        self.solve_metered(seeds, opts, None)
+    }
+
+    /// [`Solver::solve`] with a [`CostMeter`] charged from inside the
+    /// iteration loop: one tick per executed step (cold or
+    /// dense-fallback) and one tick per warm frontier state. The solve
+    /// itself always runs to completion — truncating mid-solve would
+    /// change the computed opinions and break the warm-start/bitwise
+    /// exactness contract — so metered callers check
+    /// [`CostMeter::exhausted`] *between* solves, at their own
+    /// sequential checkpoints, and stop issuing further work there.
+    pub fn solve_metered(
+        &mut self,
+        seeds: &[Node],
+        opts: &SolveOptions,
+        meter: Option<&CostMeter>,
+    ) -> SolveReport {
         if opts.warm && !opts.record_baseline && opts.tolerance == 0.0 && warm_start_enabled() {
             if let Some(base) = &self.baseline {
                 if base.horizon == opts.horizon
@@ -701,11 +719,11 @@ impl Solver {
                     && seeds[..base.seeds.len()] == base.seeds[..]
                 {
                     let base = Arc::clone(base);
-                    return self.warm_solve(&base, &seeds[base.seeds.len()..]);
+                    return self.warm_solve(&base, &seeds[base.seeds.len()..], meter);
                 }
             }
         }
-        self.cold_solve(seeds, opts)
+        self.cold_solve(seeds, opts, meter)
     }
 
     /// The opinions computed by the last [`Solver::solve`] call, as a
@@ -721,7 +739,12 @@ impl Solver {
         }
     }
 
-    fn cold_solve(&mut self, seeds: &[Node], opts: &SolveOptions) -> SolveReport {
+    fn cold_solve(
+        &mut self,
+        seeds: &[Node],
+        opts: &SolveOptions,
+        meter: Option<&CostMeter>,
+    ) -> SolveReport {
         let system = Arc::clone(&self.system);
         let n = system.num_nodes();
         for &s in seeds {
@@ -757,6 +780,9 @@ impl Solver {
             };
             std::mem::swap(&mut self.cur, &mut self.next);
             steps += 1;
+            if let Some(m) = meter {
+                m.charge(1);
+            }
             if opts.record_baseline {
                 rows.push(self.cur.clone());
             }
@@ -814,7 +840,12 @@ impl Solver {
     /// reach most nodes within a few steps. The fallback is bit-identical
     /// too: the materialized state *is* the true state `s`, and a dense
     /// step computes exactly the sums the frontier recompute would.
-    fn warm_solve(&mut self, base: &Arc<Baseline>, extras: &[Node]) -> SolveReport {
+    fn warm_solve(
+        &mut self,
+        base: &Arc<Baseline>,
+        extras: &[Node],
+        meter: Option<&CostMeter>,
+    ) -> SolveReport {
         self.ensure_warm_scratch();
         let system = Arc::clone(&self.system);
         let n = system.num_nodes();
@@ -925,6 +956,9 @@ impl Solver {
             std::mem::swap(&mut self.chg, &mut self.chg_next);
             std::mem::swap(&mut self.val, &mut self.val_next);
             frontier_total += frontier.len();
+            if let Some(m) = meter {
+                m.charge(1);
+            }
         }
 
         if let Some(s0) = fallback_from {
@@ -948,6 +982,9 @@ impl Solver {
                 let bits_equal = system.step_exact(&self.seeds_sorted, &self.cur, &mut self.next);
                 std::mem::swap(&mut self.cur, &mut self.next);
                 dense_steps += 1;
+                if let Some(m) = meter {
+                    m.charge(1);
+                }
                 if bits_equal {
                     // Fixed point: every remaining row is identical.
                     break;
@@ -1275,6 +1312,37 @@ mod tests {
         let mut acc = SolverCounters::default();
         acc.add(delta);
         assert_eq!(acc.cold_solves, delta.cold_solves);
+    }
+
+    #[test]
+    fn metered_solves_charge_ticks_without_changing_results() {
+        use crate::budget::{CostBudget, CostMeter};
+        let (g, b0, d) = running_example();
+        let sys = system(&g, &b0, &d);
+        let mut metered = Solver::new(Arc::clone(&sys));
+        let mut plain = Solver::new(Arc::clone(&sys));
+        let meter = CostMeter::new(CostBudget::ticks(u64::MAX));
+        // Cold: one tick per executed step.
+        let rep = metered.solve_metered(&[], &SolveOptions::exact(3).recording(), Some(&meter));
+        assert_eq!(meter.spent(), rep.steps as u64);
+        plain.solve(&[], &SolveOptions::exact(3).recording());
+        assert_eq!(metered.opinions(), plain.opinions());
+        // Warm: one tick per frontier state; values identical to the
+        // unmetered path.
+        let before = meter.spent();
+        let rep = metered.solve_metered(&[0], &SolveOptions::exact(3).warm(), Some(&meter));
+        assert!(rep.warm);
+        assert_eq!(meter.spent() - before, rep.steps as u64);
+        plain.solve(&[0], &SolveOptions::exact(3).warm());
+        assert_eq!(metered.opinions(), plain.opinions());
+        // A solve is never truncated by an exhausted meter — budgets
+        // cancel *between* solves, at greedy checkpoints.
+        let spent_meter = CostMeter::new(CostBudget::ticks(0));
+        assert!(spent_meter.exhausted());
+        let rep = metered.solve_metered(&[1], &SolveOptions::exact(3), Some(&spent_meter));
+        assert_eq!(rep.steps, 3);
+        plain.solve(&[1], &SolveOptions::exact(3));
+        assert_eq!(metered.opinions(), plain.opinions());
     }
 
     #[test]

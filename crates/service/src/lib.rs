@@ -71,15 +71,16 @@
 
 use rayon::IntoParallelIterator;
 // audit:allow(d-hash-iter, "HashMap is a keyed cache probed by exact key; every enumeration goes through sorted snapshots")
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 use vom_baselines::AnyEngine;
-use vom_core::engine::{PreparedIndex, Query, RuleClass, SeedSelector, SelectionResult};
+use vom_core::engine::{Outcome, PreparedIndex, Query, RuleClass, SeedSelector, SelectionResult};
 use vom_core::persist::{graph_digest, IndexSource};
-use vom_core::{CoreError, MethodId, ProblemSpec};
+use vom_core::{CoreError, CostBudget, CostMeter, MethodId, ProblemSpec};
 use vom_diffusion::Instance;
 use vom_graph::Candidate;
 use vom_persist::PersistError;
@@ -88,6 +89,23 @@ use vom_persist::PersistError;
 /// registry method. The default is [`AnyEngine::with_defaults`]; a bench
 /// harness can inject its §VIII-B parameter settings instead.
 pub type EngineFactory = Box<dyn Fn(MethodId) -> AnyEngine + Send + Sync>;
+
+/// Scheduling class of a request within a batch. Classes order the
+/// deterministic batch schedule (all `High` requests are dispatched —
+/// and their indexes resolved/admitted — before any `Normal`, which
+/// precede any `Low`; request order breaks ties). Priorities never
+/// change *what* a query answers, only *when* it is scheduled and in
+/// which order its index competes for the memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Scheduled before all other classes.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Scheduled after everything else.
+    Low,
+}
 
 /// One query against a named, registered graph.
 #[derive(Debug, Clone)]
@@ -100,10 +118,18 @@ pub struct ServiceRequest {
     pub horizon: usize,
     /// The selection query (budget, rule, target, mode).
     pub query: Query,
+    /// Optional deterministic deadline in cost-meter ticks (see
+    /// [`vom_core::CostBudget`]). `None` (the default) runs to
+    /// completion; `Some(t)` may yield [`Outcome::Degraded`] with a
+    /// bit-identical prefix of the full selection — surface it with
+    /// [`VomService::run_batch_full`] / [`VomService::run_full`].
+    pub budget: Option<u64>,
+    /// Scheduling class (default [`Priority::Normal`]).
+    pub priority: Priority,
 }
 
 impl ServiceRequest {
-    /// Convenience constructor.
+    /// Convenience constructor (no budget, normal priority).
     pub fn new(
         graph: impl Into<String>,
         method: MethodId,
@@ -115,7 +141,21 @@ impl ServiceRequest {
             method,
             horizon,
             query,
+            budget: None,
+            priority: Priority::Normal,
         }
+    }
+
+    /// Sets a deterministic tick budget for this request.
+    pub fn with_budget(mut self, ticks: u64) -> ServiceRequest {
+        self.budget = Some(ticks);
+        self
+    }
+
+    /// Sets the scheduling class for this request.
+    pub fn with_priority(mut self, priority: Priority) -> ServiceRequest {
+        self.priority = priority;
+        self
     }
 }
 
@@ -140,6 +180,37 @@ pub enum ServiceError {
     /// [`vom_persist::PersistError`]). Loads fail closed — a bad
     /// snapshot never becomes a served index.
     Persist(PersistError),
+    /// The index this request needs does not fit the service memory
+    /// budget even after evicting every cold cached index. The request
+    /// is rejected, not silently served from an over-budget cache.
+    AdmissionDenied {
+        /// The graph whose index was denied.
+        graph: String,
+        /// Heap bytes the new index needs.
+        needed_bytes: usize,
+        /// The configured service budget.
+        budget_bytes: usize,
+    },
+    /// A query or index build panicked. The panic is confined to this
+    /// slot (sibling batch entries are unaffected) and a panicked build
+    /// is quarantined — the next caller retries a fresh build instead
+    /// of observing a poisoned memo cell.
+    Panicked {
+        /// Human-readable description of where the panic happened.
+        context: String,
+    },
+    /// A budgeted request degraded (its deadline expired before `k`
+    /// seeds were selected) but was run through an API that can only
+    /// carry complete results. The degraded prefix is still valid —
+    /// retrieve it with [`VomService::run_batch_full`].
+    Degraded {
+        /// Ticks spent when the deadline fired.
+        budget_spent: u64,
+        /// The configured tick budget.
+        budget_limit: u64,
+        /// Seeds selected before the deadline (the prefix length).
+        seeds_found: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -153,6 +224,24 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Selection(e) => write!(f, "selection failed: {e}"),
             ServiceError::Persist(e) => write!(f, "index snapshot failed: {e}"),
+            ServiceError::AdmissionDenied {
+                graph,
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "index for {graph:?} needs {needed_bytes} B, over the {budget_bytes} B service budget"
+            ),
+            ServiceError::Panicked { context } => write!(f, "panicked: {context}"),
+            ServiceError::Degraded {
+                budget_spent,
+                budget_limit,
+                seeds_found,
+            } => write!(
+                f,
+                "degraded to a {seeds_found}-seed prefix after {budget_spent}/{budget_limit} ticks \
+                 (use run_batch_full to receive partial results)"
+            ),
         }
     }
 }
@@ -218,12 +307,194 @@ pub struct WarmSummary {
     pub loaded: usize,
     /// Snapshot files present but not served, with typed reasons.
     pub skipped: Vec<SkippedSnapshot>,
+    /// Files whose open hit a transient IO error and was retried, with
+    /// the exact deterministic backoff schedule that was applied —
+    /// recorded whether or not the retries eventually succeeded.
+    pub retries: Vec<RetryRecord>,
 }
 
 impl WarmSummary {
     /// Whether every `.vpi` file in the directory was served.
     pub fn is_clean(&self) -> bool {
         self.skipped.is_empty()
+    }
+}
+
+/// One file [`VomService::warm_from_dir_with`] retried after a
+/// transient IO failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryRecord {
+    /// The snapshot file.
+    pub path: PathBuf,
+    /// Backoff pauses requested between attempts, in order (ms). The
+    /// schedule is a pure function of the [`RetryPolicy`] — never of
+    /// wall-clock time.
+    pub backoff_ms: Vec<u64>,
+    /// Whether a retry eventually opened the file.
+    pub recovered: bool,
+}
+
+/// Bounded-retry policy for transient (`PersistError::Io`) snapshot
+/// failures during a warm restart. Corruption and digest mismatches are
+/// *not* retried — rereading a corrupt file cannot fix it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total open attempts per file (1 = no retries).
+    pub attempts: u32,
+    /// First backoff pause; each further retry doubles it. The schedule
+    /// is deterministic: `base, 2·base, 4·base, …`.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `retry` (0-based).
+    fn backoff_ms(&self, retry: u32) -> u64 {
+        self.base_backoff_ms.saturating_mul(1u64 << retry.min(16))
+    }
+}
+
+/// How a warm restart waits out a backoff pause. Production uses
+/// [`SleepScheduler`]; tests use [`NoopScheduler`] so retry logic is
+/// exercised without real sleeps (the recorded schedule is identical —
+/// it is computed, not measured).
+pub trait WarmScheduler {
+    /// Waits `ms` milliseconds (or records that it would).
+    fn pause(&self, ms: u64);
+}
+
+/// Blocks the warming thread for the scheduled pause.
+pub struct SleepScheduler;
+
+impl WarmScheduler for SleepScheduler {
+    fn pause(&self, ms: u64) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Skips pauses entirely (deterministic tests, impatient operators).
+pub struct NoopScheduler;
+
+impl WarmScheduler for NoopScheduler {
+    fn pause(&self, _ms: u64) {}
+}
+
+/// A deterministic, seeded fault-injection plan. Installed with
+/// [`VomService::set_fault_plan`], consulted at the service's fault
+/// boundaries; every trigger is keyed on stable identifiers (graph
+/// names, batch request indexes, snapshot file names) — never thread
+/// ids or wall-clock time — so a faulted run is reproducible at any
+/// worker-pool width.
+///
+/// Faults modeled:
+/// * **build panics** — the next `count` index builds for a graph
+///   panic inside the build boundary (exercises catch + quarantine);
+/// * **query panics** — the request at a given batch index panics in
+///   its worker (exercises per-slot isolation; membership is not
+///   consumed, so every batch run faults the same slot);
+/// * **tick inflation** — every budgeted query's meter charges are
+///   multiplied, forcing earlier deadline degradation;
+/// * **transient unreadable** — the next `count` opens of a snapshot
+///   file during a warm restart fail with a synthetic transient IO
+///   error (exercises the bounded-retry path).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    tick_scale: u64,
+    build_panics: Mutex<BTreeMap<String, u32>>,
+    query_panics: BTreeSet<usize>,
+    unreadable: Mutex<BTreeMap<String, u32>>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` (harnesses derive fault sites from
+    /// it; the plan itself treats it as opaque provenance).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            tick_scale: 1,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The seed this plan was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The next `count` index builds for `graph` panic.
+    pub fn with_build_panics(self, graph: impl Into<String>, count: u32) -> FaultPlan {
+        self.build_panics
+            .lock()
+            .expect("fault lock")
+            .insert(graph.into(), count);
+        self
+    }
+
+    /// The batch request at `request_index` panics in its worker.
+    pub fn with_query_panic(mut self, request_index: usize) -> FaultPlan {
+        self.query_panics.insert(request_index);
+        self
+    }
+
+    /// Multiplies every budgeted query's meter charges by `scale`
+    /// (clamped to ≥ 1), forcing earlier degradation.
+    pub fn with_tick_scale(mut self, scale: u64) -> FaultPlan {
+        self.tick_scale = scale.max(1);
+        self
+    }
+
+    /// The next `count` warm-restart opens of snapshot `file_name`
+    /// (the bare file name, e.g. `"toy--rs-c0-t0-h1-b1.vpi"`) fail
+    /// with a transient IO error.
+    pub fn with_transient_unreadable(self, file_name: impl Into<String>, count: u32) -> FaultPlan {
+        self.unreadable
+            .lock()
+            .expect("fault lock")
+            .insert(file_name.into(), count);
+        self
+    }
+
+    /// The configured charge multiplier (≥ 1).
+    pub fn tick_scale(&self) -> u64 {
+        self.tick_scale.max(1)
+    }
+
+    /// Consumes one pending build panic for `graph`, if any.
+    fn take_build_panic(&self, graph: &str) -> bool {
+        let mut map = self.build_panics.lock().expect("fault lock");
+        match map.get_mut(graph) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the batch request at `index` is planned to panic.
+    fn query_panics_at(&self, index: usize) -> bool {
+        self.query_panics.contains(&index)
+    }
+
+    /// Consumes one pending transient-unreadable fault for `file_name`.
+    fn take_unreadable(&self, file_name: &str) -> bool {
+        let mut map = self.unreadable.lock().expect("fault lock");
+        match map.get_mut(file_name) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -283,19 +554,79 @@ fn prepared_budget(k: usize, n: usize) -> usize {
     k.max(1).checked_next_power_of_two().unwrap_or(n).min(n)
 }
 
+/// Renders a caught panic payload for [`ServiceError::Panicked`].
+fn panic_context(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One memo slot: same-key callers share the cell and only the first
 /// runs the build (inside the cell's `OnceLock`, *outside* the cache
 /// map lock — memo hits and unrelated builds never wait on each other).
 type IndexCell = Arc<OnceLock<Result<Arc<PreparedIndex>, ServiceError>>>;
 
-/// The index memo: cells by key, insertion order for FIFO eviction, and
-/// an optional capacity. Eviction is safe at any moment — in-flight
-/// sessions keep their index alive through their own `Arc`s, and a
-/// rebuilt index is bit-identical by the determinism contract.
+/// One cache slot: the memo cell plus the logical sequence number of
+/// its last use. Recency is a **logical clock** (bumped once per cache
+/// probe under the map lock), never wall-clock time — so eviction order
+/// is a pure function of the request history.
+struct CacheEntry {
+    cell: IndexCell,
+    last_use: u64,
+}
+
+/// The index memo: entries by key, LRU-evicted by logical admission
+/// sequence under an optional entry capacity and/or heap-byte budget.
+/// Eviction is safe at any moment — in-flight sessions keep their index
+/// alive through their own `Arc`s, and a rebuilt index is bit-identical
+/// by the determinism contract.
 struct IndexCache {
-    cells: HashMap<IndexKey, IndexCell>,
-    order: VecDeque<IndexKey>,
+    cells: HashMap<IndexKey, CacheEntry>,
+    /// Logical use counter; every probe gets a fresh, unique value.
+    seq: u64,
     capacity: Option<usize>,
+    /// Heap-byte budget over built indexes; enforced at admission.
+    memory_budget: Option<usize>,
+}
+
+impl IndexCache {
+    /// Evicts the least-recently-used entry, skipping `protect`.
+    /// Returns `false` when nothing (else) is left to evict.
+    fn evict_lru(&mut self, protect: Option<&IndexKey>) -> bool {
+        // Min over unique logical last_use values — iteration-order
+        // independent, so hash order never reaches results.
+        let victim = self
+            .cells
+            .iter()
+            .filter(|(k, _)| protect != Some(*k))
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(k) => {
+                self.cells.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Heap bytes currently resident in *built* cells other than
+    /// `except` (cells still building, or whose build failed, hold no
+    /// artifacts and count zero).
+    fn resident_bytes(&self, except: &IndexKey) -> usize {
+        // Commutative sum — iteration-order independent.
+        self.cells
+            .iter()
+            .filter(|(k, _)| *k != except)
+            .filter_map(|(_, e)| e.cell.get())
+            .filter_map(|r| r.as_ref().ok())
+            .map(|ix| ix.build_stats().heap_bytes)
+            .sum()
+    }
 }
 
 /// The shared-state query service facade. One `VomService` is meant to
@@ -307,6 +638,9 @@ pub struct VomService {
     /// The cache map lock is held only for cell lookup/insert/evict —
     /// never across an artifact build.
     indexes: Mutex<IndexCache>,
+    /// Installed fault-injection plan (tests, chaos harness); `None`
+    /// in production — every fault boundary is then a strict no-op.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Default for VomService {
@@ -329,21 +663,47 @@ impl VomService {
             graphs: RwLock::new(BTreeMap::new()),
             indexes: Mutex::new(IndexCache {
                 cells: HashMap::new(),
-                order: VecDeque::new(),
+                seq: 0,
                 capacity: None,
+                memory_budget: None,
             }),
+            faults: Mutex::new(None),
         }
     }
 
-    /// Caps the index memo at `capacity` entries with FIFO eviction
+    /// Caps the index memo at `capacity` entries with LRU eviction
     /// (default: unbounded). A long-lived service whose requests vary
     /// target/horizon/budget freely should set this — every distinct
     /// key otherwise retains its arena/sketch artifacts forever.
     /// Eviction never changes results: a re-requested key rebuilds the
-    /// identical index.
+    /// identical index. Recency is a logical use counter, not
+    /// wall-clock time, so eviction order is reproducible.
     pub fn with_index_capacity(self, capacity: usize) -> VomService {
         self.indexes.lock().expect("index lock").capacity = Some(capacity.max(1));
         self
+    }
+
+    /// Caps the total heap bytes of built cached indexes (default:
+    /// unbounded). A new build that would overflow the budget first
+    /// evicts cold indexes (LRU by logical use sequence); if the new
+    /// index *alone* exceeds the budget, the request is rejected with
+    /// [`ServiceError::AdmissionDenied`] — the cache never silently
+    /// exceeds its budget.
+    pub fn with_memory_budget(self, bytes: usize) -> VomService {
+        self.indexes.lock().expect("index lock").memory_budget = Some(bytes);
+        self
+    }
+
+    /// Installs (or clears, with `None`) a deterministic fault plan.
+    /// Intended for tests and the chaos harness; with no plan every
+    /// fault boundary is a strict no-op.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.lock().expect("fault lock") = plan;
+    }
+
+    /// The installed fault plan, if any.
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().expect("fault lock").clone()
     }
 
     /// Drops every memoized index (e.g. after a bulk workload, to
@@ -352,7 +712,6 @@ impl VomService {
     pub fn clear_indexes(&self) {
         let mut cache = self.indexes.lock().expect("index lock");
         cache.cells.clear();
-        cache.order.clear();
     }
 
     /// Registers an instance under a name. Names are first-come:
@@ -392,29 +751,70 @@ impl VomService {
         self.indexes.lock().expect("index lock").cells.len()
     }
 
-    /// The memo cell for `key`, creating (and FIFO-evicting, if over
-    /// capacity) under the short-held map lock.
+    /// The memo cell for `key`, creating (and LRU-evicting, if over
+    /// capacity) under the short-held map lock. Every probe bumps the
+    /// key's logical recency.
     fn cell_for(&self, key: &IndexKey) -> IndexCell {
         let mut cache = self.indexes.lock().expect("index lock");
-        match cache.cells.get(key) {
-            Some(cell) => Arc::clone(cell),
-            None => {
-                if let Some(cap) = cache.capacity {
-                    while cache.cells.len() >= cap {
-                        match cache.order.pop_front() {
-                            Some(oldest) => {
-                                cache.cells.remove(&oldest);
-                            }
-                            None => break,
-                        }
-                    }
-                }
-                let cell: IndexCell = Arc::new(OnceLock::new());
-                cache.cells.insert(key.clone(), Arc::clone(&cell));
-                cache.order.push_back(key.clone());
-                cell
+        cache.seq += 1;
+        let now = cache.seq;
+        if let Some(entry) = cache.cells.get_mut(key) {
+            entry.last_use = now;
+            return Arc::clone(&entry.cell);
+        }
+        if let Some(cap) = cache.capacity {
+            while cache.cells.len() >= cap && cache.evict_lru(None) {}
+        }
+        let cell: IndexCell = Arc::new(OnceLock::new());
+        cache.cells.insert(
+            key.clone(),
+            CacheEntry {
+                cell: Arc::clone(&cell),
+                last_use: now,
+            },
+        );
+        cell
+    }
+
+    /// Removes `key`'s slot iff it still holds exactly `cell` — used to
+    /// quarantine panicked builds and to back out denied admissions
+    /// without disturbing a racing rebuild that already replaced it.
+    fn remove_cell(&self, key: &IndexKey, cell: &IndexCell) {
+        let mut cache = self.indexes.lock().expect("index lock");
+        if cache
+            .cells
+            .get(key)
+            .is_some_and(|e| Arc::ptr_eq(&e.cell, cell))
+        {
+            cache.cells.remove(key);
+        }
+    }
+
+    /// Admission control for a just-built index: evicts cold cached
+    /// indexes (LRU) until the newcomer fits the memory budget, or
+    /// denies it when it can never fit. Only the thread that ran the
+    /// build calls this, so admission order equals build order —
+    /// deterministic for any serial request sequence.
+    fn admit(&self, key: &IndexKey, index: &Arc<PreparedIndex>) -> Result<(), ServiceError> {
+        let mut cache = self.indexes.lock().expect("index lock");
+        let Some(budget) = cache.memory_budget else {
+            return Ok(());
+        };
+        let needed = index.build_stats().heap_bytes;
+        if needed > budget {
+            cache.cells.remove(key);
+            return Err(ServiceError::AdmissionDenied {
+                graph: key.graph.clone(),
+                needed_bytes: needed,
+                budget_bytes: budget,
+            });
+        }
+        while cache.resident_bytes(key) + needed > budget {
+            if !cache.evict_lru(Some(key)) {
+                break;
             }
         }
+        Ok(())
     }
 
     /// Build-side diagnostics of every successfully built (or loaded)
@@ -426,7 +826,7 @@ impl VomService {
             cache
                 .cells
                 .iter()
-                .map(|(k, c)| (k.clone(), Arc::clone(c)))
+                .map(|(k, e)| (k.clone(), Arc::clone(&e.cell)))
                 .collect()
         };
         let mut stats: Vec<IndexStats> = cells
@@ -527,8 +927,26 @@ impl VomService {
     /// fatal: the corresponding indexes are simply rebuilt on first use.
     /// Every skip is reported with its file and typed reason in the
     /// returned [`WarmSummary`], so operators can tell a clean restart
-    /// from one that silently fell back to rebuilds.
+    /// from one that silently fell back to rebuilds. Transient IO
+    /// failures are retried under [`RetryPolicy::default`] with real
+    /// backoff sleeps; see [`VomService::warm_from_dir_with`].
     pub fn warm_from_dir(&self, dir: &Path) -> Result<WarmSummary, ServiceError> {
+        self.warm_from_dir_with(dir, RetryPolicy::default(), &SleepScheduler)
+    }
+
+    /// [`VomService::warm_from_dir`] with an explicit retry policy and
+    /// backoff scheduler. Only transient (`PersistError::Io`) open
+    /// failures are retried — up to `policy.attempts` total tries per
+    /// file with a deterministic doubling backoff, every pause recorded
+    /// in [`WarmSummary::retries`]. Corruption and digest mismatches
+    /// skip immediately: rereading a corrupt file cannot fix it.
+    pub fn warm_from_dir_with(
+        &self,
+        dir: &Path,
+        policy: RetryPolicy,
+        scheduler: &dyn WarmScheduler,
+    ) -> Result<WarmSummary, ServiceError> {
+        let plan = self.fault_plan();
         let digests: Vec<(String, u64)> = {
             let graphs = self.graphs.read().expect("graphs lock");
             graphs
@@ -545,6 +963,7 @@ impl VomService {
         let mut summary = WarmSummary {
             loaded: 0,
             skipped: Vec::new(),
+            retries: Vec::new(),
         };
         let mut paths: Vec<PathBuf> = entries
             .filter_map(|e| e.ok())
@@ -553,16 +972,50 @@ impl VomService {
             .collect();
         paths.sort();
         for path in paths {
-            let snap = match vom_persist::Snapshot::open(&path, vom_persist::LoadMode::Copy) {
-                Ok(snap) => snap,
-                Err(e) => {
-                    summary.skipped.push(SkippedSnapshot {
-                        path,
-                        reason: SkipReason::Unreadable(e),
-                    });
-                    continue;
+            let file_name = path
+                .file_name()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let mut backoff_ms: Vec<u64> = Vec::new();
+            let snap = loop {
+                let injected = plan
+                    .as_deref()
+                    .is_some_and(|p| p.take_unreadable(&file_name));
+                let opened = if injected {
+                    Err(PersistError::Io {
+                        op: "open",
+                        message: format!("injected transient fault ({file_name})"),
+                    })
+                } else {
+                    vom_persist::Snapshot::open(&path, vom_persist::LoadMode::Copy)
+                };
+                match opened {
+                    Ok(snap) => break Some(snap),
+                    Err(e) => {
+                        let transient = matches!(e, PersistError::Io { .. });
+                        let retries_done = backoff_ms.len() as u32;
+                        if transient && retries_done + 1 < policy.attempts.max(1) {
+                            let pause = policy.backoff_ms(retries_done);
+                            backoff_ms.push(pause);
+                            scheduler.pause(pause);
+                            continue;
+                        }
+                        summary.skipped.push(SkippedSnapshot {
+                            path: path.clone(),
+                            reason: SkipReason::Unreadable(e),
+                        });
+                        break None;
+                    }
                 }
             };
+            if !backoff_ms.is_empty() {
+                summary.retries.push(RetryRecord {
+                    path: path.clone(),
+                    backoff_ms,
+                    recovered: snap.is_some(),
+                });
+            }
+            let Some(snap) = snap else { continue };
             let Some((graph, _)) = digests.iter().find(|(_, d)| *d == snap.graph_digest()) else {
                 summary.skipped.push(SkippedSnapshot {
                     path,
@@ -621,18 +1074,55 @@ impl VomService {
         // cheap — then build outside it, inside the cell: same-key
         // racers wait for the one build, everyone else proceeds.
         let cell = self.cell_for(&key);
-        cell.get_or_init(|| {
-            let engine = (self.engine_factory)(req.method);
-            let spec = ProblemSpec::new(
-                instance,
-                req.query.target,
-                key.budget,
-                req.horizon,
-                req.query.rule.clone(),
-            )?;
-            Ok(Arc::new(engine.prepare_spec(spec)?))
-        })
-        .clone()
+        let mut built_now = false;
+        let result = cell
+            .get_or_init(|| {
+                built_now = true;
+                let build = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = self.fault_plan() {
+                        if plan.take_build_panic(&req.graph) {
+                            panic!("injected build fault ({})", req.graph);
+                        }
+                    }
+                    let engine = (self.engine_factory)(req.method);
+                    let spec = ProblemSpec::new(
+                        instance,
+                        req.query.target,
+                        key.budget,
+                        req.horizon,
+                        req.query.rule.clone(),
+                    )?;
+                    Ok(Arc::new(engine.prepare_spec(spec)?))
+                }));
+                build.unwrap_or_else(|payload| {
+                    Err(ServiceError::Panicked {
+                        context: format!(
+                            "index build for {:?}/{} panicked: {}",
+                            req.graph,
+                            req.method.name(),
+                            panic_context(payload.as_ref())
+                        ),
+                    })
+                })
+            })
+            .clone();
+        match &result {
+            // The builder thread enforces admission; a denial backs the
+            // cell out so the cache never carries an over-budget index.
+            Ok(index) if built_now => {
+                if let Err(denied) = self.admit(&key, index) {
+                    self.remove_cell(&key, &cell);
+                    return Err(denied);
+                }
+            }
+            // Quarantine a panicked build: drop the poisoned cell so
+            // the next caller retries a fresh build. Deterministic
+            // failures (bad spec) stay memoized — rebuilding cannot
+            // change them.
+            Err(ServiceError::Panicked { .. }) => self.remove_cell(&key, &cell),
+            _ => {}
+        }
+        result
     }
 
     /// Builds (and memoizes) every index a batch will need, skipping
@@ -648,30 +1138,142 @@ impl VomService {
         self.index_count() - before
     }
 
-    /// Answers one request (building or reusing its index).
-    pub fn run(&self, req: &ServiceRequest) -> ServiceResult {
-        let index = self.index_for(req)?;
-        let mut session = PreparedIndex::session(&index);
-        session.select(&req.query).map_err(ServiceError::Selection)
+    /// Runs one query session, honoring the request's optional tick
+    /// budget (with any installed fault plan's tick inflation).
+    fn answer(
+        &self,
+        req: &ServiceRequest,
+        index: &Arc<PreparedIndex>,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Outcome, ServiceError> {
+        let mut session = PreparedIndex::session(index);
+        match req.budget {
+            Some(ticks) => {
+                let scale = plan.map_or(1, FaultPlan::tick_scale);
+                let meter = Arc::new(CostMeter::with_scale(CostBudget::ticks(ticks), scale));
+                session
+                    .select_with_meter(&req.query, &meter)
+                    .map_err(ServiceError::Selection)
+            }
+            None => session
+                .select(&req.query)
+                .map(Outcome::Complete)
+                .map_err(ServiceError::Selection),
+        }
     }
 
-    /// Answers a whole batch: indexes are resolved (and missing ones
-    /// built, each exactly once) up front, then the queries run on the
-    /// worker pool, one [`vom_core::QuerySession`] per request. The
-    /// result vector is in request order regardless of schedule, and
-    /// each slot carries its own error — one bad query never sinks the
-    /// batch.
-    pub fn run_batch(&self, requests: &[ServiceRequest]) -> Vec<ServiceResult> {
-        let indexes: Vec<Result<Arc<PreparedIndex>, ServiceError>> =
-            requests.iter().map(|req| self.index_for(req)).collect();
-        (0..requests.len())
+    /// Answers one request (building or reusing its index), honoring
+    /// its tick budget: a spent deadline yields [`Outcome::Degraded`]
+    /// with a bit-identical prefix of the full selection.
+    pub fn run_full(&self, req: &ServiceRequest) -> Result<Outcome, ServiceError> {
+        let plan = self.fault_plan();
+        let index = self.index_for(req)?;
+        self.answer(req, &index, plan.as_deref())
+    }
+
+    /// Answers one request (building or reusing its index). A budgeted
+    /// request that degrades maps to [`ServiceError::Degraded`] here —
+    /// use [`VomService::run_full`] to receive the prefix.
+    pub fn run(&self, req: &ServiceRequest) -> ServiceResult {
+        match self.run_full(req)? {
+            Outcome::Complete(res) => Ok(res),
+            Outcome::Degraded {
+                seeds_prefix,
+                budget_spent,
+                budget_limit,
+            } => Err(ServiceError::Degraded {
+                budget_spent,
+                budget_limit,
+                seeds_found: seeds_prefix.len(),
+            }),
+        }
+    }
+
+    /// Answers a whole batch with full outcomes: indexes are resolved
+    /// (and missing ones built, each exactly once) in deterministic
+    /// schedule order — priority class first, request order within —
+    /// then the queries run on the worker pool, one
+    /// [`vom_core::QuerySession`] per request. The result vector is in
+    /// **request order** regardless of schedule or priority, and each
+    /// slot carries its own error: an invalid query, a denied
+    /// admission, or even a panicking query
+    /// ([`ServiceError::Panicked`], confined by a `catch_unwind` at the
+    /// worker boundary) never sinks the batch.
+    pub fn run_batch_full(
+        &self,
+        requests: &[ServiceRequest],
+    ) -> Vec<Result<Outcome, ServiceError>> {
+        let plan = self.fault_plan();
+        // Deterministic schedule: priority class, then request order.
+        // The same permutation orders index resolution (and therefore
+        // admission/eviction) and worker dispatch.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| (requests[i].priority, i));
+        let mut indexes: Vec<Option<Result<Arc<PreparedIndex>, ServiceError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for &i in &order {
+            indexes[i] = Some(self.index_for(&requests[i]));
+        }
+        let indexes: Vec<Result<Arc<PreparedIndex>, ServiceError>> = indexes
+            .into_iter()
+            .map(|slot| slot.expect("resolved"))
+            .collect();
+        let scheduled: Vec<(usize, Result<Outcome, ServiceError>)> = (0..order.len())
             .into_par_iter()
-            .map(|i| {
-                let index = indexes[i].clone()?;
-                let mut session = PreparedIndex::session(&index);
-                session
-                    .select(&requests[i].query)
-                    .map_err(ServiceError::Selection)
+            .map(|p| {
+                let i = order[p];
+                let req = &requests[i];
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(p) = plan.as_deref() {
+                        if p.query_panics_at(i) {
+                            panic!("injected query fault (request {i})");
+                        }
+                    }
+                    let index = indexes[i].clone()?;
+                    self.answer(req, &index, plan.as_deref())
+                }));
+                let slot = outcome.unwrap_or_else(|payload| {
+                    Err(ServiceError::Panicked {
+                        context: format!(
+                            "query {i} ({:?}/{}) panicked: {}",
+                            req.graph,
+                            req.method.name(),
+                            panic_context(payload.as_ref())
+                        ),
+                    })
+                });
+                (i, slot)
+            })
+            .collect();
+        let mut results: Vec<Option<Result<Outcome, ServiceError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (i, slot) in scheduled {
+            results[i] = Some(slot);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("scattered"))
+            .collect()
+    }
+
+    /// [`VomService::run_batch_full`] flattened to the historical
+    /// complete-results API: a degraded slot maps to
+    /// [`ServiceError::Degraded`] (requests without budgets — the
+    /// common case — are unaffected).
+    pub fn run_batch(&self, requests: &[ServiceRequest]) -> Vec<ServiceResult> {
+        self.run_batch_full(requests)
+            .into_iter()
+            .map(|slot| match slot? {
+                Outcome::Complete(res) => Ok(res),
+                Outcome::Degraded {
+                    seeds_prefix,
+                    budget_spent,
+                    budget_limit,
+                } => Err(ServiceError::Degraded {
+                    budget_spent,
+                    budget_limit,
+                    seeds_found: seeds_prefix.len(),
+                }),
             })
             .collect()
     }
@@ -1078,6 +1680,278 @@ mod tests {
         assert_eq!(s.budget, 4); // k = 3 bucketed up to 4
         assert!(s.heap_bytes > 0);
         assert_eq!(s.artifact_builds, 1);
+    }
+
+    #[test]
+    fn budgeted_requests_degrade_to_prefixes() {
+        let service = service();
+        let full = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(3, ScoringFunction::Cumulative, 0),
+        );
+        let complete = service.run(&full).unwrap();
+        assert_eq!(complete.seeds.len(), 3);
+
+        // A generous budget completes bit-identically to no budget.
+        let roomy = full.clone().with_budget(u64::MAX);
+        match service.run_full(&roomy).unwrap() {
+            Outcome::Complete(res) => {
+                assert_eq!(res.seeds, complete.seeds);
+                assert_eq!(res.exact_score.to_bits(), complete.exact_score.to_bits());
+            }
+            out => panic!("expected completion, got {out:?}"),
+        }
+
+        // Every smaller budget yields a prefix; the legacy APIs map a
+        // degraded outcome to a typed error instead of dropping it.
+        let mut saw_degraded = false;
+        for ticks in 0..40 {
+            let req = full.clone().with_budget(ticks);
+            match service.run_full(&req).unwrap() {
+                Outcome::Complete(res) => assert_eq!(res.seeds, complete.seeds),
+                Outcome::Degraded {
+                    seeds_prefix,
+                    budget_spent,
+                    budget_limit,
+                } => {
+                    saw_degraded = true;
+                    assert_eq!(seeds_prefix, complete.seeds[..seeds_prefix.len()]);
+                    assert!(budget_spent >= budget_limit);
+                    assert_eq!(budget_limit, ticks);
+                    assert!(matches!(
+                        service.run(&req),
+                        Err(ServiceError::Degraded { .. })
+                    ));
+                }
+            }
+        }
+        assert!(saw_degraded, "tiny budgets must degrade");
+
+        // Batch slots behave identically.
+        let batch = vec![full.clone(), full.clone().with_budget(0)];
+        let outs = service.run_batch_full(&batch);
+        assert!(matches!(outs[0], Ok(Outcome::Complete(_))));
+        assert!(matches!(outs[1], Ok(Outcome::Degraded { .. })));
+        let flat = service.run_batch(&batch);
+        assert!(flat[0].is_ok());
+        assert!(matches!(flat[1], Err(ServiceError::Degraded { .. })));
+    }
+
+    #[test]
+    fn a_panicking_query_is_confined_to_its_slot() {
+        let service = service();
+        let req = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(2, ScoringFunction::Cumulative, 0),
+        );
+        let batch = vec![req.clone(), req.clone(), req.clone()];
+        let clean = service.run_batch(&batch);
+        assert!(clean.iter().all(|r| r.is_ok()));
+
+        service.set_fault_plan(Some(Arc::new(FaultPlan::new(7).with_query_panic(1))));
+        let faulted = service.run_batch(&batch);
+        assert!(matches!(
+            faulted[1],
+            Err(ServiceError::Panicked { ref context }) if context.contains("injected query fault")
+        ));
+        for i in [0, 2] {
+            let (c, f) = (clean[i].as_ref().unwrap(), faulted[i].as_ref().unwrap());
+            assert_eq!(c.seeds, f.seeds);
+            assert_eq!(c.exact_score.to_bits(), f.exact_score.to_bits());
+        }
+        // Clearing the plan restores fault-free serving.
+        service.set_fault_plan(None);
+        let after = service.run_batch(&batch);
+        assert!(after.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn panicked_builds_are_quarantined_and_retried() {
+        let service = service();
+        service.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(11).with_build_panics("toy", 1),
+        )));
+        let req = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Cumulative, 0),
+        );
+        assert!(matches!(
+            service.run(&req),
+            Err(ServiceError::Panicked { ref context }) if context.contains("injected build fault")
+        ));
+        // The poisoned cell is quarantined, not memoized…
+        assert_eq!(service.index_count(), 0);
+        // …so the next caller rebuilds and serves (the plan's single
+        // panic is spent).
+        let retried = service.run(&req).unwrap();
+        let reference = self::tests::service().run(&req).unwrap();
+        assert_eq!(retried.seeds, reference.seeds);
+        assert_eq!(
+            retried.exact_score.to_bits(),
+            reference.exact_score.to_bits()
+        );
+    }
+
+    #[test]
+    fn memory_budget_denies_and_evicts_deterministically() {
+        let cum = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Cumulative, 0),
+        );
+        let plu = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Plurality, 0),
+        );
+
+        // Measure real index sizes on an unbudgeted service.
+        let sizer = service();
+        sizer.run(&cum).unwrap();
+        sizer.run(&plu).unwrap();
+        let sizes: Vec<usize> = sizer.index_stats().iter().map(|s| s.heap_bytes).collect();
+        let largest = sizes.iter().copied().max().unwrap();
+        assert!(largest > 1);
+
+        // A budget below any index denies admission and caches nothing.
+        let tiny = VomService::new().with_memory_budget(1);
+        tiny.register("toy", instance()).unwrap();
+        assert!(matches!(
+            tiny.run(&cum),
+            Err(ServiceError::AdmissionDenied {
+                budget_bytes: 1,
+                ..
+            })
+        ));
+        assert_eq!(tiny.index_count(), 0);
+
+        // A budget fitting one index at a time evicts LRU on overflow
+        // without ever changing results.
+        let lean = VomService::new().with_memory_budget(largest);
+        lean.register("toy", instance()).unwrap();
+        let a = lean.run(&cum).unwrap();
+        assert_eq!(lean.index_count(), 1);
+        let b = lean.run(&plu).unwrap();
+        assert_eq!(lean.index_count(), 1, "cold index evicted");
+        let a2 = lean.run(&cum).unwrap();
+        assert_eq!(a.seeds, a2.seeds);
+        assert_eq!(a.exact_score.to_bits(), a2.exact_score.to_bits());
+        let b2 = sizer.run(&plu).unwrap();
+        assert_eq!(b.seeds, b2.seeds);
+    }
+
+    #[test]
+    fn priority_orders_admission_within_a_batch() {
+        let cum = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Cumulative, 0),
+        );
+        let plu = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Plurality, 0),
+        );
+        let sizer = service();
+        sizer.run(&cum).unwrap();
+        sizer.run(&plu).unwrap();
+        let largest = sizer
+            .index_stats()
+            .iter()
+            .map(|s| s.heap_bytes)
+            .max()
+            .unwrap();
+
+        // One-index budget: the batch's admission order decides which
+        // index survives. High priority resolves first, so the normal
+        // request's index is admitted last and is the one retained.
+        let svc = VomService::new().with_memory_budget(largest);
+        svc.register("toy", instance()).unwrap();
+        let batch = vec![cum.clone(), plu.clone().with_priority(Priority::High)];
+        let outs = svc.run_batch_full(&batch);
+        assert!(
+            outs.iter().all(|r| r.is_ok()),
+            "results are in request order"
+        );
+        let kept: Vec<RuleClass> = svc.index_stats().iter().map(|s| s.class).collect();
+        assert_eq!(kept, vec![RuleClass::Cumulative]);
+
+        // Flipping the priorities flips the retained index.
+        let svc = VomService::new().with_memory_budget(largest);
+        svc.register("toy", instance()).unwrap();
+        let batch = vec![cum.clone().with_priority(Priority::High), plu.clone()];
+        let outs = svc.run_batch_full(&batch);
+        assert!(outs.iter().all(|r| r.is_ok()));
+        let kept: Vec<RuleClass> = svc.index_stats().iter().map(|s| s.class).collect();
+        assert_eq!(kept, vec![RuleClass::Rank]);
+    }
+
+    #[test]
+    fn warm_retries_transient_failures_with_deterministic_backoff() {
+        let dir = std::env::temp_dir().join(format!(
+            "vom-service-retry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let saver = service();
+        let req = ServiceRequest::new(
+            "toy",
+            MethodId::Rs,
+            1,
+            Query::new(1, ScoringFunction::Cumulative, 0),
+        );
+        let path = saver.save_index(&req, &dir).unwrap();
+        let file = path.file_name().unwrap().to_string_lossy().into_owned();
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 10,
+        };
+
+        // Two transient failures, three attempts: recovered, with the
+        // doubling backoff schedule recorded exactly.
+        let svc = service();
+        svc.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(3).with_transient_unreadable(&file, 2),
+        )));
+        let summary = svc
+            .warm_from_dir_with(&dir, policy, &NoopScheduler)
+            .unwrap();
+        assert_eq!(summary.loaded, 1);
+        assert!(summary.is_clean());
+        assert_eq!(summary.retries.len(), 1);
+        assert_eq!(summary.retries[0].backoff_ms, vec![10, 20]);
+        assert!(summary.retries[0].recovered);
+
+        // More failures than attempts: skipped as Unreadable, with the
+        // exhausted schedule recorded.
+        let svc = service();
+        svc.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(3).with_transient_unreadable(&file, 99),
+        )));
+        let summary = svc
+            .warm_from_dir_with(&dir, policy, &NoopScheduler)
+            .unwrap();
+        assert_eq!(summary.loaded, 0);
+        assert_eq!(summary.skipped.len(), 1);
+        assert!(matches!(
+            summary.skipped[0].reason,
+            SkipReason::Unreadable(PersistError::Io { .. })
+        ));
+        assert_eq!(summary.retries[0].backoff_ms, vec![10, 20]);
+        assert!(!summary.retries[0].recovered);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

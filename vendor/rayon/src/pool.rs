@@ -270,13 +270,17 @@ where
                     }
                     // Backpressure: park until `ci` is within the
                     // consumer's window (the consumer's own chunk
-                    // `upto` is always admitted).
+                    // `upto` is always admitted). Fast abort: once a
+                    // sibling died its chunk can never arrive, so
+                    // claiming (or staying parked for) further chunks
+                    // is wasted work — the consumer is about to
+                    // re-raise the panic anyway.
                     {
                         let mut s = stream.lock().unwrap();
-                        while ci >= s.upto + window && !s.consumer_done {
+                        while ci >= s.upto + window && !s.consumer_done && !s.worker_died {
                             s = changed.wait(s).unwrap();
                         }
-                        if s.consumer_done {
+                        if s.consumer_done || s.worker_died {
                             break;
                         }
                     }
@@ -400,6 +404,48 @@ mod tests {
         set_thread_override(None);
         let expected: Vec<usize> = (0..8).flat_map(|ci| [ci * 10, ci * 10 + 1]).collect();
         assert_eq!(out, expected);
+    }
+
+    /// A sibling panic stops further chunk claiming: the panic still
+    /// re-raises on the consumer with its original payload, and the
+    /// surviving workers process at most the bounded in-flight window
+    /// instead of draining the whole chunk space.
+    #[test]
+    fn sibling_panic_stops_chunk_claiming() {
+        let prev = thread_override();
+        set_thread_override(Some(2));
+        let died = AtomicUsize::new(0);
+        let processed = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drive_ordered(
+                256,
+                || (),
+                |_, ci| {
+                    if ci == 0 {
+                        died.store(1, Ordering::SeqCst);
+                        panic!("chunk 0 dies");
+                    }
+                    // Survivors idle until the sibling has died, so the
+                    // abort signal — not chunk exhaustion — is what
+                    // stops them.
+                    while died.load(Ordering::SeqCst) == 0 {
+                        std::thread::yield_now();
+                    }
+                    processed.fetch_add(1, Ordering::SeqCst);
+                    vec![ci]
+                },
+                |items| items.collect::<Vec<_>>(),
+            )
+        }));
+        set_thread_override(prev);
+        let payload = caught.expect_err("the sibling panic must re-raise");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"chunk 0 dies"));
+        // Window = 2 × workers = 4 chunks: survivors must never run
+        // past the bounded in-flight window once a sibling died.
+        assert!(
+            processed.load(Ordering::SeqCst) <= 4,
+            "workers kept claiming chunks after a sibling death"
+        );
     }
 
     /// One chunk in flight on the inline path: the consumer sees chunk
